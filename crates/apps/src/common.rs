@@ -1,0 +1,105 @@
+//! Shared workload plumbing: paper-calibrated footprints and scaling
+//! presets.
+
+/// The five applications of the paper's evaluation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AppKind {
+    /// Molecular dynamics (GROMACS-like): many small messages.
+    Gromacs,
+    /// Implicit finite elements (miniFE-like): CG solver.
+    MiniFe,
+    /// High-performance conjugate gradient (HPCG-like).
+    Hpcg,
+    /// Cell-based AMR (CLAMR-like).
+    Clamr,
+    /// Lagrangian shock hydrodynamics (LULESH-like): 3-D stencil.
+    Lulesh,
+}
+
+impl AppKind {
+    /// All five, in the paper's figure order.
+    pub fn all() -> [AppKind; 5] {
+        [
+            AppKind::Gromacs,
+            AppKind::MiniFe,
+            AppKind::Hpcg,
+            AppKind::Clamr,
+            AppKind::Lulesh,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Gromacs => "GROMACS",
+            AppKind::MiniFe => "miniFE",
+            AppKind::Hpcg => "HPCG",
+            AppKind::Clamr => "CLAMR",
+            AppKind::Lulesh => "LULESH",
+        }
+    }
+}
+
+/// Per-rank checkpoint-image sizes the paper annotates in Figure 6
+/// (megabytes), by compute-node count. These drive the bulk (pattern)
+/// footprint each workload maps, so the checkpoint figures reproduce the
+/// paper's sizes.
+pub fn paper_image_mb(app: AppKind, nodes: u32) -> u64 {
+    let by_nodes = |table: [u64; 6]| -> u64 {
+        let idx = match nodes {
+            0..=2 => 0,
+            3..=4 => 1,
+            5..=8 => 2,
+            9..=16 => 3,
+            17..=32 => 4,
+            _ => 5,
+        };
+        table[idx]
+    };
+    match app {
+        AppKind::Gromacs => by_nodes([93, 93, 92, 92, 94, 92]),
+        AppKind::MiniFe => by_nodes([2000, 1300, 806, 1300, 902, 1300]),
+        AppKind::Hpcg => 2000,
+        AppKind::Clamr => by_nodes([656, 594, 552, 501, 594, 552]),
+        AppKind::Lulesh => by_nodes([276, 164, 114, 91, 85, 88]),
+    }
+}
+
+/// Bulk pattern-region bytes to map so the total image (bulk + upper
+/// program + dense arrays) lands near the paper's size. The upper program
+/// (duplicate MPI text etc.) contributes ~34 MB.
+pub fn bulk_bytes_for(app: AppKind, nodes: u32) -> u64 {
+    let target = paper_image_mb(app, nodes) << 20;
+    target.saturating_sub(34 << 20).max(8 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes_match_annotations() {
+        assert_eq!(paper_image_mb(AppKind::Gromacs, 2), 93);
+        assert_eq!(paper_image_mb(AppKind::MiniFe, 8), 806);
+        assert_eq!(paper_image_mb(AppKind::Hpcg, 64), 2000);
+        assert_eq!(paper_image_mb(AppKind::Lulesh, 64), 88);
+        assert_eq!(paper_image_mb(AppKind::Clamr, 16), 501);
+    }
+
+    #[test]
+    fn bulk_leaves_room_for_program() {
+        for app in AppKind::all() {
+            for nodes in [2, 8, 64] {
+                let b = bulk_bytes_for(app, nodes);
+                assert!(b >= 8 << 20);
+                assert!(b < paper_image_mb(app, nodes) << 20);
+            }
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(AppKind::Gromacs.name(), "GROMACS");
+        assert_eq!(AppKind::all().len(), 5);
+    }
+}

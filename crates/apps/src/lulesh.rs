@@ -1,0 +1,152 @@
+//! LULESH-like unstructured Lagrangian shock-hydrodynamics skeleton.
+//!
+//! Communication profile: a 3-D Cartesian domain decomposition
+//! (`MPI_Cart_create` — exercising topology virtualization/replay), one
+//! face exchange per dimension per direction per step, and a global
+//! minimum-timestep allreduce. Like the real LULESH, rank counts are
+//! expected to factor into a reasonable 3-D grid (cubes in the paper's
+//! runs: 1, 8, 27, 64, ...).
+
+use mana_core::{AppEnv, Workload};
+use mana_mpi::{dims_create, ReduceOp, SrcSpec, TagSpec};
+use mana_sim::time::SimDuration;
+
+/// Workload configuration.
+pub struct Lulesh {
+    /// Hydro steps.
+    pub steps: u64,
+    /// Elements per rank edge (per-rank domain is edge³).
+    pub edge: usize,
+    /// Bulk footprint bytes.
+    pub bulk_bytes: u64,
+}
+
+impl Default for Lulesh {
+    fn default() -> Self {
+        Lulesh {
+            steps: 30,
+            edge: 24,
+            bulk_bytes: 0,
+        }
+    }
+}
+
+impl Workload for Lulesh {
+    fn name(&self) -> &'static str {
+        "lulesh"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        assert!(self.edge >= 2, "LULESH needs at least 2 elements per edge");
+        let world = env.world();
+        let n = env.nranks();
+        let me = env.rank();
+        let elems = self.edge * self.edge * self.edge;
+        let face = self.edge * self.edge;
+
+        let energy = env.alloc_f64("energy", elems);
+        let grad = env.alloc_f64("grad", elems);
+        let faces = env.alloc_f64("faces", 6 * face);
+        let scal = env.alloc_f64("scalars", 4);
+        if self.bulk_bytes > 0 {
+            env.alloc_bulk("mesh+regions", self.bulk_bytes);
+        }
+
+        // 3-D Cartesian topology (replayed on restart).
+        let dims = dims_create(n, 3);
+        let cart = env.cart_create(world, &dims, &[false, false, false]);
+
+        let seed = env.seed();
+        env.work(SimDuration::micros(80), |m| {
+            m.with_mut(energy, |e| {
+                let mut s = mana_sim::rng::derive_seed_idx(seed, "lulesh", u64::from(me));
+                for v in e.iter_mut() {
+                    s = mana_sim::rng::splitmix64(s);
+                    *v = 1.0 + (s >> 44) as f64 * 1e-6;
+                }
+                // Sedov-like point source on rank 0.
+                if me == 0 {
+                    e[0] = 10.0;
+                }
+            });
+        });
+
+        let stress_time = SimDuration::nanos(55 * elems as u64);
+        let hourglass_time = SimDuration::nanos(40 * elems as u64);
+
+        loop {
+            let iter = env.peek(scal, |s| s[0]) as u64;
+            if iter >= self.steps {
+                break;
+            }
+            env.begin_step();
+
+            env.work(stress_time, |m| {
+                m.with3_mut(energy, grad, faces, |e, g, f| {
+                    let infl = f.iter().sum::<f64>() / (f.len() as f64 + 1.0);
+                    for i in 0..e.len() {
+                        g[i] = 0.3 * e[i] + 1e-5 * infl;
+                    }
+                });
+            });
+
+            // Face exchanges along each dimension, both displacements.
+            for dim in 0..3u32 {
+                let (src, dst) = env.mpi().cart_shift(cart, dim, 1);
+                let tag = 40 + dim as i32;
+                let mut slots = Vec::new();
+                if let Some(s) = src {
+                    slots.push(env.irecv_into(
+                        cart,
+                        faces,
+                        (2 * dim as usize) * face,
+                        SrcSpec::Rank(s),
+                        TagSpec::Tag(tag),
+                    ));
+                }
+                if let Some(d) = dst {
+                    slots.push(env.isend_arr(cart, grad, 0..face, d, tag));
+                }
+                // Reverse direction.
+                if let Some(d) = dst {
+                    slots.push(env.irecv_into(
+                        cart,
+                        faces,
+                        (2 * dim as usize + 1) * face,
+                        SrcSpec::Rank(d),
+                        TagSpec::Tag(tag + 10),
+                    ));
+                }
+                if let Some(s) = src {
+                    slots.push(env.isend_arr(cart, grad, face..2 * face, s, tag + 10));
+                }
+                for s in slots {
+                    env.wait_slot(s);
+                }
+            }
+
+            env.work(hourglass_time, |m| {
+                m.with3_mut(energy, grad, scal, |e, g, s| {
+                    let mut dt: f64 = 1.0;
+                    for i in 0..e.len() {
+                        e[i] += 0.004 * g[i];
+                        let cand = 1.0 / (1.0 + e[i].abs());
+                        if cand < dt {
+                            dt = cand;
+                        }
+                    }
+                    s[1] = dt;
+                });
+            });
+            // Global minimum timestep.
+            env.allreduce_arr(world, scal, ReduceOp::Min);
+            env.work(SimDuration::micros(1), |m| {
+                m.with_mut(scal, |s| {
+                    // Min over iteration counters is the common counter.
+                    s[0] += 1.0;
+                    s[2] = s[1]; // dt actually used
+                });
+            });
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! miniFE-like implicit finite-element proxy: a conjugate-gradient solve
+//! on a 1-D-partitioned sparse operator.
+//!
+//! Communication profile: one boundary halo exchange (few-KB messages with
+//! two ring neighbors) and two scalar allreduces (the CG dot products) per
+//! iteration, against a large SpMV compute phase — the low call rate and
+//! heavy compute give miniFE its ~0% MANA overhead in Figure 2/3.
+
+use mana_core::{AppEnv, Workload};
+use mana_mpi::{ReduceOp, SrcSpec, TagSpec};
+use mana_sim::time::SimDuration;
+
+/// Workload configuration.
+pub struct MiniFe {
+    /// CG iterations.
+    pub iters: u64,
+    /// Matrix rows per rank.
+    pub rows: usize,
+    /// Boundary elements exchanged with each ring neighbor.
+    pub boundary: usize,
+    /// Bulk footprint bytes.
+    pub bulk_bytes: u64,
+    /// Compute nanoseconds per row per SpMV (method weight).
+    pub ns_per_row: u64,
+}
+
+impl Default for MiniFe {
+    fn default() -> Self {
+        MiniFe {
+            iters: 30,
+            rows: 60_000,
+            boundary: 512,
+            bulk_bytes: 0,
+            ns_per_row: 18,
+        }
+    }
+}
+
+impl Workload for MiniFe {
+    fn name(&self) -> &'static str {
+        "minife"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        run_cg(env, "minife", self.iters, self.rows, self.boundary, self.bulk_bytes, self.ns_per_row, 1)
+    }
+}
+
+/// Shared CG skeleton (miniFE and HPCG differ in smoothing depth and
+/// weights).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cg(
+    env: &mut AppEnv,
+    label: &str,
+    iters: u64,
+    rows: usize,
+    boundary: usize,
+    bulk_bytes: u64,
+    ns_per_row: u64,
+    smooth_levels: u32,
+) {
+    let world = env.world();
+    let n = env.nranks();
+    let me = env.rank();
+    let left = (me + n - 1) % n;
+    let right = (me + 1) % n;
+
+    let x = env.alloc_f64("x", rows);
+    let r = env.alloc_f64("r", rows);
+    let p = env.alloc_f64("p", rows);
+    let q = env.alloc_f64("q", rows);
+    let halo = env.alloc_f64("halo", 2 * boundary);
+    let scal = env.alloc_f64("scalars", 6); // [iter, rho, pq, alpha, beta, resid]
+    if bulk_bytes > 0 {
+        env.alloc_bulk(&format!("{label}-mesh"), bulk_bytes);
+    }
+
+    let seed = env.seed();
+    env.work(SimDuration::micros(100), |m| {
+        m.with2_mut(r, p, |rr, pp| {
+            let mut s = mana_sim::rng::derive_seed_idx(seed, label, u64::from(me));
+            for i in 0..rr.len() {
+                s = mana_sim::rng::splitmix64(s);
+                rr[i] = ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+                pp[i] = rr[i];
+            }
+        });
+    });
+
+    let spmv_time = SimDuration::nanos(ns_per_row * rows as u64);
+    let axpy_time = SimDuration::nanos(3 * rows as u64);
+
+    loop {
+        let iter = env.peek(scal, |s| s[0]) as u64;
+        if iter >= iters {
+            break;
+        }
+        env.begin_step();
+
+        for level in 0..smooth_levels {
+            let tag = 20 + level as i32;
+            // Halo exchange of p's boundaries with ring neighbors.
+            if n > 1 {
+                let s1 = env.isend_arr(world, p, 0..boundary, left, tag);
+                let s2 = env.isend_arr(world, p, rows - boundary..rows, right, tag);
+                let r1 = env.irecv_into(world, halo, 0, SrcSpec::Rank(left), TagSpec::Tag(tag));
+                let r2 =
+                    env.irecv_into(world, halo, boundary, SrcSpec::Rank(right), TagSpec::Tag(tag));
+                env.wait_slot(r1);
+                env.wait_slot(r2);
+                env.wait_slot(s1);
+                env.wait_slot(s2);
+            }
+            // q = A p (tridiagonal-ish stencil with halo boundaries).
+            env.work(spmv_time, |m| {
+                m.with3_mut(p, q, halo, |pv, qv, hv| {
+                    let len = pv.len();
+                    for i in 0..len {
+                        let lo = if i == 0 { hv[0] } else { pv[i - 1] };
+                        let hi = if i + 1 == len { hv[hv.len() / 2] } else { pv[i + 1] };
+                        qv[i] = 2.5 * pv[i] - lo - hi;
+                    }
+                });
+            });
+        }
+
+        // rho = r·r ; pq = p·q (two local dots, one fused allreduce pair).
+        env.work(axpy_time, |m| {
+            m.with3_mut(r, q, scal, |rv, qv, s| {
+                s[1] = rv.iter().map(|v| v * v).sum();
+                // p·q approximated over q and r windows deterministically.
+                s[2] = qv.iter().zip(rv.iter()).map(|(a, b)| a * b).sum();
+            });
+        });
+        env.allreduce_arr(world, scal, ReduceOp::Sum);
+        env.work(SimDuration::micros(2), |m| {
+            m.with_mut(scal, |s| {
+                s[0] = (s[0] / f64::from(n)).round();
+                s[1] /= f64::from(n).max(1.0);
+                let denom = if s[2].abs() < 1e-300 { 1.0 } else { s[2] };
+                s[3] = s[1] / denom; // alpha
+            });
+        });
+
+        // x += alpha p ; r -= alpha q ; p = r + beta p.
+        env.work(axpy_time, |m| {
+            m.with3_mut(x, p, scal, |xv, pv, s| {
+                let a = s[3].clamp(-10.0, 10.0);
+                for i in 0..xv.len() {
+                    xv[i] += a * pv[i];
+                }
+            });
+        });
+        env.work(axpy_time, |m| {
+            m.with3_mut(r, q, scal, |rv, qv, s| {
+                let a = s[3].clamp(-10.0, 10.0);
+                let mut resid = 0.0;
+                for i in 0..rv.len() {
+                    rv[i] -= a * qv[i];
+                    resid += rv[i] * rv[i];
+                }
+                s[5] = resid;
+            });
+        });
+        env.work(axpy_time, |m| {
+            m.with3_mut(p, r, scal, |pv, rv, s| {
+                let beta = 0.5;
+                for i in 0..pv.len() {
+                    pv[i] = rv[i] + beta * pv[i];
+                }
+                s[0] += 1.0;
+            });
+        });
+    }
+}

@@ -1,0 +1,200 @@
+//! OSU-microbenchmark-style workloads (paper §3.2.3, Figures 4 and 5).
+//!
+//! Each benchmark sweeps message sizes and records a series into a shared
+//! sink; the figure harnesses run them natively and under MANA and print
+//! both curves. Point-to-point sweeps use modelled sizes (no megabyte
+//! buffers are materialized); collective sweeps carry real bytes.
+
+use mana_core::{AppEnv, Workload};
+use mana_mpi::{BaseType, Msg, ReduceOp, SrcSpec, TagSpec};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A recorded series: (message bytes, value).
+pub type Series = Arc<Mutex<Vec<(u64, f64)>>>;
+
+/// Fresh series sink.
+pub fn series() -> Series {
+    Arc::new(Mutex::new(Vec::new()))
+}
+
+/// Standard OSU size sweep `1 B .. max` in powers of two.
+pub fn size_sweep(max: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut s = 1u64;
+    while s <= max {
+        v.push(s);
+        s *= 2;
+    }
+    v
+}
+
+/// `osu_latency`: ping-pong between ranks 0 and 1; records one-way
+/// latency in microseconds per size.
+pub struct OsuLatency {
+    /// Sizes to sweep.
+    pub sizes: Vec<u64>,
+    /// Iterations per size.
+    pub iters: u32,
+    /// Output: (bytes, one-way latency µs).
+    pub sink: Series,
+}
+
+impl Workload for OsuLatency {
+    fn name(&self) -> &'static str {
+        "osu_latency"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        assert!(env.nranks() >= 2, "osu_latency needs 2 ranks");
+        let world = env.world();
+        let me = env.rank();
+        let payload = [0u8; 8];
+        for &size in &self.sizes {
+            if me == 0 {
+                let t0 = env.thread().now();
+                for i in 0..self.iters {
+                    env.send_modeled(world, &payload, size, 1, i as i32);
+                    env.recv_discard(world, SrcSpec::Rank(1), TagSpec::Tag(i as i32));
+                }
+                let elapsed = env.thread().now().since(t0);
+                let one_way_us =
+                    elapsed.as_micros_f64() / f64::from(self.iters) / 2.0;
+                self.sink.lock().push((size, one_way_us));
+            } else if me == 1 {
+                for i in 0..self.iters {
+                    env.recv_discard(world, SrcSpec::Rank(0), TagSpec::Tag(i as i32));
+                    env.send_modeled(world, &payload, size, 0, i as i32);
+                }
+            }
+            env.barrier(world);
+        }
+    }
+}
+
+/// `osu_bw`: windowed streaming bandwidth from rank 0 to rank 1; records
+/// MB/s per size.
+pub struct OsuBandwidth {
+    /// Sizes to sweep.
+    pub sizes: Vec<u64>,
+    /// Messages per window.
+    pub window: u32,
+    /// Windows per size.
+    pub windows: u32,
+    /// Output: (bytes, MB/s).
+    pub sink: Series,
+}
+
+impl Workload for OsuBandwidth {
+    fn name(&self) -> &'static str {
+        "osu_bw"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        assert!(env.nranks() >= 2, "osu_bw needs 2 ranks");
+        let world = env.world();
+        let me = env.rank();
+        let payload = [0u8; 8];
+        for &size in &self.sizes {
+            if me == 0 {
+                let t0 = env.thread().now();
+                for w in 0..self.windows {
+                    for _ in 0..self.window {
+                        env.send_modeled(world, &payload, size, 1, w as i32);
+                    }
+                    // Window completion ack.
+                    env.recv_discard(world, SrcSpec::Rank(1), TagSpec::Tag(-1));
+                }
+                let elapsed = env.thread().now().since(t0).as_secs_f64();
+                let bytes = size * u64::from(self.window) * u64::from(self.windows);
+                self.sink
+                    .lock()
+                    .push((size, bytes as f64 / elapsed / 1e6));
+            } else if me == 1 {
+                for w in 0..self.windows {
+                    for _ in 0..self.window {
+                        env.recv_discard(world, SrcSpec::Rank(0), TagSpec::Tag(w as i32));
+                    }
+                    env.send_small(world, &payload, 0, -1);
+                }
+            }
+            env.barrier(world);
+        }
+    }
+}
+
+/// Which collective `OsuCollLatency` measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollBench {
+    /// `osu_gather` (Figure 5b).
+    Gather,
+    /// `osu_allreduce` (Figure 5c).
+    Allreduce,
+}
+
+/// Collective latency sweep; records average call latency in µs per size.
+pub struct OsuCollLatency {
+    /// Which collective.
+    pub which: CollBench,
+    /// Sizes to sweep (real bytes).
+    pub sizes: Vec<u64>,
+    /// Iterations per size.
+    pub iters: u32,
+    /// Output: (bytes, latency µs).
+    pub sink: Series,
+}
+
+impl Workload for OsuCollLatency {
+    fn name(&self) -> &'static str {
+        match self.which {
+            CollBench::Gather => "osu_gather",
+            CollBench::Allreduce => "osu_allreduce",
+        }
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let me = env.rank();
+        let t = env.thread().clone();
+        for &size in &self.sizes {
+            let buf = vec![(me % 251) as u8; size as usize];
+            env.barrier(world);
+            let t0 = t.now();
+            for _ in 0..self.iters {
+                match self.which {
+                    CollBench::Gather => {
+                        let _ = env.mpi().gather(&t, &buf, 0, world);
+                    }
+                    CollBench::Allreduce => {
+                        // Element-aligned doubles.
+                        let n8 = (size as usize / 8).max(1) * 8;
+                        let b = vec![0u8; n8];
+                        let _ = env.mpi().allreduce(&t, &b, BaseType::Double, ReduceOp::Sum, world);
+                    }
+                }
+            }
+            let elapsed = t.now().since(t0);
+            if me == 0 {
+                self.sink
+                    .lock()
+                    .push((size, elapsed.as_micros_f64() / f64::from(self.iters)));
+            }
+        }
+        // Keep direct-MPI use consistent: a final wrapped barrier.
+        let _ = Msg::real(&[]);
+        env.barrier(world);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_powers_of_two() {
+        let s = size_sweep(1 << 20);
+        assert_eq!(s[0], 1);
+        assert_eq!(*s.last().unwrap(), 1 << 20);
+        assert_eq!(s.len(), 21);
+    }
+}

@@ -1,0 +1,185 @@
+//! Correctness properties of every workload: determinism, native-vs-MANA
+//! result equality, and full checkpoint/kill/restart fidelity.
+
+use mana_apps::{make_app_small, AppKind};
+use mana_core::{run_mana_app, run_native_app, run_restart_app, ManaConfig, ManaJobSpec};
+use mana_mpi::MpiProfile;
+use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::fs::{FsConfig, ParallelFs};
+use mana_sim::kernel::KernelModel;
+use mana_sim::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+fn fs() -> Arc<ParallelFs> {
+    ParallelFs::new(FsConfig {
+        node_bw: 2e9,
+        aggregate_bw: 100e9,
+        op_latency: SimDuration::millis(1),
+        write_straggler_max: 2.0,
+        read_straggler_max: 1.5,
+        seed: 3,
+    })
+}
+
+fn nranks_for(kind: AppKind) -> u32 {
+    match kind {
+        AppKind::Lulesh => 8, // 2x2x2 grid
+        _ => 6,
+    }
+}
+
+#[test]
+fn apps_run_deterministically_native() {
+    for kind in AppKind::all() {
+        let n = nranks_for(kind);
+        let run = || {
+            run_native_app(
+                ClusterSpec::cori(2),
+                n,
+                Placement::Block,
+                MpiProfile::cray_mpich(),
+                7,
+                make_app_small(kind, 8),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.checksums.len(), n as usize, "{}", kind.name());
+        assert_eq!(a.checksums, b.checksums, "{} nondeterministic", kind.name());
+        assert_eq!(a.wall, b.wall, "{} timing nondeterministic", kind.name());
+    }
+}
+
+#[test]
+fn apps_match_native_under_mana() {
+    let fs = fs();
+    for kind in AppKind::all() {
+        let n = nranks_for(kind);
+        let native = run_native_app(
+            ClusterSpec::cori(2),
+            n,
+            Placement::Block,
+            MpiProfile::cray_mpich(),
+            7,
+            make_app_small(kind, 8),
+        );
+        let spec = ManaJobSpec {
+            cluster: ClusterSpec::cori(2),
+            nranks: n,
+            placement: Placement::Block,
+            profile: MpiProfile::cray_mpich(),
+            cfg: ManaConfig {
+                ckpt_dir: format!("mm-{}", kind.name()),
+                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+            },
+            seed: 7,
+        };
+        let (mana, _) = run_mana_app(&fs, &spec, make_app_small(kind, 8));
+        assert_eq!(
+            native.checksums,
+            mana.checksums,
+            "{} diverged under MANA",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn apps_survive_checkpoint_restart_with_impl_switch() {
+    let fs = fs();
+    for kind in AppKind::all() {
+        let n = nranks_for(kind);
+        let dir = format!("cr-{}", kind.name());
+        // Uninterrupted reference run.
+        let clean_spec = ManaJobSpec {
+            cluster: ClusterSpec::cori(2),
+            nranks: n,
+            placement: Placement::Block,
+            profile: MpiProfile::cray_mpich(),
+            cfg: ManaConfig {
+                ckpt_dir: dir.clone(),
+                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+            },
+            seed: 7,
+        };
+        let (clean, _) = run_mana_app(&fs, &clean_spec, make_app_small(kind, 8));
+        assert!(!clean.killed, "{}", kind.name());
+
+        // Checkpoint mid-run, kill.
+        let kill_spec = ManaJobSpec {
+            cfg: ManaConfig {
+                ckpt_dir: dir.clone(),
+                ckpt_times: vec![SimTime(clean.wall.as_nanos() / 2)],
+                after_last_ckpt: mana_core::AfterCkpt::Kill,
+                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+            },
+            ..clean_spec.clone()
+        };
+        let (killed, hub) = run_mana_app(&fs, &kill_spec, make_app_small(kind, 8));
+        assert!(killed.killed, "{} not killed", kind.name());
+        assert_eq!(hub.ckpts().len(), 1, "{} ckpt missing", kind.name());
+
+        // Restart under Open MPI on the local cluster.
+        let restart_spec = ManaJobSpec {
+            cluster: ClusterSpec::local_cluster(2),
+            profile: MpiProfile::open_mpi(),
+            ..clean_spec.clone()
+        };
+        let (resumed, _, report) = run_restart_app(&fs, 1, &restart_spec, make_app_small(kind, 8));
+        assert!(!resumed.killed, "{}", kind.name());
+        assert_eq!(
+            clean.checksums,
+            resumed.checksums,
+            "{} diverged across restart",
+            kind.name()
+        );
+        assert_eq!(report.ranks.len(), n as usize);
+    }
+}
+
+#[test]
+fn osu_latency_reports_sane_numbers() {
+    let sink = mana_apps::series();
+    let wl = Arc::new(mana_apps::OsuLatency {
+        sizes: mana_apps::size_sweep(1 << 16),
+        iters: 20,
+        sink: sink.clone(),
+    });
+    run_native_app(
+        ClusterSpec::cori(1),
+        2,
+        Placement::Block,
+        MpiProfile::cray_mpich(),
+        5,
+        wl,
+    );
+    let series = sink.lock().clone();
+    assert_eq!(series.len(), 17);
+    // Latency grows with size; small-message latency is sub-10µs on shm.
+    assert!(series[0].1 < 10.0, "1B latency {}", series[0].1);
+    assert!(series.last().unwrap().1 > series[0].1);
+}
+
+#[test]
+fn osu_bandwidth_saturates() {
+    let sink = mana_apps::series();
+    let wl = Arc::new(mana_apps::OsuBandwidth {
+        sizes: vec![1 << 10, 1 << 16, 1 << 22],
+        window: 32,
+        windows: 4,
+        sink: sink.clone(),
+    });
+    run_native_app(
+        ClusterSpec::cori(1),
+        2,
+        Placement::Block,
+        MpiProfile::cray_mpich(),
+        5,
+        wl,
+    );
+    let series = sink.lock().clone();
+    assert_eq!(series.len(), 3);
+    // Bandwidth increases with message size toward the shm rate.
+    assert!(series[2].1 > series[0].1);
+    assert!(series[2].1 > 5_000.0, "4MB bw {} MB/s", series[2].1);
+}

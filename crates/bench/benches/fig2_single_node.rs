@@ -1,0 +1,45 @@
+//! Figure 2: single-node runtime overhead under MANA, per application and
+//! rank count, unpatched kernel. (Higher normalized performance is
+//! better; the paper reports ≥ ~98% everywhere, worst case GROMACS.)
+
+use mana_apps::AppKind;
+use mana_bench::{banner, lulesh_ranks, overhead_pair, Scale, Table};
+use mana_sim::cluster::ClusterSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 2",
+        "single-node runtime overhead (unpatched kernel)",
+        "overhead typically <2%, worst 2.1% (GROMACS @16 ranks)",
+    );
+    let mut table = Table::new(&["app", "ranks", "native", "mana", "normalized %"]);
+    let mut worst: (f64, String) = (100.0, String::new());
+    for app in AppKind::all() {
+        for nominal in scale.single_node_ranks(app) {
+            let nranks = if app == AppKind::Lulesh {
+                lulesh_ranks(nominal)
+            } else {
+                nominal
+            };
+            let cluster = ClusterSpec::cori(1);
+            let (native, mana, pct) = overhead_pair(app, &cluster, nranks, scale.steps(), 42);
+            if pct < worst.0 {
+                worst = (pct, format!("{} @{} ranks", app.name(), nranks));
+            }
+            table.row(vec![
+                app.name().to_string(),
+                nranks.to_string(),
+                format!("{native}"),
+                format!("{mana}"),
+                format!("{pct:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nworst case: {:.2}% normalized performance ({})",
+        worst.0, worst.1
+    );
+    println!("paper's worst case: 97.9% (GROMACS, 16 ranks)");
+}

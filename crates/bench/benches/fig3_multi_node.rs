@@ -1,0 +1,48 @@
+//! Figure 3: multi-node runtime overhead under MANA, per application and
+//! node count (paper: 32 ranks/node, 2–64 nodes, unpatched kernel;
+//! overhead typically <2%, worst 4.5% for GROMACS at 512 ranks).
+
+use mana_apps::AppKind;
+use mana_bench::{banner, lulesh_ranks, overhead_pair, Scale, Table};
+use mana_sim::cluster::ClusterSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 3",
+        "multi-node runtime overhead (unpatched kernel)",
+        "typically <2% overhead, worst 4.5% (GROMACS @512 ranks)",
+    );
+    let rpn = scale.ranks_per_node();
+    let mut table = Table::new(&["app", "nodes", "ranks", "native", "mana", "normalized %"]);
+    let mut worst: (f64, String) = (100.0, String::new());
+    for app in AppKind::all() {
+        for nodes in scale.node_counts() {
+            let nominal = nodes * rpn;
+            let nranks = if app == AppKind::Lulesh {
+                lulesh_ranks(nominal)
+            } else {
+                nominal
+            };
+            let cluster = ClusterSpec::cori(nodes);
+            let (native, mana, pct) = overhead_pair(app, &cluster, nranks, scale.steps(), 43);
+            if pct < worst.0 {
+                worst = (pct, format!("{} @{} ranks", app.name(), nranks));
+            }
+            table.row(vec![
+                app.name().to_string(),
+                nodes.to_string(),
+                nranks.to_string(),
+                format!("{native}"),
+                format!("{mana}"),
+                format!("{pct:.2}"),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nworst case: {:.2}% normalized performance ({})",
+        worst.0, worst.1
+    );
+    println!("paper's worst case: 95.5% (GROMACS, 512 ranks over 16 nodes)");
+}

@@ -1,0 +1,94 @@
+//! Figure 4: point-to-point bandwidth vs message size — native, MANA on
+//! an unpatched kernel, MANA on an FSGSBASE-patched kernel. The paper
+//! shows MANA losing bandwidth at small sizes (<1 MB) on the native
+//! kernel and the patched kernel closing the gap.
+
+use mana_bench::{banner, Table};
+use mana_core::{ManaConfig, ManaJobSpec};
+use mana_mpi::MpiProfile;
+use mana_sim::cluster::{ClusterSpec, Placement};
+use std::sync::Arc;
+
+fn run_bw(mode: &str) -> Vec<(u64, f64)> {
+    let sink = mana_apps::series();
+    let wl = Arc::new(mana_apps::OsuBandwidth {
+        sizes: mana_apps::size_sweep(4 << 20),
+        window: 64,
+        windows: 4,
+        sink: sink.clone(),
+    });
+    let cluster = match mode {
+        "native" | "mana-unpatched" => ClusterSpec::cori(1),
+        _ => ClusterSpec::cori(1).with_patched_kernel(),
+    };
+    if mode == "native" {
+        mana_core::run_native_app(
+            cluster,
+            2,
+            Placement::Block,
+            MpiProfile::cray_mpich(),
+            9,
+            wl,
+        );
+    } else {
+        let fs = mana_bench::lustre();
+        let spec = ManaJobSpec {
+            cluster: cluster.clone(),
+            nranks: 2,
+            placement: Placement::Block,
+            profile: MpiProfile::cray_mpich(),
+            cfg: ManaConfig::no_checkpoints(cluster.kernel.clone()),
+            seed: 9,
+        };
+        mana_core::run_mana_app(&fs, &spec, wl);
+    }
+    let v = sink.lock().clone();
+    v
+}
+
+fn main() {
+    banner(
+        "Figure 4",
+        "p2p bandwidth: native vs MANA (unpatched) vs MANA (patched kernel)",
+        "MANA degrades bandwidth for <1MB messages on the native kernel; the patched kernel recovers it",
+    );
+    let native = run_bw("native");
+    let unpatched = run_bw("mana-unpatched");
+    let patched = run_bw("mana-patched");
+    let mut table = Table::new(&[
+        "bytes",
+        "native MB/s",
+        "MANA unpatched",
+        "MANA patched",
+        "unpatched %",
+        "patched %",
+    ]);
+    for ((s, n), ((_, u), (_, p))) in native
+        .iter()
+        .zip(unpatched.iter().zip(patched.iter()))
+    {
+        table.row(vec![
+            s.to_string(),
+            format!("{n:.0}"),
+            format!("{u:.0}"),
+            format!("{p:.0}"),
+            format!("{:.1}", u / n * 100.0),
+            format!("{:.1}", p / n * 100.0),
+        ]);
+    }
+    table.print();
+    let small = |series: &[(u64, f64)]| {
+        series
+            .iter()
+            .filter(|(s, _)| *s <= 65536)
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            / series.iter().filter(|(s, _)| *s <= 65536).count() as f64
+    };
+    println!(
+        "\nsmall-message (≤64KB) mean bandwidth: native {:.0} MB/s, MANA unpatched {:.0} MB/s, MANA patched {:.0} MB/s",
+        small(&native),
+        small(&unpatched),
+        small(&patched)
+    );
+}

@@ -1,0 +1,91 @@
+//! Figure 5: OSU micro-benchmark latency under MANA vs native, two ranks
+//! on one node: (a) point-to-point, (b) MPI_Gather, (c) MPI_Allreduce.
+//! The paper's claim: the MANA curves closely track the native curves.
+
+use mana_apps::{CollBench, OsuCollLatency, OsuLatency};
+use mana_bench::{banner, Table};
+use mana_core::{ManaConfig, ManaJobSpec, Workload};
+use mana_mpi::MpiProfile;
+use mana_sim::cluster::{ClusterSpec, Placement};
+use std::sync::Arc;
+
+fn run_pair(make: impl Fn(mana_apps::Series) -> Arc<dyn Workload>) -> Vec<(u64, f64, f64)> {
+    let nat_sink = mana_apps::series();
+    mana_core::run_native_app(
+        ClusterSpec::cori(1),
+        2,
+        Placement::Block,
+        MpiProfile::cray_mpich(),
+        5,
+        make(nat_sink.clone()),
+    );
+    let mana_sink = mana_apps::series();
+    let fs = mana_bench::lustre();
+    let cluster = ClusterSpec::cori(1);
+    let spec = ManaJobSpec {
+        cluster: cluster.clone(),
+        nranks: 2,
+        placement: Placement::Block,
+        profile: MpiProfile::cray_mpich(),
+        cfg: ManaConfig::no_checkpoints(cluster.kernel.clone()),
+        seed: 5,
+    };
+    mana_core::run_mana_app(&fs, &spec, make(mana_sink.clone()));
+    let nat = nat_sink.lock().clone();
+    let man = mana_sink.lock().clone();
+    nat.into_iter()
+        .zip(man)
+        .map(|((s, a), (_, b))| (s, a, b))
+        .collect()
+}
+
+fn print_series(name: &str, rows: &[(u64, f64, f64)]) {
+    println!("--- {name}");
+    let mut table = Table::new(&["bytes", "native µs", "MANA µs", "delta %"]);
+    for (s, a, b) in rows {
+        table.row(vec![
+            s.to_string(),
+            format!("{a:.2}"),
+            format!("{b:.2}"),
+            format!("{:+.2}", (b - a) / a * 100.0),
+        ]);
+    }
+    table.print();
+    println!();
+}
+
+fn main() {
+    banner(
+        "Figure 5",
+        "OSU latency: (a) p2p, (b) gather, (c) allreduce — 2 ranks, 1 node",
+        "latency under MANA closely follows native",
+    );
+    let p2p = run_pair(|sink| {
+        Arc::new(OsuLatency {
+            sizes: mana_apps::size_sweep(4 << 20),
+            iters: 30,
+            sink,
+        })
+    });
+    print_series("(a) point-to-point latency", &p2p);
+
+    let gather = run_pair(|sink| {
+        Arc::new(OsuCollLatency {
+            which: CollBench::Gather,
+            sizes: mana_apps::size_sweep(1 << 20),
+            iters: 20,
+            sink,
+        })
+    });
+    print_series("(b) MPI_Gather latency", &gather);
+
+    let allreduce = run_pair(|sink| {
+        Arc::new(OsuCollLatency {
+            which: CollBench::Allreduce,
+            sizes: mana_apps::size_sweep(1 << 20),
+            iters: 20,
+            sink,
+        })
+    });
+    print_series("(c) MPI_Allreduce latency", &allreduce);
+}

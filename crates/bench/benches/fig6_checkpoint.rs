@@ -1,0 +1,55 @@
+//! Figure 6: checkpoint time and per-rank image sizes, per application
+//! and node count. The paper: checkpoint time is proportional to total
+//! memory, dominated by the parallel write and bottlenecked by the
+//! slowest (straggler) rank; per-rank images range from ~93 MB (GROMACS)
+//! to 2 GB (HPCG).
+
+use mana_apps::AppKind;
+use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre, Scale, Table};
+use mana_sim::cluster::ClusterSpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 6",
+        "checkpoint time and per-rank image size",
+        "write-dominated; 5.9 GB..4 TB total; per-rank sizes annotated (93 MB..2 GB)",
+    );
+    let rpn = scale.ranks_per_node();
+    let fs = lustre();
+    let mut table = Table::new(&[
+        "app",
+        "nodes",
+        "ranks",
+        "ckpt time",
+        "img/rank (MB)",
+        "paper img/rank (MB)",
+        "total (GB)",
+    ]);
+    for app in AppKind::all() {
+        for nodes in scale.node_counts() {
+            let nominal = nodes * rpn;
+            let nranks = if app == AppKind::Lulesh {
+                lulesh_ranks(nominal)
+            } else {
+                nominal
+            };
+            let cluster = ClusterSpec::cori(nodes);
+            let dir = format!("fig6-{}-{}", app.name(), nodes);
+            let (_, hub, _) = checkpoint_run(app, &cluster, nranks, 6, 44, &fs, &dir, true);
+            let report = &hub.ckpts()[0];
+            table.row(vec![
+                app.name().to_string(),
+                nodes.to_string(),
+                nranks.to_string(),
+                format!("{}", report.total()),
+                format!("{}", report.max_image_bytes() >> 20),
+                format!("{}", mana_apps::paper_image_mb(app, nodes)),
+                format!("{:.1}", report.total_image_bytes() as f64 / 1e9),
+            ]);
+        }
+    }
+    table.print();
+    println!("\npaper: 5.9 GB (64-rank GROMACS) .. 4 TB (2048-rank HPCG) total data;");
+    println!("       checkpoint time 1..40 s, growing with per-rank image size");
+}

@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks: real wall-clock costs of MANA's hot
+//! structures — the things the paper identifies as overhead sources.
+//!
+//! * `virtid_*`: virtual-handle hash-table translation (the paper's
+//!   second overhead source, §3.3);
+//! * `codec_*`: checkpoint-image encode/decode throughput;
+//! * `drain_buffer_*`: drained-message matching;
+//! * `event_queue`: discrete-event scheduler throughput (substrate);
+//! * `coll_cost`: collective cost-model evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mana_core::buffer::{BufferedMsg, DrainBuffer};
+use mana_core::image::CheckpointImage;
+use mana_core::virtid::{HandleClass, VirtTable};
+use mana_mpi::{SrcSpec, TagSpec};
+use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
+
+fn bench_virtid(c: &mut Criterion) {
+    let table = VirtTable::new(HandleClass::Comm);
+    let virts: Vec<u64> = (0..256).map(|i| table.intern(0x4400_0000 + i)).collect();
+    c.bench_function("virtid_translate", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % virts.len();
+            black_box(table.real_of(black_box(virts[i])))
+        })
+    });
+    c.bench_function("virtid_intern_remove", |b| {
+        b.iter(|| {
+            let v = table.intern(black_box(0x9900_0000));
+            table.remove(v);
+        })
+    });
+}
+
+fn sample_image(dense_kb: usize) -> CheckpointImage {
+    CheckpointImage {
+        rank: 0,
+        nranks: 8,
+        ckpt_id: 1,
+        app_name: "bench".into(),
+        seed: 1,
+        regions: vec![
+            RegionSnapshot {
+                start: 0x1000,
+                len: (dense_kb * 1024) as u64,
+                half: Half::Upper,
+                kind: RegionKind::Mmap,
+                name: "data".into(),
+                content: SnapshotContent::Dense(vec![7u8; dense_kb * 1024]),
+            },
+            RegionSnapshot {
+                start: 0x100_0000,
+                len: 64 << 20,
+                half: Half::Upper,
+                kind: RegionKind::Text,
+                name: "bulk".into(),
+                content: SnapshotContent::Pattern { seed: 3 },
+            },
+        ],
+        upper_cursor: 0,
+        comms: vec![],
+        groups: vec![],
+        dtypes: vec![],
+        log: vec![],
+        counters: Default::default(),
+        buffered: vec![],
+        pending: vec![],
+        ops_done: 0,
+        allocs: vec![],
+        slots: vec![],
+        slot_seq: 0,
+        slot_seq_at_step: 0,
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let img = sample_image(256);
+    c.bench_function("codec_encode_256k", |b| b.iter(|| black_box(img.encode())));
+    let bytes = img.encode();
+    c.bench_function("codec_decode_256k", |b| {
+        b.iter(|| black_box(CheckpointImage::decode(black_box(&bytes)).unwrap()))
+    });
+}
+
+fn bench_drain_buffer(c: &mut Criterion) {
+    c.bench_function("drain_buffer_match_100", |b| {
+        b.iter_batched(
+            || {
+                let mut buf = DrainBuffer::new();
+                for i in 0..100u32 {
+                    buf.push(BufferedMsg {
+                        comm_virt: 0x1000_0000,
+                        src_local: i % 8,
+                        src_global: i % 8,
+                        tag: (i % 5) as i32,
+                        data: vec![0u8; 64],
+                        modeled: 64,
+                    });
+                }
+                buf
+            },
+            |mut buf| {
+                while let Some(m) =
+                    buf.take_match(0x1000_0000, SrcSpec::Any, TagSpec::Any)
+                {
+                    black_box(m);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_10k_advances", |b| {
+        b.iter(|| {
+            let sim = mana_sim::sched::Sim::new(mana_sim::sched::SimConfig::default());
+            sim.spawn("t", false, |t| {
+                for _ in 0..10_000 {
+                    t.advance(mana_sim::time::SimDuration::nanos(10));
+                }
+            });
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1 << 20];
+    c.bench_function("checksum_1mb", |b| {
+        b.iter(|| black_box(mana_sim::checksum::checksum_bytes(black_box(&data))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_virtid,
+    bench_codec,
+    bench_drain_buffer,
+    bench_event_queue,
+    bench_checksum
+);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Send/receive bookmark counters and the drained-message buffer
+//! (paper §2.3).
+//!
+//! The wrapper counts every application-level point-to-point message per
+//! (peer, direction). At checkpoint time the helpers run an all-to-all
+//! bookmark exchange (via the coordinator); each rank then pumps the
+//! network until, for every peer, `sent_by_peer == received_by_me +
+//! buffered_by_me`. The captured messages travel inside the checkpoint
+//! image and satisfy receives first after restart (and after resume, for
+//! the rank that was blocked in a receive when the checkpoint hit).
+
+use mana_mpi::types::{SrcSpec, TagSpec};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Cumulative per-peer message counts for one rank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PairCounters {
+    /// peer (global rank) → messages sent to that peer.
+    pub sent: BTreeMap<u32, u64>,
+    /// peer (global rank) → messages received from that peer.
+    pub recvd: BTreeMap<u32, u64>,
+}
+
+impl PairCounters {
+    /// Count an outgoing message.
+    pub fn on_send(&mut self, dst: u32) {
+        *self.sent.entry(dst).or_insert(0) += 1;
+    }
+
+    /// Count a delivered-to-application message.
+    pub fn on_recv(&mut self, src: u32) {
+        *self.recvd.entry(src).or_insert(0) += 1;
+    }
+
+    /// Bookmark payload: (peer, cumulative sent) pairs.
+    pub fn sent_vec(&self) -> Vec<(u32, u64)> {
+        self.sent.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+/// One drained in-flight message, keyed the way receives match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferedMsg {
+    /// Virtual communicator handle it arrived on.
+    pub comm_virt: u64,
+    /// Sender, comm-local.
+    pub src_local: u32,
+    /// Sender, global (for counter bookkeeping).
+    pub src_global: u32,
+    /// Tag.
+    pub tag: i32,
+    /// Payload.
+    pub data: Vec<u8>,
+    /// Modelled size.
+    pub modeled: u64,
+}
+
+/// FIFO buffer of drained messages.
+#[derive(Clone, Debug, Default)]
+pub struct DrainBuffer {
+    msgs: VecDeque<BufferedMsg>,
+}
+
+impl DrainBuffer {
+    /// Empty buffer.
+    pub fn new() -> DrainBuffer {
+        DrainBuffer::default()
+    }
+
+    /// Append a drained message (drain order = arrival order, preserving
+    /// per-pair FIFO).
+    pub fn push(&mut self, m: BufferedMsg) {
+        self.msgs.push_back(m);
+    }
+
+    /// Take the oldest message matching `(comm, src, tag)` (comm-local
+    /// source spec, as receives are issued).
+    pub fn take_match(&mut self, comm_virt: u64, src: SrcSpec, tag: TagSpec) -> Option<BufferedMsg> {
+        let idx = self.msgs.iter().position(|m| {
+            m.comm_virt == comm_virt && src.matches(m.src_local) && tag.matches(m.tag)
+        })?;
+        self.msgs.remove(idx)
+    }
+
+    /// Peek the oldest match without removing (probe path).
+    pub fn peek_match(&self, comm_virt: u64, src: SrcSpec, tag: TagSpec) -> Option<&BufferedMsg> {
+        self.msgs
+            .iter()
+            .find(|m| m.comm_virt == comm_virt && src.matches(m.src_local) && tag.matches(m.tag))
+    }
+
+    /// Buffered count from `src_global` (for drain accounting).
+    pub fn count_from(&self, src_global: u32) -> u64 {
+        self.msgs.iter().filter(|m| m.src_global == src_global).count() as u64
+    }
+
+    /// All messages (image serialization).
+    pub fn snapshot(&self) -> Vec<BufferedMsg> {
+        self.msgs.iter().cloned().collect()
+    }
+
+    /// Restore from an image.
+    pub fn load(&mut self, msgs: Vec<BufferedMsg>) {
+        self.msgs = msgs.into();
+    }
+
+    /// Number buffered.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(comm: u64, src: u32, tag: i32, byte: u8) -> BufferedMsg {
+        BufferedMsg {
+            comm_virt: comm,
+            src_local: src,
+            src_global: src + 100,
+            tag,
+            data: vec![byte],
+            modeled: 1,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = PairCounters::default();
+        c.on_send(3);
+        c.on_send(3);
+        c.on_send(5);
+        c.on_recv(2);
+        assert_eq!(c.sent_vec(), vec![(3, 2), (5, 1)]);
+        assert_eq!(c.recvd.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn fifo_matching() {
+        let mut b = DrainBuffer::new();
+        b.push(msg(1, 0, 7, 10));
+        b.push(msg(1, 0, 7, 11));
+        b.push(msg(1, 2, 7, 12));
+        let m = b
+            .take_match(1, SrcSpec::Rank(0), TagSpec::Tag(7))
+            .expect("first match");
+        assert_eq!(m.data, vec![10]);
+        let m = b.take_match(1, SrcSpec::Any, TagSpec::Any).expect("next");
+        assert_eq!(m.data, vec![11]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn comm_and_tag_filters() {
+        let mut b = DrainBuffer::new();
+        b.push(msg(1, 0, 7, 1));
+        b.push(msg(2, 0, 9, 2));
+        assert!(b.take_match(2, SrcSpec::Any, TagSpec::Tag(7)).is_none());
+        assert!(b.peek_match(2, SrcSpec::Any, TagSpec::Tag(9)).is_some());
+        assert_eq!(b.count_from(100), 2);
+        let snap = b.snapshot();
+        let mut b2 = DrainBuffer::new();
+        b2.load(snap);
+        assert_eq!(b2.len(), 2);
+    }
+}

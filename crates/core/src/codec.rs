@@ -1,0 +1,235 @@
+//! Minimal binary codec for checkpoint images.
+//!
+//! Hand-rolled little-endian encoding with explicit versioning: a
+//! checkpoint image is a long-lived artifact (the whole point of MANA is
+//! that it outlives libraries and clusters), so its layout is spelled out
+//! byte-by-byte rather than delegated to a serialization framework.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended early.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// Magic number mismatch (not a MANA image).
+    BadMagic(u64),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// An enum discriminant was out of range.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        tag: u32,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated { what } => write!(f, "truncated image while decoding {what}"),
+            CodecError::BadMagic(m) => write!(f, "bad image magic {m:#x}"),
+            CodecError::BadVersion(v) => write!(f, "unsupported image version {v}"),
+            CodecError::BadTag { what, tag } => write!(f, "invalid {what} discriminant {tag}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encoder over a growable buffer.
+#[derive(Default)]
+pub struct Enc {
+    buf: BytesMut,
+}
+
+impl Enc {
+    /// Fresh encoder.
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Write an `i32`.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.put_i32_le(v);
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn boolean(&mut self, v: bool) {
+        self.buf.put_u8(u8::from(v));
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.put_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write a length prefix for a sequence.
+    pub fn seq(&mut self, len: usize) {
+        self.u64(len as u64);
+    }
+}
+
+/// Decoder over a byte slice.
+pub struct Dec {
+    buf: Bytes,
+}
+
+impl Dec {
+    /// Wrap `data` for decoding.
+    pub fn new(data: &[u8]) -> Dec {
+        Dec {
+            buf: Bytes::copy_from_slice(data),
+        }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize, what: &'static str) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            Err(CodecError::Truncated { what })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read an `i32`.
+    pub fn i32(&mut self, what: &'static str) -> Result<i32, CodecError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_i32_le())
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read a bool.
+    pub fn boolean(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        Ok(self.u8(what)? != 0)
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
+        let n = self.u64(what)? as usize;
+        self.need(n, what)?;
+        let mut v = vec![0u8; n];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| CodecError::Truncated { what })
+    }
+
+    /// Read a sequence length.
+    pub fn seq(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        Ok(self.u64(what)? as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xDEAD_BEEF);
+        e.i32(-42);
+        e.u64(u64::MAX - 1);
+        e.boolean(true);
+        e.bytes(b"hello");
+        e.string("wörld");
+        let data = e.finish();
+        let mut d = Dec::new(&data);
+        assert_eq!(d.u8("a").unwrap(), 7);
+        assert_eq!(d.u32("b").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.i32("c").unwrap(), -42);
+        assert_eq!(d.u64("d").unwrap(), u64::MAX - 1);
+        assert!(d.boolean("e").unwrap());
+        assert_eq!(d.bytes("f").unwrap(), b"hello");
+        assert_eq!(d.string("g").unwrap(), "wörld");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Enc::new();
+        e.u64(5);
+        let mut data = e.finish();
+        data.truncate(3);
+        let mut d = Dec::new(&data);
+        assert_eq!(
+            d.u64("x"),
+            Err(CodecError::Truncated { what: "x" })
+        );
+    }
+
+    #[test]
+    fn bytes_length_checked() {
+        let mut e = Enc::new();
+        e.u64(1000); // claims 1000 bytes, provides none
+        let data = e.finish();
+        let mut d = Dec::new(&data);
+        assert!(matches!(d.bytes("p"), Err(CodecError::Truncated { .. })));
+    }
+}

@@ -1,0 +1,92 @@
+//! MANA configuration.
+
+use mana_sim::kernel::KernelModel;
+use mana_sim::time::{SimDuration, SimTime};
+
+/// What the job should do once a checkpoint completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AfterCkpt {
+    /// Resume execution (fault-tolerance checkpointing).
+    Continue,
+    /// Terminate the job (used by migration/restart experiments: the run is
+    /// resumed later — possibly on a different cluster, MPI implementation
+    /// or topology — by the restart engine).
+    Kill,
+}
+
+/// Configuration of the MANA layer for one job incarnation.
+#[derive(Clone, Debug)]
+pub struct ManaConfig {
+    /// Kernel model of the nodes (FS-register switch costs; §3.3).
+    pub kernel: KernelModel,
+    /// Cost of one virtual-handle table lookup (hash + lock — the paper's
+    /// second, smaller overhead source).
+    pub virt_cost: SimDuration,
+    /// Directory prefix for checkpoint images on the shared filesystem.
+    pub ckpt_dir: String,
+    /// Virtual times at which the coordinator initiates checkpoints.
+    pub ckpt_times: Vec<SimTime>,
+    /// Behaviour after the final scheduled checkpoint completes.
+    pub after_last_ckpt: AfterCkpt,
+    /// Coordinator CPU cost to send one control message (TCP socket +
+    /// framing). The coordinator serializes over all ranks, which is what
+    /// makes the paper's "communication overhead" grow with rank count
+    /// (Figure 8).
+    pub ctrl_send_cpu: SimDuration,
+    /// Coordinator CPU cost to process one received control message
+    /// (socket polling over thousands of descriptors, small-message
+    /// metadata — §3.4).
+    pub ctrl_recv_cpu: SimDuration,
+}
+
+impl ManaConfig {
+    /// Configuration with no scheduled checkpoints (pure runtime-overhead
+    /// measurement).
+    pub fn no_checkpoints(kernel: KernelModel) -> ManaConfig {
+        ManaConfig {
+            kernel,
+            virt_cost: SimDuration::nanos(25),
+            ckpt_dir: "ckpt".to_string(),
+            ckpt_times: Vec::new(),
+            after_last_ckpt: AfterCkpt::Continue,
+            ctrl_send_cpu: SimDuration::micros(30),
+            ctrl_recv_cpu: SimDuration::micros(80),
+        }
+    }
+
+    /// Checkpoint once at `at`, then continue.
+    pub fn checkpoint_at(kernel: KernelModel, at: SimTime) -> ManaConfig {
+        ManaConfig {
+            ckpt_times: vec![at],
+            ..ManaConfig::no_checkpoints(kernel)
+        }
+    }
+
+    /// Checkpoint once at `at`, then kill the job (migration workflows).
+    pub fn checkpoint_and_kill(kernel: KernelModel, at: SimTime) -> ManaConfig {
+        ManaConfig {
+            ckpt_times: vec![at],
+            after_last_ckpt: AfterCkpt::Kill,
+            ..ManaConfig::no_checkpoints(kernel)
+        }
+    }
+
+    /// Image path for `rank` under checkpoint `ckpt_id`.
+    pub fn image_path(&self, ckpt_id: u64, rank: u32) -> String {
+        format!("{}/ckpt_{ckpt_id}/rank_{rank}.mana", self.ckpt_dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let c = ManaConfig::no_checkpoints(KernelModel::unpatched());
+        assert!(c.ckpt_times.is_empty());
+        let c = ManaConfig::checkpoint_and_kill(KernelModel::patched(), SimTime(5));
+        assert_eq!(c.after_last_ckpt, AfterCkpt::Kill);
+        assert_eq!(c.image_path(2, 7), "ckpt/ckpt_2/rank_7.mana");
+    }
+}

@@ -1,0 +1,298 @@
+//! The checkpoint coordinator (paper §2.5 Algorithm 2, coordinator side;
+//! §2.7).
+//!
+//! A single stateless daemon modelled on the DMTCP coordinator: it speaks
+//! small TCP messages to every rank's helper thread and drives the
+//! two-phase agreement:
+//!
+//! ```text
+//! send intend-to-ckpt to all ranks
+//! receive responses from each rank
+//! while unsafe (some exit-phase-2, or a phase-1 instance fully assembled):
+//!     send extra-iteration to all ranks; receive responses
+//! send do-ckpt; mediate the bookmark exchange; collect ckpt-done
+//! send resume (or kill)
+//! ```
+//!
+//! The "fully assembled phase-1 instance" condition is the safety
+//! refinement discussed in the `cell` module: an in-phase-1 rank is only a
+//! safe checkpoint state while its trivial barrier still misses a member
+//! (who is gated and will stay gated), because then nobody can slip into
+//! the real collective during the checkpoint.
+
+use crate::cell::CollInstance;
+use crate::config::{AfterCkpt, ManaConfig};
+use crate::ctrl::{ctrl_msg_bytes, CtrlMsg, RankReply};
+use crate::stats::{CkptReport, RankCkptStats, StatsHub};
+use mana_net::transport::{EndpointId, Network};
+use mana_sim::fs::ParallelFs;
+use mana_sim::sched::SimThread;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Everything the coordinator daemon needs.
+pub struct CoordCtx {
+    /// Control plane.
+    pub ctrl: Arc<Network<CtrlMsg>>,
+    /// Coordinator endpoint.
+    pub my_ep: EndpointId,
+    /// Helper endpoints, indexed by rank.
+    pub rank_eps: Vec<EndpointId>,
+    /// Configuration (checkpoint schedule, costs).
+    pub cfg: ManaConfig,
+    /// Measurement sink.
+    pub hub: StatsHub,
+    /// Filesystem (epoch bumping for straggler decorrelation).
+    pub fs: Arc<ParallelFs>,
+}
+
+fn broadcast(t: &SimThread, cx: &CoordCtx, mk: impl Fn() -> CtrlMsg) {
+    for ep in &cx.rank_eps {
+        // Per-destination socket cost: the coordinator serializes over all
+        // ranks (Figure 8's growing communication overhead).
+        t.advance(cx.cfg.ctrl_send_cpu);
+        let msg = mk();
+        let bytes = ctrl_msg_bytes(&msg);
+        cx.ctrl.send(cx.my_ep, *ep, bytes, msg);
+    }
+}
+
+fn recv_ctrl(t: &SimThread, cx: &CoordCtx) -> CtrlMsg {
+    loop {
+        if let Some(m) = cx.ctrl.poll(cx.my_ep) {
+            t.advance(cx.cfg.ctrl_recv_cpu);
+            return m;
+        }
+        t.block();
+    }
+}
+
+/// Coordinator daemon: sleeps until each scheduled checkpoint time, runs
+/// the protocol, then returns after the last checkpoint.
+pub fn run_coordinator(t: SimThread, cx: CoordCtx) {
+    cx.ctrl.add_waiter(cx.my_ep, t.id());
+    let times = cx.cfg.ckpt_times.clone();
+    for (i, at) in times.iter().enumerate() {
+        let now = t.now();
+        if *at > now {
+            t.advance(*at - now);
+        }
+        let kill = i + 1 == times.len() && cx.cfg.after_last_ckpt == AfterCkpt::Kill;
+        run_checkpoint(&t, &cx, i as u64 + 1, kill);
+    }
+}
+
+/// One full checkpoint round. Public so tests and the runner can trigger
+/// checkpoints outside the scheduled list.
+pub fn run_checkpoint(t: &SimThread, cx: &CoordCtx, ckpt_id: u64, kill: bool) {
+    let nranks = cx.rank_eps.len();
+    let t_begin = t.now();
+    cx.fs.bump_epoch();
+
+    broadcast(t, cx, || CtrlMsg::IntendCkpt { ckpt_id });
+    let mut extra_iterations = 0u32;
+    loop {
+        // Collect one State reply per rank. Phase-2 ranks reply only after
+        // finishing their collective (Algorithm 2, lines 21–27).
+        let mut replies: Vec<(RankReply, Option<CollInstance>, Vec<(u64, u64)>)> =
+            Vec::with_capacity(nranks);
+        let mut seen = vec![false; nranks];
+        while replies.len() < nranks {
+            match recv_ctrl(t, cx) {
+                CtrlMsg::State {
+                    rank,
+                    reply,
+                    instance,
+                    progress,
+                } => {
+                    assert!(
+                        !std::mem::replace(&mut seen[rank as usize], true),
+                        "duplicate state reply from rank {rank}"
+                    );
+                    replies.push((reply, instance, progress));
+                }
+                other => panic!("coordinator: expected State, got {other:?}"),
+            }
+        }
+        if checkpoint_safe(&replies) {
+            break;
+        }
+        extra_iterations += 1;
+        broadcast(t, cx, || CtrlMsg::ExtraIteration { ckpt_id });
+    }
+    let t_do_ckpt = t.now();
+    broadcast(t, cx, || CtrlMsg::DoCkpt { ckpt_id });
+
+    // Mediate the bookmark exchange: gather per-pair sent counts, then
+    // tell each rank what it should expect from every peer.
+    let mut expected: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
+    for _ in 0..nranks {
+        match recv_ctrl(t, cx) {
+            CtrlMsg::Bookmark { rank, sent_to } => {
+                for (peer, cnt) in sent_to {
+                    expected.entry(peer).or_default().push((rank, cnt));
+                }
+            }
+            other => panic!("coordinator: expected Bookmark, got {other:?}"),
+        }
+    }
+    for (r, ep) in cx.rank_eps.iter().enumerate() {
+        let mut from = expected.remove(&(r as u32)).unwrap_or_default();
+        from.sort_unstable();
+        t.advance(cx.cfg.ctrl_send_cpu);
+        let msg = CtrlMsg::ExpectedIn { from };
+        let bytes = ctrl_msg_bytes(&msg);
+        cx.ctrl.send(cx.my_ep, *ep, bytes, msg);
+    }
+
+    // Collect completions.
+    let mut stats: Vec<RankCkptStats> = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        match recv_ctrl(t, cx) {
+            CtrlMsg::CkptDone { stats: s, .. } => stats.push(s),
+            other => panic!("coordinator: expected CkptDone, got {other:?}"),
+        }
+    }
+    stats.sort_by_key(|s| s.rank);
+    let t_end = t.now();
+    broadcast(t, cx, || CtrlMsg::Resume { ckpt_id, kill });
+
+    cx.hub.push_ckpt(CkptReport {
+        ckpt_id,
+        t_begin,
+        t_do_ckpt,
+        t_end,
+        extra_iterations,
+        ranks: stats,
+    });
+}
+
+/// The do-ckpt safety rule (see module docs).
+///
+/// An in-phase-1 instance `(c, w, size)` is safe only if at least one
+/// member provably has not entered its trivial barrier. Members split
+/// into in-barrier reporters (`k`), ranks whose completed count on `c`
+/// reaches `w` (already past the instance — so its barrier completed),
+/// and blockers (completed < w, not in this barrier — gated or will gate
+/// on arrival, so the barrier cannot complete during the checkpoint).
+/// Safe ⟺ `k + passed < size`. Without the `passed` term a *stale*
+/// in-phase-1 report whose peers already exited the collective would be
+/// trusted, and the reporter could slip into phase 2 mid-checkpoint — a
+/// race our model checker found (Challenge I; Lemma 1's bookkeeping).
+fn checkpoint_safe(replies: &[(RankReply, Option<CollInstance>, Vec<(u64, u64)>)]) -> bool {
+    if replies.iter().any(|(r, _, _)| *r == RankReply::ExitPhase2) {
+        return false;
+    }
+    // Count in-phase-1 members per collective instance.
+    let mut per_instance: BTreeMap<(u64, u64), (u32, u32)> = BTreeMap::new();
+    for (reply, inst, _) in replies {
+        if *reply == RankReply::InPhase1 {
+            let inst = inst.expect("in-phase-1 reply must carry its instance");
+            let e = per_instance
+                .entry((inst.comm_virt, inst.wseq))
+                .or_insert((0, inst.size));
+            e.0 += 1;
+        }
+    }
+    per_instance.iter().all(|((comm, wseq), (k, size))| {
+        let passed = replies
+            .iter()
+            .filter(|(_, _, progress)| {
+                progress
+                    .iter()
+                    .any(|(c, completed)| c == comm && completed >= wseq)
+            })
+            .count() as u32;
+        k + passed < *size
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Reply = (RankReply, Option<CollInstance>, Vec<(u64, u64)>);
+
+    fn inst(comm: u64, wseq: u64, size: u32) -> Option<CollInstance> {
+        Some(CollInstance {
+            comm_virt: comm,
+            wseq,
+            size,
+        })
+    }
+
+    fn ready(progress: Vec<(u64, u64)>) -> Reply {
+        (RankReply::Ready, None, progress)
+    }
+
+    fn in_phase1(comm: u64, wseq: u64, size: u32) -> Reply {
+        // An in-barrier member's own completed count on the comm is wseq-1.
+        (
+            RankReply::InPhase1,
+            inst(comm, wseq, size),
+            vec![(comm, wseq - 1)],
+        )
+    }
+
+    #[test]
+    fn all_ready_is_safe() {
+        let replies = vec![ready(vec![]); 4];
+        assert!(checkpoint_safe(&replies));
+    }
+
+    #[test]
+    fn exit_phase2_forces_iteration() {
+        let replies = vec![
+            ready(vec![]),
+            (RankReply::ExitPhase2, None, vec![(1, 5)]),
+        ];
+        assert!(!checkpoint_safe(&replies));
+    }
+
+    #[test]
+    fn partial_phase1_instance_is_safe() {
+        // 3 of 4 members in phase 1, one member gated before the instance
+        // (progress 4 < wseq 5): barrier cannot complete; safe.
+        let replies = vec![
+            in_phase1(1, 5, 4),
+            in_phase1(1, 5, 4),
+            in_phase1(1, 5, 4),
+            ready(vec![(1, 4)]),
+        ];
+        assert!(checkpoint_safe(&replies));
+    }
+
+    #[test]
+    fn full_phase1_instance_is_unsafe() {
+        let replies = vec![in_phase1(1, 5, 2), in_phase1(1, 5, 2)];
+        assert!(!checkpoint_safe(&replies));
+    }
+
+    #[test]
+    fn stale_phase1_with_passed_member_is_unsafe() {
+        // The model-checker counterexample: one member reports in-phase-1
+        // but the other already *passed* the instance (completed count ==
+        // wseq). The barrier completed; the reporter can slip into phase 2.
+        let replies = vec![in_phase1(1, 5, 2), ready(vec![(1, 5)])];
+        assert!(!checkpoint_safe(&replies));
+    }
+
+    #[test]
+    fn distinct_instances_judged_separately() {
+        // Challenge III: two concurrent collectives on different comms.
+        let replies = vec![
+            in_phase1(1, 5, 2),
+            in_phase1(2, 9, 2),
+            ready(vec![(1, 4), (2, 8)]),
+            ready(vec![(1, 4), (2, 8)]),
+        ];
+        assert!(checkpoint_safe(&replies));
+        let replies = vec![
+            in_phase1(1, 5, 2),
+            in_phase1(1, 5, 2),
+            in_phase1(2, 9, 2),
+            ready(vec![(2, 8)]),
+        ];
+        assert!(!checkpoint_safe(&replies));
+    }
+}

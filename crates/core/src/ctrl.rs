@@ -1,0 +1,118 @@
+//! Control-plane protocol between the checkpoint coordinator and the
+//! per-rank helper threads.
+//!
+//! This is the DMTCP-style coordinator channel: plain TCP, entirely
+//! separate from the MPI data plane (the coordinator works no matter which
+//! fabric MPI uses — part of the network-agnostic story). Message names
+//! follow Algorithm 2 of the paper.
+
+use crate::stats::RankCkptStats;
+
+/// Rank states reported to the coordinator (Algorithm 2, line 2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RankReply {
+    /// Not inside a collective wrapper; will gate before entering one.
+    Ready,
+    /// Inside phase 1 (trivial barrier) or stopped right after it; will not
+    /// enter the real collective.
+    InPhase1,
+    /// Was inside phase 2; has now finished the collective call. The
+    /// coordinator must run an extra iteration.
+    ExitPhase2,
+}
+
+/// Control-plane messages.
+#[derive(Clone, Debug)]
+pub enum CtrlMsg {
+    /// Coordinator → rank: a checkpoint is intended; report your state and
+    /// stop before any new collective call.
+    IntendCkpt {
+        /// Checkpoint id.
+        ckpt_id: u64,
+    },
+    /// Coordinator → rank: someone reported exit-phase-2; report again.
+    ExtraIteration {
+        /// Checkpoint id.
+        ckpt_id: u64,
+    },
+    /// Rank → coordinator: state reply to intend/extra-iteration.
+    State {
+        /// Reporting rank.
+        rank: u32,
+        /// Its state.
+        reply: RankReply,
+        /// For in-phase-1 replies: the collective instance, so the
+        /// coordinator can check whether the instance's trivial barrier
+        /// could still complete (safety rule; see `cell` docs).
+        instance: Option<crate::cell::CollInstance>,
+        /// Per-communicator completed wrapped-collective counts at reply
+        /// time: (virtual comm id, completed count). Lets the coordinator
+        /// detect that a reported phase-1 instance has already been passed
+        /// by another member (the model checker found the stale-in-phase-1
+        /// race the paper's Challenge I describes; this is Lemma 1's
+        /// bookkeeping made explicit).
+        progress: Vec<(u64, u64)>,
+    },
+    /// Coordinator → rank: all ranks are safe; checkpoint now.
+    DoCkpt {
+        /// Checkpoint id.
+        ckpt_id: u64,
+    },
+    /// Rank → coordinator: bookmark — how many messages this rank has sent
+    /// to each peer (global rank), cumulatively.
+    Bookmark {
+        /// Reporting rank.
+        rank: u32,
+        /// (peer, cumulative sent count) pairs.
+        sent_to: Vec<(u32, u64)>,
+    },
+    /// Coordinator → rank: cumulative counts each peer has sent *to you*
+    /// (the other half of the bookmark exchange).
+    ExpectedIn {
+        /// (peer, cumulative sent-to-you count) pairs.
+        from: Vec<(u32, u64)>,
+    },
+    /// Rank → coordinator: local checkpoint written.
+    CkptDone {
+        /// Reporting rank.
+        rank: u32,
+        /// Local measurements.
+        stats: RankCkptStats,
+    },
+    /// Coordinator → rank: everyone finished; resume (or die, per config).
+    Resume {
+        /// Checkpoint id.
+        ckpt_id: u64,
+        /// If true the job terminates instead of resuming (migration
+        /// workflows restart it elsewhere from the images).
+        kill: bool,
+    },
+}
+
+/// Modelled wire size of a control message (small TCP frames; their
+/// metadata cost is what makes the coordinator's communication overhead
+/// grow with rank count — §3.4, Figure 8).
+pub fn ctrl_msg_bytes(m: &CtrlMsg) -> u64 {
+    match m {
+        CtrlMsg::Bookmark { sent_to, .. } => 24 + 12 * sent_to.len() as u64,
+        CtrlMsg::ExpectedIn { from } => 24 + 12 * from.len() as u64,
+        CtrlMsg::CkptDone { .. } => 96,
+        _ => 48,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        let small = ctrl_msg_bytes(&CtrlMsg::IntendCkpt { ckpt_id: 1 });
+        let book = ctrl_msg_bytes(&CtrlMsg::Bookmark {
+            rank: 0,
+            sent_to: vec![(1, 5); 100],
+        });
+        assert!(book > small);
+        assert_eq!(small, 48);
+    }
+}

@@ -1,0 +1,755 @@
+//! The application environment: managed upper-half memory, the operation
+//! cursor, and the workload programming model.
+//!
+//! # The restore contract (substitute for stack/register restore)
+//!
+//! Real MANA restores the application's stack and registers, so execution
+//! resumes mid-call. A simulator cannot serialize Rust control flow, so
+//! workloads follow a contract that makes *re-entry + fast-forward*
+//! equivalent:
+//!
+//! 1. All state carried across environment operations lives in managed
+//!    upper-half arrays ([`AppEnv::alloc_f64`] etc.), never in Rust locals.
+//! 2. Within one step (one `begin_step` to the next), the *sequence* of
+//!    environment operations is a pure function of (rank, nranks, step
+//!    config, the step number) — not of floating data.
+//! 3. Each operation is atomic with respect to checkpoints; the cursor
+//!    (`ops_done`) counts completed operations, and on restart the
+//!    environment skips exactly that many operations of the re-entered
+//!    step. A skipped receive's payload is already in the restored arrays;
+//!    a skipped send's payload already left with the drained network.
+//!
+//! Under these rules a workload contains no checkpoint logic whatsoever —
+//! the paper's transparency property — and a restarted run is
+//! bit-identical to an uninterrupted one (the integration tests assert
+//! exactly this via state checksums).
+
+use crate::shared::{RankShared, SlotState};
+use mana_mpi::{
+    BaseType, CommHandle, Mpi, Msg, ReduceOp, ReqHandle, SrcSpec, Status, TagSpec,
+};
+use mana_sim::checksum::Checksum;
+use mana_sim::memory::{AddressSpace, Backing, DenseBuf, Half, RegionKind};
+use mana_sim::pod::Pod;
+use mana_sim::sched::SimThread;
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Handle to a managed typed array in upper-half memory.
+pub struct Arr<T: Pod> {
+    /// Base address.
+    pub addr: u64,
+    /// Element count.
+    pub len: usize,
+    _pd: PhantomData<T>,
+}
+
+impl<T: Pod> Clone for Arr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for Arr<T> {}
+
+impl<T: Pod> Arr<T> {
+    fn byte_len(&self) -> usize {
+        self.len * std::mem::size_of::<T>()
+    }
+}
+
+/// Identifier of a nonblocking-request slot (deterministic across resume).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlotId(pub u64);
+
+/// Read-only/mutable access to managed memory inside a `work` closure.
+pub struct MemView<'a> {
+    aspace: &'a AddressSpace,
+}
+
+impl MemView<'_> {
+    /// Immutable typed view.
+    pub fn with<T: Pod, R>(&self, arr: Arr<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        self.aspace
+            .with_slice(arr.addr, arr.len, f)
+            .expect("managed array access")
+    }
+
+    /// Mutable typed view.
+    pub fn with_mut<T: Pod, R>(&self, arr: Arr<T>, f: impl FnOnce(&mut [T]) -> R) -> R {
+        self.aspace
+            .with_slice_mut(arr.addr, arr.len, f)
+            .expect("managed array access")
+    }
+
+    /// Two disjoint mutable views.
+    pub fn with2_mut<A: Pod, B: Pod, R>(
+        &self,
+        a: Arr<A>,
+        b: Arr<B>,
+        f: impl FnOnce(&mut [A], &mut [B]) -> R,
+    ) -> R {
+        self.aspace
+            .with2_mut((a.addr, a.len), (b.addr, b.len), f)
+            .expect("managed array access")
+    }
+
+    /// Three disjoint mutable views.
+    pub fn with3_mut<A: Pod, B: Pod, C: Pod, R>(
+        &self,
+        a: Arr<A>,
+        b: Arr<B>,
+        c: Arr<C>,
+        f: impl FnOnce(&mut [A], &mut [B], &mut [C]) -> R,
+    ) -> R {
+        self.aspace
+            .with3_mut((a.addr, a.len), (b.addr, b.len), (c.addr, c.len), f)
+            .expect("managed array access")
+    }
+}
+
+/// A workload: an MPI application written against the environment.
+/// Contains no checkpoint logic; the same `run` is used for fresh launches
+/// and restarts.
+pub trait Workload: Send + Sync {
+    /// Short name (images, diagnostics).
+    fn name(&self) -> &'static str;
+    /// The application main.
+    fn run(&self, env: &mut AppEnv);
+}
+
+/// Per-rank application environment.
+pub struct AppEnv {
+    t: SimThread,
+    mpi: Arc<dyn Mpi>,
+    sh: Option<Arc<RankShared>>,
+    native_progress: Arc<Mutex<crate::shared::Progress>>,
+    aspace: Arc<AddressSpace>,
+    rank: u32,
+    nranks: u32,
+    seed: u64,
+}
+
+impl AppEnv {
+    /// Environment over a bare MPI library (native runs: the baseline for
+    /// every overhead figure).
+    pub fn native(
+        t: SimThread,
+        mpi: Arc<dyn Mpi>,
+        aspace: Arc<AddressSpace>,
+        rank: u32,
+        nranks: u32,
+        seed: u64,
+    ) -> AppEnv {
+        AppEnv {
+            t,
+            mpi,
+            sh: None,
+            native_progress: Arc::new(Mutex::new(crate::shared::Progress::default())),
+            aspace,
+            rank,
+            nranks,
+            seed,
+        }
+    }
+
+    /// Environment over the MANA wrapper.
+    pub fn mana(t: SimThread, mpi: Arc<dyn Mpi>, sh: Arc<RankShared>) -> AppEnv {
+        AppEnv {
+            t,
+            rank: sh.rank,
+            nranks: sh.nranks,
+            seed: sh.seed,
+            aspace: sh.aspace.clone(),
+            native_progress: Arc::new(Mutex::new(crate::shared::Progress::default())),
+            mpi,
+            sh: Some(sh),
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// World size.
+    pub fn nranks(&self) -> u32 {
+        self.nranks
+    }
+
+    /// Root seed (derive per-step randomness statelessly from this).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The simulated thread (for plain time queries).
+    pub fn thread(&self) -> &SimThread {
+        &self.t
+    }
+
+    /// Direct MPI access (advanced; bypasses the operation cursor, so only
+    /// safe for local queries).
+    pub fn mpi(&self) -> &Arc<dyn Mpi> {
+        &self.mpi
+    }
+
+    /// World communicator.
+    pub fn world(&self) -> CommHandle {
+        self.mpi.comm_world()
+    }
+
+    fn with_progress<R>(&self, f: impl FnOnce(&mut crate::shared::Progress) -> R) -> R {
+        match &self.sh {
+            Some(sh) => f(&mut sh.progress.lock()),
+            None => f(&mut self.native_progress.lock()),
+        }
+    }
+
+    /// Step boundary: quiesce point + cursor reset. Call at the top of the
+    /// outer iteration loop (which must iterate a managed counter).
+    pub fn begin_step(&mut self) {
+        self.with_progress(|p| {
+            if p.resuming {
+                p.resuming = false; // keep resume_skip for this first step
+            } else {
+                p.resume_skip = 0;
+            }
+            p.ops_done = 0;
+            p.slot_seq_at_step = p.slot_seq;
+        });
+        if let Some(sh) = &self.sh {
+            sh.cell.quiesce_check(&self.t);
+        }
+    }
+
+    /// Returns true if the current operation was already completed before
+    /// the checkpoint and must be skipped.
+    fn op_skip(&self) -> bool {
+        let skip = self.with_progress(|p| {
+            if p.ops_done < p.resume_skip {
+                p.ops_done += 1;
+                true
+            } else {
+                false
+            }
+        });
+        if !skip {
+            if let Some(sh) = &self.sh {
+                sh.cell.quiesce_check(&self.t);
+            }
+        }
+        skip
+    }
+
+    fn op_done(&self) {
+        self.with_progress(|p| p.ops_done += 1);
+    }
+
+    // ----- managed memory ---------------------------------------------------
+
+    fn alloc_bytes_inner(&self, name: &str, bytes: u64) -> u64 {
+        // Resume path: rebind to the restored region in allocation order.
+        let bound = self.with_progress(|p| {
+            if p.alloc_cursor < p.allocs.len() {
+                let (addr, len) = p.allocs[p.alloc_cursor];
+                assert_eq!(
+                    len, bytes,
+                    "allocation sequence diverged on resume (expected {len} bytes, got {bytes})"
+                );
+                p.alloc_cursor += 1;
+                Some(addr)
+            } else {
+                None
+            }
+        });
+        if let Some(addr) = bound {
+            return addr;
+        }
+        let addr = self
+            .aspace
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                name,
+                bytes,
+                Backing::Dense(DenseBuf::zeroed(bytes as usize)),
+            )
+            .expect("managed allocation");
+        self.with_progress(|p| {
+            p.allocs.push((addr, bytes));
+            p.alloc_cursor = p.allocs.len();
+        });
+        addr
+    }
+
+    /// Allocate (or rebind on resume) a managed `f64` array.
+    pub fn alloc_f64(&mut self, name: &str, len: usize) -> Arr<f64> {
+        let addr = self.alloc_bytes_inner(name, (len * 8) as u64);
+        Arr {
+            addr,
+            len,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Allocate (or rebind on resume) a managed `u64` array.
+    pub fn alloc_u64(&mut self, name: &str, len: usize) -> Arr<u64> {
+        let addr = self.alloc_bytes_inner(name, (len * 8) as u64);
+        Arr {
+            addr,
+            len,
+            _pd: PhantomData,
+        }
+    }
+
+    /// Allocate a large pattern-backed region modelling bulk application
+    /// footprint (counted in image sizes and write times, but carrying no
+    /// dense bytes). Returns its address.
+    pub fn alloc_bulk(&mut self, name: &str, bytes: u64) -> u64 {
+        let seed = mana_sim::rng::derive_seed_idx(self.seed, name, u64::from(self.rank));
+        // Resume rebinding applies here too.
+        let bound = self.with_progress(|p| {
+            if p.alloc_cursor < p.allocs.len() {
+                let (addr, len) = p.allocs[p.alloc_cursor];
+                assert_eq!(len, bytes, "bulk allocation diverged on resume");
+                p.alloc_cursor += 1;
+                Some(addr)
+            } else {
+                None
+            }
+        });
+        if let Some(addr) = bound {
+            return addr;
+        }
+        let addr = self
+            .aspace
+            .map(Half::Upper, RegionKind::Mmap, name, bytes, Backing::Pattern { seed })
+            .expect("bulk allocation");
+        self.with_progress(|p| {
+            p.allocs.push((addr, bytes));
+            p.alloc_cursor = p.allocs.len();
+        });
+        addr
+    }
+
+    /// Read-only access outside `work` (e.g. building a send payload from
+    /// state — deterministic by the contract).
+    pub fn peek<T: Pod, R>(&self, arr: Arr<T>, f: impl FnOnce(&[T]) -> R) -> R {
+        self.aspace
+            .with_slice(arr.addr, arr.len, f)
+            .expect("managed array access")
+    }
+
+    /// Order-sensitive checksum of all upper-half state (test oracle; not
+    /// an operation).
+    pub fn state_checksum(&self) -> u64 {
+        self.aspace.checksum_half(Half::Upper)
+    }
+
+    // ----- compute ----------------------------------------------------------
+
+    /// Advance virtual time by `dur` and apply `f` to managed state, as
+    /// one atomic operation.
+    pub fn work(&mut self, dur: SimDuration, f: impl FnOnce(&MemView<'_>)) {
+        if self.op_skip() {
+            return;
+        }
+        self.t.advance(dur);
+        f(&MemView {
+            aspace: &self.aspace,
+        });
+        self.op_done();
+    }
+
+    /// Pure compute time (no state change).
+    pub fn compute(&mut self, dur: SimDuration) {
+        if self.op_skip() {
+            return;
+        }
+        self.t.advance(dur);
+        self.op_done();
+    }
+
+    // ----- point-to-point -----------------------------------------------------
+
+    /// Blocking send of `elems` from a managed array.
+    pub fn send_arr(
+        &mut self,
+        comm: CommHandle,
+        arr: Arr<f64>,
+        range: std::ops::Range<usize>,
+        dst: u32,
+        tag: i32,
+    ) {
+        if self.op_skip() {
+            return;
+        }
+        let bytes = self
+            .aspace
+            .read_bytes(arr.addr + (range.start * 8) as u64, (range.end - range.start) * 8)
+            .expect("send window");
+        self.mpi.send(&self.t, Msg::real(&bytes), dst, tag, comm);
+        self.op_done();
+    }
+
+    /// Blocking send of a small constructed payload (must be a
+    /// deterministic function of managed state).
+    pub fn send_small(&mut self, comm: CommHandle, payload: &[u8], dst: u32, tag: i32) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi.send(&self.t, Msg::real(payload), dst, tag, comm);
+        self.op_done();
+    }
+
+    /// Blocking send with a synthetic modelled size (microbenchmarks).
+    pub fn send_modeled(
+        &mut self,
+        comm: CommHandle,
+        payload: &[u8],
+        modeled: u64,
+        dst: u32,
+        tag: i32,
+    ) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi
+            .send(&self.t, Msg::modeled(payload, modeled), dst, tag, comm);
+        self.op_done();
+    }
+
+    /// Blocking receive into a managed array at `offset` elements.
+    pub fn recv_into(
+        &mut self,
+        comm: CommHandle,
+        arr: Arr<f64>,
+        offset: usize,
+        src: SrcSpec,
+        tag: TagSpec,
+    ) -> Status {
+        if self.op_skip() {
+            return Status {
+                source: 0,
+                tag: 0,
+                bytes: 0,
+                modeled_bytes: 0,
+            };
+        }
+        let (data, status) = self.mpi.recv(&self.t, src, tag, comm);
+        assert!(
+            offset * 8 + data.len() <= arr.byte_len(),
+            "receive overflows managed array"
+        );
+        self.aspace
+            .write_bytes(arr.addr + (offset * 8) as u64, &data)
+            .expect("recv window");
+        self.op_done();
+        status
+    }
+
+    /// Blocking receive whose payload is discarded (microbenchmarks).
+    pub fn recv_discard(&mut self, comm: CommHandle, src: SrcSpec, tag: TagSpec) -> Status {
+        if self.op_skip() {
+            return Status {
+                source: 0,
+                tag: 0,
+                bytes: 0,
+                modeled_bytes: 0,
+            };
+        }
+        let (_, status) = self.mpi.recv(&self.t, src, tag, comm);
+        self.op_done();
+        status
+    }
+
+    fn new_slot(&self, state: SlotState) -> SlotId {
+        self.with_progress(|p| {
+            let id = p.slot_seq;
+            p.slot_seq += 1;
+            let idx = id as usize;
+            if p.slots.len() <= idx {
+                p.slots.resize(idx + 1, SlotState::Empty);
+            }
+            p.slots[idx] = state;
+            SlotId(id)
+        })
+    }
+
+    fn skip_slot(&self) -> SlotId {
+        // The slot was created before the checkpoint; just re-derive its id.
+        self.with_progress(|p| {
+            let id = p.slot_seq;
+            p.slot_seq += 1;
+            let idx = id as usize;
+            if p.slots.len() <= idx {
+                p.slots.resize(idx + 1, SlotState::Empty);
+            }
+            SlotId(id)
+        })
+    }
+
+    /// Nonblocking send from a managed array.
+    pub fn isend_arr(
+        &mut self,
+        comm: CommHandle,
+        arr: Arr<f64>,
+        range: std::ops::Range<usize>,
+        dst: u32,
+        tag: i32,
+    ) -> SlotId {
+        if self.op_skip() {
+            return self.skip_slot();
+        }
+        let bytes = self
+            .aspace
+            .read_bytes(arr.addr + (range.start * 8) as u64, (range.end - range.start) * 8)
+            .expect("send window");
+        let req = self.mpi.isend(&self.t, Msg::real(&bytes), dst, tag, comm);
+        let slot = self.new_slot(SlotState::SendIssued { vreq: Some(req.0) });
+        self.op_done();
+        slot
+    }
+
+    /// Nonblocking receive into a managed array.
+    pub fn irecv_into(
+        &mut self,
+        comm: CommHandle,
+        arr: Arr<f64>,
+        offset: usize,
+        src: SrcSpec,
+        tag: TagSpec,
+    ) -> SlotId {
+        if self.op_skip() {
+            return self.skip_slot();
+        }
+        // Deferred-matching receive: record the descriptor; the wait
+        // operation performs the matching (buffer-first under MANA).
+        let slot = self.new_slot(SlotState::RecvPosted {
+            comm_virt: comm.0,
+            src,
+            tag,
+            arr_addr: arr.addr,
+            offset: (offset * 8) as u64,
+        });
+        self.op_done();
+        slot
+    }
+
+    /// Complete a nonblocking operation.
+    ///
+    /// The slot is consumed only *after* the operation completes: a
+    /// checkpoint can interrupt the blocking part (a kill mid-receive is
+    /// the Figure 7 restart path), and the re-executed wait must find the
+    /// descriptor intact in the restored image.
+    pub fn wait_slot(&mut self, slot: SlotId) {
+        if self.op_skip() {
+            return;
+        }
+        let state = self.with_progress(|p| p.slots[slot.0 as usize].clone());
+        match state {
+            SlotState::Empty => panic!("wait on empty slot {slot:?}"),
+            SlotState::SendIssued { vreq } => {
+                if let Some(v) = vreq {
+                    self.mpi.wait(&self.t, ReqHandle(v));
+                }
+                // vreq == None: restored send; delivery guaranteed by the
+                // drain.
+            }
+            SlotState::RecvPosted {
+                comm_virt,
+                src,
+                tag,
+                arr_addr,
+                offset,
+            } => {
+                let (data, _status) = self.mpi.recv(&self.t, src, tag, CommHandle(comm_virt));
+                self.aspace
+                    .write_bytes(arr_addr + offset, &data)
+                    .expect("recv window");
+            }
+            SlotState::CollPending { vreq } => {
+                let out = self.mpi.wait(&self.t, ReqHandle(vreq));
+                // Results of nonblocking collectives used via *_into
+                // variants write state before this wait; plain ibarrier has
+                // no payload.
+                drop(out);
+            }
+        }
+        self.with_progress(|p| p.slots[slot.0 as usize] = SlotState::Empty);
+        self.op_done();
+    }
+
+    // ----- collectives --------------------------------------------------------
+
+    /// Barrier.
+    pub fn barrier(&mut self, comm: CommHandle) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi.barrier(&self.t, comm);
+        self.op_done();
+    }
+
+    /// In-place allreduce over a managed `f64` array.
+    pub fn allreduce_arr(&mut self, comm: CommHandle, arr: Arr<f64>, op: ReduceOp) {
+        if self.op_skip() {
+            return;
+        }
+        let bytes = self
+            .aspace
+            .read_bytes(arr.addr, arr.byte_len())
+            .expect("allreduce window");
+        let out = self
+            .mpi
+            .allreduce(&self.t, &bytes, BaseType::Double, op, comm);
+        self.aspace
+            .write_bytes(arr.addr, &out)
+            .expect("allreduce result");
+        self.op_done();
+    }
+
+    /// Reduce a managed array to `root`, writing the result into `dst`
+    /// (same shape) at the root only.
+    pub fn reduce_into(
+        &mut self,
+        comm: CommHandle,
+        src_arr: Arr<f64>,
+        dst: Arr<f64>,
+        op: ReduceOp,
+        root: u32,
+    ) {
+        if self.op_skip() {
+            return;
+        }
+        let bytes = self
+            .aspace
+            .read_bytes(src_arr.addr, src_arr.byte_len())
+            .expect("reduce window");
+        if let Some(out) = self
+            .mpi
+            .reduce(&self.t, &bytes, BaseType::Double, op, root, comm)
+        {
+            self.aspace.write_bytes(dst.addr, &out).expect("reduce result");
+        }
+        self.op_done();
+    }
+
+    /// In-place broadcast of a managed array from `root`.
+    pub fn bcast_arr(&mut self, comm: CommHandle, arr: Arr<f64>, root: u32) {
+        if self.op_skip() {
+            return;
+        }
+        let me = self.mpi.comm_rank(comm);
+        let data = if me == root {
+            self.aspace
+                .read_bytes(arr.addr, arr.byte_len())
+                .expect("bcast window")
+        } else {
+            Vec::new()
+        };
+        let out = self.mpi.bcast(&self.t, &data, root, comm);
+        self.aspace.write_bytes(arr.addr, &out).expect("bcast result");
+        self.op_done();
+    }
+
+    /// Gather equal-size contributions into `dst` (root only; `dst` must
+    /// hold `comm_size * src.len` elements).
+    pub fn gather_into(
+        &mut self,
+        comm: CommHandle,
+        src: Arr<f64>,
+        dst: Arr<f64>,
+        root: u32,
+    ) {
+        if self.op_skip() {
+            return;
+        }
+        let bytes = self
+            .aspace
+            .read_bytes(src.addr, src.byte_len())
+            .expect("gather window");
+        if let Some(parts) = self.mpi.gather(&self.t, &bytes, root, comm) {
+            let mut off = 0u64;
+            for p in parts {
+                self.aspace.write_bytes(dst.addr + off, &p).expect("gather result");
+                off += p.len() as u64;
+            }
+        }
+        self.op_done();
+    }
+
+    /// Equal-chunk all-to-all: `send.len` must divide evenly by comm size;
+    /// `recv` has the same shape.
+    pub fn alltoall_arr(&mut self, comm: CommHandle, send: Arr<f64>, recv: Arr<f64>) {
+        if self.op_skip() {
+            return;
+        }
+        let size = self.mpi.comm_size(comm) as usize;
+        assert_eq!(send.len % size, 0, "alltoall chunk mismatch");
+        let chunk_bytes = send.byte_len() / size;
+        let bytes = self
+            .aspace
+            .read_bytes(send.addr, send.byte_len())
+            .expect("alltoall window");
+        let parts: Vec<Vec<u8>> = bytes.chunks(chunk_bytes).map(<[u8]>::to_vec).collect();
+        let out = self.mpi.alltoall(&self.t, parts, comm);
+        let mut off = 0u64;
+        for p in out {
+            self.aspace
+                .write_bytes(recv.addr + off, &p)
+                .expect("alltoall result");
+            off += p.len() as u64;
+        }
+        self.op_done();
+    }
+
+    /// Two-phase nonblocking barrier (§4.2): returns a slot to wait on.
+    pub fn ibarrier(&mut self, comm: CommHandle) -> SlotId {
+        if self.op_skip() {
+            return self.skip_slot();
+        }
+        let req = self.mpi.ibarrier(&self.t, comm);
+        let slot = self.new_slot(SlotState::CollPending { vreq: req.0 });
+        self.op_done();
+        slot
+    }
+
+    /// State-mutating communicator operations are ordinary operations too.
+    /// Returns the created communicator; on skip, re-derives the handle
+    /// from the wrapper's restored tables by creation order.
+    pub fn cart_create(
+        &mut self,
+        comm: CommHandle,
+        dims: &[u32],
+        periodic: &[bool],
+    ) -> CommHandle {
+        if self.op_skip() {
+            let sh = self.sh.as_ref().expect("skip only under MANA");
+            // Deterministic re-derivation: the cart communicator created at
+            // this point is the one whose metadata carries these dims.
+            let comms = sh.comms.lock();
+            let (virt, _) = comms
+                .iter()
+                .find(|(_, m)| m.cart_dims == dims && !m.members.is_empty())
+                .expect("restored cart communicator");
+            return CommHandle(*virt);
+        }
+        let out = self.mpi.cart_create(&self.t, comm, dims, periodic, true);
+        self.op_done();
+        out
+    }
+
+    /// Checksum helper usable from workloads for their own validation
+    /// arrays.
+    pub fn checksum_arr(&self, arr: Arr<f64>) -> u64 {
+        self.peek(arr, |s| {
+            let mut c = Checksum::new();
+            for v in s {
+                c.update_f64(*v);
+            }
+            c.digest()
+        })
+    }
+}

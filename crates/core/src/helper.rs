@@ -1,0 +1,288 @@
+//! The checkpoint helper thread (paper §2.5 "Implementation of
+//! Algorithm 2", §2.7).
+//!
+//! One helper thread is injected into each MPI rank at launch. It is
+//! dormant during normal execution: it listens on the TCP control plane
+//! for coordinator messages and answers with the rank's protocol state.
+//! At do-ckpt it quiesces the rank, runs the bookmark exchange and drain
+//! (§2.3), snapshots the upper half, writes the image, and resumes (or
+//! kills) the rank.
+
+use crate::buffer::BufferedMsg;
+use crate::cell::Park;
+use crate::config::ManaConfig;
+use crate::ctrl::{ctrl_msg_bytes, CtrlMsg};
+use crate::image::CheckpointImage;
+use crate::shared::RankShared;
+use crate::stats::RankCkptStats;
+use mana_net::transport::{EndpointId, Network};
+use mana_sim::fs::{IoShape, ParallelFs};
+use mana_sim::memory::Half;
+use mana_sim::sched::SimThread;
+use mana_sim::time::SimDuration;
+use mana_mpi::{CommHandle, Mpi, SrcSpec, TagSpec};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything a helper thread needs.
+pub struct HelperCtx {
+    /// The rank's shared MANA state.
+    pub sh: Arc<RankShared>,
+    /// Control plane.
+    pub ctrl: Arc<Network<CtrlMsg>>,
+    /// This helper's control endpoint.
+    pub my_ep: EndpointId,
+    /// The coordinator's control endpoint.
+    pub coord_ep: EndpointId,
+    /// MANA configuration.
+    pub cfg: ManaConfig,
+    /// Shared filesystem for images.
+    pub fs: Arc<ParallelFs>,
+    /// I/O contention shape at checkpoint time.
+    pub io_shape: IoShape,
+}
+
+fn ctrl_send(t: &SimThread, hx: &HelperCtx, msg: CtrlMsg) {
+    // Helper-side send cost is small (one socket each); the coordinator
+    // side dominates.
+    t.advance(SimDuration::micros(3));
+    let bytes = ctrl_msg_bytes(&msg);
+    hx.ctrl.send(hx.my_ep, hx.coord_ep, bytes, msg);
+}
+
+fn recv_ctrl(t: &SimThread, hx: &HelperCtx) -> CtrlMsg {
+    loop {
+        if let Some(m) = hx.ctrl.poll(hx.my_ep) {
+            return m;
+        }
+        t.block();
+    }
+}
+
+/// Per-communicator completed wrapped-collective counts for this rank's
+/// reply: the comm metadata's sequence counters minus any instance whose
+/// number was consumed but not completed (gated or engaged).
+fn progress_vec(sh: &Arc<RankShared>) -> Vec<(u64, u64)> {
+    let incomplete = sh.cell.initiated_incomplete();
+    sh.comms
+        .lock()
+        .iter()
+        .filter(|(_, m)| !m.members.is_empty())
+        .map(|(v, m)| {
+            let dec = incomplete.iter().filter(|i| i.comm_virt == *v).count() as u64;
+            (*v, m.wseq.saturating_sub(dec))
+        })
+        .collect()
+}
+
+/// Helper thread main loop. Runs forever (daemon); exits after a
+/// kill-resume.
+pub fn run_helper(t: SimThread, hx: HelperCtx) {
+    hx.ctrl.add_waiter(hx.my_ep, t.id());
+    hx.sh.cell.register_helper(t.id());
+    loop {
+        if hx.sh.cell.take_pending_exit_phase2() {
+            let progress = progress_vec(&hx.sh);
+            ctrl_send(
+                &t,
+                &hx,
+                CtrlMsg::State {
+                    rank: hx.sh.rank,
+                    reply: crate::ctrl::RankReply::ExitPhase2,
+                    instance: None,
+                    progress,
+                },
+            );
+        }
+        if let Some(msg) = hx.ctrl.poll(hx.my_ep) {
+            match msg {
+                CtrlMsg::IntendCkpt { .. } | CtrlMsg::ExtraIteration { .. } => {
+                    if let Some(reply) = hx.sh.cell.on_intent() {
+                        let instance = (reply == crate::ctrl::RankReply::InPhase1)
+                            .then(|| hx.sh.cell.current_instance())
+                            .flatten();
+                        let progress = progress_vec(&hx.sh);
+                        ctrl_send(
+                            &t,
+                            &hx,
+                            CtrlMsg::State {
+                                rank: hx.sh.rank,
+                                reply,
+                                instance,
+                                progress,
+                            },
+                        );
+                    }
+                }
+                CtrlMsg::DoCkpt { ckpt_id } => {
+                    let kill = do_checkpoint(&t, &hx, ckpt_id);
+                    if kill {
+                        return;
+                    }
+                }
+                other => panic!("helper {}: unexpected control message {other:?}", hx.sh.rank),
+            }
+            continue;
+        }
+        t.block();
+    }
+}
+
+/// Execute the local side of a checkpoint. Returns true if the job was
+/// killed (migration workflow).
+fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
+    let sh = &hx.sh;
+    // 1. Quiesce: stop the rank from initiating new sends.
+    sh.cell.set_do_ckpt();
+    sh.cell.helper_wait(t, |c| c.bookmark_safe());
+
+    // 2. Bookmark exchange (via the coordinator: a star-shaped variation
+    //    of the all-to-all exchange, §2.3).
+    let sent = sh.counters.lock().sent_vec();
+    ctrl_send(
+        t,
+        hx,
+        CtrlMsg::Bookmark {
+            rank: sh.rank,
+            sent_to: sent,
+        },
+    );
+    let expected: Vec<(u32, u64)> = match recv_ctrl(t, hx) {
+        CtrlMsg::ExpectedIn { from } => from,
+        other => panic!("helper {}: expected ExpectedIn, got {other:?}", sh.rank),
+    };
+
+    // 3. Drain in-flight messages into the checkpoint buffer.
+    let drain_t0 = t.now();
+    let lower = sh.lower.lock().clone().expect("lower half bound");
+    drain(t, sh, lower.as_ref(), &expected);
+    let drain_dur = t.now().since(drain_t0);
+
+    // 4. Wait for a snapshot-consistent park state, then snapshot.
+    sh.cell.helper_wait(t, |c| c.snapshot_safe());
+    let img = build_image(sh, ckpt_id);
+    let encoded = img.encode();
+    let logical = img.logical_bytes();
+    let dense = img.dense_bytes();
+    let drained_msgs = img.buffered.len() as u64;
+
+    // 5. Write + fsync to the parallel filesystem.
+    let path = hx.cfg.image_path(ckpt_id, sh.rank);
+    let wdur = hx
+        .fs
+        .write_file(&path, encoded, logical, u64::from(sh.rank), hx.io_shape);
+    t.advance(wdur);
+
+    ctrl_send(
+        t,
+        hx,
+        CtrlMsg::CkptDone {
+            rank: sh.rank,
+            stats: RankCkptStats {
+                rank: sh.rank,
+                drain: drain_dur,
+                write: wdur,
+                image_logical_bytes: logical,
+                image_dense_bytes: dense,
+                drained_msgs,
+            },
+        },
+    );
+
+    // 6. Resume (or die).
+    let kill = match recv_ctrl(t, hx) {
+        CtrlMsg::Resume { kill, .. } => kill,
+        other => panic!("helper {}: expected Resume, got {other:?}", sh.rank),
+    };
+    sh.cell.resume(kill);
+    kill
+}
+
+/// Pump the lower half until every peer's sent count is accounted for by
+/// our received + buffered counts.
+fn drain(t: &SimThread, sh: &Arc<RankShared>, lower: &dyn Mpi, expected: &[(u32, u64)]) {
+    let expected: BTreeMap<u32, u64> = expected.iter().copied().collect();
+    loop {
+        let missing: u64 = {
+            let counters = sh.counters.lock();
+            let buffer = sh.buffer.lock();
+            expected
+                .iter()
+                .map(|(src, cnt)| {
+                    let have = counters.recvd.get(src).copied().unwrap_or(0)
+                        + buffer.count_from(*src);
+                    cnt.saturating_sub(have)
+                })
+                .sum()
+        };
+        if missing == 0 {
+            return;
+        }
+        let mut stole = false;
+        for comm_virt in sh.live_comm_virts() {
+            let meta = sh.comm_meta(comm_virt);
+            let real = CommHandle(meta.real);
+            while let Some(st) = lower.iprobe(t, SrcSpec::Any, TagSpec::Any, real) {
+                let (data, status) =
+                    lower.recv(t, SrcSpec::Rank(st.source), TagSpec::Tag(st.tag), real);
+                let src_global = meta.members[status.source as usize];
+                sh.buffer.lock().push(BufferedMsg {
+                    comm_virt,
+                    src_local: status.source,
+                    src_global,
+                    tag: status.tag,
+                    data,
+                    modeled: status.modeled_bytes,
+                });
+                stole = true;
+            }
+        }
+        if !stole {
+            // Nothing deliverable yet: sleep until network activity.
+            lower.wait_any_message(t);
+        }
+    }
+}
+
+/// Capture the rank's checkpointable state.
+fn build_image(sh: &Arc<RankShared>, ckpt_id: u64) -> CheckpointImage {
+    let comms: Vec<crate::image::VirtCommEntry> = sh
+        .comms
+        .lock()
+        .iter()
+        .map(|(virt, m)| crate::image::VirtCommEntry {
+            virt: *virt,
+            members: m.members.clone(),
+            cart_dims: m.cart_dims.clone(),
+            cart_periodic: m.cart_periodic.clone(),
+        })
+        .collect();
+    let progress = sh.progress.lock();
+    CheckpointImage {
+        rank: sh.rank,
+        nranks: sh.nranks,
+        ckpt_id,
+        app_name: sh.app_name.clone(),
+        seed: sh.seed,
+        regions: sh.aspace.snapshot_half(Half::Upper),
+        upper_cursor: sh.aspace.upper_mmap_cursor(),
+        comms,
+        groups: sh.virt.group.live_virts(),
+        dtypes: sh.virt.dtype.live_virts(),
+        log: sh.log.entries(),
+        counters: sh.counters.lock().clone(),
+        buffered: sh.buffer.lock().snapshot(),
+        pending: sh.pending.lock().values().map(|p| p.desc.clone()).collect(),
+        ops_done: progress.ops_done,
+        allocs: progress.allocs.clone(),
+        slots: progress.slots.clone(),
+        slot_seq: progress.slot_seq,
+        slot_seq_at_step: progress.slot_seq_at_step,
+    }
+}
+
+/// Guard: the helper only treats these parks as quiescent states (kept in
+/// one place so tests can assert the set).
+pub fn snapshot_safe_parks() -> [Park; 3] {
+    [Park::Quiesced, Park::AtGate, Park::InPhase1Barrier]
+}

@@ -1,0 +1,914 @@
+//! Checkpoint image format.
+//!
+//! The image is the complete transferable state of one MPI rank *minus*
+//! the ephemeral lower half: upper-half memory regions, the virtual-handle
+//! tables, the record-replay log for opaque-object reconstruction, the
+//! point-to-point bookmark counters, the drained in-flight messages, the
+//! application's progress cursor (the simulator-level stand-in for saved
+//! stack/registers), and the managed-allocation table.
+//!
+//! Anything expressible here can be restored under a different MPI
+//! implementation, network, or cluster — that is the MPI-agnostic,
+//! network-agnostic property.
+
+use crate::buffer::{BufferedMsg, PairCounters};
+use crate::codec::{CodecError, Dec, Enc};
+use crate::record::LoggedCall;
+use mana_mpi::{BaseType, ReduceOp};
+use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
+
+/// "MANAIMG1" little-endian.
+pub const MAGIC: u64 = 0x3147_4d49_414e_414d;
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// A live virtual communicator at checkpoint time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VirtCommEntry {
+    /// Virtual id.
+    pub virt: u64,
+    /// Members (global job ranks) in comm-rank order; empty for a null
+    /// (burned) id from a split with undefined color.
+    pub members: Vec<u32>,
+    /// Cartesian dims, if the communicator has a topology.
+    pub cart_dims: Vec<u32>,
+    /// Cartesian periodicity (parallel to `cart_dims`).
+    pub cart_periodic: Vec<bool>,
+}
+
+/// An outstanding two-phase nonblocking collective (§4.2 extension).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingColl {
+    /// Virtual request id the application holds.
+    pub vreq: u64,
+    /// Virtual communicator id.
+    pub comm_virt: u64,
+    /// Operation payload.
+    pub kind: PendingKind,
+}
+
+/// Kind of pending nonblocking collective.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PendingKind {
+    /// `MPI_Ibarrier`.
+    Ibarrier,
+    /// `MPI_Iallreduce` with saved contribution.
+    Iallreduce {
+        /// Contribution bytes.
+        data: Vec<u8>,
+        /// Element type.
+        base: BaseType,
+        /// Operation.
+        op: ReduceOp,
+    },
+}
+
+/// The complete per-rank checkpoint image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CheckpointImage {
+    /// Rank id.
+    pub rank: u32,
+    /// Job size (restart must present the same world size).
+    pub nranks: u32,
+    /// Checkpoint id.
+    pub ckpt_id: u64,
+    /// Application name (diagnostics).
+    pub app_name: String,
+    /// Root seed of the original run (workload determinism).
+    pub seed: u64,
+    /// Upper-half memory regions.
+    pub regions: Vec<RegionSnapshot>,
+    /// Upper mmap-arena cursor (post-restart allocations continue below
+    /// the restored regions).
+    pub upper_cursor: u64,
+    /// Live virtual communicators with membership/topology.
+    pub comms: Vec<VirtCommEntry>,
+    /// Live virtual group ids.
+    pub groups: Vec<u64>,
+    /// Live virtual datatype ids.
+    pub dtypes: Vec<u64>,
+    /// Record-replay log.
+    pub log: Vec<LoggedCall>,
+    /// Point-to-point bookmark counters.
+    pub counters: PairCounters,
+    /// Drained in-flight messages.
+    pub buffered: Vec<BufferedMsg>,
+    /// Outstanding two-phase nonblocking collectives.
+    pub pending: Vec<PendingColl>,
+    /// Operations completed in the current application step (the progress
+    /// cursor; see `env` module).
+    pub ops_done: u64,
+    /// Managed allocations in creation order: (address, length).
+    pub allocs: Vec<(u64, u64)>,
+    /// Nonblocking-request slots (environment state).
+    pub slots: Vec<crate::shared::SlotState>,
+    /// Slot-id allocator position at checkpoint time.
+    pub slot_seq: u64,
+    /// Allocator position as of the interrupted step's start (restore
+    /// rewinds to this so skipped operations re-derive their original
+    /// slot ids).
+    pub slot_seq_at_step: u64,
+}
+
+impl CheckpointImage {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(MAGIC);
+        e.u32(VERSION);
+        e.u32(self.rank);
+        e.u32(self.nranks);
+        e.u64(self.ckpt_id);
+        e.string(&self.app_name);
+        e.u64(self.seed);
+        e.u64(self.upper_cursor);
+        e.u64(self.ops_done);
+
+        e.seq(self.regions.len());
+        for r in &self.regions {
+            enc_region(&mut e, r);
+        }
+        e.seq(self.comms.len());
+        for c in &self.comms {
+            e.u64(c.virt);
+            e.seq(c.members.len());
+            for m in &c.members {
+                e.u32(*m);
+            }
+            e.seq(c.cart_dims.len());
+            for d in &c.cart_dims {
+                e.u32(*d);
+            }
+            for p in &c.cart_periodic {
+                e.boolean(*p);
+            }
+        }
+        e.seq(self.groups.len());
+        for g in &self.groups {
+            e.u64(*g);
+        }
+        e.seq(self.dtypes.len());
+        for d in &self.dtypes {
+            e.u64(*d);
+        }
+        e.seq(self.log.len());
+        for c in &self.log {
+            enc_call(&mut e, c);
+        }
+        enc_counters(&mut e, &self.counters);
+        e.seq(self.buffered.len());
+        for m in &self.buffered {
+            e.u64(m.comm_virt);
+            e.u32(m.src_local);
+            e.u32(m.src_global);
+            e.i32(m.tag);
+            e.bytes(&m.data);
+            e.u64(m.modeled);
+        }
+        e.seq(self.pending.len());
+        for p in &self.pending {
+            e.u64(p.vreq);
+            e.u64(p.comm_virt);
+            match &p.kind {
+                PendingKind::Ibarrier => e.u32(0),
+                PendingKind::Iallreduce { data, base, op } => {
+                    e.u32(1);
+                    e.bytes(data);
+                    e.u32(base_tag(*base));
+                    e.u32(op_tag(*op));
+                }
+            }
+        }
+        e.seq(self.allocs.len());
+        for (a, l) in &self.allocs {
+            e.u64(*a);
+            e.u64(*l);
+        }
+        e.seq(self.slots.len());
+        for s in &self.slots {
+            enc_slot(&mut e, s);
+        }
+        e.u64(self.slot_seq);
+        e.u64(self.slot_seq_at_step);
+        e.finish()
+    }
+
+    /// Deserialize.
+    pub fn decode(data: &[u8]) -> Result<CheckpointImage, CodecError> {
+        let mut d = Dec::new(data);
+        let magic = d.u64("magic")?;
+        if magic != MAGIC {
+            return Err(CodecError::BadMagic(magic));
+        }
+        let version = d.u32("version")?;
+        if version != VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        let rank = d.u32("rank")?;
+        let nranks = d.u32("nranks")?;
+        let ckpt_id = d.u64("ckpt_id")?;
+        let app_name = d.string("app_name")?;
+        let seed = d.u64("seed")?;
+        let upper_cursor = d.u64("upper_cursor")?;
+        let ops_done = d.u64("ops_done")?;
+
+        let mut regions = Vec::new();
+        for _ in 0..d.seq("regions")? {
+            regions.push(dec_region(&mut d)?);
+        }
+        let mut comms = Vec::new();
+        for _ in 0..d.seq("comms")? {
+            let virt = d.u64("comm virt")?;
+            let mut members = Vec::new();
+            for _ in 0..d.seq("members")? {
+                members.push(d.u32("member")?);
+            }
+            let ndims = d.seq("cart dims")?;
+            let mut cart_dims = Vec::new();
+            for _ in 0..ndims {
+                cart_dims.push(d.u32("dim")?);
+            }
+            let mut cart_periodic = Vec::new();
+            for _ in 0..ndims {
+                cart_periodic.push(d.boolean("periodic")?);
+            }
+            comms.push(VirtCommEntry {
+                virt,
+                members,
+                cart_dims,
+                cart_periodic,
+            });
+        }
+        let mut groups = Vec::new();
+        for _ in 0..d.seq("groups")? {
+            groups.push(d.u64("group")?);
+        }
+        let mut dtypes = Vec::new();
+        for _ in 0..d.seq("dtypes")? {
+            dtypes.push(d.u64("dtype")?);
+        }
+        let mut log = Vec::new();
+        for _ in 0..d.seq("log")? {
+            log.push(dec_call(&mut d)?);
+        }
+        let counters = dec_counters(&mut d)?;
+        let mut buffered = Vec::new();
+        for _ in 0..d.seq("buffered")? {
+            buffered.push(BufferedMsg {
+                comm_virt: d.u64("msg comm")?,
+                src_local: d.u32("msg src_local")?,
+                src_global: d.u32("msg src_global")?,
+                tag: d.i32("msg tag")?,
+                data: d.bytes("msg data")?,
+                modeled: d.u64("msg modeled")?,
+            });
+        }
+        let mut pending = Vec::new();
+        for _ in 0..d.seq("pending")? {
+            let vreq = d.u64("pending vreq")?;
+            let comm_virt = d.u64("pending comm")?;
+            let kind = match d.u32("pending kind")? {
+                0 => PendingKind::Ibarrier,
+                1 => PendingKind::Iallreduce {
+                    data: d.bytes("pending data")?,
+                    base: dec_base(d.u32("pending base")?)?,
+                    op: dec_op(d.u32("pending op")?)?,
+                },
+                tag => return Err(CodecError::BadTag { what: "pending", tag }),
+            };
+            pending.push(PendingColl {
+                vreq,
+                comm_virt,
+                kind,
+            });
+        }
+        let mut allocs = Vec::new();
+        for _ in 0..d.seq("allocs")? {
+            allocs.push((d.u64("alloc addr")?, d.u64("alloc len")?));
+        }
+        let mut slots = Vec::new();
+        for _ in 0..d.seq("slots")? {
+            slots.push(dec_slot(&mut d)?);
+        }
+        let slot_seq = d.u64("slot_seq")?;
+        let slot_seq_at_step = d.u64("slot_seq_at_step")?;
+        Ok(CheckpointImage {
+            rank,
+            nranks,
+            ckpt_id,
+            app_name,
+            seed,
+            regions,
+            upper_cursor,
+            comms,
+            groups,
+            dtypes,
+            log,
+            counters,
+            buffered,
+            pending,
+            ops_done,
+            allocs,
+            slots,
+            slot_seq,
+            slot_seq_at_step,
+        })
+    }
+
+    /// Logical payload size (what the filesystem timing model charges):
+    /// dense bytes plus pattern-region logical sizes plus metadata.
+    pub fn logical_bytes(&self) -> u64 {
+        let mem: u64 = self.regions.iter().map(|r| r.len).sum();
+        mem + 4096 // metadata page
+    }
+
+    /// Dense (actually stored) byte count.
+    pub fn dense_bytes(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| match &r.content {
+                SnapshotContent::Dense(b) => b.len() as u64,
+                SnapshotContent::Pattern { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+fn half_tag(h: Half) -> u32 {
+    match h {
+        Half::Upper => 0,
+        Half::Lower => 1,
+    }
+}
+
+fn dec_half(tag: u32) -> Result<Half, CodecError> {
+    match tag {
+        0 => Ok(Half::Upper),
+        1 => Ok(Half::Lower),
+        tag => Err(CodecError::BadTag { what: "half", tag }),
+    }
+}
+
+fn kind_tag(k: RegionKind) -> u32 {
+    match k {
+        RegionKind::Text => 0,
+        RegionKind::Data => 1,
+        RegionKind::Heap => 2,
+        RegionKind::Stack => 3,
+        RegionKind::Mmap => 4,
+        RegionKind::Shm => 5,
+        RegionKind::Pinned => 6,
+        RegionKind::Tls => 7,
+    }
+}
+
+fn dec_kind(tag: u32) -> Result<RegionKind, CodecError> {
+    Ok(match tag {
+        0 => RegionKind::Text,
+        1 => RegionKind::Data,
+        2 => RegionKind::Heap,
+        3 => RegionKind::Stack,
+        4 => RegionKind::Mmap,
+        5 => RegionKind::Shm,
+        6 => RegionKind::Pinned,
+        7 => RegionKind::Tls,
+        tag => return Err(CodecError::BadTag { what: "region kind", tag }),
+    })
+}
+
+fn base_tag(b: BaseType) -> u32 {
+    match b {
+        BaseType::Byte => 0,
+        BaseType::Int32 => 1,
+        BaseType::Int64 => 2,
+        BaseType::Double => 3,
+    }
+}
+
+fn dec_base(tag: u32) -> Result<BaseType, CodecError> {
+    Ok(match tag {
+        0 => BaseType::Byte,
+        1 => BaseType::Int32,
+        2 => BaseType::Int64,
+        3 => BaseType::Double,
+        tag => return Err(CodecError::BadTag { what: "base type", tag }),
+    })
+}
+
+fn op_tag(o: ReduceOp) -> u32 {
+    match o {
+        ReduceOp::Sum => 0,
+        ReduceOp::Max => 1,
+        ReduceOp::Min => 2,
+        ReduceOp::Prod => 3,
+    }
+}
+
+fn dec_op(tag: u32) -> Result<ReduceOp, CodecError> {
+    Ok(match tag {
+        0 => ReduceOp::Sum,
+        1 => ReduceOp::Max,
+        2 => ReduceOp::Min,
+        3 => ReduceOp::Prod,
+        tag => return Err(CodecError::BadTag { what: "reduce op", tag }),
+    })
+}
+
+fn enc_region(e: &mut Enc, r: &RegionSnapshot) {
+    e.u64(r.start);
+    e.u64(r.len);
+    e.u32(half_tag(r.half));
+    e.u32(kind_tag(r.kind));
+    e.string(&r.name);
+    match &r.content {
+        SnapshotContent::Dense(b) => {
+            e.u32(0);
+            e.bytes(b);
+        }
+        SnapshotContent::Pattern { seed } => {
+            e.u32(1);
+            e.u64(*seed);
+        }
+    }
+}
+
+fn dec_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
+    let start = d.u64("region start")?;
+    let len = d.u64("region len")?;
+    let half = dec_half(d.u32("region half")?)?;
+    let kind = dec_kind(d.u32("region kind")?)?;
+    let name = d.string("region name")?;
+    let content = match d.u32("region content")? {
+        0 => SnapshotContent::Dense(d.bytes("region dense")?),
+        1 => SnapshotContent::Pattern {
+            seed: d.u64("region pattern")?,
+        },
+        tag => return Err(CodecError::BadTag { what: "region content", tag }),
+    };
+    Ok(RegionSnapshot {
+        start,
+        len,
+        half,
+        kind,
+        name,
+        content,
+    })
+}
+
+fn enc_slot(e: &mut Enc, s: &crate::shared::SlotState) {
+    use crate::shared::SlotState;
+    use mana_mpi::{SrcSpec, TagSpec};
+    match s {
+        SlotState::Empty => e.u32(0),
+        SlotState::RecvPosted {
+            comm_virt,
+            src,
+            tag,
+            arr_addr,
+            offset,
+        } => {
+            e.u32(1);
+            e.u64(*comm_virt);
+            match src {
+                SrcSpec::Any => e.u32(u32::MAX),
+                SrcSpec::Rank(r) => e.u32(*r),
+            }
+            match tag {
+                TagSpec::Any => {
+                    e.boolean(true);
+                    e.i32(0);
+                }
+                TagSpec::Tag(v) => {
+                    e.boolean(false);
+                    e.i32(*v);
+                }
+            }
+            e.u64(*arr_addr);
+            e.u64(*offset);
+        }
+        SlotState::SendIssued { .. } => {
+            // The runtime vreq deliberately does not survive: delivery is
+            // guaranteed by the drain.
+            e.u32(2);
+        }
+        SlotState::CollPending { vreq } => {
+            e.u32(3);
+            e.u64(*vreq);
+        }
+    }
+}
+
+fn dec_slot(d: &mut Dec) -> Result<crate::shared::SlotState, CodecError> {
+    use crate::shared::SlotState;
+    use mana_mpi::{SrcSpec, TagSpec};
+    Ok(match d.u32("slot tag")? {
+        0 => SlotState::Empty,
+        1 => {
+            let comm_virt = d.u64("slot comm")?;
+            let src = match d.u32("slot src")? {
+                u32::MAX => SrcSpec::Any,
+                r => SrcSpec::Rank(r),
+            };
+            let any_tag = d.boolean("slot tag any")?;
+            let tv = d.i32("slot tag value")?;
+            let tag = if any_tag { TagSpec::Any } else { TagSpec::Tag(tv) };
+            SlotState::RecvPosted {
+                comm_virt,
+                src,
+                tag,
+                arr_addr: d.u64("slot arr")?,
+                offset: d.u64("slot off")?,
+            }
+        }
+        2 => SlotState::SendIssued { vreq: None },
+        3 => SlotState::CollPending {
+            vreq: d.u64("slot vreq")?,
+        },
+        tag => return Err(CodecError::BadTag { what: "slot", tag }),
+    })
+}
+
+fn enc_counters(e: &mut Enc, c: &PairCounters) {
+    e.seq(c.sent.len());
+    for (k, v) in &c.sent {
+        e.u32(*k);
+        e.u64(*v);
+    }
+    e.seq(c.recvd.len());
+    for (k, v) in &c.recvd {
+        e.u32(*k);
+        e.u64(*v);
+    }
+}
+
+fn dec_counters(d: &mut Dec) -> Result<PairCounters, CodecError> {
+    let mut c = PairCounters::default();
+    for _ in 0..d.seq("sent counters")? {
+        let k = d.u32("sent peer")?;
+        let v = d.u64("sent count")?;
+        c.sent.insert(k, v);
+    }
+    for _ in 0..d.seq("recvd counters")? {
+        let k = d.u32("recvd peer")?;
+        let v = d.u64("recvd count")?;
+        c.recvd.insert(k, v);
+    }
+    Ok(c)
+}
+
+fn enc_call(e: &mut Enc, c: &LoggedCall) {
+    match c {
+        LoggedCall::CommDup { parent, result } => {
+            e.u32(0);
+            e.u64(*parent);
+            e.u64(*result);
+        }
+        LoggedCall::CommSplit {
+            parent,
+            color,
+            key,
+            result,
+        } => {
+            e.u32(1);
+            e.u64(*parent);
+            e.i32(*color);
+            e.i32(*key);
+            e.u64(*result);
+        }
+        LoggedCall::CommCreate {
+            parent,
+            group,
+            result,
+        } => {
+            e.u32(2);
+            e.u64(*parent);
+            e.u64(*group);
+            match result {
+                Some(r) => {
+                    e.boolean(true);
+                    e.u64(*r);
+                }
+                None => e.boolean(false),
+            }
+        }
+        LoggedCall::CommFree { comm } => {
+            e.u32(3);
+            e.u64(*comm);
+        }
+        LoggedCall::CartCreate {
+            parent,
+            dims,
+            periodic,
+            result,
+        } => {
+            e.u32(4);
+            e.u64(*parent);
+            e.seq(dims.len());
+            for d in dims {
+                e.u32(*d);
+            }
+            for p in periodic {
+                e.boolean(*p);
+            }
+            e.u64(*result);
+        }
+        LoggedCall::CommGroup { comm, result } => {
+            e.u32(5);
+            e.u64(*comm);
+            e.u64(*result);
+        }
+        LoggedCall::GroupIncl {
+            group,
+            ranks,
+            result,
+        } => {
+            e.u32(6);
+            e.u64(*group);
+            e.seq(ranks.len());
+            for r in ranks {
+                e.u32(*r);
+            }
+            e.u64(*result);
+        }
+        LoggedCall::GroupExcl {
+            group,
+            ranks,
+            result,
+        } => {
+            e.u32(7);
+            e.u64(*group);
+            e.seq(ranks.len());
+            for r in ranks {
+                e.u32(*r);
+            }
+            e.u64(*result);
+        }
+        LoggedCall::GroupFree { group } => {
+            e.u32(8);
+            e.u64(*group);
+        }
+        LoggedCall::TypeBase { base, result } => {
+            e.u32(9);
+            e.u32(base_tag(*base));
+            e.u64(*result);
+        }
+        LoggedCall::TypeContiguous {
+            count,
+            inner,
+            result,
+        } => {
+            e.u32(10);
+            e.u32(*count);
+            e.u64(*inner);
+            e.u64(*result);
+        }
+        LoggedCall::TypeVector {
+            count,
+            blocklen,
+            stride,
+            inner,
+            result,
+        } => {
+            e.u32(11);
+            e.u32(*count);
+            e.u32(*blocklen);
+            e.u32(*stride);
+            e.u64(*inner);
+            e.u64(*result);
+        }
+        LoggedCall::TypeFree { dtype } => {
+            e.u32(12);
+            e.u64(*dtype);
+        }
+    }
+}
+
+fn dec_call(d: &mut Dec) -> Result<LoggedCall, CodecError> {
+    Ok(match d.u32("call tag")? {
+        0 => LoggedCall::CommDup {
+            parent: d.u64("dup parent")?,
+            result: d.u64("dup result")?,
+        },
+        1 => LoggedCall::CommSplit {
+            parent: d.u64("split parent")?,
+            color: d.i32("split color")?,
+            key: d.i32("split key")?,
+            result: d.u64("split result")?,
+        },
+        2 => LoggedCall::CommCreate {
+            parent: d.u64("create parent")?,
+            group: d.u64("create group")?,
+            result: if d.boolean("create some")? {
+                Some(d.u64("create result")?)
+            } else {
+                None
+            },
+        },
+        3 => LoggedCall::CommFree {
+            comm: d.u64("free comm")?,
+        },
+        4 => {
+            let parent = d.u64("cart parent")?;
+            let n = d.seq("cart dims")?;
+            let mut dims = Vec::new();
+            for _ in 0..n {
+                dims.push(d.u32("cart dim")?);
+            }
+            let mut periodic = Vec::new();
+            for _ in 0..n {
+                periodic.push(d.boolean("cart periodic")?);
+            }
+            LoggedCall::CartCreate {
+                parent,
+                dims,
+                periodic,
+                result: d.u64("cart result")?,
+            }
+        }
+        5 => LoggedCall::CommGroup {
+            comm: d.u64("cg comm")?,
+            result: d.u64("cg result")?,
+        },
+        6 => {
+            let group = d.u64("gi group")?;
+            let mut ranks = Vec::new();
+            for _ in 0..d.seq("gi ranks")? {
+                ranks.push(d.u32("gi rank")?);
+            }
+            LoggedCall::GroupIncl {
+                group,
+                ranks,
+                result: d.u64("gi result")?,
+            }
+        }
+        7 => {
+            let group = d.u64("ge group")?;
+            let mut ranks = Vec::new();
+            for _ in 0..d.seq("ge ranks")? {
+                ranks.push(d.u32("ge rank")?);
+            }
+            LoggedCall::GroupExcl {
+                group,
+                ranks,
+                result: d.u64("ge result")?,
+            }
+        }
+        8 => LoggedCall::GroupFree {
+            group: d.u64("gf group")?,
+        },
+        9 => LoggedCall::TypeBase {
+            base: dec_base(d.u32("tb base")?)?,
+            result: d.u64("tb result")?,
+        },
+        10 => LoggedCall::TypeContiguous {
+            count: d.u32("tc count")?,
+            inner: d.u64("tc inner")?,
+            result: d.u64("tc result")?,
+        },
+        11 => LoggedCall::TypeVector {
+            count: d.u32("tv count")?,
+            blocklen: d.u32("tv blocklen")?,
+            stride: d.u32("tv stride")?,
+            inner: d.u64("tv inner")?,
+            result: d.u64("tv result")?,
+        },
+        12 => LoggedCall::TypeFree {
+            dtype: d.u64("tf dtype")?,
+        },
+        tag => return Err(CodecError::BadTag { what: "logged call", tag }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CheckpointImage {
+        let mut counters = PairCounters::default();
+        counters.on_send(1);
+        counters.on_send(1);
+        counters.on_recv(2);
+        CheckpointImage {
+            rank: 3,
+            nranks: 8,
+            ckpt_id: 1,
+            app_name: "gromacs".to_string(),
+            seed: 42,
+            regions: vec![
+                RegionSnapshot {
+                    start: 0x1000,
+                    len: 16,
+                    half: Half::Upper,
+                    kind: RegionKind::Mmap,
+                    name: "arr".to_string(),
+                    content: SnapshotContent::Dense(vec![9; 16]),
+                },
+                RegionSnapshot {
+                    start: 0x4000,
+                    len: 1 << 20,
+                    half: Half::Upper,
+                    kind: RegionKind::Text,
+                    name: "app [text]".to_string(),
+                    content: SnapshotContent::Pattern { seed: 7 },
+                },
+            ],
+            upper_cursor: 0x7f70_0000_0000,
+            comms: vec![VirtCommEntry {
+                virt: 0x1000_0000,
+                members: vec![0, 1, 2, 3, 4, 5, 6, 7],
+                cart_dims: vec![4, 2],
+                cart_periodic: vec![true, false],
+            }],
+            groups: vec![0x2000_0000],
+            dtypes: vec![0x3000_0000, 0x3000_0001],
+            log: vec![
+                LoggedCall::TypeBase {
+                    base: BaseType::Double,
+                    result: 0x3000_0000,
+                },
+                LoggedCall::CommDup {
+                    parent: 0x1000_0000,
+                    result: 0x1000_0001,
+                },
+                LoggedCall::CartCreate {
+                    parent: 0x1000_0000,
+                    dims: vec![4, 2],
+                    periodic: vec![true, false],
+                    result: 0x1000_0002,
+                },
+            ],
+            counters,
+            buffered: vec![BufferedMsg {
+                comm_virt: 0x1000_0000,
+                src_local: 5,
+                src_global: 5,
+                tag: 99,
+                data: vec![1, 2, 3],
+                modeled: 4096,
+            }],
+            pending: vec![PendingColl {
+                vreq: 0x4000_0000,
+                comm_virt: 0x1000_0000,
+                kind: PendingKind::Iallreduce {
+                    data: vec![0; 8],
+                    base: BaseType::Double,
+                    op: ReduceOp::Sum,
+                },
+            }],
+            ops_done: 17,
+            allocs: vec![(0x1000, 16)],
+            slots: vec![
+                crate::shared::SlotState::Empty,
+                crate::shared::SlotState::RecvPosted {
+                    comm_virt: 0x1000_0000,
+                    src: mana_mpi::SrcSpec::Any,
+                    tag: mana_mpi::TagSpec::Tag(4),
+                    arr_addr: 0x1000,
+                    offset: 8,
+                },
+                crate::shared::SlotState::SendIssued { vreq: None },
+            ],
+            slot_seq: 3,
+            slot_seq_at_step: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let img = sample();
+        let bytes = img.encode();
+        let back = CheckpointImage::decode(&bytes).expect("decode");
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn sizes() {
+        let img = sample();
+        assert_eq!(img.logical_bytes(), 16 + (1 << 20) + 4096);
+        assert_eq!(img.dense_bytes(), 16);
+        // Encoded size reflects dense content only (pattern stored as
+        // descriptor).
+        assert!(img.encode().len() < 4096);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            CheckpointImage::decode(&bytes),
+            Err(CodecError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().encode();
+        for cut in [10, 50, bytes.len() - 1] {
+            assert!(
+                CheckpointImage::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+}

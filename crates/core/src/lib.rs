@@ -1,0 +1,49 @@
+//! # mana-core — MPI-Agnostic Network-Agnostic transparent checkpointing
+//!
+//! The paper's contribution (Garg, Price, Cooperman — HPDC'19), built on
+//! the `mana-sim` / `mana-net` / `mana-mpi` substrates:
+//!
+//! * **split process** ([`split`]): upper-half application image vs the
+//!   ephemeral lower-half MPI library; `sbrk` interposition;
+//! * **handle virtualization & record-replay** ([`virtid`], [`record`]):
+//!   communicators, groups, datatypes and requests survive library
+//!   replacement;
+//! * **point-to-point drain** ([`buffer`], [`helper`]): bookmark exchange
+//!   plus network flush into checkpointable buffers;
+//! * **two-phase collectives** ([`cell`], [`wrapper`], [`coordinator`]):
+//!   Algorithm 1/2 with the trivial barrier, intent/extra-iteration/
+//!   do-ckpt protocol and a coordinator-side safety rule;
+//! * **checkpoint images** ([`image`], [`codec`]): versioned binary format
+//!   holding everything a restart needs;
+//! * **the restart engine** ([`runner`]): fresh lower half, restored upper
+//!   half, replayed opaque state — on any cluster/implementation/network;
+//! * **instrumentation** ([`stats`]) feeding the paper's figures.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cell;
+pub mod codec;
+pub mod config;
+pub mod coordinator;
+pub mod ctrl;
+pub mod env;
+pub mod helper;
+pub mod image;
+pub mod record;
+pub mod runner;
+pub mod shared;
+pub mod split;
+pub mod stats;
+pub mod virtid;
+pub mod wrapper;
+
+pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
+pub use config::{AfterCkpt, ManaConfig};
+pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
+pub use image::CheckpointImage;
+pub use runner::{
+    launch_mana_app, run_mana_app, run_native_app, run_restart_app, ManaJobSpec, RunOutcome,
+};
+pub use stats::{CkptReport, RestartReport, StatsHub};
+pub use wrapper::ManaMpi;

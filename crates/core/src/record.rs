@@ -1,0 +1,185 @@
+//! Record-replay of state-mutating MPI calls (paper §2.2).
+//!
+//! MPI calls with persistent effects — communicator, group, topology and
+//! datatype creation — are recorded at runtime in terms of *virtual*
+//! handles. On restart, MANA replays the log against the brand-new lower
+//! half, rebinding each virtual handle to whatever real handle the new
+//! library issues. Replay of collective creation calls is itself
+//! collective: every rank replays the same sequence, so the calls
+//! synchronize through the new library exactly as the originals did.
+
+use mana_mpi::BaseType;
+
+/// One recorded state-mutating call. All handles are virtual ids.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoggedCall {
+    /// `MPI_Comm_dup(parent) -> result`
+    CommDup {
+        /// Parent communicator (virtual).
+        parent: u64,
+        /// Resulting communicator (virtual).
+        result: u64,
+    },
+    /// `MPI_Comm_split(parent, color, key) -> result` (`result == 0` for
+    /// `MPI_COMM_NULL`, i.e. negative color).
+    CommSplit {
+        /// Parent communicator (virtual).
+        parent: u64,
+        /// Split color.
+        color: i32,
+        /// Split key.
+        key: i32,
+        /// Resulting communicator (virtual; 0 = null).
+        result: u64,
+    },
+    /// `MPI_Comm_create(parent, group) -> result` (`None` for non-members).
+    CommCreate {
+        /// Parent communicator (virtual).
+        parent: u64,
+        /// Group argument (virtual).
+        group: u64,
+        /// Resulting communicator (virtual), if a member.
+        result: Option<u64>,
+    },
+    /// `MPI_Comm_free(comm)`.
+    CommFree {
+        /// Freed communicator (virtual).
+        comm: u64,
+    },
+    /// `MPI_Cart_create(parent, dims, periodic) -> result`.
+    CartCreate {
+        /// Parent communicator (virtual).
+        parent: u64,
+        /// Grid dims.
+        dims: Vec<u32>,
+        /// Periodicity flags.
+        periodic: Vec<bool>,
+        /// Resulting communicator (virtual).
+        result: u64,
+    },
+    /// `MPI_Comm_group(comm) -> result`.
+    CommGroup {
+        /// Source communicator (virtual).
+        comm: u64,
+        /// Resulting group (virtual).
+        result: u64,
+    },
+    /// `MPI_Group_incl(group, ranks) -> result`.
+    GroupIncl {
+        /// Source group (virtual).
+        group: u64,
+        /// Included comm-local ranks.
+        ranks: Vec<u32>,
+        /// Resulting group (virtual).
+        result: u64,
+    },
+    /// `MPI_Group_excl(group, ranks) -> result`.
+    GroupExcl {
+        /// Source group (virtual).
+        group: u64,
+        /// Excluded comm-local ranks.
+        ranks: Vec<u32>,
+        /// Resulting group (virtual).
+        result: u64,
+    },
+    /// `MPI_Group_free(group)`.
+    GroupFree {
+        /// Freed group (virtual).
+        group: u64,
+    },
+    /// Predefined datatype handle materialization.
+    TypeBase {
+        /// Base type.
+        base: BaseType,
+        /// Resulting datatype (virtual).
+        result: u64,
+    },
+    /// `MPI_Type_contiguous(count, inner) -> result`.
+    TypeContiguous {
+        /// Repeat count.
+        count: u32,
+        /// Inner datatype (virtual).
+        inner: u64,
+        /// Resulting datatype (virtual).
+        result: u64,
+    },
+    /// `MPI_Type_vector(count, blocklen, stride, inner) -> result`.
+    TypeVector {
+        /// Block count.
+        count: u32,
+        /// Elements per block.
+        blocklen: u32,
+        /// Stride between blocks.
+        stride: u32,
+        /// Inner datatype (virtual).
+        inner: u64,
+        /// Resulting datatype (virtual).
+        result: u64,
+    },
+    /// `MPI_Type_free(dtype)`.
+    TypeFree {
+        /// Freed datatype (virtual).
+        dtype: u64,
+    },
+}
+
+/// Append-only log of state-mutating calls for one rank.
+#[derive(Default)]
+pub struct ReplayLog {
+    entries: parking_lot::Mutex<Vec<LoggedCall>>,
+}
+
+impl ReplayLog {
+    /// Empty log.
+    pub fn new() -> ReplayLog {
+        ReplayLog::default()
+    }
+
+    /// Record a call.
+    pub fn push(&self, c: LoggedCall) {
+        self.entries.lock().push(c);
+    }
+
+    /// Snapshot of all entries (image serialization / replay).
+    pub fn entries(&self) -> Vec<LoggedCall> {
+        self.entries.lock().clone()
+    }
+
+    /// Restore from an image.
+    pub fn load(&self, entries: Vec<LoggedCall>) {
+        *self.entries.lock() = entries;
+    }
+
+    /// Number of recorded calls.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_roundtrip() {
+        let log = ReplayLog::new();
+        log.push(LoggedCall::CommDup {
+            parent: 0x1000_0000,
+            result: 0x1000_0001,
+        });
+        log.push(LoggedCall::TypeBase {
+            base: BaseType::Double,
+            result: 0x3000_0000,
+        });
+        assert_eq!(log.len(), 2);
+        let snap = log.entries();
+        let log2 = ReplayLog::new();
+        log2.load(snap.clone());
+        assert_eq!(log2.entries(), snap);
+    }
+}

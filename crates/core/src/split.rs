@@ -1,0 +1,151 @@
+//! Split-process management: the upper-half program image (paper §2.1)
+//! and the `sbrk` interposition.
+//!
+//! At launch, the MPI application's own text/data, its libc, its
+//! thread-local block — and, because HPC applications are linked with
+//! `mpicc`, an additional never-initialized copy of the MPI library
+//! (§3.2.2's constant ~26 MB memory overhead) — are mapped as
+//! `Half::Upper`. Everything the *active* MPI library maps at `MPI_Init`
+//! is `Half::Lower` and is discarded by every checkpoint.
+
+use mana_mpi::MpiProfile;
+use mana_sim::memory::{AddressSpace, Backing, Half, MemError, RegionKind};
+use mana_sim::rng::derive_seed_idx;
+use std::sync::Arc;
+
+/// Sizes of the upper-half program image.
+#[derive(Clone, Debug)]
+pub struct UpperProgram {
+    /// Application text bytes.
+    pub app_text: u64,
+    /// Application static data bytes.
+    pub app_data: u64,
+    /// Upper-half libc text bytes.
+    pub libc_text: u64,
+    /// Duplicate (unused) MPI library text from the `mpicc` link — sized
+    /// by the *build-time* profile, constant across restarts.
+    pub dup_mpi_text: u64,
+    /// Upper-half TLS block.
+    pub tls: u64,
+}
+
+impl UpperProgram {
+    /// Typical application image linked against `build_profile`.
+    pub fn typical(build_profile: &MpiProfile) -> UpperProgram {
+        UpperProgram {
+            app_text: 4 << 20,
+            app_data: 1 << 20,
+            libc_text: 2 << 20,
+            dup_mpi_text: build_profile.text_bytes,
+            tls: 64 * 1024,
+        }
+    }
+
+    /// Map the program image into `aspace` for a first launch and claim
+    /// the program break for the upper half (the kernel loaded *us*).
+    pub fn map_fresh(
+        &self,
+        aspace: &Arc<AddressSpace>,
+        app_name: &str,
+        rank: u32,
+        seed: u64,
+    ) -> Result<(), MemError> {
+        let s = derive_seed_idx(seed, "upper-program", u64::from(rank));
+        aspace.map_fixed(
+            AddressSpace::upper_text_base(),
+            Half::Upper,
+            RegionKind::Text,
+            &format!("{app_name} [text]"),
+            self.app_text,
+            Backing::Pattern { seed: s },
+        )?;
+        aspace.map_fixed(
+            AddressSpace::upper_text_base() + 0x40_0000,
+            Half::Upper,
+            RegionKind::Data,
+            &format!("{app_name} [data]"),
+            self.app_data,
+            Backing::Pattern { seed: s ^ 1 },
+        )?;
+        aspace.map(
+            Half::Upper,
+            RegionKind::Text,
+            "libc.so.6 [upper]",
+            self.libc_text,
+            Backing::Pattern { seed: s ^ 2 },
+        )?;
+        aspace.map(
+            Half::Upper,
+            RegionKind::Text,
+            "libmpi (mpicc link, unused) [upper]",
+            self.dup_mpi_text,
+            Backing::Pattern { seed: s ^ 3 },
+        )?;
+        aspace.map(
+            Half::Upper,
+            RegionKind::Tls,
+            "upper-half TLS",
+            self.tls,
+            Backing::Pattern { seed: s ^ 4 },
+        )?;
+        aspace.set_brk_owner(Half::Upper);
+        Ok(())
+    }
+}
+
+/// The upper-half `sbrk` interposition (§2.1's "minor inconvenience").
+///
+/// After a restart the kernel's single program break belongs to the new
+/// lower-half program, so an upper-half `sbrk` would collide. MANA
+/// interposes: if the upper half owns the break, use it; otherwise
+/// silently satisfy the request with an anonymous `mmap`.
+pub fn upper_sbrk(aspace: &Arc<AddressSpace>, bytes: u64) -> Result<u64, MemError> {
+    match aspace.sbrk(Half::Upper, bytes) {
+        Ok(base) => Ok(base),
+        Err(MemError::BrkOwnedByOtherHalf { .. }) => aspace.map(
+            Half::Upper,
+            RegionKind::Mmap,
+            "[mana sbrk redirect]",
+            bytes,
+            Backing::Dense(mana_sim::memory::DenseBuf::zeroed(bytes as usize)),
+        ),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_map_accounts_upper_bytes() {
+        let aspace = Arc::new(AddressSpace::new());
+        let up = UpperProgram::typical(&MpiProfile::cray_mpich());
+        up.map_fresh(&aspace, "gromacs", 0, 1).unwrap();
+        let upper = aspace.bytes_of_half(Half::Upper);
+        // Dominated by the duplicate 26 MB MPI text.
+        assert!(upper > 26 << 20, "upper {upper}");
+        assert_eq!(aspace.bytes_of_half(Half::Lower), 0);
+    }
+
+    #[test]
+    fn sbrk_interposition_redirects_after_restart() {
+        let aspace = Arc::new(AddressSpace::new());
+        // Fresh process: upper owns the break.
+        aspace.set_brk_owner(Half::Upper);
+        let a = upper_sbrk(&aspace, 4096).unwrap();
+        aspace.write_bytes(a, &[1; 8]).unwrap();
+
+        // Simulate restart: break belongs to the (new) lower half.
+        let aspace2 = Arc::new(AddressSpace::new());
+        aspace2.set_brk_owner(Half::Lower);
+        let b = upper_sbrk(&aspace2, 4096).unwrap();
+        // Redirected allocation is upper-half and writable.
+        aspace2.write_bytes(b, &[2; 8]).unwrap();
+        assert_eq!(
+            aspace2.bytes_of_half(Half::Upper),
+            4096,
+            "redirected alloc must be upper-half"
+        );
+    }
+}

@@ -1,0 +1,205 @@
+//! Checkpoint/restart instrumentation (feeds Figures 6–8).
+
+use mana_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-rank measurements for one checkpoint.
+#[derive(Clone, Debug, Default)]
+pub struct RankCkptStats {
+    /// Rank id.
+    pub rank: u32,
+    /// Time spent draining in-flight messages.
+    pub drain: SimDuration,
+    /// Time spent writing (and fsyncing) the image.
+    pub write: SimDuration,
+    /// Logical image size (what the paper reports per rank).
+    pub image_logical_bytes: u64,
+    /// Dense bytes actually serialized.
+    pub image_dense_bytes: u64,
+    /// Messages captured by the drain.
+    pub drained_msgs: u64,
+}
+
+/// Aggregate measurements for one checkpoint (what Figure 6/8 plot).
+#[derive(Clone, Debug)]
+pub struct CkptReport {
+    /// Checkpoint id.
+    pub ckpt_id: u64,
+    /// Coordinator time when the intend-to-checkpoint went out.
+    pub t_begin: SimTime,
+    /// Time the two-phase agreement finished (do-ckpt sent).
+    pub t_do_ckpt: SimTime,
+    /// Time the last ckpt-done arrived (checkpoint complete).
+    pub t_end: SimTime,
+    /// Extra-iteration rounds needed (Challenge III pressure).
+    pub extra_iterations: u32,
+    /// Per-rank breakdowns.
+    pub ranks: Vec<RankCkptStats>,
+}
+
+impl CkptReport {
+    /// Total checkpoint time (intend → last done), the paper's headline
+    /// number.
+    pub fn total(&self) -> SimDuration {
+        self.t_end.since(self.t_begin)
+    }
+
+    /// Slowest rank's drain time.
+    pub fn max_drain(&self) -> SimDuration {
+        self.ranks.iter().map(|r| r.drain).max().unwrap_or_default()
+    }
+
+    /// Slowest rank's write time.
+    pub fn max_write(&self) -> SimDuration {
+        self.ranks.iter().map(|r| r.write).max().unwrap_or_default()
+    }
+
+    /// Protocol/communication overhead: everything that is neither drain
+    /// nor write (two-phase agreement plus coordinator round-trips).
+    pub fn comm_overhead(&self) -> SimDuration {
+        self.total()
+            .saturating_sub(self.max_drain())
+            .saturating_sub(self.max_write())
+    }
+
+    /// Largest per-rank image (logical bytes) — the figure annotations.
+    pub fn max_image_bytes(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.image_logical_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of logical image bytes (the paper's "total checkpointing data").
+    pub fn total_image_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.image_logical_bytes).sum()
+    }
+}
+
+/// Per-rank restart measurements (Figure 7).
+#[derive(Clone, Debug, Default)]
+pub struct RankRestartStats {
+    /// Rank id.
+    pub rank: u32,
+    /// Image read time.
+    pub read: SimDuration,
+    /// Time to re-create opaque MPI objects by replaying the log (§2.2 —
+    /// the paper reports this under 10% of restart time).
+    pub replay: SimDuration,
+}
+
+/// Aggregate restart measurements.
+#[derive(Clone, Debug, Default)]
+pub struct RestartReport {
+    /// Per-rank stats.
+    pub ranks: Vec<RankRestartStats>,
+    /// Wall time from restart begin to all ranks resumed.
+    pub total: SimDuration,
+}
+
+impl RestartReport {
+    /// Slowest read.
+    pub fn max_read(&self) -> SimDuration {
+        self.ranks.iter().map(|r| r.read).max().unwrap_or_default()
+    }
+
+    /// Slowest replay.
+    pub fn max_replay(&self) -> SimDuration {
+        self.ranks.iter().map(|r| r.replay).max().unwrap_or_default()
+    }
+}
+
+/// Shared collector handed to coordinator/restart engines; read by the
+/// benchmark harness after the simulation finishes.
+#[derive(Clone, Default)]
+pub struct StatsHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+#[derive(Default)]
+struct HubInner {
+    ckpts: Vec<CkptReport>,
+    restarts: Vec<RestartReport>,
+}
+
+impl StatsHub {
+    /// Fresh collector.
+    pub fn new() -> StatsHub {
+        StatsHub::default()
+    }
+
+    /// Record a completed checkpoint.
+    pub fn push_ckpt(&self, r: CkptReport) {
+        self.inner.lock().ckpts.push(r);
+    }
+
+    /// Record a completed restart.
+    pub fn push_restart(&self, r: RestartReport) {
+        self.inner.lock().restarts.push(r);
+    }
+
+    /// All checkpoint reports so far.
+    pub fn ckpts(&self) -> Vec<CkptReport> {
+        self.inner.lock().ckpts.clone()
+    }
+
+    /// All restart reports so far.
+    pub fn restarts(&self) -> Vec<RestartReport> {
+        self.inner.lock().restarts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_decomposition() {
+        let r = CkptReport {
+            ckpt_id: 1,
+            t_begin: SimTime(0),
+            t_do_ckpt: SimTime(2_000_000_000),
+            t_end: SimTime(10_000_000_000),
+            extra_iterations: 1,
+            ranks: vec![
+                RankCkptStats {
+                    rank: 0,
+                    drain: SimDuration::millis(500),
+                    write: SimDuration::secs(6),
+                    image_logical_bytes: 100,
+                    image_dense_bytes: 50,
+                    drained_msgs: 3,
+                },
+                RankCkptStats {
+                    rank: 1,
+                    drain: SimDuration::millis(700),
+                    write: SimDuration::secs(7),
+                    image_logical_bytes: 200,
+                    image_dense_bytes: 60,
+                    drained_msgs: 0,
+                },
+            ],
+        };
+        assert_eq!(r.total(), SimDuration::secs(10));
+        assert_eq!(r.max_drain(), SimDuration::millis(700));
+        assert_eq!(r.max_write(), SimDuration::secs(7));
+        assert_eq!(
+            r.comm_overhead(),
+            SimDuration::secs(10)
+                .saturating_sub(SimDuration::millis(700))
+                .saturating_sub(SimDuration::secs(7))
+        );
+        assert_eq!(r.max_image_bytes(), 200);
+        assert_eq!(r.total_image_bytes(), 300);
+    }
+
+    #[test]
+    fn hub_collects() {
+        let hub = StatsHub::new();
+        hub.push_restart(RestartReport::default());
+        assert_eq!(hub.restarts().len(), 1);
+        assert!(hub.ckpts().is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Virtualization of MPI opaque handles (paper §2.2).
+//!
+//! The application must keep using the same handle values across
+//! checkpoint/restart even though the underlying MPI library — and hence
+//! every real handle value — is replaced. MANA therefore interposes on all
+//! calls that accept or return opaque handles and translates between
+//! stable *virtual* ids (what the application sees) and the current lower
+//! half's *real* ids.
+//!
+//! Each translation is a hash-table lookup under a lock; the paper calls
+//! this out as the second (smaller) source of runtime overhead, and the
+//! wrapper charges [`crate::config::ManaConfig::virt_cost`] per translation
+//! accordingly. The `micro_virtid` criterion bench measures the real cost
+//! of this exact structure.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Handle classes with independent virtual id spaces.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HandleClass {
+    /// Communicators.
+    Comm,
+    /// Groups.
+    Group,
+    /// Datatypes.
+    Dtype,
+    /// Requests.
+    Req,
+}
+
+/// First virtual id issued per class (disjoint, recognizable spaces).
+fn base_of(class: HandleClass) -> u64 {
+    match class {
+        HandleClass::Comm => 0x1000_0000,
+        HandleClass::Group => 0x2000_0000,
+        HandleClass::Dtype => 0x3000_0000,
+        HandleClass::Req => 0x4000_0000,
+    }
+}
+
+#[derive(Default)]
+struct Table {
+    v2r: HashMap<u64, u64>,
+    r2v: HashMap<u64, u64>,
+    next: u64,
+}
+
+/// One class's virtual↔real translation table.
+pub struct VirtTable {
+    class: HandleClass,
+    inner: Mutex<Table>,
+}
+
+impl VirtTable {
+    /// Empty table for `class`.
+    pub fn new(class: HandleClass) -> VirtTable {
+        VirtTable {
+            class,
+            inner: Mutex::new(Table {
+                next: base_of(class),
+                ..Table::default()
+            }),
+        }
+    }
+
+    /// Allocate a fresh virtual id bound to `real`.
+    pub fn intern(&self, real: u64) -> u64 {
+        let mut t = self.inner.lock();
+        let v = t.next;
+        t.next += 1;
+        t.v2r.insert(v, real);
+        t.r2v.insert(real, v);
+        v
+    }
+
+    /// Real id behind `virt`. Panics on unknown handles — an application
+    /// using a stale handle is a bug in any MPI program.
+    pub fn real_of(&self, virt: u64) -> u64 {
+        *self
+            .inner
+            .lock()
+            .v2r
+            .get(&virt)
+            .unwrap_or_else(|| panic!("unknown virtual {:?} handle {virt:#x}", self.class))
+    }
+
+    /// Virtual id for a real handle, if it is tracked.
+    pub fn virt_of(&self, real: u64) -> Option<u64> {
+        self.inner.lock().r2v.get(&real).copied()
+    }
+
+    /// Rebind `virt` to a new real id (restart replay: the fresh library
+    /// issued different handle values).
+    pub fn rebind(&self, virt: u64, new_real: u64) {
+        let mut t = self.inner.lock();
+        let old = t
+            .v2r
+            .insert(virt, new_real)
+            .unwrap_or_else(|| panic!("rebind of unknown virtual handle {virt:#x}"));
+        t.r2v.remove(&old);
+        t.r2v.insert(new_real, virt);
+    }
+
+    /// Register a virtual id restored from a checkpoint image, not yet
+    /// bound to any real handle (replay will `rebind` it).
+    pub fn restore_virt(&self, virt: u64) {
+        let mut t = self.inner.lock();
+        t.v2r.insert(virt, u64::MAX);
+        t.next = t.next.max(virt + 1);
+    }
+
+    /// Bind `virt` to `real`, inserting or updating (replay path: log
+    /// entries may reference virtual ids that were freed later in the log
+    /// and therefore are not in the restored live set).
+    pub fn bind(&self, virt: u64, real: u64) {
+        let mut t = self.inner.lock();
+        if let Some(old) = t.v2r.insert(virt, real) {
+            t.r2v.remove(&old);
+        }
+        t.r2v.insert(real, virt);
+        t.next = t.next.max(virt + 1);
+    }
+
+    /// Drop a virtual id (object freed).
+    pub fn remove(&self, virt: u64) {
+        let mut t = self.inner.lock();
+        if let Some(r) = t.v2r.remove(&virt) {
+            t.r2v.remove(&r);
+        }
+    }
+
+    /// All live virtual ids, sorted (deterministic iteration; image
+    /// serialization).
+    pub fn live_virts(&self) -> Vec<u64> {
+        let t = self.inner.lock();
+        let mut v: Vec<u64> = t.v2r.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live handles.
+    pub fn len(&self) -> usize {
+        self.inner.lock().v2r.len()
+    }
+
+    /// Whether no handles are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The four tables MANA maintains per rank.
+pub struct VirtRegistry {
+    /// Communicator handles.
+    pub comm: VirtTable,
+    /// Group handles.
+    pub group: VirtTable,
+    /// Datatype handles.
+    pub dtype: VirtTable,
+    /// Request handles.
+    pub req: VirtTable,
+}
+
+impl Default for VirtRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtRegistry {
+    /// Fresh registry.
+    pub fn new() -> VirtRegistry {
+        VirtRegistry {
+            comm: VirtTable::new(HandleClass::Comm),
+            group: VirtTable::new(HandleClass::Group),
+            dtype: VirtTable::new(HandleClass::Dtype),
+            req: VirtTable::new(HandleClass::Req),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_translate_roundtrip() {
+        let t = VirtTable::new(HandleClass::Comm);
+        let v1 = t.intern(0x4400_0000);
+        let v2 = t.intern(0x4400_0001);
+        assert_ne!(v1, v2);
+        assert_eq!(t.real_of(v1), 0x4400_0000);
+        assert_eq!(t.virt_of(0x4400_0001), Some(v2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn rebind_after_restart() {
+        let t = VirtTable::new(HandleClass::Comm);
+        let v = t.intern(100);
+        // Restart: new library issues a pointer-like handle instead.
+        t.rebind(v, 0x7f00_0000_0040);
+        assert_eq!(t.real_of(v), 0x7f00_0000_0040);
+        assert_eq!(t.virt_of(100), None);
+        assert_eq!(t.virt_of(0x7f00_0000_0040), Some(v));
+    }
+
+    #[test]
+    fn restore_then_rebind() {
+        let t = VirtTable::new(HandleClass::Dtype);
+        t.restore_virt(0x3000_0005);
+        t.rebind(0x3000_0005, 77);
+        assert_eq!(t.real_of(0x3000_0005), 77);
+        // Fresh interns never collide with restored ids.
+        let v = t.intern(88);
+        assert!(v > 0x3000_0005);
+    }
+
+    #[test]
+    fn remove_frees() {
+        let t = VirtTable::new(HandleClass::Group);
+        let v = t.intern(5);
+        t.remove(v);
+        assert!(t.is_empty());
+        assert_eq!(t.virt_of(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown virtual")]
+    fn stale_handle_panics() {
+        let t = VirtTable::new(HandleClass::Comm);
+        t.real_of(0x1000_0099);
+    }
+
+    #[test]
+    fn classes_have_disjoint_spaces() {
+        let r = VirtRegistry::new();
+        let c = r.comm.intern(1);
+        let g = r.group.intern(1);
+        let d = r.dtype.intern(1);
+        let q = r.req.intern(1);
+        let all = [c, g, d, q];
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+}

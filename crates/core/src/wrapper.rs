@@ -1,0 +1,945 @@
+//! The MANA interposition layer.
+//!
+//! `ManaMpi` implements the same [`Mpi`] trait the applications program
+//! against, wrapping the current lower half. Per the paper:
+//!
+//! * every call into the lower half pays the FS-register round-trip
+//!   (§3.3's dominant overhead source, [`KernelModel::fs_roundtrip`]);
+//! * every opaque handle crossing the boundary is translated through the
+//!   virtual-id tables (§2.2; costs [`ManaConfig::virt_cost`] per lookup);
+//! * state-mutating calls are appended to the record-replay log (§2.2);
+//! * point-to-point traffic is counted for the drain bookmarks (§2.3) and
+//!   receives consult the drained-message buffer first;
+//! * every collective is wrapped in the two-phase algorithm (§2.4–2.5):
+//!   pre-wrapper gate, trivial barrier (phase 1), real call (phase 2);
+//! * nonblocking collectives get the §4.2 ibarrier-based variant.
+
+use crate::cell::{CollInstance, Park};
+use crate::config::ManaConfig;
+use crate::image::{PendingColl, PendingKind};
+use crate::record::LoggedCall;
+use crate::shared::{CommMeta, PendingRt, RankShared, WReq};
+use mana_mpi::api::TestResult;
+use mana_mpi::{
+    BaseType, CommHandle, DtypeDef, DtypeHandle, GroupHandle, Mpi, Msg, Rank, ReduceOp, ReqHandle,
+    SrcSpec, Status, Tag, TagSpec, COMM_NULL,
+};
+use mana_sim::sched::SimThread;
+use std::sync::Arc;
+
+/// The MANA wrapper for one rank.
+pub struct ManaMpi {
+    sh: Arc<RankShared>,
+    lower: Arc<dyn Mpi>,
+    cfg: ManaConfig,
+    world_virt: u64,
+}
+
+impl ManaMpi {
+    /// Wrap a freshly initialized lower half for a first run: interns the
+    /// world communicator.
+    pub fn fresh(sh: Arc<RankShared>, lower: Arc<dyn Mpi>, cfg: ManaConfig) -> ManaMpi {
+        let world_real = lower.comm_world();
+        let members: Vec<u32> = (0..lower.comm_size(world_real)).collect();
+        let world_virt = sh.virt.comm.intern(world_real.0);
+        sh.comms.lock().insert(
+            world_virt,
+            CommMeta {
+                real: world_real.0,
+                members,
+                cart_dims: Vec::new(),
+                cart_periodic: Vec::new(),
+                wseq: 0,
+            },
+        );
+        *sh.lower.lock() = Some(lower.clone());
+        ManaMpi {
+            sh,
+            lower,
+            cfg,
+            world_virt,
+        }
+    }
+
+    /// Wrap a fresh lower half for a *restarted* incarnation: the shared
+    /// state (virtual tables, comm metadata, buffers) was already restored
+    /// and replayed by the restart engine; the world virtual id is the
+    /// smallest live communicator id.
+    pub fn resumed(sh: Arc<RankShared>, lower: Arc<dyn Mpi>, cfg: ManaConfig) -> ManaMpi {
+        let world_virt = *sh
+            .comms
+            .lock()
+            .keys()
+            .next()
+            .expect("restored state must contain the world communicator");
+        *sh.lower.lock() = Some(lower.clone());
+        ManaMpi {
+            sh,
+            lower,
+            cfg,
+            world_virt,
+        }
+    }
+
+    /// Shared state handle (used by the runner/helper/environment).
+    pub fn shared(&self) -> &Arc<RankShared> {
+        &self.sh
+    }
+
+    /// The wrapped lower half.
+    pub fn lower(&self) -> &Arc<dyn Mpi> {
+        &self.lower
+    }
+
+    /// Charge the FS-register round-trip for one upper→lower→upper
+    /// crossing.
+    #[inline]
+    fn fs(&self, t: &SimThread) {
+        t.advance(self.cfg.kernel.fs_roundtrip());
+    }
+
+    /// Charge one virtual-handle translation.
+    #[inline]
+    fn vcost(&self, t: &SimThread) {
+        t.advance(self.cfg.virt_cost);
+    }
+
+    fn meta(&self, t: &SimThread, comm_virt: u64) -> CommMeta {
+        self.vcost(t);
+        self.sh.comm_meta(comm_virt)
+    }
+
+    fn meta_untimed(&self, comm_virt: u64) -> CommMeta {
+        self.sh.comm_meta(comm_virt)
+    }
+
+    fn next_instance(&self, comm_virt: u64, size: u32) -> CollInstance {
+        let mut comms = self.sh.comms.lock();
+        let m = comms.get_mut(&comm_virt).expect("known communicator");
+        m.wseq += 1;
+        CollInstance {
+            comm_virt,
+            wseq: m.wseq,
+            size,
+        }
+    }
+
+    /// The two-phase wrapper (Algorithm 1): gate, trivial barrier, real
+    /// collective.
+    fn two_phase<R>(&self, t: &SimThread, comm_virt: u64, f: impl FnOnce(CommHandle) -> R) -> R {
+        let meta = self.meta(t, comm_virt);
+        let real = CommHandle(meta.real);
+        assert_ne!(meta.real, 0, "collective on MPI_COMM_NULL");
+        let inst = self.next_instance(comm_virt, meta.members.len() as u32);
+        self.sh.cell.pre_collective_gate(t, inst);
+        // Phase 1: the trivial barrier.
+        self.fs(t);
+        self.sh
+            .cell
+            .with_park(Park::InPhase1Barrier, || self.lower.barrier(t, real));
+        // Phase 2: the real collective (committed — see cell docs).
+        self.sh.cell.enter_phase2();
+        self.fs(t);
+        let r = f(real);
+        self.sh.cell.exit_phase2();
+        r
+    }
+
+    /// Shared blocking-receive loop: drained buffer first, then the lower
+    /// half, interruptible for quiescence.
+    fn recv_inner(
+        &self,
+        t: &SimThread,
+        comm_virt: u64,
+        src: SrcSpec,
+        tag: TagSpec,
+    ) -> (Vec<u8>, Status) {
+        let meta = self.meta(t, comm_virt);
+        let real = CommHandle(meta.real);
+        loop {
+            self.sh.cell.quiesce_check(t);
+            if let Some(m) = self.sh.buffer.lock().take_match(comm_virt, src, tag) {
+                self.sh.counters.lock().on_recv(m.src_global);
+                let n = m.data.len() as u64;
+                return (
+                    m.data,
+                    Status {
+                        source: m.src_local,
+                        tag: m.tag,
+                        bytes: n,
+                        modeled_bytes: m.modeled,
+                    },
+                );
+            }
+            self.fs(t);
+            if let Some(st) = self.lower.iprobe(t, src, tag, real) {
+                let (data, status) = self.lower.recv(
+                    t,
+                    SrcSpec::Rank(st.source),
+                    TagSpec::Tag(st.tag),
+                    real,
+                );
+                let src_global = meta.members[status.source as usize];
+                self.sh.counters.lock().on_recv(src_global);
+                return (data, status);
+            }
+            self.sh
+                .cell
+                .with_park(Park::InRecvWait, || self.lower.wait_any_message(t));
+        }
+    }
+
+    fn try_recv_inner(
+        &self,
+        t: &SimThread,
+        comm_virt: u64,
+        src: SrcSpec,
+        tag: TagSpec,
+    ) -> Option<(Vec<u8>, Status)> {
+        let meta = self.meta(t, comm_virt);
+        let real = CommHandle(meta.real);
+        if let Some(m) = self.sh.buffer.lock().take_match(comm_virt, src, tag) {
+            self.sh.counters.lock().on_recv(m.src_global);
+            let n = m.data.len() as u64;
+            return Some((
+                m.data,
+                Status {
+                    source: m.src_local,
+                    tag: m.tag,
+                    bytes: n,
+                    modeled_bytes: m.modeled,
+                },
+            ));
+        }
+        self.fs(t);
+        let st = self.lower.iprobe(t, src, tag, real)?;
+        let (data, status) =
+            self.lower
+                .recv(t, SrcSpec::Rank(st.source), TagSpec::Tag(st.tag), real);
+        let src_global = meta.members[status.source as usize];
+        self.sh.counters.lock().on_recv(src_global);
+        Some((data, status))
+    }
+
+    fn register_comm(
+        &self,
+        real: u64,
+        members: Vec<u32>,
+        cart_dims: Vec<u32>,
+        cart_periodic: Vec<bool>,
+    ) -> u64 {
+        let virt = self.sh.virt.comm.intern(real);
+        self.sh.comms.lock().insert(
+            virt,
+            CommMeta {
+                real,
+                members,
+                cart_dims,
+                cart_periodic,
+                wseq: 0,
+            },
+        );
+        virt
+    }
+
+    /// Complete an outstanding two-phase nonblocking collective (shared by
+    /// `wait` and a successful `test`). Implements the paper's §4.2
+    /// proposal: wait for the nonblocking trivial barrier, then run the
+    /// converted-to-blocking real collective.
+    fn finish_pending(&self, t: &SimThread, vreq: u64) -> Option<(Vec<u8>, Status)> {
+        // Read (don't consume) the descriptor: a checkpoint-kill can land
+        // while blocked in the phase-1 wait below, and the descriptor must
+        // still be in the image for the restarted wait to re-execute.
+        let rt = {
+            let mut pending = self.sh.pending.lock();
+            let e = pending.get_mut(&vreq).expect("unknown pending collective");
+            PendingRt {
+                desc: e.desc.clone(),
+                lower_phase1: e.lower_phase1,
+            }
+        };
+        let comm_virt = rt.desc.comm_virt;
+        let meta = self.meta(t, comm_virt);
+        let real = CommHandle(meta.real);
+        // Phase 1: wait for (or re-issue after restart) the ibarrier.
+        let phase1 = match rt.lower_phase1 {
+            Some(r) => r,
+            None => {
+                self.fs(t);
+                self.lower.ibarrier(t, real)
+            }
+        };
+        self.sh.cell.reenter_pending_phase1();
+        self.fs(t);
+        self.sh
+            .cell
+            .with_park(Park::InPhase1Barrier, || self.lower.wait(t, phase1));
+        // Phase 2: converted to the blocking collective.
+        self.sh.cell.enter_phase2();
+        self.fs(t);
+        let out = match &rt.desc.kind {
+            PendingKind::Ibarrier => {
+                self.lower.barrier(t, real);
+                None
+            }
+            PendingKind::Iallreduce { data, base, op } => {
+                let v = self.lower.allreduce(t, data, *base, *op, real);
+                let n = v.len() as u64;
+                Some((
+                    v,
+                    Status {
+                        source: 0,
+                        tag: 0,
+                        bytes: n,
+                        modeled_bytes: n,
+                    },
+                ))
+            }
+        };
+        self.sh.cell.exit_phase2();
+        self.sh.pending.lock().remove(&vreq);
+        out
+    }
+}
+
+impl Mpi for ManaMpi {
+    fn impl_name(&self) -> &'static str {
+        self.lower.impl_name()
+    }
+
+    fn impl_version(&self) -> &'static str {
+        self.lower.impl_version()
+    }
+
+    fn is_debug_build(&self) -> bool {
+        self.lower.is_debug_build()
+    }
+
+    fn comm_world(&self) -> CommHandle {
+        CommHandle(self.world_virt)
+    }
+
+    fn comm_rank(&self, comm: CommHandle) -> Rank {
+        let meta = self.meta_untimed(comm.0);
+        meta.local_of(self.sh.rank).expect("caller not in communicator")
+    }
+
+    fn comm_size(&self, comm: CommHandle) -> u32 {
+        self.meta_untimed(comm.0).members.len() as u32
+    }
+
+    fn send(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle) {
+        let meta = self.meta(t, comm.0);
+        let dst_global = meta.members[dst as usize];
+        self.sh.counters.lock().on_send(dst_global);
+        self.fs(t);
+        self.sh.cell.with_park(Park::InLowerSend, || {
+            self.lower.send(t, msg, dst, tag, CommHandle(meta.real))
+        });
+    }
+
+    fn recv(
+        &self,
+        t: &SimThread,
+        src: SrcSpec,
+        tag: TagSpec,
+        comm: CommHandle,
+    ) -> (Vec<u8>, Status) {
+        self.recv_inner(t, comm.0, src, tag)
+    }
+
+    fn isend(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle) -> ReqHandle {
+        let meta = self.meta(t, comm.0);
+        let dst_global = meta.members[dst as usize];
+        self.sh.counters.lock().on_send(dst_global);
+        self.fs(t);
+        let lreq = self.lower.isend(t, msg, dst, tag, CommHandle(meta.real));
+        let vreq = self.sh.virt.req.intern(lreq.0);
+        self.sh.wreqs.lock().insert(vreq, WReq::LowerSend(lreq));
+        ReqHandle(vreq)
+    }
+
+    fn irecv(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle) -> ReqHandle {
+        self.vcost(t);
+        let vreq = self.sh.virt.req.intern(u64::MAX);
+        self.sh.wreqs.lock().insert(
+            vreq,
+            WReq::WrapperRecv {
+                comm_virt: comm.0,
+                src,
+                tag,
+            },
+        );
+        ReqHandle(vreq)
+    }
+
+    fn wait(&self, t: &SimThread, req: ReqHandle) -> Option<(Vec<u8>, Status)> {
+        self.vcost(t);
+        enum Plan {
+            LowerSend(ReqHandle),
+            Recv {
+                comm_virt: u64,
+                src: SrcSpec,
+                tag: TagSpec,
+            },
+            TwoPhase,
+        }
+        // Consume the request only after completion (checkpoint-kill can
+        // interrupt the blocking part; the restarted wait re-executes).
+        let plan = {
+            let wreqs = self.sh.wreqs.lock();
+            match wreqs.get(&req.0) {
+                None => panic!("unknown virtual request {:#x}", req.0),
+                Some(WReq::LowerSend(l)) => Plan::LowerSend(*l),
+                Some(WReq::WrapperRecv { comm_virt, src, tag }) => Plan::Recv {
+                    comm_virt: *comm_virt,
+                    src: *src,
+                    tag: *tag,
+                },
+                Some(WReq::TwoPhase) => Plan::TwoPhase,
+            }
+        };
+        let out = match plan {
+            Plan::LowerSend(lreq) => {
+                self.fs(t);
+                self.sh
+                    .cell
+                    .with_park(Park::InLowerSend, || self.lower.wait(t, lreq))
+            }
+            Plan::Recv { comm_virt, src, tag } => {
+                Some(self.recv_inner(t, comm_virt, src, tag))
+            }
+            Plan::TwoPhase => self.finish_pending(t, req.0),
+        };
+        self.sh.wreqs.lock().remove(&req.0);
+        self.sh.virt.req.remove(req.0);
+        out
+    }
+
+    fn test(&self, t: &SimThread, req: ReqHandle) -> TestResult {
+        self.vcost(t);
+        enum Plan {
+            LowerSend(ReqHandle),
+            Recv {
+                comm_virt: u64,
+                src: SrcSpec,
+                tag: TagSpec,
+            },
+            TwoPhase,
+        }
+        let plan = {
+            let wreqs = self.sh.wreqs.lock();
+            match wreqs.get(&req.0) {
+                None => panic!("unknown virtual request {:#x}", req.0),
+                Some(WReq::LowerSend(l)) => Plan::LowerSend(*l),
+                Some(WReq::WrapperRecv { comm_virt, src, tag }) => Plan::Recv {
+                    comm_virt: *comm_virt,
+                    src: *src,
+                    tag: *tag,
+                },
+                Some(WReq::TwoPhase) => Plan::TwoPhase,
+            }
+        };
+        match plan {
+            Plan::LowerSend(lreq) => {
+                self.fs(t);
+                match self.lower.test(t, lreq) {
+                    TestResult::Pending => TestResult::Pending,
+                    TestResult::Done(x) => {
+                        self.sh.wreqs.lock().remove(&req.0);
+                        self.sh.virt.req.remove(req.0);
+                        TestResult::Done(x)
+                    }
+                }
+            }
+            Plan::Recv { comm_virt, src, tag } => {
+                match self.try_recv_inner(t, comm_virt, src, tag) {
+                    Some(x) => {
+                        self.sh.wreqs.lock().remove(&req.0);
+                        self.sh.virt.req.remove(req.0);
+                        TestResult::Done(Some(x))
+                    }
+                    None => TestResult::Pending,
+                }
+            }
+            Plan::TwoPhase => {
+                // Is phase 1 (the nonblocking trivial barrier) done? If the
+                // request was restored from an image, phase 1 must be
+                // re-issued; report pending and let wait()/a later test
+                // drive it.
+                let phase1_done = {
+                    let pending = self.sh.pending.lock();
+                    let rt = pending.get(&req.0).expect("pending entry");
+                    match rt.lower_phase1 {
+                        Some(lreq) => {
+                            drop(pending);
+                            self.fs(t);
+                            matches!(self.lower.test(t, lreq), TestResult::Done(_))
+                        }
+                        None => false,
+                    }
+                };
+                if !phase1_done {
+                    // Re-issue phase 1 after a restart so a test-only loop
+                    // still makes progress.
+                    let mut pending = self.sh.pending.lock();
+                    let rt = pending.get_mut(&req.0).expect("pending entry");
+                    if rt.lower_phase1.is_none() {
+                        let meta = self.sh.comm_meta(rt.desc.comm_virt);
+                        drop(pending);
+                        self.fs(t);
+                        let l = self.lower.ibarrier(t, CommHandle(meta.real));
+                        self.sh
+                            .pending
+                            .lock()
+                            .get_mut(&req.0)
+                            .expect("pending entry")
+                            .lower_phase1 = Some(l);
+                    }
+                    return TestResult::Pending;
+                }
+                // Phase 1 complete: the paper's §4.2 design converts the
+                // remainder to a blocking call inside Test/Wait.
+                let out = self.finish_pending(t, req.0);
+                self.sh.wreqs.lock().remove(&req.0);
+                self.sh.virt.req.remove(req.0);
+                TestResult::Done(out)
+            }
+        }
+    }
+
+    fn iprobe(
+        &self,
+        t: &SimThread,
+        src: SrcSpec,
+        tag: TagSpec,
+        comm: CommHandle,
+    ) -> Option<Status> {
+        let meta = self.meta(t, comm.0);
+        if let Some(m) = self.sh.buffer.lock().peek_match(comm.0, src, tag) {
+            return Some(Status {
+                source: m.src_local,
+                tag: m.tag,
+                bytes: m.data.len() as u64,
+                modeled_bytes: m.modeled,
+            });
+        }
+        self.fs(t);
+        self.lower.iprobe(t, src, tag, CommHandle(meta.real))
+    }
+
+    fn barrier(&self, t: &SimThread, comm: CommHandle) {
+        self.two_phase(t, comm.0, |real| self.lower.barrier(t, real));
+    }
+
+    fn bcast(&self, t: &SimThread, data: &[u8], root: Rank, comm: CommHandle) -> Vec<u8> {
+        self.two_phase(t, comm.0, |real| self.lower.bcast(t, data, root, real))
+    }
+
+    fn reduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        root: Rank,
+        comm: CommHandle,
+    ) -> Option<Vec<u8>> {
+        self.two_phase(t, comm.0, |real| {
+            self.lower.reduce(t, contrib, base, op, root, real)
+        })
+    }
+
+    fn allreduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> Vec<u8> {
+        self.two_phase(t, comm.0, |real| {
+            self.lower.allreduce(t, contrib, base, op, real)
+        })
+    }
+
+    fn gather(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        root: Rank,
+        comm: CommHandle,
+    ) -> Option<Vec<Vec<u8>>> {
+        self.two_phase(t, comm.0, |real| self.lower.gather(t, contrib, root, real))
+    }
+
+    fn allgather(&self, t: &SimThread, contrib: &[u8], comm: CommHandle) -> Vec<Vec<u8>> {
+        self.two_phase(t, comm.0, |real| self.lower.allgather(t, contrib, real))
+    }
+
+    fn scatter(
+        &self,
+        t: &SimThread,
+        parts: Option<Vec<Vec<u8>>>,
+        root: Rank,
+        comm: CommHandle,
+    ) -> Vec<u8> {
+        self.two_phase(t, comm.0, |real| self.lower.scatter(t, parts, root, real))
+    }
+
+    fn alltoall(&self, t: &SimThread, parts: Vec<Vec<u8>>, comm: CommHandle) -> Vec<Vec<u8>> {
+        self.two_phase(t, comm.0, |real| self.lower.alltoall(t, parts, real))
+    }
+
+    fn ibarrier(&self, t: &SimThread, comm: CommHandle) -> ReqHandle {
+        let meta = self.meta(t, comm.0);
+        let inst = self.next_instance(comm.0, meta.members.len() as u32);
+        self.sh.cell.pre_collective_gate(t, inst);
+        self.fs(t);
+        let lreq = self.lower.ibarrier(t, CommHandle(meta.real));
+        self.sh.cell.detach_engaged();
+        let _ = inst;
+        let vreq = self.sh.virt.req.intern(u64::MAX - 1);
+        self.sh.wreqs.lock().insert(vreq, WReq::TwoPhase);
+        self.sh.pending.lock().insert(
+            vreq,
+            PendingRt {
+                desc: PendingColl {
+                    vreq,
+                    comm_virt: comm.0,
+                    kind: PendingKind::Ibarrier,
+                },
+                lower_phase1: Some(lreq),
+            },
+        );
+        ReqHandle(vreq)
+    }
+
+    fn iallreduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> ReqHandle {
+        let meta = self.meta(t, comm.0);
+        let inst = self.next_instance(comm.0, meta.members.len() as u32);
+        self.sh.cell.pre_collective_gate(t, inst);
+        self.fs(t);
+        let lreq = self.lower.ibarrier(t, CommHandle(meta.real));
+        self.sh.cell.detach_engaged();
+        let _ = inst;
+        let vreq = self.sh.virt.req.intern(u64::MAX - 1);
+        self.sh.wreqs.lock().insert(vreq, WReq::TwoPhase);
+        self.sh.pending.lock().insert(
+            vreq,
+            PendingRt {
+                desc: PendingColl {
+                    vreq,
+                    comm_virt: comm.0,
+                    kind: PendingKind::Iallreduce {
+                        data: contrib.to_vec(),
+                        base,
+                        op,
+                    },
+                },
+                lower_phase1: Some(lreq),
+            },
+        );
+        ReqHandle(vreq)
+    }
+
+    fn comm_dup(&self, t: &SimThread, comm: CommHandle) -> CommHandle {
+        let meta = self.meta(t, comm.0);
+        let new_real = self.two_phase(t, comm.0, |real| self.lower.comm_dup(t, real));
+        let virt = self.register_comm(
+            new_real.0,
+            meta.members.clone(),
+            meta.cart_dims.clone(),
+            meta.cart_periodic.clone(),
+        );
+        self.sh.log.push(LoggedCall::CommDup {
+            parent: comm.0,
+            result: virt,
+        });
+        CommHandle(virt)
+    }
+
+    fn comm_split(&self, t: &SimThread, comm: CommHandle, color: i32, key: i32) -> CommHandle {
+        let new_real = self.two_phase(t, comm.0, |real| self.lower.comm_split(t, real, color, key));
+        let virt = if new_real == COMM_NULL {
+            // Burn a virtual id so allocation stays aligned across ranks.
+            let v = self.sh.virt.comm.intern(0);
+            self.sh.comms.lock().insert(
+                v,
+                CommMeta {
+                    real: 0,
+                    members: Vec::new(),
+                    cart_dims: Vec::new(),
+                    cart_periodic: Vec::new(),
+                    wseq: 0,
+                },
+            );
+            v
+        } else {
+            self.fs(t);
+            let g = self.lower.comm_group(new_real);
+            let members = self.lower.group_members(g);
+            self.lower.group_free(g);
+            self.register_comm(new_real.0, members, Vec::new(), Vec::new())
+        };
+        self.sh.log.push(LoggedCall::CommSplit {
+            parent: comm.0,
+            color,
+            key,
+            result: virt,
+        });
+        if new_real == COMM_NULL {
+            COMM_NULL
+        } else {
+            CommHandle(virt)
+        }
+    }
+
+    fn comm_create(
+        &self,
+        t: &SimThread,
+        comm: CommHandle,
+        group: GroupHandle,
+    ) -> Option<CommHandle> {
+        self.vcost(t);
+        let real_group = GroupHandle(self.sh.virt.group.real_of(group.0));
+        let new_real =
+            self.two_phase(t, comm.0, |real| self.lower.comm_create(t, real, real_group));
+        let (virt, out) = match new_real {
+            Some(nr) => {
+                let members = self.sh.groups.lock()[&group.0].clone();
+                let v = self.register_comm(nr.0, members, Vec::new(), Vec::new());
+                (Some(v), Some(CommHandle(v)))
+            }
+            None => {
+                let v = self.sh.virt.comm.intern(0);
+                self.sh.comms.lock().insert(
+                    v,
+                    CommMeta {
+                        real: 0,
+                        members: Vec::new(),
+                        cart_dims: Vec::new(),
+                        cart_periodic: Vec::new(),
+                        wseq: 0,
+                    },
+                );
+                (Some(v), None)
+            }
+        };
+        self.sh.log.push(LoggedCall::CommCreate {
+            parent: comm.0,
+            group: group.0,
+            result: if out.is_some() { virt } else { None },
+        });
+        out
+    }
+
+    fn comm_free(&self, t: &SimThread, comm: CommHandle) {
+        let meta = self.meta(t, comm.0);
+        self.fs(t);
+        if meta.real != 0 {
+            self.lower.comm_free(t, CommHandle(meta.real));
+        }
+        self.sh.log.push(LoggedCall::CommFree { comm: comm.0 });
+        self.sh.virt.comm.remove(comm.0);
+        self.sh.comms.lock().remove(&comm.0);
+    }
+
+    fn comm_group(&self, comm: CommHandle) -> GroupHandle {
+        let meta = self.meta_untimed(comm.0);
+        let real_g = self.lower.comm_group(CommHandle(meta.real));
+        let members = self.lower.group_members(real_g);
+        let virt = self.sh.virt.group.intern(real_g.0);
+        self.sh.groups.lock().insert(virt, members);
+        self.sh.log.push(LoggedCall::CommGroup {
+            comm: comm.0,
+            result: virt,
+        });
+        GroupHandle(virt)
+    }
+
+    fn group_size(&self, group: GroupHandle) -> u32 {
+        self.sh.groups.lock()[&group.0].len() as u32
+    }
+
+    fn group_rank(&self, group: GroupHandle) -> Option<Rank> {
+        self.sh.groups.lock()[&group.0]
+            .iter()
+            .position(|m| *m == self.sh.rank)
+            .map(|i| i as u32)
+    }
+
+    fn group_incl(&self, group: GroupHandle, ranks: &[Rank]) -> GroupHandle {
+        let real_g = GroupHandle(self.sh.virt.group.real_of(group.0));
+        let new_real = self.lower.group_incl(real_g, ranks);
+        let members = self.lower.group_members(new_real);
+        let virt = self.sh.virt.group.intern(new_real.0);
+        self.sh.groups.lock().insert(virt, members);
+        self.sh.log.push(LoggedCall::GroupIncl {
+            group: group.0,
+            ranks: ranks.to_vec(),
+            result: virt,
+        });
+        GroupHandle(virt)
+    }
+
+    fn group_excl(&self, group: GroupHandle, ranks: &[Rank]) -> GroupHandle {
+        let real_g = GroupHandle(self.sh.virt.group.real_of(group.0));
+        let new_real = self.lower.group_excl(real_g, ranks);
+        let members = self.lower.group_members(new_real);
+        let virt = self.sh.virt.group.intern(new_real.0);
+        self.sh.groups.lock().insert(virt, members);
+        self.sh.log.push(LoggedCall::GroupExcl {
+            group: group.0,
+            ranks: ranks.to_vec(),
+            result: virt,
+        });
+        GroupHandle(virt)
+    }
+
+    fn group_free(&self, group: GroupHandle) {
+        let real_g = GroupHandle(self.sh.virt.group.real_of(group.0));
+        self.lower.group_free(real_g);
+        self.sh.log.push(LoggedCall::GroupFree { group: group.0 });
+        self.sh.virt.group.remove(group.0);
+        self.sh.groups.lock().remove(&group.0);
+    }
+
+    fn group_members(&self, group: GroupHandle) -> Vec<Rank> {
+        self.sh.groups.lock()[&group.0].clone()
+    }
+
+    fn cart_create(
+        &self,
+        t: &SimThread,
+        comm: CommHandle,
+        dims: &[u32],
+        periodic: &[bool],
+        reorder: bool,
+    ) -> CommHandle {
+        let meta = self.meta(t, comm.0);
+        let new_real = self.two_phase(t, comm.0, |real| {
+            self.lower.cart_create(t, real, dims, periodic, reorder)
+        });
+        let virt = self.register_comm(
+            new_real.0,
+            meta.members.clone(),
+            dims.to_vec(),
+            periodic.to_vec(),
+        );
+        self.sh.log.push(LoggedCall::CartCreate {
+            parent: comm.0,
+            dims: dims.to_vec(),
+            periodic: periodic.to_vec(),
+            result: virt,
+        });
+        CommHandle(virt)
+    }
+
+    fn cart_coords(&self, comm: CommHandle, rank: Rank) -> Vec<u32> {
+        let meta = self.meta_untimed(comm.0);
+        self.lower.cart_coords(CommHandle(meta.real), rank)
+    }
+
+    fn cart_rank(&self, comm: CommHandle, coords: &[u32]) -> Rank {
+        let meta = self.meta_untimed(comm.0);
+        self.lower.cart_rank(CommHandle(meta.real), coords)
+    }
+
+    fn cart_shift(&self, comm: CommHandle, dim: u32, disp: i32) -> (Option<Rank>, Option<Rank>) {
+        let meta = self.meta_untimed(comm.0);
+        self.lower.cart_shift(CommHandle(meta.real), dim, disp)
+    }
+
+    fn type_base(&self, base: BaseType) -> DtypeHandle {
+        if let Some(v) = self.sh.dtype_base_cache.lock().get(&base) {
+            return DtypeHandle(*v);
+        }
+        let real = self.lower.type_base(base);
+        let virt = self.sh.virt.dtype.intern(real.0);
+        self.sh.dtype_base_cache.lock().insert(base, virt);
+        self.sh.dtypes.lock().insert(virt, ());
+        self.sh.log.push(LoggedCall::TypeBase {
+            base,
+            result: virt,
+        });
+        DtypeHandle(virt)
+    }
+
+    fn type_contiguous(&self, count: u32, inner: DtypeHandle) -> DtypeHandle {
+        let real_inner = DtypeHandle(self.sh.virt.dtype.real_of(inner.0));
+        let real = self.lower.type_contiguous(count, real_inner);
+        let virt = self.sh.virt.dtype.intern(real.0);
+        self.sh.dtypes.lock().insert(virt, ());
+        self.sh.log.push(LoggedCall::TypeContiguous {
+            count,
+            inner: inner.0,
+            result: virt,
+        });
+        DtypeHandle(virt)
+    }
+
+    fn type_vector(
+        &self,
+        count: u32,
+        blocklen: u32,
+        stride: u32,
+        inner: DtypeHandle,
+    ) -> DtypeHandle {
+        let real_inner = DtypeHandle(self.sh.virt.dtype.real_of(inner.0));
+        let real = self.lower.type_vector(count, blocklen, stride, real_inner);
+        let virt = self.sh.virt.dtype.intern(real.0);
+        self.sh.dtypes.lock().insert(virt, ());
+        self.sh.log.push(LoggedCall::TypeVector {
+            count,
+            blocklen,
+            stride,
+            inner: inner.0,
+            result: virt,
+        });
+        DtypeHandle(virt)
+    }
+
+    fn type_size(&self, dtype: DtypeHandle) -> u64 {
+        let real = DtypeHandle(self.sh.virt.dtype.real_of(dtype.0));
+        self.lower.type_size(real)
+    }
+
+    fn type_def(&self, dtype: DtypeHandle) -> DtypeDef {
+        let real = DtypeHandle(self.sh.virt.dtype.real_of(dtype.0));
+        self.lower.type_def(real)
+    }
+
+    fn type_free(&self, dtype: DtypeHandle) {
+        let real = DtypeHandle(self.sh.virt.dtype.real_of(dtype.0));
+        self.lower.type_free(real);
+        self.sh.log.push(LoggedCall::TypeFree { dtype: dtype.0 });
+        self.sh.virt.dtype.remove(dtype.0);
+        self.sh.dtypes.lock().remove(&dtype.0);
+        self.sh.dtype_base_cache.lock().retain(|_, v| *v != dtype.0);
+    }
+
+    fn wait_any_message(&self, t: &SimThread) {
+        self.lower.wait_any_message(t);
+    }
+
+    fn wtime(&self, t: &SimThread) -> f64 {
+        self.lower.wtime(t)
+    }
+
+    fn finalize(&self, t: &SimThread) {
+        self.fs(t);
+        self.lower.finalize(t);
+    }
+
+    fn debug_log(&self) -> Vec<String> {
+        self.lower.debug_log()
+    }
+}

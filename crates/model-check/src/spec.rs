@@ -1,0 +1,128 @@
+//! Model configuration: rank programs, communicators, coordinator rule.
+
+/// Which safety conditions the modelled coordinator applies before sending
+/// do-ckpt. The real implementation uses [`CoordRule::full`]; weakened
+/// rules exist so tests can demonstrate the checker catching violations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoordRule {
+    /// Re-iterate when any rank reported exit-phase-2 (Algorithm 2 line 7).
+    pub reject_exit_phase2: bool,
+    /// Re-iterate when some phase-1 instance has all members inside the
+    /// trivial barrier (the slip-prevention refinement).
+    pub reject_full_phase1: bool,
+}
+
+impl CoordRule {
+    /// The implemented rule.
+    pub fn full() -> CoordRule {
+        CoordRule {
+            reject_exit_phase2: true,
+            reject_full_phase1: true,
+        }
+    }
+
+    /// Literal Algorithm 2 without the slip-prevention refinement
+    /// (demonstrably unsafe; see tests).
+    pub fn no_full_phase1_check() -> CoordRule {
+        CoordRule {
+            reject_exit_phase2: true,
+            reject_full_phase1: false,
+        }
+    }
+}
+
+/// A model instance.
+#[derive(Clone, Debug)]
+pub struct Spec {
+    /// Communicator membership: `comms[c]` lists member ranks.
+    pub comms: Vec<Vec<usize>>,
+    /// Per-rank program: the sequence of communicator ids on which the
+    /// rank performs (wrapped) collectives. Compute steps are implicit
+    /// between entries.
+    pub programs: Vec<Vec<usize>>,
+    /// Coordinator rule under test.
+    pub rule: CoordRule,
+}
+
+impl Spec {
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// All ranks doing `k` collectives on one world communicator.
+    pub fn uniform_world(nranks: usize, k: usize) -> Spec {
+        Spec {
+            comms: vec![(0..nranks).collect()],
+            programs: vec![vec![0; k]; nranks],
+            rule: CoordRule::full(),
+        }
+    }
+
+    /// Challenge III shape: two overlapping sub-communicators with
+    /// interleaved collectives (rank sets {0,1} and {1,2} for 3 ranks).
+    pub fn overlapping_comms() -> Spec {
+        Spec {
+            comms: vec![vec![0, 1, 2], vec![0, 1], vec![1, 2]],
+            programs: vec![
+                vec![1, 0], // rank 0: comm {0,1}, then world
+                vec![1, 2, 0], // rank 1: both subcomms, then world
+                vec![2, 0], // rank 2: comm {1,2}, then world
+            ],
+            rule: CoordRule::full(),
+        }
+    }
+
+    /// Instance id of rank `r`'s `pc`-th collective: (comm, per-comm seq).
+    pub fn instance_of(&self, r: usize, pc: usize) -> (usize, usize) {
+        let comm = self.programs[r][pc];
+        let seq = self.programs[r][..pc].iter().filter(|c| **c == comm).count();
+        (comm, seq)
+    }
+
+    /// Validate well-formedness: every member of a comm performs the same
+    /// number of collectives on it (required for instance alignment).
+    pub fn validate(&self) {
+        for (c, members) in self.comms.iter().enumerate() {
+            let counts: Vec<usize> = members
+                .iter()
+                .map(|r| self.programs[*r].iter().filter(|x| **x == c).count())
+                .collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "comm {c} has mismatched collective counts {counts:?}"
+            );
+            for (r, prog) in self.programs.iter().enumerate() {
+                if prog.contains(&c) {
+                    assert!(members.contains(&r), "rank {r} uses comm {c} but is not a member");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_numbering() {
+        let s = Spec::overlapping_comms();
+        s.validate();
+        assert_eq!(s.instance_of(1, 0), (1, 0));
+        assert_eq!(s.instance_of(1, 1), (2, 0));
+        assert_eq!(s.instance_of(1, 2), (0, 0));
+        assert_eq!(s.instance_of(0, 1), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn validation_catches_bad_programs() {
+        let s = Spec {
+            comms: vec![vec![0, 1]],
+            programs: vec![vec![0, 0], vec![0]],
+            rule: CoordRule::full(),
+        };
+        s.validate();
+    }
+}

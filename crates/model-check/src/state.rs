@@ -1,0 +1,211 @@
+//! Protocol state and transition relation.
+
+use crate::spec::Spec;
+use std::collections::VecDeque;
+
+/// Where a rank is in its program / the wrapper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RPhase {
+    /// Between collectives (or quiesced — indistinguishable to the model).
+    Computing,
+    /// Stopped at the pre-wrapper gate (intent or do-ckpt pending).
+    AtGate,
+    /// Inside the phase-1 trivial barrier.
+    InBarrier,
+    /// Inside the real collective (phase 2).
+    InColl,
+    /// Program finished.
+    Done,
+}
+
+/// Coordinator → rank messages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CMsg {
+    /// intend-to-checkpoint / extra-iteration (identical rank-side effect).
+    Intend,
+    /// do-ckpt.
+    DoCkpt,
+    /// resume.
+    Resume,
+}
+
+/// State-reply kind (Algorithm 2's three states).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ReplyKind {
+    /// ready
+    Ready,
+    /// in-phase-1 with the instance (comm, seq) and comm size.
+    InPhase1(usize, usize, usize),
+    /// exit-phase-2
+    ExitPhase2,
+}
+
+/// Rank → coordinator replies.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RMsg {
+    /// A state reply carrying the rank's per-communicator completed
+    /// wrapped-collective counts at reply time. The progress vector is
+    /// what lets the coordinator detect that an in-phase-1 instance has
+    /// already been passed by another member (Challenge I / Lemma 1's
+    /// bookkeeping) — without it, a stale in-phase-1 report can coexist
+    /// with a member that already exited the collective, the barrier is
+    /// complete, and the reporter can slip into phase 2 mid-checkpoint.
+    State {
+        /// Reply kind.
+        kind: ReplyKind,
+        /// `progress[c]` = completed wrapped collectives on comm `c`.
+        progress: Vec<usize>,
+    },
+    /// local checkpoint complete
+    CkptDone,
+}
+
+/// Coordinator protocol position.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CPhase {
+    /// Checkpoint not yet initiated.
+    Idle,
+    /// Waiting for one reply per rank (intend or extra-iteration round).
+    Collecting,
+    /// do-ckpt sent; waiting for ckpt-done from every rank.
+    CollectingDones,
+    /// Resume sent: checkpoint complete.
+    Complete,
+}
+
+/// One rank's model state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RankSt {
+    /// Next program entry.
+    pub pc: usize,
+    /// Wrapper position.
+    pub phase: RPhase,
+    /// intent flag (set by Intend delivery, cleared by Resume).
+    pub intent: bool,
+    /// do-ckpt received, not yet resumed.
+    pub do_ckpt: bool,
+    /// Owes an exit-phase-2 reply (intent arrived during phase 2).
+    pub reply_owed: bool,
+    /// Program counter at the moment the local checkpoint was taken
+    /// (`None` before do-ckpt / after resume). Used for the cross-rank
+    /// image-consistency invariant.
+    pub ckpt_pc: Option<usize>,
+}
+
+/// A global protocol state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct State {
+    /// Per-rank states.
+    pub ranks: Vec<RankSt>,
+    /// Coordinator position.
+    pub coord: CPhase,
+    /// Replies collected this round (`None` until received), in rank order.
+    pub replies: Vec<Option<RMsg>>,
+    /// Ckpt-done count.
+    pub dones: usize,
+    /// FIFO channel coordinator → each rank.
+    pub to_rank: Vec<VecDeque<CMsg>>,
+    /// FIFO channel each rank → coordinator.
+    pub to_coord: Vec<VecDeque<RMsg>>,
+}
+
+impl State {
+    /// Per-communicator completed wrapped-collective counts for `r` (the
+    /// progress vector attached to replies).
+    pub fn progress_of(&self, spec: &Spec, r: usize) -> Vec<usize> {
+        (0..spec.comms.len())
+            .map(|c| {
+                spec.programs[r][..self.ranks[r].pc]
+                    .iter()
+                    .filter(|x| **x == c)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Initial state.
+    pub fn init(spec: &Spec) -> State {
+        let n = spec.nranks();
+        State {
+            ranks: vec![
+                RankSt {
+                    pc: 0,
+                    phase: RPhase::Computing,
+                    intent: false,
+                    do_ckpt: false,
+                    reply_owed: false,
+                    ckpt_pc: None,
+                };
+                n
+            ],
+            coord: CPhase::Idle,
+            replies: vec![None; n],
+            dones: 0,
+            to_rank: vec![VecDeque::new(); n],
+            to_coord: vec![VecDeque::new(); n],
+        }
+    }
+
+    /// Fully terminal: programs done, channels empty, checkpoint (if
+    /// started) complete.
+    pub fn terminal(&self) -> bool {
+        self.ranks.iter().all(|r| r.phase == RPhase::Done)
+            && self.to_rank.iter().all(VecDeque::is_empty)
+            && self.to_coord.iter().all(VecDeque::is_empty)
+            && matches!(self.coord, CPhase::Idle | CPhase::Complete)
+    }
+
+    /// Has `r` entered (or passed) the barrier of instance `(comm, seq)`?
+    fn entered_barrier(&self, spec: &Spec, r: usize, comm: usize, seq: usize) -> bool {
+        let done_on_comm = spec.programs[r][..self.ranks[r].pc]
+            .iter()
+            .filter(|c| **c == comm)
+            .count();
+        if done_on_comm > seq {
+            return true; // already completed that instance
+        }
+        if done_on_comm == seq
+            && self.ranks[r].pc < spec.programs[r].len()
+            && spec.programs[r][self.ranks[r].pc] == comm
+        {
+            return matches!(self.ranks[r].phase, RPhase::InBarrier | RPhase::InColl);
+        }
+        false
+    }
+
+    /// Is every member of `r`'s current instance at least in the barrier?
+    pub fn barrier_complete(&self, spec: &Spec, r: usize) -> bool {
+        let (comm, seq) = spec.instance_of(r, self.ranks[r].pc);
+        spec.comms[comm]
+            .iter()
+            .all(|m| self.entered_barrier(spec, *m, comm, seq))
+    }
+
+    /// Has `m` entered (or passed) the *collective* of instance
+    /// `(comm, seq)`?
+    fn entered_coll(&self, spec: &Spec, m: usize, comm: usize, seq: usize) -> bool {
+        let done_on_comm = spec.programs[m][..self.ranks[m].pc]
+            .iter()
+            .filter(|c| **c == comm)
+            .count();
+        if done_on_comm > seq {
+            return true;
+        }
+        if done_on_comm == seq
+            && self.ranks[m].pc < spec.programs[m].len()
+            && spec.programs[m][self.ranks[m].pc] == comm
+        {
+            return self.ranks[m].phase == RPhase::InColl;
+        }
+        false
+    }
+
+    /// Is every member of `r`'s current instance inside (or past) the
+    /// real collective? (Our engine's collectives complete all-or-none.)
+    pub fn coll_complete(&self, spec: &Spec, r: usize) -> bool {
+        let (comm, seq) = spec.instance_of(r, self.ranks[r].pc);
+        spec.comms[comm]
+            .iter()
+            .all(|m| self.entered_coll(spec, *m, comm, seq))
+    }
+}

@@ -1,0 +1,211 @@
+//! The MPI interface.
+//!
+//! [`Mpi`] is the handle-based API every simulated MPI implementation
+//! exposes and — crucially — the exact surface MANA interposes on: the MANA
+//! wrapper implements this same trait, virtualizing handles, recording
+//! state-mutating calls for restart replay, counting point-to-point traffic
+//! for drain bookkeeping, and wrapping every collective in the two-phase
+//! algorithm. Applications written against `&dyn Mpi` run identically on a
+//! bare implementation or under MANA, which is the paper's transparency
+//! requirement.
+//!
+//! One instance of the trait object corresponds to one rank's view of the
+//! library (as a linked `libmpi.so` does in a real process). Blocking
+//! operations take the rank's [`SimThread`] so they can park on the
+//! deterministic scheduler.
+
+use crate::dtype::{BaseType, DtypeDef};
+use crate::types::{
+    CommHandle, DtypeHandle, GroupHandle, Msg, Rank, ReduceOp, ReqHandle, SrcSpec, Status, Tag,
+    TagSpec,
+};
+use mana_sim::sched::SimThread;
+
+/// Result of a nonblocking-completion test.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TestResult {
+    /// The operation has not completed.
+    Pending,
+    /// Completed; receive-like operations carry their payload.
+    Done(Option<(Vec<u8>, Status)>),
+}
+
+/// A rank's view of an MPI library.
+pub trait Mpi: Send + Sync {
+    // ----- identity -------------------------------------------------------
+
+    /// Implementation name ("Cray MPICH", "Open MPI", "MPICH").
+    fn impl_name(&self) -> &'static str;
+    /// Implementation version string.
+    fn impl_version(&self) -> &'static str;
+    /// Whether this is a debug build (extra logging, §3.5's use case).
+    fn is_debug_build(&self) -> bool;
+    /// Handle of `MPI_COMM_WORLD`.
+    fn comm_world(&self) -> CommHandle;
+    /// This process's rank in `comm`.
+    fn comm_rank(&self, comm: CommHandle) -> Rank;
+    /// Size of `comm`.
+    fn comm_size(&self, comm: CommHandle) -> u32;
+
+    // ----- point-to-point -------------------------------------------------
+
+    /// Blocking send. Eager below the implementation's threshold (returns
+    /// once buffered), rendezvous above it (returns once the payload has
+    /// been matched/acknowledged by the receiver side).
+    fn send(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle);
+    /// Blocking receive.
+    fn recv(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle)
+        -> (Vec<u8>, Status);
+    /// Nonblocking send.
+    fn isend(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle)
+        -> ReqHandle;
+    /// Nonblocking receive (matching occurs at wait/test time).
+    fn irecv(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle) -> ReqHandle;
+    /// Block until `req` completes; receive-like requests return payload.
+    fn wait(&self, t: &SimThread, req: ReqHandle) -> Option<(Vec<u8>, Status)>;
+    /// Nonblocking completion check.
+    fn test(&self, t: &SimThread, req: ReqHandle) -> TestResult;
+    /// Nonblocking probe for a matching deliverable message.
+    fn iprobe(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle)
+        -> Option<Status>;
+    /// Park until message activity (data or acks) may have occurred for
+    /// this rank; wakeups may be spurious. Returns immediately if
+    /// unconsumed messages are already queued. This is the progress-wait
+    /// hook MANA's interruptible receive loop and drain protocol sleep on
+    /// (a real implementation exposes the same thing as the blocking path
+    /// of its progress engine).
+    fn wait_any_message(&self, t: &SimThread);
+
+    // ----- blocking collectives --------------------------------------------
+
+    /// Barrier over `comm`.
+    fn barrier(&self, t: &SimThread, comm: CommHandle);
+    /// Broadcast `data` from `root`; every rank returns the root's bytes.
+    fn bcast(&self, t: &SimThread, data: &[u8], root: Rank, comm: CommHandle) -> Vec<u8>;
+    /// Reduce; only `root` receives `Some(result)`.
+    fn reduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        root: Rank,
+        comm: CommHandle,
+    ) -> Option<Vec<u8>>;
+    /// Allreduce; every rank receives the result.
+    fn allreduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> Vec<u8>;
+    /// Gather; `root` receives per-rank contributions in rank order.
+    fn gather(&self, t: &SimThread, contrib: &[u8], root: Rank, comm: CommHandle)
+        -> Option<Vec<Vec<u8>>>;
+    /// Allgather.
+    fn allgather(&self, t: &SimThread, contrib: &[u8], comm: CommHandle) -> Vec<Vec<u8>>;
+    /// Scatter; `root` supplies one part per rank.
+    fn scatter(
+        &self,
+        t: &SimThread,
+        parts: Option<Vec<Vec<u8>>>,
+        root: Rank,
+        comm: CommHandle,
+    ) -> Vec<u8>;
+    /// All-to-all personalized exchange; `parts[i]` goes to rank `i`.
+    fn alltoall(&self, t: &SimThread, parts: Vec<Vec<u8>>, comm: CommHandle) -> Vec<Vec<u8>>;
+
+    // ----- nonblocking collectives (MPI-3; paper §4.2 future work) ---------
+
+    /// Nonblocking barrier.
+    fn ibarrier(&self, t: &SimThread, comm: CommHandle) -> ReqHandle;
+    /// Nonblocking allreduce.
+    fn iallreduce(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        base: BaseType,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> ReqHandle;
+
+    // ----- communicator management (state-mutating; MANA records these) ----
+
+    /// Duplicate `comm` (collective).
+    fn comm_dup(&self, t: &SimThread, comm: CommHandle) -> CommHandle;
+    /// Split `comm` by color/key (collective).
+    fn comm_split(&self, t: &SimThread, comm: CommHandle, color: i32, key: i32) -> CommHandle;
+    /// Create a sub-communicator from `group` (collective over `comm`);
+    /// ranks outside the group get `None`.
+    fn comm_create(
+        &self,
+        t: &SimThread,
+        comm: CommHandle,
+        group: GroupHandle,
+    ) -> Option<CommHandle>;
+    /// Free a communicator handle.
+    fn comm_free(&self, t: &SimThread, comm: CommHandle);
+    /// The group of `comm` (local).
+    fn comm_group(&self, comm: CommHandle) -> GroupHandle;
+
+    // ----- groups (local objects) -------------------------------------------
+
+    /// Number of members.
+    fn group_size(&self, group: GroupHandle) -> u32;
+    /// Calling process's rank within the group, if a member.
+    fn group_rank(&self, group: GroupHandle) -> Option<Rank>;
+    /// Subset group by comm-local ranks.
+    fn group_incl(&self, group: GroupHandle, ranks: &[Rank]) -> GroupHandle;
+    /// Complement subset by comm-local ranks.
+    fn group_excl(&self, group: GroupHandle, ranks: &[Rank]) -> GroupHandle;
+    /// Free a group handle.
+    fn group_free(&self, group: GroupHandle);
+    /// Members as global job ranks (extension used by MANA's replay log).
+    fn group_members(&self, group: GroupHandle) -> Vec<Rank>;
+
+    // ----- Cartesian topology ----------------------------------------------
+
+    /// Create a Cartesian communicator (collective).
+    fn cart_create(
+        &self,
+        t: &SimThread,
+        comm: CommHandle,
+        dims: &[u32],
+        periodic: &[bool],
+        reorder: bool,
+    ) -> CommHandle;
+    /// Coordinates of `rank` in the Cartesian grid.
+    fn cart_coords(&self, comm: CommHandle, rank: Rank) -> Vec<u32>;
+    /// Rank at `coords`.
+    fn cart_rank(&self, comm: CommHandle, coords: &[u32]) -> Rank;
+    /// Source/destination neighbors for a shift along `dim` by `disp`
+    /// (`None` = `MPI_PROC_NULL` at a non-periodic boundary).
+    fn cart_shift(&self, comm: CommHandle, dim: u32, disp: i32) -> (Option<Rank>, Option<Rank>);
+
+    // ----- datatypes (state-mutating; MANA records these) -------------------
+
+    /// Handle for a predefined base type.
+    fn type_base(&self, base: BaseType) -> DtypeHandle;
+    /// `MPI_Type_contiguous`.
+    fn type_contiguous(&self, count: u32, inner: DtypeHandle) -> DtypeHandle;
+    /// `MPI_Type_vector`.
+    fn type_vector(&self, count: u32, blocklen: u32, stride: u32, inner: DtypeHandle)
+        -> DtypeHandle;
+    /// Packed size in bytes.
+    fn type_size(&self, dtype: DtypeHandle) -> u64;
+    /// Structural definition (extension used by MANA's replay log).
+    fn type_def(&self, dtype: DtypeHandle) -> DtypeDef;
+    /// Free a datatype handle.
+    fn type_free(&self, dtype: DtypeHandle);
+
+    // ----- misc -------------------------------------------------------------
+
+    /// Virtual `MPI_Wtime` in seconds.
+    fn wtime(&self, t: &SimThread) -> f64;
+    /// Finalize the library for this rank.
+    fn finalize(&self, t: &SimThread);
+    /// Captured call log (non-empty only in debug builds; §3.5).
+    fn debug_log(&self) -> Vec<String>;
+}

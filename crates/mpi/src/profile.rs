@@ -1,0 +1,188 @@
+//! Implementation profiles: what makes "Cray MPICH", "Open MPI" and
+//! "MPICH" behave differently in this substrate.
+//!
+//! Real MPI implementations differ in collective algorithm selection, eager
+//! /rendezvous thresholds, opaque-handle numbering, startup cost, library
+//! footprint and (for debug builds) tracing hooks. Those are exactly the
+//! axes a checkpointing system must be agnostic to, so each is a profile
+//! knob here. MANA's claim — checkpoint under implementation A, restart
+//! under implementation B — is exercised for real because the profiles
+//! produce different handle values, different timings and different
+//! collective schedules.
+
+use mana_sim::time::SimDuration;
+
+/// Broadcast algorithm families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BcastAlgo {
+    /// Binomial tree: ceil(log2 p) rounds of full-size messages.
+    Binomial,
+    /// Scatter + ring allgather (large-message optimized).
+    ScatterAllgather,
+}
+
+/// Allreduce algorithm families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllreduceAlgo {
+    /// Recursive doubling: log2 p rounds of full-size messages.
+    RecursiveDoubling,
+    /// Ring reduce-scatter + allgather: 2(p-1) rounds of 1/p-size messages.
+    Ring,
+}
+
+/// Gather/scatter algorithm families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GatherAlgo {
+    /// Binomial tree.
+    Binomial,
+    /// Linear (root exchanges with each rank).
+    Linear,
+}
+
+/// Barrier algorithm families.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierAlgo {
+    /// Dissemination: ceil(log2 p) rounds.
+    Dissemination,
+    /// Binomial gather + broadcast: 2 ceil(log2 p) rounds.
+    TreeUpDown,
+}
+
+/// Static description of one MPI implementation.
+#[derive(Clone, Debug)]
+pub struct MpiProfile {
+    /// Implementation name.
+    pub name: &'static str,
+    /// Version string.
+    pub version: &'static str,
+    /// First opaque-handle value issued (implementations number handles
+    /// very differently: Cray uses small magic integers, Open MPI hands out
+    /// pointer-like values).
+    pub handle_base: u64,
+    /// Increment between issued handles.
+    pub handle_stride: u64,
+    /// Messages at or below this modelled size are sent eagerly; larger
+    /// ones use a rendezvous (receiver-ack) protocol.
+    pub eager_threshold: u64,
+    /// `MPI_Init` cost (library + fabric bring-up).
+    pub init_cost: SimDuration,
+    /// Fixed CPU cost charged inside every MPI call.
+    pub per_call_cpu: SimDuration,
+    /// Broadcast algorithm.
+    pub bcast: BcastAlgo,
+    /// Allreduce algorithm.
+    pub allreduce: AllreduceAlgo,
+    /// Gather/scatter algorithm.
+    pub gather: GatherAlgo,
+    /// Barrier algorithm.
+    pub barrier: BarrierAlgo,
+    /// Library text footprint mapped into the lower half.
+    pub text_bytes: u64,
+    /// Library static-data footprint mapped into the lower half.
+    pub data_bytes: u64,
+    /// Debug build: logs every call and pays extra per-call cost (§3.5).
+    pub debug_build: bool,
+}
+
+impl MpiProfile {
+    /// Cray MPICH over Aries — the production library on Cori. The paper
+    /// measured its text segment at ~26 MB.
+    pub fn cray_mpich() -> MpiProfile {
+        MpiProfile {
+            name: "Cray MPICH",
+            version: "3.0",
+            handle_base: 0x4400_0000,
+            handle_stride: 1,
+            eager_threshold: 8 * 1024,
+            init_cost: SimDuration::millis(180),
+            per_call_cpu: SimDuration::nanos(60),
+            bcast: BcastAlgo::Binomial,
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            gather: GatherAlgo::Binomial,
+            barrier: BarrierAlgo::Dissemination,
+            text_bytes: 26 << 20,
+            data_bytes: 6 << 20,
+            debug_build: false,
+        }
+    }
+
+    /// Open MPI (the paper's local-cluster production library).
+    pub fn open_mpi() -> MpiProfile {
+        MpiProfile {
+            name: "Open MPI",
+            version: "3.1.4",
+            handle_base: 0x7f3a_2000_0000,
+            handle_stride: 0x40,
+            eager_threshold: 12 * 1024,
+            init_cost: SimDuration::millis(240),
+            per_call_cpu: SimDuration::nanos(75),
+            bcast: BcastAlgo::ScatterAllgather,
+            allreduce: AllreduceAlgo::Ring,
+            gather: GatherAlgo::Linear,
+            barrier: BarrierAlgo::TreeUpDown,
+            text_bytes: 21 << 20,
+            data_bytes: 5 << 20,
+            debug_build: false,
+        }
+    }
+
+    /// Reference MPICH (§3.5: "a reference implementation whose simplicity
+    /// makes it easy to instrument for debugging").
+    pub fn mpich() -> MpiProfile {
+        MpiProfile {
+            name: "MPICH",
+            version: "3.3",
+            handle_base: 0x8400_0000,
+            handle_stride: 4,
+            eager_threshold: 16 * 1024,
+            init_cost: SimDuration::millis(120),
+            per_call_cpu: SimDuration::nanos(70),
+            bcast: BcastAlgo::Binomial,
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            gather: GatherAlgo::Binomial,
+            barrier: BarrierAlgo::Dissemination,
+            text_bytes: 17 << 20,
+            data_bytes: 4 << 20,
+            debug_build: false,
+        }
+    }
+
+    /// Custom-compiled debug MPICH: logs every MPI call, pays tracing
+    /// overhead (the library GROMACS is restarted under in §3.5).
+    pub fn mpich_debug() -> MpiProfile {
+        MpiProfile {
+            name: "MPICH",
+            version: "3.3-debug",
+            per_call_cpu: SimDuration::nanos(400),
+            debug_build: true,
+            text_bytes: 48 << 20, // -O0 -g build is much larger
+            ..MpiProfile::mpich()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_distinct() {
+        let c = MpiProfile::cray_mpich();
+        let o = MpiProfile::open_mpi();
+        let m = MpiProfile::mpich();
+        assert_ne!(c.handle_base, o.handle_base);
+        assert_ne!(c.handle_base, m.handle_base);
+        assert_ne!(c.allreduce, o.allreduce);
+        assert_ne!(c.bcast, o.bcast);
+        assert!(!c.debug_build && !o.debug_build && !m.debug_build);
+    }
+
+    #[test]
+    fn debug_build_flags() {
+        let d = MpiProfile::mpich_debug();
+        assert!(d.debug_build);
+        assert_eq!(d.name, "MPICH");
+        assert!(d.per_call_cpu > MpiProfile::mpich().per_call_cpu);
+        assert!(d.text_bytes > MpiProfile::mpich().text_bytes);
+    }
+}

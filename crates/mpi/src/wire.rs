@@ -1,0 +1,65 @@
+//! On-the-wire message format of the MPI data plane.
+
+use crate::types::{Rank, Tag};
+
+/// Modelled size of an ack/control frame.
+pub const CTRL_FRAME_BYTES: u64 = 16;
+
+/// Messages carried by the MPI data plane.
+///
+/// These are what is physically "in flight" in the fabric — and therefore
+/// what MANA's drain protocol must flush into checkpoint buffers: a
+/// checkpoint image may never rely on the network still holding data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Wire {
+    /// An application payload.
+    Data {
+        /// Sender's global job rank.
+        src: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Communicator context id.
+        ctx: u64,
+        /// Real payload bytes.
+        payload: Vec<u8>,
+        /// Modelled size for timing.
+        modeled: u64,
+        /// For rendezvous sends: token the receiver must acknowledge before
+        /// the sender's `MPI_Send` may complete.
+        ack_token: Option<u64>,
+    },
+    /// Receiver-side acknowledgement completing a rendezvous send.
+    Ack {
+        /// Token from the corresponding [`Wire::Data`].
+        token: u64,
+    },
+}
+
+impl Wire {
+    /// Modelled byte size used by the transport's timing model.
+    pub fn modeled_bytes(&self) -> u64 {
+        match self {
+            Wire::Data { modeled, .. } => CTRL_FRAME_BYTES + modeled,
+            Wire::Ack { .. } => CTRL_FRAME_BYTES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modeled_sizes() {
+        let d = Wire::Data {
+            src: 0,
+            tag: 1,
+            ctx: 1,
+            payload: vec![0; 4],
+            modeled: 1000,
+            ack_token: None,
+        };
+        assert_eq!(d.modeled_bytes(), 1016);
+        assert_eq!(Wire::Ack { token: 1 }.modeled_bytes(), CTRL_FRAME_BYTES);
+    }
+}

@@ -1,0 +1,15 @@
+//! # mana-net — interconnect substrate
+//!
+//! Latency/bandwidth models for the fabrics the paper's checkpointing must
+//! be agnostic to (intra-node shared memory, TCP, InfiniBand, Cray Aries),
+//! and a deterministic reliable transport with observable in-flight state —
+//! the thing MANA's bookmark-exchange drain protocol flushes at checkpoint
+//! time.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod transport;
+
+pub use model::{driver_shm_bytes, pinned_bytes, LinkModel};
+pub use transport::{EndpointId, Network};

@@ -1,0 +1,149 @@
+//! Latency/bandwidth models for the interconnect families MANA must be
+//! agnostic to.
+//!
+//! A message of `n` bytes from one endpoint costs:
+//!
+//! * `per_message_cpu` of sender CPU/injection overhead (serialized on the
+//!   sender's link — back-to-back sends queue behind each other),
+//! * `base_latency` of wire/switch time, and
+//! * `n × per_byte_ns` of serialization at the link bandwidth.
+//!
+//! The absolute constants are calibrated to public OSU-microbenchmark-class
+//! numbers for each fabric; the figures only depend on their relative
+//! shape (SHM ≫ Aries ≈ IB ≫ TCP).
+
+use mana_sim::cluster::InterconnectKind;
+use mana_sim::time::SimDuration;
+
+/// Cost model of one link family.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    /// Family name for diagnostics.
+    pub name: &'static str,
+    /// One-way wire + switch latency per message.
+    pub base_latency: SimDuration,
+    /// Serialization cost per byte, in nanoseconds (1e9 / bandwidth B/s).
+    pub per_byte_ns: f64,
+    /// Sender-side injection overhead per message (drivers, syscalls for
+    /// TCP, doorbells for RDMA fabrics).
+    pub per_message_cpu: SimDuration,
+}
+
+impl LinkModel {
+    /// Intra-node shared-memory transport (used whenever source and
+    /// destination ranks share a node, regardless of fabric).
+    pub fn shared_mem() -> LinkModel {
+        LinkModel {
+            name: "shm",
+            base_latency: SimDuration::nanos(400),
+            per_byte_ns: 1.0 / 15.0, // ~15 GB/s memcpy-bound
+            per_message_cpu: SimDuration::nanos(120),
+        }
+    }
+
+    /// Commodity TCP over 10GbE.
+    pub fn tcp() -> LinkModel {
+        LinkModel {
+            name: "tcp",
+            base_latency: SimDuration::micros(25),
+            per_byte_ns: 1.0 / 1.1, // ~1.1 GB/s
+            per_message_cpu: SimDuration::micros(4),
+        }
+    }
+
+    /// InfiniBand verbs (FDR-class).
+    pub fn infiniband() -> LinkModel {
+        LinkModel {
+            name: "ib",
+            base_latency: SimDuration::nanos(1500),
+            per_byte_ns: 1.0 / 6.0, // ~6 GB/s
+            per_message_cpu: SimDuration::nanos(300),
+        }
+    }
+
+    /// Cray Aries (Cori).
+    pub fn aries() -> LinkModel {
+        LinkModel {
+            name: "aries",
+            base_latency: SimDuration::nanos(1200),
+            per_byte_ns: 1.0 / 8.0, // ~8 GB/s per pair
+            per_message_cpu: SimDuration::nanos(250),
+        }
+    }
+
+    /// Model for a message between two nodes of fabric `kind` (or within a
+    /// node, which always uses shared memory).
+    pub fn for_path(kind: InterconnectKind, intra_node: bool) -> LinkModel {
+        if intra_node {
+            return LinkModel::shared_mem();
+        }
+        match kind {
+            InterconnectKind::SharedMem => LinkModel::shared_mem(),
+            InterconnectKind::Tcp => LinkModel::tcp(),
+            InterconnectKind::Infiniband => LinkModel::infiniband(),
+            InterconnectKind::Aries => LinkModel::aries(),
+        }
+    }
+
+    /// Pure wire time for `bytes` (latency + serialization), excluding the
+    /// sender CPU component.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        self.base_latency + SimDuration::nanos((bytes as f64 * self.per_byte_ns).round() as u64)
+    }
+}
+
+/// Lower-half shared-memory footprint mapped by the network driver library,
+/// as a function of job node count. The paper (§3.2.2) reports ~2 MB at
+/// 2 nodes growing to ~40 MB at 64 nodes; an affine fit through those two
+/// points reproduces the trend.
+pub fn driver_shm_bytes(nodes: u32) -> u64 {
+    let mb = 0.613 * f64::from(nodes) + 0.774;
+    (mb * 1024.0 * 1024.0) as u64
+}
+
+/// NIC pinned/registered buffer footprint per endpoint (constant).
+pub fn pinned_bytes() -> u64 {
+    4 << 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_is_always_shm() {
+        for kind in [
+            InterconnectKind::Tcp,
+            InterconnectKind::Infiniband,
+            InterconnectKind::Aries,
+        ] {
+            assert_eq!(LinkModel::for_path(kind, true).name, "shm");
+        }
+        assert_eq!(LinkModel::for_path(InterconnectKind::Tcp, false).name, "tcp");
+    }
+
+    #[test]
+    fn fabric_ordering_small_messages() {
+        // Latency ordering for an 8-byte message: shm < aries <= ib << tcp.
+        let t = |m: LinkModel| m.wire_time(8).as_nanos();
+        assert!(t(LinkModel::shared_mem()) < t(LinkModel::aries()));
+        assert!(t(LinkModel::aries()) <= t(LinkModel::infiniband()));
+        assert!(t(LinkModel::infiniband()) * 5 < t(LinkModel::tcp()));
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_messages() {
+        let m = LinkModel::aries();
+        let t4m = m.wire_time(4 << 20).as_secs_f64();
+        // 4 MiB at 8 GB/s ≈ 0.5 ms.
+        assert!((t4m - 0.000524).abs() < 0.0002, "got {t4m}");
+    }
+
+    #[test]
+    fn shm_footprint_matches_paper_endpoints() {
+        let at2 = driver_shm_bytes(2) as f64 / (1024.0 * 1024.0);
+        let at64 = driver_shm_bytes(64) as f64 / (1024.0 * 1024.0);
+        assert!((at2 - 2.0).abs() < 0.5, "2-node footprint {at2} MB");
+        assert!((at64 - 40.0).abs() < 1.0, "64-node footprint {at64} MB");
+    }
+}

@@ -1,0 +1,207 @@
+//! Cluster descriptions and rank placement.
+//!
+//! A [`ClusterSpec`] captures everything MANA's restart engine is allowed to
+//! change between checkpoint and restart: node count, cores per node, the
+//! interconnect family, the kernel (patched vs unpatched) and the attached
+//! filesystem parameters. The paper's experiments use two concrete
+//! machines, both provided as presets:
+//!
+//! * **Cori** (NERSC): dual-socket Haswell, 32 ranks/node in the paper's
+//!   runs, Cray Aries interconnect, Lustre backend, unpatched kernel.
+//! * the **local cluster**: InfiniBand + Open MPI (and, for §3.3, a patched
+//!   Linux kernel installed on bare metal).
+
+use crate::fs::FsConfig;
+use crate::kernel::KernelModel;
+
+/// Interconnect families the network substrate can model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InterconnectKind {
+    /// Intra-node shared memory (always available within a node).
+    SharedMem,
+    /// Commodity TCP/Ethernet.
+    Tcp,
+    /// InfiniBand verbs.
+    Infiniband,
+    /// Cray Aries (Cori's network).
+    Aries,
+}
+
+impl InterconnectKind {
+    /// Short human-readable name as used in figures ("IB", "TCP", ...).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            InterconnectKind::SharedMem => "SHM",
+            InterconnectKind::Tcp => "TCP",
+            InterconnectKind::Infiniband => "IB",
+            InterconnectKind::Aries => "Aries",
+        }
+    }
+}
+
+/// How ranks are laid out over nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Placement {
+    /// Consecutive ranks fill a node before moving on (MPI default).
+    #[default]
+    Block,
+    /// Ranks deal out round-robin across nodes.
+    RoundRobin,
+}
+
+/// A machine MANA can run on (and migrate between).
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Cluster name (appears in diagnostics and figure labels).
+    pub name: String,
+    /// Number of compute nodes.
+    pub nodes: u32,
+    /// CPU cores per node (bounds ranks/node).
+    pub cores_per_node: u32,
+    /// Interconnect family between nodes.
+    pub interconnect: InterconnectKind,
+    /// Kernel cost model on the nodes.
+    pub kernel: KernelModel,
+    /// Attached parallel-filesystem parameters.
+    pub fs: FsConfig,
+}
+
+impl ClusterSpec {
+    /// Cori-like preset: Haswell nodes, Aries network, Lustre, unpatched
+    /// kernel (the paper's primary testbed).
+    pub fn cori(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            name: "cori".to_string(),
+            nodes,
+            cores_per_node: 32,
+            interconnect: InterconnectKind::Aries,
+            kernel: KernelModel::unpatched(),
+            fs: FsConfig::default(),
+        }
+    }
+
+    /// The paper's local cluster: InfiniBand, fewer fatter nodes.
+    pub fn local_cluster(nodes: u32) -> ClusterSpec {
+        ClusterSpec {
+            name: "local".to_string(),
+            nodes,
+            cores_per_node: 16,
+            interconnect: InterconnectKind::Infiniband,
+            kernel: KernelModel::unpatched(),
+            fs: FsConfig {
+                node_bw: 0.8e9,
+                aggregate_bw: 20e9,
+                ..FsConfig::default()
+            },
+        }
+    }
+
+    /// Switch this cluster's kernel to the FSGSBASE-patched model (§3.3).
+    pub fn with_patched_kernel(mut self) -> ClusterSpec {
+        self.kernel = KernelModel::patched();
+        self
+    }
+
+    /// Use a different interconnect (restart-time network switching).
+    pub fn with_interconnect(mut self, ic: InterconnectKind) -> ClusterSpec {
+        self.interconnect = ic;
+        self
+    }
+
+    /// Total cores available.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Node hosting `rank` out of `nranks` under `placement`.
+    ///
+    /// Panics if the job does not fit on the cluster.
+    pub fn node_of_rank(&self, rank: u32, nranks: u32, placement: Placement) -> u32 {
+        assert!(rank < nranks);
+        assert!(
+            nranks <= self.total_cores(),
+            "{nranks} ranks exceed {} cores on {}",
+            self.total_cores(),
+            self.name
+        );
+        match placement {
+            Placement::Block => {
+                let per_node = nranks.div_ceil(self.nodes).min(self.cores_per_node);
+                (rank / per_node).min(self.nodes - 1)
+            }
+            Placement::RoundRobin => rank % self.nodes,
+        }
+    }
+
+    /// Number of ranks on the same node as `rank` (I/O contention shape).
+    pub fn ranks_on_node_of(&self, rank: u32, nranks: u32, placement: Placement) -> u32 {
+        let node = self.node_of_rank(rank, nranks, placement);
+        (0..nranks)
+            .filter(|r| self.node_of_rank(*r, nranks, placement) == node)
+            .count() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_preset_shape() {
+        let c = ClusterSpec::cori(64);
+        assert_eq!(c.total_cores(), 2048);
+        assert_eq!(c.interconnect, InterconnectKind::Aries);
+        assert!(!c.kernel.fsgsbase_patched);
+        assert!(c.with_patched_kernel().kernel.fsgsbase_patched);
+    }
+
+    #[test]
+    fn block_placement_fills_nodes() {
+        let c = ClusterSpec::cori(4);
+        // 128 ranks over 4 nodes = 32 per node.
+        assert_eq!(c.node_of_rank(0, 128, Placement::Block), 0);
+        assert_eq!(c.node_of_rank(31, 128, Placement::Block), 0);
+        assert_eq!(c.node_of_rank(32, 128, Placement::Block), 1);
+        assert_eq!(c.node_of_rank(127, 128, Placement::Block), 3);
+    }
+
+    #[test]
+    fn block_placement_partial_job() {
+        let c = ClusterSpec::cori(4);
+        // 6 ranks over 4 nodes: ceil(6/4)=2 per node -> nodes 0,0,1,1,2,2.
+        let nodes: Vec<u32> = (0..6)
+            .map(|r| c.node_of_rank(r, 6, Placement::Block))
+            .collect();
+        assert_eq!(nodes, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn round_robin_placement() {
+        let c = ClusterSpec::cori(4);
+        let nodes: Vec<u32> = (0..6)
+            .map(|r| c.node_of_rank(r, 6, Placement::RoundRobin))
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn ranks_on_node_counts() {
+        let c = ClusterSpec::cori(2);
+        assert_eq!(c.ranks_on_node_of(0, 64, Placement::Block), 32);
+        assert_eq!(c.ranks_on_node_of(63, 64, Placement::Block), 32);
+        assert_eq!(c.ranks_on_node_of(0, 3, Placement::Block), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversubscription_rejected() {
+        let c = ClusterSpec::local_cluster(1);
+        c.node_of_rank(0, 1000, Placement::Block);
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(InterconnectKind::Infiniband.short_name(), "IB");
+        assert_eq!(InterconnectKind::Aries.short_name(), "Aries");
+    }
+}

@@ -1,0 +1,307 @@
+//! Simulated parallel filesystem (Lustre-like).
+//!
+//! Checkpoint images are written here and read back at restart — possibly by
+//! a *different* simulation instance (cross-cluster migration restarts on a
+//! brand-new `Sim`, exactly as a real restart happens in a brand-new
+//! process). The store is therefore independent of any `Sim` and shared via
+//! `Arc`.
+//!
+//! Timing model: a writer's effective bandwidth is the minimum of its fair
+//! share of the node's link to the filesystem and its fair share of the
+//! filesystem's aggregate backend bandwidth, times a per-rank deterministic
+//! straggler factor. The paper (§3.4) observes checkpoint time is
+//! write-dominated and bottlenecked by the slowest rank, whose write can
+//! take ~4x the 90th-percentile rank; [`crate::rng::straggler_factor`]
+//! reproduces that tail.
+
+use crate::rng::straggler_factor;
+use crate::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Bandwidth/latency parameters of the filesystem.
+#[derive(Clone, Debug)]
+pub struct FsConfig {
+    /// Per-node link bandwidth to the filesystem, bytes/s.
+    pub node_bw: f64,
+    /// Aggregate backend bandwidth, bytes/s.
+    pub aggregate_bw: f64,
+    /// Fixed open/close/fsync metadata latency per file operation.
+    pub op_latency: SimDuration,
+    /// Maximum straggler multiplier for writes (paper: up to ~4x).
+    pub write_straggler_max: f64,
+    /// Maximum straggler multiplier for reads (restart is less tail-heavy).
+    pub read_straggler_max: f64,
+    /// Seed for the deterministic straggler draws.
+    pub seed: u64,
+}
+
+impl Default for FsConfig {
+    fn default() -> Self {
+        // Loosely Cori-scale: ~1.3 GB/s per node to Lustre, ~700 GB/s
+        // aggregate; calibrated so 4 TB over 64 nodes lands in the paper's
+        // ~30-40 s checkpoint band.
+        FsConfig {
+            node_bw: 1.3e9,
+            aggregate_bw: 700e9,
+            op_latency: SimDuration::millis(8),
+            write_straggler_max: 4.0,
+            read_straggler_max: 2.0,
+            seed: 0x4c75_7374,
+        }
+    }
+}
+
+struct StoredFile {
+    data: Arc<Vec<u8>>,
+    /// Logical length (≥ data.len(); pattern-backed image payload counts
+    /// here but stores no bytes).
+    logical_len: u64,
+}
+
+/// Errors from filesystem operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// Open of a path that was never written.
+    NotFound(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "file not found: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// Describes one rank's participation in a collective file phase, used to
+/// compute contended bandwidth.
+#[derive(Clone, Copy, Debug)]
+pub struct IoShape {
+    /// Ranks concurrently doing I/O on this rank's node.
+    pub writers_on_node: u32,
+    /// Ranks concurrently doing I/O across the job.
+    pub total_writers: u32,
+}
+
+/// The shared parallel filesystem.
+pub struct ParallelFs {
+    cfg: FsConfig,
+    files: Mutex<HashMap<String, StoredFile>>,
+    /// Monotone epoch, bumped per checkpoint, decorrelating straggler draws
+    /// across checkpoints.
+    epoch: Mutex<u64>,
+}
+
+impl ParallelFs {
+    /// Create a filesystem with the given parameters.
+    pub fn new(cfg: FsConfig) -> Arc<ParallelFs> {
+        Arc::new(ParallelFs {
+            cfg,
+            files: Mutex::new(HashMap::new()),
+            epoch: Mutex::new(0),
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FsConfig {
+        &self.cfg
+    }
+
+    /// Begin a new checkpoint epoch (straggler draws change per epoch).
+    pub fn bump_epoch(&self) -> u64 {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        *e
+    }
+
+    /// Store `data` at `path` with the given logical length and return the
+    /// virtual duration of the write + fsync for a rank with the given I/O
+    /// shape. The caller (a checkpoint helper thread) advances its clock by
+    /// the returned duration.
+    pub fn write_file(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        let epoch = *self.epoch.lock();
+        let dur = self.transfer_time(
+            logical_len,
+            shape,
+            straggler_factor(self.cfg.seed, rank, epoch, self.cfg.write_straggler_max),
+        );
+        self.files.lock().insert(
+            path.to_string(),
+            StoredFile {
+                data: Arc::new(data),
+                logical_len,
+            },
+        );
+        dur
+    }
+
+    /// Fetch a file's contents and the virtual duration of reading it.
+    pub fn read_file(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), FsError> {
+        let epoch = *self.epoch.lock();
+        let files = self.files.lock();
+        let f = files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+        let dur = self.transfer_time(
+            f.logical_len,
+            shape,
+            straggler_factor(
+                self.cfg.seed ^ 0x5245_4144,
+                rank,
+                epoch,
+                self.cfg.read_straggler_max,
+            ),
+        );
+        Ok((f.data.clone(), dur))
+    }
+
+    /// Logical length of a stored file.
+    pub fn logical_len(&self, path: &str) -> Result<u64, FsError> {
+        self.files
+            .lock()
+            .get(path)
+            .map(|f| f.logical_len)
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.lock().contains_key(path)
+    }
+
+    /// Delete a file (old checkpoint garbage collection).
+    pub fn remove(&self, path: &str) -> bool {
+        self.files.lock().remove(path).is_some()
+    }
+
+    /// Paths currently stored (sorted, for deterministic iteration).
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.files.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    fn transfer_time(&self, bytes: u64, shape: IoShape, straggler: f64) -> SimDuration {
+        let node_share = self.cfg.node_bw / shape.writers_on_node.max(1) as f64;
+        let agg_share = self.cfg.aggregate_bw / shape.total_writers.max(1) as f64;
+        let bw = node_share.min(agg_share).max(1.0);
+        let base = bytes as f64 / bw;
+        self.cfg.op_latency + SimDuration::secs_f64(base * straggler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs() -> Arc<ParallelFs> {
+        ParallelFs::new(FsConfig {
+            node_bw: 1e9,
+            aggregate_bw: 10e9,
+            op_latency: SimDuration::millis(1),
+            write_straggler_max: 1.0, // deterministic timing for assertions
+            read_straggler_max: 1.0,
+            seed: 1,
+        })
+    }
+
+    const SHAPE1: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    #[test]
+    fn write_read_roundtrip() {
+        let fs = fs();
+        let d = fs.write_file("ckpt/rank0", vec![1, 2, 3], 3, 0, SHAPE1);
+        assert!(d >= SimDuration::millis(1));
+        let (data, _) = fs.read_file("ckpt/rank0", 0, SHAPE1).unwrap();
+        assert_eq!(&*data, &vec![1, 2, 3]);
+        assert_eq!(fs.logical_len("ckpt/rank0").unwrap(), 3);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let fs = fs();
+        assert!(matches!(
+            fs.read_file("nope", 0, SHAPE1),
+            Err(FsError::NotFound(_))
+        ));
+        assert!(!fs.exists("nope"));
+    }
+
+    #[test]
+    fn time_scales_with_size_and_contention() {
+        let fs = fs();
+        let small = fs.write_file("a", vec![], 1_000_000, 0, SHAPE1);
+        let big = fs.write_file("b", vec![], 100_000_000, 0, SHAPE1);
+        assert!(big.as_nanos() > 50 * small.as_nanos());
+
+        // 32 writers on one node share the node link.
+        let contended = fs.write_file(
+            "c",
+            vec![],
+            1_000_000,
+            0,
+            IoShape {
+                writers_on_node: 32,
+                total_writers: 32,
+            },
+        );
+        assert!(contended.as_nanos() > 10 * small.as_nanos());
+    }
+
+    #[test]
+    fn aggregate_cap_binds_at_scale() {
+        let fs = fs();
+        // 1000 writers, 1 per node: node link would give 1 GB/s each, but
+        // the 10 GB/s aggregate cap limits each to 10 MB/s.
+        let d = fs.write_file(
+            "d",
+            vec![],
+            10_000_000,
+            0,
+            IoShape {
+                writers_on_node: 1,
+                total_writers: 1000,
+            },
+        );
+        assert!(d.as_secs_f64() > 0.9, "expected ~1s, got {d}");
+    }
+
+    #[test]
+    fn logical_len_without_dense_bytes() {
+        let fs = fs();
+        fs.write_file("sparse", vec![9; 10], 1 << 30, 0, SHAPE1);
+        assert_eq!(fs.logical_len("sparse").unwrap(), 1 << 30);
+        let (data, _) = fs.read_file("sparse", 0, SHAPE1).unwrap();
+        assert_eq!(data.len(), 10);
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let fs = fs();
+        fs.write_file("b", vec![], 1, 0, SHAPE1);
+        fs.write_file("a", vec![], 1, 0, SHAPE1);
+        assert_eq!(fs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(fs.remove("a"));
+        assert!(!fs.remove("a"));
+        assert_eq!(fs.list(), vec!["b".to_string()]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Kernel cost model.
+//!
+//! The paper's dominant source of runtime overhead (§3.3) is the `FS`
+//! segment-register swap required every time control crosses between the
+//! upper-half and lower-half programs, because each has its own thread-local
+//! storage block. On unpatched Linux kernels setting `FS` needs a privileged
+//! instruction reached through a syscall (`arch_prctl`); with the (then
+//! under-review, since merged) FSGSBASE patch it is a cheap unprivileged
+//! instruction. MANA's wrappers therefore pay
+//! `2 × fs_switch` (swap in, swap out) per call into the MPI library.
+//!
+//! These constants are the calibration knobs for reproducing Figures 2–4:
+//! their absolute values are approximate, but the *ratio* (syscall ≫
+//! instruction) is what produces the paper's observed 2.1 % → 0.6 %
+//! GROMACS overhead drop.
+
+use crate::time::SimDuration;
+
+/// Cost model of the node's Linux kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelModel {
+    /// Whether the FSGSBASE patch is applied.
+    pub fsgsbase_patched: bool,
+    /// One FS-register change (one direction of an upper↔lower crossing).
+    pub fs_switch: SimDuration,
+    /// A generic syscall entry/exit (used for `sbrk`, file ops metadata).
+    pub syscall: SimDuration,
+    /// Cost to service a minor page fault (restore touch-in).
+    pub page_fault: SimDuration,
+}
+
+impl KernelModel {
+    /// Unpatched kernel: FS changes go through `arch_prctl` (syscall +
+    /// privileged `wrmsr`-class work). This is the kernel on Cori in the
+    /// paper's main experiments.
+    pub fn unpatched() -> KernelModel {
+        KernelModel {
+            fsgsbase_patched: false,
+            fs_switch: SimDuration::nanos(130),
+            syscall: SimDuration::nanos(90),
+            page_fault: SimDuration::nanos(800),
+        }
+    }
+
+    /// Patched kernel: unprivileged `wrfsbase` instruction (§3.3's patched
+    /// local-cluster kernel; merged in Linux 5.9).
+    pub fn patched() -> KernelModel {
+        KernelModel {
+            fsgsbase_patched: true,
+            fs_switch: SimDuration::nanos(9),
+            syscall: SimDuration::nanos(90),
+            page_fault: SimDuration::nanos(800),
+        }
+    }
+
+    /// Cost of one complete upper→lower→upper crossing (two FS changes).
+    /// Charged by MANA's wrappers on every interposed call that enters the
+    /// lower half.
+    #[inline]
+    pub fn fs_roundtrip(&self) -> SimDuration {
+        SimDuration::nanos(self.fs_switch.as_nanos() * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patched_is_much_cheaper() {
+        let u = KernelModel::unpatched();
+        let p = KernelModel::patched();
+        assert!(u.fs_roundtrip().as_nanos() >= 10 * p.fs_roundtrip().as_nanos());
+        assert!(p.fsgsbase_patched);
+        assert!(!u.fsgsbase_patched);
+    }
+
+    #[test]
+    fn roundtrip_is_double() {
+        let u = KernelModel::unpatched();
+        assert_eq!(u.fs_roundtrip().as_nanos(), 2 * u.fs_switch.as_nanos());
+    }
+}

@@ -1,0 +1,908 @@
+//! Simulated per-rank address spaces with split-process region tagging.
+//!
+//! MANA's split-process mechanism needs exactly one thing from the memory
+//! system: the ability to tag every mapped region as belonging to the
+//! **upper half** (the MPI application — saved in checkpoint images) or the
+//! **lower half** (the ephemeral MPI library, network driver and their
+//! dependencies — discarded at checkpoint, rebuilt at restart). This module
+//! provides that: a `BTreeMap` of non-overlapping regions with half/kind
+//! tags, dense byte backing for data the workloads really compute with, and
+//! *pattern* backing for bulk footprint that only matters for checkpoint
+//! sizing/timing (a 93 MB per-rank image at 2048 ranks would need ~190 GB of
+//! host RAM if materialized).
+//!
+//! The `brk`/`sbrk` emulation reproduces the paper's §2.1 "minor
+//! inconvenience": the kernel has a single program break per process, so
+//! after restart the break belongs to the (new) lower half and upper-half
+//! `sbrk` growth must be redirected to `mmap` by MANA's interposition.
+
+use crate::checksum::Checksum;
+use crate::pod::{cast_slice, cast_slice_mut, Pod};
+use crate::rng::splitmix64;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which program within the split process a region belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Half {
+    /// The MPI application: saved in checkpoint images.
+    Upper,
+    /// The ephemeral MPI library + network stack: discarded at checkpoint.
+    Lower,
+}
+
+/// Broad classification of a mapped region (mirrors /proc/self/maps roles).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegionKind {
+    /// Executable code (library or application text).
+    Text,
+    /// Static data segments.
+    Data,
+    /// The program-break heap.
+    Heap,
+    /// Thread stacks.
+    Stack,
+    /// Anonymous mmap (MANA redirects upper-half heap growth here).
+    Mmap,
+    /// System V / driver shared memory (e.g. intra-node MPI channels).
+    Shm,
+    /// NIC driver pinned/registered memory.
+    Pinned,
+    /// Thread-local storage blocks (each half has its own, hence the
+    /// FS-register dance).
+    Tls,
+}
+
+/// Page size used for address arithmetic.
+pub const PAGE: u64 = 4096;
+
+const UPPER_TEXT_BASE: u64 = 0x0040_0000;
+const BRK_BASE: u64 = 0x0200_0000;
+const BRK_LIMIT: u64 = 0x1_0000_0000;
+const LOWER_BASE: u64 = 0x2aaa_0000_0000;
+const LOWER_LIMIT: u64 = 0x5555_0000_0000;
+const UPPER_MMAP_TOP: u64 = 0x7f80_0000_0000;
+const UPPER_MMAP_BOTTOM: u64 = 0x6000_0000_0000;
+
+/// Errors from address-space operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Mapping would overlap an existing region.
+    Collision {
+        /// Requested start address.
+        at: u64,
+        /// Name of the region already occupying the range.
+        existing: String,
+    },
+    /// No region contains the requested address range.
+    BadAddress(u64),
+    /// Typed access into a pattern-backed (non-dense) region.
+    NotDense(u64),
+    /// Typed access with misaligned base address.
+    Misaligned(u64),
+    /// `sbrk` called by the half that does not own the program break.
+    BrkOwnedByOtherHalf {
+        /// Current owner of the break.
+        owner: Half,
+    },
+    /// Arena exhausted (simulation limits, not a modelled condition).
+    OutOfArena(RegionKind),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Collision { at, existing } => {
+                write!(f, "mapping at {at:#x} collides with region '{existing}'")
+            }
+            MemError::BadAddress(a) => write!(f, "no region contains address {a:#x}"),
+            MemError::NotDense(a) => write!(f, "region at {a:#x} has no dense backing"),
+            MemError::Misaligned(a) => write!(f, "misaligned access at {a:#x}"),
+            MemError::BrkOwnedByOtherHalf { owner } => {
+                write!(f, "program break is owned by the {owner:?} half")
+            }
+            MemError::OutOfArena(k) => write!(f, "arena exhausted for {k:?} mapping"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// 8-byte-aligned dense byte buffer.
+pub struct DenseBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBuf {
+    /// Zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> DenseBuf {
+        DenseBuf {
+            words: vec![0u64; len.div_ceil(8)],
+            len,
+        }
+    }
+
+    /// Buffer initialized from `bytes`.
+    pub fn from_bytes(bytes: &[u8]) -> DenseBuf {
+        let mut b = DenseBuf::zeroed(bytes.len());
+        b.as_bytes_mut().copy_from_slice(bytes);
+        b
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: u64 words reinterpreted as bytes; len <= words.len()*8.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast(), self.len) }
+    }
+
+    /// Mutable byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: as in `as_bytes`, plus exclusive access via &mut.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast(), self.len) }
+    }
+
+    /// Grow to `new_len` bytes (zero-filling the extension).
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len);
+        self.words.resize(new_len.div_ceil(8), 0);
+        self.len = new_len;
+    }
+}
+
+impl Clone for DenseBuf {
+    fn clone(&self) -> Self {
+        DenseBuf {
+            words: self.words.clone(),
+            len: self.len,
+        }
+    }
+}
+
+/// What backs a region's contents.
+pub enum Backing {
+    /// Real bytes: fully saved/restored in checkpoint images.
+    Dense(DenseBuf),
+    /// Synthetic bulk footprint: content is the deterministic function
+    /// [`pattern_byte`] of (seed, offset); only the descriptor is stored.
+    Pattern {
+        /// Seed defining the synthetic content.
+        seed: u64,
+    },
+}
+
+/// Deterministic content function for pattern-backed regions.
+#[inline]
+pub fn pattern_byte(seed: u64, offset: u64) -> u8 {
+    (splitmix64(seed ^ (offset / 8)) >> (8 * (offset % 8))) as u8
+}
+
+/// O(1) checksum of a pattern region (content is fully determined by
+/// `(seed, len)`).
+pub fn pattern_checksum(seed: u64, len: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(len) ^ 0x7061_7474_6572_6e00)
+}
+
+/// A mapped region.
+pub struct Region {
+    /// Start address (page aligned).
+    pub start: u64,
+    /// Logical length in bytes (dense backing length for dense regions).
+    pub len: u64,
+    /// Which split-process half owns this region.
+    pub half: Half,
+    /// Role of the region.
+    pub kind: RegionKind,
+    /// Human-readable name (library/file-style, for diagnostics).
+    pub name: String,
+    /// Contents.
+    pub backing: Backing,
+}
+
+/// Region metadata without contents (cheap to copy around).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMeta {
+    /// Start address.
+    pub start: u64,
+    /// Logical length in bytes.
+    pub len: u64,
+    /// Owning half.
+    pub half: Half,
+    /// Role.
+    pub kind: RegionKind,
+    /// Name.
+    pub name: String,
+    /// Whether the region has dense (real byte) backing.
+    pub dense: bool,
+}
+
+/// A self-contained copy of a region, as stored in checkpoint images.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionSnapshot {
+    /// Start address.
+    pub start: u64,
+    /// Logical length.
+    pub len: u64,
+    /// Owning half at snapshot time.
+    pub half: Half,
+    /// Role.
+    pub kind: RegionKind,
+    /// Name.
+    pub name: String,
+    /// Contents (dense bytes or pattern descriptor).
+    pub content: SnapshotContent,
+}
+
+/// Contents of a [`RegionSnapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotContent {
+    /// Full byte image.
+    Dense(Vec<u8>),
+    /// Pattern descriptor (seed); content defined by [`pattern_byte`].
+    Pattern {
+        /// Seed defining the synthetic content.
+        seed: u64,
+    },
+}
+
+struct BrkState {
+    owner: Half,
+    cur: u64,
+}
+
+struct Inner {
+    regions: BTreeMap<u64, Region>,
+    lower_cursor: u64,
+    upper_mmap_cursor: u64,
+    brk: Option<BrkState>,
+}
+
+/// A simulated process address space, shared between the rank's main thread
+/// and its checkpoint helper thread.
+pub struct AddressSpace {
+    inner: Mutex<Inner>,
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn page_up(v: u64) -> u64 {
+    v.div_ceil(PAGE) * PAGE
+}
+
+impl AddressSpace {
+    /// Fresh, empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            inner: Mutex::new(Inner {
+                regions: BTreeMap::new(),
+                lower_cursor: LOWER_BASE,
+                upper_mmap_cursor: UPPER_MMAP_TOP,
+                brk: None,
+            }),
+        }
+    }
+
+    /// Base address used for the application text segment.
+    pub fn upper_text_base() -> u64 {
+        UPPER_TEXT_BASE
+    }
+
+    /// Map a region at an allocator-chosen address. Lower-half regions come
+    /// from the low arena (mimicking a secondary program load), upper-half
+    /// regions from the high mmap arena growing downwards.
+    pub fn map(
+        &self,
+        half: Half,
+        kind: RegionKind,
+        name: &str,
+        len: u64,
+        backing: Backing,
+    ) -> Result<u64, MemError> {
+        let alen = page_up(len.max(1));
+        let mut inner = self.inner.lock();
+        let start = match half {
+            Half::Lower => {
+                let s = inner.lower_cursor;
+                if s + alen > LOWER_LIMIT {
+                    return Err(MemError::OutOfArena(kind));
+                }
+                inner.lower_cursor = s + alen + PAGE; // guard page
+                s
+            }
+            Half::Upper => {
+                let s = inner
+                    .upper_mmap_cursor
+                    .checked_sub(alen + PAGE)
+                    .ok_or(MemError::OutOfArena(kind))?;
+                if s < UPPER_MMAP_BOTTOM {
+                    return Err(MemError::OutOfArena(kind));
+                }
+                inner.upper_mmap_cursor = s;
+                s
+            }
+        };
+        Self::insert(&mut inner, start, len, half, kind, name, backing)?;
+        Ok(start)
+    }
+
+    /// Map a region at a fixed address (used by restore and by the brk
+    /// heap). Fails on overlap.
+    pub fn map_fixed(
+        &self,
+        start: u64,
+        half: Half,
+        kind: RegionKind,
+        name: &str,
+        len: u64,
+        backing: Backing,
+    ) -> Result<(), MemError> {
+        let mut inner = self.inner.lock();
+        Self::insert(&mut inner, start, len, half, kind, name, backing)?;
+        Ok(())
+    }
+
+    fn insert(
+        inner: &mut Inner,
+        start: u64,
+        len: u64,
+        half: Half,
+        kind: RegionKind,
+        name: &str,
+        backing: Backing,
+    ) -> Result<(), MemError> {
+        if let Backing::Dense(b) = &backing {
+            assert_eq!(b.len() as u64, len, "dense backing must match length");
+        }
+        let end = start + len.max(1);
+        // Overlap check against predecessor and successors.
+        if let Some((_, r)) = inner.regions.range(..start + 1).next_back() {
+            if r.start + r.len > start {
+                return Err(MemError::Collision {
+                    at: start,
+                    existing: r.name.clone(),
+                });
+            }
+        }
+        if let Some((_, r)) = inner.regions.range(start..).next() {
+            if r.start < end {
+                return Err(MemError::Collision {
+                    at: start,
+                    existing: r.name.clone(),
+                });
+            }
+        }
+        inner.regions.insert(
+            start,
+            Region {
+                start,
+                len,
+                half,
+                kind,
+                name: name.to_string(),
+                backing,
+            },
+        );
+        Ok(())
+    }
+
+    /// Unmap the region starting exactly at `start`.
+    pub fn unmap(&self, start: u64) -> Result<(), MemError> {
+        let mut inner = self.inner.lock();
+        inner
+            .regions
+            .remove(&start)
+            .map(|_| ())
+            .ok_or(MemError::BadAddress(start))
+    }
+
+    /// Discard every region belonging to `half`. Returns (regions, logical
+    /// bytes) removed. This is the checkpoint-time "drop the ephemeral MPI
+    /// library" operation and the restart-time "clear the stale upper half"
+    /// operation.
+    pub fn discard_half(&self, half: Half) -> (usize, u64) {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<u64> = inner
+            .regions
+            .values()
+            .filter(|r| r.half == half)
+            .map(|r| r.start)
+            .collect();
+        let mut bytes = 0;
+        for s in &doomed {
+            if let Some(r) = inner.regions.remove(s) {
+                bytes += r.len;
+            }
+        }
+        if inner.brk.as_ref().is_some_and(|b| b.owner == half) {
+            inner.brk = None;
+        }
+        if half == Half::Lower {
+            inner.lower_cursor = LOWER_BASE;
+        }
+        (doomed.len(), bytes)
+    }
+
+    /// Declare the owner of the program break (the kernel concept: whichever
+    /// program image the kernel loaded owns `brk`). Called once per process
+    /// incarnation.
+    pub fn set_brk_owner(&self, half: Half) {
+        let mut inner = self.inner.lock();
+        assert!(inner.brk.is_none(), "brk owner already set");
+        inner.brk = Some(BrkState {
+            owner: half,
+            cur: BRK_BASE,
+        });
+    }
+
+    /// Grow the program break by `delta` bytes on behalf of `half`.
+    ///
+    /// Returns the previous break (the base of the new allocation). Fails if
+    /// `half` does not own the break — the situation MANA's `sbrk`
+    /// interposition exists to avoid (paper §2.1).
+    pub fn sbrk(&self, half: Half, delta: u64) -> Result<u64, MemError> {
+        let mut inner = self.inner.lock();
+        let brk = inner.brk.as_mut().ok_or(MemError::BadAddress(BRK_BASE))?;
+        if brk.owner != half {
+            return Err(MemError::BrkOwnedByOtherHalf { owner: brk.owner });
+        }
+        let old = brk.cur;
+        let new = old + delta;
+        if new > BRK_LIMIT {
+            return Err(MemError::OutOfArena(RegionKind::Heap));
+        }
+        brk.cur = new;
+        let owner = brk.owner;
+        // Grow (or create) the heap region.
+        if let Some(r) = inner.regions.get_mut(&BRK_BASE) {
+            r.len = new - BRK_BASE;
+            if let Backing::Dense(b) = &mut r.backing {
+                b.grow((new - BRK_BASE) as usize);
+            }
+            Ok(old)
+        } else {
+            Self::insert(
+                &mut inner,
+                BRK_BASE,
+                new - BRK_BASE,
+                owner,
+                RegionKind::Heap,
+                "[heap]",
+                Backing::Dense(DenseBuf::zeroed((new - BRK_BASE) as usize)),
+            )?;
+            Ok(old)
+        }
+    }
+
+    /// Run `f` over an immutable typed view of `count` elements at `addr`.
+    pub fn with_slice<T: Pod, R>(
+        &self,
+        addr: u64,
+        count: usize,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> Result<R, MemError> {
+        let inner = self.inner.lock();
+        let bytes = Self::dense_window(
+            &inner,
+            addr,
+            (count * std::mem::size_of::<T>()) as u64,
+            std::mem::align_of::<T>() as u64,
+        )?;
+        Ok(f(cast_slice(bytes)))
+    }
+
+    /// Run `f` over a mutable typed view of `count` elements at `addr`.
+    pub fn with_slice_mut<T: Pod, R>(
+        &self,
+        addr: u64,
+        count: usize,
+        f: impl FnOnce(&mut [T]) -> R,
+    ) -> Result<R, MemError> {
+        let mut inner = self.inner.lock();
+        let bytes = Self::dense_window_mut(
+            &mut inner,
+            addr,
+            (count * std::mem::size_of::<T>()) as u64,
+            std::mem::align_of::<T>() as u64,
+        )?;
+        Ok(f(cast_slice_mut(bytes)))
+    }
+
+    fn locate(inner: &Inner, addr: u64, len: u64) -> Result<u64, MemError> {
+        let (start, r) = inner
+            .regions
+            .range(..=addr)
+            .next_back()
+            .ok_or(MemError::BadAddress(addr))?;
+        if addr + len > r.start + r.len {
+            return Err(MemError::BadAddress(addr));
+        }
+        Ok(*start)
+    }
+
+    fn dense_window<'a>(
+        inner: &'a Inner,
+        addr: u64,
+        len: u64,
+        align: u64,
+    ) -> Result<&'a [u8], MemError> {
+        let start = Self::locate(inner, addr, len)?;
+        let r = &inner.regions[&start];
+        match &r.backing {
+            Backing::Dense(b) => {
+                let off = (addr - r.start) as usize;
+                if off as u64 % align != 0 {
+                    return Err(MemError::Misaligned(addr));
+                }
+                Ok(&b.as_bytes()[off..off + len as usize])
+            }
+            Backing::Pattern { .. } => Err(MemError::NotDense(addr)),
+        }
+    }
+
+    fn dense_window_mut<'a>(
+        inner: &'a mut Inner,
+        addr: u64,
+        len: u64,
+        align: u64,
+    ) -> Result<&'a mut [u8], MemError> {
+        let start = Self::locate(inner, addr, len)?;
+        let r = inner.regions.get_mut(&start).expect("located region");
+        match &mut r.backing {
+            Backing::Dense(b) => {
+                let off = (addr - r.start) as usize;
+                if off as u64 % align != 0 {
+                    return Err(MemError::Misaligned(addr));
+                }
+                Ok(&mut b.as_bytes_mut()[off..off + len as usize])
+            }
+            Backing::Pattern { .. } => Err(MemError::NotDense(addr)),
+        }
+    }
+
+    /// Run `f` over two disjoint mutable typed windows (e.g. `y += a*x`
+    /// kernels). Panics if the windows share a region.
+    pub fn with2_mut<A: Pod, B: Pod, R>(
+        &self,
+        a: (u64, usize),
+        b: (u64, usize),
+        f: impl FnOnce(&mut [A], &mut [B]) -> R,
+    ) -> Result<R, MemError> {
+        let mut inner = self.inner.lock();
+        let ra = Self::locate(&inner, a.0, (a.1 * std::mem::size_of::<A>()) as u64)?;
+        let rb = Self::locate(&inner, b.0, (b.1 * std::mem::size_of::<B>()) as u64)?;
+        assert_ne!(ra, rb, "with2_mut windows must be in distinct regions");
+        // SAFETY: the two windows live in distinct regions (asserted), both
+        // borrowed mutably under the single address-space lock, so the raw
+        // pointers cannot alias.
+        let pa: *mut [u8] = Self::dense_window_mut(
+            &mut inner,
+            a.0,
+            (a.1 * std::mem::size_of::<A>()) as u64,
+            std::mem::align_of::<A>() as u64,
+        )?;
+        let pb: *mut [u8] = Self::dense_window_mut(
+            &mut inner,
+            b.0,
+            (b.1 * std::mem::size_of::<B>()) as u64,
+            std::mem::align_of::<B>() as u64,
+        )?;
+        let (sa, sb) = unsafe { (&mut *pa, &mut *pb) };
+        Ok(f(cast_slice_mut(sa), cast_slice_mut(sb)))
+    }
+
+    /// Run `f` over three disjoint mutable typed windows.
+    pub fn with3_mut<A: Pod, B: Pod, C: Pod, R>(
+        &self,
+        a: (u64, usize),
+        b: (u64, usize),
+        c: (u64, usize),
+        f: impl FnOnce(&mut [A], &mut [B], &mut [C]) -> R,
+    ) -> Result<R, MemError> {
+        let mut inner = self.inner.lock();
+        let ra = Self::locate(&inner, a.0, (a.1 * std::mem::size_of::<A>()) as u64)?;
+        let rb = Self::locate(&inner, b.0, (b.1 * std::mem::size_of::<B>()) as u64)?;
+        let rc = Self::locate(&inner, c.0, (c.1 * std::mem::size_of::<C>()) as u64)?;
+        assert!(
+            ra != rb && rb != rc && ra != rc,
+            "with3_mut windows must be in distinct regions"
+        );
+        // SAFETY: as in `with2_mut` — distinct regions, single lock.
+        let pa: *mut [u8] = Self::dense_window_mut(
+            &mut inner,
+            a.0,
+            (a.1 * std::mem::size_of::<A>()) as u64,
+            std::mem::align_of::<A>() as u64,
+        )?;
+        let pb: *mut [u8] = Self::dense_window_mut(
+            &mut inner,
+            b.0,
+            (b.1 * std::mem::size_of::<B>()) as u64,
+            std::mem::align_of::<B>() as u64,
+        )?;
+        let pc: *mut [u8] = Self::dense_window_mut(
+            &mut inner,
+            c.0,
+            (c.1 * std::mem::size_of::<C>()) as u64,
+            std::mem::align_of::<C>() as u64,
+        )?;
+        let (sa, sb, sc) = unsafe { (&mut *pa, &mut *pb, &mut *pc) };
+        Ok(f(cast_slice_mut(sa), cast_slice_mut(sb), cast_slice_mut(sc)))
+    }
+
+    /// Current upper mmap arena cursor (saved in checkpoint images so that
+    /// post-restart allocations continue below the restored regions).
+    pub fn upper_mmap_cursor(&self) -> u64 {
+        self.inner.lock().upper_mmap_cursor
+    }
+
+    /// Restore the upper mmap arena cursor (restart path).
+    pub fn set_upper_mmap_cursor(&self, v: u64) {
+        self.inner.lock().upper_mmap_cursor = v;
+    }
+
+    /// Copy bytes out of a dense region.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        let inner = self.inner.lock();
+        Ok(Self::dense_window(&inner, addr, len as u64, 1)?.to_vec())
+    }
+
+    /// Copy bytes into a dense region.
+    pub fn write_bytes(&self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
+        let mut inner = self.inner.lock();
+        Self::dense_window_mut(&mut inner, addr, bytes.len() as u64, 1)?
+            .copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Metadata for all regions, ordered by address.
+    pub fn regions_meta(&self) -> Vec<RegionMeta> {
+        let inner = self.inner.lock();
+        inner
+            .regions
+            .values()
+            .map(|r| RegionMeta {
+                start: r.start,
+                len: r.len,
+                half: r.half,
+                kind: r.kind,
+                name: r.name.clone(),
+                dense: matches!(r.backing, Backing::Dense(_)),
+            })
+            .collect()
+    }
+
+    /// Total logical bytes mapped for `half`.
+    pub fn bytes_of_half(&self, half: Half) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .regions
+            .values()
+            .filter(|r| r.half == half)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Total logical bytes for `half` restricted to `kind`.
+    pub fn bytes_of_kind(&self, half: Half, kind: RegionKind) -> u64 {
+        let inner = self.inner.lock();
+        inner
+            .regions
+            .values()
+            .filter(|r| r.half == half && r.kind == kind)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Snapshot every region of `half` (checkpoint path: `half == Upper`).
+    pub fn snapshot_half(&self, half: Half) -> Vec<RegionSnapshot> {
+        let inner = self.inner.lock();
+        inner
+            .regions
+            .values()
+            .filter(|r| r.half == half)
+            .map(|r| RegionSnapshot {
+                start: r.start,
+                len: r.len,
+                half: r.half,
+                kind: r.kind,
+                name: r.name.clone(),
+                content: match &r.backing {
+                    Backing::Dense(b) => SnapshotContent::Dense(b.as_bytes().to_vec()),
+                    Backing::Pattern { seed } => SnapshotContent::Pattern { seed: *seed },
+                },
+            })
+            .collect()
+    }
+
+    /// Map a snapshot back in at its original address (restart path).
+    pub fn restore_region(&self, snap: &RegionSnapshot) -> Result<(), MemError> {
+        let backing = match &snap.content {
+            SnapshotContent::Dense(bytes) => Backing::Dense(DenseBuf::from_bytes(bytes)),
+            SnapshotContent::Pattern { seed } => Backing::Pattern { seed: *seed },
+        };
+        self.map_fixed(snap.start, snap.half, snap.kind, &snap.name, snap.len, backing)
+    }
+
+    /// Order-sensitive checksum over all regions of `half` (dense content by
+    /// bytes, pattern content by its O(1) descriptor checksum). Used to
+    /// verify bit-fidelity across checkpoint/restart.
+    pub fn checksum_half(&self, half: Half) -> u64 {
+        let inner = self.inner.lock();
+        let mut c = Checksum::new();
+        for r in inner.regions.values().filter(|r| r.half == half) {
+            c.update_u64(r.start);
+            c.update_u64(r.len);
+            match &r.backing {
+                Backing::Dense(b) => c.update(b.as_bytes()),
+                Backing::Pattern { seed } => c.update_u64(pattern_checksum(*seed, r.len)),
+            }
+        }
+        c.digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(n: usize) -> Backing {
+        Backing::Dense(DenseBuf::zeroed(n))
+    }
+
+    #[test]
+    fn map_and_access() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(Half::Upper, RegionKind::Mmap, "arr", 64, dense(64))
+            .unwrap();
+        a.with_slice_mut::<f64, _>(addr, 8, |s| {
+            for (i, v) in s.iter_mut().enumerate() {
+                *v = i as f64;
+            }
+        })
+        .unwrap();
+        let sum = a
+            .with_slice::<f64, _>(addr, 8, |s| s.iter().sum::<f64>())
+            .unwrap();
+        assert_eq!(sum, 28.0);
+    }
+
+    #[test]
+    fn halves_are_disjoint_and_discardable() {
+        let a = AddressSpace::new();
+        a.map(Half::Lower, RegionKind::Text, "libmpi.so", 26 << 20, Backing::Pattern { seed: 1 })
+            .unwrap();
+        a.map(Half::Lower, RegionKind::Shm, "xpmem", 2 << 20, Backing::Pattern { seed: 2 })
+            .unwrap();
+        let up = a
+            .map(Half::Upper, RegionKind::Mmap, "state", 128, dense(128))
+            .unwrap();
+        assert_eq!(a.bytes_of_half(Half::Lower), (26 << 20) + (2 << 20));
+        let (n, bytes) = a.discard_half(Half::Lower);
+        assert_eq!(n, 2);
+        assert_eq!(bytes, (26 << 20) + (2 << 20));
+        assert_eq!(a.bytes_of_half(Half::Lower), 0);
+        // Upper half untouched.
+        a.with_slice::<u8, _>(up, 128, |s| assert_eq!(s.len(), 128))
+            .unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(Half::Upper, RegionKind::Mmap, "data", 32, dense(32))
+            .unwrap();
+        a.write_bytes(addr, &[7u8; 32]).unwrap();
+        a.map(Half::Upper, RegionKind::Mmap, "bulk", 1 << 20, Backing::Pattern { seed: 9 })
+            .unwrap();
+        let before = a.checksum_half(Half::Upper);
+        let snaps = a.snapshot_half(Half::Upper);
+        assert_eq!(snaps.len(), 2);
+
+        let b = AddressSpace::new();
+        for s in &snaps {
+            b.restore_region(s).unwrap();
+        }
+        assert_eq!(b.checksum_half(Half::Upper), before);
+        assert_eq!(b.read_bytes(addr, 32).unwrap(), vec![7u8; 32]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let a = AddressSpace::new();
+        a.map_fixed(0x1000, Half::Upper, RegionKind::Data, "a", 4096, dense(4096))
+            .unwrap();
+        let err = a
+            .map_fixed(0x1800, Half::Upper, RegionKind::Data, "b", 16, dense(16))
+            .unwrap_err();
+        assert!(matches!(err, MemError::Collision { .. }));
+        // Also when the new region would swallow an existing one.
+        let err = a
+            .map_fixed(0x0800, Half::Upper, RegionKind::Data, "c", 8192, dense(8192))
+            .unwrap_err();
+        assert!(matches!(err, MemError::Collision { .. }));
+    }
+
+    #[test]
+    fn sbrk_ownership() {
+        let a = AddressSpace::new();
+        a.set_brk_owner(Half::Upper);
+        let base = a.sbrk(Half::Upper, 4096).unwrap();
+        a.write_bytes(base, &[1u8; 16]).unwrap();
+        // Lower half cannot move the break.
+        let err = a.sbrk(Half::Lower, 4096).unwrap_err();
+        assert_eq!(err, MemError::BrkOwnedByOtherHalf { owner: Half::Upper });
+        // Growth preserves content.
+        let b2 = a.sbrk(Half::Upper, 4096).unwrap();
+        assert_eq!(b2, base + 4096);
+        assert_eq!(a.read_bytes(base, 16).unwrap(), vec![1u8; 16]);
+    }
+
+    #[test]
+    fn brk_owner_resets_on_discard() {
+        let a = AddressSpace::new();
+        a.set_brk_owner(Half::Lower);
+        a.sbrk(Half::Lower, 4096).unwrap();
+        a.discard_half(Half::Lower);
+        // A fresh incarnation may claim the break again.
+        a.set_brk_owner(Half::Lower);
+        a.sbrk(Half::Lower, 64).unwrap();
+    }
+
+    #[test]
+    fn pattern_regions_not_dense() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(Half::Upper, RegionKind::Mmap, "bulk", 4096, Backing::Pattern { seed: 3 })
+            .unwrap();
+        assert_eq!(
+            a.read_bytes(addr, 8).unwrap_err(),
+            MemError::NotDense(addr)
+        );
+    }
+
+    #[test]
+    fn pattern_functions_deterministic() {
+        assert_eq!(pattern_byte(5, 123), pattern_byte(5, 123));
+        assert_ne!(pattern_checksum(5, 100), pattern_checksum(5, 101));
+        assert_ne!(pattern_checksum(5, 100), pattern_checksum(6, 100));
+    }
+
+    #[test]
+    fn kind_accounting() {
+        let a = AddressSpace::new();
+        a.map(Half::Lower, RegionKind::Text, "t", 100, Backing::Pattern { seed: 0 })
+            .unwrap();
+        a.map(Half::Lower, RegionKind::Shm, "s", 200, Backing::Pattern { seed: 0 })
+            .unwrap();
+        assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Text), 100);
+        assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Shm), 200);
+        assert_eq!(a.bytes_of_kind(Half::Upper, RegionKind::Text), 0);
+    }
+
+    #[test]
+    fn misaligned_typed_access_rejected() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(Half::Upper, RegionKind::Mmap, "x", 64, dense(64))
+            .unwrap();
+        let err = a.with_slice::<u64, _>(addr + 4, 1, |_| ()).unwrap_err();
+        assert_eq!(err, MemError::Misaligned(addr + 4));
+    }
+}

@@ -1,0 +1,809 @@
+//! Deterministic baton-passing scheduler.
+//!
+//! Simulated threads (MPI rank main threads, MANA checkpoint helper threads,
+//! the checkpoint coordinator, launchers) are real OS threads, but exactly
+//! **one** of them runs at any moment: the "baton". A thread that blocks or
+//! advances virtual time selects the earliest pending event — ordered by
+//! `(virtual time, sequence number)`, a total order — wakes its target and
+//! parks itself. This gives:
+//!
+//! * natural imperative code for rank programs (no hand-written state
+//!   machines), and
+//! * bit-for-bit deterministic execution for a given seed, which the
+//!   correctness tests rely on (native vs MANA vs restarted runs must
+//!   produce identical checksums).
+//!
+//! The design follows the baton-passing pattern for discrete-event
+//! simulation; the handoff itself is a tiny gate built from a
+//! `parking_lot::Mutex<bool>` + `Condvar` pair (cf. *Rust Atomics and
+//! Locks*, ch. 1 & 9).
+//!
+//! Locking discipline: simulated code must never park (call a blocking
+//! scheduler operation) while holding any shared-structure lock, or the next
+//! baton holder could block on that lock at the OS level. All blocking in
+//! higher layers is loop-recheck style because wakeups may be spurious (two
+//! queued wakes for one thread are legal).
+
+use crate::time::{SimDuration, SimTime};
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrd};
+use std::sync::Arc;
+
+/// Identifier of a simulated thread. Thread 0 is the driver (the host test
+/// or benchmark thread that called [`Sim::run`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SimThreadId(pub usize);
+
+const DRIVER: SimThreadId = SimThreadId(0);
+
+/// What a queued event does when its time comes.
+enum Action {
+    /// Make the target thread runnable.
+    Wake(SimThreadId),
+    /// Run a closure in the context of whichever thread dispatches the event.
+    /// The closure must not block in the simulator; it may push new events
+    /// and wake threads (used for message-delivery callbacks).
+    Call(Box<dyn FnOnce(&Sim) + Send>),
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ThreadState {
+    /// Spawned, waiting for its initial wake.
+    Created,
+    /// Currently holds the baton.
+    Running,
+    /// Parked, waiting for a wake event.
+    Blocked,
+    /// Finished (normally or by shutdown).
+    Done,
+}
+
+/// One-shot handoff gate (a binary semaphore).
+struct Gate {
+    go: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            go: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        let mut go = self.go.lock();
+        *go = true;
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) {
+        let mut go = self.go.lock();
+        while !*go {
+            self.cv.wait(&mut go);
+        }
+        *go = false;
+    }
+}
+
+struct ThreadSlot {
+    name: String,
+    state: ThreadState,
+    daemon: bool,
+    gate: Arc<Gate>,
+}
+
+struct SchedState {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    threads: Vec<ThreadSlot>,
+    /// Non-daemon threads not yet Done.
+    live: usize,
+    /// Set when the simulation should unwind all parked threads.
+    panic_msg: Option<String>,
+    completed: bool,
+    driver_woken: bool,
+}
+
+/// Panic payload used to unwind parked simulated threads at shutdown.
+struct ShutdownToken;
+
+/// Install (once per process) a panic hook that silences the internal
+/// [`ShutdownToken`] unwinds used to tear down parked simulated threads.
+/// All other panics go to the previously installed hook.
+fn install_quiet_shutdown_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Shared core of a simulation instance.
+pub struct SimInner {
+    state: Mutex<SchedState>,
+    shutdown: AtomicBool,
+    stack_size: usize,
+    seed: u64,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Cloning is cheap (it is an `Arc` handle); all clones refer to the same
+/// simulation instance.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Arc<SimInner>,
+}
+
+/// Per-thread context handed to simulated thread bodies.
+///
+/// All blocking operations (`advance`, `block`) must be called from the
+/// owning thread only.
+#[derive(Clone)]
+pub struct SimThread {
+    sim: Sim,
+    id: SimThreadId,
+}
+
+/// Configuration for [`Sim::new`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Root seed from which all simulation randomness is derived.
+    pub seed: u64,
+    /// OS stack size for simulated threads. Rank programs are shallow; the
+    /// default keeps thousands of rank threads cheap.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x4d41_4e41, // "MANA"
+            stack_size: 512 * 1024,
+        }
+    }
+}
+
+impl Sim {
+    /// Create a new simulation.
+    pub fn new(config: SimConfig) -> Sim {
+        install_quiet_shutdown_hook();
+        let driver_slot = ThreadSlot {
+            name: "driver".to_string(),
+            state: ThreadState::Blocked,
+            daemon: true, // the driver never counts as live work
+            gate: Arc::new(Gate::new()),
+        };
+        Sim {
+            inner: Arc::new(SimInner {
+                state: Mutex::new(SchedState {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    queue: BinaryHeap::new(),
+                    threads: vec![driver_slot],
+                    live: 0,
+                    panic_msg: None,
+                    completed: false,
+                    driver_woken: false,
+                }),
+                shutdown: AtomicBool::new(false),
+                stack_size: config.stack_size,
+                seed: config.seed,
+                handles: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The root seed of this simulation.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.state.lock().now
+    }
+
+    /// Spawn a simulated thread. It becomes runnable at the current virtual
+    /// time. Daemon threads (service loops such as the checkpoint
+    /// coordinator) do not keep the simulation alive.
+    pub fn spawn(
+        &self,
+        name: &str,
+        daemon: bool,
+        body: impl FnOnce(SimThread) + Send + 'static,
+    ) -> SimThreadId {
+        let (id, gate) = {
+            let mut st = self.inner.state.lock();
+            let id = SimThreadId(st.threads.len());
+            let gate = Arc::new(Gate::new());
+            st.threads.push(ThreadSlot {
+                name: name.to_string(),
+                state: ThreadState::Created,
+                daemon,
+                gate: gate.clone(),
+            });
+            if !daemon {
+                st.live += 1;
+            }
+            let t0 = st.now;
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Event {
+                time: t0,
+                seq,
+                action: Action::Wake(id),
+            });
+            (id, gate)
+        };
+        let sim = self.clone();
+        let ctx = SimThread { sim: sim.clone(), id };
+        let handle = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .stack_size(self.inner.stack_size)
+            .spawn(move || {
+                gate.wait();
+                if sim.inner.shutdown.load(AtomicOrd::SeqCst) {
+                    sim.mark_done_quietly(id);
+                    return;
+                }
+                let result = panic::catch_unwind(AssertUnwindSafe(|| body(ctx)));
+                match result {
+                    Ok(()) => sim.finish_thread(id, None),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownToken>().is_some() {
+                            sim.mark_done_quietly(id);
+                        } else {
+                            let msg = panic_message(payload.as_ref());
+                            sim.finish_thread(id, Some(msg));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulated OS thread");
+        self.inner.handles.lock().push(handle);
+        id
+    }
+
+    /// Schedule `f` to run at absolute virtual time `time` (clamped to now).
+    pub fn call_at(&self, time: SimTime, f: impl FnOnce(&Sim) + Send + 'static) {
+        let mut st = self.inner.state.lock();
+        let time = time.max(st.now);
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Event {
+            time,
+            seq,
+            action: Action::Call(Box::new(f)),
+        });
+    }
+
+    /// Schedule `f` to run after `d` of virtual time.
+    pub fn call_after(&self, d: SimDuration, f: impl FnOnce(&Sim) + Send + 'static) {
+        let now = self.inner.state.lock().now;
+        self.call_at(now + d, f);
+    }
+
+    /// Push a wake event for `tid` at the current virtual time.
+    ///
+    /// Wakes may be spurious by design; blocked threads must recheck their
+    /// condition.
+    pub fn wake(&self, tid: SimThreadId) {
+        let mut st = self.inner.state.lock();
+        let now = st.now;
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Event {
+            time: now,
+            seq,
+            action: Action::Wake(tid),
+        });
+    }
+
+    /// Push a wake event for `tid` at absolute time `time` (clamped to now).
+    pub fn wake_at(&self, tid: SimThreadId, time: SimTime) {
+        let mut st = self.inner.state.lock();
+        let time = time.max(st.now);
+        let seq = st.seq;
+        st.seq += 1;
+        st.queue.push(Event {
+            time,
+            seq,
+            action: Action::Wake(tid),
+        });
+    }
+
+    /// Run the simulation to completion: until every non-daemon thread has
+    /// finished. Panics if a simulated thread panicked or if the simulation
+    /// deadlocked (parked threads with an empty event queue).
+    pub fn run(&self) {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.completed, "Sim::run may only be called once");
+            if st.live == 0 {
+                // Nothing to do: a simulation with no non-daemon threads
+                // completes immediately (pending Call events are dropped).
+                st.completed = true;
+                drop(st);
+                self.shutdown_all();
+                return;
+            }
+        }
+        // Hand the baton to the first event; park the driver.
+        self.dispatch_and_park(DRIVER, /*park:*/ true);
+        // Woken: simulation completed, deadlocked, or a thread panicked.
+        let msg = {
+            let mut st = self.inner.state.lock();
+            st.completed = true;
+            st.panic_msg.take()
+        };
+        self.shutdown_all();
+        if let Some(msg) = msg {
+            panic!("simulation failed: {msg}");
+        }
+    }
+
+    /// Number of spawned simulated threads (including finished ones),
+    /// excluding the driver.
+    pub fn thread_count(&self) -> usize {
+        self.inner.state.lock().threads.len() - 1
+    }
+
+    fn shutdown_all(&self) {
+        self.inner.shutdown.store(true, AtomicOrd::SeqCst);
+        let gates: Vec<Arc<Gate>> = {
+            let st = self.inner.state.lock();
+            st.threads
+                .iter()
+                .skip(1)
+                .filter(|t| t.state != ThreadState::Done)
+                .map(|t| t.gate.clone())
+                .collect()
+        };
+        for g in gates {
+            g.open();
+        }
+        let handles = std::mem::take(&mut *self.inner.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn mark_done_quietly(&self, id: SimThreadId) {
+        let mut st = self.inner.state.lock();
+        if st.threads[id.0].state != ThreadState::Done {
+            st.threads[id.0].state = ThreadState::Done;
+        }
+    }
+
+    /// Called by the thread wrapper when a body returns or panics.
+    fn finish_thread(&self, id: SimThreadId, panic_msg: Option<String>) {
+        let fail = panic_msg.is_some();
+        {
+            let mut st = self.inner.state.lock();
+            let daemon = st.threads[id.0].daemon;
+            let name = st.threads[id.0].name.clone();
+            st.threads[id.0].state = ThreadState::Done;
+            if !daemon {
+                st.live -= 1;
+            }
+            if let Some(m) = panic_msg {
+                if st.panic_msg.is_none() {
+                    st.panic_msg = Some(format!("thread '{name}': {m}"));
+                }
+            }
+            if fail || (st.live == 0 && !st.driver_woken) {
+                // Wake the driver: either to propagate the failure
+                // immediately or because all real work is done.
+                st.driver_woken = true;
+                let now = st.now;
+                let seq = st.seq;
+                st.seq += 1;
+                st.queue.push(Event {
+                    time: now,
+                    seq,
+                    action: Action::Wake(DRIVER),
+                });
+            }
+        }
+        if fail {
+            // Fail fast: hand the baton straight to the driver.
+            let gate = self.inner.state.lock().threads[DRIVER.0].gate.clone();
+            gate.open();
+        } else {
+            self.dispatch_and_park(id, /*park:*/ false);
+        }
+    }
+
+    /// Core scheduling step. Pops events until one transfers the baton:
+    /// either back to `me` (only when `park` is true and the event wakes
+    /// `me`) or to another thread, in which case `me` parks (if `park`) or
+    /// simply returns (thread exiting).
+    fn dispatch_and_park(&self, me: SimThreadId, park: bool) {
+        loop {
+            let mut st = self.inner.state.lock();
+            let ev = match st.queue.pop() {
+                Some(ev) => ev,
+                None => {
+                    // No events: completion is signalled through an explicit
+                    // driver wake, so an empty queue here means deadlock.
+                    let blocked: Vec<String> = st
+                        .threads
+                        .iter()
+                        .filter(|t| {
+                            matches!(t.state, ThreadState::Blocked | ThreadState::Created)
+                                && !t.daemon
+                        })
+                        .map(|t| t.name.clone())
+                        .collect();
+                    if st.panic_msg.is_none() {
+                        st.panic_msg = Some(format!(
+                            "deadlock: event queue empty with blocked threads {blocked:?}"
+                        ));
+                    }
+                    st.driver_woken = true;
+                    let gate = st.threads[DRIVER.0].gate.clone();
+                    drop(st);
+                    if me == DRIVER {
+                        return;
+                    }
+                    gate.open();
+                    if park {
+                        self.park_self(me);
+                    }
+                    return;
+                }
+            };
+            debug_assert!(ev.time >= st.now, "event time went backwards");
+            st.now = st.now.max(ev.time);
+            match ev.action {
+                Action::Call(f) => {
+                    drop(st);
+                    f(self);
+                    // Loop: keep dispatching.
+                }
+                Action::Wake(tid) => {
+                    if tid == me {
+                        if park {
+                            // Continue running without an OS handoff.
+                            st.threads[me.0].state = ThreadState::Running;
+                            return;
+                        }
+                        // `me` is exiting; a stale self-wake is dropped.
+                        continue;
+                    }
+                    let slot = &mut st.threads[tid.0];
+                    match slot.state {
+                        ThreadState::Done => continue, // stale wake
+                        ThreadState::Running => {
+                            unreachable!("two threads running simultaneously")
+                        }
+                        ThreadState::Created | ThreadState::Blocked => {
+                            slot.state = ThreadState::Running;
+                            let gate = slot.gate.clone();
+                            if park {
+                                st.threads[me.0].state = ThreadState::Blocked;
+                            }
+                            drop(st);
+                            gate.open();
+                            if park {
+                                self.park_self(me);
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn park_self(&self, me: SimThreadId) {
+        let gate = self.inner.state.lock().threads[me.0].gate.clone();
+        gate.wait();
+        if self.inner.shutdown.load(AtomicOrd::SeqCst) {
+            if me == DRIVER {
+                return;
+            }
+            panic::panic_any(ShutdownToken);
+        }
+    }
+}
+
+impl SimThread {
+    /// This thread's id.
+    pub fn id(&self) -> SimThreadId {
+        self.id
+    }
+
+    /// The simulation this thread belongs to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Advance virtual time by `d` (models compute or fixed-cost work).
+    /// Other threads with earlier events run in between.
+    pub fn advance(&self, d: SimDuration) {
+        let target = {
+            let mut st = self.sim.inner.state.lock();
+            let t = st.now + d;
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Event {
+                time: t,
+                seq,
+                action: Action::Wake(self.id),
+            });
+            t
+        };
+        // Spurious wakes (another thread waking this one while it sleeps)
+        // must not cut the advance short; re-park until the target wake.
+        loop {
+            self.sim.dispatch_and_park(self.id, true);
+            if self.sim.now() >= target {
+                return;
+            }
+        }
+    }
+
+    /// Yield the baton, re-running after all currently queued events at the
+    /// present instant.
+    pub fn yield_now(&self) {
+        self.advance(SimDuration::ZERO);
+    }
+
+    /// Park until some other thread (or scheduled event) wakes this thread.
+    ///
+    /// Wakeups may be spurious: callers must re-check their condition in a
+    /// loop. Never call while holding a shared lock.
+    pub fn block(&self) {
+        self.sim.dispatch_and_park(self.id, true);
+    }
+
+    /// Convenience loop: park until `cond` yields a value.
+    ///
+    /// `cond` is evaluated with no scheduler locks held; the waker is
+    /// responsible for pushing a wake event for this thread after making the
+    /// condition true.
+    pub fn block_until<T>(&self, mut cond: impl FnMut() -> Option<T>) -> T {
+        loop {
+            if let Some(v) = cond() {
+                return v;
+            }
+            self.block();
+        }
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.state.lock();
+        f.debug_struct("Sim")
+            .field("now", &st.now)
+            .field("threads", &st.threads.len())
+            .field("live", &st.live)
+            .finish()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering as O};
+
+    #[test]
+    fn two_threads_interleave_by_time() {
+        let sim = Sim::new(SimConfig::default());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, step) in [("a", 10u64), ("b", 15u64)] {
+            let log = log.clone();
+            sim.spawn(name, false, move |t| {
+                for _ in 0..3 {
+                    t.advance(SimDuration::nanos(step));
+                    log.lock().push((name, t.now().as_nanos()));
+                }
+            });
+        }
+        sim.run();
+        let got = log.lock().clone();
+        // At t=30 both have events; b's wake was queued first (at t=15 vs
+        // t=20), so sequence order puts b first.
+        assert_eq!(
+            got,
+            vec![
+                ("a", 10),
+                ("b", 15),
+                ("a", 20),
+                ("b", 30),
+                ("a", 30),
+                ("b", 45)
+            ]
+        );
+    }
+
+    #[test]
+    fn block_and_wake() {
+        let sim = Sim::new(SimConfig::default());
+        let flag = Arc::new(AtomicU64::new(0));
+        let waiter_id = Arc::new(Mutex::new(None));
+        let (f2, w2) = (flag.clone(), waiter_id.clone());
+        sim.spawn("waiter", false, move |t| {
+            *w2.lock() = Some(t.id());
+            t.block_until(|| (f2.load(O::SeqCst) == 7).then_some(()));
+            assert_eq!(t.now().as_nanos(), 100);
+        });
+        let (f3, w3) = (flag, waiter_id);
+        let simc = sim.clone();
+        sim.spawn("setter", false, move |t| {
+            t.advance(SimDuration::nanos(100));
+            f3.store(7, O::SeqCst);
+            let id = w3.lock().unwrap();
+            simc.wake(id);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn call_events_fire_in_order() {
+        let sim = Sim::new(SimConfig::default());
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let (l1, l2) = (log.clone(), log.clone());
+        sim.call_at(SimTime(50), move |_| l1.lock().push(50));
+        sim.call_at(SimTime(20), move |_| l2.lock().push(20));
+        sim.spawn("t", false, move |t| {
+            t.advance(SimDuration::nanos(100));
+        });
+        sim.run();
+        assert_eq!(log.lock().clone(), vec![20, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn deadlock_detected() {
+        let sim = Sim::new(SimConfig::default());
+        sim.spawn("stuck", false, move |t| {
+            t.block(); // nobody will ever wake us
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn thread_panic_propagates() {
+        let sim = Sim::new(SimConfig::default());
+        sim.spawn("bad", false, move |t| {
+            t.advance(SimDuration::nanos(5));
+            panic!("boom");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn daemon_does_not_block_completion() {
+        let sim = Sim::new(SimConfig::default());
+        sim.spawn("svc", true, move |t| loop {
+            t.advance(SimDuration::secs(1)); // ticks forever
+        });
+        sim.spawn("work", false, move |t| {
+            t.advance(SimDuration::millis(10));
+        });
+        sim.run();
+        assert!(sim.now().as_nanos() >= 10_000_000);
+    }
+
+    #[test]
+    fn spurious_wake_is_survivable() {
+        let sim = Sim::new(SimConfig::default());
+        let target = Arc::new(Mutex::new(None));
+        let ready = Arc::new(AtomicU64::new(0));
+        let (t2, r2) = (target.clone(), ready.clone());
+        sim.spawn("w", false, move |t| {
+            *t2.lock() = Some(t.id());
+            t.block_until(|| (r2.load(O::SeqCst) == 1).then_some(()));
+        });
+        let simc = sim.clone();
+        sim.spawn("noisy", false, move |t| {
+            t.yield_now();
+            let id = target.lock().unwrap();
+            // Spurious wake (condition still false).
+            simc.wake(id);
+            t.advance(SimDuration::nanos(10));
+            ready.store(1, O::SeqCst);
+            simc.wake(id);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn trace() -> Vec<(u64, u64)> {
+            let sim = Sim::new(SimConfig::default());
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..8u64 {
+                let log = log.clone();
+                sim.spawn(&format!("t{i}"), false, move |t| {
+                    for k in 0..4 {
+                        t.advance(SimDuration::nanos(7 * i + k + 1));
+                        log.lock().push((i, t.now().as_nanos()));
+                    }
+                });
+            }
+            sim.run();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn nested_spawn_during_run() {
+        let sim = Sim::new(SimConfig::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = hits.clone();
+        let simc = sim.clone();
+        sim.spawn("parent", false, move |t| {
+            t.advance(SimDuration::nanos(10));
+            let h3 = h2.clone();
+            simc.spawn("child", false, move |t| {
+                t.advance(SimDuration::nanos(5));
+                h3.fetch_add(1, O::SeqCst);
+            });
+            t.advance(SimDuration::nanos(100));
+            h2.fetch_add(1, O::SeqCst);
+        });
+        sim.run();
+        assert_eq!(hits.load(O::SeqCst), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! `manasim` — command-line driver for the MANA reproduction.
+//!
+//! ```text
+//! manasim run     --app hpcg --ranks 16 --nodes 2 --mpi cray --steps 10 [--ckpt-at-frac 0.5 [--kill]]
+//! manasim migrate --app gromacs --ranks 8 --from cori:4 --to local:2 --from-mpi cray --to-mpi openmpi
+//! manasim verify  [--ranks N] [--colls K]       # protocol model checking
+//! ```
+//!
+//! Because the simulated filesystem lives in process memory, `migrate`
+//! performs the whole life cycle (run → checkpoint → kill → restart) in
+//! one invocation.
+
+use mana::apps::AppKind;
+use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::mpi::MpiProfile;
+use mana::sim::cluster::{ClusterSpec, Placement};
+use mana::sim::fs::ParallelFs;
+use mana::sim::kernel::KernelModel;
+use mana::sim::time::SimTime;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut m = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let val = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                "true".to_string()
+            };
+            m.insert(key.to_string(), val);
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+        i += 1;
+    }
+    m
+}
+
+fn app_kind(name: &str) -> AppKind {
+    match name {
+        "gromacs" => AppKind::Gromacs,
+        "minife" => AppKind::MiniFe,
+        "hpcg" => AppKind::Hpcg,
+        "clamr" => AppKind::Clamr,
+        "lulesh" => AppKind::Lulesh,
+        other => {
+            eprintln!("unknown app: {other}");
+            usage()
+        }
+    }
+}
+
+fn profile(name: &str) -> MpiProfile {
+    match name {
+        "cray" => MpiProfile::cray_mpich(),
+        "openmpi" => MpiProfile::open_mpi(),
+        "mpich" => MpiProfile::mpich(),
+        "mpich-debug" => MpiProfile::mpich_debug(),
+        other => {
+            eprintln!("unknown MPI implementation: {other}");
+            usage()
+        }
+    }
+}
+
+fn cluster(spec: &str) -> ClusterSpec {
+    let (name, nodes) = spec.split_once(':').unwrap_or((spec, "2"));
+    let nodes: u32 = nodes.parse().unwrap_or_else(|_| usage());
+    match name {
+        "cori" => ClusterSpec::cori(nodes),
+        "local" => ClusterSpec::local_cluster(nodes),
+        other => {
+            eprintln!("unknown cluster: {other}");
+            usage()
+        }
+    }
+}
+
+fn get<'a>(f: &'a HashMap<String, String>, k: &str, default: &'a str) -> &'a str {
+    f.get(k).map(String::as_str).unwrap_or(default)
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let kind = app_kind(get(&flags, "app", "hpcg"));
+    let nodes: u32 = get(&flags, "nodes", "2").parse().unwrap_or_else(|_| usage());
+    let ranks: u32 = get(&flags, "ranks", "8").parse().unwrap_or_else(|_| usage());
+    let steps: u64 = get(&flags, "steps", "10").parse().unwrap_or_else(|_| usage());
+    let seed: u64 = get(&flags, "seed", "1").parse().unwrap_or_else(|_| usage());
+    let mut c = ClusterSpec::cori(nodes);
+    if flags.contains_key("patched-kernel") {
+        c = c.with_patched_kernel();
+    }
+    let kernel = c.kernel.clone();
+    let app = mana::apps::make_app(kind, steps, nodes, true);
+    let fs = ParallelFs::new(Default::default());
+
+    let base = ManaJobSpec {
+        cluster: c,
+        nranks: ranks,
+        placement: Placement::Block,
+        profile: profile(get(&flags, "mpi", "cray")),
+        cfg: ManaConfig::no_checkpoints(kernel.clone()),
+        seed,
+    };
+    println!(
+        "running {} under MANA: {} ranks on {} node(s), {} {}",
+        kind.name(),
+        ranks,
+        nodes,
+        base.profile.name,
+        base.profile.version
+    );
+    let (probe, _) = run_mana_app(&fs, &base, app.clone());
+    println!("  total {}   application {}", probe.wall, probe.app_wall);
+
+    if let Some(frac) = flags.get("ckpt-at-frac") {
+        let frac: f64 = frac.parse().unwrap_or_else(|_| usage());
+        let at = probe.wall.as_nanos() - (probe.app_wall.as_nanos() as f64 * (1.0 - frac)) as u64;
+        let kill = flags.contains_key("kill");
+        let spec = ManaJobSpec {
+            cfg: ManaConfig {
+                ckpt_times: vec![SimTime(at)],
+                after_last_ckpt: if kill { AfterCkpt::Kill } else { AfterCkpt::Continue },
+                ..ManaConfig::no_checkpoints(kernel)
+            },
+            ..base
+        };
+        let (out, hub) = run_mana_app(&fs, &spec, app);
+        for r in hub.ckpts() {
+            println!(
+                "  checkpoint #{}: total {} (write {}, drain {}, comm {}), {} MB/rank, {} extra iterations",
+                r.ckpt_id,
+                r.total(),
+                r.max_write(),
+                r.max_drain(),
+                r.comm_overhead(),
+                r.max_image_bytes() >> 20,
+                r.extra_iterations
+            );
+        }
+        if out.killed {
+            println!("  job killed after checkpoint; images: {} files", fs.list().len());
+        } else {
+            println!("  job continued and completed; run {}", out.wall);
+        }
+    }
+}
+
+fn cmd_migrate(flags: HashMap<String, String>) {
+    let kind = app_kind(get(&flags, "app", "gromacs"));
+    let ranks: u32 = get(&flags, "ranks", "8").parse().unwrap_or_else(|_| usage());
+    let steps: u64 = get(&flags, "steps", "12").parse().unwrap_or_else(|_| usage());
+    let seed: u64 = get(&flags, "seed", "1").parse().unwrap_or_else(|_| usage());
+    let from = cluster(get(&flags, "from", "cori:4"));
+    let to = cluster(get(&flags, "to", "local:2"));
+    let from_mpi = profile(get(&flags, "from-mpi", "cray"));
+    let to_mpi = profile(get(&flags, "to-mpi", "openmpi"));
+    let app = mana::apps::make_app(kind, steps, from.nodes, true);
+    let fs = ParallelFs::new(Default::default());
+
+    println!(
+        "source:      {} on {}:{} under {}",
+        kind.name(),
+        from.name,
+        from.nodes,
+        from_mpi.name
+    );
+    let base = ManaJobSpec {
+        cluster: from.clone(),
+        nranks: ranks,
+        placement: Placement::Block,
+        profile: from_mpi,
+        cfg: ManaConfig::no_checkpoints(from.kernel.clone()),
+        seed,
+    };
+    let (probe, _) = run_mana_app(&fs, &base, app.clone());
+    println!("  uninterrupted reference: {}", probe.wall);
+
+    let at = probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2;
+    let (killed, hub) = run_mana_app(
+        &fs,
+        &ManaJobSpec {
+            cfg: ManaConfig::checkpoint_and_kill(from.kernel.clone(), SimTime(at)),
+            ..base.clone()
+        },
+        app.clone(),
+    );
+    assert!(killed.killed);
+    let r = &hub.ckpts()[0];
+    println!(
+        "  checkpointed at halfway: {} ({} MB/rank); job killed",
+        r.total(),
+        r.max_image_bytes() >> 20
+    );
+
+    println!(
+        "destination: {}:{} under {}",
+        to.name, to.nodes, to_mpi.name
+    );
+    let restart = ManaJobSpec {
+        cluster: to.clone(),
+        profile: to_mpi,
+        cfg: ManaConfig::no_checkpoints(to.kernel.clone()),
+        ..base
+    };
+    let (resumed, _, report) = run_restart_app(&fs, 1, &restart, app);
+    assert!(!resumed.killed);
+    println!(
+        "  restart: read {}, replay {}, resume after {}",
+        report.max_read(),
+        report.max_replay(),
+        report.total
+    );
+    println!("  second half completed in {}", resumed.app_wall);
+    if probe.checksums == resumed.checksums {
+        println!("  results bit-identical to the uninterrupted source run ✓");
+    } else {
+        eprintln!("  RESULT DIVERGENCE — this is a bug");
+        exit(1);
+    }
+}
+
+fn cmd_verify(flags: HashMap<String, String>) {
+    let ranks: usize = get(&flags, "ranks", "3").parse().unwrap_or_else(|_| usage());
+    let colls: usize = get(&flags, "colls", "2").parse().unwrap_or_else(|_| usage());
+    let spec = mana::model_check::Spec::uniform_world(ranks, colls);
+    println!("model-checking the two-phase protocol: {ranks} ranks x {colls} collectives ...");
+    let out = mana::model_check::check(&spec);
+    println!(
+        "  {} states, {} transitions: {}",
+        out.states,
+        out.transitions,
+        if out.ok() {
+            "no deadlocks, no broken invariants".to_string()
+        } else {
+            format!("VIOLATION {:?}", out.violation)
+        }
+    );
+    if !out.ok() {
+        exit(1);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("migrate") => cmd_migrate(parse_flags(&args[1..])),
+        Some("verify") => cmd_verify(parse_flags(&args[1..])),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,191 @@
+//! §4.2 extension coverage: checkpoints taken while two-phase nonblocking
+//! collectives are outstanding, including kills that interrupt the
+//! wait-side conversion, and iallreduce payload fidelity across restarts.
+
+use mana::core::{
+    run_mana_app, run_native_app, run_restart_app, AfterCkpt, AppEnv, ManaConfig, ManaJobSpec,
+    Workload,
+};
+use mana::mpi::{MpiProfile, ReduceOp};
+use mana::sim::cluster::{ClusterSpec, Placement};
+use mana::sim::fs::ParallelFs;
+use mana::sim::kernel::KernelModel;
+use mana::sim::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+/// Every step issues an ibarrier and an iallreduce, overlaps them with a
+/// long compute phase, and only then completes them — maximizing the
+/// window in which a checkpoint can catch the collectives outstanding.
+struct OverlapApp {
+    steps: u64,
+}
+
+impl Workload for OverlapApp {
+    fn name(&self) -> &'static str {
+        "overlap"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let n = env.nranks();
+        let me = env.rank();
+        let field = env.alloc_f64("field", 64);
+        let scal = env.alloc_f64("scal", 4);
+
+        env.work(SimDuration::micros(5), |m| {
+            m.with_mut(field, |f| {
+                for (i, v) in f.iter_mut().enumerate() {
+                    *v = f64::from(me) + i as f64 * 0.25;
+                }
+            });
+        });
+
+        loop {
+            let iter = env.peek(scal, |s| s[0]) as u64;
+            if iter >= self.steps {
+                break;
+            }
+            env.begin_step();
+
+            // Issue the nonblocking barrier, then overlap compute.
+            let b = env.ibarrier(world);
+            env.work(SimDuration::millis(2), |m| {
+                m.with_mut(field, |f| {
+                    for v in f.iter_mut() {
+                        *v = 0.99 * *v + 0.01;
+                    }
+                });
+            });
+            env.wait_slot(b);
+
+            // Reduce field[0..4] via the wrapped blocking allreduce, then
+            // a second overlapped window with more compute.
+            let b2 = env.ibarrier(world);
+            env.compute(SimDuration::millis(1));
+            env.wait_slot(b2);
+            env.allreduce_arr(world, scal, ReduceOp::Sum);
+            env.work(SimDuration::micros(1), |m| {
+                m.with_mut(scal, |s| {
+                    s[0] = (s[0] / f64::from(n)).round() + 1.0;
+                });
+            });
+        }
+    }
+}
+
+#[test]
+fn checkpoints_land_on_outstanding_nonblocking_collectives() {
+    let fs = ParallelFs::new(Default::default());
+    let app: Arc<dyn Workload> = Arc::new(OverlapApp { steps: 8 });
+    let base = ManaJobSpec {
+        cluster: ClusterSpec::cori(2),
+        nranks: 6,
+        placement: Placement::Block,
+        profile: MpiProfile::cray_mpich(),
+        cfg: ManaConfig {
+            ckpt_dir: "nb".into(),
+            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+        },
+        seed: 88,
+    };
+    let (clean, _) = run_mana_app(&fs, &base, app.clone());
+    assert!(!clean.killed);
+    let native = run_native_app(
+        ClusterSpec::cori(2),
+        6,
+        Placement::Block,
+        MpiProfile::cray_mpich(),
+        88,
+        app.clone(),
+    );
+    assert_eq!(native.checksums, clean.checksums);
+
+    // Cut at many points: most land inside the overlap windows, where the
+    // ibarrier is outstanding and its instance must be reported in-phase-1
+    // and its descriptor must survive into the image.
+    let app_start = clean.wall.as_nanos() - clean.app_wall.as_nanos();
+    for (k, frac) in [0.11, 0.23, 0.37, 0.52, 0.61, 0.74, 0.88, 0.95]
+        .into_iter()
+        .enumerate()
+    {
+        let at = app_start + (clean.app_wall.as_nanos() as f64 * frac) as u64;
+        let dir = format!("nb-{k}");
+        let (killed, hub) = run_mana_app(
+            &fs,
+            &ManaJobSpec {
+                cfg: ManaConfig {
+                    ckpt_dir: dir.clone(),
+                    ckpt_times: vec![SimTime(at)],
+                    after_last_ckpt: AfterCkpt::Kill,
+                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+                },
+                ..base.clone()
+            },
+            app.clone(),
+        );
+        assert!(killed.killed, "cut {k} did not kill");
+        assert_eq!(hub.ckpts().len(), 1);
+
+        // Restart under a different implementation for good measure.
+        let (resumed, _, _) = run_restart_app(
+            &fs,
+            1,
+            &ManaJobSpec {
+                cluster: ClusterSpec::local_cluster(2),
+                profile: MpiProfile::mpich(),
+                cfg: ManaConfig {
+                    ckpt_dir: dir,
+                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+                },
+                ..base.clone()
+            },
+            app.clone(),
+        );
+        assert!(!resumed.killed);
+        assert_eq!(
+            clean.checksums, resumed.checksums,
+            "cut {k} (fraction {frac}) diverged"
+        );
+    }
+}
+
+#[test]
+fn whole_run_determinism_under_mana() {
+    // Identical specs on identical filesystem state produce identical
+    // virtual timings AND state, even with a mid-run checkpoint: the run
+    // is a pure function of (seed, filesystem epoch). A *shared*
+    // filesystem deliberately decorrelates straggler draws across
+    // checkpoints via its epoch counter, so each run gets its own here.
+    let fs = ParallelFs::new(Default::default());
+    let app = || -> Arc<dyn Workload> { Arc::new(OverlapApp { steps: 6 }) };
+    let probe_spec = ManaJobSpec {
+        cluster: ClusterSpec::cori(2),
+        nranks: 6,
+        placement: Placement::Block,
+        profile: MpiProfile::open_mpi(),
+        cfg: ManaConfig {
+            ckpt_dir: "det-probe".into(),
+            ..ManaConfig::no_checkpoints(KernelModel::patched())
+        },
+        seed: 4242,
+    };
+    let (probe, _) = run_mana_app(&fs, &probe_spec, app());
+    let mid = SimTime(probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2);
+    let spec = |dir: &str| ManaJobSpec {
+        cfg: ManaConfig {
+            ckpt_dir: dir.into(),
+            ckpt_times: vec![mid],
+            ..ManaConfig::no_checkpoints(KernelModel::patched())
+        },
+        ..probe_spec.clone()
+    };
+    let (a, ha) = run_mana_app(&ParallelFs::new(Default::default()), &spec("det-a"), app());
+    let (b, hb) = run_mana_app(&ParallelFs::new(Default::default()), &spec("det-b"), app());
+    assert_eq!(a.wall, b.wall);
+    assert_eq!(a.app_wall, b.app_wall);
+    assert_eq!(a.checksums, b.checksums);
+    let (ra, rb) = (&ha.ckpts()[0], &hb.ckpts()[0]);
+    assert_eq!(ra.total(), rb.total());
+    assert_eq!(ra.max_write(), rb.max_write());
+    assert_eq!(ra.extra_iterations, rb.extra_iterations);
+}
