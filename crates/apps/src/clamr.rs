@@ -101,13 +101,19 @@ impl Workload for Clamr {
             // *minimum* of the two sides' refinement (interface cells).
             if n > 1 {
                 let chunk = (256
-                    * refine.min(refine_factor(iter, right, n)).min(refine_factor(iter, left, n)))
-                    as usize;
+                    * refine
+                        .min(refine_factor(iter, right, n))
+                        .min(refine_factor(iter, left, n))) as usize;
                 let s1 = env.isend_arr(world, cells, 0..chunk, right, 31);
                 let s2 = env.isend_arr(world, cells, 0..chunk, left, 31);
                 let r1 = env.irecv_into(world, halo, 0, SrcSpec::Rank(left), TagSpec::Tag(31));
-                let r2 =
-                    env.irecv_into(world, halo, max_chunk, SrcSpec::Rank(right), TagSpec::Tag(31));
+                let r2 = env.irecv_into(
+                    world,
+                    halo,
+                    max_chunk,
+                    SrcSpec::Rank(right),
+                    TagSpec::Tag(31),
+                );
                 env.wait_slot(r1);
                 env.wait_slot(r2);
                 env.wait_slot(s1);
@@ -115,7 +121,10 @@ impl Workload for Clamr {
             }
 
             // Periodic global rebalance: equal-chunk alltoall of cell data.
-            if n > 1 && self.rebalance_every > 0 && iter % self.rebalance_every == self.rebalance_every - 1 {
+            if n > 1
+                && self.rebalance_every > 0
+                && iter % self.rebalance_every == self.rebalance_every - 1
+            {
                 env.alltoall_arr(world, xfer, xrecv);
                 env.work(SimDuration::micros(100), |m| {
                     m.with2_mut(cells, xrecv, |c, x| {

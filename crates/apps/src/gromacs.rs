@@ -46,7 +46,10 @@ impl Workload for Gromacs {
         let world = env.world();
         let n = env.nranks();
         let me = env.rank();
-        let nbrs = self.neighbors.min(n.saturating_sub(1) / 2).max(if n > 1 { 1 } else { 0 });
+        let nbrs = self
+            .neighbors
+            .min(n.saturating_sub(1) / 2)
+            .max(if n > 1 { 1 } else { 0 });
 
         let pos = env.alloc_f64("pos", 3 * self.particles);
         let frc = env.alloc_f64("frc", 3 * self.particles);
@@ -102,7 +105,13 @@ impl Workload for Gromacs {
                     let up = (me + k + 1) % n;
                     let down = (me + n - (k + 1)) % n;
                     let off = (2 * k as usize) * self.chunk;
-                    slots.push(env.irecv_into(world, halo, off, SrcSpec::Rank(down), TagSpec::Tag(tag)));
+                    slots.push(env.irecv_into(
+                        world,
+                        halo,
+                        off,
+                        SrcSpec::Rank(down),
+                        TagSpec::Tag(tag),
+                    ));
                     slots.push(env.irecv_into(
                         world,
                         halo,

@@ -42,7 +42,16 @@ impl Workload for MiniFe {
     }
 
     fn run(&self, env: &mut AppEnv) {
-        run_cg(env, "minife", self.iters, self.rows, self.boundary, self.bulk_bytes, self.ns_per_row, 1)
+        run_cg(
+            env,
+            "minife",
+            self.iters,
+            self.rows,
+            self.boundary,
+            self.bulk_bytes,
+            self.ns_per_row,
+            1,
+        )
     }
 }
 
@@ -104,8 +113,13 @@ pub(crate) fn run_cg(
                 let s1 = env.isend_arr(world, p, 0..boundary, left, tag);
                 let s2 = env.isend_arr(world, p, rows - boundary..rows, right, tag);
                 let r1 = env.irecv_into(world, halo, 0, SrcSpec::Rank(left), TagSpec::Tag(tag));
-                let r2 =
-                    env.irecv_into(world, halo, boundary, SrcSpec::Rank(right), TagSpec::Tag(tag));
+                let r2 = env.irecv_into(
+                    world,
+                    halo,
+                    boundary,
+                    SrcSpec::Rank(right),
+                    TagSpec::Tag(tag),
+                );
                 env.wait_slot(r1);
                 env.wait_slot(r2);
                 env.wait_slot(s1);
@@ -117,7 +131,11 @@ pub(crate) fn run_cg(
                     let len = pv.len();
                     for i in 0..len {
                         let lo = if i == 0 { hv[0] } else { pv[i - 1] };
-                        let hi = if i + 1 == len { hv[hv.len() / 2] } else { pv[i + 1] };
+                        let hi = if i + 1 == len {
+                            hv[hv.len() / 2]
+                        } else {
+                            pv[i + 1]
+                        };
                         qv[i] = 2.5 * pv[i] - lo - hi;
                     }
                 });

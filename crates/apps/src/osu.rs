@@ -58,8 +58,7 @@ impl Workload for OsuLatency {
                     env.recv_discard(world, SrcSpec::Rank(1), TagSpec::Tag(i as i32));
                 }
                 let elapsed = env.thread().now().since(t0);
-                let one_way_us =
-                    elapsed.as_micros_f64() / f64::from(self.iters) / 2.0;
+                let one_way_us = elapsed.as_micros_f64() / f64::from(self.iters) / 2.0;
                 self.sink.lock().push((size, one_way_us));
             } else if me == 1 {
                 for i in 0..self.iters {
@@ -107,9 +106,7 @@ impl Workload for OsuBandwidth {
                 }
                 let elapsed = env.thread().now().since(t0).as_secs_f64();
                 let bytes = size * u64::from(self.window) * u64::from(self.windows);
-                self.sink
-                    .lock()
-                    .push((size, bytes as f64 / elapsed / 1e6));
+                self.sink.lock().push((size, bytes as f64 / elapsed / 1e6));
             } else if me == 1 {
                 for w in 0..self.windows {
                     for _ in 0..self.window {
@@ -169,7 +166,9 @@ impl Workload for OsuCollLatency {
                         // Element-aligned doubles.
                         let n8 = (size as usize / 8).max(1) * 8;
                         let b = vec![0u8; n8];
-                        let _ = env.mpi().allreduce(&t, &b, BaseType::Double, ReduceOp::Sum, world);
+                        let _ = env
+                            .mpi()
+                            .allreduce(&t, &b, BaseType::Double, ReduceOp::Sum, world);
                     }
                 }
             }

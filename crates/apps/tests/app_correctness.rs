@@ -2,23 +2,24 @@
 //! result equality, and full checkpoint/kill/restart fidelity.
 
 use mana_apps::{make_app_small, AppKind};
-use mana_core::{run_mana_app, run_native_app, run_restart_app, ManaConfig, ManaJobSpec};
+use mana_core::{FsStore, JobBuilder, ManaSession};
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
-use mana_sim::fs::{FsConfig, ParallelFs};
-use mana_sim::kernel::KernelModel;
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::fs::FsConfig;
 use mana_sim::time::{SimDuration, SimTime};
 use std::sync::Arc;
 
-fn fs() -> Arc<ParallelFs> {
-    ParallelFs::new(FsConfig {
-        node_bw: 2e9,
-        aggregate_bw: 100e9,
-        op_latency: SimDuration::millis(1),
-        write_straggler_max: 2.0,
-        read_straggler_max: 1.5,
-        seed: 3,
-    })
+fn session() -> ManaSession {
+    ManaSession::builder()
+        .store(FsStore::with_config(FsConfig {
+            node_bw: 2e9,
+            aggregate_bw: 100e9,
+            op_latency: SimDuration::millis(1),
+            write_straggler_max: 2.0,
+            read_straggler_max: 1.5,
+            seed: 3,
+        }))
+        .build()
 }
 
 fn nranks_for(kind: AppKind) -> u32 {
@@ -28,19 +29,23 @@ fn nranks_for(kind: AppKind) -> u32 {
     }
 }
 
+fn job(kind: AppKind) -> JobBuilder {
+    JobBuilder::new()
+        .cluster(ClusterSpec::cori(2))
+        .ranks(nranks_for(kind))
+        .profile(MpiProfile::cray_mpich())
+        .seed(7)
+}
+
 #[test]
 fn apps_run_deterministically_native() {
+    let session = session();
     for kind in AppKind::all() {
         let n = nranks_for(kind);
         let run = || {
-            run_native_app(
-                ClusterSpec::cori(2),
-                n,
-                Placement::Block,
-                MpiProfile::cray_mpich(),
-                7,
-                make_app_small(kind, 8),
-            )
+            session
+                .run_native(job(kind), make_app_small(kind, 8))
+                .expect("native run")
         };
         let a = run();
         let b = run();
@@ -52,32 +57,20 @@ fn apps_run_deterministically_native() {
 
 #[test]
 fn apps_match_native_under_mana() {
-    let fs = fs();
+    let session = session();
     for kind in AppKind::all() {
-        let n = nranks_for(kind);
-        let native = run_native_app(
-            ClusterSpec::cori(2),
-            n,
-            Placement::Block,
-            MpiProfile::cray_mpich(),
-            7,
-            make_app_small(kind, 8),
-        );
-        let spec = ManaJobSpec {
-            cluster: ClusterSpec::cori(2),
-            nranks: n,
-            placement: Placement::Block,
-            profile: MpiProfile::cray_mpich(),
-            cfg: ManaConfig {
-                ckpt_dir: format!("mm-{}", kind.name()),
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            seed: 7,
-        };
-        let (mana, _) = run_mana_app(&fs, &spec, make_app_small(kind, 8));
+        let native = session
+            .run_native(job(kind), make_app_small(kind, 8))
+            .expect("native run");
+        let mana = session
+            .run(
+                job(kind).ckpt_dir(format!("mm-{}", kind.name())),
+                make_app_small(kind, 8),
+            )
+            .expect("mana run");
         assert_eq!(
-            native.checksums,
-            mana.checksums,
+            &native.checksums,
+            mana.checksums(),
             "{} diverged under MANA",
             kind.name()
         );
@@ -86,53 +79,45 @@ fn apps_match_native_under_mana() {
 
 #[test]
 fn apps_survive_checkpoint_restart_with_impl_switch() {
-    let fs = fs();
+    let session = session();
     for kind in AppKind::all() {
         let n = nranks_for(kind);
         let dir = format!("cr-{}", kind.name());
         // Uninterrupted reference run.
-        let clean_spec = ManaJobSpec {
-            cluster: ClusterSpec::cori(2),
-            nranks: n,
-            placement: Placement::Block,
-            profile: MpiProfile::cray_mpich(),
-            cfg: ManaConfig {
-                ckpt_dir: dir.clone(),
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            seed: 7,
-        };
-        let (clean, _) = run_mana_app(&fs, &clean_spec, make_app_small(kind, 8));
-        assert!(!clean.killed, "{}", kind.name());
+        let clean = session
+            .run(job(kind).ckpt_dir(dir.clone()), make_app_small(kind, 8))
+            .expect("clean run");
+        assert!(!clean.killed(), "{}", kind.name());
 
         // Checkpoint mid-run, kill.
-        let kill_spec = ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_dir: dir.clone(),
-                ckpt_times: vec![SimTime(clean.wall.as_nanos() / 2)],
-                after_last_ckpt: mana_core::AfterCkpt::Kill,
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            ..clean_spec.clone()
-        };
-        let (killed, hub) = run_mana_app(&fs, &kill_spec, make_app_small(kind, 8));
-        assert!(killed.killed, "{} not killed", kind.name());
-        assert_eq!(hub.ckpts().len(), 1, "{} ckpt missing", kind.name());
+        let killed = session
+            .run(
+                job(kind)
+                    .ckpt_dir(dir.clone())
+                    .checkpoint_at(SimTime(clean.outcome().wall.as_nanos() / 2))
+                    .then_kill(),
+                make_app_small(kind, 8),
+            )
+            .expect("checkpoint run");
+        assert!(killed.killed(), "{} not killed", kind.name());
+        assert_eq!(killed.ckpts().len(), 1, "{} ckpt missing", kind.name());
 
         // Restart under Open MPI on the local cluster.
-        let restart_spec = ManaJobSpec {
-            cluster: ClusterSpec::local_cluster(2),
-            profile: MpiProfile::open_mpi(),
-            ..clean_spec.clone()
-        };
-        let (resumed, _, report) = run_restart_app(&fs, 1, &restart_spec, make_app_small(kind, 8));
-        assert!(!resumed.killed, "{}", kind.name());
+        let resumed = killed
+            .restart_on(
+                JobBuilder::new()
+                    .cluster(ClusterSpec::local_cluster(2))
+                    .profile(MpiProfile::open_mpi()),
+            )
+            .expect("restart");
+        assert!(!resumed.killed(), "{}", kind.name());
         assert_eq!(
-            clean.checksums,
-            resumed.checksums,
+            clean.checksums(),
+            resumed.checksums(),
             "{} diverged across restart",
             kind.name()
         );
+        let report = resumed.restart_report().expect("restart stats");
         assert_eq!(report.ranks.len(), n as usize);
     }
 }
@@ -145,14 +130,16 @@ fn osu_latency_reports_sane_numbers() {
         iters: 20,
         sink: sink.clone(),
     });
-    run_native_app(
-        ClusterSpec::cori(1),
-        2,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        5,
-        wl,
-    );
+    session()
+        .run_native(
+            JobBuilder::new()
+                .cluster(ClusterSpec::cori(1))
+                .ranks(2)
+                .profile(MpiProfile::cray_mpich())
+                .seed(5),
+            wl,
+        )
+        .expect("native run");
     let series = sink.lock().clone();
     assert_eq!(series.len(), 17);
     // Latency grows with size; small-message latency is sub-10µs on shm.
@@ -169,14 +156,16 @@ fn osu_bandwidth_saturates() {
         windows: 4,
         sink: sink.clone(),
     });
-    run_native_app(
-        ClusterSpec::cori(1),
-        2,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        5,
-        wl,
-    );
+    session()
+        .run_native(
+            JobBuilder::new()
+                .cluster(ClusterSpec::cori(1))
+                .ranks(2)
+                .profile(MpiProfile::cray_mpich())
+                .seed(5),
+            wl,
+        )
+        .expect("native run");
     let series = sink.lock().clone();
     assert_eq!(series.len(), 3);
     // Bandwidth increases with message size toward the shm rate.

@@ -10,37 +10,29 @@
 //! three quarters of the total.
 
 use mana_apps::AppKind;
-use mana_bench::{banner, lustre, Table};
-use mana_core::{ManaConfig, ManaJobSpec};
+use mana_bench::{banner, lustre_session, Table};
+use mana_core::{JobBuilder, ManaConfig};
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::cluster::ClusterSpec;
 use mana_sim::time::SimDuration;
 
 fn run_with(cfg_mut: impl Fn(&mut ManaConfig)) -> f64 {
     let app = mana_apps::make_app(AppKind::Gromacs, 12, 1, false);
     let cluster = ClusterSpec::cori(1);
-    let native = mana_core::run_native_app(
-        cluster.clone(),
-        16,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        50,
-        app.clone(),
-    );
-    let fs = lustre();
+    let session = lustre_session();
+    let job = || {
+        JobBuilder::new()
+            .cluster(cluster.clone())
+            .ranks(16)
+            .profile(MpiProfile::cray_mpich())
+            .seed(50)
+    };
+    let native = session.run_native(job(), app.clone()).expect("native run");
     let mut cfg = ManaConfig::no_checkpoints(cluster.kernel.clone());
     cfg_mut(&mut cfg);
-    let spec = ManaJobSpec {
-        cluster,
-        nranks: 16,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg,
-        seed: 50,
-    };
-    let (mana, _) = mana_core::run_mana_app(&fs, &spec, app);
-    assert_eq!(native.checksums, mana.checksums);
-    (mana.app_wall.as_secs_f64() / native.app_wall.as_secs_f64() - 1.0) * 100.0
+    let mana = session.run(job().config(cfg), app).expect("mana run");
+    assert_eq!(&native.checksums, mana.checksums());
+    (mana.outcome().app_wall.as_secs_f64() / native.app_wall.as_secs_f64() - 1.0) * 100.0
 }
 
 fn main() {

@@ -3,10 +3,10 @@
 //! shows MANA losing bandwidth at small sizes (<1 MB) on the native
 //! kernel and the patched kernel closing the gap.
 
-use mana_bench::{banner, Table};
-use mana_core::{ManaConfig, ManaJobSpec};
+use mana_bench::{banner, lustre_session, Table};
+use mana_core::JobBuilder;
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::cluster::ClusterSpec;
 use std::sync::Arc;
 
 fn run_bw(mode: &str) -> Vec<(u64, f64)> {
@@ -21,26 +21,16 @@ fn run_bw(mode: &str) -> Vec<(u64, f64)> {
         "native" | "mana-unpatched" => ClusterSpec::cori(1),
         _ => ClusterSpec::cori(1).with_patched_kernel(),
     };
+    let session = lustre_session();
+    let job = JobBuilder::new()
+        .cluster(cluster)
+        .ranks(2)
+        .profile(MpiProfile::cray_mpich())
+        .seed(9);
     if mode == "native" {
-        mana_core::run_native_app(
-            cluster,
-            2,
-            Placement::Block,
-            MpiProfile::cray_mpich(),
-            9,
-            wl,
-        );
+        session.run_native(job, wl).expect("native run");
     } else {
-        let fs = mana_bench::lustre();
-        let spec = ManaJobSpec {
-            cluster: cluster.clone(),
-            nranks: 2,
-            placement: Placement::Block,
-            profile: MpiProfile::cray_mpich(),
-            cfg: ManaConfig::no_checkpoints(cluster.kernel.clone()),
-            seed: 9,
-        };
-        mana_core::run_mana_app(&fs, &spec, wl);
+        session.run(job, wl).expect("mana run");
     }
     let v = sink.lock().clone();
     v
@@ -63,10 +53,7 @@ fn main() {
         "unpatched %",
         "patched %",
     ]);
-    for ((s, n), ((_, u), (_, p))) in native
-        .iter()
-        .zip(unpatched.iter().zip(patched.iter()))
-    {
+    for ((s, n), ((_, u), (_, p))) in native.iter().zip(unpatched.iter().zip(patched.iter())) {
         table.row(vec![
             s.to_string(),
             format!("{n:.0}"),

@@ -3,34 +3,29 @@
 //! The paper's claim: the MANA curves closely track the native curves.
 
 use mana_apps::{CollBench, OsuCollLatency, OsuLatency};
-use mana_bench::{banner, Table};
-use mana_core::{ManaConfig, ManaJobSpec, Workload};
+use mana_bench::{banner, lustre_session, Table};
+use mana_core::{JobBuilder, Workload};
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::cluster::ClusterSpec;
 use std::sync::Arc;
 
 fn run_pair(make: impl Fn(mana_apps::Series) -> Arc<dyn Workload>) -> Vec<(u64, f64, f64)> {
-    let nat_sink = mana_apps::series();
-    mana_core::run_native_app(
-        ClusterSpec::cori(1),
-        2,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        5,
-        make(nat_sink.clone()),
-    );
-    let mana_sink = mana_apps::series();
-    let fs = mana_bench::lustre();
-    let cluster = ClusterSpec::cori(1);
-    let spec = ManaJobSpec {
-        cluster: cluster.clone(),
-        nranks: 2,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(cluster.kernel.clone()),
-        seed: 5,
+    let session = lustre_session();
+    let job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(1))
+            .ranks(2)
+            .profile(MpiProfile::cray_mpich())
+            .seed(5)
     };
-    mana_core::run_mana_app(&fs, &spec, make(mana_sink.clone()));
+    let nat_sink = mana_apps::series();
+    session
+        .run_native(job(), make(nat_sink.clone()))
+        .expect("native run");
+    let mana_sink = mana_apps::series();
+    session
+        .run(job(), make(mana_sink.clone()))
+        .expect("mana run");
     let nat = nat_sink.lock().clone();
     let man = mana_sink.lock().clone();
     nat.into_iter()

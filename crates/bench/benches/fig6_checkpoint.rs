@@ -5,7 +5,7 @@
 //! to 2 GB (HPCG).
 
 use mana_apps::AppKind;
-use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre, Scale, Table};
+use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre_session, Scale, Table};
 use mana_sim::cluster::ClusterSpec;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         "write-dominated; 5.9 GB..4 TB total; per-rank sizes annotated (93 MB..2 GB)",
     );
     let rpn = scale.ranks_per_node();
-    let fs = lustre();
+    let session = lustre_session();
     let mut table = Table::new(&[
         "app",
         "nodes",
@@ -36,8 +36,8 @@ fn main() {
             };
             let cluster = ClusterSpec::cori(nodes);
             let dir = format!("fig6-{}-{}", app.name(), nodes);
-            let (_, hub, _) = checkpoint_run(app, &cluster, nranks, 6, 44, &fs, &dir, true);
-            let report = &hub.ckpts()[0];
+            let killed = checkpoint_run(app, &cluster, nranks, 6, 44, &session, &dir, true);
+            let report = &killed.ckpts()[0];
             table.row(vec![
                 app.name().to_string(),
                 nodes.to_string(),

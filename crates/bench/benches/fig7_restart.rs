@@ -3,7 +3,8 @@
 //! HPCG; opaque-object replay is under 10% of restart time.
 
 use mana_apps::AppKind;
-use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre, Scale, Table};
+use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre_session, Scale, Table};
+use mana_core::JobBuilder;
 use mana_sim::cluster::ClusterSpec;
 
 fn main() {
@@ -14,7 +15,7 @@ fn main() {
         "read-dominated; <10 s .. 68 s; replay <10% of restart",
     );
     let rpn = scale.ranks_per_node();
-    let fs = lustre();
+    let session = lustre_session();
     let mut table = Table::new(&[
         "app",
         "nodes",
@@ -34,21 +35,14 @@ fn main() {
             };
             let cluster = ClusterSpec::cori(nodes);
             let dir = format!("fig7-{}-{}", app.name(), nodes);
-            let (_, _, spec) = checkpoint_run(app, &cluster, nranks, 6, 45, &fs, &dir, true);
-            // Restart on the same cluster (the paper's Figure 7 setup).
-            let restart_spec = mana_core::ManaJobSpec {
-                cfg: mana_core::ManaConfig {
-                    ckpt_dir: dir.clone(),
-                    ..mana_core::ManaConfig::no_checkpoints(cluster.kernel.clone())
-                },
-                ..spec
-            };
-            let workload = mana_apps::make_app(app, 6, nodes, true);
-            let (out, _, report) = mana_core::run_restart_app(&fs, 1, &restart_spec, workload);
-            assert!(!out.killed);
-            let replay_pct = report.max_replay().as_secs_f64()
-                / report.total.as_secs_f64().max(1e-12)
-                * 100.0;
+            let killed = checkpoint_run(app, &cluster, nranks, 6, 45, &session, &dir, true);
+            // Restart on the same cluster (the paper's Figure 7 setup):
+            // everything is inherited, the kill schedule is dropped.
+            let resumed = killed.restart_on(JobBuilder::new()).expect("restart");
+            assert!(!resumed.killed());
+            let report = resumed.restart_report().expect("restart stats");
+            let replay_pct =
+                report.max_replay().as_secs_f64() / report.total.as_secs_f64().max(1e-12) * 100.0;
             table.row(vec![
                 app.name().to_string(),
                 nodes.to_string(),

@@ -4,7 +4,7 @@
 //! <1.6 s, everything else is the parallel write.
 
 use mana_apps::AppKind;
-use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre, Scale, Table};
+use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre_session, Scale, Table};
 use mana_sim::cluster::ClusterSpec;
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
         "write dominates; drain <0.7s; coordinator comm <1.6s (grows with ranks)",
     );
     let rpn = scale.ranks_per_node();
-    let fs = lustre();
+    let session = lustre_session();
     let mut table = Table::new(&[
         "app",
         "ranks",
@@ -37,8 +37,8 @@ fn main() {
         };
         let cluster = ClusterSpec::cori(nodes);
         let dir = format!("fig8-{}", app.name());
-        let (_, hub, _) = checkpoint_run(app, &cluster, nranks, 6, 46, &fs, &dir, true);
-        let r = &hub.ckpts()[0];
+        let killed = checkpoint_run(app, &cluster, nranks, 6, 46, &session, &dir, true);
+        let r = &killed.ckpts()[0];
         let total = r.total().as_secs_f64();
         let write = r.max_write().as_secs_f64();
         let drain = r.max_drain().as_secs_f64();

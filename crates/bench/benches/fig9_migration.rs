@@ -6,8 +6,8 @@
 //! native local run in every configuration.
 
 use mana_apps::{AppKind, Gromacs};
-use mana_bench::{banner, lustre, Table};
-use mana_core::{AfterCkpt, ManaConfig, ManaJobSpec};
+use mana_bench::{banner, lustre_session, Table};
+use mana_core::JobBuilder;
 use mana_mpi::MpiProfile;
 use mana_sim::cluster::{ClusterSpec, InterconnectKind, Placement};
 use mana_sim::time::SimTime;
@@ -33,32 +33,24 @@ fn main() {
         "GROMACS cross-cluster migration (Cori → local cluster)",
         "restarted runtime within 1.8% of native on the destination, all 3 configs",
     );
-    let fs = lustre();
+    let session = lustre_session();
     // Source run: Cori, Cray MPICH over Aries, 8 ranks over 4 nodes.
-    let cori = ClusterSpec::cori(4);
-    let probe_spec = ManaJobSpec {
-        cluster: cori.clone(),
-        nranks: 8,
-        placement: Placement::RoundRobin, // 2 ranks/node as in the paper
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig {
-            ckpt_dir: "fig9-probe".to_string(),
-            ..ManaConfig::no_checkpoints(cori.kernel.clone())
-        },
-        seed: 47,
+    let source_job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(4))
+            .ranks(8)
+            .placement(Placement::RoundRobin) // 2 ranks/node as in the paper
+            .profile(MpiProfile::cray_mpich())
+            .seed(47)
+            .ckpt_dir("fig9")
     };
-    let (probe, _) = mana_core::run_mana_app(&fs, &probe_spec, gromacs());
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_dir: "fig9".to_string(),
-            ckpt_times: vec![SimTime(probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2)],
-            after_last_ckpt: AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(cori.kernel.clone())
-        },
-        ..probe_spec
-    };
-    let (killed, _) = mana_core::run_mana_app(&fs, &spec, gromacs());
-    assert!(killed.killed);
+    let probe = session.run(source_job(), gromacs()).expect("probe run");
+    let halfway =
+        SimTime(probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2);
+    let killed = session
+        .run(source_job().checkpoint_at(halfway).then_kill(), gromacs())
+        .expect("checkpoint run");
+    assert!(killed.killed());
     println!("source: GROMACS on Cori (Cray MPICH / Aries), checkpointed at the halfway mark\n");
 
     let configs = [
@@ -88,41 +80,40 @@ fn main() {
     for c in configs {
         // Native baseline on the destination (full run; the paper compiles
         // the same objects against the local MPI).
-        let native = mana_core::run_native_app(
-            c.cluster.clone(),
-            8,
-            Placement::Block,
-            c.profile.clone(),
-            47,
-            gromacs(),
-        );
-        let restart_spec = ManaJobSpec {
-            cluster: c.cluster.clone(),
-            nranks: 8,
-            placement: Placement::Block,
-            profile: c.profile.clone(),
-            cfg: ManaConfig {
-                ckpt_dir: "fig9".to_string(),
-                ..ManaConfig::no_checkpoints(c.cluster.kernel.clone())
-            },
-            seed: 47,
-        };
-        let (resumed, _, _) = mana_core::run_restart_app(&fs, 1, &restart_spec, gromacs());
-        assert!(!resumed.killed);
+        let native = session
+            .run_native(
+                JobBuilder::new()
+                    .cluster(c.cluster.clone())
+                    .ranks(8)
+                    .profile(c.profile.clone())
+                    .seed(47),
+                gromacs(),
+            )
+            .expect("native baseline");
+        let resumed = killed
+            .restart_on(
+                JobBuilder::new()
+                    .cluster(c.cluster.clone())
+                    .placement(Placement::Block)
+                    .profile(c.profile.clone()),
+            )
+            .expect("restart");
+        assert!(!resumed.killed());
         // Correctness oracle: the migrated run must finish with exactly the
         // state an *uninterrupted* run on the source machine produces. (The
         // native destination run is only a timing baseline — its binary is
         // a different mpicc link, so its memory image legitimately differs,
         // just as in the paper's §3.6 build procedure.)
         assert_eq!(
-            probe.checksums, resumed.checksums,
+            probe.checksums(),
+            resumed.checksums(),
             "{}: migrated results diverged from the uninterrupted run",
             c.name
         );
         // The restarted job runs the second half of the computation; the
         // comparable native time is half the destination's full app run.
         let native_half = native.app_wall.as_secs_f64() / 2.0;
-        let restarted_half = resumed.app_wall.as_secs_f64();
+        let restarted_half = resumed.outcome().app_wall.as_secs_f64();
         let degradation = (restarted_half / native_half - 1.0) * 100.0;
         table.row(vec![
             c.name.to_string(),

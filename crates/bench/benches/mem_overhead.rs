@@ -34,7 +34,8 @@ fn main() {
             Placement::Block,
             MpiProfile::cray_mpich(),
         );
-        let result: Arc<Mutex<Option<(u64, u64, u64, u64)>>> = Arc::new(Mutex::new(None));
+        type MemCells = Arc<Mutex<Option<(u64, u64, u64, u64)>>>;
+        let result: MemCells = Arc::new(Mutex::new(None));
         {
             let (job, result) = (job.clone(), result.clone());
             sim.spawn("rank0", false, move |t| {
@@ -72,7 +73,13 @@ fn main() {
         sim.run();
         let (upper, dup, lower, shm) = result.lock().expect("rank 0 reported");
         let mb = |b: u64| format!("{:.1}", b as f64 / (1024.0 * 1024.0));
-        table.row(vec![nodes.to_string(), mb(upper), mb(dup), mb(lower), mb(shm)]);
+        table.row(vec![
+            nodes.to_string(),
+            mb(upper),
+            mb(dup),
+            mb(lower),
+            mb(shm),
+        ]);
     }
     table.print();
     println!("\npaper: duplicate text constant at ~26 MB; driver shm ≈ 2 MB (2 nodes) → 40 MB (64 nodes)");

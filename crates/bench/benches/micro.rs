@@ -101,9 +101,7 @@ fn bench_drain_buffer(c: &mut Criterion) {
                 buf
             },
             |mut buf| {
-                while let Some(m) =
-                    buf.take_match(0x1000_0000, SrcSpec::Any, TagSpec::Any)
-                {
+                while let Some(m) = buf.take_match(0x1000_0000, SrcSpec::Any, TagSpec::Any) {
                     black_box(m);
                 }
             },

@@ -5,10 +5,10 @@
 //! capture every MPI call the restarted application makes.
 
 use mana_apps::{AppKind, Gromacs};
-use mana_bench::{banner, lustre};
-use mana_core::{AfterCkpt, ManaConfig, ManaJobSpec};
+use mana_bench::{banner, lustre_session};
+use mana_core::JobBuilder;
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::cluster::ClusterSpec;
 use mana_sim::time::SimTime;
 use std::sync::Arc;
 
@@ -26,53 +26,40 @@ fn main() {
         "transparent MPI-implementation switch (production → debug build)",
         "GROMACS checkpointed under Cray MPICH restarts under debug MPICH 3.3",
     );
-    let fs = lustre();
-    let cori = ClusterSpec::cori(2);
+    let session = lustre_session();
     // Reference uninterrupted run for the result oracle.
-    let clean_spec = ManaJobSpec {
-        cluster: cori.clone(),
-        nranks: 8,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig {
-            ckpt_dir: "sec35-clean".to_string(),
-            ..ManaConfig::no_checkpoints(cori.kernel.clone())
-        },
-        seed: 48,
+    let job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(8)
+            .profile(MpiProfile::cray_mpich())
+            .seed(48)
+            .ckpt_dir("sec35")
     };
-    let (clean, _) = mana_core::run_mana_app(&fs, &clean_spec, gromacs());
+    let clean = session.run(job(), gromacs()).expect("clean run");
 
     // Checkpoint at 55s-equivalent (the paper's mark: mid-run) and kill.
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_dir: "sec35".to_string(),
-            ckpt_times: vec![SimTime(clean.wall.as_nanos() - clean.app_wall.as_nanos() / 2)],
-            after_last_ckpt: AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(cori.kernel.clone())
-        },
-        ..clean_spec
-    };
-    let (killed, _) = mana_core::run_mana_app(&fs, &spec, gromacs());
-    assert!(killed.killed);
+    let halfway =
+        SimTime(clean.outcome().wall.as_nanos() - clean.outcome().app_wall.as_nanos() / 2);
+    let killed = session
+        .run(job().checkpoint_at(halfway).then_kill(), gromacs())
+        .expect("checkpoint run");
+    assert!(killed.killed());
     println!("production run: GROMACS under Cray MPICH 3.0, checkpointed mid-run\n");
 
     // Restart under the debug MPICH build.
     let debug_cluster = ClusterSpec::local_cluster(2);
-    let restart_spec = ManaJobSpec {
-        cluster: debug_cluster.clone(),
-        nranks: 8,
-        placement: Placement::Block,
-        profile: MpiProfile::mpich_debug(),
-        cfg: ManaConfig {
-            ckpt_dir: "sec35".to_string(),
-            ..ManaConfig::no_checkpoints(debug_cluster.kernel.clone())
-        },
-        seed: 48,
-    };
-    let (resumed, _, _) = mana_core::run_restart_app(&fs, 1, &restart_spec, gromacs());
-    assert!(!resumed.killed);
+    let resumed = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(debug_cluster)
+                .profile(MpiProfile::mpich_debug()),
+        )
+        .expect("debug restart");
+    assert!(!resumed.killed());
     assert_eq!(
-        clean.checksums, resumed.checksums,
+        clean.checksums(),
+        resumed.checksums(),
         "debug-MPICH restart changed application results"
     );
     println!("restarted under: MPICH 3.3-debug (instrumented reference build)");

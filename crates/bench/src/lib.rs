@@ -16,12 +16,10 @@
 #![warn(missing_docs)]
 
 use mana_apps::AppKind;
-use mana_core::{ManaConfig, ManaJobSpec, RunOutcome, StatsHub};
+use mana_core::{Incarnation, JobBuilder, ManaSession};
 use mana_mpi::MpiProfile;
-use mana_sim::cluster::{ClusterSpec, Placement};
-use mana_sim::fs::{FsConfig, ParallelFs};
-use mana_sim::time::SimDuration;
-use std::sync::Arc;
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::time::{SimDuration, SimTime};
 
 /// Sweep scale, controlled by `MANA_BENCH_FULL`.
 #[derive(Clone, Copy, Debug)]
@@ -85,9 +83,10 @@ impl Scale {
     }
 }
 
-/// Default shared filesystem (Cori-like Lustre parameters).
-pub fn lustre() -> Arc<ParallelFs> {
-    ParallelFs::new(FsConfig::default())
+/// Session whose checkpoint store is a Cori-like Lustre filesystem (the
+/// default `FsStore`).
+pub fn lustre_session() -> ManaSession {
+    ManaSession::new()
 }
 
 /// LULESH needs rank counts that factor into a 3-D grid; clamp a generic
@@ -111,80 +110,66 @@ pub fn overhead_pair(
     seed: u64,
 ) -> (SimDuration, SimDuration, f64) {
     let workload = mana_apps::make_app(app, steps, cluster.nodes, false);
-    let native = mana_core::run_native_app(
-        cluster.clone(),
-        nranks,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        seed,
-        workload.clone(),
-    );
-    let fs = lustre();
-    let spec = ManaJobSpec {
-        cluster: cluster.clone(),
-        nranks,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(cluster.kernel.clone()),
-        seed,
+    let session = lustre_session();
+    let job = || {
+        JobBuilder::new()
+            .cluster(cluster.clone())
+            .ranks(nranks)
+            .profile(MpiProfile::cray_mpich())
+            .seed(seed)
     };
-    let (mana, _) = mana_core::run_mana_app(&fs, &spec, workload);
+    let native = session
+        .run_native(job(), workload.clone())
+        .expect("native run");
+    let mana = session.run(job(), workload).expect("mana run");
     assert_eq!(
-        native.checksums, mana.checksums,
+        &native.checksums,
+        mana.checksums(),
         "{:?} diverged under MANA",
         app
     );
     // Compare application wall time (startup measured out), as the paper's
     // minutes-long runs effectively do.
-    let pct = native.app_wall.as_secs_f64() / mana.app_wall.as_secs_f64() * 100.0;
-    (native.app_wall, mana.app_wall, pct)
+    let mana_app_wall = mana.outcome().app_wall;
+    let pct = native.app_wall.as_secs_f64() / mana_app_wall.as_secs_f64() * 100.0;
+    (native.app_wall, mana_app_wall, pct)
 }
 
-/// Run one app under MANA with a single checkpoint-and-kill, returning the
-/// run outcome and the checkpoint report hub.
+/// Run one app under MANA with a single checkpoint-and-kill in `session`,
+/// returning the killed incarnation (whose `ckpts()` holds the report and
+/// whose `restart_on` boots the follow-up incarnation).
+#[allow(clippy::too_many_arguments)]
 pub fn checkpoint_run(
     app: AppKind,
     cluster: &ClusterSpec,
     nranks: u32,
     steps: u64,
     seed: u64,
-    fs: &Arc<ParallelFs>,
+    session: &ManaSession,
     ckpt_dir: &str,
     with_bulk: bool,
-) -> (RunOutcome, StatsHub, ManaJobSpec) {
+) -> Incarnation {
     let workload = mana_apps::make_app(app, steps, cluster.nodes, with_bulk);
-    // Probe the run length with a dry run so the checkpoint lands mid-run.
-    let probe_spec = ManaJobSpec {
-        cluster: cluster.clone(),
-        nranks,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig {
-            ckpt_dir: format!("{ckpt_dir}-probe"),
-            ..ManaConfig::no_checkpoints(cluster.kernel.clone())
-        },
-        seed,
+    let job = || {
+        JobBuilder::new()
+            .cluster(cluster.clone())
+            .ranks(nranks)
+            .profile(MpiProfile::cray_mpich())
+            .seed(seed)
+            .ckpt_dir(ckpt_dir)
     };
-    let (probe, _) = mana_core::run_mana_app(fs, &probe_spec, workload.clone());
+    // Probe the run length with a dry run so the checkpoint lands mid-run.
+    let probe = session.run(job(), workload.clone()).expect("probe run");
     // Land the checkpoint in the middle of the *application* window (the
     // probe's total wall time is dominated by MPI_Init at these run
     // lengths; the paper's minutes-long runs don't have that problem).
-    let half = mana_sim::time::SimTime(
-        probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2,
-    );
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_dir: ckpt_dir.to_string(),
-            ckpt_times: vec![half],
-            after_last_ckpt: mana_core::AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(cluster.kernel.clone())
-        },
-        ..probe_spec
-    };
-    let (out, hub) = mana_core::run_mana_app(fs, &spec, workload);
-    assert!(out.killed, "{app:?}: checkpoint-and-kill did not kill");
-    assert_eq!(hub.ckpts().len(), 1);
-    (out, hub, spec)
+    let half = SimTime(probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2);
+    let killed = session
+        .run(job().checkpoint_at(half).then_kill(), workload)
+        .expect("checkpoint-and-kill run");
+    assert!(killed.killed(), "{app:?}: checkpoint-and-kill did not kill");
+    assert_eq!(killed.ckpts().len(), 1);
+    killed
 }
 
 /// Markdown-ish table printer used by every figure target.

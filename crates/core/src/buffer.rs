@@ -75,7 +75,12 @@ impl DrainBuffer {
 
     /// Take the oldest message matching `(comm, src, tag)` (comm-local
     /// source spec, as receives are issued).
-    pub fn take_match(&mut self, comm_virt: u64, src: SrcSpec, tag: TagSpec) -> Option<BufferedMsg> {
+    pub fn take_match(
+        &mut self,
+        comm_virt: u64,
+        src: SrcSpec,
+        tag: TagSpec,
+    ) -> Option<BufferedMsg> {
         let idx = self.msgs.iter().position(|m| {
             m.comm_virt == comm_virt && src.matches(m.src_local) && tag.matches(m.tag)
         })?;
@@ -91,7 +96,10 @@ impl DrainBuffer {
 
     /// Buffered count from `src_global` (for drain accounting).
     pub fn count_from(&self, src_global: u32) -> u64 {
-        self.msgs.iter().filter(|m| m.src_global == src_global).count() as u64
+        self.msgs
+            .iter()
+            .filter(|m| m.src_global == src_global)
+            .count() as u64
     }
 
     /// All messages (image serialization).

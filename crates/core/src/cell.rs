@@ -326,7 +326,11 @@ impl CkptCell {
     /// per-communicator progress counts reported to the coordinator.
     pub fn initiated_incomplete(&self) -> Vec<CollInstance> {
         let st = self.st.lock();
-        st.allocated.iter().chain(st.engaged.iter()).copied().collect()
+        st.allocated
+            .iter()
+            .chain(st.engaged.iter())
+            .copied()
+            .collect()
     }
 
     /// Consume a pending exit-phase-2 notification.

@@ -218,10 +218,7 @@ mod tests {
         let mut data = e.finish();
         data.truncate(3);
         let mut d = Dec::new(&data);
-        assert_eq!(
-            d.u64("x"),
-            Err(CodecError::Truncated { what: "x" })
-        );
+        assert_eq!(d.u64("x"), Err(CodecError::Truncated { what: "x" }));
     }
 
     #[test]

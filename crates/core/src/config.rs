@@ -26,6 +26,11 @@ pub struct ManaConfig {
     pub ckpt_dir: String,
     /// Virtual times at which the coordinator initiates checkpoints.
     pub ckpt_times: Vec<SimTime>,
+    /// Id of the first checkpoint this incarnation takes (subsequent
+    /// scheduled checkpoints count up from it). The session API assigns
+    /// a chain-unique base here so a later incarnation's images never
+    /// overwrite an earlier incarnation's at the same store paths.
+    pub first_ckpt_id: u64,
     /// Behaviour after the final scheduled checkpoint completes.
     pub after_last_ckpt: AfterCkpt,
     /// Coordinator CPU cost to send one control message (TCP socket +
@@ -48,6 +53,7 @@ impl ManaConfig {
             virt_cost: SimDuration::nanos(25),
             ckpt_dir: "ckpt".to_string(),
             ckpt_times: Vec::new(),
+            first_ckpt_id: 1,
             after_last_ckpt: AfterCkpt::Continue,
             ctrl_send_cpu: SimDuration::micros(30),
             ctrl_recv_cpu: SimDuration::micros(80),

@@ -24,8 +24,8 @@ use crate::cell::CollInstance;
 use crate::config::{AfterCkpt, ManaConfig};
 use crate::ctrl::{ctrl_msg_bytes, CtrlMsg, RankReply};
 use crate::stats::{CkptReport, RankCkptStats, StatsHub};
+use crate::store::CheckpointStore;
 use mana_net::transport::{EndpointId, Network};
-use mana_sim::fs::ParallelFs;
 use mana_sim::sched::SimThread;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -42,8 +42,8 @@ pub struct CoordCtx {
     pub cfg: ManaConfig,
     /// Measurement sink.
     pub hub: StatsHub,
-    /// Filesystem (epoch bumping for straggler decorrelation).
-    pub fs: Arc<ParallelFs>,
+    /// Checkpoint storage (epoch signalling for straggler decorrelation).
+    pub store: Arc<dyn CheckpointStore>,
 }
 
 fn broadcast(t: &SimThread, cx: &CoordCtx, mk: impl Fn() -> CtrlMsg) {
@@ -78,24 +78,28 @@ pub fn run_coordinator(t: SimThread, cx: CoordCtx) {
             t.advance(*at - now);
         }
         let kill = i + 1 == times.len() && cx.cfg.after_last_ckpt == AfterCkpt::Kill;
-        run_checkpoint(&t, &cx, i as u64 + 1, kill);
+        run_checkpoint(&t, &cx, cx.cfg.first_ckpt_id + i as u64, kill);
     }
 }
+
+/// One rank's state reply during the two-phase agreement: its protocol
+/// reply, the collective instance it reports (in-phase-1 only), and its
+/// per-communicator completed-collective counts.
+type StateReply = (RankReply, Option<CollInstance>, Vec<(u64, u64)>);
 
 /// One full checkpoint round. Public so tests and the runner can trigger
 /// checkpoints outside the scheduled list.
 pub fn run_checkpoint(t: &SimThread, cx: &CoordCtx, ckpt_id: u64, kill: bool) {
     let nranks = cx.rank_eps.len();
     let t_begin = t.now();
-    cx.fs.bump_epoch();
+    cx.store.begin_epoch();
 
     broadcast(t, cx, || CtrlMsg::IntendCkpt { ckpt_id });
     let mut extra_iterations = 0u32;
     loop {
         // Collect one State reply per rank. Phase-2 ranks reply only after
         // finishing their collective (Algorithm 2, lines 21–27).
-        let mut replies: Vec<(RankReply, Option<CollInstance>, Vec<(u64, u64)>)> =
-            Vec::with_capacity(nranks);
+        let mut replies: Vec<StateReply> = Vec::with_capacity(nranks);
         let mut seen = vec![false; nranks];
         while replies.len() < nranks {
             match recv_ctrl(t, cx) {
@@ -179,7 +183,7 @@ pub fn run_checkpoint(t: &SimThread, cx: &CoordCtx, ckpt_id: u64, kill: bool) {
 /// in-phase-1 report whose peers already exited the collective would be
 /// trusted, and the reporter could slip into phase 2 mid-checkpoint — a
 /// race our model checker found (Challenge I; Lemma 1's bookkeeping).
-fn checkpoint_safe(replies: &[(RankReply, Option<CollInstance>, Vec<(u64, u64)>)]) -> bool {
+fn checkpoint_safe(replies: &[StateReply]) -> bool {
     if replies.iter().any(|(r, _, _)| *r == RankReply::ExitPhase2) {
         return false;
     }
@@ -211,7 +215,7 @@ fn checkpoint_safe(replies: &[(RankReply, Option<CollInstance>, Vec<(u64, u64)>)
 mod tests {
     use super::*;
 
-    type Reply = (RankReply, Option<CollInstance>, Vec<(u64, u64)>);
+    type Reply = super::StateReply;
 
     fn inst(comm: u64, wseq: u64, size: u32) -> Option<CollInstance> {
         Some(CollInstance {
@@ -242,10 +246,7 @@ mod tests {
 
     #[test]
     fn exit_phase2_forces_iteration() {
-        let replies = vec![
-            ready(vec![]),
-            (RankReply::ExitPhase2, None, vec![(1, 5)]),
-        ];
+        let replies = vec![ready(vec![]), (RankReply::ExitPhase2, None, vec![(1, 5)])];
         assert!(!checkpoint_safe(&replies));
     }
 

@@ -25,9 +25,7 @@
 //! exactly this via state checksums).
 
 use crate::shared::{RankShared, SlotState};
-use mana_mpi::{
-    BaseType, CommHandle, Mpi, Msg, ReduceOp, ReqHandle, SrcSpec, Status, TagSpec,
-};
+use mana_mpi::{BaseType, CommHandle, Mpi, Msg, ReduceOp, ReqHandle, SrcSpec, Status, TagSpec};
 use mana_sim::checksum::Checksum;
 use mana_sim::memory::{AddressSpace, Backing, DenseBuf, Half, RegionKind};
 use mana_sim::pod::Pod;
@@ -324,7 +322,13 @@ impl AppEnv {
         }
         let addr = self
             .aspace
-            .map(Half::Upper, RegionKind::Mmap, name, bytes, Backing::Pattern { seed })
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                name,
+                bytes,
+                Backing::Pattern { seed },
+            )
             .expect("bulk allocation");
         self.with_progress(|p| {
             p.allocs.push((addr, bytes));
@@ -387,7 +391,10 @@ impl AppEnv {
         }
         let bytes = self
             .aspace
-            .read_bytes(arr.addr + (range.start * 8) as u64, (range.end - range.start) * 8)
+            .read_bytes(
+                arr.addr + (range.start * 8) as u64,
+                (range.end - range.start) * 8,
+            )
             .expect("send window");
         self.mpi.send(&self.t, Msg::real(&bytes), dst, tag, comm);
         self.op_done();
@@ -504,7 +511,10 @@ impl AppEnv {
         }
         let bytes = self
             .aspace
-            .read_bytes(arr.addr + (range.start * 8) as u64, (range.end - range.start) * 8)
+            .read_bytes(
+                arr.addr + (range.start * 8) as u64,
+                (range.end - range.start) * 8,
+            )
             .expect("send window");
         let req = self.mpi.isend(&self.t, Msg::real(&bytes), dst, tag, comm);
         let slot = self.new_slot(SlotState::SendIssued { vreq: Some(req.0) });
@@ -631,7 +641,9 @@ impl AppEnv {
             .mpi
             .reduce(&self.t, &bytes, BaseType::Double, op, root, comm)
         {
-            self.aspace.write_bytes(dst.addr, &out).expect("reduce result");
+            self.aspace
+                .write_bytes(dst.addr, &out)
+                .expect("reduce result");
         }
         self.op_done();
     }
@@ -650,19 +662,15 @@ impl AppEnv {
             Vec::new()
         };
         let out = self.mpi.bcast(&self.t, &data, root, comm);
-        self.aspace.write_bytes(arr.addr, &out).expect("bcast result");
+        self.aspace
+            .write_bytes(arr.addr, &out)
+            .expect("bcast result");
         self.op_done();
     }
 
     /// Gather equal-size contributions into `dst` (root only; `dst` must
     /// hold `comm_size * src.len` elements).
-    pub fn gather_into(
-        &mut self,
-        comm: CommHandle,
-        src: Arr<f64>,
-        dst: Arr<f64>,
-        root: u32,
-    ) {
+    pub fn gather_into(&mut self, comm: CommHandle, src: Arr<f64>, dst: Arr<f64>, root: u32) {
         if self.op_skip() {
             return;
         }
@@ -673,7 +681,9 @@ impl AppEnv {
         if let Some(parts) = self.mpi.gather(&self.t, &bytes, root, comm) {
             let mut off = 0u64;
             for p in parts {
-                self.aspace.write_bytes(dst.addr + off, &p).expect("gather result");
+                self.aspace
+                    .write_bytes(dst.addr + off, &p)
+                    .expect("gather result");
                 off += p.len() as u64;
             }
         }
@@ -719,12 +729,7 @@ impl AppEnv {
     /// State-mutating communicator operations are ordinary operations too.
     /// Returns the created communicator; on skip, re-derives the handle
     /// from the wrapper's restored tables by creation order.
-    pub fn cart_create(
-        &mut self,
-        comm: CommHandle,
-        dims: &[u32],
-        periodic: &[bool],
-    ) -> CommHandle {
+    pub fn cart_create(&mut self, comm: CommHandle, dims: &[u32], periodic: &[bool]) -> CommHandle {
         if self.op_skip() {
             let sh = self.sh.as_ref().expect("skip only under MANA");
             // Deterministic re-derivation: the cart communicator created at

@@ -1,0 +1,197 @@
+//! Typed errors for the job-lifecycle API.
+//!
+//! The original free-function API panicked its way through the restart
+//! path (`unwrap()` on image reads, `expect()` on decode). The session API
+//! surfaces every failure a caller can act on as a typed error instead:
+//! [`StoreError`] for checkpoint-storage lookups, [`ManaError`] for the
+//! restart engine, and [`SessionError`] for session-level orchestration.
+
+use crate::codec::CodecError;
+use std::fmt;
+
+/// Errors from a [`crate::store::CheckpointStore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// No object stored at the given path.
+    NotFound(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound(p) => write!(f, "checkpoint object not found: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<mana_sim::fs::FsError> for StoreError {
+    fn from(e: mana_sim::fs::FsError) -> StoreError {
+        match e {
+            mana_sim::fs::FsError::NotFound(p) => StoreError::NotFound(p),
+        }
+    }
+}
+
+/// Errors from the MANA engine itself (today: the restart path — launch
+/// and native runs cannot fail without a simulator bug).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ManaError {
+    /// A rank's checkpoint image could not be fetched from the store.
+    MissingImage {
+        /// Rank whose image is missing.
+        rank: u32,
+        /// Checkpoint id requested.
+        ckpt_id: u64,
+        /// Store path that was probed.
+        path: String,
+        /// Underlying store error.
+        source: StoreError,
+    },
+    /// A fetched image failed to decode (corrupt or foreign bytes).
+    CorruptImage {
+        /// Rank whose image is corrupt.
+        rank: u32,
+        /// Store path that was read.
+        path: String,
+        /// Underlying codec error.
+        source: CodecError,
+    },
+    /// The restart presented a different world size than the images carry
+    /// (MANA pins world size across incarnations; see paper §2.1).
+    WorldSizeMismatch {
+        /// World size recorded in the image.
+        image: u32,
+        /// World size the restart spec requested.
+        requested: u32,
+    },
+    /// An image carries no world communicator — it cannot have been
+    /// produced by a MANA checkpoint.
+    NoWorldComm {
+        /// Rank whose image is malformed.
+        rank: u32,
+        /// Store path that was read.
+        path: String,
+    },
+}
+
+impl fmt::Display for ManaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManaError::MissingImage {
+                rank,
+                ckpt_id,
+                path,
+                source,
+            } => write!(
+                f,
+                "restart rank {rank}: no image for checkpoint {ckpt_id} at '{path}': {source}"
+            ),
+            ManaError::CorruptImage { rank, path, source } => {
+                write!(
+                    f,
+                    "restart rank {rank}: corrupt image at '{path}': {source}"
+                )
+            }
+            ManaError::WorldSizeMismatch { image, requested } => write!(
+                f,
+                "restart must present the original world size: image has {image} ranks, \
+                 restart requested {requested}"
+            ),
+            ManaError::NoWorldComm { rank, path } => write!(
+                f,
+                "restart rank {rank}: image at '{path}' carries no world communicator"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ManaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ManaError::MissingImage { source, .. } => Some(source),
+            ManaError::CorruptImage { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from session-level orchestration ([`crate::session::ManaSession`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// The underlying engine failed.
+    Mana(ManaError),
+    /// `restart_on` was called on an incarnation that completed no
+    /// checkpoint, so there is nothing to restart from.
+    NoCheckpoint {
+        /// Index of the incarnation in the session's chain.
+        incarnation: u64,
+    },
+    /// A [`crate::session::JobBuilder`] described an unrunnable job.
+    InvalidJob(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Mana(e) => write!(f, "{e}"),
+            SessionError::NoCheckpoint { incarnation } => write!(
+                f,
+                "incarnation {incarnation} completed no checkpoint; nothing to restart from"
+            ),
+            SessionError::InvalidJob(why) => write!(f, "invalid job description: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Mana(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ManaError> for SessionError {
+    fn from(e: ManaError) -> SessionError {
+        SessionError::Mana(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = ManaError::MissingImage {
+            rank: 3,
+            ckpt_id: 2,
+            path: "ckpt/ckpt_2/rank_3.mana".into(),
+            source: StoreError::NotFound("ckpt/ckpt_2/rank_3.mana".into()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3") && s.contains("checkpoint 2"), "{s}");
+
+        let s = SessionError::from(ManaError::WorldSizeMismatch {
+            image: 8,
+            requested: 4,
+        })
+        .to_string();
+        assert!(s.contains('8') && s.contains('4'), "{s}");
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = SessionError::Mana(ManaError::CorruptImage {
+            rank: 0,
+            path: "p".into(),
+            source: CodecError::BadMagic(7),
+        });
+        let mana = e.source().expect("mana source");
+        assert!(mana.source().is_some(), "codec source");
+    }
+}

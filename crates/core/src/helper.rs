@@ -15,12 +15,13 @@ use crate::ctrl::{ctrl_msg_bytes, CtrlMsg};
 use crate::image::CheckpointImage;
 use crate::shared::RankShared;
 use crate::stats::RankCkptStats;
+use crate::store::CheckpointStore;
+use mana_mpi::{CommHandle, Mpi, SrcSpec, TagSpec};
 use mana_net::transport::{EndpointId, Network};
-use mana_sim::fs::{IoShape, ParallelFs};
+use mana_sim::fs::IoShape;
 use mana_sim::memory::Half;
 use mana_sim::sched::SimThread;
 use mana_sim::time::SimDuration;
-use mana_mpi::{CommHandle, Mpi, SrcSpec, TagSpec};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -36,8 +37,8 @@ pub struct HelperCtx {
     pub coord_ep: EndpointId,
     /// MANA configuration.
     pub cfg: ManaConfig,
-    /// Shared filesystem for images.
-    pub fs: Arc<ParallelFs>,
+    /// Checkpoint storage for images.
+    pub store: Arc<dyn CheckpointStore>,
     /// I/O contention shape at checkpoint time.
     pub io_shape: IoShape,
 }
@@ -120,7 +121,10 @@ pub fn run_helper(t: SimThread, hx: HelperCtx) {
                         return;
                     }
                 }
-                other => panic!("helper {}: unexpected control message {other:?}", hx.sh.rank),
+                other => panic!(
+                    "helper {}: unexpected control message {other:?}",
+                    hx.sh.rank
+                ),
             }
             continue;
         }
@@ -166,11 +170,11 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     let dense = img.dense_bytes();
     let drained_msgs = img.buffered.len() as u64;
 
-    // 5. Write + fsync to the parallel filesystem.
+    // 5. Write + fsync through the checkpoint store.
     let path = hx.cfg.image_path(ckpt_id, sh.rank);
     let wdur = hx
-        .fs
-        .write_file(&path, encoded, logical, u64::from(sh.rank), hx.io_shape);
+        .store
+        .put(&path, encoded, logical, u64::from(sh.rank), hx.io_shape);
     t.advance(wdur);
 
     ctrl_send(
@@ -209,8 +213,8 @@ fn drain(t: &SimThread, sh: &Arc<RankShared>, lower: &dyn Mpi, expected: &[(u32,
             expected
                 .iter()
                 .map(|(src, cnt)| {
-                    let have = counters.recvd.get(src).copied().unwrap_or(0)
-                        + buffer.count_from(*src);
+                    let have =
+                        counters.recvd.get(src).copied().unwrap_or(0) + buffer.count_from(*src);
                     cnt.saturating_sub(have)
                 })
                 .sum()

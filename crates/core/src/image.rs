@@ -274,7 +274,12 @@ impl CheckpointImage {
                     base: dec_base(d.u32("pending base")?)?,
                     op: dec_op(d.u32("pending op")?)?,
                 },
-                tag => return Err(CodecError::BadTag { what: "pending", tag }),
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "pending",
+                        tag,
+                    })
+                }
             };
             pending.push(PendingColl {
                 vreq,
@@ -372,7 +377,12 @@ fn dec_kind(tag: u32) -> Result<RegionKind, CodecError> {
         5 => RegionKind::Shm,
         6 => RegionKind::Pinned,
         7 => RegionKind::Tls,
-        tag => return Err(CodecError::BadTag { what: "region kind", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "region kind",
+                tag,
+            })
+        }
     })
 }
 
@@ -391,7 +401,12 @@ fn dec_base(tag: u32) -> Result<BaseType, CodecError> {
         1 => BaseType::Int32,
         2 => BaseType::Int64,
         3 => BaseType::Double,
-        tag => return Err(CodecError::BadTag { what: "base type", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "base type",
+                tag,
+            })
+        }
     })
 }
 
@@ -410,7 +425,12 @@ fn dec_op(tag: u32) -> Result<ReduceOp, CodecError> {
         1 => ReduceOp::Max,
         2 => ReduceOp::Min,
         3 => ReduceOp::Prod,
-        tag => return Err(CodecError::BadTag { what: "reduce op", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "reduce op",
+                tag,
+            })
+        }
     })
 }
 
@@ -443,7 +463,12 @@ fn dec_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
         1 => SnapshotContent::Pattern {
             seed: d.u64("region pattern")?,
         },
-        tag => return Err(CodecError::BadTag { what: "region content", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "region content",
+                tag,
+            })
+        }
     };
     Ok(RegionSnapshot {
         start,
@@ -511,7 +536,11 @@ fn dec_slot(d: &mut Dec) -> Result<crate::shared::SlotState, CodecError> {
             };
             let any_tag = d.boolean("slot tag any")?;
             let tv = d.i32("slot tag value")?;
-            let tag = if any_tag { TagSpec::Any } else { TagSpec::Tag(tv) };
+            let tag = if any_tag {
+                TagSpec::Any
+            } else {
+                TagSpec::Tag(tv)
+            };
             SlotState::RecvPosted {
                 comm_virt,
                 src,
@@ -775,7 +804,12 @@ fn dec_call(d: &mut Dec) -> Result<LoggedCall, CodecError> {
         12 => LoggedCall::TypeFree {
             dtype: d.u64("tf dtype")?,
         },
-        tag => return Err(CodecError::BadTag { what: "logged call", tag }),
+        tag => {
+            return Err(CodecError::BadTag {
+                what: "logged call",
+                tag,
+            })
+        }
     })
 }
 
@@ -902,13 +936,75 @@ mod tests {
     }
 
     #[test]
-    fn truncation_rejected() {
+    fn bad_version_rejected() {
+        let mut bytes = sample().encode();
+        // The version field sits right after the 8-byte magic.
+        bytes[8] = 0xEE;
+        assert!(matches!(
+            CheckpointImage::decode(&bytes),
+            Err(CodecError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_enum_tags_rejected() {
+        let img = sample();
+        let bytes = img.encode();
+        let good = CheckpointImage::decode(&bytes).expect("sane sample");
+        assert_eq!(img, good);
+        // The first region's content tag follows magic(8) + version(4) +
+        // rank(4) + nranks(4) + ckpt_id(8) + app_name(8+7) + seed(8) +
+        // cursor(8) + ops_done(8) + regions len(8) + start(8) + len(8) +
+        // half(4) + kind(4) + name(8+3). Poison it and decode must fail
+        // with BadTag, not garbage.
+        let off = 8 + 4 + 4 + 4 + 8 + (8 + 7) + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 4 + (8 + 3);
+        let mut bad = bytes.clone();
+        bad[off..off + 4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        assert!(
+            matches!(
+                CheckpointImage::decode(&bad),
+                Err(CodecError::BadTag {
+                    what: "region content",
+                    ..
+                })
+            ),
+            "poisoned content tag not rejected"
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        // A truncated image must *always* produce a typed error — never a
+        // panic, never a silent partial decode.
         let bytes = sample().encode();
-        for cut in [10, 50, bytes.len() - 1] {
+        for cut in 0..bytes.len() {
             assert!(
                 CheckpointImage::decode(&bytes[..cut]).is_err(),
                 "cut at {cut} accepted"
             );
         }
+    }
+
+    #[test]
+    fn empty_image_variants_roundtrip() {
+        // Edge case: a rank with no drained messages, no pending
+        // collectives, no log, no regions.
+        let img = CheckpointImage {
+            regions: Vec::new(),
+            log: Vec::new(),
+            buffered: Vec::new(),
+            pending: Vec::new(),
+            comms: Vec::new(),
+            groups: Vec::new(),
+            dtypes: Vec::new(),
+            allocs: Vec::new(),
+            slots: Vec::new(),
+            counters: PairCounters::default(),
+            ..sample()
+        };
+        let back = CheckpointImage::decode(&img.encode()).expect("decode");
+        assert_eq!(img, back);
+        assert_eq!(back.dense_bytes(), 0);
+        assert_eq!(back.logical_bytes(), 4096);
     }
 }

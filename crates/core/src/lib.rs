@@ -15,8 +15,13 @@
 //!   do-ckpt protocol and a coordinator-side safety rule;
 //! * **checkpoint images** ([`image`], [`codec`]): versioned binary format
 //!   holding everything a restart needs;
+//! * **checkpoint storage** ([`store`]): pluggable [`CheckpointStore`]
+//!   backends (parallel filesystem, in-memory);
 //! * **the restart engine** ([`runner`]): fresh lower half, restored upper
 //!   half, replayed opaque state — on any cluster/implementation/network;
+//! * **the session API** ([`session`]): [`ManaSession`] + [`JobBuilder`] +
+//!   [`Incarnation`], the lifecycle surface for chains of incarnations;
+//! * **typed errors** ([`error`]) replacing panics on the restart path;
 //! * **instrumentation** ([`stats`]) feeding the paper's figures.
 
 #![warn(missing_docs)]
@@ -28,22 +33,32 @@ pub mod config;
 pub mod coordinator;
 pub mod ctrl;
 pub mod env;
+pub mod error;
 pub mod helper;
 pub mod image;
 pub mod record;
 pub mod runner;
+pub mod session;
 pub mod shared;
 pub mod split;
 pub mod stats;
+pub mod store;
 pub mod virtid;
 pub mod wrapper;
 
 pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
 pub use config::{AfterCkpt, ManaConfig};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
+pub use error::{ManaError, SessionError, StoreError};
 pub use image::CheckpointImage;
-pub use runner::{
-    launch_mana_app, run_mana_app, run_native_app, run_restart_app, ManaJobSpec, RunOutcome,
+pub use runner::{ManaJobSpec, RunOutcome};
+pub use session::{
+    CkptEvent, CkptImages, Incarnation, JobBuilder, ManaSession, RestartEvent, SessionBuilder,
 };
 pub use stats::{CkptReport, RestartReport, StatsHub};
+pub use store::{CheckpointStore, FsStore, InMemStore};
 pub use wrapper::ManaMpi;
+
+// Deprecated free-function lifecycle API, kept as delegating shims.
+#[allow(deprecated)]
+pub use runner::{launch_mana_app, run_mana_app, run_native_app, run_restart_app};

@@ -12,12 +12,14 @@ use crate::config::ManaConfig;
 use crate::coordinator::{run_coordinator, CoordCtx};
 use crate::ctrl::CtrlMsg;
 use crate::env::{AppEnv, Workload};
+use crate::error::ManaError;
 use crate::helper::{run_helper, HelperCtx};
 use crate::image::CheckpointImage;
 use crate::record::LoggedCall;
 use crate::shared::{CommMeta, PendingRt, RankShared, WReq};
 use crate::split::UpperProgram;
 use crate::stats::{RankRestartStats, RestartReport, StatsHub};
+use crate::store::{CheckpointStore, FsStore};
 use crate::virtid::VirtRegistry;
 use crate::wrapper::ManaMpi;
 use mana_mpi::{CommHandle, GroupHandle, Mpi, MpiAborted, MpiJob, MpiProfile};
@@ -68,7 +70,10 @@ pub struct RunOutcome {
 }
 
 /// Shared (start, end) window collector for app_wall measurement.
-type AppWindow = Arc<Mutex<(Option<SimTime>, Option<SimTime>)>>;
+pub(crate) type AppWindow = Arc<Mutex<(Option<SimTime>, Option<SimTime>)>>;
+
+/// Shared per-rank checksum collector.
+pub(crate) type Checksums = Arc<Mutex<BTreeMap<u32, u64>>>;
 
 fn app_wall_of(w: &AppWindow) -> SimDuration {
     let g = w.lock();
@@ -142,7 +147,23 @@ fn rank_body_finish(
 
 /// Run a workload natively (no MANA) to completion on a fresh simulation.
 /// The baseline for every runtime-overhead figure.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ManaSession::run_native` with a `JobBuilder` instead"
+)]
 pub fn run_native_app(
+    cluster: ClusterSpec,
+    nranks: u32,
+    placement: Placement,
+    profile: MpiProfile,
+    seed: u64,
+    workload: Arc<dyn Workload>,
+) -> RunOutcome {
+    native_engine(cluster, nranks, placement, profile, seed, workload)
+}
+
+/// Engine behind [`run_native_app`] and `ManaSession::run_native`.
+pub(crate) fn native_engine(
     cluster: ClusterSpec,
     nranks: u32,
     placement: Placement,
@@ -192,6 +213,10 @@ pub fn run_native_app(
 
 /// Launch a workload under MANA on `sim`. Returns the MPI job handle; the
 /// caller drives `sim.run()` and then reads `hub`/`checksums`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ManaSession::run` with a `JobBuilder`; for store-backed launches see `ManaSession`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn launch_mana_app(
     sim: &Sim,
@@ -200,6 +225,23 @@ pub fn launch_mana_app(
     hub: &StatsHub,
     workload: Arc<dyn Workload>,
     checksums: Arc<Mutex<BTreeMap<u32, u64>>>,
+    killed: Arc<Mutex<bool>>,
+    window: AppWindow,
+) -> Arc<MpiJob> {
+    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
+    launch_engine(sim, &store, spec, hub, workload, checksums, killed, window)
+}
+
+/// Engine behind [`launch_mana_app`] and the session API: launch a MANA
+/// job on `sim` writing images through `store`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_engine(
+    sim: &Sim,
+    store: &Arc<dyn CheckpointStore>,
+    spec: &ManaJobSpec,
+    hub: &StatsHub,
+    workload: Arc<dyn Workload>,
+    checksums: Checksums,
     killed: Arc<Mutex<bool>>,
     window: AppWindow,
 ) -> Arc<MpiJob> {
@@ -224,7 +266,7 @@ pub fn launch_mana_app(
             rank_eps: helper_eps.clone(),
             cfg: spec.cfg.clone(),
             hub: hub.clone(),
-            fs: fs.clone(),
+            store: store.clone(),
         };
         sim.spawn("coordinator", true, move |t| run_coordinator(t, cx));
     }
@@ -236,7 +278,7 @@ pub fn launch_mana_app(
             killed.clone(),
             window.clone(),
         );
-        let (spec, ctrl, fs, hub) = (spec.clone(), ctrl.clone(), fs.clone(), hub.clone());
+        let (spec, ctrl, store, hub) = (spec.clone(), ctrl.clone(), store.clone(), hub.clone());
         let my_ep = helper_eps[rank as usize];
         let sim2 = sim.clone();
         let _ = hub;
@@ -264,7 +306,7 @@ pub fn launch_mana_app(
                 my_ep,
                 coord_ep,
                 cfg: spec.cfg.clone(),
-                fs,
+                store,
                 io_shape: io_shape(&spec.cluster, rank, spec.nranks, spec.placement),
             };
             sim2.spawn(&format!("helper{rank}"), true, move |ht| run_helper(ht, hx));
@@ -277,8 +319,22 @@ pub fn launch_mana_app(
 
 /// Run a workload under MANA to completion (or kill) on a fresh
 /// simulation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ManaSession::run` with a `JobBuilder` instead"
+)]
 pub fn run_mana_app(
     fs: &Arc<ParallelFs>,
+    spec: &ManaJobSpec,
+    workload: Arc<dyn Workload>,
+) -> (RunOutcome, StatsHub) {
+    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
+    mana_engine(&store, spec, workload)
+}
+
+/// Engine behind [`run_mana_app`] and `ManaSession::run`.
+pub(crate) fn mana_engine(
+    store: &Arc<dyn CheckpointStore>,
     spec: &ManaJobSpec,
     workload: Arc<dyn Workload>,
 ) -> (RunOutcome, StatsHub) {
@@ -287,12 +343,12 @@ pub fn run_mana_app(
         ..SimConfig::default()
     });
     let hub = StatsHub::new();
-    let checksums = Arc::new(Mutex::new(BTreeMap::new()));
+    let checksums: Checksums = Arc::new(Mutex::new(BTreeMap::new()));
     let killed = Arc::new(Mutex::new(false));
     let window: AppWindow = Arc::new(Mutex::new((None, None)));
-    launch_mana_app(
+    launch_engine(
         &sim,
-        fs,
+        store,
         spec,
         &hub,
         workload,
@@ -318,19 +374,75 @@ pub fn run_mana_app(
 /// may name a different cluster, MPI implementation, interconnect and
 /// placement than the original run. Runs to completion on a fresh
 /// simulation (a restart *is* a fresh set of processes).
+///
+/// Panics if any rank's image is missing or corrupt (the historical
+/// behaviour); the session API surfaces those as typed errors instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Incarnation::restart_on` (or `ManaSession::restart`) instead"
+)]
 pub fn run_restart_app(
     fs: &Arc<ParallelFs>,
     ckpt_id: u64,
     spec: &ManaJobSpec,
     workload: Arc<dyn Workload>,
 ) -> (RunOutcome, StatsHub, RestartReport) {
+    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
+    restart_engine(&store, ckpt_id, spec, workload).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Engine behind [`run_restart_app`] and `Incarnation::restart_on`.
+///
+/// Every rank's image is fetched, decoded and validated *before* the
+/// destination simulation boots, so storage and format failures surface as
+/// typed [`ManaError`]s instead of panics inside simulated threads.
+pub(crate) fn restart_engine(
+    store: &Arc<dyn CheckpointStore>,
+    ckpt_id: u64,
+    spec: &ManaJobSpec,
+    workload: Arc<dyn Workload>,
+) -> Result<(RunOutcome, StatsHub, RestartReport), ManaError> {
     install_quiet_kill_hook();
+
+    // Fetch + validate all images up front. The read *duration* is still
+    // charged to each rank's clock inside the simulation (below), exactly
+    // as before; only the failure paths moved out.
+    let mut images: Vec<(CheckpointImage, SimDuration)> = Vec::with_capacity(spec.nranks as usize);
+    for rank in 0..spec.nranks {
+        let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
+        let path = spec.cfg.image_path(ckpt_id, rank);
+        let (data, rdur) =
+            store
+                .get(&path, u64::from(rank), shape)
+                .map_err(|source| ManaError::MissingImage {
+                    rank,
+                    ckpt_id,
+                    path: path.clone(),
+                    source,
+                })?;
+        let img = CheckpointImage::decode(&data).map_err(|source| ManaError::CorruptImage {
+            rank,
+            path: path.clone(),
+            source,
+        })?;
+        if img.nranks != spec.nranks {
+            return Err(ManaError::WorldSizeMismatch {
+                image: img.nranks,
+                requested: spec.nranks,
+            });
+        }
+        if img.comms.is_empty() {
+            return Err(ManaError::NoWorldComm { rank, path });
+        }
+        images.push((img, rdur));
+    }
+
     let sim = Sim::new(SimConfig {
         seed: spec.seed,
         ..SimConfig::default()
     });
     let hub = StatsHub::new();
-    let checksums = Arc::new(Mutex::new(BTreeMap::new()));
+    let checksums: Checksums = Arc::new(Mutex::new(BTreeMap::new()));
     let killed = Arc::new(Mutex::new(false));
     let window: AppWindow = Arc::new(Mutex::new((None, None)));
     let restart_stats: Arc<Mutex<Vec<(RankRestartStats, SimTime)>>> =
@@ -355,11 +467,12 @@ pub fn run_restart_app(
             rank_eps: helper_eps.clone(),
             cfg: spec.cfg.clone(),
             hub: hub.clone(),
-            fs: fs.clone(),
+            store: store.clone(),
         };
         sim.spawn("coordinator", true, move |t| run_coordinator(t, cx));
     }
-    for rank in 0..spec.nranks {
+    for (rank, (img, rdur)) in images.into_iter().enumerate() {
+        let rank = rank as u32;
         let (job, workload, checksums, killed, restart_stats, window) = (
             job.clone(),
             workload.clone(),
@@ -368,21 +481,14 @@ pub fn run_restart_app(
             restart_stats.clone(),
             window.clone(),
         );
-        let (spec, ctrl, fs) = (spec.clone(), ctrl.clone(), fs.clone());
+        let (spec, ctrl, store) = (spec.clone(), ctrl.clone(), store.clone());
         let my_ep = helper_eps[rank as usize];
         let sim2 = sim.clone();
         sim.spawn(&format!("rank{rank}"), false, move |t| {
             let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
-            let path = spec.cfg.image_path(ckpt_id, rank);
-            let (data, rdur) = fs
-                .read_file(&path, u64::from(rank), shape)
-                .unwrap_or_else(|e| panic!("restart rank {rank}: {e}"));
+            // Charge the image read to this rank's clock (the fetch itself
+            // was validated before the simulation started).
             t.advance(rdur);
-            let img = CheckpointImage::decode(&data).expect("valid checkpoint image");
-            assert_eq!(
-                img.nranks, spec.nranks,
-                "restart must present the original world size"
-            );
             // Rebuild the upper half.
             let aspace = Arc::new(AddressSpace::new());
             for r in &img.regions {
@@ -430,7 +536,7 @@ pub fn run_restart_app(
                 my_ep,
                 coord_ep,
                 cfg: spec.cfg.clone(),
-                fs,
+                store,
                 io_shape: shape,
             };
             sim2.spawn(&format!("helper{rank}"), true, move |ht| run_helper(ht, hx));
@@ -453,7 +559,7 @@ pub fn run_restart_app(
     hub.push_restart(report.clone());
     let checksums_out = checksums.lock().clone();
     let killed_out = *killed.lock();
-    (
+    Ok((
         RunOutcome {
             wall: sim.now().since(SimTime::ZERO),
             app_wall: app_wall_of(&window),
@@ -462,7 +568,7 @@ pub fn run_restart_app(
         },
         hub,
         report,
-    )
+    ))
 }
 
 /// Load image state into a fresh `RankShared`.

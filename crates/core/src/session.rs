@@ -1,0 +1,717 @@
+//! Session-centric job lifecycle: one [`ManaSession`] owns checkpoint
+//! storage and statistics across a whole *chain* of job incarnations.
+//!
+//! The paper's headline property — a checkpoint outlives clusters, MPI
+//! implementations and interconnects — makes the interesting unit of work
+//! not a single run but a chain: run on cluster A, checkpoint, restart on
+//! cluster B, checkpoint again, restart on cluster C. The session API
+//! models exactly that. A [`JobBuilder`] describes one incarnation
+//! (cluster / ranks / placement / MPI profile / checkpoint schedule, all
+//! with sensible defaults); [`ManaSession::run`] executes it and hands
+//! back an [`Incarnation`], whose [`Incarnation::restart_on`] boots the
+//! next incarnation from the latest checkpoint — inheriting everything
+//! the new builder leaves unspecified.
+//!
+//! # Example: checkpoint on one cluster, restart on another
+//!
+//! ```
+//! use mana_core::{AppEnv, InMemStore, JobBuilder, ManaSession, Workload};
+//! use mana_mpi::{MpiProfile, ReduceOp};
+//! use mana_sim::cluster::ClusterSpec;
+//! use mana_sim::time::{SimDuration, SimTime};
+//! use std::sync::Arc;
+//!
+//! // An unmodified MPI application: no checkpoint logic anywhere.
+//! struct Stencil;
+//! impl Workload for Stencil {
+//!     fn name(&self) -> &'static str {
+//!         "stencil"
+//!     }
+//!     fn run(&self, env: &mut AppEnv) {
+//!         let world = env.world();
+//!         let scal = env.alloc_f64("scal", 2);
+//!         loop {
+//!             if env.peek(scal, |s| s[0]) as u64 >= 6 {
+//!                 break;
+//!             }
+//!             env.begin_step();
+//!             env.work(SimDuration::micros(300), |m| {
+//!                 m.with_mut(scal, |s| s[1] += 0.5)
+//!             });
+//!             env.allreduce_arr(world, scal, ReduceOp::Sum);
+//!             let n = f64::from(env.nranks());
+//!             env.work(SimDuration::micros(1), |m| {
+//!                 m.with_mut(scal, |s| {
+//!                     s[0] = (s[0] / n).round() + 1.0;
+//!                     s[1] /= n;
+//!                 })
+//!             });
+//!         }
+//!     }
+//! }
+//!
+//! let session = ManaSession::builder().store(InMemStore::new()).build();
+//! let app: Arc<dyn Workload> = Arc::new(Stencil);
+//!
+//! // Uninterrupted reference run on a Cori-like cluster.
+//! let job = || {
+//!     JobBuilder::new()
+//!         .cluster(ClusterSpec::cori(2))
+//!         .ranks(4)
+//!         .profile(MpiProfile::cray_mpich())
+//!         .seed(7)
+//! };
+//! let clean = session.run(job(), app.clone()).unwrap();
+//!
+//! // Same job, checkpointed at the halfway mark and killed...
+//! let mid = SimTime(clean.outcome().wall.as_nanos() - clean.outcome().app_wall.as_nanos() / 2);
+//! let killed = session
+//!     .run(job().checkpoint_at(mid).then_kill(), app.clone())
+//!     .unwrap();
+//! assert!(killed.outcome().killed);
+//!
+//! // ...then restarted on a different cluster under a different MPI —
+//! // everything not overridden is inherited from the killed incarnation.
+//! let resumed = killed
+//!     .restart_on(
+//!         JobBuilder::new()
+//!             .cluster(ClusterSpec::local_cluster(2))
+//!             .profile(MpiProfile::open_mpi()),
+//!     )
+//!     .unwrap();
+//! assert_eq!(clean.checksums(), resumed.checksums());
+//! ```
+
+use crate::config::{AfterCkpt, ManaConfig};
+use crate::env::Workload;
+use crate::error::SessionError;
+use crate::runner::{mana_engine, native_engine, restart_engine, ManaJobSpec, RunOutcome};
+use crate::stats::{CkptReport, RestartReport, StatsHub};
+use crate::store::{CheckpointStore, FsStore};
+use mana_mpi::MpiProfile;
+use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::fs::FsConfig;
+use mana_sim::kernel::KernelModel;
+use mana_sim::time::SimTime;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Checkpoint lifecycle event delivered to `on_checkpoint` hooks.
+pub struct CkptEvent<'a> {
+    /// Index of the incarnation (0-based, in session order) that took the
+    /// checkpoint.
+    pub incarnation: u64,
+    /// The completed checkpoint's measurements.
+    pub report: &'a CkptReport,
+}
+
+/// Restart lifecycle event delivered to `on_restart` hooks.
+pub struct RestartEvent<'a> {
+    /// Index of the incarnation that booted from a checkpoint.
+    pub incarnation: u64,
+    /// The restart's measurements.
+    pub report: &'a RestartReport,
+}
+
+type CkptHook = Box<dyn Fn(&CkptEvent<'_>) + Send + Sync>;
+type RestartHook = Box<dyn Fn(&RestartEvent<'_>) + Send + Sync>;
+
+struct SessionInner {
+    store: Arc<dyn CheckpointStore>,
+    hub: StatsHub,
+    on_checkpoint: Vec<CkptHook>,
+    on_restart: Vec<RestartHook>,
+    next_incarnation: Mutex<u64>,
+    next_ckpt_id: Mutex<u64>,
+}
+
+/// Owner of checkpoint storage, lifecycle hooks and statistics across a
+/// chain of job incarnations. See the [module docs](self) for an example.
+///
+/// Cloning is cheap and shares the session (all clones see the same store
+/// and stats).
+#[derive(Clone)]
+pub struct ManaSession {
+    inner: Arc<SessionInner>,
+}
+
+/// Configures and builds a [`ManaSession`].
+#[derive(Default)]
+pub struct SessionBuilder {
+    store: Option<Arc<dyn CheckpointStore>>,
+    on_checkpoint: Vec<CkptHook>,
+    on_restart: Vec<RestartHook>,
+}
+
+impl SessionBuilder {
+    /// Use `store` for checkpoint images (default: a fresh [`FsStore`]
+    /// with Cori-like Lustre parameters).
+    pub fn store<S: CheckpointStore + 'static>(mut self, store: S) -> SessionBuilder {
+        self.store = Some(Arc::new(store));
+        self
+    }
+
+    /// Use an already-shared store (e.g. one filesystem shared by several
+    /// sessions, as a real Lustre deployment is).
+    pub fn shared_store(mut self, store: Arc<dyn CheckpointStore>) -> SessionBuilder {
+        self.store = Some(store);
+        self
+    }
+
+    /// Register a hook fired after every completed checkpoint.
+    pub fn on_checkpoint<F>(mut self, f: F) -> SessionBuilder
+    where
+        F: Fn(&CkptEvent<'_>) + Send + Sync + 'static,
+    {
+        self.on_checkpoint.push(Box::new(f));
+        self
+    }
+
+    /// Register a hook fired after every restart-from-checkpoint.
+    pub fn on_restart<F>(mut self, f: F) -> SessionBuilder
+    where
+        F: Fn(&RestartEvent<'_>) + Send + Sync + 'static,
+    {
+        self.on_restart.push(Box::new(f));
+        self
+    }
+
+    /// Build the session.
+    pub fn build(self) -> ManaSession {
+        ManaSession {
+            inner: Arc::new(SessionInner {
+                store: self
+                    .store
+                    .unwrap_or_else(|| Arc::new(FsStore::with_config(FsConfig::default()))),
+                hub: StatsHub::new(),
+                on_checkpoint: self.on_checkpoint,
+                on_restart: self.on_restart,
+                next_incarnation: Mutex::new(0),
+                next_ckpt_id: Mutex::new(1),
+            }),
+        }
+    }
+}
+
+impl Default for ManaSession {
+    fn default() -> ManaSession {
+        ManaSession::new()
+    }
+}
+
+impl ManaSession {
+    /// Session with default storage (a fresh Lustre-like [`FsStore`]).
+    pub fn new() -> ManaSession {
+        SessionBuilder::default().build()
+    }
+
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The session's checkpoint store.
+    pub fn store(&self) -> &Arc<dyn CheckpointStore> {
+        &self.inner.store
+    }
+
+    /// All checkpoint reports across the whole chain, in completion order.
+    pub fn checkpoints(&self) -> Vec<CkptReport> {
+        self.inner.hub.ckpts()
+    }
+
+    /// All restart reports across the whole chain, in completion order.
+    pub fn restarts(&self) -> Vec<RestartReport> {
+        self.inner.hub.restarts()
+    }
+
+    /// Run `workload` under MANA as described by `job`.
+    pub fn run(
+        &self,
+        job: JobBuilder,
+        workload: Arc<dyn Workload>,
+    ) -> Result<Incarnation, SessionError> {
+        let spec = job.build_spec(None)?;
+        self.run_spec(spec, workload, None)
+    }
+
+    /// Run `workload` natively (no MANA, no checkpointing) — the baseline
+    /// every runtime-overhead figure compares against. Checkpoint-schedule
+    /// settings on `job` are rejected, since nothing would execute them.
+    pub fn run_native(
+        &self,
+        job: JobBuilder,
+        workload: Arc<dyn Workload>,
+    ) -> Result<RunOutcome, SessionError> {
+        let spec = job.build_spec(None)?;
+        if !spec.cfg.ckpt_times.is_empty() {
+            return Err(SessionError::InvalidJob(
+                "native runs cannot take checkpoints; drop the checkpoint schedule".into(),
+            ));
+        }
+        Ok(native_engine(
+            spec.cluster,
+            spec.nranks,
+            spec.placement,
+            spec.profile,
+            spec.seed,
+            workload,
+        ))
+    }
+
+    /// Restart `workload` from checkpoint `ckpt_id` in this session's
+    /// store, as described by `job` (which must fully specify the job —
+    /// prefer [`Incarnation::restart_on`], which inherits from the source
+    /// incarnation).
+    pub fn restart(
+        &self,
+        ckpt_id: u64,
+        job: JobBuilder,
+        workload: Arc<dyn Workload>,
+    ) -> Result<Incarnation, SessionError> {
+        let spec = job.build_spec(None)?;
+        self.run_spec(spec, workload, Some(ckpt_id))
+    }
+
+    /// Shared engine entry: run `spec` (fresh or restarted), collect stats,
+    /// fire hooks, wrap the result in an [`Incarnation`].
+    fn run_spec(
+        &self,
+        mut spec: ManaJobSpec,
+        workload: Arc<dyn Workload>,
+        restart_from: Option<u64>,
+    ) -> Result<Incarnation, SessionError> {
+        let index = {
+            let mut n = self.inner.next_incarnation.lock();
+            let i = *n;
+            *n += 1;
+            i
+        };
+        // Assign chain-unique checkpoint ids: incarnations share the
+        // session store (and often a checkpoint directory), so a later
+        // incarnation's images must never land on an earlier one's paths.
+        if !spec.cfg.ckpt_times.is_empty() {
+            let mut next = self.inner.next_ckpt_id.lock();
+            spec.cfg.first_ckpt_id = *next;
+            *next += spec.cfg.ckpt_times.len() as u64;
+        }
+        let (outcome, hub, restart_report) = match restart_from {
+            None => {
+                let (outcome, hub) = mana_engine(&self.inner.store, &spec, workload.clone());
+                (outcome, hub, None)
+            }
+            Some(ckpt_id) => {
+                let (outcome, hub, report) =
+                    restart_engine(&self.inner.store, ckpt_id, &spec, workload.clone())?;
+                (outcome, hub, Some(report))
+            }
+        };
+        if let Some(report) = &restart_report {
+            let event = RestartEvent {
+                incarnation: index,
+                report,
+            };
+            for hook in &self.inner.on_restart {
+                hook(&event);
+            }
+            self.inner.hub.push_restart(report.clone());
+        }
+        for report in hub.ckpts() {
+            let event = CkptEvent {
+                incarnation: index,
+                report: &report,
+            };
+            for hook in &self.inner.on_checkpoint {
+                hook(&event);
+            }
+            self.inner.hub.push_ckpt(report);
+        }
+        Ok(Incarnation {
+            session: self.clone(),
+            index,
+            spec,
+            workload,
+            outcome,
+            hub,
+            restart_report,
+        })
+    }
+}
+
+/// Fluent description of one job incarnation.
+///
+/// Every field is optional: [`ManaSession::run`] fills unset fields with
+/// defaults (2-node local cluster, 4 ranks, block placement, Open MPI,
+/// the cluster's kernel model, no checkpoints, seed 0), while
+/// [`Incarnation::restart_on`] fills them from the incarnation being
+/// restarted — so a cross-cluster migration names only what *changes*.
+#[derive(Clone, Default)]
+pub struct JobBuilder {
+    cluster: Option<ClusterSpec>,
+    nranks: Option<u32>,
+    placement: Option<Placement>,
+    profile: Option<MpiProfile>,
+    seed: Option<u64>,
+    config: Option<ManaConfig>,
+    kernel: Option<KernelModel>,
+    ckpt_dir: Option<String>,
+    ckpt_times: Vec<SimTime>,
+    after_last_ckpt: Option<AfterCkpt>,
+}
+
+impl JobBuilder {
+    /// Empty description (all defaults / all inherited).
+    pub fn new() -> JobBuilder {
+        JobBuilder::default()
+    }
+
+    /// Target cluster.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> JobBuilder {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// World size. Pinned across restarts by the image format; a restart
+    /// presenting a different world size fails with a typed error.
+    pub fn ranks(mut self, nranks: u32) -> JobBuilder {
+        self.nranks = Some(nranks);
+        self
+    }
+
+    /// Rank-to-node placement.
+    pub fn placement(mut self, placement: Placement) -> JobBuilder {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// MPI implementation for this incarnation.
+    pub fn profile(mut self, profile: MpiProfile) -> JobBuilder {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Root seed (workload determinism).
+    pub fn seed(mut self, seed: u64) -> JobBuilder {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Full [`ManaConfig`] override. Schedule/kernel/dir settings made via
+    /// the other builder methods are applied on top of it.
+    pub fn config(mut self, cfg: ManaConfig) -> JobBuilder {
+        self.config = Some(cfg);
+        self
+    }
+
+    /// Kernel model of the nodes (defaults to the cluster's).
+    pub fn kernel(mut self, kernel: KernelModel) -> JobBuilder {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Directory prefix for checkpoint images in the session store.
+    pub fn ckpt_dir(mut self, dir: impl Into<String>) -> JobBuilder {
+        self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Schedule a checkpoint at virtual time `at` (repeatable).
+    pub fn checkpoint_at(mut self, at: SimTime) -> JobBuilder {
+        self.ckpt_times.push(at);
+        self
+    }
+
+    /// Schedule checkpoints at each of `times`.
+    pub fn checkpoint_times(mut self, times: impl IntoIterator<Item = SimTime>) -> JobBuilder {
+        self.ckpt_times.extend(times);
+        self
+    }
+
+    /// Kill the job after the last scheduled checkpoint (migration flows:
+    /// the allocation expired, the job moves elsewhere).
+    pub fn then_kill(mut self) -> JobBuilder {
+        self.after_last_ckpt = Some(AfterCkpt::Kill);
+        self
+    }
+
+    /// Continue after the last scheduled checkpoint (fault-tolerance
+    /// flows; the default).
+    pub fn then_continue(mut self) -> JobBuilder {
+        self.after_last_ckpt = Some(AfterCkpt::Continue);
+        self
+    }
+
+    /// Resolve into a concrete spec, inheriting unset fields from
+    /// `inherit` (an earlier incarnation) or defaults.
+    pub(crate) fn build_spec(
+        &self,
+        inherit: Option<&ManaJobSpec>,
+    ) -> Result<ManaJobSpec, SessionError> {
+        let cluster = self
+            .cluster
+            .clone()
+            .or_else(|| inherit.map(|s| s.cluster.clone()))
+            .unwrap_or_else(|| ClusterSpec::local_cluster(2));
+        let nranks = self.nranks.or(inherit.map(|s| s.nranks)).unwrap_or(4);
+        if nranks == 0 {
+            return Err(SessionError::InvalidJob(
+                "world size must be at least 1".into(),
+            ));
+        }
+        let placement = self
+            .placement
+            .or(inherit.map(|s| s.placement))
+            .unwrap_or(Placement::Block);
+        let profile = self
+            .profile
+            .clone()
+            .or_else(|| inherit.map(|s| s.profile.clone()))
+            .unwrap_or_else(MpiProfile::open_mpi);
+        let seed = self.seed.or(inherit.map(|s| s.seed)).unwrap_or(0);
+
+        // Configuration: explicit override > inherited-and-cleared >
+        // fresh default. An inherited schedule is deliberately dropped —
+        // a restart re-checkpoints only if its builder asks to, and an
+        // inherited kernel model is re-derived from a newly named cluster
+        // (the kernel belongs to the machine, not the job).
+        let mut cfg = match (&self.config, inherit) {
+            (Some(cfg), _) => cfg.clone(),
+            (None, Some(src)) => {
+                let mut cfg = ManaConfig {
+                    ckpt_times: Vec::new(),
+                    after_last_ckpt: AfterCkpt::Continue,
+                    ..src.cfg.clone()
+                };
+                if self.cluster.is_some() {
+                    cfg.kernel = cluster.kernel.clone();
+                }
+                cfg
+            }
+            (None, None) => ManaConfig::no_checkpoints(cluster.kernel.clone()),
+        };
+        if let Some(kernel) = &self.kernel {
+            cfg.kernel = kernel.clone();
+        }
+        if let Some(dir) = &self.ckpt_dir {
+            cfg.ckpt_dir = dir.clone();
+        }
+        if !self.ckpt_times.is_empty() {
+            cfg.ckpt_times = self.ckpt_times.clone();
+        }
+        if let Some(after) = self.after_last_ckpt {
+            cfg.after_last_ckpt = after;
+        }
+        if cfg.ckpt_times.is_empty() && cfg.after_last_ckpt == AfterCkpt::Kill {
+            return Err(SessionError::InvalidJob(
+                "then_kill() without a checkpoint schedule would never terminate the job".into(),
+            ));
+        }
+        Ok(ManaJobSpec {
+            cluster,
+            nranks,
+            placement,
+            profile,
+            cfg,
+            seed,
+        })
+    }
+}
+
+/// Image paths of one completed checkpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptImages {
+    /// Checkpoint id.
+    pub ckpt_id: u64,
+    /// Per-rank image paths in the session store, indexed by rank.
+    pub paths: Vec<String>,
+}
+
+/// One completed run in a session's chain: its spec, outcome, statistics,
+/// and the handle for restarting it elsewhere.
+pub struct Incarnation {
+    session: ManaSession,
+    index: u64,
+    spec: ManaJobSpec,
+    workload: Arc<dyn Workload>,
+    outcome: RunOutcome,
+    hub: StatsHub,
+    restart_report: Option<RestartReport>,
+}
+
+impl Incarnation {
+    /// Index of this incarnation in the session (0-based, run order).
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The resolved spec this incarnation ran under.
+    pub fn spec(&self) -> &ManaJobSpec {
+        &self.spec
+    }
+
+    /// The run's outcome (wall times, checksums, killed flag).
+    pub fn outcome(&self) -> &RunOutcome {
+        &self.outcome
+    }
+
+    /// Per-rank upper-half state checksums at completion.
+    pub fn checksums(&self) -> &BTreeMap<u32, u64> {
+        &self.outcome.checksums
+    }
+
+    /// Whether the job was killed after its last checkpoint.
+    pub fn killed(&self) -> bool {
+        self.outcome.killed
+    }
+
+    /// This incarnation's measurement hub.
+    pub fn stats(&self) -> &StatsHub {
+        &self.hub
+    }
+
+    /// Checkpoints completed during this incarnation.
+    pub fn ckpts(&self) -> Vec<CkptReport> {
+        self.hub.ckpts()
+    }
+
+    /// Restart measurements, if this incarnation booted from a checkpoint.
+    pub fn restart_report(&self) -> Option<&RestartReport> {
+        self.restart_report.as_ref()
+    }
+
+    /// Image paths of every checkpoint this incarnation completed.
+    pub fn checkpoint_images(&self) -> Vec<CkptImages> {
+        self.hub
+            .ckpts()
+            .iter()
+            .map(|r| CkptImages {
+                ckpt_id: r.ckpt_id,
+                paths: (0..self.spec.nranks)
+                    .map(|rank| self.spec.cfg.image_path(r.ckpt_id, rank))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Id of the most recent checkpoint this incarnation completed.
+    pub fn latest_checkpoint(&self) -> Option<u64> {
+        self.hub.ckpts().iter().map(|r| r.ckpt_id).max()
+    }
+
+    /// Restart this incarnation's workload from its latest checkpoint,
+    /// with `job` overriding only what changes (cluster, MPI profile,
+    /// placement, a new checkpoint schedule, ...).
+    pub fn restart_on(&self, job: JobBuilder) -> Result<Incarnation, SessionError> {
+        self.restart_with(job, self.workload.clone())
+    }
+
+    /// Like [`Incarnation::restart_on`] but with an explicitly re-supplied
+    /// workload object (the workload *logic* must match the original —
+    /// MANA restores state, not code).
+    pub fn restart_with(
+        &self,
+        job: JobBuilder,
+        workload: Arc<dyn Workload>,
+    ) -> Result<Incarnation, SessionError> {
+        let ckpt_id = self.latest_checkpoint().ok_or(SessionError::NoCheckpoint {
+            incarnation: self.index,
+        })?;
+        let spec = job.build_spec(Some(&self.spec))?;
+        self.session.run_spec(spec, workload, Some(ckpt_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let spec = JobBuilder::new().build_spec(None).unwrap();
+        assert_eq!(spec.nranks, 4);
+        assert_eq!(spec.placement, Placement::Block);
+        assert!(spec.cfg.ckpt_times.is_empty());
+
+        let spec = JobBuilder::new()
+            .ranks(8)
+            .cluster(ClusterSpec::cori(2))
+            .profile(MpiProfile::cray_mpich())
+            .seed(9)
+            .ckpt_dir("x")
+            .checkpoint_at(SimTime(5))
+            .then_kill()
+            .build_spec(None)
+            .unwrap();
+        assert_eq!(spec.nranks, 8);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.cfg.ckpt_dir, "x");
+        assert_eq!(spec.cfg.ckpt_times, vec![SimTime(5)]);
+        assert_eq!(spec.cfg.after_last_ckpt, AfterCkpt::Kill);
+    }
+
+    #[test]
+    fn restart_inherits_but_drops_schedule() {
+        let src = JobBuilder::new()
+            .ranks(6)
+            .cluster(ClusterSpec::cori(2).with_patched_kernel())
+            .profile(MpiProfile::cray_mpich())
+            .seed(3)
+            .ckpt_dir("chain")
+            .checkpoint_at(SimTime(7))
+            .then_kill()
+            .build_spec(None)
+            .unwrap();
+        assert!(
+            src.cfg.kernel.fsgsbase_patched,
+            "kernel from source cluster"
+        );
+        let restart = JobBuilder::new()
+            .cluster(ClusterSpec::local_cluster(2))
+            .profile(MpiProfile::open_mpi())
+            .build_spec(Some(&src))
+            .unwrap();
+        assert_eq!(restart.nranks, 6);
+        assert_eq!(restart.seed, 3);
+        assert_eq!(restart.cfg.ckpt_dir, "chain");
+        assert!(
+            restart.cfg.ckpt_times.is_empty(),
+            "schedule must not carry over"
+        );
+        assert_eq!(restart.cfg.after_last_ckpt, AfterCkpt::Continue);
+        assert_eq!(restart.cluster.name, "local");
+        // The kernel model belongs to the machine: naming a new cluster
+        // re-derives it rather than carrying the source cluster's.
+        assert!(
+            !restart.cfg.kernel.fsgsbase_patched,
+            "kernel must come from the destination cluster"
+        );
+
+        // ...unless the destination builder pins one explicitly.
+        let pinned = JobBuilder::new()
+            .cluster(ClusterSpec::local_cluster(2))
+            .kernel(KernelModel::patched())
+            .build_spec(Some(&src))
+            .unwrap();
+        assert!(pinned.cfg.kernel.fsgsbase_patched);
+
+        // No new cluster named → the source's kernel is kept.
+        let same_cluster = JobBuilder::new()
+            .profile(MpiProfile::open_mpi())
+            .build_spec(Some(&src))
+            .unwrap();
+        assert!(same_cluster.cfg.kernel.fsgsbase_patched);
+    }
+
+    #[test]
+    fn invalid_jobs_rejected() {
+        assert!(matches!(
+            JobBuilder::new().ranks(0).build_spec(None),
+            Err(SessionError::InvalidJob(_))
+        ));
+        assert!(matches!(
+            JobBuilder::new().then_kill().build_spec(None),
+            Err(SessionError::InvalidJob(_))
+        ));
+    }
+}

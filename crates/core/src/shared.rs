@@ -33,7 +33,10 @@ pub struct CommMeta {
 impl CommMeta {
     /// Comm-local rank of `global`, if a member.
     pub fn local_of(&self, global: u32) -> Option<u32> {
-        self.members.iter().position(|m| *m == global).map(|i| i as u32)
+        self.members
+            .iter()
+            .position(|m| *m == global)
+            .map(|i| i as u32)
     }
 }
 
@@ -105,7 +108,7 @@ pub enum SlotState {
 /// saved stack and registers. `ops_done` counts completed application
 /// operations in the current step; on restart the environment fast-forwards
 /// (skips) exactly that many operations of the re-entered step.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct Progress {
     /// Operations completed in the current application step.
     pub ops_done: u64,
@@ -127,21 +130,6 @@ pub struct Progress {
     /// of the partial step re-derive exactly the ids they allocated before
     /// the checkpoint.
     pub slot_seq_at_step: u64,
-}
-
-impl Default for Progress {
-    fn default() -> Self {
-        Progress {
-            ops_done: 0,
-            resume_skip: 0,
-            resuming: false,
-            allocs: Vec::new(),
-            alloc_cursor: 0,
-            slots: Vec::new(),
-            slot_seq: 0,
-            slot_seq_at_step: 0,
-        }
-    }
 }
 
 /// All MANA state for one rank incarnation.

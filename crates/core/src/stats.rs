@@ -107,7 +107,11 @@ impl RestartReport {
 
     /// Slowest replay.
     pub fn max_replay(&self) -> SimDuration {
-        self.ranks.iter().map(|r| r.replay).max().unwrap_or_default()
+        self.ranks
+            .iter()
+            .map(|r| r.replay)
+            .max()
+            .unwrap_or_default()
     }
 }
 

@@ -1,0 +1,251 @@
+//! Pluggable checkpoint storage.
+//!
+//! MANA's promise is that a checkpoint outlives clusters and MPI
+//! implementations — which makes *where images live* a first-class axis of
+//! the design. [`CheckpointStore`] abstracts it: the helper threads write
+//! images through it, the restart engine reads them back, and the
+//! coordinator signals checkpoint-epoch boundaries to it.
+//!
+//! Two implementations ship in-tree:
+//!
+//! * [`FsStore`] — the production-shaped default, backed by the simulated
+//!   parallel filesystem ([`ParallelFs`], Lustre-like bandwidth contention
+//!   and straggler tails);
+//! * [`InMemStore`] — a zero-latency in-memory map for fast tests and for
+//!   workflows where images never need to survive the process.
+
+use crate::error::StoreError;
+use mana_sim::fs::{FsConfig, IoShape, ParallelFs};
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Where checkpoint images live.
+///
+/// Implementations model both the *contents* and the *cost*: `put`/`get`
+/// return the virtual duration the calling rank's clock advances by, so a
+/// store choice shapes checkpoint/restart timing exactly the way a real
+/// storage tier would.
+pub trait CheckpointStore: Send + Sync {
+    /// Store `data` at `path` with the given logical length, returning the
+    /// virtual write+fsync duration for a rank with I/O shape `shape`.
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration;
+
+    /// Fetch the object at `path` plus the virtual read duration.
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError>;
+
+    /// Called by the coordinator at the start of each checkpoint round
+    /// (stores may use it to decorrelate per-epoch cost draws).
+    fn begin_epoch(&self) {}
+
+    /// Whether `path` holds an object.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Logical length of the object at `path`.
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError>;
+
+    /// Delete the object at `path` (old-checkpoint garbage collection).
+    /// Returns whether it existed.
+    fn remove(&self, path: &str) -> bool;
+
+    /// All stored paths, sorted (deterministic iteration).
+    fn list(&self) -> Vec<String>;
+}
+
+/// Checkpoint storage on the simulated parallel filesystem — the default,
+/// matching the paper's Lustre deployment.
+pub struct FsStore {
+    fs: Arc<ParallelFs>,
+}
+
+impl FsStore {
+    /// Store images on `fs`.
+    pub fn new(fs: Arc<ParallelFs>) -> FsStore {
+        FsStore { fs }
+    }
+
+    /// Store images on a fresh filesystem with the given parameters.
+    pub fn with_config(cfg: FsConfig) -> FsStore {
+        FsStore {
+            fs: ParallelFs::new(cfg),
+        }
+    }
+
+    /// The underlying filesystem.
+    pub fn fs(&self) -> &Arc<ParallelFs> {
+        &self.fs
+    }
+}
+
+impl CheckpointStore for FsStore {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        self.fs.write_file(path, data, logical_len, rank, shape)
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        self.fs
+            .read_file(path, rank, shape)
+            .map_err(StoreError::from)
+    }
+
+    fn begin_epoch(&self) {
+        self.fs.bump_epoch();
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.fs.exists(path)
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.fs.logical_len(path).map_err(StoreError::from)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        self.fs.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.fs.list()
+    }
+}
+
+struct InMemObject {
+    data: Arc<Vec<u8>>,
+    logical_len: u64,
+}
+
+/// Zero-latency in-memory checkpoint storage for fast tests.
+///
+/// I/O costs nothing and there is no contention model, so checkpoint and
+/// restart timing collapse to the protocol costs alone — useful both for
+/// speed and for isolating protocol overhead in measurements.
+#[derive(Default)]
+pub struct InMemStore {
+    objects: Mutex<HashMap<String, InMemObject>>,
+}
+
+impl InMemStore {
+    /// Fresh empty store.
+    pub fn new() -> InMemStore {
+        InMemStore::default()
+    }
+}
+
+impl CheckpointStore for InMemStore {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        _rank: u64,
+        _shape: IoShape,
+    ) -> SimDuration {
+        self.objects.lock().insert(
+            path.to_string(),
+            InMemObject {
+                data: Arc::new(data),
+                logical_len,
+            },
+        );
+        SimDuration::ZERO
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        _rank: u64,
+        _shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        self.objects
+            .lock()
+            .get(path)
+            .map(|o| (o.data.clone(), SimDuration::ZERO))
+            .ok_or_else(|| StoreError::NotFound(path.to_string()))
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.objects.lock().contains_key(path)
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.objects
+            .lock()
+            .get(path)
+            .map(|o| o.logical_len)
+            .ok_or_else(|| StoreError::NotFound(path.to_string()))
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        self.objects.lock().remove(path).is_some()
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.objects.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    fn exercise(store: &dyn CheckpointStore, timed: bool) {
+        let d = store.put("a/x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        assert_eq!(d > SimDuration::ZERO, timed);
+        assert!(store.exists("a/x"));
+        assert_eq!(store.logical_len("a/x").unwrap(), 1 << 20);
+        let (data, rd) = store.get("a/x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![1, 2, 3]);
+        assert_eq!(rd > SimDuration::ZERO, timed);
+        assert!(matches!(
+            store.get("a/missing", 0, SHAPE),
+            Err(StoreError::NotFound(_))
+        ));
+        store.put("a/y", vec![], 0, 0, SHAPE);
+        assert_eq!(store.list(), vec!["a/x".to_string(), "a/y".to_string()]);
+        assert!(store.remove("a/y"));
+        assert!(!store.remove("a/y"));
+        store.begin_epoch();
+    }
+
+    #[test]
+    fn in_mem_store_semantics() {
+        exercise(&InMemStore::new(), false);
+    }
+
+    #[test]
+    fn fs_store_semantics() {
+        exercise(&FsStore::with_config(FsConfig::default()), true);
+    }
+}

@@ -173,12 +173,9 @@ impl ManaMpi {
             }
             self.fs(t);
             if let Some(st) = self.lower.iprobe(t, src, tag, real) {
-                let (data, status) = self.lower.recv(
-                    t,
-                    SrcSpec::Rank(st.source),
-                    TagSpec::Tag(st.tag),
-                    real,
-                );
+                let (data, status) =
+                    self.lower
+                        .recv(t, SrcSpec::Rank(st.source), TagSpec::Tag(st.tag), real);
                 let src_global = meta.members[status.source as usize];
                 self.sh.counters.lock().on_recv(src_global);
                 return (data, status);
@@ -321,7 +318,8 @@ impl Mpi for ManaMpi {
 
     fn comm_rank(&self, comm: CommHandle) -> Rank {
         let meta = self.meta_untimed(comm.0);
-        meta.local_of(self.sh.rank).expect("caller not in communicator")
+        meta.local_of(self.sh.rank)
+            .expect("caller not in communicator")
     }
 
     fn comm_size(&self, comm: CommHandle) -> u32 {
@@ -348,7 +346,14 @@ impl Mpi for ManaMpi {
         self.recv_inner(t, comm.0, src, tag)
     }
 
-    fn isend(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle) -> ReqHandle {
+    fn isend(
+        &self,
+        t: &SimThread,
+        msg: Msg<'_>,
+        dst: Rank,
+        tag: Tag,
+        comm: CommHandle,
+    ) -> ReqHandle {
         let meta = self.meta(t, comm.0);
         let dst_global = meta.members[dst as usize];
         self.sh.counters.lock().on_send(dst_global);
@@ -391,7 +396,11 @@ impl Mpi for ManaMpi {
             match wreqs.get(&req.0) {
                 None => panic!("unknown virtual request {:#x}", req.0),
                 Some(WReq::LowerSend(l)) => Plan::LowerSend(*l),
-                Some(WReq::WrapperRecv { comm_virt, src, tag }) => Plan::Recv {
+                Some(WReq::WrapperRecv {
+                    comm_virt,
+                    src,
+                    tag,
+                }) => Plan::Recv {
                     comm_virt: *comm_virt,
                     src: *src,
                     tag: *tag,
@@ -406,9 +415,11 @@ impl Mpi for ManaMpi {
                     .cell
                     .with_park(Park::InLowerSend, || self.lower.wait(t, lreq))
             }
-            Plan::Recv { comm_virt, src, tag } => {
-                Some(self.recv_inner(t, comm_virt, src, tag))
-            }
+            Plan::Recv {
+                comm_virt,
+                src,
+                tag,
+            } => Some(self.recv_inner(t, comm_virt, src, tag)),
             Plan::TwoPhase => self.finish_pending(t, req.0),
         };
         self.sh.wreqs.lock().remove(&req.0);
@@ -432,7 +443,11 @@ impl Mpi for ManaMpi {
             match wreqs.get(&req.0) {
                 None => panic!("unknown virtual request {:#x}", req.0),
                 Some(WReq::LowerSend(l)) => Plan::LowerSend(*l),
-                Some(WReq::WrapperRecv { comm_virt, src, tag }) => Plan::Recv {
+                Some(WReq::WrapperRecv {
+                    comm_virt,
+                    src,
+                    tag,
+                }) => Plan::Recv {
                     comm_virt: *comm_virt,
                     src: *src,
                     tag: *tag,
@@ -452,16 +467,18 @@ impl Mpi for ManaMpi {
                     }
                 }
             }
-            Plan::Recv { comm_virt, src, tag } => {
-                match self.try_recv_inner(t, comm_virt, src, tag) {
-                    Some(x) => {
-                        self.sh.wreqs.lock().remove(&req.0);
-                        self.sh.virt.req.remove(req.0);
-                        TestResult::Done(Some(x))
-                    }
-                    None => TestResult::Pending,
+            Plan::Recv {
+                comm_virt,
+                src,
+                tag,
+            } => match self.try_recv_inner(t, comm_virt, src, tag) {
+                Some(x) => {
+                    self.sh.wreqs.lock().remove(&req.0);
+                    self.sh.virt.req.remove(req.0);
+                    TestResult::Done(Some(x))
                 }
-            }
+                None => TestResult::Pending,
+            },
             Plan::TwoPhase => {
                 // Is phase 1 (the nonblocking trivial barrier) done? If the
                 // request was restored from an image, phase 1 must be
@@ -710,8 +727,9 @@ impl Mpi for ManaMpi {
     ) -> Option<CommHandle> {
         self.vcost(t);
         let real_group = GroupHandle(self.sh.virt.group.real_of(group.0));
-        let new_real =
-            self.two_phase(t, comm.0, |real| self.lower.comm_create(t, real, real_group));
+        let new_real = self.two_phase(t, comm.0, |real| {
+            self.lower.comm_create(t, real, real_group)
+        });
         let (virt, out) = match new_real {
             Some(nr) => {
                 let members = self.sh.groups.lock()[&group.0].clone();
@@ -866,10 +884,9 @@ impl Mpi for ManaMpi {
         let virt = self.sh.virt.dtype.intern(real.0);
         self.sh.dtype_base_cache.lock().insert(base, virt);
         self.sh.dtypes.lock().insert(virt, ());
-        self.sh.log.push(LoggedCall::TypeBase {
-            base,
-            result: virt,
-        });
+        self.sh
+            .log
+            .push(LoggedCall::TypeBase { base, result: virt });
         DtypeHandle(virt)
     }
 

@@ -7,13 +7,10 @@
 //! communicator creation (dup + cart), derived datatypes, and the §4.2
 //! nonblocking-collective extension.
 
-use mana_core::{
-    run_mana_app, run_native_app, run_restart_app, AppEnv, ManaConfig, ManaJobSpec,
-    Workload,
-};
+use mana_core::{AppEnv, FsStore, JobBuilder, ManaSession, Workload};
 use mana_mpi::{MpiProfile, ReduceOp, SrcSpec, TagSpec};
-use mana_sim::cluster::{ClusterSpec, Placement};
-use mana_sim::fs::{FsConfig, ParallelFs};
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::fs::FsConfig;
 use mana_sim::kernel::KernelModel;
 use mana_sim::time::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -95,8 +92,8 @@ impl Workload for RefWorkload {
             env.wait_slot(s2);
 
             // A rendezvous-sized blocking exchange every 3rd step.
-            if iter % 3 == 0 {
-                if me % 2 == 0 {
+            if iter.is_multiple_of(3) {
+                if me.is_multiple_of(2) {
                     env.send_arr(dup, big, 0..4096, right, 7);
                     env.recv_into(dup, big, 0, SrcSpec::Rank(left), TagSpec::Tag(7));
                 } else {
@@ -131,15 +128,17 @@ impl Workload for RefWorkload {
     }
 }
 
-fn small_fs() -> Arc<ParallelFs> {
-    ParallelFs::new(FsConfig {
-        node_bw: 1e9,
-        aggregate_bw: 50e9,
-        op_latency: SimDuration::millis(2),
-        write_straggler_max: 2.0,
-        read_straggler_max: 1.5,
-        seed: 11,
-    })
+fn small_session() -> ManaSession {
+    ManaSession::builder()
+        .store(FsStore::with_config(FsConfig {
+            node_bw: 1e9,
+            aggregate_bw: 50e9,
+            op_latency: SimDuration::millis(2),
+            write_straggler_max: 2.0,
+            read_straggler_max: 1.5,
+            seed: 11,
+        }))
+        .build()
 }
 
 fn workload() -> Arc<dyn Workload> {
@@ -149,95 +148,112 @@ fn workload() -> Arc<dyn Workload> {
     })
 }
 
-fn spec(cluster: ClusterSpec, profile: MpiProfile, cfg: ManaConfig) -> ManaJobSpec {
-    ManaJobSpec {
-        cluster,
-        nranks: 8,
-        placement: Placement::Block,
-        profile,
-        cfg,
-        seed: 2024,
-    }
+fn job(cluster: ClusterSpec, profile: MpiProfile) -> JobBuilder {
+    JobBuilder::new()
+        .cluster(cluster)
+        .ranks(8)
+        .profile(profile)
+        .kernel(KernelModel::unpatched())
+        .seed(2024)
 }
 
 #[test]
 fn mana_matches_native_results() {
-    let native = run_native_app(
-        ClusterSpec::cori(2),
-        8,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        2024,
-        workload(),
-    );
-    let fs = small_fs();
-    let (mana, _) = run_mana_app(
-        &fs,
-        &spec(
-            ClusterSpec::cori(2),
-            MpiProfile::cray_mpich(),
-            ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        ),
-        workload(),
-    );
-    assert!(!native.killed && !mana.killed);
+    let session = small_session();
+    let native = session
+        .run_native(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich()),
+            workload(),
+        )
+        .expect("native run");
+    let mana = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich()),
+            workload(),
+        )
+        .expect("mana run");
+    assert!(!native.killed && !mana.killed());
     assert_eq!(native.checksums.len(), 8);
-    assert_eq!(native.checksums, mana.checksums, "MANA changed results");
+    assert_eq!(&native.checksums, mana.checksums(), "MANA changed results");
     // MANA costs time, but little (the paper's <2% claim is asserted
     // loosely here; the figures quantify it).
-    assert!(mana.wall >= native.wall);
-    let overhead = mana.wall.as_secs_f64() / native.wall.as_secs_f64() - 1.0;
+    assert!(mana.outcome().wall >= native.wall);
+    let overhead = mana.outcome().wall.as_secs_f64() / native.wall.as_secs_f64() - 1.0;
     assert!(overhead < 0.10, "runtime overhead {overhead:.3} too high");
 }
 
 #[test]
 fn checkpoint_and_continue_preserves_results() {
-    let fs = small_fs();
-    let base_spec = spec(
-        ClusterSpec::cori(2),
-        MpiProfile::cray_mpich(),
-        ManaConfig::no_checkpoints(KernelModel::unpatched()),
-    );
-    let (clean, _) = run_mana_app(&fs, &base_spec, workload());
+    let session = small_session();
+    let clean = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich()),
+            workload(),
+        )
+        .expect("clean run");
 
     // Same run, checkpointing twice in the middle and continuing.
-    let mut cfg = ManaConfig::no_checkpoints(KernelModel::unpatched());
-    cfg.ckpt_times = vec![SimTime(2_000_000), SimTime(5_000_000)];
-    let (ckpt_run, hub) = run_mana_app(&fs, &spec(ClusterSpec::cori(2), MpiProfile::cray_mpich(), cfg), workload());
-    assert!(!ckpt_run.killed);
-    assert_eq!(clean.checksums, ckpt_run.checksums, "checkpointing changed results");
-    let reports = hub.ckpts();
+    let ckpt_run = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich())
+                .checkpoint_times([SimTime(2_000_000), SimTime(5_000_000)]),
+            workload(),
+        )
+        .expect("checkpointed run");
+    assert!(!ckpt_run.killed());
+    assert_eq!(
+        clean.checksums(),
+        ckpt_run.checksums(),
+        "checkpointing changed results"
+    );
+    let reports = ckpt_run.ckpts();
     assert_eq!(reports.len(), 2, "both checkpoints must complete");
     for r in &reports {
         assert_eq!(r.ranks.len(), 8);
         assert!(r.total() > SimDuration::ZERO);
     }
     // Checkpointing pauses the app, so the run takes longer.
-    assert!(ckpt_run.wall > clean.wall);
+    assert!(ckpt_run.outcome().wall > clean.outcome().wall);
+    // The images of both checkpoints are addressable via the handle.
+    let images = ckpt_run.checkpoint_images();
+    assert_eq!(images.len(), 2);
+    for set in &images {
+        assert_eq!(set.paths.len(), 8);
+        for p in &set.paths {
+            assert!(session.store().exists(p), "missing image {p}");
+        }
+    }
 }
 
 #[test]
 fn kill_and_restart_same_cluster_same_impl() {
-    let fs = small_fs();
-    let base_spec = spec(
-        ClusterSpec::cori(2),
-        MpiProfile::cray_mpich(),
-        ManaConfig::no_checkpoints(KernelModel::unpatched()),
-    );
-    let (clean, _) = run_mana_app(&fs, &base_spec, workload());
+    let session = small_session();
+    let clean = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich()),
+            workload(),
+        )
+        .expect("clean run");
 
-    let kill_cfg = ManaConfig::checkpoint_and_kill(KernelModel::unpatched(), SimTime(3_000_000));
-    let (killed_run, hub) = run_mana_app(
-        &fs,
-        &spec(ClusterSpec::cori(2), MpiProfile::cray_mpich(), kill_cfg),
-        workload(),
-    );
-    assert!(killed_run.killed, "job should have been killed after ckpt");
-    assert_eq!(hub.ckpts().len(), 1);
+    let killed = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich())
+                .checkpoint_at(SimTime(3_000_000))
+                .then_kill(),
+            workload(),
+        )
+        .expect("checkpoint run");
+    assert!(killed.killed(), "job should have been killed after ckpt");
+    assert_eq!(killed.ckpts().len(), 1);
 
-    let (resumed, _, report) = run_restart_app(&fs, 1, &base_spec, workload());
-    assert!(!resumed.killed);
-    assert_eq!(clean.checksums, resumed.checksums, "restart changed results");
+    let resumed = killed.restart_on(JobBuilder::new()).expect("restart");
+    assert!(!resumed.killed());
+    assert_eq!(
+        clean.checksums(),
+        resumed.checksums(),
+        "restart changed results"
+    );
+    let report = resumed.restart_report().expect("restart stats");
     assert_eq!(report.ranks.len(), 8);
     assert!(report.max_read() > SimDuration::ZERO);
     // Replay is a small fraction of restart (paper: <10%).
@@ -246,44 +262,54 @@ fn kill_and_restart_same_cluster_same_impl() {
 
 #[test]
 fn restart_under_different_impl_and_network() {
-    let fs = small_fs();
-    let base_spec = spec(
-        ClusterSpec::cori(2),
-        MpiProfile::cray_mpich(),
-        ManaConfig::no_checkpoints(KernelModel::unpatched()),
-    );
-    let (clean, _) = run_mana_app(&fs, &base_spec, workload());
+    let session = small_session();
+    let clean = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich()),
+            workload(),
+        )
+        .expect("clean run");
 
-    let kill_cfg = ManaConfig::checkpoint_and_kill(KernelModel::unpatched(), SimTime(3_000_000));
-    run_mana_app(
-        &fs,
-        &spec(ClusterSpec::cori(2), MpiProfile::cray_mpich(), kill_cfg),
-        workload(),
-    );
+    let killed = session
+        .run(
+            job(ClusterSpec::cori(2), MpiProfile::cray_mpich())
+                .checkpoint_at(SimTime(3_000_000))
+                .then_kill(),
+            workload(),
+        )
+        .expect("checkpoint run");
 
     // Restart on the local cluster: Open MPI over InfiniBand, different
     // node count and ranks-per-node — the paper's §3.6 scenario.
-    let migrate_spec = spec(
-        ClusterSpec::local_cluster(4),
-        MpiProfile::open_mpi(),
-        ManaConfig::no_checkpoints(KernelModel::unpatched()),
-    );
-    let (resumed, _, _) = run_restart_app(&fs, 1, &migrate_spec, workload());
-    assert!(!resumed.killed);
+    let resumed = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(ClusterSpec::local_cluster(4))
+                .profile(MpiProfile::open_mpi()),
+        )
+        .expect("migration restart");
+    assert!(!resumed.killed());
     assert_eq!(
-        clean.checksums, resumed.checksums,
+        clean.checksums(),
+        resumed.checksums(),
         "cross-cluster migration changed results"
     );
 
-    // And once more under debug MPICH over TCP (§3.5).
-    let debug_spec = spec(
-        ClusterSpec::local_cluster(2).with_interconnect(mana_sim::cluster::InterconnectKind::Tcp),
-        MpiProfile::mpich_debug(),
-        ManaConfig::no_checkpoints(KernelModel::unpatched()),
-    );
-    let (resumed2, _, _) = run_restart_app(&fs, 1, &debug_spec, workload());
+    // And once more under debug MPICH over TCP (§3.5) — the same killed
+    // incarnation fans out into a second restart.
+    let resumed2 = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(
+                    ClusterSpec::local_cluster(2)
+                        .with_interconnect(mana_sim::cluster::InterconnectKind::Tcp),
+                )
+                .profile(MpiProfile::mpich_debug()),
+        )
+        .expect("debug restart");
     assert_eq!(
-        clean.checksums, resumed2.checksums,
+        clean.checksums(),
+        resumed2.checksums(),
         "debug-MPICH restart changed results"
     );
 }
@@ -292,40 +318,28 @@ fn restart_under_different_impl_and_network() {
 fn checkpoint_during_heavy_collective_traffic() {
     // Stress Challenge I/III: checkpoint times that land inside collective
     // windows must still produce consistent images.
-    let fs = small_fs();
-    let base_spec = spec(
-        ClusterSpec::cori(1),
-        MpiProfile::mpich(),
-        ManaConfig::no_checkpoints(KernelModel::patched()),
-    );
-    let (clean, _) = run_mana_app(&fs, &base_spec, workload());
+    let session = small_session();
+    let base = || job(ClusterSpec::cori(1), MpiProfile::mpich()).kernel(KernelModel::patched());
+    let clean = session.run(base(), workload()).expect("clean run");
     for (i, at) in [1_500_000u64, 2_345_678, 3_999_999, 6_111_111]
         .into_iter()
         .enumerate()
     {
-        let mut cfg = ManaConfig::checkpoint_and_kill(KernelModel::patched(), SimTime(at));
-        cfg.ckpt_dir = format!("stress{i}");
-        let (killed_run, hub) = run_mana_app(
-            &fs,
-            &spec(ClusterSpec::cori(1), MpiProfile::mpich(), cfg.clone()),
-            workload(),
-        );
-        assert!(killed_run.killed, "ckpt at {at} did not kill");
-        assert_eq!(hub.ckpts().len(), 1, "ckpt at {at} did not complete");
-        let restart_spec = ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_dir: format!("stress{i}"),
-                ..ManaConfig::no_checkpoints(KernelModel::patched())
-            },
-            ..spec(
-                ClusterSpec::cori(1),
-                MpiProfile::mpich(),
-                ManaConfig::no_checkpoints(KernelModel::patched()),
+        let killed = session
+            .run(
+                base()
+                    .ckpt_dir(format!("stress{i}"))
+                    .checkpoint_at(SimTime(at))
+                    .then_kill(),
+                workload(),
             )
-        };
-        let (resumed, _, _) = run_restart_app(&fs, 1, &restart_spec, workload());
+            .expect("checkpoint run");
+        assert!(killed.killed(), "ckpt at {at} did not kill");
+        assert_eq!(killed.ckpts().len(), 1, "ckpt at {at} did not complete");
+        let resumed = killed.restart_on(JobBuilder::new()).expect("restart");
         assert_eq!(
-            clean.checksums, resumed.checksums,
+            clean.checksums(),
+            resumed.checksums(),
             "restart from ckpt@{at} diverged"
         );
     }

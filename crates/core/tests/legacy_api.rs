@@ -1,0 +1,123 @@
+//! The deprecated free-function lifecycle API must keep working as thin
+//! shims over the session engine: same flow, same results, same panics
+//! on the historical failure paths.
+
+#![allow(deprecated)]
+
+use mana_core::{
+    run_mana_app, run_native_app, run_restart_app, AppEnv, ManaConfig, ManaJobSpec, Workload,
+};
+use mana_mpi::{MpiProfile, ReduceOp};
+use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::fs::ParallelFs;
+use mana_sim::kernel::KernelModel;
+use mana_sim::time::{SimDuration, SimTime};
+use std::sync::Arc;
+
+struct MiniApp {
+    steps: u64,
+}
+
+impl Workload for MiniApp {
+    fn name(&self) -> &'static str {
+        "miniapp"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let n = env.nranks();
+        let scal = env.alloc_f64("scal", 2);
+        loop {
+            if env.peek(scal, |s| s[0]) as u64 >= self.steps {
+                break;
+            }
+            env.begin_step();
+            env.work(SimDuration::micros(200), |m| {
+                m.with_mut(scal, |s| s[1] += 2.0)
+            });
+            env.allreduce_arr(world, scal, ReduceOp::Sum);
+            env.work(SimDuration::micros(1), |m| {
+                m.with_mut(scal, |s| {
+                    s[0] = (s[0] / f64::from(n)).round() + 1.0;
+                    s[1] /= f64::from(n);
+                })
+            });
+        }
+    }
+}
+
+fn app() -> Arc<dyn Workload> {
+    Arc::new(MiniApp { steps: 8 })
+}
+
+fn spec(cluster: ClusterSpec, profile: MpiProfile, cfg: ManaConfig) -> ManaJobSpec {
+    ManaJobSpec {
+        cluster,
+        nranks: 4,
+        placement: Placement::Block,
+        profile,
+        cfg,
+        seed: 5,
+    }
+}
+
+#[test]
+fn legacy_free_functions_still_run_the_full_lifecycle() {
+    // Native baseline through the legacy entry point.
+    let native = run_native_app(
+        ClusterSpec::cori(2),
+        4,
+        Placement::Block,
+        MpiProfile::cray_mpich(),
+        5,
+        app(),
+    );
+    assert_eq!(native.checksums.len(), 4);
+
+    // MANA run + checkpoint-and-kill through the legacy entry points.
+    let fs = ParallelFs::new(Default::default());
+    let base = spec(
+        ClusterSpec::cori(2),
+        MpiProfile::cray_mpich(),
+        ManaConfig::no_checkpoints(KernelModel::unpatched()),
+    );
+    let (clean, _) = run_mana_app(&fs, &base, app());
+    assert_eq!(native.checksums, clean.checksums);
+    let mid = SimTime(clean.wall.as_nanos() - clean.app_wall.as_nanos() / 2);
+    let (killed, hub) = run_mana_app(
+        &fs,
+        &spec(
+            ClusterSpec::cori(2),
+            MpiProfile::cray_mpich(),
+            ManaConfig::checkpoint_and_kill(KernelModel::unpatched(), mid),
+        ),
+        app(),
+    );
+    assert!(killed.killed);
+    assert_eq!(hub.ckpts().len(), 1);
+
+    // Legacy restart on a different cluster/implementation.
+    let restart = spec(
+        ClusterSpec::local_cluster(2),
+        MpiProfile::open_mpi(),
+        ManaConfig::no_checkpoints(KernelModel::unpatched()),
+    );
+    let (resumed, _, report) = run_restart_app(&fs, 1, &restart, app());
+    assert!(!resumed.killed);
+    assert_eq!(clean.checksums, resumed.checksums, "legacy chain diverged");
+    assert_eq!(report.ranks.len(), 4);
+}
+
+#[test]
+#[should_panic(expected = "no image for checkpoint")]
+fn legacy_restart_panics_on_missing_images() {
+    // The historical contract: the free function panics (the session API
+    // returns a typed error instead).
+    let fs = ParallelFs::new(Default::default());
+    let restart = spec(
+        ClusterSpec::local_cluster(2),
+        MpiProfile::open_mpi(),
+        ManaConfig::no_checkpoints(KernelModel::unpatched()),
+    );
+    let _ = run_restart_app(&fs, 7, &restart, app());
+}

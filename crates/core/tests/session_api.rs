@@ -1,0 +1,277 @@
+//! Session-API lifecycle tests: in-memory checkpoint round-trips (no
+//! `ParallelFs` involved), lifecycle hooks, image addressing, and the
+//! typed error surface of the restart path.
+
+use mana_core::error::{ManaError, SessionError};
+use mana_core::{AppEnv, InMemStore, JobBuilder, ManaSession, Workload};
+use mana_mpi::{MpiProfile, ReduceOp};
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::fs::IoShape;
+use mana_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Small deterministic workload: managed state + collectives each step.
+struct MiniApp {
+    steps: u64,
+}
+
+impl Workload for MiniApp {
+    fn name(&self) -> &'static str {
+        "miniapp"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let n = env.nranks();
+        let me = env.rank();
+        let field = env.alloc_f64("field", 32);
+        let scal = env.alloc_f64("scal", 2);
+        env.work(SimDuration::micros(5), |m| {
+            m.with_mut(field, |f| {
+                for (i, v) in f.iter_mut().enumerate() {
+                    *v = f64::from(me) * 10.0 + i as f64;
+                }
+            });
+        });
+        loop {
+            if env.peek(scal, |s| s[0]) as u64 >= self.steps {
+                break;
+            }
+            env.begin_step();
+            env.work(SimDuration::micros(250), |m| {
+                m.with_mut(field, |f| {
+                    for v in f.iter_mut() {
+                        *v = 0.75 * *v + 1.0;
+                    }
+                });
+            });
+            env.allreduce_arr(world, scal, ReduceOp::Sum);
+            env.work(SimDuration::micros(1), |m| {
+                m.with_mut(scal, |s| {
+                    s[0] = (s[0] / f64::from(n)).round() + 1.0;
+                });
+            });
+        }
+    }
+}
+
+fn app() -> Arc<dyn Workload> {
+    Arc::new(MiniApp { steps: 10 })
+}
+
+fn mem_session() -> ManaSession {
+    ManaSession::builder().store(InMemStore::new()).build()
+}
+
+fn base_job() -> JobBuilder {
+    JobBuilder::new()
+        .cluster(ClusterSpec::cori(2))
+        .ranks(4)
+        .profile(MpiProfile::cray_mpich())
+        .seed(12)
+}
+
+/// Probe the run and return a checkpoint time in the middle of the
+/// application window.
+fn midpoint(session: &ManaSession) -> SimTime {
+    let probe = session.run(base_job(), app()).expect("probe run");
+    SimTime(probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2)
+}
+
+#[test]
+fn in_mem_store_checkpoint_roundtrip() {
+    // The full checkpoint→kill→restart chain against InMemStore: no
+    // ParallelFs anywhere, and I/O costs nothing.
+    let session = mem_session();
+    let clean = session.run(base_job(), app()).expect("clean run");
+    let mid = SimTime(clean.outcome().wall.as_nanos() - clean.outcome().app_wall.as_nanos() / 2);
+    let killed = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app())
+        .expect("checkpoint run");
+    assert!(killed.killed());
+    let report = &killed.ckpts()[0];
+    // Zero-latency storage: the write contributes nothing to ckpt time.
+    assert_eq!(report.max_write(), SimDuration::ZERO);
+
+    let resumed = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(ClusterSpec::local_cluster(2))
+                .profile(MpiProfile::open_mpi()),
+        )
+        .expect("restart");
+    assert!(!resumed.killed());
+    assert_eq!(
+        clean.checksums(),
+        resumed.checksums(),
+        "round-trip diverged"
+    );
+    let report = resumed.restart_report().expect("restart stats");
+    assert_eq!(report.max_read(), SimDuration::ZERO);
+
+    // The images are addressable through the incarnation handle and live
+    // in the in-memory store.
+    let images = killed.checkpoint_images();
+    assert_eq!(images.len(), 1);
+    assert_eq!(images[0].paths.len(), 4);
+    for p in &images[0].paths {
+        assert!(session.store().exists(p), "missing image {p}");
+    }
+}
+
+#[test]
+fn hooks_fire_per_lifecycle_event() {
+    let ckpts: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let restarts: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let (c2, r2) = (ckpts.clone(), restarts.clone());
+    let session = ManaSession::builder()
+        .store(InMemStore::new())
+        .on_checkpoint(move |e| c2.lock().push((e.incarnation, e.report.ckpt_id)))
+        .on_restart(move |e| {
+            assert!(e.report.total >= SimDuration::ZERO);
+            r2.lock().push(e.incarnation)
+        })
+        .build();
+
+    let mid = midpoint(&session); // incarnation 0 (probe)
+    let killed = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app()) // incarnation 1
+        .expect("checkpoint run");
+    assert_eq!(*ckpts.lock(), vec![(1, 1)]);
+    assert!(restarts.lock().is_empty());
+
+    let resumed = killed.restart_on(JobBuilder::new()).expect("restart"); // incarnation 2
+    assert_eq!(*restarts.lock(), vec![2]);
+    assert_eq!(resumed.index(), 2);
+
+    // Session-wide stats aggregate the chain.
+    assert_eq!(session.checkpoints().len(), 1);
+    assert_eq!(session.restarts().len(), 1);
+}
+
+#[test]
+fn restart_without_checkpoint_is_a_typed_error() {
+    let session = mem_session();
+    let clean = session.run(base_job(), app()).expect("clean run");
+    assert!(clean.latest_checkpoint().is_none());
+    match clean.restart_on(JobBuilder::new()) {
+        Err(SessionError::NoCheckpoint { incarnation }) => assert_eq!(incarnation, 0),
+        other => panic!("expected NoCheckpoint, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn missing_image_is_a_typed_error() {
+    let session = mem_session();
+    match session.restart(99, base_job(), app()) {
+        Err(SessionError::Mana(ManaError::MissingImage {
+            rank,
+            ckpt_id,
+            path,
+            ..
+        })) => {
+            assert_eq!(rank, 0);
+            assert_eq!(ckpt_id, 99);
+            assert!(path.contains("ckpt_99"), "{path}");
+        }
+        other => panic!("expected MissingImage, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn world_size_mismatch_is_a_typed_error() {
+    let session = mem_session();
+    let mid = midpoint(&session);
+    let killed = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app())
+        .expect("checkpoint run");
+    // Elastic *placement* is fine, but changing the world size is not:
+    // MANA pins it in the image (paper §2.1).
+    match session.restart(1, base_job().ranks(8), app()) {
+        Err(SessionError::Mana(ManaError::WorldSizeMismatch { image, requested })) => {
+            assert_eq!(image, 4);
+            assert_eq!(requested, 8);
+        }
+        other => panic!("expected WorldSizeMismatch, got {:?}", other.map(|_| ())),
+    }
+    drop(killed);
+}
+
+#[test]
+fn corrupt_image_is_a_typed_error() {
+    let session = mem_session();
+    let mid = midpoint(&session);
+    let killed = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app())
+        .expect("checkpoint run");
+    // Vandalize rank 2's image in the store.
+    let path = &killed.checkpoint_images()[0].paths[2];
+    let shape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+    let (bytes, _) = session.store().get(path, 2, shape).expect("stored image");
+    let mut bad = (*bytes).clone();
+    bad[0] ^= 0xFF; // break the magic
+    session.store().put(path, bad, 1, 2, shape);
+
+    match killed.restart_on(JobBuilder::new()) {
+        Err(SessionError::Mana(ManaError::CorruptImage { rank, path: p, .. })) => {
+            assert_eq!(rank, 2);
+            assert_eq!(&p, path);
+        }
+        other => panic!("expected CorruptImage, got {:?}", other.map(|_| ())),
+    }
+}
+
+#[test]
+fn checkpoint_ids_are_unique_across_the_chain() {
+    // Two checkpointing incarnations sharing one directory: the session
+    // assigns chain-unique ids, so the first incarnation's images are
+    // still addressable after the second one checkpoints.
+    let session = mem_session();
+    let mid = midpoint(&session);
+    let first = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app())
+        .expect("first checkpoint run");
+    // Probe the restarted run to land the second checkpoint mid-way
+    // through the *resumed* half.
+    let probe = first.restart_on(JobBuilder::new()).expect("restart probe");
+    let mid2 = SimTime(probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2);
+    let second = first
+        .restart_on(JobBuilder::new().checkpoint_at(mid2).then_kill())
+        .expect("second checkpoint run");
+    assert!(second.killed());
+
+    let (id1, id2) = (
+        first.latest_checkpoint().unwrap(),
+        second.latest_checkpoint().unwrap(),
+    );
+    assert_ne!(id1, id2, "checkpoint ids collided across incarnations");
+    // Both generations' images coexist in the store.
+    for inc in [&first, &second] {
+        for p in &inc.checkpoint_images()[0].paths {
+            assert!(session.store().exists(p), "missing image {p}");
+        }
+    }
+    // And the older generation is still restartable by id.
+    let resumed = session
+        .restart(id1, base_job(), app())
+        .expect("restart from first generation");
+    assert!(!resumed.killed());
+}
+
+#[test]
+fn sessions_share_store_across_clones() {
+    let session = mem_session();
+    let clone = session.clone();
+    let mid = midpoint(&session);
+    let killed = session
+        .run(base_job().checkpoint_at(mid).then_kill(), app())
+        .expect("checkpoint run");
+    // The clone sees the same store and stats.
+    assert!(!clone.store().list().is_empty());
+    assert_eq!(clone.checkpoints().len(), 1);
+    drop(killed);
+}

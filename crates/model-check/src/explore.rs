@@ -1,7 +1,7 @@
 //! Breadth-first exhaustive exploration of the protocol state space.
 
 use crate::spec::Spec;
-use crate::state::{CMsg, CPhase, RMsg, ReplyKind, RPhase, State};
+use crate::state::{CMsg, CPhase, RMsg, RPhase, ReplyKind, State};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// A property violation, with a human-readable description.
@@ -238,7 +238,9 @@ fn round_unsafe(spec: &Spec, replies: &[Option<RMsg>]) -> bool {
         })
         .collect();
     if spec.rule.reject_exit_phase2
-        && states.iter().any(|(k, _)| matches!(k, ReplyKind::ExitPhase2))
+        && states
+            .iter()
+            .any(|(k, _)| matches!(k, ReplyKind::ExitPhase2))
     {
         return true;
     }
@@ -278,8 +280,10 @@ fn cut_violation(spec: &Spec, s: &State) -> Option<Violation> {
             let mut after = false;
             for r in members {
                 let pc = s.ranks[*r].ckpt_pc.expect("all ranks checkpointed");
-                let done_on_comm =
-                    spec.programs[*r][..pc].iter().filter(|c| **c == comm).count();
+                let done_on_comm = spec.programs[*r][..pc]
+                    .iter()
+                    .filter(|c| **c == comm)
+                    .count();
                 if done_on_comm > seq {
                     after = true;
                 } else {

@@ -65,9 +65,9 @@ impl Spec {
         Spec {
             comms: vec![vec![0, 1, 2], vec![0, 1], vec![1, 2]],
             programs: vec![
-                vec![1, 0], // rank 0: comm {0,1}, then world
+                vec![1, 0],    // rank 0: comm {0,1}, then world
                 vec![1, 2, 0], // rank 1: both subcomms, then world
-                vec![2, 0], // rank 2: comm {1,2}, then world
+                vec![2, 0],    // rank 2: comm {1,2}, then world
             ],
             rule: CoordRule::full(),
         }
@@ -76,7 +76,10 @@ impl Spec {
     /// Instance id of rank `r`'s `pc`-th collective: (comm, per-comm seq).
     pub fn instance_of(&self, r: usize, pc: usize) -> (usize, usize) {
         let comm = self.programs[r][pc];
-        let seq = self.programs[r][..pc].iter().filter(|c| **c == comm).count();
+        let seq = self.programs[r][..pc]
+            .iter()
+            .filter(|c| **c == comm)
+            .count();
         (comm, seq)
     }
 
@@ -94,7 +97,10 @@ impl Spec {
             );
             for (r, prog) in self.programs.iter().enumerate() {
                 if prog.contains(&c) {
-                    assert!(members.contains(&r), "rank {r} uses comm {c} but is not a member");
+                    assert!(
+                        members.contains(&r),
+                        "rank {r} uses comm {c} but is not a member"
+                    );
                 }
             }
         }

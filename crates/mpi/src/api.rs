@@ -54,11 +54,22 @@ pub trait Mpi: Send + Sync {
     /// been matched/acknowledged by the receiver side).
     fn send(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle);
     /// Blocking receive.
-    fn recv(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle)
-        -> (Vec<u8>, Status);
+    fn recv(
+        &self,
+        t: &SimThread,
+        src: SrcSpec,
+        tag: TagSpec,
+        comm: CommHandle,
+    ) -> (Vec<u8>, Status);
     /// Nonblocking send.
-    fn isend(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle)
-        -> ReqHandle;
+    fn isend(
+        &self,
+        t: &SimThread,
+        msg: Msg<'_>,
+        dst: Rank,
+        tag: Tag,
+        comm: CommHandle,
+    ) -> ReqHandle;
     /// Nonblocking receive (matching occurs at wait/test time).
     fn irecv(&self, t: &SimThread, src: SrcSpec, tag: TagSpec, comm: CommHandle) -> ReqHandle;
     /// Block until `req` completes; receive-like requests return payload.
@@ -102,8 +113,13 @@ pub trait Mpi: Send + Sync {
         comm: CommHandle,
     ) -> Vec<u8>;
     /// Gather; `root` receives per-rank contributions in rank order.
-    fn gather(&self, t: &SimThread, contrib: &[u8], root: Rank, comm: CommHandle)
-        -> Option<Vec<Vec<u8>>>;
+    fn gather(
+        &self,
+        t: &SimThread,
+        contrib: &[u8],
+        root: Rank,
+        comm: CommHandle,
+    ) -> Option<Vec<Vec<u8>>>;
     /// Allgather.
     fn allgather(&self, t: &SimThread, contrib: &[u8], comm: CommHandle) -> Vec<Vec<u8>>;
     /// Scatter; `root` supplies one part per rank.
@@ -191,8 +207,13 @@ pub trait Mpi: Send + Sync {
     /// `MPI_Type_contiguous`.
     fn type_contiguous(&self, count: u32, inner: DtypeHandle) -> DtypeHandle;
     /// `MPI_Type_vector`.
-    fn type_vector(&self, count: u32, blocklen: u32, stride: u32, inner: DtypeHandle)
-        -> DtypeHandle;
+    fn type_vector(
+        &self,
+        count: u32,
+        blocklen: u32,
+        stride: u32,
+        inner: DtypeHandle,
+    ) -> DtypeHandle;
     /// Packed size in bytes.
     fn type_size(&self, dtype: DtypeHandle) -> u64;
     /// Structural definition (extension used by MANA's replay log).

@@ -140,6 +140,7 @@ impl CollEngine {
     /// Register `me`'s arrival at collective `(ctx, seq)` with `contrib`.
     /// Nonblocking: completion is observed via [`CollEngine::poll`] or
     /// [`CollEngine::wait`].
+    #[allow(clippy::too_many_arguments)]
     pub fn arrive(
         &self,
         ctx: u64,
@@ -180,8 +181,11 @@ impl CollEngine {
                 .max()
                 .unwrap_or(0);
             let cost = algo_cost(kind, slot.size, max_bytes, &self.link, profile);
-            let contribs: Vec<Contrib> =
-                slot.contribs.iter_mut().map(|c| c.take().expect("full")).collect();
+            let contribs: Vec<Contrib> = slot
+                .contribs
+                .iter_mut()
+                .map(|c| c.take().expect("full"))
+                .collect();
             let out = combine(kind, contribs, slot.size);
             slot.outcome = Some((self.sim.now() + cost, Arc::new(out)));
             let waiters = std::mem::take(&mut slot.waiters);
@@ -213,7 +217,9 @@ impl CollEngine {
             crate::p2p::abort_point(&self.abort);
             {
                 let mut slots = self.slots.lock();
-                let slot = slots.get_mut(&(ctx, seq)).expect("waiting on unknown collective");
+                let slot = slots
+                    .get_mut(&(ctx, seq))
+                    .expect("waiting on unknown collective");
                 if let Some((release, _)) = &slot.outcome {
                     break *release;
                 }
@@ -236,8 +242,15 @@ impl CollEngine {
     /// after the last member leaves.
     pub fn take(&self, ctx: u64, seq: u64) -> Arc<Output> {
         let mut slots = self.slots.lock();
-        let slot = slots.get_mut(&(ctx, seq)).expect("taking unknown collective");
-        let out = slot.outcome.as_ref().expect("taking incomplete collective").1.clone();
+        let slot = slots
+            .get_mut(&(ctx, seq))
+            .expect("taking unknown collective");
+        let out = slot
+            .outcome
+            .as_ref()
+            .expect("taking incomplete collective")
+            .1
+            .clone();
         slot.taken += 1;
         if slot.taken == slot.size {
             slots.remove(&(ctx, seq));

@@ -84,7 +84,10 @@ pub struct CommInfo {
 impl CommInfo {
     /// Comm-local rank of global `rank`, if a member.
     pub fn local_rank(&self, rank: Rank) -> Option<u32> {
-        self.members.iter().position(|m| *m == rank).map(|i| i as u32)
+        self.members
+            .iter()
+            .position(|m| *m == rank)
+            .map(|i| i as u32)
     }
 
     /// Size of the communicator.
@@ -229,7 +232,7 @@ pub fn dims_create(nranks: u32, ndims: u32) -> Vec<u32> {
     let mut n = rem;
     let mut f = 2;
     while f * f <= n {
-        while n % f == 0 {
+        while n.is_multiple_of(f) {
             factors.push(f);
             n /= f;
         }

@@ -221,6 +221,9 @@ impl MpiJob {
     }
 }
 
+/// Per-rank body executed by [`launch_native`] / [`run_native`].
+pub type RankBody = Arc<dyn Fn(&SimThread, &dyn Mpi, u32) + Send + Sync>;
+
 /// Spawn `nranks` rank threads each running `body(thread, mpi, rank)` over
 /// a freshly initialized library — the "mpirun" of the substrate. Returns
 /// the job; the caller drives `sim.run()`.
@@ -230,7 +233,7 @@ pub fn launch_native(
     nranks: u32,
     placement: Placement,
     profile: MpiProfile,
-    body: Arc<dyn Fn(&SimThread, &dyn Mpi, u32) + Send + Sync>,
+    body: RankBody,
 ) -> Arc<MpiJob> {
     let job = MpiJob::new(sim, cluster, nranks, placement, profile);
     for rank in 0..nranks {
@@ -254,7 +257,7 @@ pub fn run_native(
     placement: Placement,
     profile: MpiProfile,
     seed: u64,
-    body: Arc<dyn Fn(&SimThread, &dyn Mpi, u32) + Send + Sync>,
+    body: RankBody,
 ) -> SimDuration {
     let sim = Sim::new(mana_sim::sched::SimConfig {
         seed,

@@ -28,7 +28,7 @@ pub mod wire;
 pub use api::{Mpi, TestResult};
 pub use comm::{dims_create, CartTopo, CommInfo, WORLD_CTX};
 pub use dtype::{BaseType, DtypeDef};
-pub use job::{launch_native, run_native, MpiJob};
+pub use job::{launch_native, run_native, MpiJob, RankBody};
 pub use p2p::MpiAborted;
 pub use profile::MpiProfile;
 pub use rank::COMM_NULL;

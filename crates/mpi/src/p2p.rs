@@ -106,7 +106,8 @@ impl P2pEngine {
     }
 
     fn link_for(&self, a: Rank, b: Rank) -> LinkModel {
-        let intra = self.net.node_of(self.eps[a as usize]) == self.net.node_of(self.eps[b as usize]);
+        let intra =
+            self.net.node_of(self.eps[a as usize]) == self.net.node_of(self.eps[b as usize]);
         LinkModel::for_path(self.fabric, intra)
     }
 
@@ -144,6 +145,7 @@ impl P2pEngine {
     }
 
     /// Blocking send from global rank `from` to global rank `to`.
+    #[allow(clippy::too_many_arguments)]
     pub fn send(
         &self,
         t: &SimThread,
@@ -181,6 +183,7 @@ impl P2pEngine {
 
     /// Nonblocking send; returns a rendezvous token to wait on, or `None`
     /// if the send completed eagerly.
+    #[allow(clippy::too_many_arguments)]
     pub fn isend(
         &self,
         t: &SimThread,
@@ -248,8 +251,9 @@ impl P2pEngine {
         let msg = loop {
             abort_point(&self.abort);
             self.pump(me);
-            if let Some(m) = self.take_match(me, |a| src.matches(a.src) && tag.matches(a.tag) && a.ctx == ctx)
-            {
+            if let Some(m) = self.take_match(me, |a| {
+                src.matches(a.src) && tag.matches(a.tag) && a.ctx == ctx
+            }) {
                 break m;
             }
             t.block();
@@ -275,8 +279,9 @@ impl P2pEngine {
         ctx: u64,
     ) -> Option<(Vec<u8>, Status)> {
         self.pump(me);
-        let msg =
-            self.take_match(me, |a| src.matches(a.src) && tag.matches(a.tag) && a.ctx == ctx)?;
+        let msg = self.take_match(me, |a| {
+            src.matches(a.src) && tag.matches(a.tag) && a.ctx == ctx
+        })?;
         self.finish_match(t, me, &msg);
         let status = Status {
             source: msg.src,

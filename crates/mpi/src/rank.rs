@@ -28,9 +28,18 @@ const DEBUG_LOG_CAP: usize = 100_000;
 
 enum ReqState {
     SendDone,
-    SendRendezvous { token: u64 },
-    Recv { src: SrcSpec, tag: TagSpec, ctx: u64 },
-    Coll { ctx: u64, seq: u64 },
+    SendRendezvous {
+        token: u64,
+    },
+    Recv {
+        src: SrcSpec,
+        tag: TagSpec,
+        ctx: u64,
+    },
+    Coll {
+        ctx: u64,
+        seq: u64,
+    },
 }
 
 struct RankSt {
@@ -186,9 +195,15 @@ impl RankMpi {
             .comm_local(info)
             .unwrap_or_else(|| panic!("rank {} not in communicator ctx {}", self.rank, info.ctx));
         let seq = self.next_seq(info.ctx);
-        self.job
-            .coll()
-            .arrive(info.ctx, seq, me, info.size(), kind, contrib, self.job.profile());
+        self.job.coll().arrive(
+            info.ctx,
+            seq,
+            me,
+            info.size(),
+            kind,
+            contrib,
+            self.job.profile(),
+        );
         self.job.coll().wait(t, info.ctx, seq)
     }
 
@@ -263,7 +278,14 @@ impl Mpi for RankMpi {
         (data, self.translate_status(&info, status))
     }
 
-    fn isend(&self, t: &SimThread, msg: Msg<'_>, dst: Rank, tag: Tag, comm: CommHandle) -> ReqHandle {
+    fn isend(
+        &self,
+        t: &SimThread,
+        msg: Msg<'_>,
+        dst: Rank,
+        tag: Tag,
+        comm: CommHandle,
+    ) -> ReqHandle {
         self.enter(t, "MPI_Isend");
         let info = self.comm_info(comm);
         let dst_g = info.members[dst as usize];
@@ -549,8 +571,7 @@ impl Mpi for RankMpi {
         let info = self.comm_info(comm);
         let me = self.comm_local(&info).expect("in comm");
         assert_eq!(parts.len() as u32, info.size(), "alltoall parts != size");
-        let out =
-            self.blocking_collective(t, &info, CollKind::Alltoall, Contrib::Parts(parts));
+        let out = self.blocking_collective(t, &info, CollKind::Alltoall, Contrib::Parts(parts));
         match &*out {
             Output::PerRankParts(all) => all[me as usize].clone(),
             other => panic!("bad alltoall output {other:?}"),

@@ -18,7 +18,8 @@ fn run_collect(
         + 'static,
 ) -> Vec<Vec<u8>> {
     let sim = Sim::new(SimConfig::default());
-    let results: Arc<Mutex<Vec<(u32, Vec<u8>)>>> = Arc::new(Mutex::new(Vec::new()));
+    type RankOutputs = Arc<Mutex<Vec<(u32, Vec<u8>)>>>;
+    let results: RankOutputs = Arc::new(Mutex::new(Vec::new()));
     let r2 = results.clone();
     launch_native(
         &sim,

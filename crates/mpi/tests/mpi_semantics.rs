@@ -4,7 +4,7 @@
 //! claim would be vacuous.
 
 use mana_mpi::{
-    dims_create, launch_native, BaseType, Msg, MpiProfile, ReduceOp, SrcSpec, TagSpec, TestResult,
+    dims_create, launch_native, BaseType, MpiProfile, Msg, ReduceOp, SrcSpec, TagSpec, TestResult,
 };
 use mana_sim::cluster::{ClusterSpec, Placement};
 use mana_sim::sched::{Sim, SimConfig};
@@ -73,9 +73,7 @@ fn wildcard_receive_and_probe() {
                 seen[st.source as usize] = true;
             }
             assert!(seen[1] && seen[2]);
-            assert!(mpi
-                .iprobe(t, SrcSpec::Any, TagSpec::Any, world)
-                .is_none());
+            assert!(mpi.iprobe(t, SrcSpec::Any, TagSpec::Any, world).is_none());
         } else {
             mpi.send(t, Msg::real(&[r as u8]), 0, 10 + r as i32, world);
         }

@@ -119,7 +119,10 @@ mod tests {
         ] {
             assert_eq!(LinkModel::for_path(kind, true).name, "shm");
         }
-        assert_eq!(LinkModel::for_path(InterconnectKind::Tcp, false).name, "tcp");
+        assert_eq!(
+            LinkModel::for_path(InterconnectKind::Tcp, false).name,
+            "tcp"
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides just the little-endian cursor API the checkpoint-image codec
+//! uses: `BytesMut` + `BufMut` for encoding, `Bytes` + `Buf` for decoding.
+
+/// Read side of a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`. Panics if short.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `i32`. Panics if short.
+    fn get_i32_le(&mut self) -> i32;
+    /// Read a little-endian `u64`. Panics if short.
+    fn get_u64_le(&mut self) -> u64;
+    /// Fill `dst` from the cursor. Panics if short.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+/// Write side of a growable byte buffer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a slice.
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+/// Growable byte buffer.
+#[derive(Default, Clone, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Fresh empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out as a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_slice(&mut self, v: &[u8]) {
+        self.data.extend_from_slice(v);
+    }
+}
+
+/// Immutable byte cursor.
+#[derive(Clone, Debug)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copy `data` into a fresh cursor positioned at the start.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(self.pos + n <= self.data.len(), "advance past end of Bytes");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let n = dst.len();
+        dst.copy_from_slice(self.take(n));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xAABB_CCDD);
+        w.put_i32_le(-5);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_slice(b"xyz");
+        assert_eq!(w.len(), 1 + 4 + 4 + 8 + 3);
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xAABB_CCDD);
+        assert_eq!(r.get_i32_le(), -5);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        let mut buf = [0u8; 3];
+        r.copy_to_slice(&mut buf);
+        assert_eq!(&buf, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+}

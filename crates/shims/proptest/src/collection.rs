@@ -1,0 +1,117 @@
+//! Collection strategies: `vec` and `hash_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Range;
+
+/// Size specifications accepted by collection strategies: an exact `usize`
+/// or a half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Draw a size.
+    fn sample_size(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_size(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_size(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// Strategy producing `Vec<S::Value>`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// `Vec` strategy with element strategy and size spec.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample_size(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy producing `HashSet<S::Value>`.
+pub struct HashSetStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+/// `HashSet` strategy with element strategy and size spec.
+pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: IntoSizeRange,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S, R> Strategy for HashSetStrategy<S, R>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+    R: IntoSizeRange,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let n = self.size.sample_size(rng);
+        let mut set = HashSet::with_capacity(n);
+        // Cap attempts so narrow element domains terminate with a smaller
+        // set rather than spinning.
+        let mut attempts = 10 * n + 100;
+        while set.len() < n && attempts > 0 {
+            set.insert(self.element.sample(rng));
+            attempts -= 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_sizes() {
+        let mut rng = TestRng::for_test("vec");
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 0..5).sample(&mut rng);
+            assert!(v.len() < 5);
+            let exact = vec(any::<u8>(), 3usize).sample(&mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn hash_set_reaches_size() {
+        let mut rng = TestRng::for_test("hs");
+        let s = hash_set(any::<u64>(), 1..64).sample(&mut rng);
+        assert!(!s.is_empty() && s.len() < 64);
+    }
+
+    #[test]
+    fn nested_vec() {
+        let mut rng = TestRng::for_test("nested");
+        let v = vec(vec(-1e6f64..1e6, 4usize), 2..7).sample(&mut rng);
+        assert!((2..7).contains(&v.len()));
+        for inner in v {
+            assert_eq!(inner.len(), 4);
+        }
+    }
+}

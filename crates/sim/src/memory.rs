@@ -534,18 +534,13 @@ impl AddressSpace {
         Ok(*start)
     }
 
-    fn dense_window<'a>(
-        inner: &'a Inner,
-        addr: u64,
-        len: u64,
-        align: u64,
-    ) -> Result<&'a [u8], MemError> {
+    fn dense_window(inner: &Inner, addr: u64, len: u64, align: u64) -> Result<&[u8], MemError> {
         let start = Self::locate(inner, addr, len)?;
         let r = &inner.regions[&start];
         match &r.backing {
             Backing::Dense(b) => {
                 let off = (addr - r.start) as usize;
-                if off as u64 % align != 0 {
+                if !(off as u64).is_multiple_of(align) {
                     return Err(MemError::Misaligned(addr));
                 }
                 Ok(&b.as_bytes()[off..off + len as usize])
@@ -554,18 +549,18 @@ impl AddressSpace {
         }
     }
 
-    fn dense_window_mut<'a>(
-        inner: &'a mut Inner,
+    fn dense_window_mut(
+        inner: &mut Inner,
         addr: u64,
         len: u64,
         align: u64,
-    ) -> Result<&'a mut [u8], MemError> {
+    ) -> Result<&mut [u8], MemError> {
         let start = Self::locate(inner, addr, len)?;
         let r = inner.regions.get_mut(&start).expect("located region");
         match &mut r.backing {
             Backing::Dense(b) => {
                 let off = (addr - r.start) as usize;
-                if off as u64 % align != 0 {
+                if !(off as u64).is_multiple_of(align) {
                     return Err(MemError::Misaligned(addr));
                 }
                 Ok(&mut b.as_bytes_mut()[off..off + len as usize])
@@ -641,7 +636,11 @@ impl AddressSpace {
             std::mem::align_of::<C>() as u64,
         )?;
         let (sa, sb, sc) = unsafe { (&mut *pa, &mut *pb, &mut *pc) };
-        Ok(f(cast_slice_mut(sa), cast_slice_mut(sb), cast_slice_mut(sc)))
+        Ok(f(
+            cast_slice_mut(sa),
+            cast_slice_mut(sb),
+            cast_slice_mut(sc),
+        ))
     }
 
     /// Current upper mmap arena cursor (saved in checkpoint images so that
@@ -664,8 +663,7 @@ impl AddressSpace {
     /// Copy bytes into a dense region.
     pub fn write_bytes(&self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         let mut inner = self.inner.lock();
-        Self::dense_window_mut(&mut inner, addr, bytes.len() as u64, 1)?
-            .copy_from_slice(bytes);
+        Self::dense_window_mut(&mut inner, addr, bytes.len() as u64, 1)?.copy_from_slice(bytes);
         Ok(())
     }
 
@@ -735,7 +733,9 @@ impl AddressSpace {
             SnapshotContent::Dense(bytes) => Backing::Dense(DenseBuf::from_bytes(bytes)),
             SnapshotContent::Pattern { seed } => Backing::Pattern { seed: *seed },
         };
-        self.map_fixed(snap.start, snap.half, snap.kind, &snap.name, snap.len, backing)
+        self.map_fixed(
+            snap.start, snap.half, snap.kind, &snap.name, snap.len, backing,
+        )
     }
 
     /// Order-sensitive checksum over all regions of `half` (dense content by
@@ -785,10 +785,22 @@ mod tests {
     #[test]
     fn halves_are_disjoint_and_discardable() {
         let a = AddressSpace::new();
-        a.map(Half::Lower, RegionKind::Text, "libmpi.so", 26 << 20, Backing::Pattern { seed: 1 })
-            .unwrap();
-        a.map(Half::Lower, RegionKind::Shm, "xpmem", 2 << 20, Backing::Pattern { seed: 2 })
-            .unwrap();
+        a.map(
+            Half::Lower,
+            RegionKind::Text,
+            "libmpi.so",
+            26 << 20,
+            Backing::Pattern { seed: 1 },
+        )
+        .unwrap();
+        a.map(
+            Half::Lower,
+            RegionKind::Shm,
+            "xpmem",
+            2 << 20,
+            Backing::Pattern { seed: 2 },
+        )
+        .unwrap();
         let up = a
             .map(Half::Upper, RegionKind::Mmap, "state", 128, dense(128))
             .unwrap();
@@ -809,8 +821,14 @@ mod tests {
             .map(Half::Upper, RegionKind::Mmap, "data", 32, dense(32))
             .unwrap();
         a.write_bytes(addr, &[7u8; 32]).unwrap();
-        a.map(Half::Upper, RegionKind::Mmap, "bulk", 1 << 20, Backing::Pattern { seed: 9 })
-            .unwrap();
+        a.map(
+            Half::Upper,
+            RegionKind::Mmap,
+            "bulk",
+            1 << 20,
+            Backing::Pattern { seed: 9 },
+        )
+        .unwrap();
         let before = a.checksum_half(Half::Upper);
         let snaps = a.snapshot_half(Half::Upper);
         assert_eq!(snaps.len(), 2);
@@ -826,15 +844,29 @@ mod tests {
     #[test]
     fn overlap_rejected() {
         let a = AddressSpace::new();
-        a.map_fixed(0x1000, Half::Upper, RegionKind::Data, "a", 4096, dense(4096))
-            .unwrap();
+        a.map_fixed(
+            0x1000,
+            Half::Upper,
+            RegionKind::Data,
+            "a",
+            4096,
+            dense(4096),
+        )
+        .unwrap();
         let err = a
             .map_fixed(0x1800, Half::Upper, RegionKind::Data, "b", 16, dense(16))
             .unwrap_err();
         assert!(matches!(err, MemError::Collision { .. }));
         // Also when the new region would swallow an existing one.
         let err = a
-            .map_fixed(0x0800, Half::Upper, RegionKind::Data, "c", 8192, dense(8192))
+            .map_fixed(
+                0x0800,
+                Half::Upper,
+                RegionKind::Data,
+                "c",
+                8192,
+                dense(8192),
+            )
             .unwrap_err();
         assert!(matches!(err, MemError::Collision { .. }));
     }
@@ -869,12 +901,15 @@ mod tests {
     fn pattern_regions_not_dense() {
         let a = AddressSpace::new();
         let addr = a
-            .map(Half::Upper, RegionKind::Mmap, "bulk", 4096, Backing::Pattern { seed: 3 })
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "bulk",
+                4096,
+                Backing::Pattern { seed: 3 },
+            )
             .unwrap();
-        assert_eq!(
-            a.read_bytes(addr, 8).unwrap_err(),
-            MemError::NotDense(addr)
-        );
+        assert_eq!(a.read_bytes(addr, 8).unwrap_err(), MemError::NotDense(addr));
     }
 
     #[test]
@@ -887,10 +922,22 @@ mod tests {
     #[test]
     fn kind_accounting() {
         let a = AddressSpace::new();
-        a.map(Half::Lower, RegionKind::Text, "t", 100, Backing::Pattern { seed: 0 })
-            .unwrap();
-        a.map(Half::Lower, RegionKind::Shm, "s", 200, Backing::Pattern { seed: 0 })
-            .unwrap();
+        a.map(
+            Half::Lower,
+            RegionKind::Text,
+            "t",
+            100,
+            Backing::Pattern { seed: 0 },
+        )
+        .unwrap();
+        a.map(
+            Half::Lower,
+            RegionKind::Shm,
+            "s",
+            200,
+            Backing::Pattern { seed: 0 },
+        )
+        .unwrap();
         assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Text), 100);
         assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Shm), 200);
         assert_eq!(a.bytes_of_kind(Half::Upper, RegionKind::Text), 0);

@@ -93,8 +93,7 @@ mod tests {
         floats[0] = 1.25;
         floats[3] = -7.5;
         // SAFETY: as above.
-        let ro_bytes: &[u8] =
-            unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), 32) };
+        let ro_bytes: &[u8] = unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), 32) };
         let ro = cast_slice::<f64>(ro_bytes);
         assert_eq!(ro[0], 1.25);
         assert_eq!(ro[3], -7.5);
@@ -103,7 +102,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a multiple")]
     fn bad_length_panics() {
-        let words = vec![0u64; 1];
+        let words = [0u64; 1];
         // SAFETY: aligned u64 buffer viewed as 7 bytes (not a u64 multiple).
         let b: &[u8] = unsafe { std::slice::from_raw_parts(words.as_ptr().cast(), 7) };
         let _ = cast_slice::<u64>(b);

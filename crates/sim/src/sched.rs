@@ -275,7 +275,10 @@ impl Sim {
             (id, gate)
         };
         let sim = self.clone();
-        let ctx = SimThread { sim: sim.clone(), id };
+        let ctx = SimThread {
+            sim: sim.clone(),
+            id,
+        };
         let handle = std::thread::Builder::new()
             .name(format!("sim-{name}"))
             .stack_size(self.inner.stack_size)

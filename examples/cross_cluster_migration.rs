@@ -4,16 +4,18 @@
 //! cluster — Open MPI over InfiniBand, 16-core nodes, different
 //! rank-to-node binding — where it finishes with bit-identical results.
 //!
+//! With the session API the migration itself is a three-step chain: run
+//! with a kill-after-checkpoint schedule, then `restart_on` a builder that
+//! names only what changes.
+//!
 //! ```sh
 //! cargo run --release --example cross_cluster_migration
 //! ```
 
 use mana::apps::Gromacs;
-use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::core::{JobBuilder, ManaSession};
 use mana::mpi::MpiProfile;
 use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
 use mana::sim::time::SimTime;
 use std::sync::Arc;
 
@@ -28,37 +30,38 @@ fn gromacs() -> Arc<Gromacs> {
 }
 
 fn main() {
-    let fs = ParallelFs::new(Default::default());
+    let session = ManaSession::new();
 
     // Reference: the uninterrupted run on Cori.
     let cori = ClusterSpec::cori(4);
-    println!("source cluster:  {} ({} nodes x {} cores, {:?} network, {})",
-        cori.name, cori.nodes, cori.cores_per_node, cori.interconnect,
-        MpiProfile::cray_mpich().name);
-    let clean_spec = ManaJobSpec {
-        cluster: cori.clone(),
-        nranks: 8,
-        placement: Placement::RoundRobin, // 2 ranks per node, as in the paper
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 99,
+    println!(
+        "source cluster:  {} ({} nodes x {} cores, {:?} network, {})",
+        cori.name,
+        cori.nodes,
+        cori.cores_per_node,
+        cori.interconnect,
+        MpiProfile::cray_mpich().name
+    );
+    let source_job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(4))
+            .ranks(8)
+            .placement(Placement::RoundRobin) // 2 ranks per node, as in the paper
+            .profile(MpiProfile::cray_mpich())
+            .seed(99)
     };
-    let (clean, _) = run_mana_app(&fs, &clean_spec, gromacs());
-    println!("uninterrupted run completes in {} (app {})\n", clean.wall, clean.app_wall);
+    let clean = session.run(source_job(), gromacs()).expect("clean run");
+    let (wall, app_wall) = (clean.outcome().wall, clean.outcome().app_wall);
+    println!("uninterrupted run completes in {wall} (app {app_wall})\n");
 
-    // Checkpoint at the halfway mark, then the job is killed (e.g. the
-    // allocation expired).
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_times: vec![SimTime(clean.wall.as_nanos() - clean.app_wall.as_nanos() / 2)],
-            after_last_ckpt: AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        ..clean_spec
-    };
-    let (killed, hub) = run_mana_app(&fs, &spec, gromacs());
-    assert!(killed.killed);
-    let report = &hub.ckpts()[0];
+    // The migration chain. Step 1: checkpoint at the halfway mark, then
+    // the job is killed (e.g. the allocation expired).
+    let halfway = SimTime(wall.as_nanos() - app_wall.as_nanos() / 2);
+    let killed = session
+        .run(source_job().checkpoint_at(halfway).then_kill(), gromacs())
+        .expect("checkpoint-and-kill run");
+    assert!(killed.killed());
+    let report = &killed.ckpts()[0];
     println!(
         "checkpointed at the halfway mark: {} MB per rank, total ckpt time {}",
         report.max_image_bytes() >> 20,
@@ -66,32 +69,42 @@ fn main() {
     );
     println!("job killed (allocation expired / migrating to another site)\n");
 
-    // Restart on the local cluster: different MPI implementation, network,
-    // node size and rank binding. No application involvement whatsoever.
+    // Step 2: restart on the local cluster — different MPI implementation,
+    // network, node size and rank binding. Everything else (ranks, seed,
+    // checkpoint directory) is inherited from the killed incarnation.
     let local = ClusterSpec::local_cluster(2);
-    println!("destination:     {} ({} nodes x {} cores, {:?} network, {})",
-        local.name, local.nodes, local.cores_per_node, local.interconnect,
-        MpiProfile::open_mpi().name);
-    let restart_spec = ManaJobSpec {
-        cluster: local.clone(),
-        nranks: 8,
-        placement: Placement::Block, // 4 ranks per node now
-        profile: MpiProfile::open_mpi(),
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 99,
-    };
-    let (resumed, _, restart_report) = run_restart_app(&fs, 1, &restart_spec, gromacs());
-    assert!(!resumed.killed);
+    println!(
+        "destination:     {} ({} nodes x {} cores, {:?} network, {})",
+        local.name,
+        local.nodes,
+        local.cores_per_node,
+        local.interconnect,
+        MpiProfile::open_mpi().name
+    );
+    let resumed = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(local)
+                .placement(Placement::Block) // 4 ranks per node now
+                .profile(MpiProfile::open_mpi()),
+        )
+        .expect("restart on destination");
+    assert!(!resumed.killed());
+    let restart_report = resumed.restart_report().expect("restart stats");
     println!(
         "restart: read {}  replay {}  total-to-resume {}",
         restart_report.max_read(),
         restart_report.max_replay(),
         restart_report.total
     );
-    println!("second half finishes on the destination in {}\n", resumed.app_wall);
+    println!(
+        "second half finishes on the destination in {}\n",
+        resumed.outcome().app_wall
+    );
 
     assert_eq!(
-        clean.checksums, resumed.checksums,
+        clean.checksums(),
+        resumed.checksums(),
         "migrated computation diverged"
     );
     println!("result check: all 8 ranks' final states are bit-identical to the");

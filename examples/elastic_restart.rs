@@ -2,18 +2,17 @@
 //! MANA boots a *fresh* MPI session at restart, the same checkpoint can be
 //! restarted on 1, 2 or 4 nodes, with any ranks-per-node binding — the new
 //! MPI library re-detects the topology and re-optimizes rank-to-host
-//! bindings with no extra logic.
+//! bindings with no extra logic. One killed incarnation fans out into
+//! three `restart_on` calls with different cluster shapes.
 //!
 //! ```sh
 //! cargo run --release --example elastic_restart
 //! ```
 
 use mana::apps::Lulesh;
-use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::core::{JobBuilder, ManaSession};
 use mana::mpi::MpiProfile;
 use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
 use mana::sim::time::SimTime;
 use std::sync::Arc;
 
@@ -26,55 +25,60 @@ fn app() -> Arc<Lulesh> {
 }
 
 fn main() {
-    let fs = ParallelFs::new(Default::default());
-    let cori = ClusterSpec::cori(4);
-    let clean_spec = ManaJobSpec {
-        cluster: cori.clone(),
-        nranks: 8, // 2x2x2 LULESH grid
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 31,
+    let session = ManaSession::new();
+    let job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(4))
+            .ranks(8) // 2x2x2 LULESH grid
+            .profile(MpiProfile::cray_mpich())
+            .seed(31)
     };
-    let (clean, _) = run_mana_app(&fs, &clean_spec, app());
-    println!("LULESH (8 ranks, 2x2x2) on 4 Cori nodes: {}\n", clean.app_wall);
+    let clean = session.run(job(), app()).expect("clean run");
+    let (wall, app_wall) = (clean.outcome().wall, clean.outcome().app_wall);
+    println!("LULESH (8 ranks, 2x2x2) on 4 Cori nodes: {app_wall}\n");
 
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_times: vec![SimTime(clean.wall.as_nanos() - clean.app_wall.as_nanos() / 2)],
-            after_last_ckpt: AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        ..clean_spec
-    };
-    let (killed, _) = run_mana_app(&fs, &spec, app());
-    assert!(killed.killed);
+    let halfway = SimTime(wall.as_nanos() - app_wall.as_nanos() / 2);
+    let killed = session
+        .run(job().checkpoint_at(halfway).then_kill(), app())
+        .expect("checkpoint-and-kill run");
+    assert!(killed.killed());
     println!("checkpointed mid-run; now restarting the SAME images on three\ndifferent cluster shapes:\n");
 
     let shapes = [
-        ("1 node  x 8 ranks (consolidate)", ClusterSpec::cori(1), Placement::Block),
-        ("2 nodes x 4 ranks (local cluster)", ClusterSpec::local_cluster(2), Placement::Block),
-        ("8 nodes x 1 rank  (spread out)", ClusterSpec::cori(8), Placement::RoundRobin),
+        (
+            "1 node  x 8 ranks (consolidate)",
+            ClusterSpec::cori(1),
+            Placement::Block,
+            MpiProfile::cray_mpich(),
+        ),
+        (
+            "2 nodes x 4 ranks (local cluster)",
+            ClusterSpec::local_cluster(2),
+            Placement::Block,
+            MpiProfile::open_mpi(),
+        ),
+        (
+            "8 nodes x 1 rank  (spread out)",
+            ClusterSpec::cori(8),
+            Placement::RoundRobin,
+            MpiProfile::cray_mpich(),
+        ),
     ];
-    for (label, cluster, placement) in shapes {
-        let restart_spec = ManaJobSpec {
-            cluster: cluster.clone(),
-            nranks: 8,
-            placement,
-            profile: if cluster.name == "local" {
-                MpiProfile::open_mpi()
-            } else {
-                MpiProfile::cray_mpich()
-            },
-            cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-            seed: 31,
-        };
-        let (resumed, _, report) = run_restart_app(&fs, 1, &restart_spec, app());
-        assert!(!resumed.killed);
-        assert_eq!(clean.checksums, resumed.checksums, "{label} diverged");
+    for (label, cluster, placement, profile) in shapes {
+        let resumed = killed
+            .restart_on(
+                JobBuilder::new()
+                    .cluster(cluster)
+                    .placement(placement)
+                    .profile(profile),
+            )
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(!resumed.killed());
+        assert_eq!(clean.checksums(), resumed.checksums(), "{label} diverged");
         println!(
             "  {label}: resume in {}, 2nd half {}, results identical ✓",
-            report.total, resumed.app_wall
+            resumed.restart_report().expect("restart stats").total,
+            resumed.outcome().app_wall
         );
     }
     println!("\nThe rank-to-host binding was re-derived by each fresh MPI session —");

@@ -7,11 +7,9 @@
 //! ```
 
 use mana::apps::{AppKind, Hpcg};
-use mana::core::{run_mana_app, run_native_app, ManaConfig, ManaJobSpec, Workload};
+use mana::core::{JobBuilder, ManaSession, Workload};
 use mana::mpi::MpiProfile;
-use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
+use mana::sim::cluster::ClusterSpec;
 use mana::sim::time::SimTime;
 use std::sync::Arc;
 
@@ -24,51 +22,50 @@ fn main() {
         bulk_bytes: 64 << 20,
     });
 
+    // One session owns the checkpoint store (a Lustre-like parallel
+    // filesystem by default) and the stats for everything below.
+    let session = ManaSession::new();
+    let job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(16)
+            .profile(MpiProfile::cray_mpich())
+            .seed(7)
+    };
+
     // 1. Native baseline.
-    let native = run_native_app(
-        ClusterSpec::cori(2),
-        16,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        7,
-        app.clone(),
-    );
+    let native = session.run_native(job(), app.clone()).expect("native run");
     println!("native run:       app time {}", native.app_wall);
 
     // 2. The same application under MANA — unmodified: the Workload type
     //    has no checkpoint logic; MANA wraps the MPI interface from outside.
-    let fs = ParallelFs::new(Default::default());
-    let no_ckpt_spec = ManaJobSpec {
-        cluster: ClusterSpec::cori(2),
-        nranks: 16,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 7,
-    };
-    let (mana, _) = run_mana_app(&fs, &no_ckpt_spec, app.clone());
-    let overhead = (mana.app_wall.as_secs_f64() / native.app_wall.as_secs_f64() - 1.0) * 100.0;
+    let mana = session.run(job(), app.clone()).expect("mana run");
+    let out = mana.outcome();
+    let overhead = (out.app_wall.as_secs_f64() / native.app_wall.as_secs_f64() - 1.0) * 100.0;
     println!(
         "under MANA:       app time {}  (runtime overhead {overhead:+.2}%)",
-        mana.app_wall
+        out.app_wall
     );
-    assert_eq!(native.checksums, mana.checksums);
+    assert_eq!(native.checksums, out.checksums);
 
     // 3. Under MANA with two checkpoints taken mid-run (job continues).
-    let mid = mana.wall.as_nanos() - mana.app_wall.as_nanos() / 2;
-    let late = mana.wall.as_nanos() - mana.app_wall.as_nanos() / 4;
-    let ckpt_spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_times: vec![SimTime(mid), SimTime(late)],
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        ..no_ckpt_spec
-    };
-    let (ckpt_run, hub) = run_mana_app(&fs, &ckpt_spec, app);
-    assert_eq!(native.checksums, ckpt_run.checksums);
-    println!("with 2 ckpts:     app time {}  (results still bit-identical)\n", ckpt_run.app_wall);
+    let mid = out.wall.as_nanos() - out.app_wall.as_nanos() / 2;
+    let late = out.wall.as_nanos() - out.app_wall.as_nanos() / 4;
+    let ckpt_run = session
+        .run(
+            job()
+                .checkpoint_at(SimTime(mid))
+                .checkpoint_at(SimTime(late)),
+            app,
+        )
+        .expect("checkpointed run");
+    assert_eq!(native.checksums, *ckpt_run.checksums());
+    println!(
+        "with 2 ckpts:     app time {}  (results still bit-identical)\n",
+        ckpt_run.outcome().app_wall
+    );
 
-    for report in hub.ckpts() {
+    for report in ckpt_run.ckpts() {
         println!(
             "checkpoint #{}: total {}  (write {}  drain {}  protocol/comm {}),  {} per rank, {} extra iterations",
             report.ckpt_id,
@@ -80,12 +77,16 @@ fn main() {
             report.extra_iterations,
         );
     }
-    println!("\nimages on the shared filesystem:");
-    for path in fs.list().iter().take(4) {
-        println!("  {path}  ({})", human_mb(fs.logical_len(path).unwrap()));
+    println!("\nimages in the session's checkpoint store:");
+    let store = session.store();
+    for path in store.list().iter().take(4) {
+        println!("  {path}  ({})", human_mb(store.logical_len(path).unwrap()));
     }
-    println!("  ... ({} files total)", fs.list().len());
-    println!("\nAll checks passed: checkpointing was transparent to {}.", AppKind::Hpcg.name());
+    println!("  ... ({} files total)", store.list().len());
+    println!(
+        "\nAll checks passed: checkpointing was transparent to {}.",
+        AppKind::Hpcg.name()
+    );
 }
 
 fn human_mb(bytes: u64) -> String {

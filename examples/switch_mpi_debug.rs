@@ -9,11 +9,9 @@
 //! ```
 
 use mana::apps::MiniFe;
-use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::core::{JobBuilder, ManaSession};
 use mana::mpi::MpiProfile;
-use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
+use mana::sim::cluster::ClusterSpec;
 use mana::sim::time::SimTime;
 use std::sync::Arc;
 
@@ -28,31 +26,42 @@ fn app() -> Arc<MiniFe> {
 }
 
 fn main() {
-    let fs = ParallelFs::new(Default::default());
-    let cori = ClusterSpec::cori(2);
+    // Watch the lifecycle from outside: hooks fire on every checkpoint
+    // and restart in the session, whichever incarnation produced them.
+    let session = ManaSession::builder()
+        .on_checkpoint(|e| {
+            println!(
+                "[hook] incarnation {}: checkpoint #{} completed in {}",
+                e.incarnation,
+                e.report.ckpt_id,
+                e.report.total()
+            );
+        })
+        .on_restart(|e| {
+            println!(
+                "[hook] incarnation {}: restarted from images in {}",
+                e.incarnation, e.report.total
+            );
+        })
+        .build();
 
     // Production run under Cray MPICH; checkpoint mid-run and stop.
-    let clean_spec = ManaJobSpec {
-        cluster: cori.clone(),
-        nranks: 6,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 3,
+    let job = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(6)
+            .profile(MpiProfile::cray_mpich())
+            .seed(3)
     };
-    let (clean, _) = run_mana_app(&fs, &clean_spec, app());
-    let spec = ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_times: vec![SimTime(clean.wall.as_nanos() - clean.app_wall.as_nanos() / 2)],
-            after_last_ckpt: AfterCkpt::Kill,
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        ..clean_spec
-    };
-    let (killed, _) = run_mana_app(&fs, &spec, app());
-    assert!(killed.killed);
+    let clean = session.run(job(), app()).expect("clean run");
+    let halfway =
+        SimTime(clean.outcome().wall.as_nanos() - clean.outcome().app_wall.as_nanos() / 2);
+    let killed = session
+        .run(job().checkpoint_at(halfway).then_kill(), app())
+        .expect("checkpoint-and-kill run");
+    assert!(killed.killed());
     println!(
-        "production: miniFE under {} {} — checkpointed mid-run\n",
+        "\nproduction: miniFE under {} {} — checkpointed mid-run\n",
         MpiProfile::cray_mpich().name,
         MpiProfile::cray_mpich().version
     );
@@ -64,20 +73,15 @@ fn main() {
         "restarting under {} {} (debug/tracing build)...\n",
         debug.name, debug.version
     );
-    let restart_spec = ManaJobSpec {
-        cluster: ClusterSpec::local_cluster(2),
-        nranks: 6,
-        placement: Placement::Block,
-        profile: debug,
-        cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-        seed: 3,
-    };
-
-    // Use the launch-level API so we can pull the debug log out of the
-    // lower half after the run.
-    let (resumed, _, _) = run_restart_app(&fs, 1, &restart_spec, app());
-    assert!(!resumed.killed);
-    assert_eq!(clean.checksums, resumed.checksums);
+    let resumed = killed
+        .restart_on(
+            JobBuilder::new()
+                .cluster(ClusterSpec::local_cluster(2))
+                .profile(debug),
+        )
+        .expect("debug restart");
+    assert!(!resumed.killed());
+    assert_eq!(clean.checksums(), resumed.checksums());
     println!("restarted run finished; results bit-identical to production run ✓");
     println!("\nThe debug MPICH build captured the restarted application's MPI");
     println!("calls (replayed object creation first, then the application's");

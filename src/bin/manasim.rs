@@ -11,11 +11,9 @@
 //! one invocation.
 
 use mana::apps::AppKind;
-use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::core::{JobBuilder, ManaSession};
 use mana::mpi::MpiProfile;
-use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
+use mana::sim::cluster::ClusterSpec;
 use mana::sim::time::SimTime;
 use std::collections::HashMap;
 use std::process::exit;
@@ -95,51 +93,52 @@ fn get<'a>(f: &'a HashMap<String, String>, k: &str, default: &'a str) -> &'a str
 
 fn cmd_run(flags: HashMap<String, String>) {
     let kind = app_kind(get(&flags, "app", "hpcg"));
-    let nodes: u32 = get(&flags, "nodes", "2").parse().unwrap_or_else(|_| usage());
-    let ranks: u32 = get(&flags, "ranks", "8").parse().unwrap_or_else(|_| usage());
-    let steps: u64 = get(&flags, "steps", "10").parse().unwrap_or_else(|_| usage());
+    let nodes: u32 = get(&flags, "nodes", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let ranks: u32 = get(&flags, "ranks", "8")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let steps: u64 = get(&flags, "steps", "10")
+        .parse()
+        .unwrap_or_else(|_| usage());
     let seed: u64 = get(&flags, "seed", "1").parse().unwrap_or_else(|_| usage());
     let mut c = ClusterSpec::cori(nodes);
     if flags.contains_key("patched-kernel") {
         c = c.with_patched_kernel();
     }
-    let kernel = c.kernel.clone();
     let app = mana::apps::make_app(kind, steps, nodes, true);
-    let fs = ParallelFs::new(Default::default());
+    let session = ManaSession::new();
 
-    let base = ManaJobSpec {
-        cluster: c,
-        nranks: ranks,
-        placement: Placement::Block,
-        profile: profile(get(&flags, "mpi", "cray")),
-        cfg: ManaConfig::no_checkpoints(kernel.clone()),
-        seed,
+    let mpi = profile(get(&flags, "mpi", "cray"));
+    let job = || {
+        JobBuilder::new()
+            .cluster(c.clone())
+            .ranks(ranks)
+            .profile(mpi.clone())
+            .seed(seed)
     };
     println!(
         "running {} under MANA: {} ranks on {} node(s), {} {}",
         kind.name(),
         ranks,
         nodes,
-        base.profile.name,
-        base.profile.version
+        mpi.name,
+        mpi.version
     );
-    let (probe, _) = run_mana_app(&fs, &base, app.clone());
-    println!("  total {}   application {}", probe.wall, probe.app_wall);
+    let probe = session.run(job(), app.clone()).unwrap_or_else(|e| fail(&e));
+    let out = probe.outcome();
+    println!("  total {}   application {}", out.wall, out.app_wall);
 
     if let Some(frac) = flags.get("ckpt-at-frac") {
         let frac: f64 = frac.parse().unwrap_or_else(|_| usage());
-        let at = probe.wall.as_nanos() - (probe.app_wall.as_nanos() as f64 * (1.0 - frac)) as u64;
-        let kill = flags.contains_key("kill");
-        let spec = ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_times: vec![SimTime(at)],
-                after_last_ckpt: if kill { AfterCkpt::Kill } else { AfterCkpt::Continue },
-                ..ManaConfig::no_checkpoints(kernel)
-            },
-            ..base
-        };
-        let (out, hub) = run_mana_app(&fs, &spec, app);
-        for r in hub.ckpts() {
+        let at = out.wall.as_nanos() - (out.app_wall.as_nanos() as f64 * (1.0 - frac)) as u64;
+        let mut job = job().checkpoint_at(SimTime(at));
+        if flags.contains_key("kill") {
+            job = job.then_kill();
+        }
+        let run = session.run(job, app).unwrap_or_else(|e| fail(&e));
+        for r in run.ckpts() {
             println!(
                 "  checkpoint #{}: total {} (write {}, drain {}, comm {}), {} MB/rank, {} extra iterations",
                 r.ckpt_id,
@@ -151,25 +150,37 @@ fn cmd_run(flags: HashMap<String, String>) {
                 r.extra_iterations
             );
         }
-        if out.killed {
-            println!("  job killed after checkpoint; images: {} files", fs.list().len());
+        if run.killed() {
+            println!(
+                "  job killed after checkpoint; images: {} files",
+                session.store().list().len()
+            );
         } else {
-            println!("  job continued and completed; run {}", out.wall);
+            println!("  job continued and completed; run {}", run.outcome().wall);
         }
     }
 }
 
+fn fail(e: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    exit(1)
+}
+
 fn cmd_migrate(flags: HashMap<String, String>) {
     let kind = app_kind(get(&flags, "app", "gromacs"));
-    let ranks: u32 = get(&flags, "ranks", "8").parse().unwrap_or_else(|_| usage());
-    let steps: u64 = get(&flags, "steps", "12").parse().unwrap_or_else(|_| usage());
+    let ranks: u32 = get(&flags, "ranks", "8")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let steps: u64 = get(&flags, "steps", "12")
+        .parse()
+        .unwrap_or_else(|_| usage());
     let seed: u64 = get(&flags, "seed", "1").parse().unwrap_or_else(|_| usage());
     let from = cluster(get(&flags, "from", "cori:4"));
     let to = cluster(get(&flags, "to", "local:2"));
     let from_mpi = profile(get(&flags, "from-mpi", "cray"));
     let to_mpi = profile(get(&flags, "to-mpi", "openmpi"));
     let app = mana::apps::make_app(kind, steps, from.nodes, true);
-    let fs = ParallelFs::new(Default::default());
+    let session = ManaSession::new();
 
     println!(
         "source:      {} on {}:{} under {}",
@@ -178,28 +189,24 @@ fn cmd_migrate(flags: HashMap<String, String>) {
         from.nodes,
         from_mpi.name
     );
-    let base = ManaJobSpec {
-        cluster: from.clone(),
-        nranks: ranks,
-        placement: Placement::Block,
-        profile: from_mpi,
-        cfg: ManaConfig::no_checkpoints(from.kernel.clone()),
-        seed,
+    let source_job = || {
+        JobBuilder::new()
+            .cluster(from.clone())
+            .ranks(ranks)
+            .profile(from_mpi.clone())
+            .seed(seed)
     };
-    let (probe, _) = run_mana_app(&fs, &base, app.clone());
-    println!("  uninterrupted reference: {}", probe.wall);
+    let probe = session
+        .run(source_job(), app.clone())
+        .unwrap_or_else(|e| fail(&e));
+    println!("  uninterrupted reference: {}", probe.outcome().wall);
 
-    let at = probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2;
-    let (killed, hub) = run_mana_app(
-        &fs,
-        &ManaJobSpec {
-            cfg: ManaConfig::checkpoint_and_kill(from.kernel.clone(), SimTime(at)),
-            ..base.clone()
-        },
-        app.clone(),
-    );
-    assert!(killed.killed);
-    let r = &hub.ckpts()[0];
+    let at = probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2;
+    let killed = session
+        .run(source_job().checkpoint_at(SimTime(at)).then_kill(), app)
+        .unwrap_or_else(|e| fail(&e));
+    assert!(killed.killed());
+    let r = &killed.ckpts()[0];
     println!(
         "  checkpointed at halfway: {} ({} MB/rank); job killed",
         r.total(),
@@ -210,22 +217,19 @@ fn cmd_migrate(flags: HashMap<String, String>) {
         "destination: {}:{} under {}",
         to.name, to.nodes, to_mpi.name
     );
-    let restart = ManaJobSpec {
-        cluster: to.clone(),
-        profile: to_mpi,
-        cfg: ManaConfig::no_checkpoints(to.kernel.clone()),
-        ..base
-    };
-    let (resumed, _, report) = run_restart_app(&fs, 1, &restart, app);
-    assert!(!resumed.killed);
+    let resumed = killed
+        .restart_on(JobBuilder::new().cluster(to.clone()).profile(to_mpi))
+        .unwrap_or_else(|e| fail(&e));
+    assert!(!resumed.killed());
+    let report = resumed.restart_report().expect("restart stats");
     println!(
         "  restart: read {}, replay {}, resume after {}",
         report.max_read(),
         report.max_replay(),
         report.total
     );
-    println!("  second half completed in {}", resumed.app_wall);
-    if probe.checksums == resumed.checksums {
+    println!("  second half completed in {}", resumed.outcome().app_wall);
+    if probe.checksums() == resumed.checksums() {
         println!("  results bit-identical to the uninterrupted source run ✓");
     } else {
         eprintln!("  RESULT DIVERGENCE — this is a bug");
@@ -234,8 +238,12 @@ fn cmd_migrate(flags: HashMap<String, String>) {
 }
 
 fn cmd_verify(flags: HashMap<String, String>) {
-    let ranks: usize = get(&flags, "ranks", "3").parse().unwrap_or_else(|_| usage());
-    let colls: usize = get(&flags, "colls", "2").parse().unwrap_or_else(|_| usage());
+    let ranks: usize = get(&flags, "ranks", "3")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let colls: usize = get(&flags, "colls", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
     let spec = mana::model_check::Spec::uniform_world(ranks, colls);
     println!("model-checking the two-phase protocol: {ranks} ranks x {colls} collectives ...");
     let out = mana::model_check::check(&spec);

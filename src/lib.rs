@@ -9,47 +9,53 @@
 //! | [`sim`] | discrete-event substrate: scheduler, address spaces, kernel & filesystem models |
 //! | [`net`] | interconnect models (SHM/TCP/InfiniBand/Aries) and transport |
 //! | [`mpi`] | the simulated MPI libraries ("Cray MPICH", "Open MPI", "MPICH") |
-//! | [`core`] | MANA itself: split process, virtualization, record-replay, drain, two-phase collectives, coordinator, images, restart |
+//! | [`core`] | MANA itself: split process, virtualization, record-replay, drain, two-phase collectives, coordinator, images, sessions, restart |
 //! | [`apps`] | GROMACS/miniFE/HPCG/CLAMR/LULESH-like workloads + OSU microbenchmarks |
 //! | [`model_check`] | explicit-state verification of the checkpoint protocol (§2.6) |
 //!
 //! ## Quickstart
 //!
-//! ```
-//! use mana::core::{run_mana_app, run_restart_app, ManaConfig, ManaJobSpec};
-//! use mana::mpi::MpiProfile;
-//! use mana::sim::cluster::{ClusterSpec, Placement};
-//! use mana::sim::kernel::KernelModel;
-//! use mana::sim::fs::ParallelFs;
+//! The lifecycle API is session-centric: a [`ManaSession`] owns checkpoint
+//! storage and statistics across a whole chain of incarnations, a
+//! [`JobBuilder`] describes one incarnation, and each completed
+//! [`core::Incarnation`] can be restarted elsewhere with `restart_on`.
 //!
-//! // A shared filesystem that outlives individual jobs (as Lustre does).
-//! let fs = ParallelFs::new(Default::default());
+//! ```
+//! use mana::core::{JobBuilder, ManaSession};
+//! use mana::mpi::MpiProfile;
+//! use mana::sim::cluster::ClusterSpec;
+//! use mana::sim::time::SimTime;
+//!
+//! let session = ManaSession::new(); // Lustre-like FsStore by default
+//! let app = mana::apps::make_app_small(mana::apps::AppKind::Gromacs, 6);
+//!
 //! // Run GROMACS under MANA on a Cori-like cluster, checkpoint once
 //! // mid-run, kill the job (simulating preemption)...
-//! let spec = ManaJobSpec {
-//!     cluster: ClusterSpec::cori(2),
-//!     nranks: 8,
-//!     placement: Placement::Block,
-//!     profile: MpiProfile::cray_mpich(),
-//!     cfg: ManaConfig::checkpoint_and_kill(KernelModel::unpatched(),
-//!                                          mana::sim::time::SimTime(180_300_000)),
-//!     seed: 1,
-//! };
-//! let app = mana::apps::make_app_small(mana::apps::AppKind::Gromacs, 6);
-//! let (out, hub) = run_mana_app(&fs, &spec, app.clone());
-//! assert!(out.killed);
-//! assert_eq!(hub.ckpts().len(), 1);
+//! let killed = session
+//!     .run(
+//!         JobBuilder::new()
+//!             .cluster(ClusterSpec::cori(2))
+//!             .ranks(8)
+//!             .profile(MpiProfile::cray_mpich())
+//!             .seed(1)
+//!             .checkpoint_at(SimTime(180_300_000))
+//!             .then_kill(),
+//!         app.clone(),
+//!     )
+//!     .unwrap();
+//! assert!(killed.killed());
+//! assert_eq!(killed.ckpts().len(), 1);
 //!
 //! // ...then restart it under a different MPI implementation on a
 //! // different cluster, and it completes as if never interrupted.
-//! let restart = ManaJobSpec {
-//!     cluster: ClusterSpec::local_cluster(2),
-//!     profile: MpiProfile::open_mpi(),
-//!     cfg: ManaConfig::no_checkpoints(KernelModel::unpatched()),
-//!     ..spec
-//! };
-//! let (resumed, _, _) = run_restart_app(&fs, 1, &restart, app);
-//! assert!(!resumed.killed);
+//! let resumed = killed
+//!     .restart_on(
+//!         JobBuilder::new()
+//!             .cluster(ClusterSpec::local_cluster(2))
+//!             .profile(MpiProfile::open_mpi()),
+//!     )
+//!     .unwrap();
+//! assert!(!resumed.killed());
 //! ```
 
 #![warn(missing_docs)]
@@ -60,3 +66,5 @@ pub use mana_model_check as model_check;
 pub use mana_mpi as mpi;
 pub use mana_net as net;
 pub use mana_sim as sim;
+
+pub use mana_core::{JobBuilder, ManaSession};

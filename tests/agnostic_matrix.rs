@@ -4,11 +4,9 @@
 //! with bit-identical application results.
 
 use mana::apps::{make_app_small, AppKind};
-use mana::core::{run_mana_app, run_restart_app, AfterCkpt, ManaConfig, ManaJobSpec};
+use mana::core::{JobBuilder, ManaSession};
 use mana::mpi::MpiProfile;
 use mana::sim::cluster::{ClusterSpec, InterconnectKind, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
 use mana::sim::time::SimTime;
 
 fn profiles() -> Vec<MpiProfile> {
@@ -29,7 +27,7 @@ fn networks() -> Vec<InterconnectKind> {
 
 #[test]
 fn checkpoint_anywhere_restart_anywhere() {
-    let fs = ParallelFs::new(Default::default());
+    let session = ManaSession::new();
     let app = || make_app_small(AppKind::MiniFe, 8);
 
     for (i, src_profile) in profiles().into_iter().enumerate() {
@@ -38,60 +36,55 @@ fn checkpoint_anywhere_restart_anywhere() {
         // but the upper-half program image (the mpicc-linked duplicate
         // library text) is part of the checkpointed memory and rightly
         // follows the source build across migrations.
-        let oracle_spec = ManaJobSpec {
-            cluster: ClusterSpec::cori(2),
-            nranks: 6,
-            placement: Placement::Block,
-            profile: src_profile.clone(),
-            cfg: ManaConfig {
-                ckpt_dir: format!("oracle-{i}"),
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            seed: 60,
-        };
-        let (oracle, _) = run_mana_app(&fs, &oracle_spec, app());
-        assert!(!oracle.killed);
-        let mid = SimTime(oracle.wall.as_nanos() - oracle.app_wall.as_nanos() / 2);
+        let oracle = session
+            .run(
+                JobBuilder::new()
+                    .cluster(ClusterSpec::cori(2))
+                    .ranks(6)
+                    .profile(src_profile.clone())
+                    .seed(60)
+                    .ckpt_dir(format!("oracle-{i}")),
+                app(),
+            )
+            .expect("oracle run");
+        assert!(!oracle.killed());
+        let mid =
+            SimTime(oracle.outcome().wall.as_nanos() - oracle.outcome().app_wall.as_nanos() / 2);
 
         for (j, src_net) in networks().into_iter().enumerate() {
-            let dir = format!("matrix-{i}-{j}");
             // Checkpoint under (src_profile, src_net)...
-            let src_spec = ManaJobSpec {
-                cluster: ClusterSpec::cori(2).with_interconnect(src_net),
-                nranks: 6,
-                placement: Placement::Block,
-                profile: src_profile.clone(),
-                cfg: ManaConfig {
-                    ckpt_dir: dir.clone(),
-                    ckpt_times: vec![mid],
-                    after_last_ckpt: AfterCkpt::Kill,
-                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-                },
-                seed: 60,
-            };
-            let (killed, hub) = run_mana_app(&fs, &src_spec, app());
-            assert!(killed.killed, "src ({i},{j}) not killed");
-            assert_eq!(hub.ckpts().len(), 1, "src ({i},{j}) ckpt missing");
+            let killed = session
+                .run(
+                    JobBuilder::new()
+                        .cluster(ClusterSpec::cori(2).with_interconnect(src_net))
+                        .ranks(6)
+                        .profile(src_profile.clone())
+                        .seed(60)
+                        .ckpt_dir(format!("matrix-{i}-{j}"))
+                        .checkpoint_at(mid)
+                        .then_kill(),
+                    app(),
+                )
+                .expect("source run");
+            assert!(killed.killed(), "src ({i},{j}) not killed");
+            assert_eq!(killed.ckpts().len(), 1, "src ({i},{j}) ckpt missing");
 
             // ...restart under a *different* (profile, network): rotate.
+            // Ranks, seed and checkpoint directory are inherited.
             let dst_profile = profiles()[(i + 1) % 3].clone();
             let dst_net = networks()[(j + 1) % 3];
-            let dst_spec = ManaJobSpec {
-                cluster: ClusterSpec::local_cluster(3).with_interconnect(dst_net),
-                nranks: 6,
-                placement: Placement::RoundRobin,
-                profile: dst_profile.clone(),
-                cfg: ManaConfig {
-                    ckpt_dir: dir,
-                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-                },
-                seed: 60,
-            };
-            let (resumed, _, _) = run_restart_app(&fs, 1, &dst_spec, app());
-            assert!(!resumed.killed);
+            let resumed = killed
+                .restart_on(
+                    JobBuilder::new()
+                        .cluster(ClusterSpec::local_cluster(3).with_interconnect(dst_net))
+                        .placement(Placement::RoundRobin)
+                        .profile(dst_profile.clone()),
+                )
+                .expect("restart");
+            assert!(!resumed.killed());
             assert_eq!(
-                oracle.checksums,
-                resumed.checksums,
+                oracle.checksums(),
+                resumed.checksums(),
                 "ckpt under {}/{:?} restarted under {}/{:?} diverged",
                 src_profile.name,
                 src_net,
@@ -105,83 +98,70 @@ fn checkpoint_anywhere_restart_anywhere() {
 #[test]
 fn double_migration_chain() {
     // Checkpoint, migrate, checkpoint again on the destination, migrate
-    // again — the image format carries everything through two generations.
-    let fs = ParallelFs::new(Default::default());
+    // again — the image format carries everything through two generations,
+    // and the session API expresses the chain as successive `restart_on`s.
+    let session = ManaSession::new();
     let app = || make_app_small(AppKind::Clamr, 12);
 
-    let base_cfg = || ManaConfig {
-        ckpt_dir: "chain".into(),
-        ..ManaConfig::no_checkpoints(KernelModel::unpatched())
+    let gen0 = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(6)
+            .profile(MpiProfile::cray_mpich())
+            .seed(61)
+            .ckpt_dir("chain")
     };
-    let spec0 = ManaJobSpec {
-        cluster: ClusterSpec::cori(2),
-        nranks: 6,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: base_cfg(),
-        seed: 61,
-    };
-    let (oracle, _) = run_mana_app(&fs, &spec0, app());
+    let oracle = session.run(gen0(), app()).expect("oracle run");
 
     // Generation 1: ckpt on Cori at 1/3 of the app window.
-    let t1 = SimTime(oracle.wall.as_nanos() - oracle.app_wall.as_nanos() * 2 / 3);
-    let (k1, h1) = run_mana_app(
-        &fs,
-        &ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_times: vec![t1],
-                after_last_ckpt: AfterCkpt::Kill,
-                ..base_cfg()
-            },
-            ..spec0.clone()
-        },
-        app(),
-    );
-    assert!(k1.killed);
-    assert_eq!(h1.ckpts().len(), 1);
+    let t1 =
+        SimTime(oracle.outcome().wall.as_nanos() - oracle.outcome().app_wall.as_nanos() * 2 / 3);
+    let k1 = session
+        .run(gen0().checkpoint_at(t1).then_kill(), app())
+        .expect("gen-1 run");
+    assert!(k1.killed());
+    assert_eq!(k1.ckpts().len(), 1);
 
     // Generation 2: restart under Open MPI and checkpoint AGAIN mid-way
-    // (the new checkpoint overwrites id 1 in place — a rolling checkpoint,
-    // as production deployments do), then kill.
-    let probe_spec = ManaJobSpec {
-        cluster: ClusterSpec::local_cluster(2),
-        profile: MpiProfile::open_mpi(),
-        cfg: base_cfg(),
-        ..spec0.clone()
+    // (the session assigns it a fresh chain-unique id, so generation 1's
+    // images stay addressable), then kill.
+    let gen2 = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::local_cluster(2))
+            .profile(MpiProfile::open_mpi())
     };
-    let (gen2_probe, _, _) = run_restart_app(&fs, 1, &probe_spec, app());
-    assert!(!gen2_probe.killed);
-    assert_eq!(oracle.checksums, gen2_probe.checksums, "gen-2 probe diverged");
-
-    let t2 = SimTime(gen2_probe.wall.as_nanos() - gen2_probe.app_wall.as_nanos() / 2);
-    let (k2, h2, _) = run_restart_app(
-        &fs,
-        1,
-        &ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_times: vec![t2],
-                after_last_ckpt: AfterCkpt::Kill,
-                ..base_cfg()
-            },
-            ..probe_spec.clone()
-        },
-        app(),
+    let gen2_probe = k1.restart_on(gen2()).expect("gen-2 probe");
+    assert!(!gen2_probe.killed());
+    assert_eq!(
+        oracle.checksums(),
+        gen2_probe.checksums(),
+        "gen-2 probe diverged"
     );
-    assert!(k2.killed, "gen-2 checkpoint-and-kill did not kill");
-    assert_eq!(h2.ckpts().len(), 1);
+
+    let t2 = SimTime(
+        gen2_probe.outcome().wall.as_nanos() - gen2_probe.outcome().app_wall.as_nanos() / 2,
+    );
+    let k2 = k1
+        .restart_on(gen2().checkpoint_at(t2).then_kill())
+        .expect("gen-2 checkpoint run");
+    assert!(k2.killed(), "gen-2 checkpoint-and-kill did not kill");
+    assert_eq!(k2.ckpts().len(), 1);
 
     // Generation 3: restart the second-generation image under MPICH/TCP.
-    let spec3 = ManaJobSpec {
-        cluster: ClusterSpec::local_cluster(3)
-            .with_interconnect(mana::sim::cluster::InterconnectKind::Tcp),
-        profile: MpiProfile::mpich(),
-        cfg: base_cfg(),
-        ..spec0
-    };
-    let (final_run, _, _) = run_restart_app(&fs, 1, &spec3, app());
-    assert!(!final_run.killed);
+    let final_run = k2
+        .restart_on(
+            JobBuilder::new()
+                .cluster(ClusterSpec::local_cluster(3).with_interconnect(InterconnectKind::Tcp))
+                .profile(MpiProfile::mpich()),
+        )
+        .expect("gen-3 restart");
+    assert!(!final_run.killed());
     assert_eq!(
-        oracle.checksums, final_run.checksums,
+        oracle.checksums(),
+        final_run.checksums(),
         "two-generation migration chain diverged"
     );
+    // The session saw the whole chain: 2 checkpoints, 3 restarts.
+    assert_eq!(session.checkpoints().len(), 2);
+    assert_eq!(session.restarts().len(), 3);
 }

@@ -3,13 +3,9 @@
 //! must capture every undelivered message into the image, and restarted
 //! receives must consume the buffered messages in order.
 
-use mana::core::{
-    run_mana_app, run_restart_app, AfterCkpt, AppEnv, ManaConfig, ManaJobSpec, Workload,
-};
+use mana::core::{AppEnv, JobBuilder, ManaSession, Workload};
 use mana::mpi::{MpiProfile, ReduceOp, SrcSpec, TagSpec};
-use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
-use mana::sim::kernel::KernelModel;
+use mana::sim::cluster::ClusterSpec;
 use mana::sim::time::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -30,7 +26,7 @@ impl Workload for FloodApp {
         let world = env.world();
         let n = env.nranks();
         let me = env.rank();
-        assert!(n % 2 == 0, "flood app needs an even rank count");
+        assert!(n.is_multiple_of(2), "flood app needs an even rank count");
         let peer = me ^ 1; // pair (0,1), (2,3), ...
         let data = env.alloc_f64("data", 256);
         let inbox = env.alloc_f64("inbox", 256);
@@ -50,7 +46,7 @@ impl Workload for FloodApp {
                 break;
             }
             env.begin_step();
-            if me % 2 == 0 {
+            if me.is_multiple_of(2) {
                 // Producer: burst of eager sends, then a barrier-free wait.
                 for k in 0..self.burst {
                     env.send_arr(world, data, 0..32, peer, k as i32);
@@ -90,57 +86,51 @@ fn app() -> Arc<dyn Workload> {
 
 #[test]
 fn drain_captures_inflight_messages_across_many_cut_points() {
-    let fs = ParallelFs::new(Default::default());
-    let base = ManaJobSpec {
-        cluster: ClusterSpec::cori(2),
-        nranks: 8,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig {
-            ckpt_dir: "flood".into(),
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        seed: 77,
+    let session = ManaSession::new();
+    let base = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(8)
+            .profile(MpiProfile::cray_mpich())
+            .seed(77)
+            .ckpt_dir("flood")
     };
-    let (clean, _) = run_mana_app(&fs, &base, app());
-    assert!(!clean.killed);
+    let clean = session.run(base(), app()).expect("clean run");
+    assert!(!clean.killed());
 
-    let app_start = clean.wall.as_nanos() - clean.app_wall.as_nanos();
+    let (wall, app_wall) = (clean.outcome().wall, clean.outcome().app_wall);
+    let app_start = wall.as_nanos() - app_wall.as_nanos();
     let mut drained_total = 0u64;
     // Cut at many points across the app window, including mid-burst times.
     for (k, frac) in [0.13, 0.29, 0.41, 0.55, 0.68, 0.83, 0.97]
         .into_iter()
         .enumerate()
     {
-        let at = app_start + (clean.app_wall.as_nanos() as f64 * frac) as u64;
-        let dir = format!("flood-{k}");
-        let spec = ManaJobSpec {
-            cfg: ManaConfig {
-                ckpt_dir: dir.clone(),
-                ckpt_times: vec![SimTime(at)],
-                after_last_ckpt: AfterCkpt::Kill,
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            ..base.clone()
-        };
-        let (killed, hub) = run_mana_app(&fs, &spec, app());
-        assert!(killed.killed, "cut {k} did not kill");
-        let report = &hub.ckpts()[0];
+        let at = app_start + (app_wall.as_nanos() as f64 * frac) as u64;
+        let killed = session
+            .run(
+                base()
+                    .ckpt_dir(format!("flood-{k}"))
+                    .checkpoint_at(SimTime(at))
+                    .then_kill(),
+                app(),
+            )
+            .expect("checkpoint-and-kill run");
+        assert!(killed.killed(), "cut {k} did not kill");
+        let report = &killed.ckpts()[0];
         drained_total += report.ranks.iter().map(|r| r.drained_msgs).sum::<u64>();
 
-        let restart_spec = ManaJobSpec {
-            cluster: ClusterSpec::local_cluster(2),
-            profile: MpiProfile::mpich(),
-            cfg: ManaConfig {
-                ckpt_dir: dir,
-                ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-            },
-            ..base.clone()
-        };
-        let (resumed, _, _) = run_restart_app(&fs, 1, &restart_spec, app());
-        assert!(!resumed.killed);
+        let resumed = killed
+            .restart_on(
+                JobBuilder::new()
+                    .cluster(ClusterSpec::local_cluster(2))
+                    .profile(MpiProfile::mpich()),
+            )
+            .expect("restart");
+        assert!(!resumed.killed());
         assert_eq!(
-            clean.checksums, resumed.checksums,
+            clean.checksums(),
+            resumed.checksums(),
             "cut {k} (at fraction {frac}) diverged after restart"
         );
     }

@@ -1,0 +1,34 @@
+//! Smoke test: all four examples must build against the current public
+//! API, so API drift in `examples/` is caught at PR time (the CI workflow
+//! additionally runs them).
+
+use std::process::Command;
+
+#[test]
+fn all_examples_build() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let out = Command::new(cargo)
+        .args(["build", "--examples", "--quiet"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn cargo");
+    assert!(
+        out.status.success(),
+        "cargo build --examples failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for example in [
+        "quickstart",
+        "elastic_restart",
+        "cross_cluster_migration",
+        "switch_mpi_debug",
+    ] {
+        assert!(
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("examples")
+                .join(format!("{example}.rs"))
+                .exists(),
+            "example {example} missing"
+        );
+    }
+}

@@ -2,13 +2,9 @@
 //! collectives are outstanding, including kills that interrupt the
 //! wait-side conversion, and iallreduce payload fidelity across restarts.
 
-use mana::core::{
-    run_mana_app, run_native_app, run_restart_app, AfterCkpt, AppEnv, ManaConfig, ManaJobSpec,
-    Workload,
-};
+use mana::core::{AppEnv, JobBuilder, ManaSession, Workload};
 use mana::mpi::{MpiProfile, ReduceOp};
-use mana::sim::cluster::{ClusterSpec, Placement};
-use mana::sim::fs::ParallelFs;
+use mana::sim::cluster::ClusterSpec;
 use mana::sim::kernel::KernelModel;
 use mana::sim::time::{SimDuration, SimTime};
 use std::sync::Arc;
@@ -75,75 +71,55 @@ impl Workload for OverlapApp {
 
 #[test]
 fn checkpoints_land_on_outstanding_nonblocking_collectives() {
-    let fs = ParallelFs::new(Default::default());
+    let session = ManaSession::new();
     let app: Arc<dyn Workload> = Arc::new(OverlapApp { steps: 8 });
-    let base = ManaJobSpec {
-        cluster: ClusterSpec::cori(2),
-        nranks: 6,
-        placement: Placement::Block,
-        profile: MpiProfile::cray_mpich(),
-        cfg: ManaConfig {
-            ckpt_dir: "nb".into(),
-            ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-        },
-        seed: 88,
+    let base = || {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(6)
+            .profile(MpiProfile::cray_mpich())
+            .seed(88)
+            .ckpt_dir("nb")
     };
-    let (clean, _) = run_mana_app(&fs, &base, app.clone());
-    assert!(!clean.killed);
-    let native = run_native_app(
-        ClusterSpec::cori(2),
-        6,
-        Placement::Block,
-        MpiProfile::cray_mpich(),
-        88,
-        app.clone(),
-    );
-    assert_eq!(native.checksums, clean.checksums);
+    let clean = session.run(base(), app.clone()).expect("clean run");
+    assert!(!clean.killed());
+    let native = session.run_native(base(), app.clone()).expect("native run");
+    assert_eq!(&native.checksums, clean.checksums());
 
     // Cut at many points: most land inside the overlap windows, where the
     // ibarrier is outstanding and its instance must be reported in-phase-1
     // and its descriptor must survive into the image.
-    let app_start = clean.wall.as_nanos() - clean.app_wall.as_nanos();
+    let (wall, app_wall) = (clean.outcome().wall, clean.outcome().app_wall);
+    let app_start = wall.as_nanos() - app_wall.as_nanos();
     for (k, frac) in [0.11, 0.23, 0.37, 0.52, 0.61, 0.74, 0.88, 0.95]
         .into_iter()
         .enumerate()
     {
-        let at = app_start + (clean.app_wall.as_nanos() as f64 * frac) as u64;
-        let dir = format!("nb-{k}");
-        let (killed, hub) = run_mana_app(
-            &fs,
-            &ManaJobSpec {
-                cfg: ManaConfig {
-                    ckpt_dir: dir.clone(),
-                    ckpt_times: vec![SimTime(at)],
-                    after_last_ckpt: AfterCkpt::Kill,
-                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-                },
-                ..base.clone()
-            },
-            app.clone(),
-        );
-        assert!(killed.killed, "cut {k} did not kill");
-        assert_eq!(hub.ckpts().len(), 1);
+        let at = app_start + (app_wall.as_nanos() as f64 * frac) as u64;
+        let killed = session
+            .run(
+                base()
+                    .ckpt_dir(format!("nb-{k}"))
+                    .checkpoint_at(SimTime(at))
+                    .then_kill(),
+                app.clone(),
+            )
+            .expect("checkpoint-and-kill run");
+        assert!(killed.killed(), "cut {k} did not kill");
+        assert_eq!(killed.ckpts().len(), 1);
 
         // Restart under a different implementation for good measure.
-        let (resumed, _, _) = run_restart_app(
-            &fs,
-            1,
-            &ManaJobSpec {
-                cluster: ClusterSpec::local_cluster(2),
-                profile: MpiProfile::mpich(),
-                cfg: ManaConfig {
-                    ckpt_dir: dir,
-                    ..ManaConfig::no_checkpoints(KernelModel::unpatched())
-                },
-                ..base.clone()
-            },
-            app.clone(),
-        );
-        assert!(!resumed.killed);
+        let resumed = killed
+            .restart_on(
+                JobBuilder::new()
+                    .cluster(ClusterSpec::local_cluster(2))
+                    .profile(MpiProfile::mpich()),
+            )
+            .expect("restart");
+        assert!(!resumed.killed());
         assert_eq!(
-            clean.checksums, resumed.checksums,
+            clean.checksums(),
+            resumed.checksums(),
             "cut {k} (fraction {frac}) diverged"
         );
     }
@@ -156,35 +132,30 @@ fn whole_run_determinism_under_mana() {
     // is a pure function of (seed, filesystem epoch). A *shared*
     // filesystem deliberately decorrelates straggler draws across
     // checkpoints via its epoch counter, so each run gets its own here.
-    let fs = ParallelFs::new(Default::default());
     let app = || -> Arc<dyn Workload> { Arc::new(OverlapApp { steps: 6 }) };
-    let probe_spec = ManaJobSpec {
-        cluster: ClusterSpec::cori(2),
-        nranks: 6,
-        placement: Placement::Block,
-        profile: MpiProfile::open_mpi(),
-        cfg: ManaConfig {
-            ckpt_dir: "det-probe".into(),
-            ..ManaConfig::no_checkpoints(KernelModel::patched())
-        },
-        seed: 4242,
+    let job = |dir: &str| {
+        JobBuilder::new()
+            .cluster(ClusterSpec::cori(2))
+            .ranks(6)
+            .profile(MpiProfile::open_mpi())
+            .kernel(KernelModel::patched())
+            .seed(4242)
+            .ckpt_dir(dir)
     };
-    let (probe, _) = run_mana_app(&fs, &probe_spec, app());
-    let mid = SimTime(probe.wall.as_nanos() - probe.app_wall.as_nanos() / 2);
-    let spec = |dir: &str| ManaJobSpec {
-        cfg: ManaConfig {
-            ckpt_dir: dir.into(),
-            ckpt_times: vec![mid],
-            ..ManaConfig::no_checkpoints(KernelModel::patched())
-        },
-        ..probe_spec.clone()
-    };
-    let (a, ha) = run_mana_app(&ParallelFs::new(Default::default()), &spec("det-a"), app());
-    let (b, hb) = run_mana_app(&ParallelFs::new(Default::default()), &spec("det-b"), app());
-    assert_eq!(a.wall, b.wall);
-    assert_eq!(a.app_wall, b.app_wall);
-    assert_eq!(a.checksums, b.checksums);
-    let (ra, rb) = (&ha.ckpts()[0], &hb.ckpts()[0]);
+    let probe = ManaSession::new()
+        .run(job("det-probe"), app())
+        .expect("probe run");
+    let mid = SimTime(probe.outcome().wall.as_nanos() - probe.outcome().app_wall.as_nanos() / 2);
+    let a = ManaSession::new()
+        .run(job("det-a").checkpoint_at(mid), app())
+        .expect("run a");
+    let b = ManaSession::new()
+        .run(job("det-b").checkpoint_at(mid), app())
+        .expect("run b");
+    assert_eq!(a.outcome().wall, b.outcome().wall);
+    assert_eq!(a.outcome().app_wall, b.outcome().app_wall);
+    assert_eq!(a.checksums(), b.checksums());
+    let (ra, rb) = (&a.ckpts()[0], &b.ckpts()[0]);
     assert_eq!(ra.total(), rb.total());
     assert_eq!(ra.max_write(), rb.max_write());
     assert_eq!(ra.extra_iterations, rb.extra_iterations);

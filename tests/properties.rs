@@ -71,30 +71,45 @@ fn arb_logged() -> impl Strategy<Value = LoggedCall> {
                 result
             }
         ),
-        (any::<u64>(), prop::collection::vec(any::<u32>(), 0..6), any::<u64>()).prop_map(
-            |(group, ranks, result)| LoggedCall::GroupIncl {
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u32>(), 0..6),
+            any::<u64>()
+        )
+            .prop_map(|(group, ranks, result)| LoggedCall::GroupIncl {
                 group,
                 ranks,
                 result
-            }
-        ),
-        (arb_base(), any::<u64>())
-            .prop_map(|(base, result)| LoggedCall::TypeBase { base, result }),
-        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
-            |(count, blocklen, stride, inner, result)| LoggedCall::TypeVector {
-                count,
-                blocklen,
-                stride,
-                inner,
-                result
-            }
-        ),
+            }),
+        (arb_base(), any::<u64>()).prop_map(|(base, result)| LoggedCall::TypeBase { base, result }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(count, blocklen, stride, inner, result)| LoggedCall::TypeVector {
+                    count,
+                    blocklen,
+                    stride,
+                    inner,
+                    result
+                }
+            ),
     ]
 }
 
 fn arb_image() -> impl Strategy<Value = CheckpointImage> {
     (
-        (any::<u32>(), any::<u32>(), any::<u64>(), "[a-z]{1,10}", any::<u64>()),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            "[a-z]{1,10}",
+            any::<u64>(),
+        ),
         prop::collection::vec(arb_snapshot(), 0..5),
         prop::collection::vec(arb_logged(), 0..10),
         prop::collection::vec((any::<u32>(), 0u64..1000), 0..6),
