@@ -1,0 +1,162 @@
+//! Storage-backend comparison: the same GROMACS-like job checkpointed
+//! through each `CheckpointStore` stack. Reports the checkpoint-visible
+//! time (what the ranks' clocks pay), the restart time (where deferred
+//! drains come due), and the bytes the global tier ends up holding.
+//!
+//! Run with `--test` for the CI smoke configuration (tiny scale, same
+//! shapes).
+
+use mana_apps::AppKind;
+use mana_bench::{banner, checkpoint_run, session_with, stored_bytes, Scale, Table};
+use mana_core::{CheckpointStore, FsStore, JobBuilder};
+use mana_mpi::MpiProfile;
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::fs::FsConfig;
+use mana_sim::time::SimTime;
+use mana_store::{
+    CompressingStore, CompressionConfig, DeltaConfig, DeltaStore, DrainMode, ReplicaConfig,
+    ReplicatedStore, TierConfig, TieredStore,
+};
+use std::sync::Arc;
+
+fn lustre() -> FsStore {
+    FsStore::with_config(FsConfig::default())
+}
+
+fn backends() -> Vec<(&'static str, Arc<dyn CheckpointStore>)> {
+    vec![
+        ("fs (lustre)", Arc::new(lustre())),
+        (
+            "tiered sync",
+            Arc::new(TieredStore::new(
+                TierConfig::burst_buffer(DrainMode::Sync),
+                lustre(),
+            )),
+        ),
+        (
+            "tiered async",
+            Arc::new(TieredStore::new(
+                TierConfig::burst_buffer(DrainMode::Async),
+                lustre(),
+            )),
+        ),
+        (
+            "compressing",
+            Arc::new(CompressingStore::new(
+                CompressionConfig::default(),
+                lustre(),
+            )),
+        ),
+        (
+            "replicated x3",
+            Arc::new(ReplicatedStore::with_replicas(
+                ReplicaConfig::default(),
+                3,
+                |_| lustre(),
+            )),
+        ),
+        (
+            "delta",
+            Arc::new(DeltaStore::new(DeltaConfig::default(), lustre())),
+        ),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let scale = Scale::from_env();
+    banner(
+        "Store comparison",
+        "checkpoint/restart cost per storage backend",
+        "burst buffers absorb writes; compression and deltas cut volume (NERSC deployment)",
+    );
+    let app = AppKind::Gromacs;
+    let nodes = 2;
+    let nranks = if smoke {
+        8
+    } else {
+        nodes * scale.ranks_per_node()
+    };
+    let steps = if smoke { 4 } else { 6 };
+    let cluster = ClusterSpec::cori(nodes);
+
+    let mut table = Table::new(&[
+        "backend",
+        "ckpt (visible)",
+        "max write",
+        "restart",
+        "max read",
+        "stored (MB)",
+    ]);
+    for (name, store) in backends() {
+        let session = session_with(store.clone());
+        let dir = format!("cmp-{}", name.replace(' ', "-"));
+        let killed = checkpoint_run(app, &cluster, nranks, steps, 77, &session, &dir, true);
+        let ckpt = killed.ckpts()[0].clone();
+        let resumed = killed.restart_on(JobBuilder::new()).expect("restart");
+        let restart = resumed.restart_report().expect("restart stats").clone();
+        table.row(vec![
+            name.to_string(),
+            format!("{}", ckpt.total()),
+            format!("{}", ckpt.max_write()),
+            format!("{}", restart.total),
+            format!("{}", restart.max_read()),
+            format!("{:.1}", stored_bytes(store.as_ref()) as f64 / 1e6),
+        ]);
+    }
+    table.print();
+    println!("\nasync drain hides the Lustre write behind resumed execution; a restart");
+    println!("right after the kill pays the unfinished drain on the read path.");
+
+    // Incremental checkpointing: two generations of the same job — the
+    // second writes only what changed since the first.
+    println!();
+    println!("--- delta write volume (two checkpoints of one run) ---");
+    let delta = Arc::new(DeltaStore::new(DeltaConfig::default(), lustre()));
+    let session = session_with(delta.clone() as Arc<dyn CheckpointStore>);
+    let workload = mana_apps::make_app(app, steps, nodes, true);
+    let job = || {
+        JobBuilder::new()
+            .cluster(cluster.clone())
+            .ranks(nranks)
+            .profile(MpiProfile::cray_mpich())
+            .seed(78)
+            .ckpt_dir("cmp-delta-2gen")
+    };
+    let probe = session.run(job(), workload.clone()).expect("probe");
+    let (wall, app_wall) = (
+        probe.outcome().wall.as_nanos(),
+        probe.outcome().app_wall.as_nanos(),
+    );
+    let t = |frac: f64| SimTime(wall - app_wall + (app_wall as f64 * frac) as u64);
+    let killed = session
+        .run(
+            job()
+                .checkpoint_at(t(0.4))
+                .checkpoint_at(t(0.7))
+                .then_kill(),
+            workload,
+        )
+        .expect("two-checkpoint run");
+    let images = killed.checkpoint_images();
+    let gen_bytes = |idx: usize| -> u64 {
+        images[idx]
+            .paths
+            .iter()
+            .map(|p| delta.logical_len(p).unwrap_or(0))
+            .sum()
+    };
+    let (full, incr) = (gen_bytes(0), gen_bytes(1));
+    let mut table = Table::new(&["generation", "stored (MB)", "vs full"]);
+    table.row(vec![
+        "1 (full)".to_string(),
+        format!("{:.1}", full as f64 / 1e6),
+        "100%".to_string(),
+    ]);
+    table.row(vec![
+        "2 (delta)".to_string(),
+        format!("{:.1}", incr as f64 / 1e6),
+        format!("{:.1}%", incr as f64 / full as f64 * 100.0),
+    ]);
+    table.print();
+}

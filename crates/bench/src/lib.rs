@@ -16,10 +16,11 @@
 #![warn(missing_docs)]
 
 use mana_apps::AppKind;
-use mana_core::{Incarnation, JobBuilder, ManaSession};
+use mana_core::{CheckpointStore, Incarnation, JobBuilder, ManaSession};
 use mana_mpi::MpiProfile;
 use mana_sim::cluster::ClusterSpec;
 use mana_sim::time::{SimDuration, SimTime};
+use std::sync::Arc;
 
 /// Sweep scale, controlled by `MANA_BENCH_FULL`.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +88,23 @@ impl Scale {
 /// default `FsStore`).
 pub fn lustre_session() -> ManaSession {
     ManaSession::new()
+}
+
+/// Session backed by an explicit (possibly shared) checkpoint store —
+/// used by the storage-backend comparisons.
+pub fn session_with(store: Arc<dyn CheckpointStore>) -> ManaSession {
+    ManaSession::builder().shared_store(store).build()
+}
+
+/// Total logical bytes currently occupying `store` (what the slow tier
+/// actually holds — compressed/delta backends report their shrunken
+/// sizes here).
+pub fn stored_bytes(store: &dyn CheckpointStore) -> u64 {
+    store
+        .list()
+        .iter()
+        .map(|p| store.logical_len(p).unwrap_or(0))
+        .sum()
 }
 
 /// LULESH needs rank counts that factor into a 3-D grid; clamp a generic

@@ -83,6 +83,41 @@ impl ManaConfig {
     }
 }
 
+/// Components of a checkpoint-image path produced by
+/// [`ManaConfig::image_path`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ImagePathParts {
+    /// Directory prefix (the `ckpt_dir`; may itself contain slashes).
+    pub dir: String,
+    /// Checkpoint id.
+    pub ckpt_id: u64,
+    /// Rank id.
+    pub rank: u32,
+}
+
+/// Parse a path produced by [`ManaConfig::image_path`] back into its
+/// parts. Returns `None` for paths not of the
+/// `dir/ckpt_<id>/rank_<rank>.mana` shape.
+///
+/// Storage backends use this to recognize which objects are rank images
+/// and which checkpoint generation they belong to — the delta backend
+/// diffs a rank's image against the previous generation of the *same*
+/// `(dir, rank)` family.
+pub fn parse_image_path(path: &str) -> Option<ImagePathParts> {
+    let (rest, file) = path.rsplit_once('/')?;
+    let (dir, ckpt) = match rest.rsplit_once('/') {
+        Some((d, c)) => (d.to_string(), c),
+        None => (String::new(), rest),
+    };
+    let ckpt_id = ckpt.strip_prefix("ckpt_")?.parse().ok()?;
+    let rank = file
+        .strip_prefix("rank_")?
+        .strip_suffix(".mana")?
+        .parse()
+        .ok()?;
+    Some(ImagePathParts { dir, ckpt_id, rank })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +129,30 @@ mod tests {
         let c = ManaConfig::checkpoint_and_kill(KernelModel::patched(), SimTime(5));
         assert_eq!(c.after_last_ckpt, AfterCkpt::Kill);
         assert_eq!(c.image_path(2, 7), "ckpt/ckpt_2/rank_7.mana");
+    }
+
+    #[test]
+    fn image_paths_roundtrip_through_parse() {
+        let mut c = ManaConfig::no_checkpoints(KernelModel::unpatched());
+        c.ckpt_dir = "runs/a/b".to_string();
+        let parts = parse_image_path(&c.image_path(12, 3)).expect("parse");
+        assert_eq!(
+            parts,
+            ImagePathParts {
+                dir: "runs/a/b".to_string(),
+                ckpt_id: 12,
+                rank: 3,
+            }
+        );
+        // Non-image paths are recognized as such, not mis-parsed.
+        for p in [
+            "ckpt/ckpt_1/rank_x.mana",
+            "ckpt/ckpt_/rank_0.mana",
+            "ckpt/epoch_1/rank_0.mana",
+            "ckpt/ckpt_1/rank_0.img",
+            "loose-object",
+        ] {
+            assert!(parse_image_path(p).is_none(), "{p} should not parse");
+        }
     }
 }

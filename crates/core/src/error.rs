@@ -14,12 +14,23 @@ use std::fmt;
 pub enum StoreError {
     /// No object stored at the given path.
     NotFound(String),
+    /// The stored object is unreadable — e.g. a delta image whose base
+    /// link or encoding no longer makes sense.
+    Corrupt {
+        /// Path of the unreadable object.
+        path: String,
+        /// What went wrong.
+        why: String,
+    },
 }
 
 impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::NotFound(p) => write!(f, "checkpoint object not found: {p}"),
+            StoreError::Corrupt { path, why } => {
+                write!(f, "checkpoint object at '{path}' unreadable: {why}")
+            }
         }
     }
 }
@@ -128,6 +139,18 @@ pub enum SessionError {
         /// Index of the incarnation in the session's chain.
         incarnation: u64,
     },
+    /// A restart referenced a checkpoint whose images are gone from the
+    /// session store — typically removed by the session's
+    /// [`crate::store::GcPolicy`]. Carries the ids of the checkpoints
+    /// whose images all still exist, so the caller can pick a survivor.
+    CheckpointGone {
+        /// The checkpoint id the restart asked for.
+        ckpt_id: u64,
+        /// Session checkpoints whose images are all still in the store.
+        surviving: Vec<u64>,
+        /// The underlying engine error.
+        source: ManaError,
+    },
     /// A [`crate::session::JobBuilder`] described an unrunnable job.
     InvalidJob(String),
 }
@@ -140,6 +163,15 @@ impl fmt::Display for SessionError {
                 f,
                 "incarnation {incarnation} completed no checkpoint; nothing to restart from"
             ),
+            SessionError::CheckpointGone {
+                ckpt_id,
+                surviving,
+                source,
+            } => write!(
+                f,
+                "checkpoint {ckpt_id} is no longer in the store (garbage-collected?); \
+                 surviving checkpoints: {surviving:?}: {source}"
+            ),
             SessionError::InvalidJob(why) => write!(f, "invalid job description: {why}"),
         }
     }
@@ -149,6 +181,7 @@ impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SessionError::Mana(e) => Some(e),
+            SessionError::CheckpointGone { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -181,6 +214,29 @@ mod tests {
         })
         .to_string();
         assert!(s.contains('8') && s.contains('4'), "{s}");
+
+        let s = SessionError::CheckpointGone {
+            ckpt_id: 1,
+            surviving: vec![3, 4],
+            source: ManaError::MissingImage {
+                rank: 0,
+                ckpt_id: 1,
+                path: "ckpt/ckpt_1/rank_0.mana".into(),
+                source: StoreError::NotFound("ckpt/ckpt_1/rank_0.mana".into()),
+            },
+        }
+        .to_string();
+        assert!(
+            s.contains("checkpoint 1") && s.contains("[3, 4]"),
+            "gone-checkpoint message must list survivors: {s}"
+        );
+
+        let s = StoreError::Corrupt {
+            path: "d/x".into(),
+            why: "delta base vanished".into(),
+        }
+        .to_string();
+        assert!(s.contains("d/x") && s.contains("delta base"), "{s}");
     }
 
     #[test]

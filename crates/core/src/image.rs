@@ -434,6 +434,17 @@ fn dec_op(tag: u32) -> Result<ReduceOp, CodecError> {
     })
 }
 
+/// Encode one region snapshot. Shared with derived image formats (the
+/// delta-image codec in `mana-store` embeds region snapshots).
+pub fn encode_region(e: &mut Enc, r: &RegionSnapshot) {
+    enc_region(e, r)
+}
+
+/// Decode one region snapshot (inverse of [`encode_region`]).
+pub fn decode_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
+    dec_region(d)
+}
+
 fn enc_region(e: &mut Enc, r: &RegionSnapshot) {
     e.u64(r.start);
     e.u64(r.len);

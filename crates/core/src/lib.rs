@@ -47,7 +47,7 @@ pub mod virtid;
 pub mod wrapper;
 
 pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
-pub use config::{AfterCkpt, ManaConfig};
+pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
 pub use error::{ManaError, SessionError, StoreError};
 pub use image::CheckpointImage;
@@ -56,7 +56,7 @@ pub use session::{
     CkptEvent, CkptImages, Incarnation, JobBuilder, ManaSession, RestartEvent, SessionBuilder,
 };
 pub use stats::{CkptReport, RestartReport, StatsHub};
-pub use store::{CheckpointStore, FsStore, InMemStore};
+pub use store::{CheckpointStore, FsStore, GcPolicy, InMemStore};
 pub use wrapper::ManaMpi;
 
 // Deprecated free-function lifecycle API, kept as delegating shims.

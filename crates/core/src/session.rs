@@ -84,10 +84,11 @@
 
 use crate::config::{AfterCkpt, ManaConfig};
 use crate::env::Workload;
+use crate::error::ManaError;
 use crate::error::SessionError;
 use crate::runner::{mana_engine, native_engine, restart_engine, ManaJobSpec, RunOutcome};
 use crate::stats::{CkptReport, RestartReport, StatsHub};
-use crate::store::{CheckpointStore, FsStore};
+use crate::store::{CheckpointStore, FsStore, GcPolicy};
 use mana_mpi::MpiProfile;
 use mana_sim::cluster::{ClusterSpec, Placement};
 use mana_sim::fs::FsConfig;
@@ -120,6 +121,10 @@ type RestartHook = Box<dyn Fn(&RestartEvent<'_>) + Send + Sync>;
 struct SessionInner {
     store: Arc<dyn CheckpointStore>,
     hub: StatsHub,
+    gc: GcPolicy,
+    /// Image paths of every checkpoint the session completed, in
+    /// completion order — the unit the GC policy operates on.
+    registry: Mutex<Vec<CkptImages>>,
     on_checkpoint: Vec<CkptHook>,
     on_restart: Vec<RestartHook>,
     next_incarnation: Mutex<u64>,
@@ -140,6 +145,7 @@ pub struct ManaSession {
 #[derive(Default)]
 pub struct SessionBuilder {
     store: Option<Arc<dyn CheckpointStore>>,
+    gc: GcPolicy,
     on_checkpoint: Vec<CkptHook>,
     on_restart: Vec<RestartHook>,
 }
@@ -156,6 +162,16 @@ impl SessionBuilder {
     /// sessions, as a real Lustre deployment is).
     pub fn shared_store(mut self, store: Arc<dyn CheckpointStore>) -> SessionBuilder {
         self.store = Some(store);
+        self
+    }
+
+    /// Garbage-collection policy for old checkpoint images (default:
+    /// [`GcPolicy::KeepAll`]). With `GcPolicy::KeepLast(n)`, the session
+    /// deletes the oldest checkpoint's images from the store — via
+    /// [`CheckpointStore::remove`] — as soon as more than `n` checkpoints
+    /// exist across the whole chain.
+    pub fn gc(mut self, policy: GcPolicy) -> SessionBuilder {
+        self.gc = policy;
         self
     }
 
@@ -185,6 +201,8 @@ impl SessionBuilder {
                     .store
                     .unwrap_or_else(|| Arc::new(FsStore::with_config(FsConfig::default()))),
                 hub: StatsHub::new(),
+                gc: self.gc,
+                registry: Mutex::new(Vec::new()),
                 on_checkpoint: self.on_checkpoint,
                 on_restart: self.on_restart,
                 next_incarnation: Mutex::new(0),
@@ -224,6 +242,43 @@ impl ManaSession {
     /// All restart reports across the whole chain, in completion order.
     pub fn restarts(&self) -> Vec<RestartReport> {
         self.inner.hub.restarts()
+    }
+
+    /// The session's garbage-collection policy.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.inner.gc
+    }
+
+    /// Ids of the checkpoints whose images are all still in the store —
+    /// i.e. the ones a restart can come from. Under
+    /// [`GcPolicy::KeepLast`] this is the rolling window of the newest
+    /// checkpoints; under [`GcPolicy::KeepAll`] it is every checkpoint
+    /// (unless something else removed the images behind the session's
+    /// back).
+    pub fn surviving_checkpoints(&self) -> Vec<u64> {
+        self.inner
+            .registry
+            .lock()
+            .iter()
+            .filter(|c| c.paths.iter().all(|p| self.inner.store.exists(p)))
+            .map(|c| c.ckpt_id)
+            .collect()
+    }
+
+    /// Record a completed checkpoint's image set and enforce the GC
+    /// policy: with `KeepLast(n)`, delete the oldest checkpoints' images
+    /// until at most `n` remain registered.
+    fn register_and_gc(&self, images: CkptImages) {
+        let mut reg = self.inner.registry.lock();
+        reg.push(images);
+        if let GcPolicy::KeepLast(n) = self.inner.gc {
+            while reg.len() > n {
+                let old = reg.remove(0);
+                for path in &old.paths {
+                    self.inner.store.remove(path);
+                }
+            }
+        }
     }
 
     /// Run `workload` under MANA as described by `job`.
@@ -274,6 +329,24 @@ impl ManaSession {
         self.run_spec(spec, workload, Some(ckpt_id))
     }
 
+    /// Distinguish "this checkpoint's images were garbage-collected" from
+    /// other restart failures: a missing image whose checkpoint is no
+    /// longer fully present surfaces as [`SessionError::CheckpointGone`]
+    /// with the list of checkpoints a restart could still come from.
+    fn classify_restart_error(&self, e: ManaError) -> SessionError {
+        if let ManaError::MissingImage { ckpt_id, .. } = &e {
+            let surviving = self.surviving_checkpoints();
+            if !surviving.contains(ckpt_id) && !self.inner.registry.lock().is_empty() {
+                return SessionError::CheckpointGone {
+                    ckpt_id: *ckpt_id,
+                    surviving,
+                    source: e,
+                };
+            }
+        }
+        SessionError::Mana(e)
+    }
+
     /// Shared engine entry: run `spec` (fresh or restarted), collect stats,
     /// fire hooks, wrap the result in an [`Incarnation`].
     fn run_spec(
@@ -303,7 +376,8 @@ impl ManaSession {
             }
             Some(ckpt_id) => {
                 let (outcome, hub, report) =
-                    restart_engine(&self.inner.store, ckpt_id, &spec, workload.clone())?;
+                    restart_engine(&self.inner.store, ckpt_id, &spec, workload.clone())
+                        .map_err(|e| self.classify_restart_error(e))?;
                 (outcome, hub, Some(report))
             }
         };
@@ -325,7 +399,14 @@ impl ManaSession {
             for hook in &self.inner.on_checkpoint {
                 hook(&event);
             }
+            let images = CkptImages {
+                ckpt_id: report.ckpt_id,
+                paths: (0..spec.nranks)
+                    .map(|rank| spec.cfg.image_path(report.ckpt_id, rank))
+                    .collect(),
+            };
             self.inner.hub.push_ckpt(report);
+            self.register_and_gc(images);
         }
         Ok(Incarnation {
             session: self.clone(),
@@ -425,6 +506,25 @@ impl JobBuilder {
     /// Schedule checkpoints at each of `times`.
     pub fn checkpoint_times(mut self, times: impl IntoIterator<Item = SimTime>) -> JobBuilder {
         self.ckpt_times.extend(times);
+        self
+    }
+
+    /// Schedule `count` rolling checkpoints: the first at `first`, then
+    /// one every `every`. Combined with
+    /// [`SessionBuilder::gc`]`(GcPolicy::KeepLast(n))` this gives the
+    /// production pattern of a long run keeping a bounded window of
+    /// restart points.
+    pub fn checkpoint_every(
+        mut self,
+        first: SimTime,
+        every: mana_sim::time::SimDuration,
+        count: u32,
+    ) -> JobBuilder {
+        let mut at = first;
+        for _ in 0..count {
+            self.ckpt_times.push(at);
+            at += every;
+        }
         self
     }
 
@@ -597,6 +697,36 @@ impl Incarnation {
     /// Id of the most recent checkpoint this incarnation completed.
     pub fn latest_checkpoint(&self) -> Option<u64> {
         self.hub.ckpts().iter().map(|r| r.ckpt_id).max()
+    }
+
+    /// Id of the most recent checkpoint this incarnation completed whose
+    /// images are all still in the session store. Under a
+    /// [`GcPolicy::KeepLast`] session this is the newest survivor of the
+    /// rolling window; it can differ from [`Incarnation::latest_checkpoint`]
+    /// only if something removed images behind the session's back (GC
+    /// always keeps the newest).
+    pub fn latest_surviving_checkpoint(&self) -> Option<u64> {
+        let store = self.session.store();
+        let mut ids: Vec<u64> = self.hub.ckpts().iter().map(|r| r.ckpt_id).collect();
+        ids.sort_unstable();
+        ids.into_iter().rev().find(|id| {
+            (0..self.spec.nranks).all(|rank| store.exists(&self.spec.cfg.image_path(*id, rank)))
+        })
+    }
+
+    /// Rolling-restart helper: boot the next incarnation from the newest
+    /// checkpoint that still has all its images — the right entry point
+    /// after a run that took several rolling checkpoints under a
+    /// [`GcPolicy::KeepLast`] session.
+    pub fn restart_latest(&self, job: JobBuilder) -> Result<Incarnation, SessionError> {
+        let ckpt_id = self
+            .latest_surviving_checkpoint()
+            .ok_or(SessionError::NoCheckpoint {
+                incarnation: self.index,
+            })?;
+        let spec = job.build_spec(Some(&self.spec))?;
+        self.session
+            .run_spec(spec, self.workload.clone(), Some(ckpt_id))
     }
 
     /// Restart this incarnation's workload from its latest checkpoint,

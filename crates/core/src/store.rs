@@ -65,6 +65,23 @@ pub trait CheckpointStore: Send + Sync {
     fn list(&self) -> Vec<String>;
 }
 
+/// Checkpoint garbage-collection policy, enforced by the session after
+/// every successful checkpoint via [`CheckpointStore::remove`].
+///
+/// Production checkpointing keeps a small rolling window of images — the
+/// NERSC deployment of MANA found image lifecycle management to be a
+/// first-order storage cost at scale. `KeepLast(n)` deletes the oldest
+/// checkpoint's images once more than `n` checkpoints exist in the
+/// session's chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GcPolicy {
+    /// Never delete images (the historical behaviour; the default).
+    #[default]
+    KeepAll,
+    /// Keep only the newest `n` checkpoints' images.
+    KeepLast(usize),
+}
+
 /// Checkpoint storage on the simulated parallel filesystem — the default,
 /// matching the paper's Lustre deployment.
 pub struct FsStore {
@@ -228,6 +245,14 @@ mod tests {
         let (data, rd) = store.get("a/x", 0, SHAPE).unwrap();
         assert_eq!(*data, vec![1, 2, 3]);
         assert_eq!(rd > SimDuration::ZERO, timed);
+        // logical_len is consistent across the put/get round-trip (a get
+        // must not disturb it)...
+        assert_eq!(store.logical_len("a/x").unwrap(), 1 << 20);
+        // ...and tracks overwrites.
+        store.put("a/x", vec![4, 5], 2048, 0, SHAPE);
+        assert_eq!(store.logical_len("a/x").unwrap(), 2048);
+        let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![4, 5]);
         assert!(matches!(
             store.get("a/missing", 0, SHAPE),
             Err(StoreError::NotFound(_))

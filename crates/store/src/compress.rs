@@ -1,0 +1,214 @@
+//! Compressing checkpoint storage.
+//!
+//! Checkpoint images compress well (large zeroed or structured regions),
+//! and at NERSC scale the write *volume* is the dominant storage cost.
+//! [`CompressingStore`] models that trade: the inner store is charged a
+//! `logical_len` shrunk by a content-seeded ratio — so the I/O timing and
+//! stored volume drop — while compress/decompress CPU time is added to
+//! the durations `put`/`get` return. Contents pass through unchanged
+//! (compression is modeled, not performed), so images decode exactly as
+//! written.
+
+use mana_core::error::StoreError;
+use mana_core::store::CheckpointStore;
+use mana_sim::fs::IoShape;
+use mana_sim::rng::splitmix64;
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Compression model parameters.
+#[derive(Clone, Debug)]
+pub struct CompressionConfig {
+    /// Mean compressed/original size ratio (e.g. 0.35 for lz4-class
+    /// compression on checkpoint images).
+    pub ratio: f64,
+    /// Content-seeded jitter: the per-object ratio lands in
+    /// `ratio * (1 ± jitter)` (clamped to `(0, 1]`).
+    pub jitter: f64,
+    /// Compression throughput, bytes/s of *original* data.
+    pub compress_bw: f64,
+    /// Decompression throughput, bytes/s of *original* data.
+    pub decompress_bw: f64,
+    /// Seed decorrelating this store's ratio draws from other stores.
+    pub seed: u64,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> CompressionConfig {
+        // lz4-class: ~1.5 GB/s compress, ~3 GB/s decompress, ~2.9x.
+        CompressionConfig {
+            ratio: 0.35,
+            jitter: 0.10,
+            compress_bw: 1.5e9,
+            decompress_bw: 3.0e9,
+            seed: 0x436f_6d70,
+        }
+    }
+}
+
+/// Wrapper shrinking the inner store's charged `logical_len` by a
+/// deterministic, content-seeded compression ratio.
+pub struct CompressingStore<S> {
+    cfg: CompressionConfig,
+    inner: S,
+    /// Original (uncompressed) logical lengths, for decompress costing
+    /// and reporting.
+    originals: Mutex<HashMap<String, u64>>,
+}
+
+impl<S: CheckpointStore> CompressingStore<S> {
+    /// Compress objects on their way into `inner`.
+    pub fn new(cfg: CompressionConfig, inner: S) -> CompressingStore<S> {
+        CompressingStore {
+            cfg,
+            inner,
+            originals: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Original (uncompressed) logical length of `path`, if this store
+    /// wrote it.
+    pub fn original_len(&self, path: &str) -> Option<u64> {
+        self.originals.lock().get(path).copied()
+    }
+
+    /// Deterministic per-object ratio: seeded by the store seed, the
+    /// object's content bytes and its logical length.
+    fn ratio_for(&self, data: &[u8], logical_len: u64) -> f64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in data {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let u = splitmix64(self.cfg.seed ^ h ^ splitmix64(logical_len));
+        let x = (u >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let r = self.cfg.ratio * (1.0 + self.cfg.jitter * (2.0 * x - 1.0));
+        r.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for CompressingStore<S> {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        let ratio = self.ratio_for(&data, logical_len);
+        let compressed = if logical_len == 0 {
+            0
+        } else {
+            ((logical_len as f64 * ratio).round() as u64).max(1)
+        };
+        let cpu = SimDuration::secs_f64(logical_len as f64 / self.cfg.compress_bw);
+        let io = self.inner.put(path, data, compressed, rank, shape);
+        self.originals.lock().insert(path.to_string(), logical_len);
+        cpu + io
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        let (data, io) = self.inner.get(path, rank, shape)?;
+        let original = self
+            .originals
+            .lock()
+            .get(path)
+            .copied()
+            .or_else(|| self.inner.logical_len(path).ok())
+            .unwrap_or(0);
+        let cpu = SimDuration::secs_f64(original as f64 / self.cfg.decompress_bw);
+        Ok((data, io + cpu))
+    }
+
+    fn begin_epoch(&self) {
+        self.inner.begin_epoch();
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    /// Note: reports the *compressed* length — that is what occupies the
+    /// inner tier and what its timing model charges. Use
+    /// [`CompressingStore::original_len`] for the uncompressed size.
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.inner.logical_len(path)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        self.originals.lock().remove(path);
+        self.inner.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_core::store::InMemStore;
+
+    const SHAPE: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    fn store() -> CompressingStore<InMemStore> {
+        CompressingStore::new(CompressionConfig::default(), InMemStore::new())
+    }
+
+    #[test]
+    fn logical_len_shrinks_within_the_configured_band() {
+        let s = store();
+        s.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        let comp = s.logical_len("x").unwrap();
+        let lo = ((1u64 << 20) as f64 * 0.35 * 0.9) as u64;
+        let hi = ((1u64 << 20) as f64 * 0.35 * 1.1) as u64 + 1;
+        assert!((lo..=hi).contains(&comp), "{comp} outside [{lo}, {hi}]");
+        assert_eq!(s.original_len("x"), Some(1 << 20));
+    }
+
+    #[test]
+    fn ratio_is_deterministic_and_content_seeded() {
+        let a = store();
+        let b = store();
+        a.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        b.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        assert_eq!(a.logical_len("x").unwrap(), b.logical_len("x").unwrap());
+        // Different content draws a different ratio.
+        b.put("y", vec![9, 9, 9], 1 << 20, 0, SHAPE);
+        assert_ne!(b.logical_len("x").unwrap(), b.logical_len("y").unwrap());
+    }
+
+    #[test]
+    fn cpu_time_is_charged_both_ways() {
+        let s = store(); // zero-latency inner: all time is CPU
+        let wd = s.put("x", vec![5; 100], 3 << 30, 0, SHAPE);
+        assert!(wd.as_secs_f64() > 1.9, "3 GB at 1.5 GB/s ≈ 2s, got {wd}");
+        let (data, rd) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![5; 100]);
+        assert!(rd.as_secs_f64() > 0.9, "3 GB at 3 GB/s ≈ 1s, got {rd}");
+    }
+
+    #[test]
+    fn empty_objects_stay_empty() {
+        let s = store();
+        s.put("e", vec![], 0, 0, SHAPE);
+        assert_eq!(s.logical_len("e").unwrap(), 0);
+    }
+}

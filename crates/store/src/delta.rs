@@ -1,0 +1,766 @@
+//! Incremental (delta) checkpoint storage.
+//!
+//! Checkpoint write volume dominates checkpoint cost at scale, and most
+//! of a rank's image is often unchanged between consecutive checkpoints
+//! (code, read-only tables, converged regions). [`DeltaStore`] recognizes
+//! rank images on their way in (any object whose path parses as
+//! `dir/ckpt_<id>/rank_<r>.mana` and whose bytes decode as a
+//! [`CheckpointImage`]), diffs the regions against the previous
+//! generation of the same `(dir, rank)` family, and writes only changed
+//! pages plus a reference to the base image. `get` reconstructs the full
+//! image by replaying the delta chain — charging the read time of every
+//! link, which is the real cost of long chains (bounded by
+//! [`DeltaConfig::full_every`]).
+//!
+//! Deleting a base image out from under its dependents would break the
+//! chain, so [`CheckpointStore::remove`] first *promotes* the dependent
+//! delta to a full image — checkpoint GC (`GcPolicy::KeepLast`) composes
+//! safely with delta chains.
+//!
+//! Non-image objects pass through unmodified.
+
+use mana_core::codec::{CodecError, Dec, Enc};
+use mana_core::config::parse_image_path;
+use mana_core::error::StoreError;
+use mana_core::image::{decode_region, encode_region, CheckpointImage};
+use mana_core::store::CheckpointStore;
+use mana_sim::fs::IoShape;
+use mana_sim::memory::{RegionSnapshot, SnapshotContent};
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// "MANADLT1" little-endian.
+pub const DELTA_MAGIC: u64 = 0x3154_4c44_414e_414d;
+/// Current delta-format version.
+pub const DELTA_VERSION: u32 = 1;
+
+/// Delta-checkpoint parameters.
+#[derive(Clone, Debug)]
+pub struct DeltaConfig {
+    /// Write a full image every `full_every` generations per rank family
+    /// (bounds chain length and restart replay cost). `0` means never —
+    /// every generation after the first is a delta.
+    pub full_every: u64,
+    /// Page granularity for dense-region diffing, bytes.
+    pub page: usize,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> DeltaConfig {
+        DeltaConfig {
+            full_every: 8,
+            page: 4096,
+        }
+    }
+}
+
+/// How one region of the new image relates to the base image.
+enum RegionDelta {
+    /// Region identical to the base region starting at `start`.
+    Unchanged { start: u64 },
+    /// Region new or rewritten wholesale.
+    Replaced(RegionSnapshot),
+    /// Dense region mostly unchanged: apply `pages` (offset, bytes) over
+    /// the base region at `start`.
+    Patched {
+        start: u64,
+        pages: Vec<(u64, Vec<u8>)>,
+    },
+}
+
+impl RegionDelta {
+    /// Logical bytes this delta contributes to the stored object (what
+    /// the inner tier's timing model is charged).
+    fn logical_cost(&self) -> u64 {
+        match self {
+            RegionDelta::Unchanged { .. } => 16,
+            RegionDelta::Replaced(r) => r.len,
+            RegionDelta::Patched { pages, .. } => {
+                pages.iter().map(|(_, b)| b.len() as u64 + 24).sum()
+            }
+        }
+    }
+}
+
+struct DeltaBlob {
+    base_path: String,
+    deltas: Vec<RegionDelta>,
+    /// The new image with `regions` emptied (everything else — log,
+    /// counters, buffered messages, progress — rides along in full).
+    meta: CheckpointImage,
+}
+
+fn encode_delta(blob: &DeltaBlob) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(DELTA_MAGIC);
+    e.u32(DELTA_VERSION);
+    e.string(&blob.base_path);
+    e.seq(blob.deltas.len());
+    for d in &blob.deltas {
+        match d {
+            RegionDelta::Unchanged { start } => {
+                e.u32(0);
+                e.u64(*start);
+            }
+            RegionDelta::Replaced(r) => {
+                e.u32(1);
+                encode_region(&mut e, r);
+            }
+            RegionDelta::Patched { start, pages } => {
+                e.u32(2);
+                e.u64(*start);
+                e.seq(pages.len());
+                for (off, bytes) in pages {
+                    e.u64(*off);
+                    e.bytes(bytes);
+                }
+            }
+        }
+    }
+    e.bytes(&blob.meta.encode());
+    e.finish()
+}
+
+fn decode_delta(data: &[u8]) -> Result<DeltaBlob, CodecError> {
+    let mut d = Dec::new(data);
+    let magic = d.u64("delta magic")?;
+    if magic != DELTA_MAGIC {
+        return Err(CodecError::BadMagic(magic));
+    }
+    let version = d.u32("delta version")?;
+    if version != DELTA_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let base_path = d.string("delta base path")?;
+    let mut deltas = Vec::new();
+    for _ in 0..d.seq("delta regions")? {
+        deltas.push(match d.u32("delta tag")? {
+            0 => RegionDelta::Unchanged {
+                start: d.u64("unchanged start")?,
+            },
+            1 => RegionDelta::Replaced(decode_region(&mut d)?),
+            2 => {
+                let start = d.u64("patched start")?;
+                let mut pages = Vec::new();
+                for _ in 0..d.seq("patch pages")? {
+                    pages.push((d.u64("page offset")?, d.bytes("page bytes")?));
+                }
+                RegionDelta::Patched { start, pages }
+            }
+            tag => return Err(CodecError::BadTag { what: "delta", tag }),
+        });
+    }
+    let meta = CheckpointImage::decode(&d.bytes("delta meta image")?)?;
+    Ok(DeltaBlob {
+        base_path,
+        deltas,
+        meta,
+    })
+}
+
+/// Is this blob a delta image (vs a full image or foreign bytes)?
+fn is_delta(data: &[u8]) -> bool {
+    data.len() >= 8 && data[..8] == DELTA_MAGIC.to_le_bytes()
+}
+
+/// Diff the new image's regions against the base image's.
+fn diff_regions(base: &[RegionSnapshot], new: &[RegionSnapshot], page: usize) -> Vec<RegionDelta> {
+    new.iter()
+        .map(|r| {
+            let matching = base.iter().find(|b| {
+                b.start == r.start
+                    && b.len == r.len
+                    && b.half == r.half
+                    && b.kind == r.kind
+                    && b.name == r.name
+            });
+            let b = match matching {
+                Some(b) => b,
+                None => return RegionDelta::Replaced(r.clone()),
+            };
+            if b.content == r.content {
+                return RegionDelta::Unchanged { start: r.start };
+            }
+            match (&b.content, &r.content) {
+                (SnapshotContent::Dense(ob), SnapshotContent::Dense(nb))
+                    if ob.len() == nb.len() =>
+                {
+                    let mut pages = Vec::new();
+                    let mut changed = 0usize;
+                    let mut off = 0usize;
+                    while off < nb.len() {
+                        let end = (off + page).min(nb.len());
+                        if ob[off..end] != nb[off..end] {
+                            pages.push((off as u64, nb[off..end].to_vec()));
+                            changed += end - off;
+                        }
+                        off = end;
+                    }
+                    // A mostly-rewritten region is cheaper stored whole.
+                    if changed * 2 >= nb.len() {
+                        RegionDelta::Replaced(r.clone())
+                    } else {
+                        RegionDelta::Patched {
+                            start: r.start,
+                            pages,
+                        }
+                    }
+                }
+                _ => RegionDelta::Replaced(r.clone()),
+            }
+        })
+        .collect()
+}
+
+/// Apply a delta over its (fully reconstructed) base image.
+fn apply_delta(
+    base: &CheckpointImage,
+    blob: DeltaBlob,
+    path: &str,
+) -> Result<CheckpointImage, StoreError> {
+    let by_start: HashMap<u64, &RegionSnapshot> =
+        base.regions.iter().map(|r| (r.start, r)).collect();
+    let mut regions = Vec::with_capacity(blob.deltas.len());
+    for d in blob.deltas {
+        regions.push(match d {
+            RegionDelta::Replaced(r) => r,
+            RegionDelta::Unchanged { start } => {
+                (*by_start.get(&start).ok_or_else(|| StoreError::Corrupt {
+                    path: path.to_string(),
+                    why: format!("base image lacks region at {start:#x}"),
+                })?)
+                .clone()
+            }
+            RegionDelta::Patched { start, pages } => {
+                let mut r = (*by_start.get(&start).ok_or_else(|| StoreError::Corrupt {
+                    path: path.to_string(),
+                    why: format!("base image lacks region at {start:#x}"),
+                })?)
+                .clone();
+                let bytes = match &mut r.content {
+                    SnapshotContent::Dense(b) => b,
+                    SnapshotContent::Pattern { .. } => {
+                        return Err(StoreError::Corrupt {
+                            path: path.to_string(),
+                            why: format!("page patch over pattern region at {start:#x}"),
+                        })
+                    }
+                };
+                for (off, page) in pages {
+                    let off = off as usize;
+                    if off + page.len() > bytes.len() {
+                        return Err(StoreError::Corrupt {
+                            path: path.to_string(),
+                            why: format!("patch past end of region at {start:#x}"),
+                        });
+                    }
+                    bytes[off..off + page.len()].copy_from_slice(&page);
+                }
+                r
+            }
+        });
+    }
+    let mut img = blob.meta;
+    img.regions = regions;
+    Ok(img)
+}
+
+struct LatestGen {
+    path: String,
+    image: CheckpointImage,
+    /// Deltas written since the last full image of this family.
+    since_full: u64,
+}
+
+#[derive(Default)]
+struct DeltaState {
+    /// Newest generation per `(dir, rank)` family, kept decoded for
+    /// O(1) diffing of the next generation.
+    latest: HashMap<(String, u32), LatestGen>,
+    /// delta path → its base path.
+    base_of: HashMap<String, String>,
+    /// base path → the delta that references it.
+    child_of: HashMap<String, String>,
+}
+
+/// Incremental checkpoint storage over an inner store `S`.
+pub struct DeltaStore<S> {
+    cfg: DeltaConfig,
+    inner: S,
+    state: Mutex<DeltaState>,
+}
+
+impl<S: CheckpointStore> DeltaStore<S> {
+    /// Delta-encode rank images on their way into `inner`.
+    pub fn new(cfg: DeltaConfig, inner: S) -> DeltaStore<S> {
+        DeltaStore {
+            cfg,
+            inner,
+            state: Mutex::new(DeltaState::default()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Whether the object at `path` is stored as a delta.
+    pub fn is_delta_object(&self, path: &str) -> bool {
+        self.state.lock().base_of.contains_key(path)
+    }
+
+    /// Drop stale chain bookkeeping for an overwritten `path`.
+    fn forget(st: &mut DeltaState, path: &str) {
+        if let Some(base) = st.base_of.remove(path) {
+            if st.child_of.get(&base).is_some_and(|c| c == path) {
+                st.child_of.remove(&base);
+            }
+        }
+    }
+
+    /// Reconstruct the full image at `path` by replaying the delta chain,
+    /// returning it with the summed read duration of every link.
+    fn reconstruct(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(CheckpointImage, SimDuration), StoreError> {
+        let (data, mut total) = self.inner.get(path, rank, shape)?;
+        if !is_delta(&data) {
+            let img = CheckpointImage::decode(&data).map_err(|e| StoreError::Corrupt {
+                path: path.to_string(),
+                why: e.to_string(),
+            })?;
+            return Ok((img, total));
+        }
+        // Walk the chain down to the full base, then fold deltas back up.
+        let mut chain: Vec<(String, DeltaBlob)> = Vec::new();
+        let mut visited: std::collections::HashSet<String> = std::collections::HashSet::new();
+        visited.insert(path.to_string());
+        let mut cur_path = path.to_string();
+        let mut cur_blob = decode_delta(&data).map_err(|e| StoreError::Corrupt {
+            path: path.to_string(),
+            why: e.to_string(),
+        })?;
+        let mut img = loop {
+            let base_path = cur_blob.base_path.clone();
+            if !visited.insert(base_path.clone()) {
+                return Err(StoreError::Corrupt {
+                    path: path.to_string(),
+                    why: format!("delta chain cycles through '{base_path}'"),
+                });
+            }
+            chain.push((cur_path, cur_blob));
+            let (bdata, bdur) = self.inner.get(&base_path, rank, shape)?;
+            total += bdur;
+            if is_delta(&bdata) {
+                cur_blob = decode_delta(&bdata).map_err(|e| StoreError::Corrupt {
+                    path: base_path.clone(),
+                    why: e.to_string(),
+                })?;
+                cur_path = base_path;
+                continue;
+            }
+            break CheckpointImage::decode(&bdata).map_err(|e| StoreError::Corrupt {
+                path: base_path.clone(),
+                why: e.to_string(),
+            })?;
+        };
+        for (at, blob) in chain.into_iter().rev() {
+            img = apply_delta(&img, blob, &at)?;
+        }
+        Ok((img, total))
+    }
+
+    /// If a delta depends on `base`, fold it into a standalone full image
+    /// (offline lifecycle work: nobody's clock advances, durations are
+    /// discarded). Returns `false` if a dependent exists but could not be
+    /// reconstructed — its chain must be left intact.
+    fn promote_dependent_of(&self, base: &str) -> bool {
+        let child = self.state.lock().child_of.get(base).cloned();
+        let Some(child) = child else { return true };
+        let shape = IoShape {
+            writers_on_node: 1,
+            total_writers: 1,
+        };
+        let Ok((img, _)) = self.reconstruct(&child, 0, shape) else {
+            return false;
+        };
+        let full_logical = img.logical_bytes();
+        let encoded = img.encode();
+        let mut st = self.state.lock();
+        Self::forget(&mut st, &child);
+        if let Some(gen) = st.latest.values_mut().find(|g| g.path == child) {
+            gen.since_full = 0;
+        }
+        drop(st);
+        self.inner.remove(&child);
+        self.inner.put(&child, encoded, full_logical, 0, shape);
+        true
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        // Overwriting a delta's base would corrupt (or cycle) its chain:
+        // fold the dependent into a standalone full image first.
+        if self.state.lock().child_of.contains_key(path) {
+            self.promote_dependent_of(path);
+        }
+        let family = parse_image_path(path).map(|p| (p.dir, p.rank));
+        let img = match (&family, CheckpointImage::decode(&data)) {
+            (Some(_), Ok(img)) => img,
+            // Not a rank image (or not ours to understand): pass through.
+            _ => {
+                let mut st = self.state.lock();
+                Self::forget(&mut st, path);
+                drop(st);
+                return self.inner.put(path, data, logical_len, rank, shape);
+            }
+        };
+        let family = family.expect("family checked above");
+        let mut st = self.state.lock();
+        Self::forget(&mut st, path);
+        let write_delta = st.latest.get(&family).is_some_and(|prev| {
+            prev.path != path
+                && (self.cfg.full_every == 0 || prev.since_full + 1 < self.cfg.full_every)
+        });
+        if write_delta {
+            let prev = st.latest.get(&family).expect("prev checked above");
+            let mut img = img;
+            let deltas = diff_regions(&prev.image.regions, &img.regions, self.cfg.page.max(1));
+            let delta_logical = 4096 + deltas.iter().map(RegionDelta::logical_cost).sum::<u64>();
+            let (base_path, since_full) = (prev.path.clone(), prev.since_full);
+            // The meta clone must not copy the region payloads (the bulk
+            // of the image): lift them out, clone the husk, put them back.
+            let regions = std::mem::take(&mut img.regions);
+            let meta = img.clone();
+            img.regions = regions;
+            let blob = DeltaBlob {
+                base_path: base_path.clone(),
+                deltas,
+                meta,
+            };
+            let encoded = encode_delta(&blob);
+            st.base_of.insert(path.to_string(), base_path.clone());
+            st.child_of.insert(base_path, path.to_string());
+            st.latest.insert(
+                family,
+                LatestGen {
+                    path: path.to_string(),
+                    image: img,
+                    since_full: since_full + 1,
+                },
+            );
+            drop(st);
+            self.inner.put(path, encoded, delta_logical, rank, shape)
+        } else {
+            st.latest.insert(
+                family,
+                LatestGen {
+                    path: path.to_string(),
+                    image: img,
+                    since_full: 0,
+                },
+            );
+            drop(st);
+            self.inner.put(path, data, logical_len, rank, shape)
+        }
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        let (data, dur) = self.inner.get(path, rank, shape)?;
+        if !is_delta(&data) {
+            return Ok((data, dur));
+        }
+        let (img, total) = self.reconstruct(path, rank, shape)?;
+        Ok((Arc::new(img.encode()), total))
+    }
+
+    fn begin_epoch(&self) {
+        self.inner.begin_epoch();
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    /// Note: for a delta generation this reports the delta's (much
+    /// smaller) stored size — the write-volume saving is exactly what the
+    /// inner tier sees.
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.inner.logical_len(path)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        // GC safety: a dependent delta is promoted to a full image before
+        // its base disappears. If the dependent cannot be reconstructed
+        // right now (e.g. the inner tier is unreachable), refuse the
+        // removal — a retried GC beats a permanently broken chain.
+        if !self.promote_dependent_of(path) {
+            return false;
+        }
+        let mut st = self.state.lock();
+        Self::forget(&mut st, path);
+        st.latest.retain(|_, g| g.path != path);
+        drop(st);
+        self.inner.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_core::store::InMemStore;
+    use mana_sim::memory::{Half, RegionKind};
+
+    const SHAPE: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    fn region(start: u64, bytes: Vec<u8>) -> RegionSnapshot {
+        RegionSnapshot {
+            start,
+            len: bytes.len() as u64,
+            half: Half::Upper,
+            kind: RegionKind::Mmap,
+            name: format!("r{start:#x}"),
+            content: SnapshotContent::Dense(bytes),
+        }
+    }
+
+    fn image(ckpt_id: u64, regions: Vec<RegionSnapshot>) -> CheckpointImage {
+        CheckpointImage {
+            rank: 0,
+            nranks: 1,
+            ckpt_id,
+            app_name: "t".to_string(),
+            seed: 1,
+            regions,
+            upper_cursor: 0,
+            comms: Vec::new(),
+            groups: Vec::new(),
+            dtypes: Vec::new(),
+            log: Vec::new(),
+            counters: Default::default(),
+            buffered: Vec::new(),
+            pending: Vec::new(),
+            ops_done: ckpt_id,
+            allocs: Vec::new(),
+            slots: Vec::new(),
+            slot_seq: 0,
+            slot_seq_at_step: 0,
+        }
+    }
+
+    fn path(id: u64) -> String {
+        format!("d/ckpt_{id}/rank_0.mana")
+    }
+
+    fn store() -> DeltaStore<InMemStore> {
+        DeltaStore::new(DeltaConfig::default(), InMemStore::new())
+    }
+
+    #[test]
+    fn second_generation_is_a_small_delta_and_reconstructs() {
+        let s = store();
+        let big = vec![7u8; 64 << 10];
+        let gen1 = image(
+            1,
+            vec![
+                region(0x1000, big.clone()),
+                region(0x9000_0000, vec![1; 64]),
+            ],
+        );
+        s.put(&path(1), gen1.encode(), gen1.logical_bytes(), 0, SHAPE);
+
+        // Gen 2: the big region is untouched, one page of nothing else.
+        let mut small = vec![1u8; 64];
+        small[3] = 9;
+        let gen2 = image(2, vec![region(0x1000, big), region(0x9000_0000, small)]);
+        s.put(&path(2), gen2.encode(), gen2.logical_bytes(), 0, SHAPE);
+
+        let full = s.logical_len(&path(1)).unwrap();
+        let delta = s.logical_len(&path(2)).unwrap();
+        assert!(
+            delta * 4 < full,
+            "delta ({delta}) should be far below full ({full})"
+        );
+        assert!(s.is_delta_object(&path(2)));
+
+        let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        // Gen 1 still reads back as itself.
+        let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen1);
+    }
+
+    #[test]
+    fn page_level_patching_keeps_big_regions_cheap() {
+        let s = store();
+        let mut big = vec![3u8; 256 << 10];
+        let gen1 = image(1, vec![region(0x1000, big.clone())]);
+        s.put(&path(1), gen1.encode(), gen1.logical_bytes(), 0, SHAPE);
+        // Touch one byte in one page of the 256 KiB region.
+        big[100_000] = 4;
+        let gen2 = image(2, vec![region(0x1000, big)]);
+        s.put(&path(2), gen2.encode(), gen2.logical_bytes(), 0, SHAPE);
+        let delta = s.logical_len(&path(2)).unwrap();
+        // One 4 KiB page + metadata, not 256 KiB.
+        assert!(delta < 16 << 10, "one-page delta, got {delta}");
+        let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+    }
+
+    #[test]
+    fn chains_replay_across_generations() {
+        let s = store();
+        let mut data = vec![0u8; 32 << 10];
+        let mut imgs = Vec::new();
+        for id in 1..=4 {
+            data[(id as usize) * 5000] = id as u8;
+            let img = image(id, vec![region(0x1000, data.clone())]);
+            s.put(&path(id), img.encode(), img.logical_bytes(), 0, SHAPE);
+            imgs.push(img);
+        }
+        for (i, img) in imgs.iter().enumerate() {
+            let (bytes, _) = s.get(&path(i as u64 + 1), 0, SHAPE).unwrap();
+            assert_eq!(&CheckpointImage::decode(&bytes).unwrap(), img);
+        }
+        // Chain reads cost more than base reads would alone: use FsStore
+        // to observe durations elsewhere; here just confirm structure.
+        assert!(s.is_delta_object(&path(4)));
+    }
+
+    #[test]
+    fn removing_a_base_promotes_its_dependent() {
+        let s = store();
+        let big = vec![9u8; 64 << 10];
+        let gen1 = image(1, vec![region(0x1000, big.clone())]);
+        s.put(&path(1), gen1.encode(), gen1.logical_bytes(), 0, SHAPE);
+        let mut big2 = big;
+        big2[0] = 1;
+        let gen2 = image(2, vec![region(0x1000, big2)]);
+        s.put(&path(2), gen2.encode(), gen2.logical_bytes(), 0, SHAPE);
+        assert!(s.is_delta_object(&path(2)));
+
+        assert!(s.remove(&path(1)));
+        assert!(!s.exists(&path(1)));
+        // The dependent was folded into a standalone full image.
+        assert!(!s.is_delta_object(&path(2)));
+        assert_eq!(s.logical_len(&path(2)).unwrap(), gen2.logical_bytes());
+        let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+    }
+
+    #[test]
+    fn full_every_bounds_the_chain() {
+        let s = DeltaStore::new(
+            DeltaConfig {
+                full_every: 2,
+                page: 4096,
+            },
+            InMemStore::new(),
+        );
+        let mut data = vec![0u8; 16 << 10];
+        for id in 1..=4 {
+            data[0] = id as u8;
+            let img = image(id, vec![region(0x1000, data.clone())]);
+            s.put(&path(id), img.encode(), img.logical_bytes(), 0, SHAPE);
+        }
+        // Gen 1 full, gen 2 delta, gen 3 full again, gen 4 delta.
+        assert!(!s.is_delta_object(&path(1)));
+        assert!(s.is_delta_object(&path(2)));
+        assert!(!s.is_delta_object(&path(3)));
+        assert!(s.is_delta_object(&path(4)));
+    }
+
+    #[test]
+    fn overwriting_a_base_promotes_its_dependent_first() {
+        // A second session sharing the store (with its own ckpt-id
+        // sequence) can legitimately rewrite an earlier generation's
+        // path. Without promotion this would make gen 1 a delta on gen 2
+        // while gen 2's stored blob still names gen 1 as base — a cycle.
+        let s = store();
+        let big = vec![5u8; 32 << 10];
+        let gen1 = image(1, vec![region(0x1000, big.clone())]);
+        s.put(&path(1), gen1.encode(), gen1.logical_bytes(), 0, SHAPE);
+        let mut big2 = big.clone();
+        big2[7] = 7;
+        let gen2 = image(2, vec![region(0x1000, big2)]);
+        s.put(&path(2), gen2.encode(), gen2.logical_bytes(), 0, SHAPE);
+        assert!(s.is_delta_object(&path(2)));
+
+        let mut big3 = big;
+        big3[9] = 9;
+        let gen1b = image(1, vec![region(0x1000, big3)]);
+        s.put(&path(1), gen1b.encode(), gen1b.logical_bytes(), 0, SHAPE);
+
+        // Both paths read back correctly — no cycle, no stale base.
+        let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        assert!(!s.is_delta_object(&path(2)), "dependent was promoted");
+        let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen1b);
+    }
+
+    #[test]
+    fn handcrafted_cycles_surface_as_corrupt_not_hangs() {
+        // Delta blobs planted behind the store's back (they don't decode
+        // as images, so put passes them through verbatim) referencing
+        // each other must be rejected by the chain walk, not looped on.
+        let s = store();
+        let meta = image(1, Vec::new());
+        let blob = |base: &str| {
+            encode_delta(&DeltaBlob {
+                base_path: base.to_string(),
+                deltas: Vec::new(),
+                meta: meta.clone(),
+            })
+        };
+        let one = blob("c/two");
+        let two = blob("c/one");
+        s.put("c/one", one.clone(), one.len() as u64, 0, SHAPE);
+        s.put("c/two", two.clone(), two.len() as u64, 0, SHAPE);
+        match s.get("c/one", 0, SHAPE) {
+            Err(StoreError::Corrupt { why, .. }) => {
+                assert!(why.contains("cycle"), "unexpected reason: {why}")
+            }
+            other => panic!("expected Corrupt, got {:?}", other.map(|(_, d)| d)),
+        }
+    }
+
+    #[test]
+    fn non_image_objects_pass_through() {
+        let s = store();
+        s.put("manifest.txt", vec![1, 2, 3], 3, 0, SHAPE);
+        let (bytes, _) = s.get("manifest.txt", 0, SHAPE).unwrap();
+        assert_eq!(*bytes, vec![1, 2, 3]);
+        assert_eq!(s.logical_len("manifest.txt").unwrap(), 3);
+        // Image-shaped path but foreign bytes: also untouched.
+        s.put(&path(9), vec![0xEE; 10], 10, 0, SHAPE);
+        let (bytes, _) = s.get(&path(9), 0, SHAPE).unwrap();
+        assert_eq!(*bytes, vec![0xEE; 10]);
+    }
+}

@@ -1,0 +1,64 @@
+//! # mana-store — composable checkpoint-storage backends
+//!
+//! MANA's promise is that a checkpoint outlives clusters and MPI
+//! implementations, which makes *where and how images are stored* a
+//! first-class axis of the system: the NERSC production deployment found
+//! storage behavior — burst buffers vs. Lustre, write volume, image
+//! lifecycle — to dominate checkpoint cost at scale. This crate grows the
+//! two in-tree backends of `mana_core::store` into a composable subsystem
+//! behind the same [`CheckpointStore`] seam:
+//!
+//! * [`TieredStore`] — a bounded-capacity burst-buffer tier over a slow
+//!   global tier, with a synchronous and an **async-drain** mode in which
+//!   `put` charges only the fast-tier write and the drain completes on a
+//!   modeled background clock (forked-checkpoint semantics: a later `get`
+//!   or capacity pressure pays the remaining drain time);
+//! * [`CompressingStore`] — shrinks stored `logical_len` by a
+//!   content-seeded ratio and charges compress/decompress CPU time;
+//! * [`ReplicatedStore`] — N replicas with deterministic failure
+//!   injection; `put` charges the slowest-of-quorum write, `get` fails
+//!   over past dead replicas;
+//! * [`DeltaStore`] — incremental checkpoints that diff each rank's
+//!   region payloads against the previous generation and write only
+//!   changed pages plus a base reference, reconstructing full images on
+//!   `get` by replaying the delta chain;
+//! * [`conformance::exercise_store`] — the shared semantics suite every
+//!   backend passes.
+//!
+//! Every backend is deterministic under a seed, so simulations that
+//! choose a storage stack stay bit-reproducible.
+//!
+//! # Example: an async-drain burst buffer over compressed Lustre
+//!
+//! ```
+//! use mana_core::{CheckpointStore, FsStore};
+//! use mana_sim::fs::{FsConfig, IoShape};
+//! use mana_store::{CompressingStore, CompressionConfig, DrainMode, TierConfig, TieredStore};
+//!
+//! let lustre = FsStore::with_config(FsConfig::default());
+//! let compressed = CompressingStore::new(CompressionConfig::default(), lustre);
+//! let store = TieredStore::new(TierConfig::burst_buffer(DrainMode::Async), compressed);
+//!
+//! let shape = IoShape { writers_on_node: 1, total_writers: 1 };
+//! // The checkpoint-visible cost is the burst-buffer write alone; the
+//! // compressed Lustre write drains in the background.
+//! let visible = store.put("ckpt/ckpt_1/rank_0.mana", vec![7; 64], 1 << 30, 0, shape);
+//! // A read before the drain finished pays the remaining drain time.
+//! let (_data, read) = store.get("ckpt/ckpt_1/rank_0.mana", 0, shape).unwrap();
+//! assert!(read > visible);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compress;
+pub mod conformance;
+pub mod delta;
+pub mod replicated;
+pub mod tiered;
+
+pub use compress::{CompressingStore, CompressionConfig};
+pub use conformance::{exercise_store, StoreChecks};
+pub use delta::{DeltaConfig, DeltaStore};
+pub use mana_core::store::CheckpointStore;
+pub use replicated::{ReplicaConfig, ReplicatedStore};
+pub use tiered::{DrainMode, TierConfig, TieredStore};

@@ -1,0 +1,383 @@
+//! Replicated checkpoint storage with failure injection.
+//!
+//! A checkpoint that outlives clusters should also outlive a storage
+//! target: [`ReplicatedStore`] keeps N replicas, acknowledges a `put`
+//! when a write quorum has it (charging the slowest write *of the
+//! quorum*, not of all replicas), and serves `get` by failing over past
+//! dead replicas, paying a probe timeout per corpse. Replica liveness is
+//! drawn deterministically per (replica, epoch) from a seed, so runs
+//! replay bit-identically; tests can also force replicas down or up.
+
+use mana_core::error::StoreError;
+use mana_core::store::CheckpointStore;
+use mana_sim::fs::IoShape;
+use mana_sim::rng::splitmix64;
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Replication parameters.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// Replicas that must acknowledge a write before `put` returns.
+    /// Clamped to the number of live replicas at write time.
+    pub write_quorum: usize,
+    /// Probability a given replica is down in a given epoch (drawn
+    /// deterministically from `seed`).
+    pub fail_prob: f64,
+    /// Cost of discovering one dead replica on the read path (connect
+    /// timeout + retry against the next replica).
+    pub failover_latency: SimDuration,
+    /// Seed for the liveness draws.
+    pub seed: u64,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> ReplicaConfig {
+        ReplicaConfig {
+            write_quorum: 2,
+            fail_prob: 0.0,
+            failover_latency: SimDuration::millis(500),
+            seed: 0x5265_706c,
+        }
+    }
+}
+
+struct RepState {
+    epoch: u64,
+    forced_down: BTreeSet<usize>,
+}
+
+/// N-way replicated store over heterogeneous (or identical) backends.
+pub struct ReplicatedStore {
+    cfg: ReplicaConfig,
+    replicas: Vec<Arc<dyn CheckpointStore>>,
+    state: Mutex<RepState>,
+}
+
+impl ReplicatedStore {
+    /// Replicate across `replicas` (at least one).
+    pub fn new(cfg: ReplicaConfig, replicas: Vec<Arc<dyn CheckpointStore>>) -> ReplicatedStore {
+        assert!(!replicas.is_empty(), "at least one replica required");
+        ReplicatedStore {
+            cfg,
+            replicas,
+            state: Mutex::new(RepState {
+                epoch: 0,
+                forced_down: BTreeSet::new(),
+            }),
+        }
+    }
+
+    /// Replicate across `n` stores built by `make` (e.g. `n` independent
+    /// filesystems).
+    pub fn with_replicas<S: CheckpointStore + 'static>(
+        cfg: ReplicaConfig,
+        n: usize,
+        make: impl Fn(usize) -> S,
+    ) -> ReplicatedStore {
+        ReplicatedStore::new(
+            cfg,
+            (0..n)
+                .map(|i| Arc::new(make(i)) as Arc<dyn CheckpointStore>)
+                .collect(),
+        )
+    }
+
+    /// Force replica `i` down (until [`ReplicatedStore::revive`]).
+    pub fn kill_replica(&self, i: usize) {
+        self.state.lock().forced_down.insert(i);
+    }
+
+    /// Lift a forced failure on replica `i`.
+    pub fn revive(&self, i: usize) {
+        self.state.lock().forced_down.remove(&i);
+    }
+
+    /// Whether replica `i` is up in the current epoch.
+    pub fn alive(&self, i: usize) -> bool {
+        let st = self.state.lock();
+        self.alive_at(i, st.epoch, &st.forced_down)
+    }
+
+    fn alive_at(&self, i: usize, epoch: u64, forced_down: &BTreeSet<usize>) -> bool {
+        if forced_down.contains(&i) {
+            return false;
+        }
+        if self.cfg.fail_prob <= 0.0 {
+            return true;
+        }
+        let u = splitmix64(self.cfg.seed ^ splitmix64(i as u64) ^ splitmix64(epoch ^ 0x9E37));
+        let x = (u >> 11) as f64 / (1u64 << 53) as f64;
+        x >= self.cfg.fail_prob
+    }
+
+    fn alive_indices(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        (0..self.replicas.len())
+            .filter(|i| self.alive_at(*i, st.epoch, &st.forced_down))
+            .collect()
+    }
+}
+
+impl CheckpointStore for ReplicatedStore {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        let mut alive = self.alive_indices();
+        if alive.is_empty() {
+            // Total outage: the writer retries until the targets recover —
+            // model it as writing everywhere and waiting for the slowest.
+            alive = (0..self.replicas.len()).collect();
+        }
+        // The last replica takes the buffer by move (images are large;
+        // one avoidable copy per put adds up).
+        let mut data = Some(data);
+        let last = alive.len() - 1;
+        let mut durs: Vec<SimDuration> = alive
+            .iter()
+            .enumerate()
+            .map(|(k, i)| {
+                let payload = if k == last {
+                    data.take().expect("payload consumed only once")
+                } else {
+                    data.as_ref().expect("payload live until last").clone()
+                };
+                self.replicas[*i].put(path, payload, logical_len, rank, shape)
+            })
+            .collect();
+        durs.sort_unstable();
+        // Wait for the write quorum: the slowest of the `q` fastest acks.
+        let q = self.cfg.write_quorum.clamp(1, durs.len());
+        durs[q - 1]
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        let mut failover = SimDuration::ZERO;
+        let st = self.state.lock();
+        let (epoch, forced) = (st.epoch, st.forced_down.clone());
+        drop(st);
+        for i in 0..self.replicas.len() {
+            if !self.alive_at(i, epoch, &forced) {
+                failover += self.cfg.failover_latency;
+                continue;
+            }
+            match self.replicas[i].get(path, rank, shape) {
+                Ok((data, dur)) => return Ok((data, failover + dur)),
+                // A replica that missed the write (it was down): probe on.
+                Err(StoreError::NotFound(_)) => failover += self.cfg.failover_latency,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StoreError::NotFound(path.to_string()))
+    }
+
+    fn begin_epoch(&self) {
+        self.state.lock().epoch += 1;
+        for r in &self.replicas {
+            r.begin_epoch();
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        let st = self.state.lock();
+        let (epoch, forced) = (st.epoch, st.forced_down.clone());
+        drop(st);
+        (0..self.replicas.len())
+            .any(|i| self.alive_at(i, epoch, &forced) && self.replicas[i].exists(path))
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        let st = self.state.lock();
+        let (epoch, forced) = (st.epoch, st.forced_down.clone());
+        drop(st);
+        for i in 0..self.replicas.len() {
+            if !self.alive_at(i, epoch, &forced) {
+                continue;
+            }
+            if let Ok(len) = self.replicas[i].logical_len(path) {
+                return Ok(len);
+            }
+        }
+        Err(StoreError::NotFound(path.to_string()))
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        // Deletion reaches every replica (a dead one would resurrect the
+        // object otherwise — anti-entropy is out of scope).
+        let mut any = false;
+        for r in &self.replicas {
+            any |= r.remove(path);
+        }
+        any
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut all: Vec<String> = Vec::new();
+        let st = self.state.lock();
+        let (epoch, forced) = (st.epoch, st.forced_down.clone());
+        drop(st);
+        for i in 0..self.replicas.len() {
+            if self.alive_at(i, epoch, &forced) {
+                all.extend(self.replicas[i].list());
+            }
+        }
+        all.sort();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_core::store::InMemStore;
+
+    const SHAPE: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    /// Inner test store with fixed, distinct put/get durations.
+    struct FixedLatency {
+        inner: InMemStore,
+        write: SimDuration,
+        read: SimDuration,
+    }
+
+    impl FixedLatency {
+        fn new(write_ms: u64, read_ms: u64) -> FixedLatency {
+            FixedLatency {
+                inner: InMemStore::new(),
+                write: SimDuration::millis(write_ms),
+                read: SimDuration::millis(read_ms),
+            }
+        }
+    }
+
+    impl CheckpointStore for FixedLatency {
+        fn put(&self, p: &str, d: Vec<u8>, l: u64, r: u64, s: IoShape) -> SimDuration {
+            self.inner.put(p, d, l, r, s);
+            self.write
+        }
+        fn get(
+            &self,
+            p: &str,
+            r: u64,
+            s: IoShape,
+        ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+            self.inner.get(p, r, s).map(|(d, _)| (d, self.read))
+        }
+        fn exists(&self, p: &str) -> bool {
+            self.inner.exists(p)
+        }
+        fn logical_len(&self, p: &str) -> Result<u64, StoreError> {
+            self.inner.logical_len(p)
+        }
+        fn remove(&self, p: &str) -> bool {
+            self.inner.remove(p)
+        }
+        fn list(&self) -> Vec<String> {
+            self.inner.list()
+        }
+    }
+
+    fn three_way(quorum: usize) -> ReplicatedStore {
+        let cfg = ReplicaConfig {
+            write_quorum: quorum,
+            failover_latency: SimDuration::millis(100),
+            ..ReplicaConfig::default()
+        };
+        ReplicatedStore::new(
+            cfg,
+            vec![
+                Arc::new(FixedLatency::new(10, 5)),
+                Arc::new(FixedLatency::new(20, 6)),
+                Arc::new(FixedLatency::new(30, 7)),
+            ],
+        )
+    }
+
+    #[test]
+    fn put_charges_the_slowest_of_the_quorum() {
+        let s = three_way(2);
+        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(20));
+        let s = three_way(3);
+        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(30));
+        let s = three_way(1);
+        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(10));
+    }
+
+    #[test]
+    fn get_fails_over_past_dead_replicas() {
+        let s = three_way(3);
+        s.put("x", vec![7], 8, 0, SHAPE);
+        s.kill_replica(0);
+        s.kill_replica(1);
+        let (data, dur) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![7]);
+        // Two probe timeouts (100ms each) + replica 2's 7ms read.
+        assert_eq!(dur, SimDuration::millis(207));
+    }
+
+    #[test]
+    fn writes_skip_dead_replicas_and_reads_recover() {
+        let s = three_way(2);
+        s.kill_replica(2);
+        s.put("x", vec![3], 8, 0, SHAPE);
+        s.revive(2);
+        // Replica 2 never got the write: the read probes past its miss.
+        s.kill_replica(0);
+        s.kill_replica(1);
+        assert!(matches!(s.get("x", 0, SHAPE), Err(StoreError::NotFound(_))));
+        s.revive(1);
+        let (data, _) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![3]);
+    }
+
+    #[test]
+    fn seeded_failures_are_deterministic_and_epoch_varying() {
+        let make = || {
+            ReplicatedStore::with_replicas(
+                ReplicaConfig {
+                    fail_prob: 0.5,
+                    seed: 11,
+                    ..ReplicaConfig::default()
+                },
+                8,
+                |_| InMemStore::new(),
+            )
+        };
+        let (a, b) = (make(), make());
+        let pattern = |s: &ReplicatedStore| (0..8).map(|i| s.alive(i)).collect::<Vec<_>>();
+        assert_eq!(pattern(&a), pattern(&b), "same seed, same epoch");
+        let before = pattern(&a);
+        a.begin_epoch();
+        assert_ne!(pattern(&a), before, "liveness redraws per epoch");
+        b.begin_epoch();
+        assert_eq!(pattern(&a), pattern(&b), "still deterministic");
+    }
+
+    #[test]
+    fn total_outage_still_writes_somewhere() {
+        let s = three_way(2);
+        for i in 0..3 {
+            s.kill_replica(i);
+        }
+        s.put("x", vec![1], 8, 0, SHAPE);
+        s.revive(0);
+        let (data, _) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![1]);
+    }
+}

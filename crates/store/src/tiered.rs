@@ -1,0 +1,335 @@
+//! Two-tier checkpoint storage: a bounded fast tier (burst buffer /
+//! node-local SSD) absorbing writes in front of a slow global tier.
+//!
+//! The interesting mode is [`DrainMode::Async`]: the duration `put`
+//! returns — what the checkpointing rank's clock advances by — covers only
+//! the fast-tier write, and the drain to the global tier completes on a
+//! modeled background clock, exactly the forked-checkpoint overlap DMTCP
+//! uses (the image write proceeds while the application resumes). The
+//! deferred cost does not vanish: a `get` before the drain finished pays
+//! the remaining drain time (a restart right after a kill reads through
+//! the in-flight drain), capacity pressure pays it when evicting a
+//! resident, and by the next checkpoint epoch the background clock has
+//! retired it.
+
+use mana_core::error::StoreError;
+use mana_core::store::CheckpointStore;
+use mana_sim::fs::IoShape;
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// When the fast→slow drain's cost is charged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainMode {
+    /// `put` charges fast write + full drain (write-through).
+    Sync,
+    /// `put` charges only the fast write; the drain completes on the
+    /// modeled background clock (forked-checkpoint overlap).
+    Async,
+}
+
+/// Parameters of the fast tier.
+#[derive(Clone, Debug)]
+pub struct TierConfig {
+    /// Fast-tier bandwidth per node, bytes/s (shared by the node's
+    /// concurrent writers).
+    pub bw: f64,
+    /// Fixed per-operation latency (open/close/fsync on the fast tier).
+    pub op_latency: SimDuration,
+    /// Fast-tier capacity in logical bytes; an object larger than this
+    /// bypasses the fast tier entirely.
+    pub capacity: u64,
+    /// Drain mode.
+    pub drain: DrainMode,
+}
+
+impl TierConfig {
+    /// A DataWarp-like burst buffer: ~5 GB/s per node, cheap metadata
+    /// operations, 64 GiB of capacity.
+    pub fn burst_buffer(drain: DrainMode) -> TierConfig {
+        TierConfig {
+            bw: 5.0e9,
+            op_latency: SimDuration::micros(200),
+            capacity: 64 << 30,
+            drain,
+        }
+    }
+}
+
+struct FastObj {
+    logical_len: u64,
+    /// Drain time still owed to the slow tier (async mode only).
+    debt: SimDuration,
+}
+
+#[derive(Default)]
+struct TierState {
+    /// Fast-tier residents in insertion order (FIFO eviction).
+    order: VecDeque<String>,
+    objects: HashMap<String, FastObj>,
+    used: u64,
+}
+
+/// Fast burst-buffer tier draining to a slow global tier `S`.
+///
+/// The slow tier is authoritative for contents and metadata (`exists`,
+/// `list`, `logical_len` delegate to it); the fast tier shapes *timing*
+/// and tracks outstanding drain debt.
+pub struct TieredStore<S> {
+    cfg: TierConfig,
+    slow: S,
+    state: Mutex<TierState>,
+}
+
+impl<S: CheckpointStore> TieredStore<S> {
+    /// A tiered store writing through to `slow`.
+    pub fn new(cfg: TierConfig, slow: S) -> TieredStore<S> {
+        TieredStore {
+            cfg,
+            slow,
+            state: Mutex::new(TierState::default()),
+        }
+    }
+
+    /// The slow (global) tier.
+    pub fn slow(&self) -> &S {
+        &self.slow
+    }
+
+    /// Paths currently resident in the fast tier, oldest first.
+    pub fn fast_residents(&self) -> Vec<String> {
+        self.state.lock().order.iter().cloned().collect()
+    }
+
+    /// Drain time still owed for `path` (zero once the background drain
+    /// retired it or a reader paid it).
+    pub fn pending_drain(&self, path: &str) -> SimDuration {
+        self.state
+            .lock()
+            .objects
+            .get(path)
+            .map(|o| o.debt)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    fn fast_xfer(&self, bytes: u64, shape: IoShape) -> SimDuration {
+        let share = (self.cfg.bw / f64::from(shape.writers_on_node.max(1))).max(1.0);
+        self.cfg.op_latency + SimDuration::secs_f64(bytes as f64 / share)
+    }
+}
+
+impl<S: CheckpointStore> CheckpointStore for TieredStore<S> {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        // The slow tier holds the bytes durably either way; in async mode
+        // only the *time* is deferred as debt.
+        let drain = self.slow.put(path, data, logical_len, rank, shape);
+        let mut st = self.state.lock();
+        let mut paid = SimDuration::ZERO;
+        if let Some(old) = st.objects.remove(path) {
+            // Overwrite: the previous generation's in-flight drain must
+            // finish before its slot can be reused.
+            st.used -= old.logical_len;
+            st.order.retain(|p| p != path);
+            paid += old.debt;
+        }
+        if logical_len > self.cfg.capacity {
+            // Too big for the burst buffer: straight to the slow tier.
+            return paid + drain;
+        }
+        while st.used + logical_len > self.cfg.capacity {
+            let victim = st.order.pop_front().expect("resident to evict");
+            let obj = st.objects.remove(&victim).expect("victim object");
+            st.used -= obj.logical_len;
+            // Capacity pressure pays the victim's remaining drain.
+            paid += obj.debt;
+        }
+        let (debt, charged) = match self.cfg.drain {
+            DrainMode::Sync => (SimDuration::ZERO, drain),
+            DrainMode::Async => (drain, SimDuration::ZERO),
+        };
+        st.objects
+            .insert(path.to_string(), FastObj { logical_len, debt });
+        st.order.push_back(path.to_string());
+        st.used += logical_len;
+        paid + self.fast_xfer(logical_len, shape) + charged
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        let (data, slow_read) = self.slow.get(path, rank, shape)?;
+        let mut st = self.state.lock();
+        match st.objects.get_mut(path) {
+            Some(obj) => {
+                // Resident: read at fast-tier speed, but an unfinished
+                // drain must complete first (the image isn't safe to
+                // consume mid-flight).
+                let debt = std::mem::replace(&mut obj.debt, SimDuration::ZERO);
+                let fast = self.fast_xfer(obj.logical_len, shape);
+                Ok((data, fast + debt))
+            }
+            None => Ok((data, slow_read)),
+        }
+    }
+
+    fn begin_epoch(&self) {
+        // A new checkpoint epoch means the application ran for a full
+        // checkpoint interval: the background drain clock has retired all
+        // outstanding debt by now.
+        let mut st = self.state.lock();
+        for o in st.objects.values_mut() {
+            o.debt = SimDuration::ZERO;
+        }
+        drop(st);
+        self.slow.begin_epoch();
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.slow.exists(path)
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.slow.logical_len(path)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        let mut st = self.state.lock();
+        if let Some(old) = st.objects.remove(path) {
+            st.used -= old.logical_len;
+            st.order.retain(|p| p != path);
+        }
+        drop(st);
+        self.slow.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.slow.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_core::store::{FsStore, InMemStore};
+    use mana_sim::fs::FsConfig;
+
+    const SHAPE: IoShape = IoShape {
+        writers_on_node: 1,
+        total_writers: 1,
+    };
+
+    fn lustre() -> FsStore {
+        // Straggler-free so durations are exactly predictable.
+        FsStore::with_config(FsConfig {
+            node_bw: 1e9,
+            aggregate_bw: 10e9,
+            op_latency: SimDuration::millis(1),
+            write_straggler_max: 1.0,
+            read_straggler_max: 1.0,
+            seed: 1,
+        })
+    }
+
+    fn cfg(drain: DrainMode) -> TierConfig {
+        TierConfig {
+            bw: 10e9,
+            op_latency: SimDuration::micros(100),
+            capacity: 1 << 30,
+            drain,
+        }
+    }
+
+    #[test]
+    fn async_put_is_cheaper_than_sync_put() {
+        let sync = TieredStore::new(cfg(DrainMode::Sync), lustre());
+        let asyn = TieredStore::new(cfg(DrainMode::Async), lustre());
+        let len = 100 << 20; // 100 MB: ~0.1s on Lustre, ~0.01s on the BB
+        let ds = sync.put("x", vec![], len, 0, SHAPE);
+        let da = asyn.put("x", vec![], len, 0, SHAPE);
+        assert!(
+            da.as_nanos() * 5 < ds.as_nanos(),
+            "async {da} should be far below sync {ds}"
+        );
+        // The deferred cost is visible as debt.
+        assert!(asyn.pending_drain("x") > SimDuration::ZERO);
+        assert_eq!(sync.pending_drain("x"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn get_pays_the_remaining_drain() {
+        let store = TieredStore::new(cfg(DrainMode::Async), lustre());
+        store.put("x", vec![1, 2], 100 << 20, 0, SHAPE);
+        let debt = store.pending_drain("x");
+        assert!(debt > SimDuration::ZERO);
+        let (data, rd) = store.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![1, 2]);
+        assert!(rd >= debt, "read {rd} must cover the drain debt {debt}");
+        // Paid once: a second read is a plain fast-tier read.
+        assert_eq!(store.pending_drain("x"), SimDuration::ZERO);
+        let (_, rd2) = store.get("x", 0, SHAPE).unwrap();
+        assert!(rd2 < debt);
+    }
+
+    #[test]
+    fn background_clock_retires_debt_by_the_next_epoch() {
+        let store = TieredStore::new(cfg(DrainMode::Async), lustre());
+        store.put("x", vec![], 100 << 20, 0, SHAPE);
+        assert!(store.pending_drain("x") > SimDuration::ZERO);
+        store.begin_epoch();
+        assert_eq!(store.pending_drain("x"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn capacity_pressure_pays_evicted_drains() {
+        let mut c = cfg(DrainMode::Async);
+        c.capacity = 150 << 20;
+        let store = TieredStore::new(c, lustre());
+        store.put("a", vec![], 100 << 20, 0, SHAPE);
+        let debt_a = store.pending_drain("a");
+        // The second object doesn't fit next to `a`: `a` is evicted and
+        // its outstanding drain is paid as part of this put.
+        let d = store.put("b", vec![], 100 << 20, 1, SHAPE);
+        assert!(d >= debt_a, "eviction {d} must pay a's debt {debt_a}");
+        assert_eq!(store.fast_residents(), vec!["b".to_string()]);
+        // Evicted object is still durable in the slow tier.
+        assert!(store.exists("a"));
+        store.get("a", 0, SHAPE).unwrap();
+    }
+
+    #[test]
+    fn oversize_objects_bypass_the_fast_tier() {
+        let mut c = cfg(DrainMode::Async);
+        c.capacity = 1 << 20;
+        let store = TieredStore::new(c, lustre());
+        let d = store.put("big", vec![], 10 << 20, 0, SHAPE);
+        // Charged the full slow write (no async hiding possible).
+        assert!(
+            d.as_secs_f64() > 0.009,
+            "expected ~10ms slow write, got {d}"
+        );
+        assert!(store.fast_residents().is_empty());
+        assert_eq!(store.pending_drain("big"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_latency_slow_tier_still_works() {
+        let store = TieredStore::new(cfg(DrainMode::Async), InMemStore::new());
+        store.put("x", vec![9], 4096, 0, SHAPE);
+        let (data, _) = store.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![9]);
+        assert!(store.remove("x"));
+        assert!(!store.exists("x"));
+    }
+}

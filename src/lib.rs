@@ -10,6 +10,7 @@
 //! | [`net`] | interconnect models (SHM/TCP/InfiniBand/Aries) and transport |
 //! | [`mpi`] | the simulated MPI libraries ("Cray MPICH", "Open MPI", "MPICH") |
 //! | [`core`] | MANA itself: split process, virtualization, record-replay, drain, two-phase collectives, coordinator, images, sessions, restart |
+//! | [`store`] | composable checkpoint-storage backends: tiered/burst-buffer (async drain), compressing, replicated, incremental-delta |
 //! | [`apps`] | GROMACS/miniFE/HPCG/CLAMR/LULESH-like workloads + OSU microbenchmarks |
 //! | [`model_check`] | explicit-state verification of the checkpoint protocol (§2.6) |
 //!
@@ -66,5 +67,6 @@ pub use mana_model_check as model_check;
 pub use mana_mpi as mpi;
 pub use mana_net as net;
 pub use mana_sim as sim;
+pub use mana_store as store;
 
 pub use mana_core::{JobBuilder, ManaSession};
