@@ -2,20 +2,48 @@
 //! communication overhead to the checkpoint time at the largest node
 //! count. The paper (64 nodes): drain <0.7 s, two-phase communication
 //! <1.6 s, everything else is the parallel write.
+//!
+//! Extended with the coordinator-topology comparison: the same
+//! checkpoints under the flat DMTCP-style star (the paper's measured
+//! configuration, whose comm overhead grows with rank count) and under
+//! the per-node tree (`TopologyKind::Tree`), whose root exchanges one
+//! aggregated frame per node. The comm overhead is attributed to the
+//! protocol's three phases (agreement / bookmark / completion) so the
+//! tree's win is visible where it acts.
+//!
+//! Run with `--test` for the CI smoke configuration (tiny scale, same
+//! shapes, same ≥2× assertion).
 
 use mana_apps::AppKind;
-use mana_bench::{banner, checkpoint_run, lulesh_ranks, lustre_session, Scale, Table};
+use mana_bench::{banner, checkpoint_run_topo, lulesh_ranks, lustre_session, Scale, Table};
+use mana_core::{CkptReport, TopologyKind};
 use mana_sim::cluster::ClusterSpec;
 
+fn phases(r: &CkptReport) -> String {
+    format!(
+        "{}/{}/{}",
+        r.agreement_overhead(),
+        r.bookmark_overhead(),
+        r.completion_overhead()
+    )
+}
+
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
     let scale = Scale::from_env();
     let nodes = *scale.node_counts().last().unwrap();
     banner(
         "Figure 8",
-        &format!("checkpoint-time breakdown at {nodes} nodes"),
-        "write dominates; drain <0.7s; coordinator comm <1.6s (grows with ranks)",
+        &format!("checkpoint-time breakdown at {nodes} nodes, flat vs tree coordinator"),
+        "write dominates; drain <0.7s; coordinator comm <1.6s (grows with ranks; tree flattens it)",
     );
-    let rpn = scale.ranks_per_node();
+    let rpn = if smoke { 4 } else { scale.ranks_per_node() };
+    let steps = if smoke { 4 } else { 6 };
+    let apps: &[AppKind] = if smoke {
+        &[AppKind::Gromacs]
+    } else {
+        &AppKind::all()
+    };
     let session = lustre_session();
     let mut table = Table::new(&[
         "app",
@@ -23,12 +51,14 @@ fn main() {
         "total",
         "write",
         "drain",
-        "comm overhead",
-        "write %",
-        "drain %",
-        "comm %",
+        "flat comm",
+        "flat a/b/c",
+        "tree comm",
+        "tree a/b/c",
+        "comm x",
     ]);
-    for app in AppKind::all() {
+    let mut worst_ratio = f64::INFINITY;
+    for app in apps.iter().copied() {
         let nominal = nodes * rpn;
         let nranks = if app == AppKind::Lulesh {
             lulesh_ranks(nominal)
@@ -36,25 +66,43 @@ fn main() {
             nominal
         };
         let cluster = ClusterSpec::cori(nodes);
-        let dir = format!("fig8-{}", app.name());
-        let killed = checkpoint_run(app, &cluster, nranks, 6, 46, &session, &dir, true);
-        let r = &killed.ckpts()[0];
-        let total = r.total().as_secs_f64();
-        let write = r.max_write().as_secs_f64();
-        let drain = r.max_drain().as_secs_f64();
-        let comm = r.comm_overhead().as_secs_f64();
+        let run = |topology: TopologyKind| {
+            let dir = format!("fig8-{}-{topology:?}", app.name());
+            let killed = checkpoint_run_topo(
+                app, &cluster, nranks, steps, 46, &session, &dir, true, topology,
+            );
+            killed.ckpts()[0].clone()
+        };
+        let flat = run(TopologyKind::Flat);
+        let tree = run(TopologyKind::Tree);
+        let ratio = flat.comm_overhead().as_secs_f64() / tree.comm_overhead().as_secs_f64();
         table.row(vec![
             app.name().to_string(),
             nranks.to_string(),
-            format!("{}", r.total()),
-            format!("{}", r.max_write()),
-            format!("{}", r.max_drain()),
-            format!("{}", r.comm_overhead()),
-            format!("{:.1}", write / total * 100.0),
-            format!("{:.1}", drain / total * 100.0),
-            format!("{:.1}", comm / total * 100.0),
+            format!("{}", flat.total()),
+            format!("{}", flat.max_write()),
+            format!("{}", flat.max_drain()),
+            format!("{}", flat.comm_overhead()),
+            phases(&flat),
+            format!("{}", tree.comm_overhead()),
+            phases(&tree),
+            format!("{ratio:.1}"),
         ]);
+        // Topology invariance: same safety decisions and image volumes,
+        // only timing differs.
+        assert_eq!(flat.extra_iterations, tree.extra_iterations);
+        assert_eq!(flat.total_image_bytes(), tree.total_image_bytes());
+        worst_ratio = worst_ratio.min(ratio);
     }
     table.print();
     println!("\npaper (64 nodes): write time dominates every app; drain <0.7 s; comm <1.6 s");
+    println!(
+        "tree fan-out cuts the root's comm overhead ≥{worst_ratio:.1}x at {nodes} nodes \
+         (one aggregated frame per node instead of one frame per rank)"
+    );
+    assert!(
+        worst_ratio >= 2.0,
+        "tree topology must cut the root coordinator's comm overhead at least 2x \
+         at the largest node count (got {worst_ratio:.2}x)"
+    );
 }

@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use mana_apps::AppKind;
-use mana_core::{CheckpointStore, Incarnation, JobBuilder, ManaSession};
+use mana_core::{CheckpointStore, Incarnation, JobBuilder, ManaSession, TopologyKind};
 use mana_mpi::MpiProfile;
 use mana_sim::cluster::ClusterSpec;
 use mana_sim::time::{SimDuration, SimTime};
@@ -167,6 +167,33 @@ pub fn checkpoint_run(
     ckpt_dir: &str,
     with_bulk: bool,
 ) -> Incarnation {
+    checkpoint_run_topo(
+        app,
+        cluster,
+        nranks,
+        steps,
+        seed,
+        session,
+        ckpt_dir,
+        with_bulk,
+        TopologyKind::Flat,
+    )
+}
+
+/// [`checkpoint_run`] under an explicit coordinator topology (the fig8
+/// flat-vs-tree comparison).
+#[allow(clippy::too_many_arguments)]
+pub fn checkpoint_run_topo(
+    app: AppKind,
+    cluster: &ClusterSpec,
+    nranks: u32,
+    steps: u64,
+    seed: u64,
+    session: &ManaSession,
+    ckpt_dir: &str,
+    with_bulk: bool,
+    topology: TopologyKind,
+) -> Incarnation {
     let workload = mana_apps::make_app(app, steps, cluster.nodes, with_bulk);
     let job = || {
         JobBuilder::new()
@@ -175,6 +202,7 @@ pub fn checkpoint_run(
             .profile(MpiProfile::cray_mpich())
             .seed(seed)
             .ckpt_dir(ckpt_dir)
+            .topology(topology)
     };
     // Probe the run length with a dry run so the checkpoint lands mid-run.
     let probe = session.run(job(), workload.clone()).expect("probe run");

@@ -14,6 +14,28 @@ pub enum AfterCkpt {
     Kill,
 }
 
+/// Shape of the checkpoint-coordinator control plane.
+///
+/// The DMTCP-style coordinator serializes one small TCP send per rank, so
+/// its communication overhead grows with rank count (§3.4, Figure 8). The
+/// tree topology puts a sub-coordinator on every compute node: the root
+/// exchanges one aggregated message per *node* and the sub-coordinators
+/// fan out / reduce locally (over loopback/shm) in parallel. Both
+/// topologies run the identical protocol and make identical safety
+/// decisions — only the timing differs. See `README.md` §"Coordinator
+/// topologies" for when the tree pays off.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TopologyKind {
+    /// One coordinator speaks to every rank directly (DMTCP's star; the
+    /// paper's measured configuration). The default.
+    #[default]
+    Flat,
+    /// Per-node sub-coordinators fan out downward control messages and
+    /// aggregate upward replies in-tree, so the root handles O(nodes)
+    /// messages instead of O(ranks).
+    Tree,
+}
+
 /// Configuration of the MANA layer for one job incarnation.
 #[derive(Clone, Debug)]
 pub struct ManaConfig {
@@ -42,6 +64,8 @@ pub struct ManaConfig {
     /// (socket polling over thousands of descriptors, small-message
     /// metadata — §3.4).
     pub ctrl_recv_cpu: SimDuration,
+    /// Control-plane shape: flat star (default) or per-node tree fan-out.
+    pub topology: TopologyKind,
 }
 
 impl ManaConfig {
@@ -57,7 +81,14 @@ impl ManaConfig {
             after_last_ckpt: AfterCkpt::Continue,
             ctrl_send_cpu: SimDuration::micros(30),
             ctrl_recv_cpu: SimDuration::micros(80),
+            topology: TopologyKind::Flat,
         }
+    }
+
+    /// The same configuration under a different coordinator topology.
+    pub fn with_topology(mut self, topology: TopologyKind) -> ManaConfig {
+        self.topology = topology;
+        self
     }
 
     /// Checkpoint once at `at`, then continue.
@@ -129,6 +160,9 @@ mod tests {
         let c = ManaConfig::checkpoint_and_kill(KernelModel::patched(), SimTime(5));
         assert_eq!(c.after_last_ckpt, AfterCkpt::Kill);
         assert_eq!(c.image_path(2, 7), "ckpt/ckpt_2/rank_7.mana");
+        assert_eq!(c.topology, TopologyKind::Flat, "flat is the default");
+        let c = c.with_topology(TopologyKind::Tree);
+        assert_eq!(c.topology, TopologyKind::Tree);
     }
 
     #[test]

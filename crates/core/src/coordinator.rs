@@ -1,8 +1,7 @@
 //! The checkpoint coordinator (paper §2.5 Algorithm 2, coordinator side;
-//! §2.7).
+//! §2.7) — the topology-generic *protocol driver*.
 //!
-//! A single stateless daemon modelled on the DMTCP coordinator: it speaks
-//! small TCP messages to every rank's helper thread and drives the
+//! A stateless daemon modelled on the DMTCP coordinator drives the
 //! two-phase agreement:
 //!
 //! ```text
@@ -14,30 +13,32 @@
 //! send resume (or kill)
 //! ```
 //!
+//! *How* those messages reach the ranks is behind the
+//! [`CoordTopology`] seam (`crate::topology`): the flat star speaks one
+//! frame per rank; the tree speaks one aggregated frame per node. The
+//! agreement, the do-ckpt safety rule ([`checkpoint_safe`]), the bookmark
+//! mediation and the resume are all topology-agnostic — every topology
+//! feeds the driver the same [`StateAgg`] reduction, so every topology
+//! makes identical safety decisions.
+//!
 //! The "fully assembled phase-1 instance" condition is the safety
 //! refinement discussed in the `cell` module: an in-phase-1 rank is only a
 //! safe checkpoint state while its trivial barrier still misses a member
 //! (who is gated and will stay gated), because then nobody can slip into
 //! the real collective during the checkpoint.
 
-use crate::cell::CollInstance;
 use crate::config::{AfterCkpt, ManaConfig};
-use crate::ctrl::{ctrl_msg_bytes, CtrlMsg, RankReply};
-use crate::stats::{CkptReport, RankCkptStats, StatsHub};
+use crate::ctrl::{CtrlMsg, StateAgg};
+use crate::stats::{CkptReport, StatsHub};
 use crate::store::CheckpointStore;
-use mana_net::transport::{EndpointId, Network};
+use crate::topology::CoordTopology;
 use mana_sim::sched::SimThread;
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Everything the coordinator daemon needs.
 pub struct CoordCtx {
-    /// Control plane.
-    pub ctrl: Arc<Network<CtrlMsg>>,
-    /// Coordinator endpoint.
-    pub my_ep: EndpointId,
-    /// Helper endpoints, indexed by rank.
-    pub rank_eps: Vec<EndpointId>,
+    /// Delivery/reduction seam to the ranks (flat star or per-node tree).
+    pub topo: Arc<dyn CoordTopology>,
     /// Configuration (checkpoint schedule, costs).
     pub cfg: ManaConfig,
     /// Measurement sink.
@@ -46,31 +47,10 @@ pub struct CoordCtx {
     pub store: Arc<dyn CheckpointStore>,
 }
 
-fn broadcast(t: &SimThread, cx: &CoordCtx, mk: impl Fn() -> CtrlMsg) {
-    for ep in &cx.rank_eps {
-        // Per-destination socket cost: the coordinator serializes over all
-        // ranks (Figure 8's growing communication overhead).
-        t.advance(cx.cfg.ctrl_send_cpu);
-        let msg = mk();
-        let bytes = ctrl_msg_bytes(&msg);
-        cx.ctrl.send(cx.my_ep, *ep, bytes, msg);
-    }
-}
-
-fn recv_ctrl(t: &SimThread, cx: &CoordCtx) -> CtrlMsg {
-    loop {
-        if let Some(m) = cx.ctrl.poll(cx.my_ep) {
-            t.advance(cx.cfg.ctrl_recv_cpu);
-            return m;
-        }
-        t.block();
-    }
-}
-
 /// Coordinator daemon: sleeps until each scheduled checkpoint time, runs
 /// the protocol, then returns after the last checkpoint.
 pub fn run_coordinator(t: SimThread, cx: CoordCtx) {
-    cx.ctrl.add_waiter(cx.my_ep, t.id());
+    cx.topo.attach_root(t.id());
     let times = cx.cfg.ckpt_times.clone();
     for (i, at) in times.iter().enumerate() {
         let now = t.now();
@@ -82,96 +62,72 @@ pub fn run_coordinator(t: SimThread, cx: CoordCtx) {
     }
 }
 
-/// One rank's state reply during the two-phase agreement: its protocol
-/// reply, the collective instance it reports (in-phase-1 only), and its
-/// per-communicator completed-collective counts.
-type StateReply = (RankReply, Option<CollInstance>, Vec<(u64, u64)>);
-
 /// One full checkpoint round. Public so tests and the runner can trigger
 /// checkpoints outside the scheduled list.
 pub fn run_checkpoint(t: &SimThread, cx: &CoordCtx, ckpt_id: u64, kill: bool) {
-    let nranks = cx.rank_eps.len();
+    let nranks = cx.topo.nranks();
     let t_begin = t.now();
     cx.store.begin_epoch();
 
-    broadcast(t, cx, || CtrlMsg::IntendCkpt { ckpt_id });
+    cx.topo.fanout(t, &|| CtrlMsg::IntendCkpt { ckpt_id });
     let mut extra_iterations = 0u32;
     loop {
-        // Collect one State reply per rank. Phase-2 ranks reply only after
-        // finishing their collective (Algorithm 2, lines 21–27).
-        let mut replies: Vec<StateReply> = Vec::with_capacity(nranks);
-        let mut seen = vec![false; nranks];
-        while replies.len() < nranks {
-            match recv_ctrl(t, cx) {
-                CtrlMsg::State {
-                    rank,
-                    reply,
-                    instance,
-                    progress,
-                } => {
-                    assert!(
-                        !std::mem::replace(&mut seen[rank as usize], true),
-                        "duplicate state reply from rank {rank}"
-                    );
-                    replies.push((reply, instance, progress));
-                }
-                other => panic!("coordinator: expected State, got {other:?}"),
-            }
-        }
-        if checkpoint_safe(&replies) {
+        // One State reply per rank, already reduced by the topology.
+        // Phase-2 ranks reply only after finishing their collective
+        // (Algorithm 2, lines 21–27).
+        let agg = cx.topo.gather_states(t, ckpt_id);
+        assert_eq!(
+            agg.replies, nranks,
+            "ckpt {ckpt_id}: state aggregate covers {} of {nranks} ranks",
+            agg.replies
+        );
+        if checkpoint_safe(&agg) {
             break;
         }
         extra_iterations += 1;
-        broadcast(t, cx, || CtrlMsg::ExtraIteration { ckpt_id });
+        cx.topo.fanout(t, &|| CtrlMsg::ExtraIteration { ckpt_id });
     }
     let t_do_ckpt = t.now();
-    broadcast(t, cx, || CtrlMsg::DoCkpt { ckpt_id });
+    cx.topo.fanout(t, &|| CtrlMsg::DoCkpt { ckpt_id });
 
-    // Mediate the bookmark exchange: gather per-pair sent counts, then
-    // tell each rank what it should expect from every peer.
-    let mut expected: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
-    for _ in 0..nranks {
-        match recv_ctrl(t, cx) {
-            CtrlMsg::Bookmark { rank, sent_to } => {
-                for (peer, cnt) in sent_to {
-                    expected.entry(peer).or_default().push((rank, cnt));
-                }
-            }
-            other => panic!("coordinator: expected Bookmark, got {other:?}"),
-        }
-    }
-    for (r, ep) in cx.rank_eps.iter().enumerate() {
-        let mut from = expected.remove(&(r as u32)).unwrap_or_default();
-        from.sort_unstable();
-        t.advance(cx.cfg.ctrl_send_cpu);
-        let msg = CtrlMsg::ExpectedIn { from };
-        let bytes = ctrl_msg_bytes(&msg);
-        cx.ctrl.send(cx.my_ep, *ep, bytes, msg);
-    }
+    // Mediate the bookmark exchange: gather the destination-keyed sent-to
+    // directory, then tell each rank what to expect from every peer.
+    let mut directory = cx.topo.gather_bookmarks(t, ckpt_id);
+    let per_rank: Vec<Vec<(u32, u64)>> = (0..nranks)
+        .map(|r| {
+            let mut from = directory.remove(&r).unwrap_or_default();
+            from.sort_unstable();
+            from
+        })
+        .collect();
+    cx.topo.scatter_expected(t, ckpt_id, per_rank);
+    let t_expected_in = t.now();
 
     // Collect completions.
-    let mut stats: Vec<RankCkptStats> = Vec::with_capacity(nranks);
-    for _ in 0..nranks {
-        match recv_ctrl(t, cx) {
-            CtrlMsg::CkptDone { stats: s, .. } => stats.push(s),
-            other => panic!("coordinator: expected CkptDone, got {other:?}"),
-        }
-    }
+    let mut stats = cx.topo.gather_done(t, ckpt_id);
+    assert_eq!(
+        stats.len(),
+        nranks as usize,
+        "ckpt {ckpt_id}: completion stats cover {} of {nranks} ranks",
+        stats.len()
+    );
     stats.sort_by_key(|s| s.rank);
     let t_end = t.now();
-    broadcast(t, cx, || CtrlMsg::Resume { ckpt_id, kill });
+    cx.topo.fanout(t, &|| CtrlMsg::Resume { ckpt_id, kill });
 
     cx.hub.push_ckpt(CkptReport {
         ckpt_id,
         t_begin,
         t_do_ckpt,
+        t_expected_in,
         t_end,
         extra_iterations,
         ranks: stats,
     });
 }
 
-/// The do-ckpt safety rule (see module docs).
+/// The do-ckpt safety rule (see module docs), over the round's reduced
+/// [`StateAgg`].
 ///
 /// An in-phase-1 instance `(c, w, size)` is safe only if at least one
 /// member provably has not entered its trivial barrier. Members split
@@ -183,30 +139,16 @@ pub fn run_checkpoint(t: &SimThread, cx: &CoordCtx, ckpt_id: u64, kill: bool) {
 /// in-phase-1 report whose peers already exited the collective would be
 /// trusted, and the reporter could slip into phase 2 mid-checkpoint — a
 /// race our model checker found (Challenge I; Lemma 1's bookkeeping).
-fn checkpoint_safe(replies: &[StateReply]) -> bool {
-    if replies.iter().any(|(r, _, _)| *r == RankReply::ExitPhase2) {
+pub fn checkpoint_safe(agg: &StateAgg) -> bool {
+    if agg.exit_phase2 > 0 {
         return false;
     }
-    // Count in-phase-1 members per collective instance.
-    let mut per_instance: BTreeMap<(u64, u64), (u32, u32)> = BTreeMap::new();
-    for (reply, inst, _) in replies {
-        if *reply == RankReply::InPhase1 {
-            let inst = inst.expect("in-phase-1 reply must carry its instance");
-            let e = per_instance
-                .entry((inst.comm_virt, inst.wseq))
-                .or_insert((0, inst.size));
-            e.0 += 1;
-        }
-    }
-    per_instance.iter().all(|((comm, wseq), (k, size))| {
-        let passed = replies
-            .iter()
-            .filter(|(_, _, progress)| {
-                progress
-                    .iter()
-                    .any(|(c, completed)| c == comm && completed >= wseq)
-            })
-            .count() as u32;
+    agg.phase1.iter().all(|((comm, wseq), (k, size))| {
+        let passed: u32 = agg
+            .progress
+            .get(comm)
+            .map(|hist| hist.range(*wseq..).map(|(_, n)| *n).sum())
+            .unwrap_or(0);
         k + passed < *size
     })
 }
@@ -214,8 +156,23 @@ fn checkpoint_safe(replies: &[StateReply]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cell::CollInstance;
+    use crate::ctrl::RankReply;
 
-    type Reply = super::StateReply;
+    /// One rank's reply as the topologies see it before reduction.
+    type Reply = (RankReply, Option<CollInstance>, Vec<(u64, u64)>);
+
+    fn agg(replies: &[Reply]) -> StateAgg {
+        let mut agg = StateAgg::default();
+        for (reply, inst, progress) in replies {
+            agg.absorb(*reply, *inst, progress);
+        }
+        agg
+    }
+
+    fn safe(replies: &[Reply]) -> bool {
+        checkpoint_safe(&agg(replies))
+    }
 
     fn inst(comm: u64, wseq: u64, size: u32) -> Option<CollInstance> {
         Some(CollInstance {
@@ -241,13 +198,13 @@ mod tests {
     #[test]
     fn all_ready_is_safe() {
         let replies = vec![ready(vec![]); 4];
-        assert!(checkpoint_safe(&replies));
+        assert!(safe(&replies));
     }
 
     #[test]
     fn exit_phase2_forces_iteration() {
         let replies = vec![ready(vec![]), (RankReply::ExitPhase2, None, vec![(1, 5)])];
-        assert!(!checkpoint_safe(&replies));
+        assert!(!safe(&replies));
     }
 
     #[test]
@@ -260,13 +217,13 @@ mod tests {
             in_phase1(1, 5, 4),
             ready(vec![(1, 4)]),
         ];
-        assert!(checkpoint_safe(&replies));
+        assert!(safe(&replies));
     }
 
     #[test]
     fn full_phase1_instance_is_unsafe() {
         let replies = vec![in_phase1(1, 5, 2), in_phase1(1, 5, 2)];
-        assert!(!checkpoint_safe(&replies));
+        assert!(!safe(&replies));
     }
 
     #[test]
@@ -275,7 +232,30 @@ mod tests {
         // but the other already *passed* the instance (completed count ==
         // wseq). The barrier completed; the reporter can slip into phase 2.
         let replies = vec![in_phase1(1, 5, 2), ready(vec![(1, 5)])];
-        assert!(!checkpoint_safe(&replies));
+        assert!(!safe(&replies));
+    }
+
+    #[test]
+    fn self_passed_phase1_reporter_counts_itself() {
+        // A *stale* in-phase-1 reply whose own progress already reaches
+        // wseq: the reporter itself is a passed member (its barrier
+        // completed), so with k=1 and passed=1 on a size-2 instance the
+        // checkpoint is unsafe — even though no other member mentions the
+        // comm at all.
+        let replies = vec![
+            (RankReply::InPhase1, inst(1, 5, 2), vec![(1, 5)]),
+            ready(vec![]),
+        ];
+        assert!(!safe(&replies));
+
+        // With size 3 the same self-passed reporter still leaves one
+        // provably absent member: safe.
+        let replies = vec![
+            (RankReply::InPhase1, inst(1, 5, 3), vec![(1, 5)]),
+            ready(vec![]),
+            ready(vec![(1, 4)]),
+        ];
+        assert!(safe(&replies));
     }
 
     #[test]
@@ -287,13 +267,68 @@ mod tests {
             ready(vec![(1, 4), (2, 8)]),
             ready(vec![(1, 4), (2, 8)]),
         ];
-        assert!(checkpoint_safe(&replies));
+        assert!(safe(&replies));
         let replies = vec![
             in_phase1(1, 5, 2),
             in_phase1(1, 5, 2),
             in_phase1(2, 9, 2),
             ready(vec![(2, 8)]),
         ];
-        assert!(!checkpoint_safe(&replies));
+        assert!(!safe(&replies));
+    }
+
+    #[test]
+    fn mixed_instances_across_three_comms() {
+        // >2 communicators with a mix of safe and unsafe instances: comms
+        // 1 and 3 still miss a member, but comm 2's barrier is fully
+        // assembled — one bad instance poisons the whole round.
+        let unsafe_mix = vec![
+            in_phase1(1, 5, 3),
+            in_phase1(1, 5, 3),
+            in_phase1(2, 9, 2),
+            in_phase1(2, 9, 2),
+            in_phase1(3, 2, 2),
+            ready(vec![(1, 4), (3, 1)]),
+        ];
+        assert!(!safe(&unsafe_mix));
+
+        // Same shape with comm 2's second member still gated: every
+        // instance misses a member; safe.
+        let safe_mix = vec![
+            in_phase1(1, 5, 3),
+            in_phase1(1, 5, 3),
+            in_phase1(2, 9, 2),
+            in_phase1(3, 2, 2),
+            ready(vec![(1, 4), (2, 8), (3, 1)]),
+            ready(vec![(2, 8)]),
+        ];
+        assert!(safe(&safe_mix));
+    }
+
+    #[test]
+    fn split_reductions_match_flat_decision() {
+        // The conformance property at the unit level: however the replies
+        // are partitioned across nodes, merging the per-node partials
+        // yields the flat aggregate and hence the same decision.
+        let scenarios: Vec<Vec<Reply>> = vec![
+            vec![ready(vec![]); 5],
+            vec![in_phase1(1, 5, 2), ready(vec![(1, 5)]), ready(vec![])],
+            vec![
+                in_phase1(1, 5, 2),
+                in_phase1(2, 9, 2),
+                ready(vec![(1, 4), (2, 8)]),
+                (RankReply::ExitPhase2, None, vec![(1, 5)]),
+            ],
+        ];
+        for replies in &scenarios {
+            let flat = agg(replies);
+            for split in 1..replies.len() {
+                let (a, b) = replies.split_at(split);
+                let mut merged = agg(a);
+                merged.merge(&agg(b));
+                assert_eq!(merged, flat);
+                assert_eq!(checkpoint_safe(&merged), checkpoint_safe(&flat));
+            }
+        }
     }
 }

@@ -7,11 +7,17 @@
 //! At do-ckpt it quiesces the rank, runs the bookmark exchange and drain
 //! (§2.3), snapshots the upper half, writes the image, and resumes (or
 //! kills) the rank.
+//!
+//! The helper does not know which coordinator topology it lives under: it
+//! speaks the per-rank protocol to its *parent* endpoint, which is the
+//! root coordinator in the flat star and the node-local sub-coordinator
+//! in the tree (the sub-coordinator relays/reduces; see
+//! `crate::topology`).
 
 use crate::buffer::BufferedMsg;
 use crate::cell::Park;
 use crate::config::ManaConfig;
-use crate::ctrl::{ctrl_msg_bytes, CtrlMsg};
+use crate::ctrl::{ctrl_msg_bytes, protocol_violation, CtrlMsg, ProtocolPhase};
 use crate::image::CheckpointImage;
 use crate::shared::RankShared;
 use crate::stats::RankCkptStats;
@@ -33,8 +39,10 @@ pub struct HelperCtx {
     pub ctrl: Arc<Network<CtrlMsg>>,
     /// This helper's control endpoint.
     pub my_ep: EndpointId,
-    /// The coordinator's control endpoint.
-    pub coord_ep: EndpointId,
+    /// The control endpoint of this helper's protocol parent: the root
+    /// coordinator (flat topology) or the rank's node-local
+    /// sub-coordinator (tree topology).
+    pub parent_ep: EndpointId,
     /// MANA configuration.
     pub cfg: ManaConfig,
     /// Checkpoint storage for images.
@@ -48,7 +56,7 @@ fn ctrl_send(t: &SimThread, hx: &HelperCtx, msg: CtrlMsg) {
     // side dominates.
     t.advance(SimDuration::micros(3));
     let bytes = ctrl_msg_bytes(&msg);
-    hx.ctrl.send(hx.my_ep, hx.coord_ep, bytes, msg);
+    hx.ctrl.send(hx.my_ep, hx.parent_ep, bytes, msg);
 }
 
 fn recv_ctrl(t: &SimThread, hx: &HelperCtx) -> CtrlMsg {
@@ -121,9 +129,12 @@ pub fn run_helper(t: SimThread, hx: HelperCtx) {
                         return;
                     }
                 }
-                other => panic!(
-                    "helper {}: unexpected control message {other:?}",
-                    hx.sh.rank
+                other => protocol_violation(
+                    format!("helper rank {}", hx.sh.rank),
+                    None,
+                    ProtocolPhase::Idle,
+                    "IntendCkpt/ExtraIteration/DoCkpt",
+                    other,
                 ),
             }
             continue;
@@ -153,7 +164,13 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     );
     let expected: Vec<(u32, u64)> = match recv_ctrl(t, hx) {
         CtrlMsg::ExpectedIn { from } => from,
-        other => panic!("helper {}: expected ExpectedIn, got {other:?}", sh.rank),
+        other => protocol_violation(
+            format!("helper rank {}", sh.rank),
+            ckpt_id,
+            ProtocolPhase::ExpectedWait,
+            "ExpectedIn",
+            other,
+        ),
     };
 
     // 3. Drain in-flight messages into the checkpoint buffer.
@@ -196,7 +213,13 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     // 6. Resume (or die).
     let kill = match recv_ctrl(t, hx) {
         CtrlMsg::Resume { kill, .. } => kill,
-        other => panic!("helper {}: expected Resume, got {other:?}", sh.rank),
+        other => protocol_violation(
+            format!("helper rank {}", sh.rank),
+            ckpt_id,
+            ProtocolPhase::ResumeWait,
+            "Resume",
+            other,
+        ),
     };
     sh.cell.resume(kill);
     kill

@@ -13,6 +13,10 @@
 //! * **two-phase collectives** ([`cell`], [`wrapper`], [`coordinator`]):
 //!   Algorithm 1/2 with the trivial barrier, intent/extra-iteration/
 //!   do-ckpt protocol and a coordinator-side safety rule;
+//! * **coordinator topologies** ([`topology`]): the protocol driver is
+//!   topology-generic; delivery is pluggable between the DMTCP-style flat
+//!   star and a per-node tree with in-tree aggregation (the §3.4 scaling
+//!   fix);
 //! * **checkpoint images** ([`image`], [`codec`]): versioned binary format
 //!   holding everything a restart needs;
 //! * **checkpoint storage** ([`store`]): pluggable [`CheckpointStore`]
@@ -43,11 +47,13 @@ pub mod shared;
 pub mod split;
 pub mod stats;
 pub mod store;
+pub mod topology;
 pub mod virtid;
 pub mod wrapper;
 
 pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
-pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig};
+pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig, TopologyKind};
+pub use ctrl::{ProtocolPhase, ProtocolViolation, StateAgg};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
 pub use error::{ManaError, SessionError, StoreError};
 pub use image::CheckpointImage;
@@ -57,6 +63,10 @@ pub use session::{
 };
 pub use stats::{CkptReport, RestartReport, StatsHub};
 pub use store::{CheckpointStore, FsStore, GcPolicy, InMemStore};
+pub use topology::{
+    assert_topologies_agree, run_checkpoint_chain, CoordTopology, FlatTopology, TopologyRunReport,
+    TreeTopology,
+};
 pub use wrapper::ManaMpi;
 
 // Deprecated free-function lifecycle API, kept as delegating shims.

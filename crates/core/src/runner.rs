@@ -20,6 +20,7 @@ use crate::shared::{CommMeta, PendingRt, RankShared, WReq};
 use crate::split::UpperProgram;
 use crate::stats::{RankRestartStats, RestartReport, StatsHub};
 use crate::store::{CheckpointStore, FsStore};
+use crate::topology::{build_control_plane, ControlPlane};
 use crate::virtid::VirtRegistry;
 use crate::wrapper::ManaMpi;
 use mana_mpi::{CommHandle, GroupHandle, Mpi, MpiAborted, MpiJob, MpiProfile};
@@ -253,17 +254,20 @@ pub(crate) fn launch_engine(
         spec.placement,
         spec.profile.clone(),
     );
-    // Control plane (DMTCP-style TCP, independent of the MPI fabric).
+    // Control plane (DMTCP-style TCP, independent of the MPI fabric),
+    // shaped by `spec.cfg.topology` — flat star or per-node tree.
     let ctrl = Network::<CtrlMsg>::new(sim, InterconnectKind::Tcp);
-    let coord_ep = ctrl.add_endpoint(0);
-    let helper_eps: Vec<_> = (0..spec.nranks)
-        .map(|r| ctrl.add_endpoint(spec.cluster.node_of_rank(r, spec.nranks, spec.placement)))
-        .collect();
+    let cp: ControlPlane = build_control_plane(
+        sim,
+        &ctrl,
+        &spec.cluster,
+        spec.nranks,
+        spec.placement,
+        &spec.cfg,
+    );
     {
         let cx = CoordCtx {
-            ctrl: ctrl.clone(),
-            my_ep: coord_ep,
-            rank_eps: helper_eps.clone(),
+            topo: cp.topo.clone(),
             cfg: spec.cfg.clone(),
             hub: hub.clone(),
             store: store.clone(),
@@ -279,7 +283,8 @@ pub(crate) fn launch_engine(
             window.clone(),
         );
         let (spec, ctrl, store, hub) = (spec.clone(), ctrl.clone(), store.clone(), hub.clone());
-        let my_ep = helper_eps[rank as usize];
+        let my_ep = cp.helper_eps[rank as usize];
+        let parent_ep = cp.parent_eps[rank as usize];
         let sim2 = sim.clone();
         let _ = hub;
         sim.spawn(&format!("rank{rank}"), false, move |t| {
@@ -304,7 +309,7 @@ pub(crate) fn launch_engine(
                 sh: sh.clone(),
                 ctrl,
                 my_ep,
-                coord_ep,
+                parent_ep,
                 cfg: spec.cfg.clone(),
                 store,
                 io_shape: io_shape(&spec.cluster, rank, spec.nranks, spec.placement),
@@ -456,15 +461,17 @@ pub(crate) fn restart_engine(
         spec.profile.clone(),
     );
     let ctrl = Network::<CtrlMsg>::new(&sim, InterconnectKind::Tcp);
-    let coord_ep = ctrl.add_endpoint(0);
-    let helper_eps: Vec<_> = (0..spec.nranks)
-        .map(|r| ctrl.add_endpoint(spec.cluster.node_of_rank(r, spec.nranks, spec.placement)))
-        .collect();
+    let cp: ControlPlane = build_control_plane(
+        &sim,
+        &ctrl,
+        &spec.cluster,
+        spec.nranks,
+        spec.placement,
+        &spec.cfg,
+    );
     {
         let cx = CoordCtx {
-            ctrl: ctrl.clone(),
-            my_ep: coord_ep,
-            rank_eps: helper_eps.clone(),
+            topo: cp.topo.clone(),
             cfg: spec.cfg.clone(),
             hub: hub.clone(),
             store: store.clone(),
@@ -482,7 +489,8 @@ pub(crate) fn restart_engine(
             window.clone(),
         );
         let (spec, ctrl, store) = (spec.clone(), ctrl.clone(), store.clone());
-        let my_ep = helper_eps[rank as usize];
+        let my_ep = cp.helper_eps[rank as usize];
+        let parent_ep = cp.parent_eps[rank as usize];
         let sim2 = sim.clone();
         sim.spawn(&format!("rank{rank}"), false, move |t| {
             let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
@@ -534,7 +542,7 @@ pub(crate) fn restart_engine(
                 sh: sh.clone(),
                 ctrl,
                 my_ep,
-                coord_ep,
+                parent_ep,
                 cfg: spec.cfg.clone(),
                 store,
                 io_shape: shape,

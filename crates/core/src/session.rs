@@ -82,7 +82,7 @@
 //! assert_eq!(clean.checksums(), resumed.checksums());
 //! ```
 
-use crate::config::{AfterCkpt, ManaConfig};
+use crate::config::{AfterCkpt, ManaConfig, TopologyKind};
 use crate::env::Workload;
 use crate::error::ManaError;
 use crate::error::SessionError;
@@ -439,6 +439,7 @@ pub struct JobBuilder {
     ckpt_dir: Option<String>,
     ckpt_times: Vec<SimTime>,
     after_last_ckpt: Option<AfterCkpt>,
+    topology: Option<TopologyKind>,
 }
 
 impl JobBuilder {
@@ -494,6 +495,16 @@ impl JobBuilder {
     /// Directory prefix for checkpoint images in the session store.
     pub fn ckpt_dir(mut self, dir: impl Into<String>) -> JobBuilder {
         self.ckpt_dir = Some(dir.into());
+        self
+    }
+
+    /// Coordinator control-plane topology: the flat DMTCP-style star
+    /// (default) or per-node tree fan-out with in-tree aggregation —
+    /// [`TopologyKind::Tree`] flattens the coordinator's communication-
+    /// overhead curve at large node counts (§3.4, Figure 8). Inherited
+    /// across restarts like the rest of the configuration.
+    pub fn topology(mut self, topology: TopologyKind) -> JobBuilder {
+        self.topology = Some(topology);
         self
     }
 
@@ -601,6 +612,9 @@ impl JobBuilder {
         }
         if let Some(after) = self.after_last_ckpt {
             cfg.after_last_ckpt = after;
+        }
+        if let Some(topology) = self.topology {
+            cfg.topology = topology;
         }
         if cfg.ckpt_times.is_empty() && cfg.after_last_ckpt == AfterCkpt::Kill {
             return Err(SessionError::InvalidJob(
@@ -831,6 +845,29 @@ mod tests {
             .build_spec(Some(&src))
             .unwrap();
         assert!(same_cluster.cfg.kernel.fsgsbase_patched);
+    }
+
+    #[test]
+    fn topology_set_and_inherited() {
+        let spec = JobBuilder::new().build_spec(None).unwrap();
+        assert_eq!(spec.cfg.topology, TopologyKind::Flat, "flat by default");
+
+        let src = JobBuilder::new()
+            .topology(TopologyKind::Tree)
+            .build_spec(None)
+            .unwrap();
+        assert_eq!(src.cfg.topology, TopologyKind::Tree);
+
+        // A restart inherits the topology like the rest of the config...
+        let restart = JobBuilder::new().build_spec(Some(&src)).unwrap();
+        assert_eq!(restart.cfg.topology, TopologyKind::Tree);
+
+        // ...unless the destination builder overrides it.
+        let overridden = JobBuilder::new()
+            .topology(TopologyKind::Flat)
+            .build_spec(Some(&src))
+            .unwrap();
+        assert_eq!(overridden.cfg.topology, TopologyKind::Flat);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct CkptReport {
     pub t_begin: SimTime,
     /// Time the two-phase agreement finished (do-ckpt sent).
     pub t_do_ckpt: SimTime,
+    /// Time the bookmark mediation finished (the last expected-in counts
+    /// were handed to the delivery layer).
+    pub t_expected_in: SimTime,
     /// Time the last ckpt-done arrived (checkpoint complete).
     pub t_end: SimTime,
     /// Extra-iteration rounds needed (Challenge III pressure).
@@ -57,8 +60,31 @@ impl CkptReport {
 
     /// Protocol/communication overhead: everything that is neither drain
     /// nor write (two-phase agreement plus coordinator round-trips).
+    /// Decomposes exactly into the three protocol phases below, so a
+    /// topology change's win is attributable to the phase it helps.
     pub fn comm_overhead(&self) -> SimDuration {
-        self.total()
+        self.agreement_overhead() + self.bookmark_overhead() + self.completion_overhead()
+    }
+
+    /// Two-phase agreement span: intend-to-checkpoint out → do-ckpt out
+    /// (coordinator send/recv serialization plus extra-iteration waits).
+    pub fn agreement_overhead(&self) -> SimDuration {
+        self.t_do_ckpt.since(self.t_begin)
+    }
+
+    /// Bookmark-mediation span: do-ckpt out → expected-in counts handed
+    /// back (rank quiesce plus the coordinator's gather/merge/scatter of
+    /// the sent-to directory).
+    pub fn bookmark_overhead(&self) -> SimDuration {
+        self.t_expected_in.since(self.t_do_ckpt)
+    }
+
+    /// Completion span net of the ranks' own drain and write work:
+    /// expected-in out → last ckpt-done in, minus the slowest drain and
+    /// slowest write (the coordinator-side completion-gather cost).
+    pub fn completion_overhead(&self) -> SimDuration {
+        self.t_end
+            .since(self.t_expected_in)
             .saturating_sub(self.max_drain())
             .saturating_sub(self.max_write())
     }
@@ -165,6 +191,7 @@ mod tests {
             ckpt_id: 1,
             t_begin: SimTime(0),
             t_do_ckpt: SimTime(2_000_000_000),
+            t_expected_in: SimTime(2_200_000_000),
             t_end: SimTime(10_000_000_000),
             extra_iterations: 1,
             ranks: vec![
@@ -189,6 +216,15 @@ mod tests {
         assert_eq!(r.total(), SimDuration::secs(10));
         assert_eq!(r.max_drain(), SimDuration::millis(700));
         assert_eq!(r.max_write(), SimDuration::secs(7));
+        // Phase decomposition: the three phases sum to the comm overhead,
+        // and (when nothing saturates) the sum equals total − drain − write.
+        assert_eq!(r.agreement_overhead(), SimDuration::secs(2));
+        assert_eq!(r.bookmark_overhead(), SimDuration::millis(200));
+        assert_eq!(r.completion_overhead(), SimDuration::millis(100));
+        assert_eq!(
+            r.comm_overhead(),
+            r.agreement_overhead() + r.bookmark_overhead() + r.completion_overhead()
+        );
         assert_eq!(
             r.comm_overhead(),
             SimDuration::secs(10)

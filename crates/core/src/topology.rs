@@ -1,0 +1,820 @@
+//! Pluggable coordinator topologies (the control-plane *delivery* layer).
+//!
+//! The checkpoint protocol itself — two-phase agreement, the do-ckpt
+//! safety rule, bookmark mediation, completion and resume — is
+//! topology-agnostic and lives in [`crate::coordinator`]. This module
+//! owns *how* the protocol's messages reach the ranks and how their
+//! replies come back:
+//!
+//! * [`FlatTopology`] is the DMTCP star the paper measures: the root
+//!   serializes one small TCP frame per rank, so both its send loop and
+//!   its receive polling scale with the world size (§3.4, Figure 8's
+//!   growing communication overhead).
+//! * [`TreeTopology`] interposes one sub-coordinator per compute node
+//!   (the NERSC production fix): the root exchanges one *aggregated*
+//!   message per node, and the sub-coordinators fan out / reduce locally
+//!   over the node's loopback in parallel with each other. Downward
+//!   messages are replicated in-tree; upward `State` replies fold into a
+//!   [`StateAgg`] partial reduction, bookmarks merge into a
+//!   destination-keyed directory, and completions roll up per node — so
+//!   the root handles O(nodes) frames instead of O(ranks).
+//!
+//! Correctness is topology-invariant by construction: the tree's
+//! reductions are re-associations of the exact fold the flat coordinator
+//! performs (see [`StateAgg::merge`]), so both topologies feed identical
+//! aggregates to the safety rule. [`run_checkpoint_chain`] /
+//! [`assert_topologies_agree`] are the conformance harness (in the spirit
+//! of `mana-store`'s `exercise_store`) that enforces this end to end:
+//! identical safety decisions, identical per-rank checkpoint stats,
+//! byte-identical restart images.
+
+use crate::config::{ManaConfig, TopologyKind};
+use crate::ctrl::{
+    ctrl_msg_bytes, protocol_violation, CtrlMsg, ProtocolPhase, ProtocolViolation, StateAgg,
+};
+use crate::env::Workload;
+use crate::session::{JobBuilder, ManaSession};
+use crate::stats::{CkptReport, RankCkptStats};
+use crate::store::InMemStore;
+use mana_mpi::MpiProfile;
+use mana_net::transport::{EndpointId, Network};
+use mana_sim::checksum::checksum_bytes;
+use mana_sim::cluster::{ClusterSpec, Placement};
+use mana_sim::sched::{Sim, SimThread, SimThreadId};
+use mana_sim::time::SimDuration;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Delivery/reduction seam between the topology-generic protocol driver
+/// ([`crate::coordinator::run_checkpoint`]) and a concrete control-plane
+/// shape. Implementations deliver downward messages to every rank and
+/// gather upward replies, already reduced to what the protocol needs.
+pub trait CoordTopology: Send + Sync {
+    /// Which topology this is.
+    fn kind(&self) -> TopologyKind;
+
+    /// World size.
+    fn nranks(&self) -> u32;
+
+    /// Register the protocol-driver thread for message-arrival wakeups.
+    fn attach_root(&self, tid: SimThreadId);
+
+    /// Deliver one control message (per rank, from the factory) to every
+    /// rank in the world.
+    fn fanout(&self, t: &SimThread, mk: &dyn Fn() -> CtrlMsg);
+
+    /// Gather one `State` reply per rank, folded into the safety
+    /// aggregate. Must return with `replies == nranks()`.
+    fn gather_states(&self, t: &SimThread, ckpt_id: u64) -> StateAgg;
+
+    /// Gather every rank's bookmark, merged into a destination-keyed
+    /// directory: `dest rank -> [(sender, cumulative count)]`.
+    fn gather_bookmarks(&self, t: &SimThread, ckpt_id: u64) -> BTreeMap<u32, Vec<(u32, u64)>>;
+
+    /// Deliver each rank its expected-in list (`per_rank` is indexed by
+    /// rank and already sorted).
+    fn scatter_expected(&self, t: &SimThread, ckpt_id: u64, per_rank: Vec<Vec<(u32, u64)>>);
+
+    /// Gather every rank's checkpoint-done stats (unsorted).
+    fn gather_done(&self, t: &SimThread, ckpt_id: u64) -> Vec<RankCkptStats>;
+}
+
+fn recv_on(
+    t: &SimThread,
+    ctrl: &Network<CtrlMsg>,
+    ep: EndpointId,
+    recv_cpu: SimDuration,
+) -> CtrlMsg {
+    loop {
+        if let Some(m) = ctrl.poll(ep) {
+            // Per-message socket-poll/metadata cost (§3.4): this is what
+            // the tree topology takes off the root by sending it O(nodes)
+            // aggregated frames.
+            t.advance(recv_cpu);
+            return m;
+        }
+        t.block();
+    }
+}
+
+fn send_from(
+    t: &SimThread,
+    ctrl: &Network<CtrlMsg>,
+    src: EndpointId,
+    dst: EndpointId,
+    send_cpu: SimDuration,
+    msg: CtrlMsg,
+) {
+    // Per-destination socket cost: a star coordinator serializes this over
+    // all ranks (Figure 8's growing communication overhead).
+    t.advance(send_cpu);
+    let bytes = ctrl_msg_bytes(&msg);
+    ctrl.send(src, dst, bytes, msg);
+}
+
+/// Gather `expect` per-rank `State` replies (with duplicate-rank
+/// detection) into a safety aggregate. Shared by the flat root and the
+/// tree sub-coordinators — the only difference between them is who is
+/// listening and how many replies they own.
+fn gather_state_replies(
+    t: &SimThread,
+    role: &dyn Fn() -> String,
+    ckpt_id: u64,
+    expect: usize,
+    recv: &mut dyn FnMut(&SimThread) -> CtrlMsg,
+) -> StateAgg {
+    let mut agg = StateAgg::default();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for _ in 0..expect {
+        match recv(t) {
+            CtrlMsg::State {
+                rank,
+                reply,
+                instance,
+                progress,
+            } => {
+                if !seen.insert(rank) {
+                    ProtocolViolation {
+                        role: role(),
+                        ckpt_id: Some(ckpt_id),
+                        phase: ProtocolPhase::Agreement,
+                        expected: "one State per rank (duplicate reply)",
+                        got: CtrlMsg::State {
+                            rank,
+                            reply,
+                            instance,
+                            progress,
+                        },
+                    }
+                    .raise()
+                }
+                agg.absorb(reply, instance, &progress);
+            }
+            other => protocol_violation(role(), ckpt_id, ProtocolPhase::Agreement, "State", other),
+        }
+    }
+    agg
+}
+
+/// Gather `expect` per-rank `Bookmark`s into a destination-keyed sent-to
+/// directory. Shared by the flat root and the tree sub-coordinators.
+fn gather_bookmark_replies(
+    t: &SimThread,
+    role: &dyn Fn() -> String,
+    ckpt_id: u64,
+    expect: usize,
+    recv: &mut dyn FnMut(&SimThread) -> CtrlMsg,
+) -> BTreeMap<u32, Vec<(u32, u64)>> {
+    let mut expected: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+    for _ in 0..expect {
+        match recv(t) {
+            CtrlMsg::Bookmark { rank, sent_to } => {
+                for (peer, cnt) in sent_to {
+                    expected.entry(peer).or_default().push((rank, cnt));
+                }
+            }
+            other => protocol_violation(
+                role(),
+                ckpt_id,
+                ProtocolPhase::BookmarkGather,
+                "Bookmark",
+                other,
+            ),
+        }
+    }
+    expected
+}
+
+// ---------------------------------------------------------------------------
+// Flat star
+// ---------------------------------------------------------------------------
+
+/// The DMTCP-style star: the root speaks one TCP frame per rank, in
+/// serial. Extracted verbatim from the historical coordinator loop.
+pub struct FlatTopology {
+    ctrl: Arc<Network<CtrlMsg>>,
+    my_ep: EndpointId,
+    rank_eps: Vec<EndpointId>,
+    send_cpu: SimDuration,
+    recv_cpu: SimDuration,
+}
+
+impl FlatTopology {
+    /// A star over `ctrl` rooted at `my_ep` speaking to `rank_eps`
+    /// (indexed by rank).
+    pub fn new(
+        ctrl: Arc<Network<CtrlMsg>>,
+        my_ep: EndpointId,
+        rank_eps: Vec<EndpointId>,
+        cfg: &ManaConfig,
+    ) -> FlatTopology {
+        FlatTopology {
+            ctrl,
+            my_ep,
+            rank_eps,
+            send_cpu: cfg.ctrl_send_cpu,
+            recv_cpu: cfg.ctrl_recv_cpu,
+        }
+    }
+
+    fn recv(&self, t: &SimThread) -> CtrlMsg {
+        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+    }
+}
+
+impl CoordTopology for FlatTopology {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Flat
+    }
+
+    fn nranks(&self) -> u32 {
+        self.rank_eps.len() as u32
+    }
+
+    fn attach_root(&self, tid: SimThreadId) {
+        self.ctrl.add_waiter(self.my_ep, tid);
+    }
+
+    fn fanout(&self, t: &SimThread, mk: &dyn Fn() -> CtrlMsg) {
+        for ep in &self.rank_eps {
+            send_from(t, &self.ctrl, self.my_ep, *ep, self.send_cpu, mk());
+        }
+    }
+
+    fn gather_states(&self, t: &SimThread, ckpt_id: u64) -> StateAgg {
+        gather_state_replies(
+            t,
+            &|| "coordinator".to_string(),
+            ckpt_id,
+            self.rank_eps.len(),
+            &mut |t| self.recv(t),
+        )
+    }
+
+    fn gather_bookmarks(&self, t: &SimThread, ckpt_id: u64) -> BTreeMap<u32, Vec<(u32, u64)>> {
+        gather_bookmark_replies(
+            t,
+            &|| "coordinator".to_string(),
+            ckpt_id,
+            self.rank_eps.len(),
+            &mut |t| self.recv(t),
+        )
+    }
+
+    fn scatter_expected(&self, t: &SimThread, _ckpt_id: u64, per_rank: Vec<Vec<(u32, u64)>>) {
+        for (ep, from) in self.rank_eps.iter().zip(per_rank) {
+            send_from(
+                t,
+                &self.ctrl,
+                self.my_ep,
+                *ep,
+                self.send_cpu,
+                CtrlMsg::ExpectedIn { from },
+            );
+        }
+    }
+
+    fn gather_done(&self, t: &SimThread, ckpt_id: u64) -> Vec<RankCkptStats> {
+        let mut stats = Vec::with_capacity(self.rank_eps.len());
+        for _ in 0..self.rank_eps.len() {
+            match self.recv(t) {
+                CtrlMsg::CkptDone { stats: s, .. } => stats.push(s),
+                other => protocol_violation(
+                    "coordinator",
+                    ckpt_id,
+                    ProtocolPhase::Completion,
+                    "CkptDone",
+                    other,
+                ),
+            }
+        }
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tree: per-node sub-coordinators
+// ---------------------------------------------------------------------------
+
+/// One sub-coordinator as the root sees it.
+struct SubLink {
+    ep: EndpointId,
+}
+
+/// One node's expected-in batch: `(rank, expected-in list)` per local
+/// rank — the payload of [`CtrlMsg::ExpectedInBatch`].
+type ExpectedBatch = Vec<(u32, Vec<(u32, u64)>)>;
+
+/// Per-node tree fan-out: the root exchanges one aggregated frame per
+/// node; sub-coordinators replicate downward messages and reduce upward
+/// replies locally, in parallel across nodes.
+pub struct TreeTopology {
+    ctrl: Arc<Network<CtrlMsg>>,
+    my_ep: EndpointId,
+    children: Vec<SubLink>,
+    /// Index into `children` of the sub-coordinator serving each rank
+    /// (rank-indexed).
+    child_of_rank: Vec<u32>,
+    nranks: u32,
+    send_cpu: SimDuration,
+    recv_cpu: SimDuration,
+}
+
+impl TreeTopology {
+    fn recv(&self, t: &SimThread) -> CtrlMsg {
+        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+    }
+}
+
+impl CoordTopology for TreeTopology {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Tree
+    }
+
+    fn nranks(&self) -> u32 {
+        self.nranks
+    }
+
+    fn attach_root(&self, tid: SimThreadId) {
+        self.ctrl.add_waiter(self.my_ep, tid);
+    }
+
+    fn fanout(&self, t: &SimThread, mk: &dyn Fn() -> CtrlMsg) {
+        // One downward frame per node; the sub-coordinators replicate to
+        // their local ranks concurrently with each other.
+        for c in &self.children {
+            send_from(t, &self.ctrl, self.my_ep, c.ep, self.send_cpu, mk());
+        }
+    }
+
+    fn gather_states(&self, t: &SimThread, ckpt_id: u64) -> StateAgg {
+        let mut agg = StateAgg::default();
+        for _ in 0..self.children.len() {
+            match self.recv(t) {
+                CtrlMsg::StateAggMsg { agg: partial } => agg.merge(&partial),
+                other => protocol_violation(
+                    "root coordinator",
+                    ckpt_id,
+                    ProtocolPhase::Agreement,
+                    "StateAgg",
+                    other,
+                ),
+            }
+        }
+        agg
+    }
+
+    fn gather_bookmarks(&self, t: &SimThread, ckpt_id: u64) -> BTreeMap<u32, Vec<(u32, u64)>> {
+        let mut expected: BTreeMap<u32, Vec<(u32, u64)>> = BTreeMap::new();
+        let mut covered = 0u32;
+        for _ in 0..self.children.len() {
+            match self.recv(t) {
+                CtrlMsg::BookmarkAgg {
+                    replies,
+                    expected: part,
+                } => {
+                    covered += replies;
+                    for (dest, senders) in part {
+                        expected.entry(dest).or_default().extend(senders);
+                    }
+                }
+                other => protocol_violation(
+                    "root coordinator",
+                    ckpt_id,
+                    ProtocolPhase::BookmarkGather,
+                    "BookmarkAgg",
+                    other,
+                ),
+            }
+        }
+        assert_eq!(
+            covered, self.nranks,
+            "ckpt {ckpt_id}: bookmark aggregates cover {covered} of {} ranks",
+            self.nranks
+        );
+        expected
+    }
+
+    fn scatter_expected(&self, t: &SimThread, _ckpt_id: u64, mut per_rank: Vec<Vec<(u32, u64)>>) {
+        // Bucket the rank-indexed lists by owning child, preserving rank
+        // labels, then one batched frame per node.
+        let mut batches: Vec<ExpectedBatch> = self.children.iter().map(|_| Vec::new()).collect();
+        for (rank, from) in per_rank.drain(..).enumerate() {
+            batches[self.child_of_rank[rank] as usize].push((rank as u32, from));
+        }
+        for (c, per_rank) in self.children.iter().zip(batches) {
+            send_from(
+                t,
+                &self.ctrl,
+                self.my_ep,
+                c.ep,
+                self.send_cpu,
+                CtrlMsg::ExpectedInBatch { per_rank },
+            );
+        }
+    }
+
+    fn gather_done(&self, t: &SimThread, ckpt_id: u64) -> Vec<RankCkptStats> {
+        let mut stats = Vec::with_capacity(self.nranks as usize);
+        for _ in 0..self.children.len() {
+            match self.recv(t) {
+                CtrlMsg::CkptDoneAgg { stats: s } => stats.extend(s),
+                other => protocol_violation(
+                    "root coordinator",
+                    ckpt_id,
+                    ProtocolPhase::Completion,
+                    "CkptDoneAgg",
+                    other,
+                ),
+            }
+        }
+        stats
+    }
+}
+
+/// Everything one node-level sub-coordinator needs.
+struct SubCoordCtx {
+    ctrl: Arc<Network<CtrlMsg>>,
+    my_ep: EndpointId,
+    root_ep: EndpointId,
+    node: u32,
+    /// `(rank, helper endpoint)` for the node's ranks.
+    local: Vec<(u32, EndpointId)>,
+    send_cpu: SimDuration,
+    recv_cpu: SimDuration,
+}
+
+impl SubCoordCtx {
+    fn role(&self) -> String {
+        format!("sub-coordinator node {}", self.node)
+    }
+
+    fn recv(&self, t: &SimThread) -> CtrlMsg {
+        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+    }
+
+    fn send_root(&self, t: &SimThread, msg: CtrlMsg) {
+        send_from(t, &self.ctrl, self.my_ep, self.root_ep, self.send_cpu, msg);
+    }
+
+    fn fan_out(&self, t: &SimThread, mk: impl Fn() -> CtrlMsg) {
+        for (_, ep) in &self.local {
+            send_from(t, &self.ctrl, self.my_ep, *ep, self.send_cpu, mk());
+        }
+    }
+
+    /// Gather the node's `State` replies for one agreement round and ship
+    /// the partial reduction to the root.
+    fn relay_states(&self, t: &SimThread, ckpt_id: u64) {
+        let agg = gather_state_replies(t, &|| self.role(), ckpt_id, self.local.len(), &mut |t| {
+            self.recv(t)
+        });
+        self.send_root(t, CtrlMsg::StateAggMsg { agg });
+    }
+
+    /// The do-ckpt half of the protocol: bookmarks up, expected-in down,
+    /// completions up, resume down. Returns the kill flag.
+    fn relay_checkpoint(&self, t: &SimThread, ckpt_id: u64) -> bool {
+        // Bookmarks: merge the node's sent-to maps into a destination-keyed
+        // directory before shipping one frame up.
+        let expected =
+            gather_bookmark_replies(t, &|| self.role(), ckpt_id, self.local.len(), &mut |t| {
+                self.recv(t)
+            });
+        self.send_root(
+            t,
+            CtrlMsg::BookmarkAgg {
+                replies: self.local.len() as u32,
+                expected: expected.into_iter().collect(),
+            },
+        );
+
+        // Expected-in counts come back as one batch; fan out locally.
+        let per_rank = match self.recv(t) {
+            CtrlMsg::ExpectedInBatch { per_rank } => per_rank,
+            other => protocol_violation(
+                self.role(),
+                ckpt_id,
+                ProtocolPhase::ExpectedWait,
+                "ExpectedInBatch",
+                other,
+            ),
+        };
+        let ep_of: BTreeMap<u32, EndpointId> = self.local.iter().copied().collect();
+        for (rank, from) in per_rank {
+            let ep = *ep_of.get(&rank).unwrap_or_else(|| {
+                panic!(
+                    "{}: expected-in batch names rank {rank} not on this node",
+                    self.role()
+                )
+            });
+            send_from(
+                t,
+                &self.ctrl,
+                self.my_ep,
+                ep,
+                self.send_cpu,
+                CtrlMsg::ExpectedIn { from },
+            );
+        }
+
+        // Roll up the node's completions into one frame.
+        let mut stats = Vec::with_capacity(self.local.len());
+        for _ in 0..self.local.len() {
+            match self.recv(t) {
+                CtrlMsg::CkptDone { stats: s, .. } => stats.push(s),
+                other => protocol_violation(
+                    self.role(),
+                    ckpt_id,
+                    ProtocolPhase::Completion,
+                    "CkptDone",
+                    other,
+                ),
+            }
+        }
+        self.send_root(t, CtrlMsg::CkptDoneAgg { stats });
+
+        // Resume (or die).
+        match self.recv(t) {
+            CtrlMsg::Resume { ckpt_id, kill } => {
+                self.fan_out(t, || CtrlMsg::Resume { ckpt_id, kill });
+                kill
+            }
+            other => protocol_violation(
+                self.role(),
+                ckpt_id,
+                ProtocolPhase::ResumeWait,
+                "Resume",
+                other,
+            ),
+        }
+    }
+}
+
+/// Sub-coordinator daemon loop: replicate downward control messages to the
+/// node's helpers, reduce their replies, ship aggregates to the root.
+/// Exits after relaying a kill-resume.
+fn run_sub_coordinator(t: SimThread, sx: SubCoordCtx) {
+    sx.ctrl.add_waiter(sx.my_ep, t.id());
+    loop {
+        match sx.recv(&t) {
+            CtrlMsg::IntendCkpt { ckpt_id } => {
+                sx.fan_out(&t, || CtrlMsg::IntendCkpt { ckpt_id });
+                sx.relay_states(&t, ckpt_id);
+            }
+            CtrlMsg::ExtraIteration { ckpt_id } => {
+                sx.fan_out(&t, || CtrlMsg::ExtraIteration { ckpt_id });
+                sx.relay_states(&t, ckpt_id);
+            }
+            CtrlMsg::DoCkpt { ckpt_id } => {
+                sx.fan_out(&t, || CtrlMsg::DoCkpt { ckpt_id });
+                if sx.relay_checkpoint(&t, ckpt_id) {
+                    return;
+                }
+            }
+            other => protocol_violation(
+                sx.role(),
+                None,
+                ProtocolPhase::Idle,
+                "IntendCkpt/ExtraIteration/DoCkpt",
+                other,
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane assembly
+// ---------------------------------------------------------------------------
+
+/// A fully wired control plane: the root's topology seam plus the
+/// endpoints each helper binds and speaks to.
+pub struct ControlPlane {
+    /// The root protocol driver's delivery/reduction seam.
+    pub topo: Arc<dyn CoordTopology>,
+    /// Each helper's own endpoint (indexed by rank).
+    pub helper_eps: Vec<EndpointId>,
+    /// The endpoint each helper's protocol parent listens on — the root
+    /// itself under [`TopologyKind::Flat`], the rank's node-local
+    /// sub-coordinator under [`TopologyKind::Tree`] (indexed by rank).
+    pub parent_eps: Vec<EndpointId>,
+}
+
+/// Wire the coordinator control plane for a job: root endpoint, per-rank
+/// helper endpoints, and — under [`TopologyKind::Tree`] — one
+/// sub-coordinator sim thread per compute node, each on its node so local
+/// fan-out rides the intra-node fabric.
+pub fn build_control_plane(
+    sim: &Sim,
+    ctrl: &Arc<Network<CtrlMsg>>,
+    cluster: &ClusterSpec,
+    nranks: u32,
+    placement: Placement,
+    cfg: &ManaConfig,
+) -> ControlPlane {
+    let my_ep = ctrl.add_endpoint(0);
+    let node_of: Vec<u32> = (0..nranks)
+        .map(|r| cluster.node_of_rank(r, nranks, placement))
+        .collect();
+    let helper_eps: Vec<EndpointId> = node_of.iter().map(|n| ctrl.add_endpoint(*n)).collect();
+    match cfg.topology {
+        TopologyKind::Flat => {
+            let topo = Arc::new(FlatTopology::new(
+                ctrl.clone(),
+                my_ep,
+                helper_eps.clone(),
+                cfg,
+            ));
+            ControlPlane {
+                topo,
+                parent_eps: vec![my_ep; nranks as usize],
+                helper_eps,
+            }
+        }
+        TopologyKind::Tree => {
+            let mut by_node: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for (rank, node) in node_of.iter().enumerate() {
+                by_node.entry(*node).or_default().push(rank as u32);
+            }
+            let mut children = Vec::with_capacity(by_node.len());
+            let mut child_of_rank = vec![0u32; nranks as usize];
+            let mut parent_eps = vec![my_ep; nranks as usize];
+            for (child_idx, (node, ranks)) in by_node.into_iter().enumerate() {
+                let sub_ep = ctrl.add_endpoint(node);
+                for r in &ranks {
+                    child_of_rank[*r as usize] = child_idx as u32;
+                    parent_eps[*r as usize] = sub_ep;
+                }
+                let sx = SubCoordCtx {
+                    ctrl: ctrl.clone(),
+                    my_ep: sub_ep,
+                    root_ep: my_ep,
+                    node,
+                    local: ranks
+                        .iter()
+                        .map(|r| (*r, helper_eps[*r as usize]))
+                        .collect(),
+                    send_cpu: cfg.ctrl_send_cpu,
+                    recv_cpu: cfg.ctrl_recv_cpu,
+                };
+                children.push(SubLink { ep: sub_ep });
+                sim.spawn(&format!("subcoord{node}"), true, move |t| {
+                    run_sub_coordinator(t, sx)
+                });
+            }
+            let topo = Arc::new(TreeTopology {
+                ctrl: ctrl.clone(),
+                my_ep,
+                children,
+                child_of_rank,
+                nranks,
+                send_cpu: cfg.ctrl_send_cpu,
+                recv_cpu: cfg.ctrl_recv_cpu,
+            });
+            ControlPlane {
+                topo,
+                parent_eps,
+                helper_eps,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conformance harness (in the spirit of `mana-store`'s `exercise_store`)
+// ---------------------------------------------------------------------------
+
+/// Everything one topology's checkpoint-and-restart chain exposes for
+/// equivalence checking.
+pub struct TopologyRunReport {
+    /// Topology the chain ran under.
+    pub kind: TopologyKind,
+    /// The checkpoint's full report (timing differs across topologies).
+    pub ckpt: CkptReport,
+    /// Per-rank FNV checksum of the *encoded image bytes* in the store,
+    /// indexed by rank — byte-identity across topologies.
+    pub image_checksums: Vec<u64>,
+    /// Per-rank encoded image sizes, indexed by rank.
+    pub image_lens: Vec<u64>,
+    /// Final per-rank application-state checksums after restarting from
+    /// the checkpoint.
+    pub final_checksums: BTreeMap<u32, u64>,
+}
+
+/// Run `workload` under MANA with one mid-run checkpoint-and-kill, then
+/// restart it from the images — all under `topology` — and report
+/// everything the topology-invariance contract compares. Uses a fresh
+/// in-memory store so runs are hermetic.
+pub fn run_checkpoint_chain(
+    workload: &Arc<dyn Workload>,
+    cluster: &ClusterSpec,
+    nranks: u32,
+    profile: MpiProfile,
+    seed: u64,
+    ckpt_frac: f64,
+    topology: TopologyKind,
+) -> TopologyRunReport {
+    let session = ManaSession::builder().store(InMemStore::new()).build();
+    let job = || {
+        JobBuilder::new()
+            .cluster(cluster.clone())
+            .ranks(nranks)
+            .profile(profile.clone())
+            .seed(seed)
+            .topology(topology)
+    };
+    // Probe the run length so the checkpoint lands inside the application
+    // window. A checkpoint-free run never exchanges control messages, so
+    // the probe is topology-independent and both topologies derive the
+    // same checkpoint time.
+    let probe = session
+        .run(job(), workload.clone())
+        .expect("topology probe run");
+    let wall = probe.outcome().wall.as_nanos();
+    let app = probe.outcome().app_wall.as_nanos();
+    let at = mana_sim::time::SimTime(wall - app + (app as f64 * ckpt_frac) as u64);
+    let killed = session
+        .run(job().checkpoint_at(at).then_kill(), workload.clone())
+        .expect("topology checkpoint run");
+    assert!(killed.killed(), "checkpoint-and-kill did not kill");
+    let ckpt = killed.ckpts().pop().expect("one checkpoint report");
+
+    let store = session.store();
+    let spec = killed.spec();
+    let mut image_checksums = Vec::with_capacity(nranks as usize);
+    let mut image_lens = Vec::with_capacity(nranks as usize);
+    for rank in 0..nranks {
+        let path = spec.cfg.image_path(ckpt.ckpt_id, rank);
+        let (bytes, _) = store
+            .get(
+                &path,
+                u64::from(rank),
+                mana_sim::fs::IoShape {
+                    writers_on_node: 1,
+                    total_writers: 1,
+                },
+            )
+            .expect("image in store");
+        image_checksums.push(checksum_bytes(&bytes));
+        image_lens.push(bytes.len() as u64);
+    }
+
+    let resumed = killed
+        .restart_on(JobBuilder::new())
+        .expect("topology restart");
+    TopologyRunReport {
+        kind: topology,
+        ckpt,
+        image_checksums,
+        image_lens,
+        final_checksums: resumed.checksums().clone(),
+    }
+}
+
+/// The topology-invariance contract: both topologies must have made the
+/// same safety decisions (extra-iteration count), produced byte-identical
+/// restart images, reported identical non-timing per-rank checkpoint
+/// stats, and restarted to identical application state. Only timing may
+/// differ.
+pub fn assert_topologies_agree(a: &TopologyRunReport, b: &TopologyRunReport) {
+    let pair = format!("{:?} vs {:?}", a.kind, b.kind);
+    assert_eq!(
+        a.ckpt.extra_iterations, b.ckpt.extra_iterations,
+        "{pair}: safety decisions diverged (extra iterations)"
+    );
+    assert_eq!(
+        a.image_lens, b.image_lens,
+        "{pair}: restart image sizes diverged"
+    );
+    assert_eq!(
+        a.image_checksums, b.image_checksums,
+        "{pair}: restart images not byte-identical"
+    );
+    assert_eq!(
+        a.ckpt.ranks.len(),
+        b.ckpt.ranks.len(),
+        "{pair}: rank stats cardinality"
+    );
+    for (ra, rb) in a.ckpt.ranks.iter().zip(&b.ckpt.ranks) {
+        assert_eq!(ra.rank, rb.rank, "{pair}: rank order");
+        assert_eq!(
+            ra.image_logical_bytes, rb.image_logical_bytes,
+            "{pair}: rank {} logical image bytes",
+            ra.rank
+        );
+        assert_eq!(
+            ra.image_dense_bytes, rb.image_dense_bytes,
+            "{pair}: rank {} dense image bytes",
+            ra.rank
+        );
+        assert_eq!(
+            ra.drained_msgs, rb.drained_msgs,
+            "{pair}: rank {} drained messages",
+            ra.rank
+        );
+    }
+    assert_eq!(
+        a.final_checksums, b.final_checksums,
+        "{pair}: restarted application state diverged"
+    );
+}

@@ -1,0 +1,176 @@
+//! Topology conformance: the flat star and the per-node tree must be
+//! indistinguishable in everything but timing. The shared harness
+//! (`mana_core::topology::run_checkpoint_chain`, in the spirit of
+//! `mana-store`'s `exercise_store`) runs the same checkpoint-and-restart
+//! chain under each topology and `assert_topologies_agree` enforces the
+//! contract: identical safety decisions (extra-iteration counts),
+//! byte-identical restart images, identical non-timing per-rank stats,
+//! identical restarted application state.
+
+use mana_core::{
+    assert_topologies_agree, run_checkpoint_chain, AppEnv, JobBuilder, ManaSession, TopologyKind,
+    Workload,
+};
+use mana_mpi::{MpiProfile, ReduceOp, SrcSpec, TagSpec};
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::time::SimDuration;
+use std::sync::Arc;
+
+/// Bulk-synchronous halo stencil: coarse compute, a nonblocking ring
+/// exchange, and an allreduce per step — collectives, p2p drain traffic
+/// and managed state all in play.
+struct HaloStencil {
+    steps: u64,
+    work: SimDuration,
+}
+
+impl Workload for HaloStencil {
+    fn name(&self) -> &'static str {
+        "halo-stencil"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let n = env.nranks();
+        let me = env.rank();
+        let state = env.alloc_f64("state", 64);
+        let halo = env.alloc_f64("halo", 2);
+        // The outer loop iterates a *managed* counter (the `begin_step`
+        // contract), so a restarted incarnation resumes at the
+        // interrupted step instead of replaying from step 0.
+        let ctr = env.alloc_f64("step", 1);
+        env.work(SimDuration::micros(5), |m| {
+            m.with_mut(state, |s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (u64::from(me) * 100 + i as u64) as f64;
+                }
+            });
+        });
+        loop {
+            let step = env.peek(ctr, |c| c[0]) as u64;
+            if step >= self.steps {
+                break;
+            }
+            env.begin_step();
+            env.work(self.work, |m| {
+                m.with_mut(state, |s| {
+                    for v in s.iter_mut() {
+                        *v = 0.5 * *v + 1.0;
+                    }
+                })
+            });
+            if n > 1 {
+                let left = (me + n - 1) % n;
+                let right = (me + 1) % n;
+                let tag = step as i32;
+                let s1 = env.isend_arr(world, state, 0..1, left, tag);
+                let s2 = env.isend_arr(world, state, 63..64, right, tag);
+                let r1 = env.irecv_into(world, halo, 0, SrcSpec::Rank(left), TagSpec::Tag(tag));
+                let r2 = env.irecv_into(world, halo, 1, SrcSpec::Rank(right), TagSpec::Tag(tag));
+                for s in [s1, s2, r1, r2] {
+                    env.wait_slot(s);
+                }
+                env.work(SimDuration::micros(5), |m| {
+                    m.with2_mut(state, halo, |sv, hv| {
+                        sv[0] += 0.25 * hv[0];
+                        sv[63] += 0.25 * hv[1];
+                    })
+                });
+            }
+            env.allreduce_arr(world, state, ReduceOp::Sum);
+            let inv = 1.0 / f64::from(n);
+            env.work(SimDuration::micros(2), |m| {
+                m.with_mut(state, |s| {
+                    for v in s.iter_mut() {
+                        *v *= inv;
+                    }
+                })
+            });
+            env.work(SimDuration::micros(1), |m| m.with_mut(ctr, |c| c[0] += 1.0));
+        }
+    }
+}
+
+fn stencil(steps: u64, work_us: u64) -> Arc<dyn Workload> {
+    Arc::new(HaloStencil {
+        steps,
+        work: SimDuration::micros(work_us),
+    })
+}
+
+#[test]
+fn tree_matches_flat_on_multi_node_stencil() {
+    let workload = stencil(5, 4000);
+    let cluster = ClusterSpec::cori(4);
+    let profile = MpiProfile::cray_mpich();
+    let flat = run_checkpoint_chain(
+        &workload,
+        &cluster,
+        8,
+        profile.clone(),
+        11,
+        0.5,
+        TopologyKind::Flat,
+    );
+    let tree = run_checkpoint_chain(&workload, &cluster, 8, profile, 11, 0.5, TopologyKind::Tree);
+    assert_topologies_agree(&flat, &tree);
+
+    // Both chains must also land on the clean (never-checkpointed) final
+    // state — restart fidelity, not just cross-topology agreement.
+    let session = ManaSession::new();
+    let clean = session
+        .run(
+            JobBuilder::new()
+                .cluster(cluster)
+                .ranks(8)
+                .profile(MpiProfile::cray_mpich())
+                .seed(11),
+            workload,
+        )
+        .expect("clean run");
+    assert_eq!(clean.checksums(), &flat.final_checksums);
+    assert_eq!(clean.checksums(), &tree.final_checksums);
+}
+
+#[test]
+fn tree_matches_flat_across_fractions_and_shapes() {
+    // Sweep checkpoint placements and world shapes (including uneven
+    // ranks-per-node and a single-node tree, which degenerates to one
+    // sub-coordinator). Checkpoints land mid-compute of a step — the
+    // regime where byte-identity is a robust contract: the whole
+    // agreement fits inside one long work op, so every rank parks at the
+    // same op boundary under either topology. (When arrival skew
+    // straddles an op boundary, stop *positions* may legitimately differ
+    // between topologies — both still restart correctly, but images are
+    // not comparable bytes; the clean-run checksum assertions in the
+    // other test cover that regime's correctness.)
+    let profile = MpiProfile::open_mpi();
+    for (nodes, nranks, frac, seed) in [
+        (2u32, 6u32, 0.3, 5u64),
+        (4, 8, 0.7, 7),
+        (1, 4, 0.5, 3),
+        (3, 7, 0.3, 9),
+    ] {
+        let workload = stencil(5, 4000);
+        let cluster = ClusterSpec::local_cluster(nodes);
+        let flat = run_checkpoint_chain(
+            &workload,
+            &cluster,
+            nranks,
+            profile.clone(),
+            seed,
+            frac,
+            TopologyKind::Flat,
+        );
+        let tree = run_checkpoint_chain(
+            &workload,
+            &cluster,
+            nranks,
+            profile.clone(),
+            seed,
+            frac,
+            TopologyKind::Tree,
+        );
+        assert_topologies_agree(&flat, &tree);
+    }
+}

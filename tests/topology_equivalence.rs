@@ -1,0 +1,145 @@
+//! Property: for random application/rank/topology configurations, a
+//! checkpoint chain run under the flat star and under the per-node tree
+//! yields byte-identical restart images, equal extra-iteration counts,
+//! identical non-timing per-rank checkpoint stats, and identical
+//! restarted application state.
+//!
+//! The generated workloads follow the regime where byte-identity is a
+//! robust contract (see `crates/core/tests/topology_conformance.rs`):
+//! bulk-synchronous steps dominated by one long compute op, with the
+//! checkpoint landing mid-compute — the whole two-phase agreement then
+//! fits inside a single op under either topology, so every rank parks at
+//! the same operation boundary and the images cannot diverge.
+
+use mana::core::{assert_topologies_agree, run_checkpoint_chain, AppEnv, TopologyKind, Workload};
+use mana::mpi::{MpiProfile, ReduceOp, SrcSpec, TagSpec};
+use mana::sim::cluster::ClusterSpec;
+use mana::sim::time::SimDuration;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Parameterized bulk-synchronous app: long compute, a ring halo
+/// exchange of configurable width, and an allreduce per step. The outer
+/// loop iterates a managed counter (the `begin_step` contract).
+struct RandStencil {
+    steps: u64,
+    work: SimDuration,
+    halo_elems: usize,
+}
+
+impl Workload for RandStencil {
+    fn name(&self) -> &'static str {
+        "rand-stencil"
+    }
+
+    fn run(&self, env: &mut AppEnv) {
+        let world = env.world();
+        let n = env.nranks();
+        let me = env.rank();
+        let w = self.halo_elems;
+        let state = env.alloc_f64("state", 64.max(2 * w));
+        let halo = env.alloc_f64("halo", 2 * w);
+        let ctr = env.alloc_f64("step", 1);
+        env.work(SimDuration::micros(5), |m| {
+            m.with_mut(state, |s| {
+                for (i, v) in s.iter_mut().enumerate() {
+                    *v = (u64::from(me) * 1000 + i as u64) as f64;
+                }
+            });
+        });
+        loop {
+            let step = env.peek(ctr, |c| c[0]) as u64;
+            if step >= self.steps {
+                break;
+            }
+            env.begin_step();
+            env.work(self.work, |m| {
+                m.with_mut(state, |s| {
+                    for v in s.iter_mut() {
+                        *v = 0.5 * *v + 1.0;
+                    }
+                })
+            });
+            if n > 1 {
+                let left = (me + n - 1) % n;
+                let right = (me + 1) % n;
+                let tag = step as i32;
+                let s1 = env.isend_arr(world, state, 0..w, left, tag);
+                let s2 = env.isend_arr(world, state, w..2 * w, right, tag);
+                let r1 = env.irecv_into(world, halo, 0, SrcSpec::Rank(left), TagSpec::Tag(tag));
+                let r2 = env.irecv_into(world, halo, w, SrcSpec::Rank(right), TagSpec::Tag(tag));
+                for s in [s1, s2, r1, r2] {
+                    env.wait_slot(s);
+                }
+                env.work(SimDuration::micros(5), |m| {
+                    m.with2_mut(state, halo, |sv, hv| {
+                        for i in 0..2 * w {
+                            sv[i] += 0.25 * hv[i];
+                        }
+                    })
+                });
+            }
+            env.allreduce_arr(world, state, ReduceOp::Sum);
+            let inv = 1.0 / f64::from(n);
+            env.work(SimDuration::micros(2), |m| {
+                m.with_mut(state, |s| {
+                    for v in s.iter_mut() {
+                        *v *= inv;
+                    }
+                })
+            });
+            env.work(SimDuration::micros(1), |m| m.with_mut(ctr, |c| c[0] += 1.0));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn flat_and_tree_chains_are_equivalent(
+        nodes in 1u32..5,
+        extra_ranks in 0u32..6,
+        steps in 3u64..7,
+        work_us in 3000u64..6001,
+        halo_elems in 1usize..33,
+        ckpt_step in 0u64..3,
+        cray in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let nranks = nodes + extra_ranks.max(nodes % 2 + 1);
+        let workload: Arc<dyn Workload> = Arc::new(RandStencil {
+            steps,
+            work: SimDuration::micros(work_us),
+            halo_elems,
+        });
+        let cluster = ClusterSpec::local_cluster(nodes);
+        let profile = if cray {
+            MpiProfile::cray_mpich()
+        } else {
+            MpiProfile::open_mpi()
+        };
+        // Land the checkpoint mid-compute of a random step.
+        let frac = (ckpt_step.min(steps - 1) as f64 + 0.5) / steps as f64;
+        let flat = run_checkpoint_chain(
+            &workload,
+            &cluster,
+            nranks,
+            profile.clone(),
+            seed,
+            frac,
+            TopologyKind::Flat,
+        );
+        let tree = run_checkpoint_chain(
+            &workload,
+            &cluster,
+            nranks,
+            profile,
+            seed,
+            frac,
+            TopologyKind::Tree,
+        );
+        prop_assert_eq!(flat.ckpt.extra_iterations, tree.ckpt.extra_iterations);
+        assert_topologies_agree(&flat, &tree);
+    }
+}
