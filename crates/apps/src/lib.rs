@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod clamr;
 pub mod common;
 pub mod gromacs;
@@ -17,6 +18,7 @@ pub mod lulesh;
 pub mod minife;
 pub mod osu;
 
+pub use churn::CommChurn;
 pub use clamr::Clamr;
 pub use common::{bulk_bytes_for, paper_image_mb, AppKind};
 pub use gromacs::Gromacs;

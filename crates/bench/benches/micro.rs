@@ -71,6 +71,9 @@ fn sample_image(dense_kb: usize) -> CheckpointImage {
         slots: vec![],
         slot_seq: 0,
         slot_seq_at_step: 0,
+        world_virt: 0,
+        rebind: vec![],
+        step_created: vec![],
     }
 }
 

@@ -55,17 +55,31 @@ pub struct ManaConfig {
     pub first_ckpt_id: u64,
     /// Behaviour after the final scheduled checkpoint completes.
     pub after_last_ckpt: AfterCkpt,
-    /// Coordinator CPU cost to send one control message (TCP socket +
-    /// framing). The coordinator serializes over all ranks, which is what
-    /// makes the paper's "communication overhead" grow with rank count
-    /// (Figure 8).
+    /// Coordinator CPU cost to send one control message to another node
+    /// (TCP socket + framing). The coordinator serializes over all ranks,
+    /// which is what makes the paper's "communication overhead" grow with
+    /// rank count (Figure 8).
     pub ctrl_send_cpu: SimDuration,
-    /// Coordinator CPU cost to process one received control message
-    /// (socket polling over thousands of descriptors, small-message
-    /// metadata — §3.4).
+    /// Coordinator CPU cost to process one received cross-node control
+    /// message (socket polling over thousands of descriptors,
+    /// small-message metadata — §3.4).
     pub ctrl_recv_cpu: SimDuration,
+    /// CPU cost to send one control message to an endpoint on the *same
+    /// node* (loopback/UNIX socket — no NIC, no cross-node TCP stack).
+    /// This is the rate a tree sub-coordinator's local fan-out pays, and
+    /// it is what makes per-node sub-coordinators cheap.
+    pub ctrl_send_cpu_intra: SimDuration,
+    /// CPU cost to process one control message received from the same
+    /// node (a sub-coordinator gathering its local helpers' replies).
+    pub ctrl_recv_cpu_intra: SimDuration,
     /// Control-plane shape: flat star (default) or per-node tree fan-out.
     pub topology: TopologyKind,
+    /// Compact the record-replay log before writing it into checkpoint
+    /// images (elide freed opaque objects and dead derivation subtrees;
+    /// see `mana_core::restart::compact`). On by default; the
+    /// `fig_restart` bench switches it off to measure the full-log replay
+    /// curve.
+    pub compact_log: bool,
 }
 
 impl ManaConfig {
@@ -81,7 +95,10 @@ impl ManaConfig {
             after_last_ckpt: AfterCkpt::Continue,
             ctrl_send_cpu: SimDuration::micros(30),
             ctrl_recv_cpu: SimDuration::micros(80),
+            ctrl_send_cpu_intra: SimDuration::micros(4),
+            ctrl_recv_cpu_intra: SimDuration::micros(9),
             topology: TopologyKind::Flat,
+            compact_log: true,
         }
     }
 

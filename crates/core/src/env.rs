@@ -209,9 +209,12 @@ impl AppEnv {
     pub fn begin_step(&mut self) {
         self.with_progress(|p| {
             if p.resuming {
-                p.resuming = false; // keep resume_skip for this first step
+                p.resuming = false; // keep resume_skip (and the handle
+                                    // ledger) for this first step
             } else {
                 p.resume_skip = 0;
+                p.step_created.clear();
+                p.created_cursor = 0;
             }
             p.ops_done = 0;
             p.slot_seq_at_step = p.slot_seq;
@@ -726,14 +729,130 @@ impl AppEnv {
         slot
     }
 
-    /// State-mutating communicator operations are ordinary operations too.
-    /// Returns the created communicator; on skip, re-derives the handle
-    /// from the wrapper's restored tables by creation order.
+    // ----- opaque-object churn (state-mutating; MANA records these) ---------
+    //
+    // Creations are ordinary operations with one extra rule: the produced
+    // virtual handle is appended to the per-step *handle ledger*
+    // (`Progress::step_created`, checkpointed alongside the progress
+    // cursor), and a creation skipped during resume re-derives its handle
+    // from the ledger in order — the handle analogue of the allocation
+    // ledger. Handles carried *across* steps must live in managed memory
+    // (store the `CommHandle.0` in a `u64` array), per the restore
+    // contract; virtual ids are stable across restarts, so they reload
+    // correctly.
+
+    /// Ledger-driven creation: skip path pops the restored ledger, real
+    /// path runs `create` and appends its handle.
+    fn handle_op(&mut self, what: &str, create: impl FnOnce(&Self) -> u64) -> u64 {
+        if self.op_skip() {
+            return self.with_progress(|p| {
+                let v = *p
+                    .step_created
+                    .get(p.created_cursor)
+                    .unwrap_or_else(|| panic!("handle ledger exhausted resuming {what}"));
+                p.created_cursor += 1;
+                v
+            });
+        }
+        let v = create(self);
+        self.with_progress(|p| {
+            p.step_created.push(v);
+            p.created_cursor = p.step_created.len();
+        });
+        self.op_done();
+        v
+    }
+
+    /// `MPI_Comm_dup`.
+    pub fn comm_dup(&mut self, comm: CommHandle) -> CommHandle {
+        CommHandle(self.handle_op("comm_dup", |s| s.mpi.comm_dup(&s.t, comm).0))
+    }
+
+    /// `MPI_Comm_split`; `None` for a negative (undefined) color.
+    pub fn comm_split(&mut self, comm: CommHandle, color: i32, key: i32) -> Option<CommHandle> {
+        let v = self.handle_op("comm_split", |s| s.mpi.comm_split(&s.t, comm, color, key).0);
+        (v != 0).then_some(CommHandle(v))
+    }
+
+    /// `MPI_Comm_free`. Skipped on resume (the object was already freed
+    /// before the checkpoint, so the restored tables never contain it).
+    pub fn comm_free(&mut self, comm: CommHandle) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi.comm_free(&self.t, comm);
+        self.op_done();
+    }
+
+    /// `MPI_Comm_group`.
+    pub fn comm_group(&mut self, comm: CommHandle) -> mana_mpi::GroupHandle {
+        mana_mpi::GroupHandle(self.handle_op("comm_group", |s| s.mpi.comm_group(comm).0))
+    }
+
+    /// `MPI_Group_incl`.
+    pub fn group_incl(
+        &mut self,
+        group: mana_mpi::GroupHandle,
+        ranks: &[u32],
+    ) -> mana_mpi::GroupHandle {
+        mana_mpi::GroupHandle(self.handle_op("group_incl", |s| s.mpi.group_incl(group, ranks).0))
+    }
+
+    /// `MPI_Group_free`.
+    pub fn group_free(&mut self, group: mana_mpi::GroupHandle) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi.group_free(group);
+        self.op_done();
+    }
+
+    /// Handle for a predefined base type. Not an operation: the wrapper
+    /// caches base handles (and restart replay repopulates the cache), so
+    /// this is a local query safe to call on either side of a resume.
+    pub fn type_base(&mut self, base: BaseType) -> mana_mpi::DtypeHandle {
+        self.mpi.type_base(base)
+    }
+
+    /// `MPI_Type_contiguous`.
+    pub fn type_contiguous(
+        &mut self,
+        count: u32,
+        inner: mana_mpi::DtypeHandle,
+    ) -> mana_mpi::DtypeHandle {
+        mana_mpi::DtypeHandle(
+            self.handle_op("type_contiguous", |s| s.mpi.type_contiguous(count, inner).0),
+        )
+    }
+
+    /// `MPI_Type_free`.
+    pub fn type_free(&mut self, dtype: mana_mpi::DtypeHandle) {
+        if self.op_skip() {
+            return;
+        }
+        self.mpi.type_free(dtype);
+        self.op_done();
+    }
+
+    /// `MPI_Cart_create`. Returns the created communicator; on skip,
+    /// re-derives the handle from the ledger (falling back, for images
+    /// that predate it, to matching the restored metadata by dims).
     pub fn cart_create(&mut self, comm: CommHandle, dims: &[u32], periodic: &[bool]) -> CommHandle {
         if self.op_skip() {
+            let from_ledger = self.with_progress(|p| {
+                let v = p.step_created.get(p.created_cursor).copied();
+                if v.is_some() {
+                    p.created_cursor += 1;
+                }
+                v
+            });
+            if let Some(v) = from_ledger {
+                return CommHandle(v);
+            }
             let sh = self.sh.as_ref().expect("skip only under MANA");
-            // Deterministic re-derivation: the cart communicator created at
-            // this point is the one whose metadata carries these dims.
+            // Legacy (v1-image) re-derivation: the cart communicator
+            // created at this point is the one whose metadata carries
+            // these dims.
             let comms = sh.comms.lock();
             let (virt, _) = comms
                 .iter()
@@ -742,6 +861,10 @@ impl AppEnv {
             return CommHandle(*virt);
         }
         let out = self.mpi.cart_create(&self.t, comm, dims, periodic, true);
+        self.with_progress(|p| {
+            p.step_created.push(out.0);
+            p.created_cursor = p.step_created.len();
+        });
         self.op_done();
         out
     }

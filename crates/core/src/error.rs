@@ -1,12 +1,14 @@
 //! Typed errors for the job-lifecycle API.
 //!
-//! The original free-function API panicked its way through the restart
-//! path (`unwrap()` on image reads, `expect()` on decode). The session API
-//! surfaces every failure a caller can act on as a typed error instead:
-//! [`StoreError`] for checkpoint-storage lookups, [`ManaError`] for the
-//! restart engine, and [`SessionError`] for session-level orchestration.
+//! Every failure a caller can act on is a typed error: [`StoreError`] for
+//! checkpoint-storage lookups, [`RestartError`] for the restart pipeline
+//! (image fetch/decode/validation and verified replay — see
+//! [`crate::restart`]), and [`SessionError`] for session-level
+//! orchestration.
+//!
+//! [`RestartError`]: crate::restart::RestartError
 
-use crate::codec::CodecError;
+use crate::restart::RestartError;
 use std::fmt;
 
 /// Errors from a [`crate::store::CheckpointStore`].
@@ -45,94 +47,12 @@ impl From<mana_sim::fs::FsError> for StoreError {
     }
 }
 
-/// Errors from the MANA engine itself (today: the restart path — launch
-/// and native runs cannot fail without a simulator bug).
-#[derive(Clone, Debug, PartialEq)]
-pub enum ManaError {
-    /// A rank's checkpoint image could not be fetched from the store.
-    MissingImage {
-        /// Rank whose image is missing.
-        rank: u32,
-        /// Checkpoint id requested.
-        ckpt_id: u64,
-        /// Store path that was probed.
-        path: String,
-        /// Underlying store error.
-        source: StoreError,
-    },
-    /// A fetched image failed to decode (corrupt or foreign bytes).
-    CorruptImage {
-        /// Rank whose image is corrupt.
-        rank: u32,
-        /// Store path that was read.
-        path: String,
-        /// Underlying codec error.
-        source: CodecError,
-    },
-    /// The restart presented a different world size than the images carry
-    /// (MANA pins world size across incarnations; see paper §2.1).
-    WorldSizeMismatch {
-        /// World size recorded in the image.
-        image: u32,
-        /// World size the restart spec requested.
-        requested: u32,
-    },
-    /// An image carries no world communicator — it cannot have been
-    /// produced by a MANA checkpoint.
-    NoWorldComm {
-        /// Rank whose image is malformed.
-        rank: u32,
-        /// Store path that was read.
-        path: String,
-    },
-}
-
-impl fmt::Display for ManaError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ManaError::MissingImage {
-                rank,
-                ckpt_id,
-                path,
-                source,
-            } => write!(
-                f,
-                "restart rank {rank}: no image for checkpoint {ckpt_id} at '{path}': {source}"
-            ),
-            ManaError::CorruptImage { rank, path, source } => {
-                write!(
-                    f,
-                    "restart rank {rank}: corrupt image at '{path}': {source}"
-                )
-            }
-            ManaError::WorldSizeMismatch { image, requested } => write!(
-                f,
-                "restart must present the original world size: image has {image} ranks, \
-                 restart requested {requested}"
-            ),
-            ManaError::NoWorldComm { rank, path } => write!(
-                f,
-                "restart rank {rank}: image at '{path}' carries no world communicator"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for ManaError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ManaError::MissingImage { source, .. } => Some(source),
-            ManaError::CorruptImage { source, .. } => Some(source),
-            _ => None,
-        }
-    }
-}
-
 /// Errors from session-level orchestration ([`crate::session::ManaSession`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SessionError {
-    /// The underlying engine failed.
-    Mana(ManaError),
+    /// The restart pipeline failed (missing/corrupt image, validation, or
+    /// replay divergence).
+    Restart(RestartError),
     /// `restart_on` was called on an incarnation that completed no
     /// checkpoint, so there is nothing to restart from.
     NoCheckpoint {
@@ -149,7 +69,7 @@ pub enum SessionError {
         /// Session checkpoints whose images are all still in the store.
         surviving: Vec<u64>,
         /// The underlying engine error.
-        source: ManaError,
+        source: RestartError,
     },
     /// A [`crate::session::JobBuilder`] described an unrunnable job.
     InvalidJob(String),
@@ -158,7 +78,7 @@ pub enum SessionError {
 impl fmt::Display for SessionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SessionError::Mana(e) => write!(f, "{e}"),
+            SessionError::Restart(e) => write!(f, "{e}"),
             SessionError::NoCheckpoint { incarnation } => write!(
                 f,
                 "incarnation {incarnation} completed no checkpoint; nothing to restart from"
@@ -180,26 +100,27 @@ impl fmt::Display for SessionError {
 impl std::error::Error for SessionError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SessionError::Mana(e) => Some(e),
+            SessionError::Restart(e) => Some(e),
             SessionError::CheckpointGone { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<ManaError> for SessionError {
-    fn from(e: ManaError) -> SessionError {
-        SessionError::Mana(e)
+impl From<RestartError> for SessionError {
+    fn from(e: RestartError) -> SessionError {
+        SessionError::Restart(e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::CodecError;
 
     #[test]
     fn display_carries_context() {
-        let e = ManaError::MissingImage {
+        let e = RestartError::MissingImage {
             rank: 3,
             ckpt_id: 2,
             path: "ckpt/ckpt_2/rank_3.mana".into(),
@@ -208,7 +129,7 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("rank 3") && s.contains("checkpoint 2"), "{s}");
 
-        let s = SessionError::from(ManaError::WorldSizeMismatch {
+        let s = SessionError::from(RestartError::WorldSizeMismatch {
             image: 8,
             requested: 4,
         })
@@ -218,7 +139,7 @@ mod tests {
         let s = SessionError::CheckpointGone {
             ckpt_id: 1,
             surviving: vec![3, 4],
-            source: ManaError::MissingImage {
+            source: RestartError::MissingImage {
                 rank: 0,
                 ckpt_id: 1,
                 path: "ckpt/ckpt_1/rank_0.mana".into(),
@@ -242,12 +163,12 @@ mod tests {
     #[test]
     fn error_sources_chain() {
         use std::error::Error;
-        let e = SessionError::Mana(ManaError::CorruptImage {
+        let e = SessionError::Restart(RestartError::CorruptImage {
             rank: 0,
             path: "p".into(),
             source: CodecError::BadMagic(7),
         });
-        let mana = e.source().expect("mana source");
-        assert!(mana.source().is_some(), "codec source");
+        let restart = e.source().expect("restart source");
+        assert!(restart.source().is_some(), "codec source");
     }
 }

@@ -179,13 +179,15 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     drain(t, sh, lower.as_ref(), &expected);
     let drain_dur = t.now().since(drain_t0);
 
-    // 4. Wait for a snapshot-consistent park state, then snapshot.
+    // 4. Wait for a snapshot-consistent park state, then snapshot (the
+    //    record log is compacted here, on its way into the image).
     sh.cell.helper_wait(t, |c| c.snapshot_safe());
-    let img = build_image(sh, ckpt_id);
+    let (img, log_recorded) = build_image(sh, ckpt_id, hx.cfg.compact_log);
     let encoded = img.encode();
     let logical = img.logical_bytes();
     let dense = img.dense_bytes();
     let drained_msgs = img.buffered.len() as u64;
+    let log_retained = img.log.len() as u64;
 
     // 5. Write + fsync through the checkpoint store.
     let path = hx.cfg.image_path(ckpt_id, sh.rank);
@@ -206,6 +208,8 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
                 image_logical_bytes: logical,
                 image_dense_bytes: dense,
                 drained_msgs,
+                log_recorded,
+                log_retained,
             },
         },
     );
@@ -271,8 +275,15 @@ fn drain(t: &SimThread, sh: &Arc<RankShared>, lower: &dyn Mpi, expected: &[(u32,
     }
 }
 
-/// Capture the rank's checkpointable state.
-fn build_image(sh: &Arc<RankShared>, ckpt_id: u64) -> CheckpointImage {
+/// Capture the rank's checkpointable state. With `compact` set, the
+/// record log is pruned by the [`LogCompactor`] — freed opaque objects
+/// and dead derivation subtrees are elided — before serialization; either
+/// way the image carries the explicit virtual-id rebind map verified at
+/// replay. Returns the image and the pre-compaction log length.
+///
+/// [`LogCompactor`]: crate::restart::compact::LogCompactor
+fn build_image(sh: &Arc<RankShared>, ckpt_id: u64, compact: bool) -> (CheckpointImage, u64) {
+    use crate::restart::compact::{LiveSet, LogCompactor};
     let comms: Vec<crate::image::VirtCommEntry> = sh
         .comms
         .lock()
@@ -284,8 +295,23 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64) -> CheckpointImage {
             cart_periodic: m.cart_periodic.clone(),
         })
         .collect();
+    let groups = sh.virt.group.live_virts();
+    let dtypes = sh.virt.dtype.live_virts();
+    let world_virt = *sh.world_virt.lock();
+    let entries = sh.log.entries();
+    let recorded = entries.len() as u64;
+    let compacted = if compact {
+        let live = LiveSet::new(
+            comms.iter().map(|c| c.virt),
+            groups.iter().copied(),
+            dtypes.iter().copied(),
+        );
+        LogCompactor::compact(world_virt, &entries, &live)
+    } else {
+        LogCompactor::passthrough(world_virt, &entries)
+    };
     let progress = sh.progress.lock();
-    CheckpointImage {
+    let img = CheckpointImage {
         rank: sh.rank,
         nranks: sh.nranks,
         ckpt_id,
@@ -294,9 +320,9 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64) -> CheckpointImage {
         regions: sh.aspace.snapshot_half(Half::Upper),
         upper_cursor: sh.aspace.upper_mmap_cursor(),
         comms,
-        groups: sh.virt.group.live_virts(),
-        dtypes: sh.virt.dtype.live_virts(),
-        log: sh.log.entries(),
+        groups,
+        dtypes,
+        log: compacted.entries,
         counters: sh.counters.lock().clone(),
         buffered: sh.buffer.lock().snapshot(),
         pending: sh.pending.lock().values().map(|p| p.desc.clone()).collect(),
@@ -305,7 +331,11 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64) -> CheckpointImage {
         slots: progress.slots.clone(),
         slot_seq: progress.slot_seq,
         slot_seq_at_step: progress.slot_seq_at_step,
-    }
+        world_virt,
+        rebind: compacted.rebind,
+        step_created: progress.step_created.clone(),
+    };
+    (img, recorded)
 }
 
 /// Guard: the helper only treats these parks as quiescent states (kept in

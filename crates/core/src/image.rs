@@ -14,13 +14,20 @@
 use crate::buffer::{BufferedMsg, PairCounters};
 use crate::codec::{CodecError, Dec, Enc};
 use crate::record::LoggedCall;
+use crate::restart::compact::{derive_rebind, BindSource, RebindEntry};
 use mana_mpi::{BaseType, ReduceOp};
 use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
 
 /// "MANAIMG1" little-endian.
 pub const MAGIC: u64 = 0x3147_4d49_414e_414d;
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version. Version 2 adds the explicit world-communicator
+/// id, the virtual-id rebind map, the per-step handle-creation ledger and
+/// recorded `CommGroup` membership (everything the compacted-log restart
+/// pipeline verifies against). Version-1 images still decode: the world id
+/// and rebind map are derived from the (always-full) v1 log.
+pub const VERSION: u32 = 2;
+/// Oldest format version [`CheckpointImage::decode`] accepts.
+pub const MIN_VERSION: u32 = 1;
 
 /// A live virtual communicator at checkpoint time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -108,14 +115,37 @@ pub struct CheckpointImage {
     /// rewinds to this so skipped operations re-derive their original
     /// slot ids).
     pub slot_seq_at_step: u64,
+    /// Virtual id of the world communicator (v2; explicit instead of the
+    /// historical "smallest live comm id" coincidence).
+    pub world_virt: u64,
+    /// Explicit virtual-id rebind map: which retained log entry (or the
+    /// fresh world) binds each virtual id at replay (v2; derived from the
+    /// log for v1 images).
+    pub rebind: Vec<RebindEntry>,
+    /// Virtual handles created by completed operations of the interrupted
+    /// step, in creation order — the environment's resume ledger for
+    /// skipped communicator/group/datatype creations (v2).
+    pub step_created: Vec<u64>,
 }
 
 impl CheckpointImage {
-    /// Serialize.
+    /// Serialize in the current format.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_version(VERSION)
+    }
+
+    /// Serialize in an explicit format version. Version 1 drops the
+    /// v2-only fields (world id, rebind map, step ledger, `CommGroup`
+    /// membership) — kept so back-compat tests and tooling can produce
+    /// old-format images; a v1 round-trip is lossy by design.
+    pub fn encode_with_version(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (MIN_VERSION..=VERSION).contains(&version),
+            "unknown image version {version}"
+        );
         let mut e = Enc::new();
         e.u64(MAGIC);
-        e.u32(VERSION);
+        e.u32(version);
         e.u32(self.rank);
         e.u32(self.nranks);
         e.u64(self.ckpt_id);
@@ -153,7 +183,7 @@ impl CheckpointImage {
         }
         e.seq(self.log.len());
         for c in &self.log {
-            enc_call(&mut e, c);
+            enc_call(&mut e, c, version);
         }
         enc_counters(&mut e, &self.counters);
         e.seq(self.buffered.len());
@@ -190,10 +220,28 @@ impl CheckpointImage {
         }
         e.u64(self.slot_seq);
         e.u64(self.slot_seq_at_step);
+        if version >= 2 {
+            e.u64(self.world_virt);
+            e.seq(self.rebind.len());
+            for r in &self.rebind {
+                e.u64(r.virt);
+                match r.source {
+                    BindSource::World => e.u32(0),
+                    BindSource::Created { index } => {
+                        e.u32(1);
+                        e.u32(index);
+                    }
+                }
+            }
+            e.seq(self.step_created.len());
+            for v in &self.step_created {
+                e.u64(*v);
+            }
+        }
         e.finish()
     }
 
-    /// Deserialize.
+    /// Deserialize (accepts every version from [`MIN_VERSION`] up).
     pub fn decode(data: &[u8]) -> Result<CheckpointImage, CodecError> {
         let mut d = Dec::new(data);
         let magic = d.u64("magic")?;
@@ -201,7 +249,7 @@ impl CheckpointImage {
             return Err(CodecError::BadMagic(magic));
         }
         let version = d.u32("version")?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version));
         }
         let rank = d.u32("rank")?;
@@ -249,7 +297,7 @@ impl CheckpointImage {
         }
         let mut log = Vec::new();
         for _ in 0..d.seq("log")? {
-            log.push(dec_call(&mut d)?);
+            log.push(dec_call(&mut d, version)?);
         }
         let counters = dec_counters(&mut d)?;
         let mut buffered = Vec::new();
@@ -297,6 +345,37 @@ impl CheckpointImage {
         }
         let slot_seq = d.u64("slot_seq")?;
         let slot_seq_at_step = d.u64("slot_seq_at_step")?;
+        let (world_virt, rebind, step_created) = if version >= 2 {
+            let world_virt = d.u64("world_virt")?;
+            let mut rebind = Vec::new();
+            for _ in 0..d.seq("rebind")? {
+                let virt = d.u64("rebind virt")?;
+                let source = match d.u32("rebind source")? {
+                    0 => BindSource::World,
+                    1 => BindSource::Created {
+                        index: d.u32("rebind index")?,
+                    },
+                    tag => {
+                        return Err(CodecError::BadTag {
+                            what: "rebind source",
+                            tag,
+                        })
+                    }
+                };
+                rebind.push(RebindEntry { virt, source });
+            }
+            let mut step_created = Vec::new();
+            for _ in 0..d.seq("step_created")? {
+                step_created.push(d.u64("step_created virt")?);
+            }
+            (world_virt, rebind, step_created)
+        } else {
+            // v1 images predate the explicit world id and rebind map:
+            // re-derive both from the (always-full) log, using the
+            // historical smallest-live-comm-id convention for the world.
+            let world_virt = comms.iter().map(|c| c.virt).min().unwrap_or(0);
+            (world_virt, derive_rebind(world_virt, &log), Vec::new())
+        };
         Ok(CheckpointImage {
             rank,
             nranks,
@@ -317,6 +396,9 @@ impl CheckpointImage {
             slots,
             slot_seq,
             slot_seq_at_step,
+            world_virt,
+            rebind,
+            step_created,
         })
     }
 
@@ -596,7 +678,7 @@ fn dec_counters(d: &mut Dec) -> Result<PairCounters, CodecError> {
     Ok(c)
 }
 
-fn enc_call(e: &mut Enc, c: &LoggedCall) {
+fn enc_call(e: &mut Enc, c: &LoggedCall, version: u32) {
     match c {
         LoggedCall::CommDup { parent, result } => {
             e.u32(0);
@@ -652,9 +734,19 @@ fn enc_call(e: &mut Enc, c: &LoggedCall) {
             }
             e.u64(*result);
         }
-        LoggedCall::CommGroup { comm, result } => {
+        LoggedCall::CommGroup {
+            comm,
+            members,
+            result,
+        } => {
             e.u32(5);
             e.u64(*comm);
+            if version >= 2 {
+                e.seq(members.len());
+                for m in members {
+                    e.u32(*m);
+                }
+            }
             e.u64(*result);
         }
         LoggedCall::GroupIncl {
@@ -723,7 +815,7 @@ fn enc_call(e: &mut Enc, c: &LoggedCall) {
     }
 }
 
-fn dec_call(d: &mut Dec) -> Result<LoggedCall, CodecError> {
+fn dec_call(d: &mut Dec, version: u32) -> Result<LoggedCall, CodecError> {
     Ok(match d.u32("call tag")? {
         0 => LoggedCall::CommDup {
             parent: d.u64("dup parent")?,
@@ -765,10 +857,20 @@ fn dec_call(d: &mut Dec) -> Result<LoggedCall, CodecError> {
                 result: d.u64("cart result")?,
             }
         }
-        5 => LoggedCall::CommGroup {
-            comm: d.u64("cg comm")?,
-            result: d.u64("cg result")?,
-        },
+        5 => {
+            let comm = d.u64("cg comm")?;
+            let mut members = Vec::new();
+            if version >= 2 {
+                for _ in 0..d.seq("cg members")? {
+                    members.push(d.u32("cg member")?);
+                }
+            }
+            LoggedCall::CommGroup {
+                comm,
+                members,
+                result: d.u64("cg result")?,
+            }
+        }
         6 => {
             let group = d.u64("gi group")?;
             let mut ranks = Vec::new();
@@ -915,6 +1017,27 @@ mod tests {
             ],
             slot_seq: 3,
             slot_seq_at_step: 1,
+            world_virt: 0x1000_0000,
+            rebind: derive_rebind(
+                0x1000_0000,
+                &[
+                    LoggedCall::TypeBase {
+                        base: BaseType::Double,
+                        result: 0x3000_0000,
+                    },
+                    LoggedCall::CommDup {
+                        parent: 0x1000_0000,
+                        result: 0x1000_0001,
+                    },
+                    LoggedCall::CartCreate {
+                        parent: 0x1000_0000,
+                        dims: vec![4, 2],
+                        periodic: vec![true, false],
+                        result: 0x1000_0002,
+                    },
+                ],
+            ),
+            step_created: vec![0x1000_0001],
         }
     }
 
@@ -924,6 +1047,49 @@ mod tests {
         let bytes = img.encode();
         let back = CheckpointImage::decode(&bytes).expect("decode");
         assert_eq!(img, back);
+    }
+
+    #[test]
+    fn v1_images_still_decode() {
+        // A v1 encoding drops the v2 fields; decode derives the world id
+        // (smallest live comm) and the rebind map from the full log, and
+        // leaves the step ledger empty.
+        let mut img = sample();
+        img.step_created.clear(); // v1 cannot carry a mid-step ledger
+        let v1 = img.encode_with_version(1);
+        let back = CheckpointImage::decode(&v1).expect("v1 decode");
+        assert_eq!(back.world_virt, 0x1000_0000);
+        assert_eq!(back.rebind, img.rebind, "rebind re-derived from the log");
+        assert!(back.step_created.is_empty());
+        assert_eq!(back.regions, img.regions);
+        assert_eq!(back.comms, img.comms);
+        assert_eq!(back.counters, img.counters);
+        assert_eq!(back.log, img.log);
+        // And the v1 bytes are genuinely the old layout: smaller, version 1.
+        assert!(v1.len() < img.encode().len());
+        assert_eq!(&v1[8..12], &1u32.to_le_bytes());
+    }
+
+    #[test]
+    fn v1_drops_comm_group_members() {
+        let mut img = sample();
+        img.step_created.clear();
+        img.log.push(LoggedCall::CommGroup {
+            comm: 0x1000_0000,
+            members: vec![0, 1, 2],
+            result: 0x2000_0001,
+        });
+        img.rebind = derive_rebind(img.world_virt, &img.log);
+        let back = CheckpointImage::decode(&img.encode_with_version(1)).expect("v1 decode");
+        match back.log.last().expect("log entry") {
+            LoggedCall::CommGroup { members, .. } => {
+                assert!(members.is_empty(), "v1 cannot carry group membership")
+            }
+            other => panic!("unexpected entry {other:?}"),
+        }
+        // v2 keeps them.
+        let back2 = CheckpointImage::decode(&img.encode()).expect("v2 decode");
+        assert_eq!(back2.log, img.log);
     }
 
     #[test]
@@ -1011,6 +1177,8 @@ mod tests {
             allocs: Vec::new(),
             slots: Vec::new(),
             counters: PairCounters::default(),
+            rebind: Vec::new(),
+            step_created: Vec::new(),
             ..sample()
         };
         let back = CheckpointImage::decode(&img.encode()).expect("decode");

@@ -21,8 +21,10 @@
 //!   holding everything a restart needs;
 //! * **checkpoint storage** ([`store`]): pluggable [`CheckpointStore`]
 //!   backends (parallel filesystem, in-memory);
-//! * **the restart engine** ([`runner`]): fresh lower half, restored upper
-//!   half, replayed opaque state — on any cluster/implementation/network;
+//! * **the restart subsystem** ([`restart`]): a staged, verified pipeline
+//!   — fresh lower half, restored upper half, *compacted* opaque-object
+//!   log replayed against an explicit rebind map — on any
+//!   cluster/implementation/network, with every failure typed;
 //! * **the session API** ([`session`]): [`ManaSession`] + [`JobBuilder`] +
 //!   [`Incarnation`], the lifecycle surface for chains of incarnations;
 //! * **typed errors** ([`error`]) replacing panics on the restart path;
@@ -41,6 +43,7 @@ pub mod error;
 pub mod helper;
 pub mod image;
 pub mod record;
+pub mod restart;
 pub mod runner;
 pub mod session;
 pub mod shared;
@@ -55,20 +58,20 @@ pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
 pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig, TopologyKind};
 pub use ctrl::{ProtocolPhase, ProtocolViolation, StateAgg};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
-pub use error::{ManaError, SessionError, StoreError};
+pub use error::{SessionError, StoreError};
 pub use image::CheckpointImage;
+pub use restart::{
+    BindSource, CompactedLog, CompactionStats, LiveSet, LogCompactor, RebindEntry, RestartEngine,
+    RestartError,
+};
 pub use runner::{ManaJobSpec, RunOutcome};
 pub use session::{
     CkptEvent, CkptImages, Incarnation, JobBuilder, ManaSession, RestartEvent, SessionBuilder,
 };
-pub use stats::{CkptReport, RestartReport, StatsHub};
+pub use stats::{CkptReport, RestartReport, RestartStage, StatsHub};
 pub use store::{CheckpointStore, FsStore, GcPolicy, InMemStore};
 pub use topology::{
     assert_topologies_agree, run_checkpoint_chain, CoordTopology, FlatTopology, TopologyRunReport,
     TreeTopology,
 };
 pub use wrapper::ManaMpi;
-
-// Deprecated free-function lifecycle API, kept as delegating shims.
-#[allow(deprecated)]
-pub use runner::{launch_mana_app, run_mana_app, run_native_app, run_restart_app};

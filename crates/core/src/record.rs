@@ -7,8 +7,18 @@
 //! library issues. Replay of collective creation calls is itself
 //! collective: every rank replays the same sequence, so the calls
 //! synchronize through the new library exactly as the originals did.
+//!
+//! The log also powers the restart engine's [`LogCompactor`]: every
+//! creation entry is tagged (in memory, not on the wire) with its index in
+//! the log, so a later `*Free` can cancel it in O(1) and whole dead
+//! derivation subtrees can be elided from the image. See
+//! [`crate::restart::compact`] for the elision rules and the
+//! cross-rank-consistency argument.
+//!
+//! [`LogCompactor`]: crate::restart::compact::LogCompactor
 
 use mana_mpi::BaseType;
+use std::collections::HashMap;
 
 /// One recorded state-mutating call. All handles are virtual ids.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,8 +30,8 @@ pub enum LoggedCall {
         /// Resulting communicator (virtual).
         result: u64,
     },
-    /// `MPI_Comm_split(parent, color, key) -> result` (`result == 0` for
-    /// `MPI_COMM_NULL`, i.e. negative color).
+    /// `MPI_Comm_split(parent, color, key) -> result` (`result` is a
+    /// burned virtual id bound to `MPI_COMM_NULL` for negative color).
     CommSplit {
         /// Parent communicator (virtual).
         parent: u64,
@@ -29,7 +39,8 @@ pub enum LoggedCall {
         color: i32,
         /// Split key.
         key: i32,
-        /// Resulting communicator (virtual; 0 = null).
+        /// Resulting communicator (virtual; bound to null for negative
+        /// color).
         result: u64,
     },
     /// `MPI_Comm_create(parent, group) -> result` (`None` for non-members).
@@ -58,9 +69,19 @@ pub enum LoggedCall {
         result: u64,
     },
     /// `MPI_Comm_group(comm) -> result`.
+    ///
+    /// `members` snapshots the group contents (global job ranks) at record
+    /// time so replay can rebuild the group *locally* — from the world
+    /// group — without needing `comm` to still be bound. This is what lets
+    /// the compactor elide a dead communicator whose group outlived it
+    /// without breaking cross-rank replay consistency. Empty `members`
+    /// marks an entry decoded from a v1 image; replay falls back to
+    /// deriving the group from `comm` and backfills the members.
     CommGroup {
         /// Source communicator (virtual).
         comm: u64,
+        /// Group contents as global job ranks (empty for legacy entries).
+        members: Vec<u32>,
         /// Resulting group (virtual).
         result: u64,
     },
@@ -123,10 +144,51 @@ pub enum LoggedCall {
     },
 }
 
+impl LoggedCall {
+    /// Virtual id this entry creates, if any. `CommCreate` with a `None`
+    /// result burns a virtual id that the log does not name.
+    pub fn created_virt(&self) -> Option<u64> {
+        match self {
+            LoggedCall::CommDup { result, .. }
+            | LoggedCall::CommSplit { result, .. }
+            | LoggedCall::CartCreate { result, .. }
+            | LoggedCall::CommGroup { result, .. }
+            | LoggedCall::GroupIncl { result, .. }
+            | LoggedCall::GroupExcl { result, .. }
+            | LoggedCall::TypeBase { result, .. }
+            | LoggedCall::TypeContiguous { result, .. }
+            | LoggedCall::TypeVector { result, .. } => Some(*result),
+            LoggedCall::CommCreate { result, .. } => *result,
+            LoggedCall::CommFree { .. }
+            | LoggedCall::GroupFree { .. }
+            | LoggedCall::TypeFree { .. } => None,
+        }
+    }
+
+    /// Virtual id this entry frees, if it is a `*Free`.
+    pub fn freed_virt(&self) -> Option<u64> {
+        match self {
+            LoggedCall::CommFree { comm } => Some(*comm),
+            LoggedCall::GroupFree { group } => Some(*group),
+            LoggedCall::TypeFree { dtype } => Some(*dtype),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct LogInner {
+    entries: Vec<LoggedCall>,
+    /// virt id -> index of its creation entry (virtual ids are never
+    /// reused, so the creator is unique). Lets a `*Free` cancel its
+    /// creation in O(1) during compaction.
+    created_at: HashMap<u64, usize>,
+}
+
 /// Append-only log of state-mutating calls for one rank.
 #[derive(Default)]
 pub struct ReplayLog {
-    entries: parking_lot::Mutex<Vec<LoggedCall>>,
+    inner: parking_lot::Mutex<LogInner>,
 }
 
 impl ReplayLog {
@@ -135,24 +197,43 @@ impl ReplayLog {
         ReplayLog::default()
     }
 
-    /// Record a call.
-    pub fn push(&self, c: LoggedCall) {
-        self.entries.lock().push(c);
+    /// Record a call, returning its index. Creation entries tag their
+    /// result handle with this index so frees can cancel them.
+    pub fn push(&self, c: LoggedCall) -> usize {
+        let mut inner = self.inner.lock();
+        let idx = inner.entries.len();
+        if let Some(v) = c.created_virt() {
+            inner.created_at.insert(v, idx);
+        }
+        inner.entries.push(c);
+        idx
+    }
+
+    /// Index of the entry that created `virt`, if it is in the log.
+    pub fn creation_index_of(&self, virt: u64) -> Option<usize> {
+        self.inner.lock().created_at.get(&virt).copied()
     }
 
     /// Snapshot of all entries (image serialization / replay).
     pub fn entries(&self) -> Vec<LoggedCall> {
-        self.entries.lock().clone()
+        self.inner.lock().entries.clone()
     }
 
-    /// Restore from an image.
+    /// Restore from an image, rebuilding the creation-index tags.
     pub fn load(&self, entries: Vec<LoggedCall>) {
-        *self.entries.lock() = entries;
+        let mut inner = self.inner.lock();
+        inner.created_at.clear();
+        for (idx, c) in entries.iter().enumerate() {
+            if let Some(v) = c.created_virt() {
+                inner.created_at.insert(v, idx);
+            }
+        }
+        inner.entries = entries;
     }
 
     /// Number of recorded calls.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.inner.lock().entries.len()
     }
 
     /// Whether the log is empty.
@@ -181,5 +262,42 @@ mod tests {
         let log2 = ReplayLog::new();
         log2.load(snap.clone());
         assert_eq!(log2.entries(), snap);
+    }
+
+    #[test]
+    fn creation_indices_tag_results() {
+        let log = ReplayLog::new();
+        let i0 = log.push(LoggedCall::CommDup {
+            parent: 0x1000_0000,
+            result: 0x1000_0001,
+        });
+        let i1 = log.push(LoggedCall::CommGroup {
+            comm: 0x1000_0001,
+            members: vec![0, 1],
+            result: 0x2000_0000,
+        });
+        log.push(LoggedCall::CommFree { comm: 0x1000_0001 });
+        assert_eq!((i0, i1), (0, 1));
+        assert_eq!(log.creation_index_of(0x1000_0001), Some(0));
+        assert_eq!(log.creation_index_of(0x2000_0000), Some(1));
+        assert_eq!(log.creation_index_of(0xdead), None);
+
+        // Reload rebuilds the tags.
+        let log2 = ReplayLog::new();
+        log2.load(log.entries());
+        assert_eq!(log2.creation_index_of(0x2000_0000), Some(1));
+    }
+
+    #[test]
+    fn created_and_freed_virts() {
+        let create = LoggedCall::CommCreate {
+            parent: 1,
+            group: 2,
+            result: None,
+        };
+        assert_eq!(create.created_virt(), None);
+        let free = LoggedCall::GroupFree { group: 7 };
+        assert_eq!(free.freed_virt(), Some(7));
+        assert_eq!(free.created_virt(), None);
     }
 }

@@ -1,0 +1,737 @@
+//! The staged restart engine.
+//!
+//! [`RestartEngine`] rebuilds a killed job from its checkpoint images on
+//! a fresh simulation — possibly a different cluster, MPI implementation,
+//! interconnect and placement (§2.1's bootstrap sequence). The pipeline
+//! runs typed, individually-timed stages per rank (see
+//! [`RestartStage`]): image read → memory restore → state restore →
+//! drain-buffer reload → lower-half boot → record-log replay → virtual-id
+//! rebind/verification → world resynchronization. Every stage's duration
+//! lands in the [`RestartReport`], the way `CkptReport` breaks down
+//! checkpoint cost.
+//!
+//! Replay is *verified*: the image carries an explicit rebind map
+//! ([`BindSource`]) naming which retained log entry binds each virtual
+//! id, and the engine checks every replayed creation against it. Any
+//! disagreement — a divergent `comm_create` shape, an entry referencing
+//! an unbound id, a live id left unbound — aborts the simulation cleanly
+//! and surfaces as a typed [`RestartError`] instead of a panic.
+
+use crate::coordinator::{run_coordinator, CoordCtx};
+use crate::ctrl::CtrlMsg;
+use crate::env::{AppEnv, Workload};
+use crate::helper::{run_helper, HelperCtx};
+use crate::image::CheckpointImage;
+use crate::record::LoggedCall;
+use crate::restart::compact::BindSource;
+use crate::restart::error::RestartError;
+use crate::runner::{
+    install_quiet_kill_hook, io_shape, rank_body_finish, AppWindow, Checksums, ManaJobSpec,
+    RunOutcome,
+};
+use crate::shared::{CommMeta, PendingRt, RankShared, WReq};
+use crate::stats::{RankRestartStats, RestartReport, RestartStage, StatsHub};
+use crate::store::CheckpointStore;
+use crate::topology::{build_control_plane, ControlPlane};
+use crate::virtid::{HandleClass, UNBOUND_REAL};
+use crate::wrapper::ManaMpi;
+use mana_mpi::{CommHandle, GroupHandle, Mpi, MpiJob};
+use mana_net::transport::Network;
+use mana_sim::cluster::InterconnectKind;
+use mana_sim::memory::{AddressSpace, Half};
+use mana_sim::sched::{Sim, SimConfig, SimThread};
+use mana_sim::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Panic payload used to abort a rank's simulated thread after a replay
+/// failure was recorded; silenced by the quiet panic hook and translated
+/// back into the recorded [`RestartError`] once the simulation unwinds.
+pub(crate) struct ReplayAbort;
+
+/// Shared first-error slot: the first rank to fail replay wins; the rest
+/// of the simulation is torn down.
+type ErrorSlot = Arc<Mutex<Option<RestartError>>>;
+
+/// Records per-stage durations for one rank.
+struct StageClock {
+    stages: Vec<(RestartStage, SimDuration)>,
+    t0: SimTime,
+}
+
+impl StageClock {
+    fn start(t: &SimThread) -> StageClock {
+        StageClock {
+            stages: Vec::with_capacity(RestartStage::ALL.len()),
+            t0: t.now(),
+        }
+    }
+
+    /// Close the current stage as `stage`; the next one starts now.
+    fn mark(&mut self, t: &SimThread, stage: RestartStage) {
+        let now = t.now();
+        self.stages.push((stage, now.since(self.t0)));
+        self.t0 = now;
+    }
+}
+
+/// The staged restart pipeline for one checkpoint of one job spec.
+pub struct RestartEngine<'a> {
+    store: &'a Arc<dyn CheckpointStore>,
+    ckpt_id: u64,
+    spec: &'a ManaJobSpec,
+}
+
+impl<'a> RestartEngine<'a> {
+    /// An engine restoring checkpoint `ckpt_id` from `store` under `spec`
+    /// (which may name a different cluster/implementation/network than
+    /// the original run).
+    pub fn new(
+        store: &'a Arc<dyn CheckpointStore>,
+        ckpt_id: u64,
+        spec: &'a ManaJobSpec,
+    ) -> RestartEngine<'a> {
+        RestartEngine {
+            store,
+            ckpt_id,
+            spec,
+        }
+    }
+
+    /// Fetch, decode and validate every rank's image *before* the
+    /// destination simulation boots, so storage and format failures
+    /// surface as typed errors without spinning up threads. The read
+    /// durations are charged to each rank's clock inside the simulation.
+    fn fetch_images(&self) -> Result<Vec<(CheckpointImage, SimDuration)>, RestartError> {
+        let spec = self.spec;
+        let mut images = Vec::with_capacity(spec.nranks as usize);
+        for rank in 0..spec.nranks {
+            let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
+            let path = spec.cfg.image_path(self.ckpt_id, rank);
+            let (data, rdur) = self
+                .store
+                .get(&path, u64::from(rank), shape)
+                .map_err(|source| RestartError::MissingImage {
+                    rank,
+                    ckpt_id: self.ckpt_id,
+                    path: path.clone(),
+                    source,
+                })?;
+            let img =
+                CheckpointImage::decode(&data).map_err(|source| RestartError::CorruptImage {
+                    rank,
+                    path: path.clone(),
+                    source,
+                })?;
+            if img.nranks != spec.nranks {
+                return Err(RestartError::WorldSizeMismatch {
+                    image: img.nranks,
+                    requested: spec.nranks,
+                });
+            }
+            if img.comms.is_empty() || !img.comms.iter().any(|c| c.virt == img.world_virt) {
+                return Err(RestartError::NoWorldComm { rank, path });
+            }
+            // Internal consistency of decodable images: every pending
+            // collective's communicator must be in the live set (the
+            // restore would otherwise have nothing to re-engage).
+            for p in &img.pending {
+                if !img.comms.iter().any(|c| c.virt == p.comm_virt) {
+                    return Err(RestartError::MalformedImage {
+                        rank,
+                        why: format!(
+                            "pending collective {:#x} references communicator {:#x} \
+                             the image does not carry (at '{path}')",
+                            p.vreq, p.comm_virt
+                        ),
+                    });
+                }
+            }
+            images.push((img, rdur));
+        }
+        Ok(images)
+    }
+
+    /// Run the pipeline and the restarted application to completion (or
+    /// kill). A restart *is* a fresh set of processes, so this boots a
+    /// fresh simulation.
+    pub fn run(
+        &self,
+        workload: Arc<dyn Workload>,
+    ) -> Result<(RunOutcome, StatsHub, RestartReport), RestartError> {
+        install_quiet_kill_hook();
+        let images = self.fetch_images()?;
+        let spec = self.spec;
+
+        let sim = Sim::new(SimConfig {
+            seed: spec.seed,
+            ..SimConfig::default()
+        });
+        let hub = StatsHub::new();
+        let checksums: Checksums = Arc::new(Mutex::new(BTreeMap::new()));
+        let killed = Arc::new(Mutex::new(false));
+        let window: AppWindow = Arc::new(Mutex::new((None, None)));
+        let restart_stats: Arc<Mutex<Vec<(RankRestartStats, SimTime)>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let errslot: ErrorSlot = Arc::new(Mutex::new(None));
+
+        let job = MpiJob::new(
+            &sim,
+            spec.cluster.clone(),
+            spec.nranks,
+            spec.placement,
+            spec.profile.clone(),
+        );
+        let ctrl = Network::<CtrlMsg>::new(&sim, InterconnectKind::Tcp);
+        let cp: ControlPlane = build_control_plane(
+            &sim,
+            &ctrl,
+            &spec.cluster,
+            spec.nranks,
+            spec.placement,
+            &spec.cfg,
+        );
+        {
+            let cx = CoordCtx {
+                topo: cp.topo.clone(),
+                cfg: spec.cfg.clone(),
+                hub: hub.clone(),
+                store: self.store.clone(),
+            };
+            sim.spawn("coordinator", true, move |t| run_coordinator(t, cx));
+        }
+        for (rank, (img, rdur)) in images.into_iter().enumerate() {
+            let rank = rank as u32;
+            let (job, workload, checksums, killed, restart_stats, window, errslot) = (
+                job.clone(),
+                workload.clone(),
+                checksums.clone(),
+                killed.clone(),
+                restart_stats.clone(),
+                window.clone(),
+                errslot.clone(),
+            );
+            let (spec, ctrl, store) = (spec.clone(), ctrl.clone(), self.store.clone());
+            let my_ep = cp.helper_eps[rank as usize];
+            let parent_ep = cp.parent_eps[rank as usize];
+            let sim2 = sim.clone();
+            sim.spawn(&format!("rank{rank}"), false, move |t| {
+                let (sh, wrapper, stats) =
+                    match rank_restore(&t, &sim2, &job, &spec, rank, img, rdur) {
+                        Ok(out) => out,
+                        Err(e) => {
+                            let mut slot = errslot.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            drop(slot);
+                            // Unwind this rank; the scheduler propagates the
+                            // failure and tears the simulation down. The quiet
+                            // hook keeps it silent; the engine translates it
+                            // back into the recorded typed error.
+                            std::panic::panic_any(ReplayAbort);
+                        }
+                    };
+                restart_stats.lock().push((stats, t.now()));
+                let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
+                let hx = HelperCtx {
+                    sh: sh.clone(),
+                    ctrl,
+                    my_ep,
+                    parent_ep,
+                    cfg: spec.cfg.clone(),
+                    store,
+                    io_shape: shape,
+                };
+                sim2.spawn(&format!("helper{rank}"), true, move |ht| run_helper(ht, hx));
+                let mut env = AppEnv::mana(t.clone(), wrapper, sh);
+                rank_body_finish(&t, &mut env, &workload, &checksums, &killed, &window);
+            });
+        }
+        let sim_result = catch_unwind(AssertUnwindSafe(|| sim.run()));
+        if let Some(err) = errslot.lock().take() {
+            return Err(err);
+        }
+        if let Err(payload) = sim_result {
+            std::panic::resume_unwind(payload);
+        }
+
+        let mut ranks: Vec<RankRestartStats> = Vec::new();
+        let mut resumed_max = SimTime::ZERO;
+        for (s, at) in restart_stats.lock().iter() {
+            ranks.push(s.clone());
+            resumed_max = resumed_max.max(*at);
+        }
+        ranks.sort_by_key(|r| r.rank);
+        let report = RestartReport {
+            ranks,
+            total: resumed_max.since(SimTime::ZERO),
+        };
+        hub.push_restart(report.clone());
+        let checksums_out = checksums.lock().clone();
+        let killed_out = *killed.lock();
+        Ok((
+            RunOutcome {
+                wall: sim.now().since(SimTime::ZERO),
+                app_wall: crate::runner::app_wall_of(&window),
+                checksums: checksums_out,
+                killed: killed_out,
+            },
+            hub,
+            report,
+        ))
+    }
+}
+
+/// Engine entry used by the session API.
+pub(crate) fn restart_engine(
+    store: &Arc<dyn CheckpointStore>,
+    ckpt_id: u64,
+    spec: &ManaJobSpec,
+    workload: Arc<dyn Workload>,
+) -> Result<(RunOutcome, StatsHub, RestartReport), RestartError> {
+    RestartEngine::new(store, ckpt_id, spec).run(workload)
+}
+
+/// The per-rank pipeline: every stage timed, every failure typed.
+#[allow(clippy::type_complexity)]
+fn rank_restore(
+    t: &SimThread,
+    sim: &Sim,
+    job: &Arc<MpiJob>,
+    spec: &ManaJobSpec,
+    rank: u32,
+    img: CheckpointImage,
+    rdur: SimDuration,
+) -> Result<(Arc<RankShared>, Arc<dyn Mpi>, RankRestartStats), RestartError> {
+    let mut clock = StageClock::start(t);
+
+    // Stage 1: charge the image read to this rank's clock (the fetch
+    // itself was validated before the simulation started).
+    t.advance(rdur);
+    clock.mark(t, RestartStage::ImageRead);
+
+    // Stage 2: rebuild the upper half's memory.
+    let aspace = Arc::new(AddressSpace::new());
+    for r in &img.regions {
+        aspace
+            .restore_region(r)
+            .map_err(|e| RestartError::MalformedImage {
+                rank,
+                why: format!(
+                    "cannot restore region '{}' at {:#x}: {e:?}",
+                    r.name, r.start
+                ),
+            })?;
+    }
+    aspace.set_upper_mmap_cursor(img.upper_cursor);
+    // The kernel loaded the *bootstrap* (lower-half) program; the break
+    // belongs to it — MANA's sbrk interposition handles the rest (§2.1).
+    aspace.set_brk_owner(Half::Lower);
+    clock.mark(t, RestartStage::MemoryRestore);
+
+    // Stage 3: reload MANA's per-rank state (virtual tables, counters,
+    // progress cursor, pending collectives).
+    let sh = RankShared::new(sim, rank, spec.nranks, &img.app_name, img.seed, aspace);
+    sh.cell.register_rank(t.id());
+    sh.cell.bind_job(job.clone());
+    restore_state(&sh, &img, rank)?;
+    clock.mark(t, RestartStage::StateRestore);
+
+    // Stage 4: reload the drained in-flight messages.
+    sh.buffer.lock().load(img.buffered.clone());
+    clock.mark(t, RestartStage::DrainReload);
+
+    // Stage 5: boot the fresh lower half.
+    let lower: Arc<dyn Mpi> = Arc::from(job.init_rank(t, rank, &sh.aspace));
+    clock.mark(t, RestartStage::LowerBoot);
+
+    // Stage 6: replay the (compacted) record log, verified against the
+    // image's rebind map.
+    let entries = sh.log.entries();
+    let replayed = replay_verified(t, &sh, lower.as_ref(), rank, &entries, &img)?;
+    clock.mark(t, RestartStage::Replay);
+
+    // Stage 7: re-point communicator metadata at the fresh real handles
+    // and verify every live virtual id got bound.
+    rebind_and_verify(&sh, rank)?;
+    clock.mark(t, RestartStage::Rebind);
+
+    // Stage 8: synchronize the world before resuming the application.
+    lower.barrier(t, lower.comm_world());
+    clock.mark(t, RestartStage::Resync);
+
+    let wrapper: Arc<dyn Mpi> = Arc::new(ManaMpi::resumed(sh.clone(), lower, spec.cfg.clone()));
+    Ok((
+        sh,
+        wrapper,
+        RankRestartStats {
+            rank,
+            stages: clock.stages,
+            replayed_calls: replayed,
+        },
+    ))
+}
+
+/// Load image state into a fresh `RankShared` (everything except the
+/// drain buffer, which is its own stage). Inconsistencies a decodable
+/// image can still carry surface as typed errors (they are also
+/// pre-validated in `fetch_images`; this keeps the in-sim path honest).
+fn restore_state(
+    sh: &Arc<RankShared>,
+    img: &CheckpointImage,
+    rank: u32,
+) -> Result<(), RestartError> {
+    *sh.world_virt.lock() = img.world_virt;
+    *sh.counters.lock() = img.counters.clone();
+    sh.log.load(img.log.clone());
+    {
+        let mut p = sh.progress.lock();
+        p.resume_skip = img.ops_done;
+        p.resuming = true;
+        p.allocs = img.allocs.clone();
+        p.alloc_cursor = 0;
+        p.slots = img.slots.clone();
+        // Rewind the slot allocator to the interrupted step's start: the
+        // fast-forwarded (skipped) operations re-derive their original ids.
+        p.slot_seq = img.slot_seq_at_step;
+        p.slot_seq_at_step = img.slot_seq_at_step;
+        p.step_created = img.step_created.clone();
+        p.created_cursor = 0;
+    }
+    {
+        let mut comms = sh.comms.lock();
+        for c in &img.comms {
+            sh.virt.comm.restore_virt(c.virt);
+            comms.insert(
+                c.virt,
+                CommMeta {
+                    real: 0,
+                    members: c.members.clone(),
+                    cart_dims: c.cart_dims.clone(),
+                    cart_periodic: c.cart_periodic.clone(),
+                    wseq: 0,
+                },
+            );
+        }
+    }
+    for g in &img.groups {
+        sh.virt.group.restore_virt(*g);
+    }
+    for d in &img.dtypes {
+        sh.virt.dtype.restore_virt(*d);
+    }
+    {
+        let mut pending = sh.pending.lock();
+        let mut wreqs = sh.wreqs.lock();
+        for p in &img.pending {
+            sh.virt.req.restore_virt(p.vreq);
+            wreqs.insert(p.vreq, WReq::TwoPhase);
+            pending.insert(
+                p.vreq,
+                PendingRt {
+                    desc: p.clone(),
+                    lower_phase1: None,
+                },
+            );
+            // The rank had entered the nonblocking trivial barrier before
+            // the checkpoint; re-engage the fresh cell so the coordinator
+            // keeps seeing it in phase 1. The instance number is
+            // re-derived identically on every member (all-or-none: phase-2
+            // completion is collective, so either every member's image
+            // carries the pending descriptor or none does).
+            let mut comms = sh.comms.lock();
+            let meta = comms
+                .get_mut(&p.comm_virt)
+                .ok_or_else(|| RestartError::MalformedImage {
+                    rank,
+                    why: format!(
+                        "pending collective {:#x} references communicator {:#x} \
+                             the image does not carry",
+                        p.vreq, p.comm_virt
+                    ),
+                })?;
+            meta.wseq += 1;
+            let inst = crate::cell::CollInstance {
+                comm_virt: p.comm_virt,
+                wseq: meta.wseq,
+                size: meta.members.len() as u32,
+            };
+            drop(comms);
+            sh.cell.restore_engaged(inst);
+        }
+    }
+    Ok(())
+}
+
+fn divergence(rank: u32, call_index: usize, expected: String, got: String) -> RestartError {
+    RestartError::ReplayDivergence {
+        rank,
+        call_index,
+        expected,
+        got,
+    }
+}
+
+/// Re-execute the record-replay log against a fresh lower half, rebinding
+/// every virtual handle (§2.2) and verifying each binding against the
+/// image's rebind map. Collective creation calls synchronize through the
+/// new library because every participating rank replays a consistent
+/// sequence (the compactor's contract). Returns the replayed-entry count.
+fn replay_verified(
+    t: &SimThread,
+    sh: &Arc<RankShared>,
+    lower: &dyn Mpi,
+    rank: u32,
+    entries: &[LoggedCall],
+    img: &CheckpointImage,
+) -> Result<u64, RestartError> {
+    let virt = &sh.virt;
+    let expect: HashMap<u64, BindSource> = img.rebind.iter().map(|r| (r.virt, r.source)).collect();
+    // The world communicator binds first, from the explicit id the image
+    // carries (v1 images derive it at decode time).
+    virt.comm.bind(img.world_virt, lower.comm_world().0);
+
+    // Look up an input binding, or report which entry referenced what.
+    let input = |class: &'static str,
+                 table: &crate::virtid::VirtTable,
+                 v: u64,
+                 idx: usize|
+     -> Result<u64, RestartError> {
+        match table.try_real_of(v) {
+            Some(r) if r != UNBOUND_REAL => Ok(r),
+            _ => Err(divergence(
+                rank,
+                idx,
+                format!("{class} input {v:#x} bound before this entry"),
+                "unbound virtual id".to_string(),
+            )),
+        }
+    };
+    // Verify a replayed creation lands where the rebind map says.
+    let verify_bind = |v: u64, idx: usize| -> Result<(), RestartError> {
+        match expect.get(&v) {
+            Some(BindSource::Created { index }) if *index as usize == idx => Ok(()),
+            Some(src) => Err(divergence(
+                rank,
+                idx,
+                format!("rebind map assigns {v:#x} to {src:?}"),
+                format!("created by entry {idx}"),
+            )),
+            None => Err(divergence(
+                rank,
+                idx,
+                format!("rebind map entry for created id {v:#x}"),
+                "no rebind entry".to_string(),
+            )),
+        }
+    };
+
+    let mut backfilled: Option<Vec<LoggedCall>> = None;
+    for (idx, entry) in entries.iter().enumerate() {
+        match entry {
+            LoggedCall::CommDup { parent, result } => {
+                let pr = CommHandle(input("comm", &virt.comm, *parent, idx)?);
+                let nr = lower.comm_dup(t, pr);
+                verify_bind(*result, idx)?;
+                virt.comm.bind(*result, nr.0);
+            }
+            LoggedCall::CommSplit {
+                parent,
+                color,
+                key,
+                result,
+            } => {
+                let pr = CommHandle(input("comm", &virt.comm, *parent, idx)?);
+                let nr = lower.comm_split(t, pr, *color, *key);
+                verify_bind(*result, idx)?;
+                virt.comm.bind(*result, nr.0);
+            }
+            LoggedCall::CommCreate {
+                parent,
+                group,
+                result,
+            } => {
+                let pr = CommHandle(input("comm", &virt.comm, *parent, idx)?);
+                let rg = GroupHandle(input("group", &virt.group, *group, idx)?);
+                let nr = lower.comm_create(t, pr, rg);
+                match (nr, result) {
+                    (Some(nr), Some(res)) => {
+                        verify_bind(*res, idx)?;
+                        virt.comm.bind(*res, nr.0);
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        return Err(divergence(
+                            rank,
+                            idx,
+                            format!("comm_create -> {want:?}"),
+                            format!("{got:?}"),
+                        ))
+                    }
+                }
+            }
+            LoggedCall::CommFree { comm } => {
+                let r = input("comm", &virt.comm, *comm, idx)?;
+                if r != 0 {
+                    lower.comm_free(t, CommHandle(r));
+                }
+                virt.comm.remove(*comm);
+            }
+            LoggedCall::CartCreate {
+                parent,
+                dims,
+                periodic,
+                result,
+            } => {
+                let pr = CommHandle(input("comm", &virt.comm, *parent, idx)?);
+                let nr = lower.cart_create(t, pr, dims, periodic, false);
+                verify_bind(*result, idx)?;
+                virt.comm.bind(*result, nr.0);
+            }
+            LoggedCall::CommGroup {
+                comm,
+                members,
+                result,
+            } => {
+                let rg = if members.is_empty() {
+                    // Legacy (v1-image) entry: derive from the source
+                    // communicator and backfill the members so the next
+                    // checkpoint's compactor sees a local entry.
+                    let rg = lower.comm_group(CommHandle(input("comm", &virt.comm, *comm, idx)?));
+                    let got = lower.group_members(rg);
+                    backfilled.get_or_insert_with(|| entries.to_vec())[idx] =
+                        LoggedCall::CommGroup {
+                            comm: *comm,
+                            members: got,
+                            result: *result,
+                        };
+                    rg
+                } else {
+                    // Groups replay locally: rebuild from the recorded
+                    // membership against the world group (global ranks are
+                    // world-local ranks), so the source communicator need
+                    // not be bound — the compactor relies on this.
+                    let wg = lower.comm_group(lower.comm_world());
+                    let rg = lower.group_incl(wg, members);
+                    lower.group_free(wg);
+                    rg
+                };
+                verify_bind(*result, idx)?;
+                virt.group.bind(*result, rg.0);
+                sh.groups.lock().insert(*result, lower.group_members(rg));
+            }
+            LoggedCall::GroupIncl {
+                group,
+                ranks,
+                result,
+            } => {
+                let rg = GroupHandle(input("group", &virt.group, *group, idx)?);
+                let ng = lower.group_incl(rg, ranks);
+                verify_bind(*result, idx)?;
+                virt.group.bind(*result, ng.0);
+                sh.groups.lock().insert(*result, lower.group_members(ng));
+            }
+            LoggedCall::GroupExcl {
+                group,
+                ranks,
+                result,
+            } => {
+                let rg = GroupHandle(input("group", &virt.group, *group, idx)?);
+                let ng = lower.group_excl(rg, ranks);
+                verify_bind(*result, idx)?;
+                virt.group.bind(*result, ng.0);
+                sh.groups.lock().insert(*result, lower.group_members(ng));
+            }
+            LoggedCall::GroupFree { group } => {
+                let r = input("group", &virt.group, *group, idx)?;
+                lower.group_free(GroupHandle(r));
+                virt.group.remove(*group);
+                sh.groups.lock().remove(group);
+            }
+            LoggedCall::TypeBase { base, result } => {
+                let r = lower.type_base(*base);
+                verify_bind(*result, idx)?;
+                virt.dtype.bind(*result, r.0);
+                sh.dtype_base_cache.lock().insert(*base, *result);
+            }
+            LoggedCall::TypeContiguous {
+                count,
+                inner,
+                result,
+            } => {
+                let ri = mana_mpi::DtypeHandle(input("dtype", &virt.dtype, *inner, idx)?);
+                let r = lower.type_contiguous(*count, ri);
+                verify_bind(*result, idx)?;
+                virt.dtype.bind(*result, r.0);
+            }
+            LoggedCall::TypeVector {
+                count,
+                blocklen,
+                stride,
+                inner,
+                result,
+            } => {
+                let ri = mana_mpi::DtypeHandle(input("dtype", &virt.dtype, *inner, idx)?);
+                let r = lower.type_vector(*count, *blocklen, *stride, ri);
+                verify_bind(*result, idx)?;
+                virt.dtype.bind(*result, r.0);
+            }
+            LoggedCall::TypeFree { dtype } => {
+                let r = input("dtype", &virt.dtype, *dtype, idx)?;
+                lower.type_free(mana_mpi::DtypeHandle(r));
+                virt.dtype.remove(*dtype);
+                sh.dtype_base_cache.lock().retain(|_, v| *v != *dtype);
+            }
+        }
+    }
+    if let Some(corrected) = backfilled {
+        sh.log.load(corrected);
+    }
+    Ok(entries.len() as u64)
+}
+
+/// Re-point communicator metadata at the fresh real handles and verify
+/// that every live virtual id (non-null communicators, groups, datatypes)
+/// ended up bound — the rebind map's completeness check.
+fn rebind_and_verify(sh: &Arc<RankShared>, rank: u32) -> Result<(), RestartError> {
+    {
+        let mut comms = sh.comms.lock();
+        for (v, meta) in comms.iter_mut() {
+            if meta.members.is_empty() {
+                continue; // burned/null id; never bound
+            }
+            match sh.virt.comm.try_real_of(*v) {
+                Some(r) if r != UNBOUND_REAL => meta.real = r,
+                _ => {
+                    return Err(RestartError::UnboundVirtual {
+                        rank,
+                        class: HandleClass::Comm,
+                        virt: *v,
+                    })
+                }
+            }
+        }
+    }
+    for g in sh.virt.group.live_virts() {
+        if sh.virt.group.try_real_of(g) == Some(UNBOUND_REAL) {
+            return Err(RestartError::UnboundVirtual {
+                rank,
+                class: HandleClass::Group,
+                virt: g,
+            });
+        }
+    }
+    for d in sh.virt.dtype.live_virts() {
+        if sh.virt.dtype.try_real_of(d) == Some(UNBOUND_REAL) {
+            return Err(RestartError::UnboundVirtual {
+                rank,
+                class: HandleClass::Dtype,
+                virt: d,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,33 +1,26 @@
-//! Job lifecycle: launching an application natively, launching it under
-//! MANA, and restarting it from checkpoint images — possibly on a
-//! different cluster, under a different MPI implementation, over a
-//! different interconnect, with a different rank-to-node binding. The
-//! restart path implements §2.1's bootstrap sequence: boot a fresh MPI
-//! library (the new lower half), restore the upper half from the image,
-//! replay the opaque-object log (§2.2), and hand control back to the
-//! application.
+//! Job launch engines: running an application natively and launching it
+//! under MANA on a fresh simulation. The restart path — booting a new
+//! lower half from checkpoint images and replaying the opaque-object log
+//! (§2.1/§2.2) — lives in the [`crate::restart`] subsystem; the session
+//! API ([`crate::session`]) is the lifecycle surface over both.
 
 use crate::cell::JobKilled;
 use crate::config::ManaConfig;
 use crate::coordinator::{run_coordinator, CoordCtx};
 use crate::ctrl::CtrlMsg;
 use crate::env::{AppEnv, Workload};
-use crate::error::ManaError;
 use crate::helper::{run_helper, HelperCtx};
-use crate::image::CheckpointImage;
-use crate::record::LoggedCall;
-use crate::shared::{CommMeta, PendingRt, RankShared, WReq};
+use crate::shared::RankShared;
 use crate::split::UpperProgram;
-use crate::stats::{RankRestartStats, RestartReport, StatsHub};
-use crate::store::{CheckpointStore, FsStore};
+use crate::stats::StatsHub;
+use crate::store::CheckpointStore;
 use crate::topology::{build_control_plane, ControlPlane};
-use crate::virtid::VirtRegistry;
 use crate::wrapper::ManaMpi;
-use mana_mpi::{CommHandle, GroupHandle, Mpi, MpiAborted, MpiJob, MpiProfile};
+use mana_mpi::{Mpi, MpiAborted, MpiJob, MpiProfile};
 use mana_net::transport::Network;
 use mana_sim::cluster::{ClusterSpec, InterconnectKind, Placement};
-use mana_sim::fs::{IoShape, ParallelFs};
-use mana_sim::memory::{AddressSpace, Half};
+use mana_sim::fs::IoShape;
+use mana_sim::memory::AddressSpace;
 use mana_sim::sched::{Sim, SimConfig, SimThread};
 use mana_sim::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
@@ -76,7 +69,7 @@ pub(crate) type AppWindow = Arc<Mutex<(Option<SimTime>, Option<SimTime>)>>;
 /// Shared per-rank checksum collector.
 pub(crate) type Checksums = Arc<Mutex<BTreeMap<u32, u64>>>;
 
-fn app_wall_of(w: &AppWindow) -> SimDuration {
+pub(crate) fn app_wall_of(w: &AppWindow) -> SimDuration {
     let g = w.lock();
     match (g.0, g.1) {
         (Some(s), Some(e)) => e.since(s),
@@ -86,8 +79,9 @@ fn app_wall_of(w: &AppWindow) -> SimDuration {
 
 /// Install (once) a panic hook that silences the expected control-flow
 /// unwinds (`JobKilled` at kill-resume, `MpiAborted` from aborted blocking
-/// calls); real panics still reach the previous hook.
-fn install_quiet_kill_hook() {
+/// calls, the restart engine's `ReplayAbort`); real panics still reach the
+/// previous hook.
+pub(crate) fn install_quiet_kill_hook() {
     use std::sync::Once;
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
@@ -95,6 +89,10 @@ fn install_quiet_kill_hook() {
         std::panic::set_hook(Box::new(move |info| {
             if info.payload().downcast_ref::<JobKilled>().is_none()
                 && info.payload().downcast_ref::<MpiAborted>().is_none()
+                && info
+                    .payload()
+                    .downcast_ref::<crate::restart::engine::ReplayAbort>()
+                    .is_none()
             {
                 prev(info);
             }
@@ -102,14 +100,19 @@ fn install_quiet_kill_hook() {
     });
 }
 
-fn io_shape(cluster: &ClusterSpec, rank: u32, nranks: u32, placement: Placement) -> IoShape {
+pub(crate) fn io_shape(
+    cluster: &ClusterSpec,
+    rank: u32,
+    nranks: u32,
+    placement: Placement,
+) -> IoShape {
     IoShape {
         writers_on_node: cluster.ranks_on_node_of(rank, nranks, placement),
         total_writers: nranks,
     }
 }
 
-fn rank_body_finish(
+pub(crate) fn rank_body_finish(
     t: &SimThread,
     env: &mut AppEnv,
     workload: &Arc<dyn Workload>,
@@ -146,24 +149,9 @@ fn rank_body_finish(
     }
 }
 
-/// Run a workload natively (no MANA) to completion on a fresh simulation.
-/// The baseline for every runtime-overhead figure.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ManaSession::run_native` with a `JobBuilder` instead"
-)]
-pub fn run_native_app(
-    cluster: ClusterSpec,
-    nranks: u32,
-    placement: Placement,
-    profile: MpiProfile,
-    seed: u64,
-    workload: Arc<dyn Workload>,
-) -> RunOutcome {
-    native_engine(cluster, nranks, placement, profile, seed, workload)
-}
-
-/// Engine behind [`run_native_app`] and `ManaSession::run_native`.
+/// Engine behind `ManaSession::run_native`: run a workload natively (no
+/// MANA) to completion on a fresh simulation. The baseline for every
+/// runtime-overhead figure.
 pub(crate) fn native_engine(
     cluster: ClusterSpec,
     nranks: u32,
@@ -212,29 +200,9 @@ pub(crate) fn native_engine(
     }
 }
 
-/// Launch a workload under MANA on `sim`. Returns the MPI job handle; the
-/// caller drives `sim.run()` and then reads `hub`/`checksums`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ManaSession::run` with a `JobBuilder`; for store-backed launches see `ManaSession`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn launch_mana_app(
-    sim: &Sim,
-    fs: &Arc<ParallelFs>,
-    spec: &ManaJobSpec,
-    hub: &StatsHub,
-    workload: Arc<dyn Workload>,
-    checksums: Arc<Mutex<BTreeMap<u32, u64>>>,
-    killed: Arc<Mutex<bool>>,
-    window: AppWindow,
-) -> Arc<MpiJob> {
-    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
-    launch_engine(sim, &store, spec, hub, workload, checksums, killed, window)
-}
-
-/// Engine behind [`launch_mana_app`] and the session API: launch a MANA
-/// job on `sim` writing images through `store`.
+/// Engine behind the session API: launch a MANA job on `sim` writing
+/// images through `store`. The caller drives `sim.run()` and then reads
+/// the collectors.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn launch_engine(
     sim: &Sim,
@@ -322,22 +290,8 @@ pub(crate) fn launch_engine(
     job
 }
 
-/// Run a workload under MANA to completion (or kill) on a fresh
-/// simulation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `ManaSession::run` with a `JobBuilder` instead"
-)]
-pub fn run_mana_app(
-    fs: &Arc<ParallelFs>,
-    spec: &ManaJobSpec,
-    workload: Arc<dyn Workload>,
-) -> (RunOutcome, StatsHub) {
-    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
-    mana_engine(&store, spec, workload)
-}
-
-/// Engine behind [`run_mana_app`] and `ManaSession::run`.
+/// Engine behind `ManaSession::run`: launch under MANA and run to
+/// completion (or kill) on a fresh simulation.
 pub(crate) fn mana_engine(
     store: &Arc<dyn CheckpointStore>,
     spec: &ManaJobSpec,
@@ -373,415 +327,4 @@ pub(crate) fn mana_engine(
         },
         hub,
     )
-}
-
-/// Restart a checkpointed job from `ckpt_id` images under `spec` — which
-/// may name a different cluster, MPI implementation, interconnect and
-/// placement than the original run. Runs to completion on a fresh
-/// simulation (a restart *is* a fresh set of processes).
-///
-/// Panics if any rank's image is missing or corrupt (the historical
-/// behaviour); the session API surfaces those as typed errors instead.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Incarnation::restart_on` (or `ManaSession::restart`) instead"
-)]
-pub fn run_restart_app(
-    fs: &Arc<ParallelFs>,
-    ckpt_id: u64,
-    spec: &ManaJobSpec,
-    workload: Arc<dyn Workload>,
-) -> (RunOutcome, StatsHub, RestartReport) {
-    let store: Arc<dyn CheckpointStore> = Arc::new(FsStore::new(fs.clone()));
-    restart_engine(&store, ckpt_id, spec, workload).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Engine behind [`run_restart_app`] and `Incarnation::restart_on`.
-///
-/// Every rank's image is fetched, decoded and validated *before* the
-/// destination simulation boots, so storage and format failures surface as
-/// typed [`ManaError`]s instead of panics inside simulated threads.
-pub(crate) fn restart_engine(
-    store: &Arc<dyn CheckpointStore>,
-    ckpt_id: u64,
-    spec: &ManaJobSpec,
-    workload: Arc<dyn Workload>,
-) -> Result<(RunOutcome, StatsHub, RestartReport), ManaError> {
-    install_quiet_kill_hook();
-
-    // Fetch + validate all images up front. The read *duration* is still
-    // charged to each rank's clock inside the simulation (below), exactly
-    // as before; only the failure paths moved out.
-    let mut images: Vec<(CheckpointImage, SimDuration)> = Vec::with_capacity(spec.nranks as usize);
-    for rank in 0..spec.nranks {
-        let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
-        let path = spec.cfg.image_path(ckpt_id, rank);
-        let (data, rdur) =
-            store
-                .get(&path, u64::from(rank), shape)
-                .map_err(|source| ManaError::MissingImage {
-                    rank,
-                    ckpt_id,
-                    path: path.clone(),
-                    source,
-                })?;
-        let img = CheckpointImage::decode(&data).map_err(|source| ManaError::CorruptImage {
-            rank,
-            path: path.clone(),
-            source,
-        })?;
-        if img.nranks != spec.nranks {
-            return Err(ManaError::WorldSizeMismatch {
-                image: img.nranks,
-                requested: spec.nranks,
-            });
-        }
-        if img.comms.is_empty() {
-            return Err(ManaError::NoWorldComm { rank, path });
-        }
-        images.push((img, rdur));
-    }
-
-    let sim = Sim::new(SimConfig {
-        seed: spec.seed,
-        ..SimConfig::default()
-    });
-    let hub = StatsHub::new();
-    let checksums: Checksums = Arc::new(Mutex::new(BTreeMap::new()));
-    let killed = Arc::new(Mutex::new(false));
-    let window: AppWindow = Arc::new(Mutex::new((None, None)));
-    let restart_stats: Arc<Mutex<Vec<(RankRestartStats, SimTime)>>> =
-        Arc::new(Mutex::new(Vec::new()));
-
-    let job = MpiJob::new(
-        &sim,
-        spec.cluster.clone(),
-        spec.nranks,
-        spec.placement,
-        spec.profile.clone(),
-    );
-    let ctrl = Network::<CtrlMsg>::new(&sim, InterconnectKind::Tcp);
-    let cp: ControlPlane = build_control_plane(
-        &sim,
-        &ctrl,
-        &spec.cluster,
-        spec.nranks,
-        spec.placement,
-        &spec.cfg,
-    );
-    {
-        let cx = CoordCtx {
-            topo: cp.topo.clone(),
-            cfg: spec.cfg.clone(),
-            hub: hub.clone(),
-            store: store.clone(),
-        };
-        sim.spawn("coordinator", true, move |t| run_coordinator(t, cx));
-    }
-    for (rank, (img, rdur)) in images.into_iter().enumerate() {
-        let rank = rank as u32;
-        let (job, workload, checksums, killed, restart_stats, window) = (
-            job.clone(),
-            workload.clone(),
-            checksums.clone(),
-            killed.clone(),
-            restart_stats.clone(),
-            window.clone(),
-        );
-        let (spec, ctrl, store) = (spec.clone(), ctrl.clone(), store.clone());
-        let my_ep = cp.helper_eps[rank as usize];
-        let parent_ep = cp.parent_eps[rank as usize];
-        let sim2 = sim.clone();
-        sim.spawn(&format!("rank{rank}"), false, move |t| {
-            let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
-            // Charge the image read to this rank's clock (the fetch itself
-            // was validated before the simulation started).
-            t.advance(rdur);
-            // Rebuild the upper half.
-            let aspace = Arc::new(AddressSpace::new());
-            for r in &img.regions {
-                aspace.restore_region(r).expect("restore region");
-            }
-            aspace.set_upper_mmap_cursor(img.upper_cursor);
-            // The kernel loaded the *bootstrap* (lower-half) program; the
-            // break belongs to it — MANA's sbrk interposition handles the
-            // rest (§2.1).
-            aspace.set_brk_owner(Half::Lower);
-
-            let sh = RankShared::new(
-                &sim2,
-                rank,
-                spec.nranks,
-                &img.app_name,
-                img.seed,
-                aspace.clone(),
-            );
-            sh.cell.register_rank(t.id());
-            sh.cell.bind_job(job.clone());
-            restore_shared(&sh, &img);
-
-            // Boot the fresh lower half and replay persistent MPI state.
-            let lower: Arc<dyn Mpi> = Arc::from(job.init_rank(&t, rank, &aspace));
-            let replay_t0 = t.now();
-            replay_log(&t, &sh, lower.as_ref());
-            // Synchronize the ranks before resuming the application.
-            lower.barrier(&t, lower.comm_world());
-            let replay_dur = t.now().since(replay_t0);
-            restart_stats.lock().push((
-                RankRestartStats {
-                    rank,
-                    read: rdur,
-                    replay: replay_dur,
-                },
-                t.now(),
-            ));
-
-            let wrapper: Arc<dyn Mpi> =
-                Arc::new(ManaMpi::resumed(sh.clone(), lower, spec.cfg.clone()));
-            let hx = HelperCtx {
-                sh: sh.clone(),
-                ctrl,
-                my_ep,
-                parent_ep,
-                cfg: spec.cfg.clone(),
-                store,
-                io_shape: shape,
-            };
-            sim2.spawn(&format!("helper{rank}"), true, move |ht| run_helper(ht, hx));
-            let mut env = AppEnv::mana(t.clone(), wrapper, sh);
-            rank_body_finish(&t, &mut env, &workload, &checksums, &killed, &window);
-        });
-    }
-    sim.run();
-    let mut ranks: Vec<RankRestartStats> = Vec::new();
-    let mut resumed_max = SimTime::ZERO;
-    for (s, at) in restart_stats.lock().iter() {
-        ranks.push(s.clone());
-        resumed_max = resumed_max.max(*at);
-    }
-    ranks.sort_by_key(|r| r.rank);
-    let report = RestartReport {
-        ranks,
-        total: resumed_max.since(SimTime::ZERO),
-    };
-    hub.push_restart(report.clone());
-    let checksums_out = checksums.lock().clone();
-    let killed_out = *killed.lock();
-    Ok((
-        RunOutcome {
-            wall: sim.now().since(SimTime::ZERO),
-            app_wall: app_wall_of(&window),
-            checksums: checksums_out,
-            killed: killed_out,
-        },
-        hub,
-        report,
-    ))
-}
-
-/// Load image state into a fresh `RankShared`.
-fn restore_shared(sh: &Arc<RankShared>, img: &CheckpointImage) {
-    *sh.counters.lock() = img.counters.clone();
-    sh.buffer.lock().load(img.buffered.clone());
-    sh.log.load(img.log.clone());
-    {
-        let mut p = sh.progress.lock();
-        p.resume_skip = img.ops_done;
-        p.resuming = true;
-        p.allocs = img.allocs.clone();
-        p.alloc_cursor = 0;
-        p.slots = img.slots.clone();
-        // Rewind the slot allocator to the interrupted step's start: the
-        // fast-forwarded (skipped) operations re-derive their original ids.
-        p.slot_seq = img.slot_seq_at_step;
-        p.slot_seq_at_step = img.slot_seq_at_step;
-    }
-    {
-        let mut comms = sh.comms.lock();
-        for c in &img.comms {
-            sh.virt.comm.restore_virt(c.virt);
-            comms.insert(
-                c.virt,
-                CommMeta {
-                    real: 0,
-                    members: c.members.clone(),
-                    cart_dims: c.cart_dims.clone(),
-                    cart_periodic: c.cart_periodic.clone(),
-                    wseq: 0,
-                },
-            );
-        }
-    }
-    for g in &img.groups {
-        sh.virt.group.restore_virt(*g);
-    }
-    for d in &img.dtypes {
-        sh.virt.dtype.restore_virt(*d);
-    }
-    {
-        let mut pending = sh.pending.lock();
-        let mut wreqs = sh.wreqs.lock();
-        for p in &img.pending {
-            sh.virt.req.restore_virt(p.vreq);
-            wreqs.insert(p.vreq, WReq::TwoPhase);
-            pending.insert(
-                p.vreq,
-                PendingRt {
-                    desc: p.clone(),
-                    lower_phase1: None,
-                },
-            );
-            // The rank had entered the nonblocking trivial barrier before
-            // the checkpoint; re-engage the fresh cell so the coordinator
-            // keeps seeing it in phase 1. The instance number is
-            // re-derived identically on every member (all-or-none: phase-2
-            // completion is collective, so either every member's image
-            // carries the pending descriptor or none does).
-            let mut comms = sh.comms.lock();
-            let meta = comms
-                .get_mut(&p.comm_virt)
-                .expect("pending collective's communicator in image");
-            meta.wseq += 1;
-            let inst = crate::cell::CollInstance {
-                comm_virt: p.comm_virt,
-                wseq: meta.wseq,
-                size: meta.members.len() as u32,
-            };
-            drop(comms);
-            sh.cell.restore_engaged(inst);
-        }
-    }
-}
-
-/// Re-execute the record-replay log against a fresh lower half, rebinding
-/// every virtual handle (§2.2). Collective creation calls synchronize
-/// through the new library because every rank replays the same sequence.
-fn replay_log(t: &SimThread, sh: &Arc<RankShared>, lower: &dyn Mpi) {
-    let virt: &VirtRegistry = &sh.virt;
-    // The world communicator is always the first virtual id issued.
-    let world_virt = *sh
-        .comms
-        .lock()
-        .keys()
-        .next()
-        .expect("world communicator in image");
-    virt.comm.bind(world_virt, lower.comm_world().0);
-
-    for entry in sh.log.entries() {
-        match entry {
-            LoggedCall::CommDup { parent, result } => {
-                let pr = CommHandle(virt.comm.real_of(parent));
-                let nr = lower.comm_dup(t, pr);
-                virt.comm.bind(result, nr.0);
-            }
-            LoggedCall::CommSplit {
-                parent,
-                color,
-                key,
-                result,
-            } => {
-                let pr = CommHandle(virt.comm.real_of(parent));
-                let nr = lower.comm_split(t, pr, color, key);
-                virt.comm.bind(result, nr.0);
-            }
-            LoggedCall::CommCreate {
-                parent,
-                group,
-                result,
-            } => {
-                let pr = CommHandle(virt.comm.real_of(parent));
-                let rg = GroupHandle(virt.group.real_of(group));
-                let nr = lower.comm_create(t, pr, rg);
-                match (nr, result) {
-                    (Some(nr), Some(res)) => virt.comm.bind(res, nr.0),
-                    (None, None) => {}
-                    (got, want) => panic!("replay divergence in comm_create: {got:?} vs {want:?}"),
-                }
-            }
-            LoggedCall::CommFree { comm } => {
-                let r = virt.comm.real_of(comm);
-                if r != 0 && r != u64::MAX {
-                    lower.comm_free(t, CommHandle(r));
-                }
-                virt.comm.remove(comm);
-            }
-            LoggedCall::CartCreate {
-                parent,
-                dims,
-                periodic,
-                result,
-            } => {
-                let pr = CommHandle(virt.comm.real_of(parent));
-                let nr = lower.cart_create(t, pr, &dims, &periodic, false);
-                virt.comm.bind(result, nr.0);
-            }
-            LoggedCall::CommGroup { comm, result } => {
-                let rg = lower.comm_group(CommHandle(virt.comm.real_of(comm)));
-                virt.group.bind(result, rg.0);
-                sh.groups.lock().insert(result, lower.group_members(rg));
-            }
-            LoggedCall::GroupIncl {
-                group,
-                ranks,
-                result,
-            } => {
-                let rg = GroupHandle(virt.group.real_of(group));
-                let ng = lower.group_incl(rg, &ranks);
-                virt.group.bind(result, ng.0);
-                sh.groups.lock().insert(result, lower.group_members(ng));
-            }
-            LoggedCall::GroupExcl {
-                group,
-                ranks,
-                result,
-            } => {
-                let rg = GroupHandle(virt.group.real_of(group));
-                let ng = lower.group_excl(rg, &ranks);
-                virt.group.bind(result, ng.0);
-                sh.groups.lock().insert(result, lower.group_members(ng));
-            }
-            LoggedCall::GroupFree { group } => {
-                lower.group_free(GroupHandle(virt.group.real_of(group)));
-                virt.group.remove(group);
-                sh.groups.lock().remove(&group);
-            }
-            LoggedCall::TypeBase { base, result } => {
-                let r = lower.type_base(base);
-                virt.dtype.bind(result, r.0);
-                sh.dtype_base_cache.lock().insert(base, result);
-            }
-            LoggedCall::TypeContiguous {
-                count,
-                inner,
-                result,
-            } => {
-                let ri = mana_mpi::DtypeHandle(virt.dtype.real_of(inner));
-                let r = lower.type_contiguous(count, ri);
-                virt.dtype.bind(result, r.0);
-            }
-            LoggedCall::TypeVector {
-                count,
-                blocklen,
-                stride,
-                inner,
-                result,
-            } => {
-                let ri = mana_mpi::DtypeHandle(virt.dtype.real_of(inner));
-                let r = lower.type_vector(count, blocklen, stride, ri);
-                virt.dtype.bind(result, r.0);
-            }
-            LoggedCall::TypeFree { dtype } => {
-                lower.type_free(mana_mpi::DtypeHandle(virt.dtype.real_of(dtype)));
-                virt.dtype.remove(dtype);
-                sh.dtype_base_cache.lock().retain(|_, v| *v != dtype);
-            }
-        }
-    }
-    // Re-point communicator metadata at the fresh real handles.
-    let mut comms = sh.comms.lock();
-    for (v, meta) in comms.iter_mut() {
-        if !meta.members.is_empty() {
-            meta.real = virt.comm.real_of(*v);
-        }
-    }
 }

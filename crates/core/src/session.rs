@@ -84,9 +84,10 @@
 
 use crate::config::{AfterCkpt, ManaConfig, TopologyKind};
 use crate::env::Workload;
-use crate::error::ManaError;
 use crate::error::SessionError;
-use crate::runner::{mana_engine, native_engine, restart_engine, ManaJobSpec, RunOutcome};
+use crate::restart::engine::restart_engine;
+use crate::restart::RestartError;
+use crate::runner::{mana_engine, native_engine, ManaJobSpec, RunOutcome};
 use crate::stats::{CkptReport, RestartReport, StatsHub};
 use crate::store::{CheckpointStore, FsStore, GcPolicy};
 use mana_mpi::MpiProfile;
@@ -333,8 +334,8 @@ impl ManaSession {
     /// other restart failures: a missing image whose checkpoint is no
     /// longer fully present surfaces as [`SessionError::CheckpointGone`]
     /// with the list of checkpoints a restart could still come from.
-    fn classify_restart_error(&self, e: ManaError) -> SessionError {
-        if let ManaError::MissingImage { ckpt_id, .. } = &e {
+    fn classify_restart_error(&self, e: RestartError) -> SessionError {
+        if let RestartError::MissingImage { ckpt_id, .. } = &e {
             let surviving = self.surviving_checkpoints();
             if !surviving.contains(ckpt_id) && !self.inner.registry.lock().is_empty() {
                 return SessionError::CheckpointGone {
@@ -344,7 +345,7 @@ impl ManaSession {
                 };
             }
         }
-        SessionError::Mana(e)
+        SessionError::Restart(e)
     }
 
     /// Shared engine entry: run `spec` (fresh or restarted), collect stats,
@@ -440,6 +441,7 @@ pub struct JobBuilder {
     ckpt_times: Vec<SimTime>,
     after_last_ckpt: Option<AfterCkpt>,
     topology: Option<TopologyKind>,
+    compact_log: Option<bool>,
 }
 
 impl JobBuilder {
@@ -505,6 +507,17 @@ impl JobBuilder {
     /// across restarts like the rest of the configuration.
     pub fn topology(mut self, topology: TopologyKind) -> JobBuilder {
         self.topology = Some(topology);
+        self
+    }
+
+    /// Whether checkpoint images carry a compacted record log (freed
+    /// opaque objects and dead derivation subtrees elided — see
+    /// [`crate::restart::compact`]). Defaults to on; switching it off
+    /// preserves the full log in every image, which the `fig_restart`
+    /// bench uses to measure the unbounded replay-time curve. Inherited
+    /// across restarts like the rest of the configuration.
+    pub fn compact_log(mut self, on: bool) -> JobBuilder {
+        self.compact_log = Some(on);
         self
     }
 
@@ -615,6 +628,9 @@ impl JobBuilder {
         }
         if let Some(topology) = self.topology {
             cfg.topology = topology;
+        }
+        if let Some(compact) = self.compact_log {
+            cfg.compact_log = compact;
         }
         if cfg.ckpt_times.is_empty() && cfg.after_last_ckpt == AfterCkpt::Kill {
             return Err(SessionError::InvalidJob(

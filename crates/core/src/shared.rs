@@ -130,6 +130,14 @@ pub struct Progress {
     /// of the partial step re-derive exactly the ids they allocated before
     /// the checkpoint.
     pub slot_seq_at_step: u64,
+    /// Virtual handles created by completed operations of the *current*
+    /// step, in creation order (checkpointable). On resume, skipped
+    /// communicator/group/datatype creations re-derive their handles from
+    /// this ledger — the handle analogue of `allocs`.
+    pub step_created: Vec<u64>,
+    /// Ledger cursor used while resuming (skipped creations consume
+    /// entries in order; real creations append and advance it).
+    pub created_cursor: usize,
 }
 
 /// All MANA state for one rank incarnation.
@@ -172,6 +180,11 @@ pub struct RankShared {
     /// The current lower half (set per incarnation; used by the helper's
     /// drain).
     pub lower: Mutex<Option<Arc<dyn Mpi>>>,
+    /// Virtual id of the world communicator — explicit (set by
+    /// `ManaMpi::fresh` on first run, by the restart engine from the
+    /// image's `world_virt` on restore) instead of the historical
+    /// smallest-live-comm-id coincidence.
+    pub world_virt: Mutex<u64>,
 }
 
 impl RankShared {
@@ -203,6 +216,7 @@ impl RankShared {
             pending: Mutex::new(BTreeMap::new()),
             aspace,
             lower: Mutex::new(None),
+            world_virt: Mutex::new(0),
         })
     }
 

@@ -19,6 +19,11 @@ pub struct RankCkptStats {
     pub image_dense_bytes: u64,
     /// Messages captured by the drain.
     pub drained_msgs: u64,
+    /// Record-log entries accumulated since launch/restart.
+    pub log_recorded: u64,
+    /// Record-log entries actually written into the image (after
+    /// compaction; equals `log_recorded` with the compactor off).
+    pub log_retained: u64,
 }
 
 /// Aggregate measurements for one checkpoint (what Figure 6/8 plot).
@@ -104,16 +109,99 @@ impl CkptReport {
     }
 }
 
-/// Per-rank restart measurements (Figure 7).
+/// One typed stage of the restart pipeline, in execution order (see
+/// [`crate::restart`] for what each stage does). The restart engine times
+/// every stage per rank, the way [`CkptReport`] breaks down checkpoint
+/// cost by phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RestartStage {
+    /// Fetch + decode the rank's checkpoint image (the read duration is
+    /// charged to the rank's clock inside the simulation).
+    ImageRead,
+    /// Re-map upper-half memory regions and the mmap cursor.
+    MemoryRestore,
+    /// Reload virtual-handle tables, communicator metadata, bookmark
+    /// counters, progress cursor and pending collectives.
+    StateRestore,
+    /// Reload the drained in-flight message buffer.
+    DrainReload,
+    /// Boot the fresh lower half (`MPI_Init` of the new library).
+    LowerBoot,
+    /// Replay the (compacted) opaque-object log against the new library.
+    Replay,
+    /// Re-point communicator metadata at the fresh real handles and
+    /// verify every live virtual id is bound (the rebind map check).
+    Rebind,
+    /// World-barrier resynchronization before resuming the application.
+    Resync,
+}
+
+impl RestartStage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [RestartStage; 8] = [
+        RestartStage::ImageRead,
+        RestartStage::MemoryRestore,
+        RestartStage::StateRestore,
+        RestartStage::DrainReload,
+        RestartStage::LowerBoot,
+        RestartStage::Replay,
+        RestartStage::Rebind,
+        RestartStage::Resync,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestartStage::ImageRead => "image-read",
+            RestartStage::MemoryRestore => "memory-restore",
+            RestartStage::StateRestore => "state-restore",
+            RestartStage::DrainReload => "drain-reload",
+            RestartStage::LowerBoot => "lower-boot",
+            RestartStage::Replay => "replay",
+            RestartStage::Rebind => "rebind",
+            RestartStage::Resync => "resync",
+        }
+    }
+}
+
+impl std::fmt::Display for RestartStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-rank restart measurements (Figure 7), broken down by pipeline
+/// stage.
 #[derive(Clone, Debug, Default)]
 pub struct RankRestartStats {
     /// Rank id.
     pub rank: u32,
-    /// Image read time.
-    pub read: SimDuration,
-    /// Time to re-create opaque MPI objects by replaying the log (§2.2 —
-    /// the paper reports this under 10% of restart time).
-    pub replay: SimDuration,
+    /// Duration of each executed stage, in pipeline order.
+    pub stages: Vec<(RestartStage, SimDuration)>,
+    /// Record-log entries replayed (the compacted count).
+    pub replayed_calls: u64,
+}
+
+impl RankRestartStats {
+    /// Duration of one stage (zero if it was not recorded).
+    pub fn stage(&self, stage: RestartStage) -> SimDuration {
+        self.stages
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Image read time (the historical headline split).
+    pub fn read(&self) -> SimDuration {
+        self.stage(RestartStage::ImageRead)
+    }
+
+    /// Opaque-object replay time (§2.2 — the paper reports this under 10%
+    /// of restart time).
+    pub fn replay(&self) -> SimDuration {
+        self.stage(RestartStage::Replay)
+    }
 }
 
 /// Aggregate restart measurements.
@@ -128,16 +216,39 @@ pub struct RestartReport {
 impl RestartReport {
     /// Slowest read.
     pub fn max_read(&self) -> SimDuration {
-        self.ranks.iter().map(|r| r.read).max().unwrap_or_default()
+        self.max_stage(RestartStage::ImageRead)
     }
 
     /// Slowest replay.
     pub fn max_replay(&self) -> SimDuration {
+        self.max_stage(RestartStage::Replay)
+    }
+
+    /// Slowest rank's duration for one stage.
+    pub fn max_stage(&self, stage: RestartStage) -> SimDuration {
         self.ranks
             .iter()
-            .map(|r| r.replay)
+            .map(|r| r.stage(stage))
             .max()
             .unwrap_or_default()
+    }
+
+    /// Largest per-rank replayed-call count.
+    pub fn max_replayed_calls(&self) -> u64 {
+        self.ranks
+            .iter()
+            .map(|r| r.replayed_calls)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `(stage, slowest-rank duration)` for every pipeline stage — the
+    /// restart-side analogue of [`CkptReport`]'s phase decomposition.
+    pub fn stage_breakdown(&self) -> Vec<(RestartStage, SimDuration)> {
+        RestartStage::ALL
+            .iter()
+            .map(|s| (*s, self.max_stage(*s)))
+            .collect()
     }
 }
 
@@ -202,6 +313,7 @@ mod tests {
                     image_logical_bytes: 100,
                     image_dense_bytes: 50,
                     drained_msgs: 3,
+                    ..RankCkptStats::default()
                 },
                 RankCkptStats {
                     rank: 1,
@@ -210,6 +322,7 @@ mod tests {
                     image_logical_bytes: 200,
                     image_dense_bytes: 60,
                     drained_msgs: 0,
+                    ..RankCkptStats::default()
                 },
             ],
         };
@@ -233,6 +346,35 @@ mod tests {
         );
         assert_eq!(r.max_image_bytes(), 200);
         assert_eq!(r.total_image_bytes(), 300);
+    }
+
+    #[test]
+    fn restart_stage_breakdown() {
+        let mk = |rank, read_ms, replay_ms| RankRestartStats {
+            rank,
+            stages: vec![
+                (RestartStage::ImageRead, SimDuration::millis(read_ms)),
+                (RestartStage::LowerBoot, SimDuration::millis(1)),
+                (RestartStage::Replay, SimDuration::millis(replay_ms)),
+            ],
+            replayed_calls: replay_ms,
+        };
+        let r = RestartReport {
+            ranks: vec![mk(0, 10, 3), mk(1, 40, 9)],
+            total: SimDuration::millis(60),
+        };
+        assert_eq!(r.max_read(), SimDuration::millis(40));
+        assert_eq!(r.max_replay(), SimDuration::millis(9));
+        assert_eq!(r.max_stage(RestartStage::LowerBoot), SimDuration::millis(1));
+        // Unrecorded stages read as zero rather than missing.
+        assert_eq!(r.max_stage(RestartStage::Resync), SimDuration::ZERO);
+        assert_eq!(r.max_replayed_calls(), 9);
+        let breakdown = r.stage_breakdown();
+        assert_eq!(breakdown.len(), RestartStage::ALL.len());
+        assert!(breakdown
+            .iter()
+            .any(|(s, d)| *s == RestartStage::Replay && *d == SimDuration::millis(9)));
+        assert_eq!(RestartStage::Replay.to_string(), "replay");
     }
 
     #[test]

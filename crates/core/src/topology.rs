@@ -79,6 +79,36 @@ pub trait CoordTopology: Send + Sync {
     fn gather_done(&self, t: &SimThread, ckpt_id: u64) -> Vec<RankCkptStats>;
 }
 
+/// Control-plane CPU rates, split by locality: a frame to an endpoint on
+/// the *same node* rides loopback/shm (no NIC, no cross-node TCP stack)
+/// and is charged the cheaper intra rate — this is what makes a tree
+/// sub-coordinator's local fan-out cheap. The wire itself is already
+/// locality-aware (`mana_net::model::LinkModel::for_path`); these rates
+/// model the sender/receiver CPU on top of it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CtrlCpu {
+    /// Per-frame send CPU to another node (TCP socket + framing).
+    pub send: SimDuration,
+    /// Per-frame send CPU to the same node (loopback/UNIX socket).
+    pub send_intra: SimDuration,
+    /// Per-frame receive CPU for cross-node frames (socket polling over
+    /// many descriptors, small-message metadata — §3.4).
+    pub recv: SimDuration,
+    /// Per-frame receive CPU for same-node frames.
+    pub recv_intra: SimDuration,
+}
+
+impl CtrlCpu {
+    fn of(cfg: &ManaConfig) -> CtrlCpu {
+        CtrlCpu {
+            send: cfg.ctrl_send_cpu,
+            send_intra: cfg.ctrl_send_cpu_intra,
+            recv: cfg.ctrl_recv_cpu,
+            recv_intra: cfg.ctrl_recv_cpu_intra,
+        }
+    }
+}
+
 fn recv_on(
     t: &SimThread,
     ctrl: &Network<CtrlMsg>,
@@ -102,12 +132,17 @@ fn send_from(
     ctrl: &Network<CtrlMsg>,
     src: EndpointId,
     dst: EndpointId,
-    send_cpu: SimDuration,
+    cpu: CtrlCpu,
     msg: CtrlMsg,
 ) {
     // Per-destination socket cost: a star coordinator serializes this over
-    // all ranks (Figure 8's growing communication overhead).
-    t.advance(send_cpu);
+    // all ranks (Figure 8's growing communication overhead). Same-node
+    // destinations are charged the cheaper loopback rate.
+    if ctrl.node_of(src) == ctrl.node_of(dst) {
+        t.advance(cpu.send_intra);
+    } else {
+        t.advance(cpu.send);
+    }
     let bytes = ctrl_msg_bytes(&msg);
     ctrl.send(src, dst, bytes, msg);
 }
@@ -195,8 +230,7 @@ pub struct FlatTopology {
     ctrl: Arc<Network<CtrlMsg>>,
     my_ep: EndpointId,
     rank_eps: Vec<EndpointId>,
-    send_cpu: SimDuration,
-    recv_cpu: SimDuration,
+    cpu: CtrlCpu,
 }
 
 impl FlatTopology {
@@ -212,13 +246,14 @@ impl FlatTopology {
             ctrl,
             my_ep,
             rank_eps,
-            send_cpu: cfg.ctrl_send_cpu,
-            recv_cpu: cfg.ctrl_recv_cpu,
+            cpu: CtrlCpu::of(cfg),
         }
     }
 
     fn recv(&self, t: &SimThread) -> CtrlMsg {
-        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+        // The star root's inbox mixes frames from every node, so its
+        // polling cost is charged at the cross-node rate.
+        recv_on(t, &self.ctrl, self.my_ep, self.cpu.recv)
     }
 }
 
@@ -237,7 +272,7 @@ impl CoordTopology for FlatTopology {
 
     fn fanout(&self, t: &SimThread, mk: &dyn Fn() -> CtrlMsg) {
         for ep in &self.rank_eps {
-            send_from(t, &self.ctrl, self.my_ep, *ep, self.send_cpu, mk());
+            send_from(t, &self.ctrl, self.my_ep, *ep, self.cpu, mk());
         }
     }
 
@@ -268,7 +303,7 @@ impl CoordTopology for FlatTopology {
                 &self.ctrl,
                 self.my_ep,
                 *ep,
-                self.send_cpu,
+                self.cpu,
                 CtrlMsg::ExpectedIn { from },
             );
         }
@@ -316,13 +351,12 @@ pub struct TreeTopology {
     /// (rank-indexed).
     child_of_rank: Vec<u32>,
     nranks: u32,
-    send_cpu: SimDuration,
-    recv_cpu: SimDuration,
+    cpu: CtrlCpu,
 }
 
 impl TreeTopology {
     fn recv(&self, t: &SimThread) -> CtrlMsg {
-        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+        recv_on(t, &self.ctrl, self.my_ep, self.cpu.recv)
     }
 }
 
@@ -343,7 +377,7 @@ impl CoordTopology for TreeTopology {
         // One downward frame per node; the sub-coordinators replicate to
         // their local ranks concurrently with each other.
         for c in &self.children {
-            send_from(t, &self.ctrl, self.my_ep, c.ep, self.send_cpu, mk());
+            send_from(t, &self.ctrl, self.my_ep, c.ep, self.cpu, mk());
         }
     }
 
@@ -408,7 +442,7 @@ impl CoordTopology for TreeTopology {
                 &self.ctrl,
                 self.my_ep,
                 c.ep,
-                self.send_cpu,
+                self.cpu,
                 CtrlMsg::ExpectedInBatch { per_rank },
             );
         }
@@ -440,8 +474,7 @@ struct SubCoordCtx {
     node: u32,
     /// `(rank, helper endpoint)` for the node's ranks.
     local: Vec<(u32, EndpointId)>,
-    send_cpu: SimDuration,
-    recv_cpu: SimDuration,
+    cpu: CtrlCpu,
 }
 
 impl SubCoordCtx {
@@ -449,17 +482,25 @@ impl SubCoordCtx {
         format!("sub-coordinator node {}", self.node)
     }
 
+    /// Receive a frame from the root (cross-node polling rate).
     fn recv(&self, t: &SimThread) -> CtrlMsg {
-        recv_on(t, &self.ctrl, self.my_ep, self.recv_cpu)
+        recv_on(t, &self.ctrl, self.my_ep, self.cpu.recv)
+    }
+
+    /// Receive a reply from one of the node's own helpers: same-node
+    /// loopback frames are charged the cheaper intra rate — the whole
+    /// point of putting a sub-coordinator on every node.
+    fn recv_local(&self, t: &SimThread) -> CtrlMsg {
+        recv_on(t, &self.ctrl, self.my_ep, self.cpu.recv_intra)
     }
 
     fn send_root(&self, t: &SimThread, msg: CtrlMsg) {
-        send_from(t, &self.ctrl, self.my_ep, self.root_ep, self.send_cpu, msg);
+        send_from(t, &self.ctrl, self.my_ep, self.root_ep, self.cpu, msg);
     }
 
     fn fan_out(&self, t: &SimThread, mk: impl Fn() -> CtrlMsg) {
         for (_, ep) in &self.local {
-            send_from(t, &self.ctrl, self.my_ep, *ep, self.send_cpu, mk());
+            send_from(t, &self.ctrl, self.my_ep, *ep, self.cpu, mk());
         }
     }
 
@@ -467,7 +508,7 @@ impl SubCoordCtx {
     /// the partial reduction to the root.
     fn relay_states(&self, t: &SimThread, ckpt_id: u64) {
         let agg = gather_state_replies(t, &|| self.role(), ckpt_id, self.local.len(), &mut |t| {
-            self.recv(t)
+            self.recv_local(t)
         });
         self.send_root(t, CtrlMsg::StateAggMsg { agg });
     }
@@ -479,7 +520,7 @@ impl SubCoordCtx {
         // directory before shipping one frame up.
         let expected =
             gather_bookmark_replies(t, &|| self.role(), ckpt_id, self.local.len(), &mut |t| {
-                self.recv(t)
+                self.recv_local(t)
             });
         self.send_root(
             t,
@@ -513,7 +554,7 @@ impl SubCoordCtx {
                 &self.ctrl,
                 self.my_ep,
                 ep,
-                self.send_cpu,
+                self.cpu,
                 CtrlMsg::ExpectedIn { from },
             );
         }
@@ -521,7 +562,7 @@ impl SubCoordCtx {
         // Roll up the node's completions into one frame.
         let mut stats = Vec::with_capacity(self.local.len());
         for _ in 0..self.local.len() {
-            match self.recv(t) {
+            match self.recv_local(t) {
                 CtrlMsg::CkptDone { stats: s, .. } => stats.push(s),
                 other => protocol_violation(
                     self.role(),
@@ -654,8 +695,7 @@ pub fn build_control_plane(
                         .iter()
                         .map(|r| (*r, helper_eps[*r as usize]))
                         .collect(),
-                    send_cpu: cfg.ctrl_send_cpu,
-                    recv_cpu: cfg.ctrl_recv_cpu,
+                    cpu: CtrlCpu::of(cfg),
                 };
                 children.push(SubLink { ep: sub_ep });
                 sim.spawn(&format!("subcoord{node}"), true, move |t| {
@@ -668,8 +708,7 @@ pub fn build_control_plane(
                 children,
                 child_of_rank,
                 nranks,
-                send_cpu: cfg.ctrl_send_cpu,
-                recv_cpu: cfg.ctrl_recv_cpu,
+                cpu: CtrlCpu::of(cfg),
             });
             ControlPlane {
                 topo,
@@ -817,4 +856,67 @@ pub fn assert_topologies_agree(a: &TopologyRunReport, b: &TopologyRunReport) {
         a.final_checksums, b.final_checksums,
         "{pair}: restarted application state diverged"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mana_sim::kernel::KernelModel;
+    use mana_sim::sched::SimConfig;
+
+    /// Intra-node control frames (a tree sub-coordinator's local fan-out)
+    /// are charged the cheaper loopback CPU rate; cross-node frames pay
+    /// the full socket cost.
+    #[test]
+    fn intra_node_frames_charged_cheaper_send_rate() {
+        let cfg = ManaConfig::no_checkpoints(KernelModel::unpatched());
+        let cpu = CtrlCpu::of(&cfg);
+        assert!(
+            cpu.send_intra < cpu.send && cpu.recv_intra < cpu.recv,
+            "loopback must be cheaper than cross-node TCP: {cpu:?}"
+        );
+
+        let sim = Sim::new(SimConfig::default());
+        let ctrl = Network::<CtrlMsg>::new(&sim, mana_sim::cluster::InterconnectKind::Tcp);
+        let sub = ctrl.add_endpoint(0); // sub-coordinator on node 0
+        let local = ctrl.add_endpoint(0); // helper on the same node
+        let remote = ctrl.add_endpoint(1); // root on another node
+        {
+            let ctrl = ctrl.clone();
+            sim.spawn("sender", false, move |t| {
+                let t0 = t.now();
+                send_from(
+                    &t,
+                    &ctrl,
+                    sub,
+                    local,
+                    cpu,
+                    CtrlMsg::IntendCkpt { ckpt_id: 1 },
+                );
+                let intra = t.now().since(t0);
+                assert_eq!(intra, cpu.send_intra, "same-node frame at loopback rate");
+
+                let t1 = t.now();
+                send_from(
+                    &t,
+                    &ctrl,
+                    sub,
+                    remote,
+                    cpu,
+                    CtrlMsg::IntendCkpt { ckpt_id: 1 },
+                );
+                let inter = t.now().since(t1);
+                assert_eq!(inter, cpu.send, "cross-node frame at socket rate");
+                assert!(intra < inter);
+
+                // Receive sides: the rate is chosen by the listener's
+                // context (a sub gathering its own node's replies polls at
+                // the intra rate).
+                let t2 = t.now();
+                let _ = recv_on(&t, &ctrl, local, cpu.recv_intra);
+                assert_eq!(t.now().since(t2), cpu.recv_intra);
+            });
+        }
+        sim.run();
+    }
 }

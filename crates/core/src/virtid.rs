@@ -29,6 +29,10 @@ pub enum HandleClass {
     Req,
 }
 
+/// Sentinel "real" id a restored virtual handle carries until restart
+/// replay rebinds it to a real handle from the fresh lower half.
+pub const UNBOUND_REAL: u64 = u64::MAX;
+
 /// First virtual id issued per class (disjoint, recognizable spaces).
 fn base_of(class: HandleClass) -> u64 {
     match class {
@@ -85,6 +89,18 @@ impl VirtTable {
             .unwrap_or_else(|| panic!("unknown virtual {:?} handle {virt:#x}", self.class))
     }
 
+    /// Real id behind `virt`, or `None` for an unknown handle. The restart
+    /// engine's verified replay uses this so a malformed log surfaces as a
+    /// typed [`crate::restart::RestartError`] instead of a panic.
+    pub fn try_real_of(&self, virt: u64) -> Option<u64> {
+        self.inner.lock().v2r.get(&virt).copied()
+    }
+
+    /// This table's handle class.
+    pub fn class(&self) -> HandleClass {
+        self.class
+    }
+
     /// Virtual id for a real handle, if it is tracked.
     pub fn virt_of(&self, real: u64) -> Option<u64> {
         self.inner.lock().r2v.get(&real).copied()
@@ -106,7 +122,7 @@ impl VirtTable {
     /// bound to any real handle (replay will `rebind` it).
     pub fn restore_virt(&self, virt: u64) {
         let mut t = self.inner.lock();
-        t.v2r.insert(virt, u64::MAX);
+        t.v2r.insert(virt, UNBOUND_REAL);
         t.next = t.next.max(virt + 1);
     }
 

@@ -13,6 +13,8 @@
 //! * every collective is wrapped in the two-phase algorithm (§2.4–2.5):
 //!   pre-wrapper gate, trivial barrier (phase 1), real call (phase 2);
 //! * nonblocking collectives get the §4.2 ibarrier-based variant.
+//!
+//! [`KernelModel::fs_roundtrip`]: mana_sim::kernel::KernelModel::fs_roundtrip
 
 use crate::cell::{CollInstance, Park};
 use crate::config::ManaConfig;
@@ -42,6 +44,7 @@ impl ManaMpi {
         let world_real = lower.comm_world();
         let members: Vec<u32> = (0..lower.comm_size(world_real)).collect();
         let world_virt = sh.virt.comm.intern(world_real.0);
+        *sh.world_virt.lock() = world_virt;
         sh.comms.lock().insert(
             world_virt,
             CommMeta {
@@ -63,15 +66,14 @@ impl ManaMpi {
 
     /// Wrap a fresh lower half for a *restarted* incarnation: the shared
     /// state (virtual tables, comm metadata, buffers) was already restored
-    /// and replayed by the restart engine; the world virtual id is the
-    /// smallest live communicator id.
+    /// and replayed by the restart engine, which also recorded the world
+    /// communicator's virtual id from the image.
     pub fn resumed(sh: Arc<RankShared>, lower: Arc<dyn Mpi>, cfg: ManaConfig) -> ManaMpi {
-        let world_virt = *sh
-            .comms
-            .lock()
-            .keys()
-            .next()
-            .expect("restored state must contain the world communicator");
+        let world_virt = *sh.world_virt.lock();
+        assert_ne!(
+            world_virt, 0,
+            "restored state must carry the world communicator id"
+        );
         *sh.lower.lock() = Some(lower.clone());
         ManaMpi {
             sh,
@@ -775,9 +777,13 @@ impl Mpi for ManaMpi {
         let real_g = self.lower.comm_group(CommHandle(meta.real));
         let members = self.lower.group_members(real_g);
         let virt = self.sh.virt.group.intern(real_g.0);
-        self.sh.groups.lock().insert(virt, members);
+        self.sh.groups.lock().insert(virt, members.clone());
+        // Membership is recorded so restart replay can rebuild the group
+        // locally — the compactor then need not keep a dead source
+        // communicator alive just for its group.
         self.sh.log.push(LoggedCall::CommGroup {
             comm: comm.0,
+            members,
             result: virt,
         });
         GroupHandle(virt)

@@ -2,7 +2,8 @@
 //! `ParallelFs` involved), lifecycle hooks, image addressing, and the
 //! typed error surface of the restart path.
 
-use mana_core::error::{ManaError, SessionError};
+use mana_core::error::SessionError;
+use mana_core::restart::RestartError;
 use mana_core::{AppEnv, InMemStore, JobBuilder, ManaSession, Workload};
 use mana_mpi::{MpiProfile, ReduceOp};
 use mana_sim::cluster::ClusterSpec;
@@ -165,7 +166,7 @@ fn restart_without_checkpoint_is_a_typed_error() {
 fn missing_image_is_a_typed_error() {
     let session = mem_session();
     match session.restart(99, base_job(), app()) {
-        Err(SessionError::Mana(ManaError::MissingImage {
+        Err(SessionError::Restart(RestartError::MissingImage {
             rank,
             ckpt_id,
             path,
@@ -189,7 +190,7 @@ fn world_size_mismatch_is_a_typed_error() {
     // Elastic *placement* is fine, but changing the world size is not:
     // MANA pins it in the image (paper §2.1).
     match session.restart(1, base_job().ranks(8), app()) {
-        Err(SessionError::Mana(ManaError::WorldSizeMismatch { image, requested })) => {
+        Err(SessionError::Restart(RestartError::WorldSizeMismatch { image, requested })) => {
             assert_eq!(image, 4);
             assert_eq!(requested, 8);
         }
@@ -217,7 +218,7 @@ fn corrupt_image_is_a_typed_error() {
     session.store().put(path, bad, 1, 2, shape);
 
     match killed.restart_on(JobBuilder::new()) {
-        Err(SessionError::Mana(ManaError::CorruptImage { rank, path: p, .. })) => {
+        Err(SessionError::Restart(RestartError::CorruptImage { rank, path: p, .. })) => {
             assert_eq!(rank, 2);
             assert_eq!(&p, path);
         }

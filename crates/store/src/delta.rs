@@ -24,8 +24,9 @@ use mana_core::config::parse_image_path;
 use mana_core::error::StoreError;
 use mana_core::image::{decode_region, encode_region, CheckpointImage};
 use mana_core::store::CheckpointStore;
+use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
-use mana_sim::memory::{RegionSnapshot, SnapshotContent};
+use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -165,8 +166,65 @@ fn is_delta(data: &[u8]) -> bool {
     data.len() >= 8 && data[..8] == DELTA_MAGIC.to_le_bytes()
 }
 
-/// Diff the new image's regions against the base image's.
-fn diff_regions(base: &[RegionSnapshot], new: &[RegionSnapshot], page: usize) -> Vec<RegionDelta> {
+/// Per-page digest of one region of the previous generation — everything
+/// diffing needs (equality tests only; patched bytes come from the *new*
+/// image), at ~8 bytes per page instead of the page itself. This is what
+/// lets the family cache stay resident without holding decoded images:
+/// puts diff against digests in O(new image) instead of re-materializing
+/// the previous generation's delta chain.
+struct RegionDigest {
+    start: u64,
+    len: u64,
+    half: Half,
+    kind: RegionKind,
+    name: String,
+    content: ContentDigest,
+}
+
+enum ContentDigest {
+    /// Pattern-backed region: the seed is the content.
+    Pattern { seed: u64 },
+    /// Dense region: one checksum per `page`-sized chunk.
+    Dense { bytes: usize, pages: Vec<u64> },
+}
+
+fn digest_region(r: &RegionSnapshot, page: usize) -> RegionDigest {
+    let content = match &r.content {
+        SnapshotContent::Pattern { seed } => ContentDigest::Pattern { seed: *seed },
+        SnapshotContent::Dense(b) => ContentDigest::Dense {
+            bytes: b.len(),
+            pages: b.chunks(page).map(checksum_bytes).collect(),
+        },
+    };
+    RegionDigest {
+        start: r.start,
+        len: r.len,
+        half: r.half,
+        kind: r.kind,
+        name: r.name.clone(),
+        content,
+    }
+}
+
+fn digest_regions(regions: &[RegionSnapshot], page: usize) -> Vec<RegionDigest> {
+    regions.iter().map(|r| digest_region(r, page)).collect()
+}
+
+fn digest_heap_bytes(d: &[RegionDigest]) -> u64 {
+    d.iter()
+        .map(|r| {
+            48 + r.name.len() as u64
+                + match &r.content {
+                    ContentDigest::Pattern { .. } => 8,
+                    ContentDigest::Dense { pages, .. } => 8 * pages.len() as u64,
+                }
+        })
+        .sum()
+}
+
+/// Diff the new image's regions against the previous generation's
+/// digests.
+fn diff_regions(base: &[RegionDigest], new: &[RegionSnapshot], page: usize) -> Vec<RegionDelta> {
     new.iter()
         .map(|r| {
             let matching = base.iter().find(|b| {
@@ -180,31 +238,34 @@ fn diff_regions(base: &[RegionSnapshot], new: &[RegionSnapshot], page: usize) ->
                 Some(b) => b,
                 None => return RegionDelta::Replaced(r.clone()),
             };
-            if b.content == r.content {
-                return RegionDelta::Unchanged { start: r.start };
-            }
             match (&b.content, &r.content) {
-                (SnapshotContent::Dense(ob), SnapshotContent::Dense(nb))
-                    if ob.len() == nb.len() =>
-                {
-                    let mut pages = Vec::new();
-                    let mut changed = 0usize;
-                    let mut off = 0usize;
-                    while off < nb.len() {
-                        let end = (off + page).min(nb.len());
-                        if ob[off..end] != nb[off..end] {
-                            pages.push((off as u64, nb[off..end].to_vec()));
-                            changed += end - off;
-                        }
-                        off = end;
+                (ContentDigest::Pattern { seed: os }, SnapshotContent::Pattern { seed: ns }) => {
+                    if os == ns {
+                        RegionDelta::Unchanged { start: r.start }
+                    } else {
+                        RegionDelta::Replaced(r.clone())
                     }
-                    // A mostly-rewritten region is cheaper stored whole.
-                    if changed * 2 >= nb.len() {
+                }
+                (ContentDigest::Dense { bytes, pages }, SnapshotContent::Dense(nb))
+                    if *bytes == nb.len() =>
+                {
+                    let mut out = Vec::new();
+                    let mut changed = 0usize;
+                    for (i, chunk) in nb.chunks(page).enumerate() {
+                        if pages.get(i).copied() != Some(checksum_bytes(chunk)) {
+                            out.push(((i * page) as u64, chunk.to_vec()));
+                            changed += chunk.len();
+                        }
+                    }
+                    if out.is_empty() {
+                        RegionDelta::Unchanged { start: r.start }
+                    } else if changed * 2 >= nb.len() {
+                        // A mostly-rewritten region is cheaper stored whole.
                         RegionDelta::Replaced(r.clone())
                     } else {
                         RegionDelta::Patched {
                             start: r.start,
-                            pages,
+                            pages: out,
                         }
                     }
                 }
@@ -269,15 +330,20 @@ fn apply_delta(
 
 struct LatestGen {
     path: String,
-    image: CheckpointImage,
     /// Deltas written since the last full image of this family.
     since_full: u64,
+    /// Per-page digests of the generation's regions (what the next
+    /// generation diffs against).
+    digest: Vec<RegionDigest>,
 }
 
 #[derive(Default)]
 struct DeltaState {
-    /// Newest generation per `(dir, rank)` family, kept decoded for
-    /// O(1) diffing of the next generation.
+    /// Newest generation per `(dir, rank)` family — path, chain position
+    /// and per-page *digests* only. The decoded image is NOT kept
+    /// resident (~8 bytes per 4 KiB page instead of the page), so memory
+    /// stays bounded no matter how many generations (and rank families)
+    /// flow through the store.
     latest: HashMap<(String, u32), LatestGen>,
     /// delta path → its base path.
     base_of: HashMap<String, String>,
@@ -310,6 +376,29 @@ impl<S: CheckpointStore> DeltaStore<S> {
     /// Whether the object at `path` is stored as a delta.
     pub fn is_delta_object(&self, path: &str) -> bool {
         self.state.lock().base_of.contains_key(path)
+    }
+
+    /// Approximate heap bytes held resident by the store: chain
+    /// bookkeeping plus the latest generation's per-page digests (~8
+    /// bytes per 4 KiB page, i.e. ~0.2% of an image). No decoded image
+    /// payload is ever kept between puts — the bounded-memory test
+    /// asserts this stays a tiny fraction of one image across many
+    /// generations.
+    pub fn resident_bytes(&self) -> u64 {
+        let st = self.state.lock();
+        let strings = |it: &mut dyn Iterator<Item = usize>| it.sum::<usize>() as u64;
+        strings(
+            &mut st
+                .latest
+                .iter()
+                .map(|((d, _), g)| d.len() + g.path.len() + 16),
+        ) + st
+            .latest
+            .values()
+            .map(|g| digest_heap_bytes(&g.digest))
+            .sum::<u64>()
+            + strings(&mut st.base_of.iter().map(|(k, v)| k.len() + v.len()))
+            + strings(&mut st.child_of.iter().map(|(k, v)| k.len() + v.len()))
     }
 
     /// Drop stale chain bookkeeping for an overwritten `path`.
@@ -430,27 +519,34 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
             }
         };
         let family = family.expect("family checked above");
+        let page = self.cfg.page.max(1);
+        // Digest the incoming image once: the next generation diffs
+        // against these ~8-bytes-per-page checksums, so no decoded image
+        // is ever held resident and no delta chain is ever replayed on
+        // the put path.
+        let digest = digest_regions(&img.regions, page);
         let mut st = self.state.lock();
         Self::forget(&mut st, path);
-        let write_delta = st.latest.get(&family).is_some_and(|prev| {
-            prev.path != path
-                && (self.cfg.full_every == 0 || prev.since_full + 1 < self.cfg.full_every)
-        });
-        if write_delta {
-            let prev = st.latest.get(&family).expect("prev checked above");
+        let prev = st
+            .latest
+            .get(&family)
+            .filter(|prev| {
+                prev.path != path
+                    && (self.cfg.full_every == 0 || prev.since_full + 1 < self.cfg.full_every)
+            })
+            .map(|prev| (prev.path.clone(), prev.since_full));
+        if let Some((base_path, since_full)) = prev {
             let mut img = img;
-            let deltas = diff_regions(&prev.image.regions, &img.regions, self.cfg.page.max(1));
+            let base = &st.latest.get(&family).expect("prev checked above").digest;
+            let deltas = diff_regions(base, &img.regions, page);
             let delta_logical = 4096 + deltas.iter().map(RegionDelta::logical_cost).sum::<u64>();
-            let (base_path, since_full) = (prev.path.clone(), prev.since_full);
-            // The meta clone must not copy the region payloads (the bulk
-            // of the image): lift them out, clone the husk, put them back.
-            let regions = std::mem::take(&mut img.regions);
-            let meta = img.clone();
-            img.regions = regions;
+            // The meta must not carry the region payloads (the bulk of
+            // the image): the delta entries replace them.
+            img.regions = Vec::new();
             let blob = DeltaBlob {
                 base_path: base_path.clone(),
                 deltas,
-                meta,
+                meta: img,
             };
             let encoded = encode_delta(&blob);
             st.base_of.insert(path.to_string(), base_path.clone());
@@ -459,19 +555,21 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
                 family,
                 LatestGen {
                     path: path.to_string(),
-                    image: img,
                     since_full: since_full + 1,
+                    digest,
                 },
             );
             drop(st);
             self.inner.put(path, encoded, delta_logical, rank, shape)
         } else {
+            // First generation of the family or the full_every cadence:
+            // write the image whole.
             st.latest.insert(
                 family,
                 LatestGen {
                     path: path.to_string(),
-                    image: img,
                     since_full: 0,
+                    digest,
                 },
             );
             drop(st);
@@ -571,6 +669,9 @@ mod tests {
             slots: Vec::new(),
             slot_seq: 0,
             slot_seq_at_step: 0,
+            world_virt: 0,
+            rebind: Vec::new(),
+            step_created: Vec::new(),
         }
     }
 
@@ -748,6 +849,48 @@ mod tests {
                 assert!(why.contains("cycle"), "unexpected reason: {why}")
             }
             other => panic!("expected Corrupt, got {:?}", other.map(|(_, d)| d)),
+        }
+    }
+
+    #[test]
+    fn family_cache_spills_resident_bytes_bounded() {
+        // Many generations of a large image: the store must never hold a
+        // decoded image resident between puts — resident bookkeeping stays
+        // far below one image, while deltas keep working (small writes,
+        // correct reconstruction, full_every cadence).
+        let s = store();
+        let image_bytes = 256 << 10;
+        let mut data = vec![1u8; image_bytes];
+        let mut imgs = Vec::new();
+        for id in 1..=30u64 {
+            data[(id as usize * 7919) % image_bytes] = id as u8;
+            let img = image(id, vec![region(0x1000, data.clone())]);
+            s.put(&path(id), img.encode(), img.logical_bytes(), 0, SHAPE);
+            imgs.push(img);
+            assert!(
+                s.resident_bytes() < 4096,
+                "gen {id}: resident {} bytes — the decoded family cache leaked",
+                s.resident_bytes()
+            );
+        }
+        // Behavior is unchanged by the spill: late generations are still
+        // deltas (except on the full_every cadence), and every generation
+        // reconstructs exactly.
+        assert!(s.is_delta_object(&path(30)));
+        assert!(!s.is_delta_object(&path(1)));
+        let delta_len = s.logical_len(&path(30)).unwrap();
+        assert!(
+            delta_len < 16 << 10,
+            "one-page delta expected, got {delta_len}"
+        );
+        for (i, img) in imgs.iter().enumerate() {
+            let (bytes, _) = s.get(&path(i as u64 + 1), 0, SHAPE).unwrap();
+            assert_eq!(
+                &CheckpointImage::decode(&bytes).unwrap(),
+                img,
+                "gen {}",
+                i + 1
+            );
         }
     }
 

@@ -122,6 +122,7 @@ fn arb_image() -> impl Strategy<Value = CheckpointImage> {
             for (p, c) in sent {
                 counters.sent.insert(p, c);
             }
+            let log2 = log.clone();
             CheckpointImage {
                 rank,
                 nranks,
@@ -161,6 +162,9 @@ fn arb_image() -> impl Strategy<Value = CheckpointImage> {
                 slots: vec![SlotState::Empty, SlotState::SendIssued { vreq: None }],
                 slot_seq: 2,
                 slot_seq_at_step: 1,
+                world_virt: 0x1000_0000,
+                rebind: mana::core::restart::compact::derive_rebind(0x1000_0000, &log2),
+                step_created: vec![0x1000_0001],
             }
         })
 }
