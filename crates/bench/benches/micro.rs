@@ -13,7 +13,7 @@ use mana_core::buffer::{BufferedMsg, DrainBuffer};
 use mana_core::image::CheckpointImage;
 use mana_core::virtid::{HandleClass, VirtTable};
 use mana_mpi::{SrcSpec, TagSpec};
-use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
+use mana_sim::memory::{DenseSnap, Half, RegionKind, RegionSnapshot, SnapshotContent};
 
 fn bench_virtid(c: &mut Criterion) {
     let table = VirtTable::new(HandleClass::Comm);
@@ -47,7 +47,7 @@ fn sample_image(dense_kb: usize) -> CheckpointImage {
                 half: Half::Upper,
                 kind: RegionKind::Mmap,
                 name: "data".into(),
-                content: SnapshotContent::Dense(vec![7u8; dense_kb * 1024]),
+                content: SnapshotContent::Dense(DenseSnap::from_vec(vec![7u8; dense_kb * 1024])),
             },
             RegionSnapshot {
                 start: 0x100_0000,
@@ -74,6 +74,7 @@ fn sample_image(dense_kb: usize) -> CheckpointImage {
         world_virt: 0,
         rebind: vec![],
         step_created: vec![],
+        dirty: vec![],
     }
 }
 

@@ -41,6 +41,89 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// A serialization sink: the one set of field-writing primitives, backed
+/// either by a real buffer ([`Enc`]) or by a byte counter ([`MeasureEnc`]).
+/// Encoders written against `Sink` can therefore compute their exact
+/// output length with a cheap measuring pass and then serialize in a
+/// single pass into one preallocated buffer — no incremental
+/// reallocation, no drift between the size computation and the writer.
+pub trait Sink {
+    /// Write a `u8`.
+    fn u8(&mut self, v: u8);
+    /// Write a `u32`.
+    fn u32(&mut self, v: u32);
+    /// Write an `i32`.
+    fn i32(&mut self, v: i32);
+    /// Write a `u64`.
+    fn u64(&mut self, v: u64);
+    /// Write a bool as one byte.
+    fn boolean(&mut self, v: bool);
+    /// Write raw bytes with no length prefix (content chunks whose
+    /// framing was already written).
+    fn raw(&mut self, v: &[u8]);
+
+    /// Write a length-prefixed byte string.
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.raw(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Write a length prefix for a sequence.
+    fn seq(&mut self, len: usize) {
+        self.u64(len as u64);
+    }
+}
+
+/// Measuring sink: counts the bytes an encoding would produce without
+/// writing any.
+#[derive(Default)]
+pub struct MeasureEnc {
+    len: usize,
+}
+
+impl MeasureEnc {
+    /// Fresh counter.
+    pub fn new() -> MeasureEnc {
+        MeasureEnc::default()
+    }
+
+    /// Bytes the measured encoding occupies.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing was measured.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Sink for MeasureEnc {
+    fn u8(&mut self, _: u8) {
+        self.len += 1;
+    }
+    fn u32(&mut self, _: u32) {
+        self.len += 4;
+    }
+    fn i32(&mut self, _: i32) {
+        self.len += 4;
+    }
+    fn u64(&mut self, _: u64) {
+        self.len += 8;
+    }
+    fn boolean(&mut self, _: bool) {
+        self.len += 1;
+    }
+    fn raw(&mut self, v: &[u8]) {
+        self.len += v.len();
+    }
+}
+
 /// Encoder over a growable buffer.
 #[derive(Default)]
 pub struct Enc {
@@ -53,9 +136,22 @@ impl Enc {
         Enc::default()
     }
 
-    /// Finish and take the bytes.
+    /// Encoder with `n` bytes preallocated (pair with [`MeasureEnc`] for
+    /// single-allocation serialization).
+    pub fn with_capacity(n: usize) -> Enc {
+        Enc {
+            buf: BytesMut::with_capacity(n),
+        }
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Finish and take the bytes (moves; no copy).
     pub fn finish(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into_vec()
     }
 
     /// Bytes written so far.
@@ -107,6 +203,32 @@ impl Enc {
     /// Write a length prefix for a sequence.
     pub fn seq(&mut self, len: usize) {
         self.u64(len as u64);
+    }
+
+    /// Write raw bytes with no length prefix.
+    pub fn raw(&mut self, v: &[u8]) {
+        self.buf.put_slice(v);
+    }
+}
+
+impl Sink for Enc {
+    fn u8(&mut self, v: u8) {
+        Enc::u8(self, v);
+    }
+    fn u32(&mut self, v: u32) {
+        Enc::u32(self, v);
+    }
+    fn i32(&mut self, v: i32) {
+        Enc::i32(self, v);
+    }
+    fn u64(&mut self, v: u64) {
+        Enc::u64(self, v);
+    }
+    fn boolean(&mut self, v: bool) {
+        Enc::boolean(self, v);
+    }
+    fn raw(&mut self, v: &[u8]) {
+        Enc::raw(self, v);
     }
 }
 
@@ -167,11 +289,16 @@ impl Dec {
 
     /// Read a length-prefixed byte string.
     pub fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
+        Ok(self.bytes_ref(what)?.to_vec())
+    }
+
+    /// Borrow a length-prefixed byte string straight out of the input —
+    /// the zero-copy variant for payloads the caller re-chunks itself
+    /// (e.g. dense region content into snapshot pages).
+    pub fn bytes_ref(&mut self, what: &'static str) -> Result<&[u8], CodecError> {
         let n = self.u64(what)? as usize;
         self.need(n, what)?;
-        let mut v = vec![0u8; n];
-        self.buf.copy_to_slice(&mut v);
-        Ok(v)
+        Ok(self.buf.get_slice(n))
     }
 
     /// Read a length-prefixed UTF-8 string.
@@ -219,6 +346,29 @@ mod tests {
         data.truncate(3);
         let mut d = Dec::new(&data);
         assert_eq!(d.u64("x"), Err(CodecError::Truncated { what: "x" }));
+    }
+
+    #[test]
+    fn measure_matches_write_exactly() {
+        fn encode<S: Sink>(s: &mut S) {
+            s.u8(1);
+            s.u32(2);
+            s.i32(-3);
+            s.u64(4);
+            s.boolean(false);
+            s.bytes(b"abcdef");
+            s.string("xyz");
+            s.seq(9);
+            s.raw(&[7; 13]);
+        }
+        let mut m = MeasureEnc::new();
+        encode(&mut m);
+        let mut e = Enc::with_capacity(m.len());
+        encode(&mut e);
+        assert_eq!(e.len(), m.len());
+        let cap = e.capacity();
+        assert_eq!(cap, m.len(), "preallocation was not exact");
+        assert_eq!(e.finish().len(), m.len());
     }
 
     #[test]

@@ -702,11 +702,15 @@ impl AppEnv {
         let size = self.mpi.comm_size(comm) as usize;
         assert_eq!(send.len % size, 0, "alltoall chunk mismatch");
         let chunk_bytes = send.byte_len() / size;
-        let bytes = self
+        // Chunk straight out of the borrowed window (one copy, not a
+        // whole-array copy followed by a per-chunk copy). The borrow ends
+        // before the blocking exchange below.
+        let parts: Vec<Vec<u8>> = self
             .aspace
-            .read_bytes(send.addr, send.byte_len())
+            .with_bytes(send.addr, send.byte_len(), |b| {
+                b.chunks(chunk_bytes).map(<[u8]>::to_vec).collect()
+            })
             .expect("alltoall window");
-        let parts: Vec<Vec<u8>> = bytes.chunks(chunk_bytes).map(<[u8]>::to_vec).collect();
         let out = self.mpi.alltoall(&self.t, parts, comm);
         let mut off = 0u64;
         for p in out {

@@ -180,9 +180,11 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     let drain_dur = t.now().since(drain_t0);
 
     // 4. Wait for a snapshot-consistent park state, then snapshot (the
-    //    record log is compacted here, on its way into the image).
+    //    record log is compacted here, on its way into the image). The
+    //    snapshot is copy-on-write: clean pages are shared with the
+    //    previous committed checkpoint epoch, dirty pages are copied.
     sh.cell.helper_wait(t, |c| c.snapshot_safe());
-    let (img, log_recorded) = build_image(sh, ckpt_id, hx.cfg.compact_log);
+    let (img, log_recorded, snap_stats) = build_image(sh, ckpt_id, hx.cfg.compact_log);
     let encoded = img.encode();
     let logical = img.logical_bytes();
     let dense = img.dense_bytes();
@@ -195,6 +197,11 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
         .store
         .put(&path, encoded, logical, u64::from(sh.rank), hx.io_shape);
     t.advance(wdur);
+
+    // The image is durable: commit the snapshot as the new dirty-tracking
+    // base epoch. (An aborted checkpoint would simply skip this — the
+    // next snapshot folds the uncommitted dirty set back in.)
+    sh.aspace.clear_dirty(Half::Upper);
 
     ctrl_send(
         t,
@@ -210,6 +217,9 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
                 drained_msgs,
                 log_recorded,
                 log_retained,
+                bytes_copied: snap_stats.bytes_copied,
+                dirty_pages: snap_stats.dirty_pages,
+                clean_pages_shared: snap_stats.clean_pages_shared,
             },
         },
     );
@@ -279,10 +289,17 @@ fn drain(t: &SimThread, sh: &Arc<RankShared>, lower: &dyn Mpi, expected: &[(u32,
 /// record log is pruned by the [`LogCompactor`] — freed opaque objects
 /// and dead derivation subtrees are elided — before serialization; either
 /// way the image carries the explicit virtual-id rebind map verified at
-/// replay. Returns the image and the pre-compaction log length.
+/// replay. Memory is captured through the dirty-tracked copy-on-write
+/// snapshot path (O(dirty bytes), not O(address space)); the summaries
+/// ride in the image for `DeltaStore`. Returns the image, the
+/// pre-compaction log length, and the snapshot's copy accounting.
 ///
 /// [`LogCompactor`]: crate::restart::compact::LogCompactor
-fn build_image(sh: &Arc<RankShared>, ckpt_id: u64, compact: bool) -> (CheckpointImage, u64) {
+fn build_image(
+    sh: &Arc<RankShared>,
+    ckpt_id: u64,
+    compact: bool,
+) -> (CheckpointImage, u64, mana_sim::memory::SnapshotStats) {
     use crate::restart::compact::{LiveSet, LogCompactor};
     let comms: Vec<crate::image::VirtCommEntry> = sh
         .comms
@@ -310,6 +327,7 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64, compact: bool) -> (Checkpoint
     } else {
         LogCompactor::passthrough(world_virt, &entries)
     };
+    let snap = sh.aspace.snapshot_half_tracked(Half::Upper);
     let progress = sh.progress.lock();
     let img = CheckpointImage {
         rank: sh.rank,
@@ -317,7 +335,7 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64, compact: bool) -> (Checkpoint
         ckpt_id,
         app_name: sh.app_name.clone(),
         seed: sh.seed,
-        regions: sh.aspace.snapshot_half(Half::Upper),
+        regions: snap.regions,
         upper_cursor: sh.aspace.upper_mmap_cursor(),
         comms,
         groups,
@@ -334,8 +352,9 @@ fn build_image(sh: &Arc<RankShared>, ckpt_id: u64, compact: bool) -> (Checkpoint
         world_virt,
         rebind: compacted.rebind,
         step_created: progress.step_created.clone(),
+        dirty: snap.dirty,
     };
-    (img, recorded)
+    (img, recorded, snap.stats)
 }
 
 /// Guard: the helper only treats these parks as quiescent states (kept in

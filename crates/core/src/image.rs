@@ -12,20 +12,23 @@
 //! network-agnostic property.
 
 use crate::buffer::{BufferedMsg, PairCounters};
-use crate::codec::{CodecError, Dec, Enc};
+use crate::codec::{CodecError, Dec, Enc, MeasureEnc, Sink};
 use crate::record::LoggedCall;
 use crate::restart::compact::{derive_rebind, BindSource, RebindEntry};
 use mana_mpi::{BaseType, ReduceOp};
-use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
+use mana_sim::memory::{DenseSnap, Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent};
 
 /// "MANAIMG1" little-endian.
 pub const MAGIC: u64 = 0x3147_4d49_414e_414d;
 /// Current format version. Version 2 adds the explicit world-communicator
 /// id, the virtual-id rebind map, the per-step handle-creation ledger and
 /// recorded `CommGroup` membership (everything the compacted-log restart
-/// pipeline verifies against). Version-1 images still decode: the world id
-/// and rebind map are derived from the (always-full) v1 log.
-pub const VERSION: u32 = 2;
+/// pipeline verifies against). Version 3 adds the per-region dirty-page
+/// summaries emitted by the copy-on-write snapshot path (advisory: they
+/// let `DeltaStore` skip digesting clean pages). Version-1 images still
+/// decode: the world id and rebind map are derived from the (always-full)
+/// v1 log; pre-v3 images decode with no dirty summaries.
+pub const VERSION: u32 = 3;
 /// Oldest format version [`CheckpointImage::decode`] accepts.
 pub const MIN_VERSION: u32 = 1;
 
@@ -126,6 +129,11 @@ pub struct CheckpointImage {
     /// step, in creation order — the environment's resume ledger for
     /// skipped communicator/group/datatype creations (v2).
     pub step_created: Vec<u64>,
+    /// Per-region dirty-page summaries from the copy-on-write snapshot
+    /// path (v3; empty for pre-v3 images or hand-built images). Advisory:
+    /// `DeltaStore` uses them — guarded by the `(lineage, base_seq)`
+    /// epoch identity — to make diffing O(dirty pages).
+    pub dirty: Vec<RegionDirty>,
 }
 
 impl CheckpointImage {
@@ -136,14 +144,35 @@ impl CheckpointImage {
 
     /// Serialize in an explicit format version. Version 1 drops the
     /// v2-only fields (world id, rebind map, step ledger, `CommGroup`
-    /// membership) — kept so back-compat tests and tooling can produce
-    /// old-format images; a v1 round-trip is lossy by design.
+    /// membership), version 2 additionally drops the dirty summaries —
+    /// kept so back-compat tests and tooling can produce old-format
+    /// images; a downgraded round-trip is lossy by design.
+    ///
+    /// The encoding is single-pass into one exactly-sized buffer: a
+    /// measuring pass over the same generic writer computes the output
+    /// length first, so region payloads (the bulk of the image) are never
+    /// re-copied by incremental buffer growth.
     pub fn encode_with_version(&self, version: u32) -> Vec<u8> {
         assert!(
             (MIN_VERSION..=VERSION).contains(&version),
             "unknown image version {version}"
         );
-        let mut e = Enc::new();
+        let len = self.encoded_len(version);
+        let mut e = Enc::with_capacity(len);
+        self.encode_into(&mut e, version);
+        debug_assert_eq!(e.len(), len, "measuring pass disagrees with writer");
+        debug_assert_eq!(e.capacity(), len, "encode reallocated");
+        e.finish()
+    }
+
+    /// Exact byte length `encode_with_version(version)` will produce.
+    pub fn encoded_len(&self, version: u32) -> usize {
+        let mut m = MeasureEnc::new();
+        self.encode_into(&mut m, version);
+        m.len()
+    }
+
+    fn encode_into<S: Sink>(&self, e: &mut S, version: u32) {
         e.u64(MAGIC);
         e.u32(version);
         e.u32(self.rank);
@@ -156,7 +185,7 @@ impl CheckpointImage {
 
         e.seq(self.regions.len());
         for r in &self.regions {
-            enc_region(&mut e, r);
+            enc_region(e, r);
         }
         e.seq(self.comms.len());
         for c in &self.comms {
@@ -183,9 +212,9 @@ impl CheckpointImage {
         }
         e.seq(self.log.len());
         for c in &self.log {
-            enc_call(&mut e, c, version);
+            enc_call(e, c, version);
         }
-        enc_counters(&mut e, &self.counters);
+        enc_counters(e, &self.counters);
         e.seq(self.buffered.len());
         for m in &self.buffered {
             e.u64(m.comm_virt);
@@ -216,7 +245,7 @@ impl CheckpointImage {
         }
         e.seq(self.slots.len());
         for s in &self.slots {
-            enc_slot(&mut e, s);
+            enc_slot(e, s);
         }
         e.u64(self.slot_seq);
         e.u64(self.slot_seq_at_step);
@@ -238,7 +267,26 @@ impl CheckpointImage {
                 e.u64(*v);
             }
         }
-        e.finish()
+        if version >= 3 {
+            e.seq(self.dirty.len());
+            for d in &self.dirty {
+                e.u64(d.start);
+                e.u64(d.lineage);
+                e.u64(d.seq);
+                match d.base_seq {
+                    Some(b) => {
+                        e.boolean(true);
+                        e.u64(b);
+                    }
+                    None => e.boolean(false),
+                }
+                e.u64(d.page_count);
+                e.seq(d.pages.len());
+                for w in &d.pages {
+                    e.u64(*w);
+                }
+            }
+        }
     }
 
     /// Deserialize (accepts every version from [`MIN_VERSION`] up).
@@ -376,6 +424,32 @@ impl CheckpointImage {
             let world_virt = comms.iter().map(|c| c.virt).min().unwrap_or(0);
             (world_virt, derive_rebind(world_virt, &log), Vec::new())
         };
+        let mut dirty = Vec::new();
+        if version >= 3 {
+            for _ in 0..d.seq("dirty summaries")? {
+                let start = d.u64("dirty start")?;
+                let lineage = d.u64("dirty lineage")?;
+                let seq = d.u64("dirty seq")?;
+                let base_seq = if d.boolean("dirty base some")? {
+                    Some(d.u64("dirty base seq")?)
+                } else {
+                    None
+                };
+                let page_count = d.u64("dirty page count")?;
+                let mut pages = Vec::new();
+                for _ in 0..d.seq("dirty words")? {
+                    pages.push(d.u64("dirty word")?);
+                }
+                dirty.push(RegionDirty {
+                    start,
+                    lineage,
+                    seq,
+                    base_seq,
+                    page_count,
+                    pages,
+                });
+            }
+        }
         Ok(CheckpointImage {
             rank,
             nranks,
@@ -399,6 +473,7 @@ impl CheckpointImage {
             world_virt,
             rebind,
             step_created,
+            dirty,
         })
     }
 
@@ -517,8 +592,11 @@ fn dec_op(tag: u32) -> Result<ReduceOp, CodecError> {
 }
 
 /// Encode one region snapshot. Shared with derived image formats (the
-/// delta-image codec in `mana-store` embeds region snapshots).
-pub fn encode_region(e: &mut Enc, r: &RegionSnapshot) {
+/// delta-image codec in `mana-store` embeds region snapshots). Dense
+/// content is written page-by-page straight from the snapshot's frozen
+/// `Arc` pages — byte-identical to the historical contiguous layout, with
+/// no intermediate materialization.
+pub fn encode_region<S: Sink>(e: &mut S, r: &RegionSnapshot) {
     enc_region(e, r)
 }
 
@@ -527,7 +605,7 @@ pub fn decode_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
     dec_region(d)
 }
 
-fn enc_region(e: &mut Enc, r: &RegionSnapshot) {
+fn enc_region<S: Sink>(e: &mut S, r: &RegionSnapshot) {
     e.u64(r.start);
     e.u64(r.len);
     e.u32(half_tag(r.half));
@@ -536,7 +614,10 @@ fn enc_region(e: &mut Enc, r: &RegionSnapshot) {
     match &r.content {
         SnapshotContent::Dense(b) => {
             e.u32(0);
-            e.bytes(b);
+            e.u64(b.len() as u64);
+            for p in b.pages() {
+                e.raw(p);
+            }
         }
         SnapshotContent::Pattern { seed } => {
             e.u32(1);
@@ -552,7 +633,9 @@ fn dec_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
     let kind = dec_kind(d.u32("region kind")?)?;
     let name = d.string("region name")?;
     let content = match d.u32("region content")? {
-        0 => SnapshotContent::Dense(d.bytes("region dense")?),
+        // Chunk straight from the decoder's buffer into frozen pages —
+        // one copy, no intermediate contiguous Vec.
+        0 => SnapshotContent::Dense(DenseSnap::from_bytes(d.bytes_ref("region dense")?)),
         1 => SnapshotContent::Pattern {
             seed: d.u64("region pattern")?,
         },
@@ -573,7 +656,7 @@ fn dec_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
     })
 }
 
-fn enc_slot(e: &mut Enc, s: &crate::shared::SlotState) {
+fn enc_slot<S: Sink>(e: &mut S, s: &crate::shared::SlotState) {
     use crate::shared::SlotState;
     use mana_mpi::{SrcSpec, TagSpec};
     match s {
@@ -650,7 +733,7 @@ fn dec_slot(d: &mut Dec) -> Result<crate::shared::SlotState, CodecError> {
     })
 }
 
-fn enc_counters(e: &mut Enc, c: &PairCounters) {
+fn enc_counters<S: Sink>(e: &mut S, c: &PairCounters) {
     e.seq(c.sent.len());
     for (k, v) in &c.sent {
         e.u32(*k);
@@ -678,7 +761,7 @@ fn dec_counters(d: &mut Dec) -> Result<PairCounters, CodecError> {
     Ok(c)
 }
 
-fn enc_call(e: &mut Enc, c: &LoggedCall, version: u32) {
+fn enc_call<S: Sink>(e: &mut S, c: &LoggedCall, version: u32) {
     match c {
         LoggedCall::CommDup { parent, result } => {
             e.u32(0);
@@ -948,7 +1031,7 @@ mod tests {
                     half: Half::Upper,
                     kind: RegionKind::Mmap,
                     name: "arr".to_string(),
-                    content: SnapshotContent::Dense(vec![9; 16]),
+                    content: SnapshotContent::Dense(DenseSnap::from_vec(vec![9; 16])),
                 },
                 RegionSnapshot {
                     start: 0x4000,
@@ -1038,6 +1121,14 @@ mod tests {
                 ],
             ),
             step_created: vec![0x1000_0001],
+            dirty: vec![RegionDirty {
+                start: 0x1000,
+                lineage: 0xABCD,
+                seq: 4,
+                base_seq: Some(3),
+                page_count: 1,
+                pages: vec![1],
+            }],
         }
     }
 
@@ -1090,6 +1181,38 @@ mod tests {
         // v2 keeps them.
         let back2 = CheckpointImage::decode(&img.encode()).expect("v2 decode");
         assert_eq!(back2.log, img.log);
+    }
+
+    #[test]
+    fn v2_images_drop_dirty_summaries() {
+        let img = sample();
+        let v2 = img.encode_with_version(2);
+        assert_eq!(&v2[8..12], &2u32.to_le_bytes());
+        let back = CheckpointImage::decode(&v2).expect("v2 decode");
+        assert!(back.dirty.is_empty(), "v2 cannot carry dirty summaries");
+        assert_eq!(back.regions, img.regions);
+        assert_eq!(back.rebind, img.rebind);
+        assert_eq!(back.step_created, img.step_created);
+        // v3 keeps them.
+        let back3 = CheckpointImage::decode(&img.encode()).expect("v3 decode");
+        assert_eq!(back3.dirty, img.dirty);
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_version() {
+        let img = sample();
+        for v in MIN_VERSION..=VERSION {
+            let bytes = img.encode_with_version(v);
+            assert_eq!(bytes.len(), img.encoded_len(v), "version {v}");
+        }
+        // And the dense payload appears verbatim where it always did: the
+        // first region's 16 content bytes follow its u64 length prefix.
+        let bytes = img.encode();
+        let needle = [9u8; 16];
+        assert!(
+            bytes.windows(16).any(|w| w == needle),
+            "dense content not serialized contiguously"
+        );
     }
 
     #[test]
@@ -1179,6 +1302,7 @@ mod tests {
             counters: PairCounters::default(),
             rebind: Vec::new(),
             step_created: Vec::new(),
+            dirty: Vec::new(),
             ..sample()
         };
         let back = CheckpointImage::decode(&img.encode()).expect("decode");

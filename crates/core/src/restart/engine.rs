@@ -313,8 +313,17 @@ fn rank_restore(
     t.advance(rdur);
     clock.mark(t, RestartStage::ImageRead);
 
-    // Stage 2: rebuild the upper half's memory.
+    // Stage 2: rebuild the upper half's memory. The restored content
+    // seeds each region's committed dirty-tracking epoch, so the first
+    // post-restart checkpoint copies only pages touched since restart;
+    // the fresh lineage keeps the new incarnation's snapshot epochs from
+    // aliasing the pre-kill generation's in a shared `DeltaStore` family.
     let aspace = Arc::new(AddressSpace::new());
+    aspace.set_lineage(crate::runner::aspace_lineage(
+        img.seed,
+        rank,
+        img.ckpt_id + 1,
+    ));
     for r in &img.regions {
         aspace
             .restore_region(r)

@@ -24,6 +24,15 @@ pub struct RankCkptStats {
     /// Record-log entries actually written into the image (after
     /// compaction; equals `log_recorded` with the compactor off).
     pub log_retained: u64,
+    /// Bytes the snapshot actually memcpy'd out of live memory (dirty
+    /// pages only — the copy-on-write path's real copy traffic, vs
+    /// `image_dense_bytes` which counts every dense byte captured).
+    pub bytes_copied: u64,
+    /// Pages copied because they were written since the last committed
+    /// checkpoint epoch (or had no base epoch).
+    pub dirty_pages: u64,
+    /// Pages shared with the previous committed epoch (zero copy).
+    pub clean_pages_shared: u64,
 }
 
 /// Aggregate measurements for one checkpoint (what Figure 6/8 plot).
@@ -106,6 +115,23 @@ impl CkptReport {
     /// Sum of logical image bytes (the paper's "total checkpointing data").
     pub fn total_image_bytes(&self) -> u64 {
         self.ranks.iter().map(|r| r.image_logical_bytes).sum()
+    }
+
+    /// Sum of bytes the snapshots actually copied (dirty pages only) —
+    /// attributes the checkpoint's copy traffic across ranks.
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_copied).sum()
+    }
+
+    /// Sum of dirty (copied) pages across ranks.
+    pub fn total_dirty_pages(&self) -> u64 {
+        self.ranks.iter().map(|r| r.dirty_pages).sum()
+    }
+
+    /// Sum of pages shared with the previous committed epoch across
+    /// ranks (pages that moved zero bytes).
+    pub fn total_clean_pages_shared(&self) -> u64 {
+        self.ranks.iter().map(|r| r.clean_pages_shared).sum()
     }
 }
 
@@ -313,6 +339,9 @@ mod tests {
                     image_logical_bytes: 100,
                     image_dense_bytes: 50,
                     drained_msgs: 3,
+                    bytes_copied: 8192,
+                    dirty_pages: 2,
+                    clean_pages_shared: 5,
                     ..RankCkptStats::default()
                 },
                 RankCkptStats {
@@ -322,6 +351,9 @@ mod tests {
                     image_logical_bytes: 200,
                     image_dense_bytes: 60,
                     drained_msgs: 0,
+                    bytes_copied: 4096,
+                    dirty_pages: 1,
+                    clean_pages_shared: 9,
                     ..RankCkptStats::default()
                 },
             ],
@@ -346,6 +378,9 @@ mod tests {
         );
         assert_eq!(r.max_image_bytes(), 200);
         assert_eq!(r.total_image_bytes(), 300);
+        assert_eq!(r.total_bytes_copied(), 12288);
+        assert_eq!(r.total_dirty_pages(), 3);
+        assert_eq!(r.total_clean_pages_shared(), 14);
     }
 
     #[test]

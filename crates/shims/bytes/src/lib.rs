@@ -45,6 +45,23 @@ impl BytesMut {
         BytesMut::default()
     }
 
+    /// Fresh buffer with `n` bytes preallocated.
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    /// Current allocation size (for no-reallocation assertions).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Take the bytes without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -100,6 +117,13 @@ impl Bytes {
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
         s
+    }
+
+    /// Borrow the next `n` bytes and advance past them (zero-copy read;
+    /// the real `bytes` crate spells this `copy_to_bytes`/`split_to`, but
+    /// the codec only needs a borrow). Panics if fewer than `n` remain.
+    pub fn get_slice(&mut self, n: usize) -> &[u8] {
+        self.take(n)
     }
 }
 

@@ -36,8 +36,8 @@ pub use cluster::{ClusterSpec, InterconnectKind, Placement};
 pub use fs::{FsConfig, FsError, IoShape, ParallelFs};
 pub use kernel::KernelModel;
 pub use memory::{
-    AddressSpace, Backing, DenseBuf, Half, MemError, Region, RegionKind, RegionMeta,
-    RegionSnapshot, SnapshotContent,
+    AddressSpace, Backing, DenseBuf, DenseSnap, Half, HalfSnapshot, MemError, Region, RegionDirty,
+    RegionKind, RegionMeta, RegionSnapshot, SnapshotContent, SnapshotStats,
 };
 pub use sched::{Sim, SimConfig, SimThread, SimThreadId};
 pub use time::{SimDuration, SimTime};

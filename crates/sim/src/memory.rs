@@ -22,6 +22,7 @@ use crate::rng::splitmix64;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which program within the split process a region belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -208,6 +209,45 @@ pub struct Region {
     pub name: String,
     /// Contents.
     pub backing: Backing,
+    /// Dirty-page tracking + snapshot epoch state (dense regions only).
+    track: Track,
+}
+
+/// A snapshot taken but not yet committed by [`AddressSpace::clear_dirty`].
+struct Staged {
+    rope: DenseSnap,
+    /// The dirty bits consumed by this snapshot; folded back into the
+    /// live bitmap if the checkpoint aborts (a later snapshot arrives
+    /// without an intervening commit).
+    dirty_at_snap: Vec<u64>,
+    seq: u64,
+}
+
+/// Per-region dirty/epoch state. Every mutation path sets bits in
+/// `dirty`; `snapshot_half_tracked` copies exactly the dirty pages
+/// against `committed` and stages the result; `clear_dirty` promotes the
+/// staged rope to the new committed epoch.
+#[derive(Default)]
+struct Track {
+    /// Pages written since the last snapshot (bit per [`PAGE`] page).
+    dirty: Vec<u64>,
+    staged: Option<Staged>,
+    /// Frozen content of the last *committed* snapshot epoch.
+    committed: Option<DenseSnap>,
+    committed_seq: u64,
+}
+
+impl Track {
+    fn mark(&mut self, region_start: u64, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = ((addr - region_start) / PAGE) as usize;
+        let last = ((addr + len - 1 - region_start) / PAGE) as usize;
+        for p in first..=last {
+            bit_set(&mut self.dirty, p);
+        }
+    }
 }
 
 /// Region metadata without contents (cheap to copy around).
@@ -247,13 +287,241 @@ pub struct RegionSnapshot {
 /// Contents of a [`RegionSnapshot`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum SnapshotContent {
-    /// Full byte image.
-    Dense(Vec<u8>),
+    /// Full byte image (frozen, `Arc`-page-backed; cheap to clone/share).
+    Dense(DenseSnap),
     /// Pattern descriptor (seed); content defined by [`pattern_byte`].
     Pattern {
         /// Seed defining the synthetic content.
         seed: u64,
     },
+}
+
+/// Number of [`PAGE`]-sized chunks covering `len` bytes.
+pub fn pages_of_len(len: usize) -> usize {
+    len.div_ceil(PAGE as usize)
+}
+
+const BITS: usize = 64;
+
+fn bitmap_words(npages: usize) -> usize {
+    npages.div_ceil(BITS)
+}
+
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits.get(i / BITS)
+        .is_some_and(|w| w & (1 << (i % BITS)) != 0)
+}
+
+fn bit_set(bits: &mut Vec<u64>, i: usize) {
+    let w = i / BITS;
+    if bits.len() <= w {
+        bits.resize(w + 1, 0);
+    }
+    bits[w] |= 1 << (i % BITS);
+}
+
+fn bits_or_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= *s;
+    }
+}
+
+/// Frozen dense snapshot content: a rope of [`PAGE`]-sized `Arc` chunks
+/// (the last chunk may be shorter). Chunks are *shared* — with the
+/// region's committed snapshot epoch inside the [`AddressSpace`] and with
+/// every other snapshot of the same epoch — so taking a snapshot of a
+/// clean region copies zero bytes, and a dirty region copies only its
+/// dirty pages. The chunking is a deterministic function of `len`, so two
+/// `DenseSnap`s of equal content always have pairwise-comparable pages.
+#[derive(Clone)]
+pub struct DenseSnap {
+    len: usize,
+    pages: Vec<Arc<[u8]>>,
+}
+
+impl DenseSnap {
+    /// Freeze an owned byte vector (copies into page chunks).
+    pub fn from_vec(bytes: Vec<u8>) -> DenseSnap {
+        DenseSnap::from_bytes(&bytes)
+    }
+
+    /// Freeze a byte slice (copies into page chunks).
+    pub fn from_bytes(bytes: &[u8]) -> DenseSnap {
+        DenseSnap {
+            len: bytes.len(),
+            pages: bytes.chunks(PAGE as usize).map(Arc::from).collect(),
+        }
+    }
+
+    /// Content length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of page chunks.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// One page chunk as a byte slice.
+    pub fn page(&self, i: usize) -> &[u8] {
+        &self.pages[i]
+    }
+
+    /// Iterate the page chunks in order (concatenation = content).
+    pub fn pages(&self) -> impl Iterator<Item = &[u8]> {
+        self.pages.iter().map(|p| &p[..])
+    }
+
+    /// Materialize the full contiguous content (copies).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(self.len);
+        for p in &self.pages {
+            v.extend_from_slice(p);
+        }
+        v
+    }
+
+    /// A new snapshot with byte `patches` (offset, bytes) applied:
+    /// untouched pages stay shared with `self`, touched pages are copied
+    /// once — O(patched pages), not O(region). Returns `None` if any
+    /// patch reaches past the end of the content (corrupt input).
+    pub fn patched(&self, patches: &[(u64, Vec<u8>)]) -> Option<DenseSnap> {
+        let mut pages = self.pages.clone();
+        for (off, bytes) in patches {
+            let off = *off as usize;
+            if off + bytes.len() > self.len {
+                return None;
+            }
+            let mut done = 0;
+            while done < bytes.len() {
+                let abs = off + done;
+                let p = abs / PAGE as usize;
+                let in_page = abs - p * PAGE as usize;
+                let n = (pages[p].len() - in_page).min(bytes.len() - done);
+                // Copy-on-write at page granularity: materialize just the
+                // pages a patch touches.
+                let mut v = pages[p].to_vec();
+                v[in_page..in_page + n].copy_from_slice(&bytes[done..done + n]);
+                pages[p] = Arc::from(v);
+                done += n;
+            }
+        }
+        Some(DenseSnap {
+            len: self.len,
+            pages,
+        })
+    }
+
+    /// Whether page `i` is the same allocation in both snapshots (shared,
+    /// not merely equal) — used by tests and copy-traffic accounting.
+    pub fn shares_page(&self, other: &DenseSnap, i: usize) -> bool {
+        match (self.pages.get(i), other.pages.get(i)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    fn page_arc(&self, i: usize) -> Arc<[u8]> {
+        self.pages[i].clone()
+    }
+}
+
+impl PartialEq for DenseSnap {
+    fn eq(&self, other: &DenseSnap) -> bool {
+        self.len == other.len
+            && self
+                .pages
+                .iter()
+                .zip(&other.pages)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl fmt::Debug for DenseSnap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DenseSnap({} bytes, {} pages)",
+            self.len,
+            self.pages.len()
+        )
+    }
+}
+
+/// Per-region dirty-page summary emitted alongside a tracked snapshot:
+/// which [`PAGE`]-granular pages were copied (dirty since the committed
+/// base epoch) vs shared. Advisory metadata — consumers (`DeltaStore`)
+/// use it to skip digesting clean pages, guarded by the
+/// `(lineage, base_seq)` epoch identity so a summary is never applied
+/// against the wrong base generation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionDirty {
+    /// Start address of the region this summary describes.
+    pub start: u64,
+    /// Identity of the address-space incarnation that produced the
+    /// snapshot (stable across deterministic re-runs, distinct across
+    /// restart incarnations).
+    pub lineage: u64,
+    /// Epoch stamp of this snapshot.
+    pub seq: u64,
+    /// Epoch stamp of the committed base the dirty bits diff against;
+    /// `None` means no base existed (every page was copied).
+    pub base_seq: Option<u64>,
+    /// Total [`PAGE`]-sized pages in the region.
+    pub page_count: u64,
+    /// Dirty bitmap, one bit per page (set = copied). May be shorter than
+    /// `page_count / 64` words; missing words read as clean.
+    pub pages: Vec<u64>,
+}
+
+impl RegionDirty {
+    /// Whether page `i` was dirty (copied) in this snapshot.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.base_seq.is_none() || bit_get(&self.pages, i)
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_pages(&self) -> u64 {
+        if self.base_seq.is_none() {
+            self.page_count
+        } else {
+            self.pages.iter().map(|w| w.count_ones() as u64).sum()
+        }
+    }
+}
+
+/// Copy-traffic accounting for one [`AddressSpace::snapshot_half_tracked`]
+/// call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Bytes memcpy'd out of live buffers into frozen snapshot pages.
+    pub bytes_copied: u64,
+    /// Pages copied (dirty since the committed base epoch, or without a
+    /// base).
+    pub dirty_pages: u64,
+    /// Pages shared with the committed base epoch (zero bytes moved).
+    pub clean_pages_shared: u64,
+}
+
+/// A tracked snapshot of one half: the region snapshots, their dirty
+/// summaries (dense regions only), and the copy-traffic stats.
+#[derive(Clone, Debug)]
+pub struct HalfSnapshot {
+    /// Region snapshots, ordered by address.
+    pub regions: Vec<RegionSnapshot>,
+    /// Dirty summaries for the dense regions, same order.
+    pub dirty: Vec<RegionDirty>,
+    /// Copy accounting for this call.
+    pub stats: SnapshotStats,
 }
 
 struct BrkState {
@@ -266,6 +534,11 @@ struct Inner {
     lower_cursor: u64,
     upper_mmap_cursor: u64,
     brk: Option<BrkState>,
+    /// Monotone snapshot-epoch counter (one tick per tracked snapshot).
+    snap_seq: u64,
+    /// Incarnation identity stamped into dirty summaries (set by the
+    /// runner/restart engine; 0 for bare address spaces).
+    lineage: u64,
 }
 
 /// A simulated process address space, shared between the rank's main thread
@@ -293,6 +566,8 @@ impl AddressSpace {
                 lower_cursor: LOWER_BASE,
                 upper_mmap_cursor: UPPER_MMAP_TOP,
                 brk: None,
+                snap_seq: 0,
+                lineage: 0,
             }),
         }
     }
@@ -395,6 +670,9 @@ impl AddressSpace {
                 kind,
                 name: name.to_string(),
                 backing,
+                // Fresh regions have no committed epoch: the first
+                // snapshot copies every page.
+                track: Track::default(),
             },
         );
         Ok(())
@@ -469,9 +747,13 @@ impl AddressSpace {
         let owner = brk.owner;
         // Grow (or create) the heap region.
         if let Some(r) = inner.regions.get_mut(&BRK_BASE) {
+            let old_len = r.len;
             r.len = new - BRK_BASE;
             if let Backing::Dense(b) = &mut r.backing {
                 b.grow((new - BRK_BASE) as usize);
+                // The extension pages are new content (the length change
+                // also invalidates the committed epoch at snapshot time).
+                r.track.mark(r.start, r.start + old_len, r.len - old_len);
             }
             Ok(old)
         } else {
@@ -563,6 +845,10 @@ impl AddressSpace {
                 if !(off as u64).is_multiple_of(align) {
                     return Err(MemError::Misaligned(addr));
                 }
+                // Every mutable window funnels through here
+                // (`with_slice_mut`, `with2_mut`/`with3_mut`,
+                // `write_bytes`): mark the covered pages dirty.
+                r.track.mark(r.start, addr, len);
                 Ok(&mut b.as_bytes_mut()[off..off + len as usize])
             }
             Backing::Pattern { .. } => Err(MemError::NotDense(addr)),
@@ -654,10 +940,27 @@ impl AddressSpace {
         self.inner.lock().upper_mmap_cursor = v;
     }
 
-    /// Copy bytes out of a dense region.
-    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+    /// Run `f` over a borrowed byte window of a dense region — the
+    /// zero-allocation reading path. The address-space lock is held for
+    /// the duration of `f`, so `f` must not block (no simulated waits, no
+    /// re-entrant address-space calls); use [`read_bytes`] when the bytes
+    /// must outlive the call (e.g. across a blocking MPI operation).
+    ///
+    /// [`read_bytes`]: AddressSpace::read_bytes
+    pub fn with_bytes<R>(
+        &self,
+        addr: u64,
+        len: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, MemError> {
         let inner = self.inner.lock();
-        Ok(Self::dense_window(&inner, addr, len as u64, 1)?.to_vec())
+        Ok(f(Self::dense_window(&inner, addr, len as u64, 1)?))
+    }
+
+    /// Copy bytes out of a dense region (allocates; prefer
+    /// [`with_bytes`](AddressSpace::with_bytes) when a borrow suffices).
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Result<Vec<u8>, MemError> {
+        self.with_bytes(addr, len, <[u8]>::to_vec)
     }
 
     /// Copy bytes into a dense region.
@@ -707,7 +1010,106 @@ impl AddressSpace {
     }
 
     /// Snapshot every region of `half` (checkpoint path: `half == Upper`).
+    /// Copy-on-write: equivalent to
+    /// [`snapshot_half_tracked`](AddressSpace::snapshot_half_tracked) with
+    /// the dirty summaries and stats discarded.
     pub fn snapshot_half(&self, half: Half) -> Vec<RegionSnapshot> {
+        self.snapshot_half_tracked(half).regions
+    }
+
+    /// Snapshot every region of `half`, copying only pages dirtied since
+    /// the last *committed* snapshot epoch and sharing the rest of the
+    /// frozen content (`Arc`-backed pages). The returned
+    /// [`HalfSnapshot`] carries per-region dirty summaries and copy
+    /// accounting. The snapshot is *staged*: call
+    /// [`clear_dirty`](AddressSpace::clear_dirty) at checkpoint commit to
+    /// make it the new base epoch. An uncommitted (aborted) snapshot is
+    /// harmless — the next snapshot folds its dirty set back in and diffs
+    /// against the still-committed base.
+    pub fn snapshot_half_tracked(&self, half: Half) -> HalfSnapshot {
+        let mut inner = self.inner.lock();
+        inner.snap_seq += 1;
+        let seq = inner.snap_seq;
+        let lineage = inner.lineage;
+        let mut out = HalfSnapshot {
+            regions: Vec::new(),
+            dirty: Vec::new(),
+            stats: SnapshotStats::default(),
+        };
+        for r in inner.regions.values_mut().filter(|r| r.half == half) {
+            let content = match &r.backing {
+                Backing::Pattern { seed } => SnapshotContent::Pattern { seed: *seed },
+                Backing::Dense(b) => {
+                    // A snapshot that was never committed still holds
+                    // pages newer than the committed base: fold its dirty
+                    // set back into the live bitmap before diffing.
+                    if let Some(st) = r.track.staged.take() {
+                        bits_or_into(&mut r.track.dirty, &st.dirty_at_snap);
+                    }
+                    let bytes = b.as_bytes();
+                    let npages = pages_of_len(bytes.len());
+                    // A committed epoch is only a usable base when the
+                    // region length is unchanged (growth remaps pages).
+                    let base = r
+                        .track
+                        .committed
+                        .as_ref()
+                        .filter(|c| c.len() == bytes.len())
+                        .cloned();
+                    let mut pages = Vec::with_capacity(npages);
+                    let mut copied_bits = vec![0u64; bitmap_words(npages)];
+                    for p in 0..npages {
+                        let lo = p * PAGE as usize;
+                        let hi = (lo + PAGE as usize).min(bytes.len());
+                        match &base {
+                            Some(c) if !bit_get(&r.track.dirty, p) => {
+                                out.stats.clean_pages_shared += 1;
+                                pages.push(c.page_arc(p));
+                            }
+                            _ => {
+                                out.stats.bytes_copied += (hi - lo) as u64;
+                                out.stats.dirty_pages += 1;
+                                bit_set(&mut copied_bits, p);
+                                pages.push(Arc::from(&bytes[lo..hi]));
+                            }
+                        }
+                    }
+                    let rope = DenseSnap {
+                        len: bytes.len(),
+                        pages,
+                    };
+                    out.dirty.push(RegionDirty {
+                        start: r.start,
+                        lineage,
+                        seq,
+                        base_seq: base.as_ref().map(|_| r.track.committed_seq),
+                        page_count: npages as u64,
+                        pages: copied_bits,
+                    });
+                    r.track.staged = Some(Staged {
+                        rope: rope.clone(),
+                        dirty_at_snap: std::mem::take(&mut r.track.dirty),
+                        seq,
+                    });
+                    SnapshotContent::Dense(rope)
+                }
+            };
+            out.regions.push(RegionSnapshot {
+                start: r.start,
+                len: r.len,
+                half: r.half,
+                kind: r.kind,
+                name: r.name.clone(),
+                content,
+            });
+        }
+        out
+    }
+
+    /// Reference full-copy snapshot: every dense byte copied, no sharing,
+    /// no dirty-state side effects. Exists so tests can prove the tracked
+    /// path observationally identical to a from-scratch copy.
+    pub fn snapshot_half_full(&self, half: Half) -> Vec<RegionSnapshot> {
         let inner = self.inner.lock();
         inner
             .regions
@@ -720,22 +1122,72 @@ impl AddressSpace {
                 kind: r.kind,
                 name: r.name.clone(),
                 content: match &r.backing {
-                    Backing::Dense(b) => SnapshotContent::Dense(b.as_bytes().to_vec()),
+                    Backing::Dense(b) => {
+                        SnapshotContent::Dense(DenseSnap::from_bytes(b.as_bytes()))
+                    }
                     Backing::Pattern { seed } => SnapshotContent::Pattern { seed: *seed },
                 },
             })
             .collect()
     }
 
+    /// Commit the most recent tracked snapshot of `half` as the new base
+    /// epoch: subsequent snapshots copy only pages dirtied after *that
+    /// snapshot was taken*. Called at checkpoint commit (after the image
+    /// write lands). Writes that raced in between snapshot and commit are
+    /// preserved — they live in the post-snapshot dirty bitmap.
+    pub fn clear_dirty(&self, half: Half) {
+        let mut inner = self.inner.lock();
+        for r in inner.regions.values_mut().filter(|r| r.half == half) {
+            if let Some(st) = r.track.staged.take() {
+                r.track.committed = Some(st.rope);
+                r.track.committed_seq = st.seq;
+            }
+        }
+    }
+
+    /// Stamp the incarnation identity carried by dirty summaries (set by
+    /// the runner at launch and by the restart engine per incarnation;
+    /// defaults to 0 for bare address spaces).
+    pub fn set_lineage(&self, lineage: u64) {
+        self.inner.lock().lineage = lineage;
+    }
+
+    /// The incarnation identity stamped into dirty summaries.
+    pub fn lineage(&self) -> u64 {
+        self.inner.lock().lineage
+    }
+
     /// Map a snapshot back in at its original address (restart path).
+    /// The restored frozen content seeds the region's committed epoch, so
+    /// the first post-restart checkpoint copies only pages the
+    /// application touched since restart.
     pub fn restore_region(&self, snap: &RegionSnapshot) -> Result<(), MemError> {
-        let backing = match &snap.content {
-            SnapshotContent::Dense(bytes) => Backing::Dense(DenseBuf::from_bytes(bytes)),
-            SnapshotContent::Pattern { seed } => Backing::Pattern { seed: *seed },
+        let (backing, committed) = match &snap.content {
+            SnapshotContent::Dense(rope) => {
+                let mut buf = DenseBuf::zeroed(rope.len());
+                let mut off = 0;
+                for p in rope.pages() {
+                    buf.as_bytes_mut()[off..off + p.len()].copy_from_slice(p);
+                    off += p.len();
+                }
+                (Backing::Dense(buf), Some(rope.clone()))
+            }
+            SnapshotContent::Pattern { seed } => (Backing::Pattern { seed: *seed }, None),
         };
-        self.map_fixed(
-            snap.start, snap.half, snap.kind, &snap.name, snap.len, backing,
-        )
+        let mut inner = self.inner.lock();
+        Self::insert(
+            &mut inner, snap.start, snap.len, snap.half, snap.kind, &snap.name, backing,
+        )?;
+        if let Some(rope) = committed {
+            let r = inner.regions.get_mut(&snap.start).expect("just inserted");
+            // Epoch 0 is reserved for restored content: never assigned by
+            // `snapshot_half_tracked` (which starts at 1), so a restored
+            // base can only match within this incarnation's lineage.
+            r.track.committed = Some(rope);
+            r.track.committed_seq = 0;
+        }
+        Ok(())
     }
 
     /// Order-sensitive checksum over all regions of `half` (dense content by
@@ -941,6 +1393,245 @@ mod tests {
         assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Text), 100);
         assert_eq!(a.bytes_of_kind(Half::Lower, RegionKind::Shm), 200);
         assert_eq!(a.bytes_of_kind(Half::Upper, RegionKind::Text), 0);
+    }
+
+    fn dense_of(s: &RegionSnapshot) -> &DenseSnap {
+        match &s.content {
+            SnapshotContent::Dense(d) => d,
+            SnapshotContent::Pattern { .. } => panic!("expected dense content"),
+        }
+    }
+
+    #[test]
+    fn clean_epoch_shares_every_page() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                8 * PAGE,
+                dense(8 * PAGE as usize),
+            )
+            .unwrap();
+        a.write_bytes(addr, &[5u8; 64]).unwrap();
+        let s1 = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s1.stats.dirty_pages, 8, "first snapshot copies everything");
+        assert_eq!(s1.stats.bytes_copied, 8 * PAGE);
+        a.clear_dirty(Half::Upper);
+
+        let s2 = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s2.stats.bytes_copied, 0, "clean epoch copies nothing");
+        assert_eq!(s2.stats.clean_pages_shared, 8);
+        let (d1, d2) = (dense_of(&s1.regions[0]), dense_of(&s2.regions[0]));
+        for p in 0..8 {
+            assert!(d1.shares_page(d2, p), "page {p} not shared");
+        }
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn one_write_copies_one_page() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                8 * PAGE,
+                dense(8 * PAGE as usize),
+            )
+            .unwrap();
+        let s1 = a.snapshot_half_tracked(Half::Upper);
+        a.clear_dirty(Half::Upper);
+        a.write_bytes(addr + 3 * PAGE + 17, &[9u8; 4]).unwrap();
+        let s2 = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s2.stats.dirty_pages, 1);
+        assert_eq!(s2.stats.bytes_copied, PAGE);
+        assert_eq!(s2.stats.clean_pages_shared, 7);
+        let (d1, d2) = (dense_of(&s1.regions[0]), dense_of(&s2.regions[0]));
+        assert!(!d1.shares_page(d2, 3));
+        assert!(d1.shares_page(d2, 0) && d1.shares_page(d2, 7));
+        // Summary reflects exactly the copied page.
+        let summary = &s2.dirty[0];
+        assert_eq!(summary.base_seq, Some(s1.dirty[0].seq));
+        assert_eq!(summary.dirty_pages(), 1);
+        assert!(summary.is_dirty(3) && !summary.is_dirty(0));
+        // Content matches a from-scratch copy.
+        assert_eq!(d2.to_vec(), a.read_bytes(addr, 8 * PAGE as usize).unwrap());
+    }
+
+    #[test]
+    fn aborted_snapshot_folds_dirty_back() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                4 * PAGE,
+                dense(4 * PAGE as usize),
+            )
+            .unwrap();
+        a.snapshot_half_tracked(Half::Upper);
+        a.clear_dirty(Half::Upper);
+        a.write_bytes(addr + PAGE, &[1u8; 8]).unwrap();
+        // Snapshot taken but never committed (aborted checkpoint).
+        let aborted = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(aborted.stats.dirty_pages, 1);
+        a.write_bytes(addr + 2 * PAGE, &[2u8; 8]).unwrap();
+        // The next snapshot must still see page 1 as dirty versus the
+        // *committed* base (the aborted copy never became the base).
+        let s = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s.stats.dirty_pages, 2, "aborted dirty set lost");
+        assert_eq!(
+            dense_of(&s.regions[0]).to_vec(),
+            a.read_bytes(addr, 4 * PAGE as usize).unwrap()
+        );
+    }
+
+    #[test]
+    fn write_between_snapshot_and_commit_survives() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                2 * PAGE,
+                dense(2 * PAGE as usize),
+            )
+            .unwrap();
+        a.snapshot_half_tracked(Half::Upper);
+        a.write_bytes(addr, &[7u8; 8]).unwrap(); // races the commit
+        a.clear_dirty(Half::Upper);
+        let s = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s.stats.dirty_pages, 1, "racing write lost at commit");
+        assert_eq!(dense_of(&s.regions[0]).to_vec()[..8], [7u8; 8]);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_against_later_writes() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                2 * PAGE,
+                dense(2 * PAGE as usize),
+            )
+            .unwrap();
+        a.write_bytes(addr, &[3u8; 16]).unwrap();
+        let s = a.snapshot_half_tracked(Half::Upper);
+        a.clear_dirty(Half::Upper);
+        a.write_bytes(addr, &[4u8; 16]).unwrap();
+        // The frozen rope still holds the snapshot-time bytes even though
+        // the live buffer moved on (and the committed epoch shares pages
+        // with the returned snapshot).
+        assert_eq!(dense_of(&s.regions[0]).to_vec()[..16], [3u8; 16]);
+        let s2 = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(dense_of(&s2.regions[0]).to_vec()[..16], [4u8; 16]);
+    }
+
+    #[test]
+    fn growth_invalidates_the_committed_base() {
+        let a = AddressSpace::new();
+        a.set_brk_owner(Half::Upper);
+        let base = a.sbrk(Half::Upper, PAGE).unwrap();
+        a.write_bytes(base, &[1u8; 8]).unwrap();
+        a.snapshot_half_tracked(Half::Upper);
+        a.clear_dirty(Half::Upper);
+        a.sbrk(Half::Upper, PAGE).unwrap();
+        let s = a.snapshot_half_tracked(Half::Upper);
+        // Length changed: the whole (grown) region is copied afresh.
+        assert_eq!(s.stats.dirty_pages, 2);
+        assert_eq!(s.dirty[0].base_seq, None);
+        assert_eq!(dense_of(&s.regions[0]).len(), 2 * PAGE as usize);
+    }
+
+    #[test]
+    fn restore_seeds_the_committed_epoch() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                4 * PAGE,
+                dense(4 * PAGE as usize),
+            )
+            .unwrap();
+        a.write_bytes(addr, &[6u8; 32]).unwrap();
+        let snaps = a.snapshot_half(Half::Upper);
+
+        let b = AddressSpace::new();
+        for s in &snaps {
+            b.restore_region(s).unwrap();
+        }
+        // First post-restart snapshot shares everything untouched.
+        b.write_bytes(addr + PAGE, &[8u8; 8]).unwrap();
+        let s = b.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s.stats.dirty_pages, 1);
+        assert_eq!(s.stats.clean_pages_shared, 3);
+        assert_eq!(s.dirty[0].base_seq, Some(0), "restored base is epoch 0");
+        assert_eq!(b.checksum_half(Half::Upper), {
+            a.write_bytes(addr + PAGE, &[8u8; 8]).unwrap();
+            a.checksum_half(Half::Upper)
+        });
+    }
+
+    #[test]
+    fn with_bytes_borrows_without_copying() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(Half::Upper, RegionKind::Mmap, "d", 64, dense(64))
+            .unwrap();
+        a.write_bytes(addr, &[1, 2, 3, 4]).unwrap();
+        let sum = a
+            .with_bytes(addr, 4, |b| b.iter().map(|&x| u32::from(x)).sum::<u32>())
+            .unwrap();
+        assert_eq!(sum, 10);
+        assert_eq!(
+            a.with_bytes(addr + 100, 4, |_| ()).unwrap_err(),
+            MemError::BadAddress(addr + 100)
+        );
+        // Reads must not mark pages dirty.
+        a.snapshot_half_tracked(Half::Upper);
+        a.clear_dirty(Half::Upper);
+        a.with_bytes(addr, 64, |_| ()).unwrap();
+        let s = a.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s.stats.dirty_pages, 0);
+    }
+
+    #[test]
+    fn tracked_equals_full_snapshot() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                3 * PAGE + 100,
+                dense(3 * PAGE as usize + 100),
+            )
+            .unwrap();
+        a.map(
+            Half::Upper,
+            RegionKind::Mmap,
+            "bulk",
+            1 << 20,
+            Backing::Pattern { seed: 4 },
+        )
+        .unwrap();
+        for epoch in 0..4u8 {
+            a.write_bytes(addr + u64::from(epoch) * PAGE, &[epoch + 1; 32])
+                .unwrap();
+            let tracked = a.snapshot_half_tracked(Half::Upper);
+            let full = a.snapshot_half_full(Half::Upper);
+            assert_eq!(tracked.regions, full, "epoch {epoch}");
+            a.clear_dirty(Half::Upper);
+        }
     }
 
     #[test]

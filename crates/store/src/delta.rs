@@ -26,7 +26,7 @@ use mana_core::image::{decode_region, encode_region, CheckpointImage};
 use mana_core::store::CheckpointStore;
 use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
-use mana_sim::memory::{Half, RegionKind, RegionSnapshot, SnapshotContent};
+use mana_sim::memory::{Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent, PAGE};
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -44,7 +44,11 @@ pub struct DeltaConfig {
     /// (bounds chain length and restart replay cost). `0` means never —
     /// every generation after the first is a delta.
     pub full_every: u64,
-    /// Page granularity for dense-region diffing, bytes.
+    /// Page granularity for dense-region diffing, bytes. Leave at the
+    /// default 4096 (the address space's native tracking page) to keep
+    /// the O(dirty) fast path: a non-native granularity still diffs
+    /// correctly but re-materializes each region contiguously per put
+    /// and digests every page (image dirty summaries are ignored).
     pub page: usize,
 }
 
@@ -178,6 +182,11 @@ struct RegionDigest {
     half: Half,
     kind: RegionKind,
     name: String,
+    /// Snapshot-epoch identity `(lineage, seq)` of the generation this
+    /// digest describes, taken from its dirty summary. The next
+    /// generation's summary must name exactly this epoch as its base
+    /// before any of its clean-page claims are trusted.
+    epoch: Option<(u64, u64)>,
     content: ContentDigest,
 }
 
@@ -188,32 +197,25 @@ enum ContentDigest {
     Dense { bytes: usize, pages: Vec<u64> },
 }
 
-fn digest_region(r: &RegionSnapshot, page: usize) -> RegionDigest {
-    let content = match &r.content {
-        SnapshotContent::Pattern { seed } => ContentDigest::Pattern { seed: *seed },
-        SnapshotContent::Dense(b) => ContentDigest::Dense {
-            bytes: b.len(),
-            pages: b.chunks(page).map(checksum_bytes).collect(),
-        },
-    };
-    RegionDigest {
-        start: r.start,
-        len: r.len,
-        half: r.half,
-        kind: r.kind,
-        name: r.name.clone(),
-        content,
-    }
-}
-
-fn digest_regions(regions: &[RegionSnapshot], page: usize) -> Vec<RegionDigest> {
-    regions.iter().map(|r| digest_region(r, page)).collect()
+/// Cumulative put-path instrumentation: how much page-digest work the
+/// store performed vs skipped thanks to image dirty summaries. `reset` at
+/// will; cheap aggregate counters only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeltaPutStats {
+    /// Pages whose checksum was computed (O(page) work each).
+    pub pages_digested: u64,
+    /// Pages whose checksum (and equality) was taken from the previous
+    /// generation's digest because the image's dirty summary proved them
+    /// clean — O(1) each.
+    pub pages_reused: u64,
+    /// Dense regions where the summary fast path applied.
+    pub regions_fast_pathed: u64,
 }
 
 fn digest_heap_bytes(d: &[RegionDigest]) -> u64 {
     d.iter()
         .map(|r| {
-            48 + r.name.len() as u64
+            64 + r.name.len() as u64
                 + match &r.content {
                     ContentDigest::Pattern { .. } => 8,
                     ContentDigest::Dense { pages, .. } => 8 * pages.len() as u64,
@@ -222,57 +224,135 @@ fn digest_heap_bytes(d: &[RegionDigest]) -> u64 {
         .sum()
 }
 
-/// Diff the new image's regions against the previous generation's
-/// digests.
-fn diff_regions(base: &[RegionDigest], new: &[RegionSnapshot], page: usize) -> Vec<RegionDelta> {
-    new.iter()
-        .map(|r| {
-            let matching = base.iter().find(|b| {
+/// One combined pass over the incoming image's regions: produce the
+/// per-page digests the *next* generation will diff against, and (when
+/// `want_deltas`) the region deltas versus the previous generation.
+///
+/// Cost discipline: a page's checksum is computed only when it must be —
+/// pages a trusted dirty summary marks clean reuse the previous
+/// generation's digest entry, so put-path digest work is O(dirty pages)
+/// on the steady-state checkpoint path (and the historical double
+/// digest-then-diff pass is gone even without summaries).
+fn plan_regions(
+    prev: Option<&[RegionDigest]>,
+    new: &[RegionSnapshot],
+    summaries: &HashMap<u64, &RegionDirty>,
+    page: usize,
+    want_deltas: bool,
+    stats: &mut DeltaPutStats,
+) -> (Vec<RegionDigest>, Vec<RegionDelta>) {
+    let mut digests = Vec::with_capacity(new.len());
+    let mut deltas = Vec::with_capacity(if want_deltas { new.len() } else { 0 });
+    for r in new {
+        let summary = summaries.get(&r.start).copied();
+        let epoch = summary.map(|s| (s.lineage, s.seq));
+        let base = prev.and_then(|prev| {
+            prev.iter().find(|b| {
                 b.start == r.start
                     && b.len == r.len
                     && b.half == r.half
                     && b.kind == r.kind
                     && b.name == r.name
-            });
-            let b = match matching {
-                Some(b) => b,
-                None => return RegionDelta::Replaced(r.clone()),
-            };
-            match (&b.content, &r.content) {
-                (ContentDigest::Pattern { seed: os }, SnapshotContent::Pattern { seed: ns }) => {
-                    if os == ns {
+            })
+        });
+        let (content, delta) = match &r.content {
+            SnapshotContent::Pattern { seed } => {
+                let delta = match base.map(|b| &b.content) {
+                    Some(ContentDigest::Pattern { seed: os }) if os == seed => {
                         RegionDelta::Unchanged { start: r.start }
-                    } else {
-                        RegionDelta::Replaced(r.clone())
                     }
-                }
-                (ContentDigest::Dense { bytes, pages }, SnapshotContent::Dense(nb))
-                    if *bytes == nb.len() =>
-                {
-                    let mut out = Vec::new();
-                    let mut changed = 0usize;
-                    for (i, chunk) in nb.chunks(page).enumerate() {
-                        if pages.get(i).copied() != Some(checksum_bytes(chunk)) {
-                            out.push(((i * page) as u64, chunk.to_vec()));
-                            changed += chunk.len();
-                        }
-                    }
-                    if out.is_empty() {
-                        RegionDelta::Unchanged { start: r.start }
-                    } else if changed * 2 >= nb.len() {
-                        // A mostly-rewritten region is cheaper stored whole.
-                        RegionDelta::Replaced(r.clone())
-                    } else {
-                        RegionDelta::Patched {
-                            start: r.start,
-                            pages: out,
-                        }
-                    }
-                }
-                _ => RegionDelta::Replaced(r.clone()),
+                    _ => RegionDelta::Replaced(r.clone()),
+                };
+                (ContentDigest::Pattern { seed: *seed }, delta)
             }
-        })
-        .collect()
+            SnapshotContent::Dense(nb) => {
+                let base_pages = match base.map(|b| &b.content) {
+                    Some(ContentDigest::Dense { bytes, pages }) if *bytes == nb.len() => {
+                        Some(pages)
+                    }
+                    _ => None,
+                };
+                // The summary's clean-page claims are only usable when
+                // (a) the diff granularity is the tracker's native page,
+                // (b) the previous digest's epoch is exactly the summary's
+                // base epoch (same lineage, same committed seq), and
+                // (c) the geometry agrees.
+                let fast = summary.filter(|s| {
+                    page == PAGE as usize
+                        && s.page_count as usize == nb.page_count()
+                        && base_pages.is_some_and(|p| p.len() == nb.page_count())
+                        && s.base_seq
+                            .is_some_and(|bs| base.and_then(|b| b.epoch) == Some((s.lineage, bs)))
+                });
+                if fast.is_some() {
+                    stats.regions_fast_pathed += 1;
+                }
+                // Native chunking: when the diff page equals the tracker
+                // page, the snapshot's frozen pages *are* the chunks.
+                let native = page == PAGE as usize;
+                let flat = if native { None } else { Some(nb.to_vec()) };
+                let chunks: Box<dyn Iterator<Item = &[u8]>> = match &flat {
+                    Some(v) => Box::new(v.chunks(page)),
+                    None => Box::new(nb.pages()),
+                };
+                let mut pages_out = Vec::with_capacity(nb.len().div_ceil(page.max(1)));
+                let mut patch = Vec::new();
+                let mut changed = 0usize;
+                for (i, chunk) in chunks.enumerate() {
+                    if let (Some(s), Some(bp)) = (fast, base_pages) {
+                        if !s.is_dirty(i) {
+                            stats.pages_reused += 1;
+                            pages_out.push(bp[i]);
+                            continue;
+                        }
+                    }
+                    let ck = checksum_bytes(chunk);
+                    stats.pages_digested += 1;
+                    pages_out.push(ck);
+                    if want_deltas
+                        && base_pages.is_some()
+                        && base_pages.and_then(|p| p.get(i)).copied() != Some(ck)
+                    {
+                        patch.push(((i * page) as u64, chunk.to_vec()));
+                        changed += chunk.len();
+                    }
+                }
+                let delta = if base_pages.is_none() {
+                    RegionDelta::Replaced(r.clone())
+                } else if patch.is_empty() {
+                    RegionDelta::Unchanged { start: r.start }
+                } else if changed * 2 >= nb.len() {
+                    // A mostly-rewritten region is cheaper stored whole.
+                    RegionDelta::Replaced(r.clone())
+                } else {
+                    RegionDelta::Patched {
+                        start: r.start,
+                        pages: patch,
+                    }
+                };
+                (
+                    ContentDigest::Dense {
+                        bytes: nb.len(),
+                        pages: pages_out,
+                    },
+                    delta,
+                )
+            }
+        };
+        digests.push(RegionDigest {
+            start: r.start,
+            len: r.len,
+            half: r.half,
+            kind: r.kind,
+            name: r.name.clone(),
+            epoch,
+            content,
+        });
+        if want_deltas {
+            deltas.push(delta);
+        }
+    }
+    (digests, deltas)
 }
 
 /// Apply a delta over its (fully reconstructed) base image.
@@ -300,8 +380,16 @@ fn apply_delta(
                     why: format!("base image lacks region at {start:#x}"),
                 })?)
                 .clone();
-                let bytes = match &mut r.content {
-                    SnapshotContent::Dense(b) => b,
+                // Patch at page granularity: untouched pages stay shared
+                // with the base snapshot, so chain replay is O(patched
+                // pages) per link, not O(region).
+                let patched = match &r.content {
+                    SnapshotContent::Dense(b) => {
+                        b.patched(&pages).ok_or_else(|| StoreError::Corrupt {
+                            path: path.to_string(),
+                            why: format!("patch past end of region at {start:#x}"),
+                        })?
+                    }
                     SnapshotContent::Pattern { .. } => {
                         return Err(StoreError::Corrupt {
                             path: path.to_string(),
@@ -309,16 +397,7 @@ fn apply_delta(
                         })
                     }
                 };
-                for (off, page) in pages {
-                    let off = off as usize;
-                    if off + page.len() > bytes.len() {
-                        return Err(StoreError::Corrupt {
-                            path: path.to_string(),
-                            why: format!("patch past end of region at {start:#x}"),
-                        });
-                    }
-                    bytes[off..off + page.len()].copy_from_slice(&page);
-                }
+                r.content = SnapshotContent::Dense(patched);
                 r
             }
         });
@@ -356,6 +435,7 @@ pub struct DeltaStore<S> {
     cfg: DeltaConfig,
     inner: S,
     state: Mutex<DeltaState>,
+    put_stats: Mutex<DeltaPutStats>,
 }
 
 impl<S: CheckpointStore> DeltaStore<S> {
@@ -365,12 +445,18 @@ impl<S: CheckpointStore> DeltaStore<S> {
             cfg,
             inner,
             state: Mutex::new(DeltaState::default()),
+            put_stats: Mutex::new(DeltaPutStats::default()),
         }
     }
 
     /// The wrapped store.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Cumulative put-path digest instrumentation (see [`DeltaPutStats`]).
+    pub fn put_stats(&self) -> DeltaPutStats {
+        *self.put_stats.lock()
     }
 
     /// Whether the object at `path` is stored as a delta.
@@ -520,28 +606,42 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
         };
         let family = family.expect("family checked above");
         let page = self.cfg.page.max(1);
-        // Digest the incoming image once: the next generation diffs
-        // against these ~8-bytes-per-page checksums, so no decoded image
-        // is ever held resident and no delta chain is ever replayed on
-        // the put path.
-        let digest = digest_regions(&img.regions, page);
+        let summaries: HashMap<u64, &RegionDirty> =
+            img.dirty.iter().map(|d| (d.start, d)).collect();
         let mut st = self.state.lock();
         Self::forget(&mut st, path);
-        let prev = st
-            .latest
-            .get(&family)
-            .filter(|prev| {
-                prev.path != path
-                    && (self.cfg.full_every == 0 || prev.since_full + 1 < self.cfg.full_every)
-            })
+        let prev_gen = st.latest.get(&family).filter(|prev| prev.path != path);
+        // Emitting a delta additionally requires the full_every cadence;
+        // digest *reuse* does not (a cadence full write still skips
+        // digesting summary-clean pages).
+        let delta_base = prev_gen
+            .filter(|prev| self.cfg.full_every == 0 || prev.since_full + 1 < self.cfg.full_every)
             .map(|prev| (prev.path.clone(), prev.since_full));
-        if let Some((base_path, since_full)) = prev {
+        // One pass: digests for the next generation + deltas vs the
+        // previous one, skipping checksum work for pages the image's
+        // dirty summary proves clean (epoch-guarded).
+        let mut stats = DeltaPutStats::default();
+        let (digest, deltas) = plan_regions(
+            prev_gen.map(|p| &p.digest[..]),
+            &img.regions,
+            &summaries,
+            page,
+            delta_base.is_some(),
+            &mut stats,
+        );
+        {
+            let mut acc = self.put_stats.lock();
+            acc.pages_digested += stats.pages_digested;
+            acc.pages_reused += stats.pages_reused;
+            acc.regions_fast_pathed += stats.regions_fast_pathed;
+        }
+        if let Some((base_path, since_full)) = delta_base {
             let mut img = img;
-            let base = &st.latest.get(&family).expect("prev checked above").digest;
-            let deltas = diff_regions(base, &img.regions, page);
             let delta_logical = 4096 + deltas.iter().map(RegionDelta::logical_cost).sum::<u64>();
             // The meta must not carry the region payloads (the bulk of
-            // the image): the delta entries replace them.
+            // the image): the delta entries replace them. The dirty
+            // summaries stay — reconstruction then reproduces the
+            // original image bit-for-bit.
             img.regions = Vec::new();
             let blob = DeltaBlob {
                 base_path: base_path.clone(),
@@ -630,7 +730,7 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
 mod tests {
     use super::*;
     use mana_core::store::InMemStore;
-    use mana_sim::memory::{Half, RegionKind};
+    use mana_sim::memory::{DenseSnap, Half, RegionKind};
 
     const SHAPE: IoShape = IoShape {
         writers_on_node: 1,
@@ -644,7 +744,7 @@ mod tests {
             half: Half::Upper,
             kind: RegionKind::Mmap,
             name: format!("r{start:#x}"),
-            content: SnapshotContent::Dense(bytes),
+            content: SnapshotContent::Dense(DenseSnap::from_vec(bytes)),
         }
     }
 
@@ -672,6 +772,7 @@ mod tests {
             world_virt: 0,
             rebind: Vec::new(),
             step_created: Vec::new(),
+            dirty: Vec::new(),
         }
     }
 
@@ -892,6 +993,80 @@ mod tests {
                 i + 1
             );
         }
+    }
+
+    #[test]
+    fn dirty_summaries_make_digest_work_o_dirty() {
+        use mana_sim::memory::{AddressSpace, Backing, DenseBuf, Half, RegionKind};
+        let s = store();
+        let a = AddressSpace::new();
+        a.set_lineage(0x51ED);
+        let npages = 64u64;
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "state",
+                npages * PAGE,
+                Backing::Dense(DenseBuf::zeroed((npages * PAGE) as usize)),
+            )
+            .unwrap();
+        let img_of = |id: u64, snap: mana_sim::memory::HalfSnapshot| {
+            let mut img = image(id, snap.regions);
+            img.dirty = snap.dirty;
+            img
+        };
+
+        // Generation 1: everything digested (no previous generation).
+        a.write_bytes(addr, &[1u8; 128]).unwrap();
+        let img1 = img_of(1, a.snapshot_half_tracked(Half::Upper));
+        s.put(&path(1), img1.encode(), img1.logical_bytes(), 0, SHAPE);
+        a.clear_dirty(Half::Upper);
+        let after1 = s.put_stats();
+        assert_eq!(after1.pages_digested, npages);
+        assert_eq!(after1.pages_reused, 0);
+
+        // Generation 2: one page touched — exactly one page digested.
+        a.write_bytes(addr + 7 * PAGE + 3, &[9u8; 16]).unwrap();
+        let img2 = img_of(2, a.snapshot_half_tracked(Half::Upper));
+        s.put(&path(2), img2.encode(), img2.logical_bytes(), 0, SHAPE);
+        a.clear_dirty(Half::Upper);
+        let after2 = s.put_stats();
+        assert_eq!(
+            after2.pages_digested - after1.pages_digested,
+            1,
+            "digest work must scale with dirty pages"
+        );
+        assert_eq!(after2.pages_reused, npages - 1);
+        assert_eq!(after2.regions_fast_pathed, 1);
+        // And the delta itself is one page.
+        assert!(s.is_delta_object(&path(2)));
+        assert!(s.logical_len(&path(2)).unwrap() < 16 << 10);
+
+        // Reconstruction is exact, dirty summaries included.
+        let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img2);
+        let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img1);
+
+        // A summary from a foreign lineage must NOT fast-path (the guard
+        // protects against epoch aliasing across incarnations).
+        a.write_bytes(addr + 9 * PAGE, &[4u8; 8]).unwrap();
+        let mut img3 = img_of(3, a.snapshot_half_tracked(Half::Upper));
+        for d in &mut img3.dirty {
+            d.lineage ^= 0xFFFF;
+        }
+        s.put(&path(3), img3.encode(), img3.logical_bytes(), 0, SHAPE);
+        a.clear_dirty(Half::Upper);
+        let after3 = s.put_stats();
+        assert_eq!(
+            after3.pages_digested - after2.pages_digested,
+            npages,
+            "mismatched lineage must fall back to a full digest"
+        );
+        assert_eq!(after3.regions_fast_pathed, 1);
+        let (bytes, _) = s.get(&path(3), 0, SHAPE).unwrap();
+        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img3);
     }
 
     #[test]

@@ -149,6 +149,16 @@ fn cmd_run(flags: HashMap<String, String>) {
                 r.max_image_bytes() >> 20,
                 r.extra_iterations
             );
+            let (dirty, clean) = (r.total_dirty_pages(), r.total_clean_pages_shared());
+            println!(
+                "    copy path: {:.1} MB copied ({dirty} dirty pages, {clean} clean pages shared — {:.0}% of pages moved)",
+                r.total_bytes_copied() as f64 / 1e6,
+                if dirty + clean == 0 {
+                    100.0
+                } else {
+                    dirty as f64 / (dirty + clean) as f64 * 100.0
+                },
+            );
         }
         if run.killed() {
             println!(

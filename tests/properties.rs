@@ -12,7 +12,7 @@ use mana::mpi::comm::CartTopo;
 use mana::mpi::dtype::{reduce_into, BaseType};
 use mana::mpi::{dims_create, ReduceOp, SrcSpec, TagSpec};
 use mana::sim::memory::{
-    AddressSpace, Backing, DenseBuf, Half, RegionKind, RegionSnapshot, SnapshotContent,
+    AddressSpace, Backing, DenseBuf, DenseSnap, Half, RegionKind, RegionSnapshot, SnapshotContent,
 };
 use proptest::prelude::*;
 
@@ -38,7 +38,8 @@ fn arb_snapshot() -> impl Strategy<Value = RegionSnapshot> {
     (
         1u64..1000,
         prop_oneof![
-            prop::collection::vec(any::<u8>(), 0..128).prop_map(SnapshotContent::Dense),
+            prop::collection::vec(any::<u8>(), 0..128)
+                .prop_map(|v| SnapshotContent::Dense(DenseSnap::from_vec(v))),
             any::<u64>().prop_map(|seed| SnapshotContent::Pattern { seed }),
         ],
         "[a-z]{1,12}",
@@ -165,6 +166,7 @@ fn arb_image() -> impl Strategy<Value = CheckpointImage> {
                 world_virt: 0x1000_0000,
                 rebind: mana::core::restart::compact::derive_rebind(0x1000_0000, &log2),
                 step_created: vec![0x1000_0001],
+                dirty: Vec::new(),
             }
         })
 }
