@@ -24,6 +24,17 @@ pub enum StoreError {
         /// What went wrong.
         why: String,
     },
+    /// A tenant's stored checkpoint bytes exceed its byte budget — typed
+    /// back-pressure from per-tenant quota enforcement (session quotas
+    /// and the fleet scheduler's quota pass both emit this).
+    QuotaExceeded {
+        /// The tenant over budget.
+        tenant: String,
+        /// Stored logical bytes attributed to the tenant.
+        used: u64,
+        /// The tenant's byte budget.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -33,6 +44,14 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { path, why } => {
                 write!(f, "checkpoint object at '{path}' unreadable: {why}")
             }
+            StoreError::QuotaExceeded {
+                tenant,
+                used,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' over checkpoint quota: {used} bytes stored, limit {limit}"
+            ),
         }
     }
 }
@@ -73,6 +92,10 @@ pub enum SessionError {
     },
     /// A [`crate::session::JobBuilder`] described an unrunnable job.
     InvalidJob(String),
+    /// A storage-level refusal surfaced through the session — today that
+    /// is [`StoreError::QuotaExceeded`] back-pressure from per-tenant
+    /// quota enforcement.
+    Store(StoreError),
 }
 
 impl fmt::Display for SessionError {
@@ -93,6 +116,7 @@ impl fmt::Display for SessionError {
                  surviving checkpoints: {surviving:?}: {source}"
             ),
             SessionError::InvalidJob(why) => write!(f, "invalid job description: {why}"),
+            SessionError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -102,6 +126,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Restart(e) => Some(e),
             SessionError::CheckpointGone { source, .. } => Some(source),
+            SessionError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -110,6 +135,12 @@ impl std::error::Error for SessionError {
 impl From<RestartError> for SessionError {
     fn from(e: RestartError) -> SessionError {
         SessionError::Restart(e)
+    }
+}
+
+impl From<StoreError> for SessionError {
+    fn from(e: StoreError) -> SessionError {
+        SessionError::Store(e)
     }
 }
 
@@ -158,6 +189,19 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("d/x") && s.contains("delta base"), "{s}");
+
+        let quota = StoreError::QuotaExceeded {
+            tenant: "acme".into(),
+            used: 300,
+            limit: 256,
+        };
+        let s = quota.to_string();
+        assert!(
+            s.contains("acme") && s.contains("300") && s.contains("256"),
+            "{s}"
+        );
+        let s = SessionError::from(quota).to_string();
+        assert!(s.contains("acme"), "{s}");
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! # mana-fleet — multi-tenant checkpoint scheduling over a shared plane
+//!
+//! The preceding crates make *one* MANA job checkpointable, migratable
+//! and cheap to snapshot. Production MANA (NERSC) runs *fleets*: hundreds
+//! of jobs with staggered checkpoint cadences all writing into the same
+//! storage plane, where the interesting behavior is collective —
+//! cross-job dedup, burst-tier contention, per-tenant fairness and
+//! quota. This crate models that layer:
+//!
+//! * [`FleetScheduler`] — drives O(100–1000) concurrent tenant jobs
+//!   (heterogeneous `mana-apps` workloads, each a full [`ManaSession`]
+//!   with rolling GC and an optional byte quota) against one shared
+//!   [`CasStore`] plane, then verifies every tenant restarts cleanly
+//!   from its latest surviving checkpoint;
+//! * [`admission`] — the bounded-bandwidth burst tier: slotted
+//!   concurrency with **round-robin per-tenant fair queueing** and typed
+//!   shedding ([`Backpressure`]), against the unbounded checkpoint-storm
+//!   baseline whose effective bandwidth collapses with concurrency;
+//! * [`FleetReport`] — per-tenant outcomes (granted/shed, quota events,
+//!   restart verification), per-epoch CAS dedup windows, p50/p99
+//!   checkpoint-visible times and aggregate throughput.
+//!
+//! Everything runs on the deterministic simulator: the same tenant specs
+//! produce the same report, bit for bit.
+//!
+//! # Example: a small fleet
+//!
+//! ```
+//! use mana_fleet::{FleetConfig, FleetScheduler, TenantSpec};
+//!
+//! let fleet = FleetScheduler::in_memory(FleetConfig::default());
+//! let tenants: Vec<TenantSpec> = (0..4).map(TenantSpec::nth).collect();
+//! let report = fleet.run(&tenants);
+//! assert!(report.tenants.iter().all(|t| t.verified == Some(true)));
+//! // The shared plane stored less than it was offered: dedup won.
+//! assert!(report.stored_fraction() < 1.0);
+//! ```
+//!
+//! [`ManaSession`]: mana_core::ManaSession
+//! [`CasStore`]: mana_store::CasStore
+//! [`Backpressure`]: admission::Backpressure
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod scheduler;
+
+pub use admission::{
+    admit, percentile, Admission, AdmissionConfig, AdmissionPolicy, Backpressure, CkptRequest,
+};
+pub use scheduler::{
+    CkptRecord, EpochReport, FleetConfig, FleetReport, FleetScheduler, TenantReport, TenantSpec,
+};

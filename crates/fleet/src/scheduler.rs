@@ -1,0 +1,481 @@
+//! The fleet scheduler: many MANA sessions over one shared storage plane.
+//!
+//! [`FleetScheduler::run`] drives a population of tenant jobs — each a
+//! full [`ManaSession`] running a real workload from `mana-apps` on the
+//! deterministic simulator — against one shared [`CasStore`], then
+//! subjects the fleet's checkpoint traffic to the burst-tier admission
+//! model and verifies every tenant is still restartable. The run has
+//! four phases:
+//!
+//! 1. **Execute.** Per tenant: probe the clean run for its application
+//!    window and reference checksums, then run the checkpointing
+//!    incarnation (staggered cadence, `then_kill`) against the shared
+//!    CAS plane. Per-tenant GC ([`GcPolicy::KeepLast`]) and the byte
+//!    quota (typed [`StoreError::QuotaExceeded`] back-pressure plus
+//!    oldest-first reclaim) run live inside the session. Tenants are
+//!    grouped into *epochs* (scheduling waves); the CAS dedup window is
+//!    snapshotted at each wave boundary.
+//! 2. **Admit.** Every completed checkpoint becomes a fleet-clock
+//!    [`CkptRequest`] (arrival = tenant offset + k·cadence, bytes =
+//!    post-dedup stored size) and the whole population goes through
+//!    [`admit`] — bounded fair queueing or the unbounded storm, per
+//!    [`FleetConfig::admission`].
+//! 3. **Reclaim.** Shed checkpoints never became durable: their images
+//!    are removed from the plane — except a tenant's last restart
+//!    point, which is always retained (modeled as served by a trickle
+//!    path outside the burst tier), so admission pressure degrades
+//!    freshness, never restartability.
+//! 4. **Verify.** Each tenant restarts from its latest surviving
+//!    checkpoint and must reproduce the clean run's checksums.
+//!
+//! Everything is deterministic: same specs, same report, bit for bit.
+
+use crate::admission::{admit, percentile, Admission, AdmissionConfig, CkptRequest};
+use mana_apps::{make_app_with_bulk, AppKind};
+use mana_core::{
+    CheckpointStore, CkptEvent, GcPolicy, InMemStore, JobBuilder, ManaSession, StoreError,
+};
+use mana_sim::time::{SimDuration, SimTime};
+use mana_store::{CasConfig, CasStats, CasStore};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One tenant job in the fleet.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Tenant name; also the checkpoint directory prefix
+    /// (`tenants/<name>/...`), so it must be unique in the fleet.
+    pub name: String,
+    /// Which application this tenant runs.
+    pub kind: AppKind,
+    /// World size.
+    pub ranks: u32,
+    /// Application steps/iterations.
+    pub steps: u64,
+    /// Per-rank bulk memory footprint. Zero keeps the fast test-scale
+    /// images; raising it makes checkpoint traffic page-dominated (the
+    /// regime where cross-job dedup matters).
+    pub bulk_bytes: u64,
+    /// Root seed (workload determinism; tenants with equal seed, kind,
+    /// steps and ranks produce identical page content — the dedup case).
+    pub seed: u64,
+    /// Checkpoints to take (≥ 1; the run is killed after the last).
+    pub ckpts: u32,
+    /// Fleet-clock spacing between this tenant's checkpoint arrivals.
+    pub cadence: SimDuration,
+    /// Fleet-clock offset of the first arrival (stagger).
+    pub offset: SimDuration,
+    /// Per-tenant checkpoint-byte budget on the shared plane; `None`
+    /// means unmetered.
+    pub quota_bytes: Option<u64>,
+    /// Rolling GC window ([`GcPolicy::KeepLast`]).
+    pub keep_last: usize,
+}
+
+impl TenantSpec {
+    /// A small, heterogeneous default tenant: application kind rotates
+    /// through all five `mana-apps` workloads, seeds are distinct, and
+    /// offsets stagger arrivals across the fleet.
+    pub fn nth(i: usize) -> TenantSpec {
+        let kinds = AppKind::all();
+        TenantSpec {
+            name: format!("t{i:03}"),
+            kind: kinds[i % kinds.len()],
+            ranks: 2,
+            steps: 5,
+            bulk_bytes: 0,
+            seed: 1_000 + i as u64,
+            ckpts: 2,
+            cadence: SimDuration::secs_f64(60.0),
+            offset: SimDuration::secs_f64(1.7 * i as f64),
+            quota_bytes: None,
+            keep_last: 2,
+        }
+    }
+}
+
+/// Fleet-wide configuration.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Burst-tier admission model the checkpoint traffic goes through.
+    pub admission: AdmissionConfig,
+    /// Tenants per scheduling wave; the CAS dedup window is reported at
+    /// each wave boundary (an *epoch*).
+    pub tenants_per_epoch: usize,
+    /// Whether phase 4 (restart + checksum verification) runs. On by
+    /// default; benches sweeping large fleets can turn it off.
+    pub verify_restarts: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            admission: AdmissionConfig::default(),
+            tenants_per_epoch: 16,
+            verify_restarts: true,
+        }
+    }
+}
+
+/// One checkpoint's trip through the fleet: taken by a tenant, presented
+/// to the burst tier, granted or shed.
+#[derive(Clone, Debug)]
+pub struct CkptRecord {
+    /// Index into the tenant slice `run` was called with.
+    pub tenant: usize,
+    /// Checkpoint id within the tenant's session.
+    pub ckpt_id: u64,
+    /// Fleet-clock arrival at the burst tier.
+    pub fleet_at: SimTime,
+    /// Post-dedup bytes the shared plane was charged (manifests + pages
+    /// new to the pool).
+    pub stored: u64,
+    /// Logical image bytes before dedup.
+    pub logical: u64,
+    /// The tier's decision.
+    pub decision: Admission,
+}
+
+impl CkptRecord {
+    /// Checkpoint-visible duration, for granted records.
+    pub fn visible(&self) -> Option<SimDuration> {
+        self.decision.visible(self.fleet_at)
+    }
+}
+
+/// Per-tenant outcome.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Application kind.
+    pub kind: AppKind,
+    /// Checkpoints the session completed.
+    pub ckpts_taken: usize,
+    /// Checkpoints the burst tier granted.
+    pub granted: usize,
+    /// Checkpoints the tier shed with typed back-pressure.
+    pub shed: usize,
+    /// `Some(true)` if the restart reproduced the clean run's checksums;
+    /// `Some(false)` if it diverged or failed; `None` if verification
+    /// was disabled.
+    pub verified: Option<bool>,
+    /// Typed quota back-pressure events the session emitted.
+    pub quota_events: Vec<StoreError>,
+    /// Bytes still charged to this tenant on the plane at the end.
+    pub stored_final: u64,
+}
+
+/// CAS dedup window over one scheduling wave.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochReport {
+    /// Wave index.
+    pub epoch: usize,
+    /// Logical bytes presented to the plane during the wave.
+    pub bytes_in: u64,
+    /// Bytes actually charged (new pages + manifests).
+    pub bytes_stored: u64,
+}
+
+impl EpochReport {
+    /// Dedup ratio: logical bytes per stored byte (≥ 1 when dedup wins).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            return 1.0;
+        }
+        self.bytes_in as f64 / self.bytes_stored as f64
+    }
+}
+
+/// Aggregate outcome of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-tenant outcomes, in input order.
+    pub tenants: Vec<TenantReport>,
+    /// Every checkpoint's record, tenant-major.
+    pub records: Vec<CkptRecord>,
+    /// Dedup windows per scheduling wave.
+    pub epochs: Vec<EpochReport>,
+    /// Median checkpoint-visible time over granted checkpoints.
+    pub p50_visible: SimDuration,
+    /// 99th-percentile checkpoint-visible time over granted checkpoints.
+    pub p99_visible: SimDuration,
+    /// First arrival to last completion over granted checkpoints.
+    pub makespan: SimDuration,
+    /// Cumulative CAS statistics at the end of the run.
+    pub stats: CasStats,
+    /// Unique page bytes resident in the pool at the end.
+    pub pool_bytes: u64,
+}
+
+impl FleetReport {
+    /// Granted checkpoints fleet-wide.
+    pub fn granted(&self) -> usize {
+        self.tenants.iter().map(|t| t.granted).sum()
+    }
+
+    /// Shed checkpoints fleet-wide.
+    pub fn shed(&self) -> usize {
+        self.tenants.iter().map(|t| t.shed).sum()
+    }
+
+    /// Fraction of logical bytes the plane actually stored (lower is
+    /// better dedup).
+    pub fn stored_fraction(&self) -> f64 {
+        self.stats.stored_fraction()
+    }
+
+    /// Aggregate checkpoint throughput: granted stored bytes over the
+    /// makespan.
+    pub fn aggregate_throughput(&self) -> f64 {
+        let bytes: u64 = self
+            .records
+            .iter()
+            .filter(|r| matches!(r.decision, Admission::Granted { .. }))
+            .map(|r| r.stored)
+            .sum();
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        bytes as f64 / secs
+    }
+}
+
+struct TenantRun {
+    killed: mana_core::Incarnation,
+    session: ManaSession,
+    ref_sums: std::collections::BTreeMap<u32, u64>,
+    taken: Vec<(u64, u64, u64)>, // (ckpt_id, stored, logical)
+}
+
+/// Drives a population of tenant sessions over one shared CAS plane.
+pub struct FleetScheduler<S: CheckpointStore + 'static> {
+    cfg: FleetConfig,
+    cas: Arc<CasStore<S>>,
+}
+
+impl FleetScheduler<InMemStore> {
+    /// A scheduler whose shared plane is a CAS layer over an in-memory
+    /// store — the standard test/bench configuration.
+    pub fn in_memory(cfg: FleetConfig) -> FleetScheduler<InMemStore> {
+        FleetScheduler::new(
+            cfg,
+            Arc::new(CasStore::new(CasConfig::default(), InMemStore::new())),
+        )
+    }
+}
+
+impl<S: CheckpointStore + 'static> FleetScheduler<S> {
+    /// A scheduler over an existing shared CAS plane.
+    pub fn new(cfg: FleetConfig, cas: Arc<CasStore<S>>) -> FleetScheduler<S> {
+        FleetScheduler { cfg, cas }
+    }
+
+    /// The shared storage plane.
+    pub fn cas(&self) -> &Arc<CasStore<S>> {
+        &self.cas
+    }
+
+    fn image_paths(spec: &TenantSpec, ckpt_id: u64) -> Vec<String> {
+        (0..spec.ranks)
+            .map(|r| format!("tenants/{}/ckpt_{ckpt_id}/rank_{r}.mana", spec.name))
+            .collect()
+    }
+
+    /// Run the whole fleet; see the module docs for the four phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tenant's clean or checkpointing run fails — fleet
+    /// specs are static configuration, so that is a bug, not an
+    /// operational error. Restart failures do *not* panic; they surface
+    /// as `verified: Some(false)`.
+    pub fn run(&self, tenants: &[TenantSpec]) -> FleetReport {
+        // Phase 1: execute every tenant against the shared plane.
+        let wave = self.cfg.tenants_per_epoch.max(1);
+        let mut prev_stats = self.cas.stats();
+        let mut epochs = Vec::new();
+        let mut runs = Vec::with_capacity(tenants.len());
+        for (i, spec) in tenants.iter().enumerate() {
+            runs.push(self.run_tenant(spec));
+            if (i + 1) % wave == 0 || i + 1 == tenants.len() {
+                let now = self.cas.stats();
+                let win = now.since(&prev_stats);
+                epochs.push(EpochReport {
+                    epoch: epochs.len(),
+                    bytes_in: win.bytes_in,
+                    bytes_stored: win.bytes_new + win.manifest_bytes,
+                });
+                prev_stats = now;
+            }
+        }
+
+        // Phase 2: the whole population's traffic through the burst tier.
+        let mut requests = Vec::new();
+        for (i, (spec, run)) in tenants.iter().zip(&runs).enumerate() {
+            for (k, (_, stored, _)) in run.taken.iter().enumerate() {
+                requests.push(CkptRequest {
+                    tenant: i,
+                    at: SimTime(spec.offset.as_nanos() + k as u64 * spec.cadence.as_nanos()),
+                    bytes: *stored,
+                });
+            }
+        }
+        let decisions = admit(&self.cfg.admission, &requests);
+        let mut records = Vec::with_capacity(requests.len());
+        {
+            let mut d = decisions.iter();
+            for (i, run) in runs.iter().enumerate() {
+                for (k, &(ckpt_id, stored, logical)) in run.taken.iter().enumerate() {
+                    let spec = &tenants[i];
+                    records.push(CkptRecord {
+                        tenant: i,
+                        ckpt_id,
+                        fleet_at: SimTime(
+                            spec.offset.as_nanos() + k as u64 * spec.cadence.as_nanos(),
+                        ),
+                        stored,
+                        logical,
+                        decision: *d.next().expect("one decision per request"),
+                    });
+                }
+            }
+        }
+
+        // Phase 3: shed checkpoints never became durable — reclaim their
+        // images, but never a tenant's last restart point.
+        for (i, spec) in tenants.iter().enumerate() {
+            let mine: Vec<usize> = (0..records.len())
+                .filter(|&j| records[j].tenant == i)
+                .collect();
+            for &j in &mine {
+                if !matches!(records[j].decision, Admission::Shed(_)) {
+                    continue;
+                }
+                let another_survives = mine.iter().any(|&o| {
+                    o != j
+                        && Self::image_paths(spec, records[o].ckpt_id)
+                            .iter()
+                            .all(|p| self.cas.exists(p))
+                });
+                if !another_survives {
+                    continue; // restartability floor: keep the last one
+                }
+                for path in Self::image_paths(spec, records[j].ckpt_id) {
+                    self.cas.remove(&path);
+                }
+            }
+        }
+
+        // Phase 4: every tenant restarts from its latest surviving
+        // checkpoint and must reproduce the clean run.
+        let mut reports = Vec::with_capacity(tenants.len());
+        for (i, (spec, run)) in tenants.iter().zip(&runs).enumerate() {
+            let verified = if self.cfg.verify_restarts {
+                Some(match run.killed.restart_latest(JobBuilder::new()) {
+                    Ok(resumed) => resumed.checksums() == &run.ref_sums,
+                    Err(_) => false,
+                })
+            } else {
+                None
+            };
+            let granted = records
+                .iter()
+                .filter(|r| r.tenant == i && matches!(r.decision, Admission::Granted { .. }))
+                .count();
+            reports.push(TenantReport {
+                name: spec.name.clone(),
+                kind: spec.kind,
+                ckpts_taken: run.taken.len(),
+                granted,
+                shed: run.taken.len() - granted,
+                verified,
+                quota_events: run.session.quota_events(),
+                stored_final: run.session.stored_bytes(),
+            });
+        }
+
+        let visible: Vec<SimDuration> = records.iter().filter_map(|r| r.visible()).collect();
+        let makespan = records
+            .iter()
+            .filter_map(|r| match r.decision {
+                Admission::Granted { done, .. } => Some(done.as_nanos()),
+                Admission::Shed(_) => None,
+            })
+            .max()
+            .map(|done| {
+                let first = records
+                    .iter()
+                    .map(|r| r.fleet_at.as_nanos())
+                    .min()
+                    .unwrap_or(0);
+                SimDuration(done - first)
+            })
+            .unwrap_or(SimDuration::ZERO);
+        FleetReport {
+            tenants: reports,
+            records,
+            epochs,
+            p50_visible: percentile(visible.clone(), 50.0),
+            p99_visible: percentile(visible, 99.0),
+            makespan,
+            stats: self.cas.stats(),
+            pool_bytes: self.cas.pool_bytes(),
+        }
+    }
+
+    fn run_tenant(&self, spec: &TenantSpec) -> TenantRun {
+        assert!(spec.ckpts >= 1, "tenant {} must checkpoint", spec.name);
+        let job = || JobBuilder::new().ranks(spec.ranks).seed(spec.seed);
+        // Clean probe: application window + reference checksums.
+        let probe = ManaSession::builder().store(InMemStore::new()).build();
+        let app = || make_app_with_bulk(spec.kind, spec.steps, spec.bulk_bytes);
+        let clean = probe
+            .run(job(), app())
+            .unwrap_or_else(|e| panic!("tenant {}: clean run failed: {e}", spec.name));
+        let wall = clean.outcome().wall.as_nanos();
+        let app_wall = clean.outcome().app_wall.as_nanos();
+        let ref_sums = clean.checksums().clone();
+
+        // The checkpointing incarnation on the shared plane. The hook
+        // fires per completed checkpoint before GC can reclaim it, so
+        // the recorded stored/logical sizes are exact.
+        let taken: Arc<Mutex<Vec<(u64, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let cas = self.cas.clone();
+        let hook_taken = taken.clone();
+        let hook_spec = spec.clone();
+        let mut builder = ManaSession::builder()
+            .shared_store(self.cas.clone() as Arc<dyn CheckpointStore>)
+            .tenant(spec.name.clone())
+            .gc(GcPolicy::KeepLast(spec.keep_last.max(1)))
+            .on_checkpoint(move |ev: &CkptEvent<'_>| {
+                let paths = Self::image_paths(&hook_spec, ev.report.ckpt_id);
+                let stored: u64 = paths.iter().map(|p| cas.logical_len(p).unwrap_or(0)).sum();
+                let logical: u64 = paths.iter().filter_map(|p| cas.original_len(p)).sum();
+                hook_taken.lock().push((ev.report.ckpt_id, stored, logical));
+            });
+        if let Some(q) = spec.quota_bytes {
+            builder = builder.quota_bytes(q);
+        }
+        let session = builder.build();
+        let fracs = (1..=spec.ckpts).map(|k| f64::from(k) / f64::from(spec.ckpts + 1));
+        let times = fracs.map(|f| SimTime(wall - app_wall + (app_wall as f64 * f) as u64));
+        let killed = session
+            .run(
+                job()
+                    .ckpt_dir(format!("tenants/{}", spec.name))
+                    .checkpoint_times(times)
+                    .then_kill(),
+                app(),
+            )
+            .unwrap_or_else(|e| panic!("tenant {}: fleet run failed: {e}", spec.name));
+        let taken = taken.lock().clone();
+        TenantRun {
+            killed,
+            session,
+            ref_sums,
+            taken,
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end fleet runs: many tenant sessions over one shared CAS
+//! plane, with admission control, per-tenant quotas and restart
+//! verification — the acceptance scenarios of the fleet subsystem.
+
+use mana_fleet::{
+    Admission, AdmissionConfig, AdmissionPolicy, FleetConfig, FleetScheduler, TenantSpec,
+};
+use mana_sim::time::SimDuration;
+
+/// The headline scenario: a 64-tenant fleet of heterogeneous apps with
+/// staggered cadences all checkpointing into one shared plane; every
+/// job must remain restartable from its latest surviving checkpoint,
+/// and the plane must report dedup per epoch.
+#[test]
+fn sixty_four_tenant_fleet_stays_restartable() {
+    let fleet = FleetScheduler::in_memory(FleetConfig::default());
+    let tenants: Vec<TenantSpec> = (0..64).map(TenantSpec::nth).collect();
+    let report = fleet.run(&tenants);
+
+    assert_eq!(report.tenants.len(), 64);
+    for t in &report.tenants {
+        assert_eq!(
+            t.verified,
+            Some(true),
+            "tenant {} must restart to the clean run's checksums",
+            t.name
+        );
+        assert_eq!(t.ckpts_taken, 2, "tenant {} checkpoint count", t.name);
+        assert!(
+            t.granted >= 1,
+            "tenant {} needs a durable checkpoint",
+            t.name
+        );
+        assert!(t.quota_events.is_empty(), "no quotas configured");
+    }
+
+    // Epoch reporting: 64 tenants in waves of 16 → 4 dedup windows, each
+    // accounting real traffic.
+    assert_eq!(report.epochs.len(), 4);
+    for e in &report.epochs {
+        assert!(e.bytes_in > 0, "epoch {} saw no traffic", e.epoch);
+        assert!(e.bytes_stored > 0, "epoch {} stored nothing", e.epoch);
+        assert!(
+            e.dedup_ratio() >= 1.0,
+            "epoch {} dedup ratio {} below 1",
+            e.epoch,
+            e.dedup_ratio()
+        );
+    }
+
+    // The plane as a whole deduplicated: 64 tenants' images share pages
+    // (zero pages, common protocol state, 13 tenants per app kind).
+    assert!(
+        report.stored_fraction() < 1.0,
+        "stored fraction {} shows no dedup",
+        report.stored_fraction()
+    );
+    assert!(report.p99_visible >= report.p50_visible);
+    assert!(report.makespan > SimDuration::ZERO);
+    assert!(report.aggregate_throughput() > 0.0);
+
+    // Determinism: the same fleet replays to the same report.
+    let again = FleetScheduler::in_memory(FleetConfig::default()).run(&tenants);
+    assert_eq!(report.stats.bytes_in, again.stats.bytes_in);
+    assert_eq!(report.stats.bytes_new, again.stats.bytes_new);
+    assert_eq!(report.p99_visible, again.p99_visible);
+}
+
+/// Per-tenant quota: the tenant with a starvation-level byte budget gets
+/// typed back-pressure and oldest-first reclaim, while its neighbors run
+/// unmetered — and even the squeezed tenant stays restartable.
+#[test]
+fn quota_backpressure_hits_only_the_over_quota_tenant() {
+    let fleet = FleetScheduler::in_memory(FleetConfig::default());
+    let mut tenants: Vec<TenantSpec> = (0..3).map(TenantSpec::nth).collect();
+    tenants[1].ckpts = 3;
+    tenants[1].quota_bytes = Some(4 * 1024); // far below one image set
+    let report = fleet.run(&tenants);
+
+    let squeezed = &report.tenants[1];
+    assert!(
+        !squeezed.quota_events.is_empty(),
+        "a 4 KiB budget must trip the quota"
+    );
+    for e in &squeezed.quota_events {
+        let mana_core::StoreError::QuotaExceeded {
+            tenant,
+            used,
+            limit,
+        } = e
+        else {
+            panic!("quota events must be QuotaExceeded, got {e:?}");
+        };
+        assert_eq!(tenant, &tenants[1].name);
+        assert_eq!(*limit, 4 * 1024);
+        assert!(used > limit);
+    }
+    // Oldest-first reclaim kept the newest checkpoint: still restartable.
+    assert_eq!(squeezed.verified, Some(true));
+
+    // The neighbors never saw back-pressure.
+    for i in [0usize, 2] {
+        assert!(
+            report.tenants[i].quota_events.is_empty(),
+            "tenant {} wrongly back-pressured",
+            report.tenants[i].name
+        );
+        assert_eq!(report.tenants[i].verified, Some(true));
+    }
+}
+
+/// Cross-job dedup: two tenants running the identical workload (same
+/// kind, steps, seed, ranks) produce identical page content, so the
+/// shared plane charges well under half of what both would be charged
+/// standalone — and the second tenant's epoch stores a fraction of the
+/// first's, because its pages are already in the pool.
+#[test]
+fn identical_tenants_store_less_than_half_standalone() {
+    let fleet = FleetScheduler::in_memory(FleetConfig {
+        tenants_per_epoch: 1, // one dedup window per tenant
+        ..FleetConfig::default()
+    });
+    let mut a = TenantSpec::nth(0);
+    a.seed = 42;
+    a.bulk_bytes = 256 << 10; // image-dominating footprint
+    let mut b = TenantSpec::nth(1);
+    b.kind = a.kind;
+    b.seed = a.seed;
+    b.bulk_bytes = a.bulk_bytes;
+    let report = fleet.run(&[a, b]);
+
+    // Headline: the plane's charge vs what a non-deduplicating plane
+    // would have charged for the same images.
+    let standalone: u64 = report.records.iter().map(|r| r.logical).sum();
+    let stored: u64 = report.records.iter().map(|r| r.stored).sum();
+    assert!(
+        2 * stored < standalone,
+        "twin tenants charged {stored} of {standalone} standalone bytes — expected < 50%"
+    );
+
+    // The second tenant's wave found every page already pooled: its
+    // epoch stores far less than the first tenant's.
+    assert_eq!(report.epochs.len(), 2);
+    assert!(
+        2 * report.epochs[1].bytes_stored < report.epochs[0].bytes_stored,
+        "twin epoch stored {} vs first epoch {} — dedup should make it a fraction",
+        report.epochs[1].bytes_stored,
+        report.epochs[0].bytes_stored
+    );
+    for t in &report.tenants {
+        assert_eq!(t.verified, Some(true));
+    }
+}
+
+/// Admission control earns its keep: under a burst (no stagger, scarce
+/// bandwidth), the bounded fair-queueing tier keeps the p99
+/// checkpoint-visible time below the unbounded storm's.
+#[test]
+fn bounded_admission_beats_the_unbounded_storm_at_p99() {
+    let tenants: Vec<TenantSpec> = (0..12)
+        .map(|i| TenantSpec {
+            offset: SimDuration::ZERO, // simultaneous burst
+            ..TenantSpec::nth(i)
+        })
+        .collect();
+    // Scarce tier: ~100 KiB/s aggregate so the small test images contend.
+    let tier = |policy| AdmissionConfig {
+        aggregate_bw: 100.0 * 1024.0,
+        max_concurrent: 2,
+        max_queue_wait: SimDuration::secs_f64(1e9),
+        policy,
+        ..AdmissionConfig::default()
+    };
+    let run = |policy| {
+        FleetScheduler::in_memory(FleetConfig {
+            admission: tier(policy),
+            verify_restarts: false,
+            ..FleetConfig::default()
+        })
+        .run(&tenants)
+    };
+    let bounded = run(AdmissionPolicy::Bounded);
+    let unbounded = run(AdmissionPolicy::Unbounded);
+
+    assert_eq!(bounded.shed(), 0, "generous ceiling must not shed");
+    assert!(
+        bounded.p99_visible < unbounded.p99_visible,
+        "bounded p99 {} must beat unbounded p99 {}",
+        bounded.p99_visible,
+        unbounded.p99_visible
+    );
+}
+
+/// A harsh queue-wait ceiling sheds checkpoints with typed back-pressure,
+/// but the restartability floor retains every tenant's last restart
+/// point — freshness degrades, restartability never does.
+#[test]
+fn shedding_degrades_freshness_but_never_restartability() {
+    let tenants: Vec<TenantSpec> = (0..8)
+        .map(|i| TenantSpec {
+            offset: SimDuration::ZERO,
+            ..TenantSpec::nth(i)
+        })
+        .collect();
+    let fleet = FleetScheduler::in_memory(FleetConfig {
+        admission: AdmissionConfig {
+            aggregate_bw: 100.0 * 1024.0,
+            max_concurrent: 1,
+            max_queue_wait: SimDuration::secs_f64(0.5),
+            policy: AdmissionPolicy::Bounded,
+            ..AdmissionConfig::default()
+        },
+        ..FleetConfig::default()
+    });
+    let report = fleet.run(&tenants);
+
+    assert!(report.shed() > 0, "a 0.5 s ceiling must shed under burst");
+    for (t, rec) in report.tenants.iter().zip(report.records.chunks(2)) {
+        // Every shed decision carries typed back-pressure.
+        for r in rec {
+            if let Admission::Shed(bp) = &r.decision {
+                let mana_fleet::Backpressure::QueueTimeout { waited, limit } = bp;
+                assert!(waited > limit);
+            }
+        }
+        assert_eq!(
+            t.verified,
+            Some(true),
+            "tenant {} lost its restart point to shedding",
+            t.name
+        );
+    }
+}

@@ -356,6 +356,32 @@ impl DenseSnap {
         }
     }
 
+    /// Rebuild a snapshot from already-frozen page handles — zero-copy:
+    /// the pages stay shared with whoever else holds them (the
+    /// content-addressed store reassembles images from its fleet-wide
+    /// page pool this way). Returns `None` unless the handles follow the
+    /// canonical chunking of `len`: every page [`PAGE`] bytes except a
+    /// shorter final page.
+    pub fn from_pages(len: usize, pages: Vec<Arc<[u8]>>) -> Option<DenseSnap> {
+        if pages.len() != pages_of_len(len) {
+            return None;
+        }
+        let mut total = 0usize;
+        for (i, p) in pages.iter().enumerate() {
+            let want = if i + 1 < pages.len() {
+                PAGE as usize
+            } else {
+                len - i * PAGE as usize
+            };
+            if p.len() != want {
+                return None;
+            }
+            total += p.len();
+        }
+        debug_assert_eq!(total, len);
+        Some(DenseSnap { len, pages })
+    }
+
     /// Content length in bytes.
     pub fn len(&self) -> usize {
         self.len
@@ -432,6 +458,12 @@ impl DenseSnap {
 
     fn page_arc(&self, i: usize) -> Arc<[u8]> {
         self.pages[i].clone()
+    }
+
+    /// Clone the shared handle of page `i` — lets storage backends keep a
+    /// page alive (and deduplicate it) without copying its bytes.
+    pub fn page_handle(&self, i: usize) -> Arc<[u8]> {
+        self.page_arc(i)
     }
 }
 

@@ -8,10 +8,19 @@
 //! the durations `put`/`get` return. Contents pass through unchanged
 //! (compression is modeled, not performed), so images decode exactly as
 //! written.
+//!
+//! The put path is *dirty-aware*: when the object is a rank image
+//! carrying format-v3 dirty summaries, compress CPU is charged only for
+//! the pages the summaries mark dirty (plus everything not covered by a
+//! summary) — modeling an incremental compressor that reuses the
+//! previous generation's compressed form for unchanged pages. The
+//! charged write volume is unchanged (every page is still stored).
 
 use mana_core::error::StoreError;
+use mana_core::image::CheckpointImage;
 use mana_core::store::CheckpointStore;
 use mana_sim::fs::IoShape;
+use mana_sim::memory::PAGE;
 use mana_sim::rng::splitmix64;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
@@ -33,6 +42,11 @@ pub struct CompressionConfig {
     pub decompress_bw: f64,
     /// Seed decorrelating this store's ratio draws from other stores.
     pub seed: u64,
+    /// Charge compress CPU only for dirty bytes when the incoming object
+    /// is a rank image with format-v3 dirty summaries (see the module
+    /// docs). On by default; switch off to model a stateless compressor
+    /// that re-compresses every byte each generation.
+    pub dirty_aware: bool,
 }
 
 impl Default for CompressionConfig {
@@ -44,6 +58,7 @@ impl Default for CompressionConfig {
             compress_bw: 1.5e9,
             decompress_bw: 3.0e9,
             seed: 0x436f_6d70,
+            dirty_aware: true,
         }
     }
 }
@@ -92,6 +107,29 @@ impl<S: CheckpointStore> CompressingStore<S> {
         let r = self.cfg.ratio * (1.0 + self.cfg.jitter * (2.0 * x - 1.0));
         r.clamp(f64::MIN_POSITIVE, 1.0)
     }
+
+    /// Bytes the compressor actually has to chew through for this
+    /// object: `logical_len`, minus the pages a rank image's dirty
+    /// summaries prove clean (their compressed form is reused from the
+    /// previous generation). Non-images and images without summaries
+    /// charge in full.
+    fn compressible_bytes(&self, data: &[u8], logical_len: u64) -> u64 {
+        if !self.cfg.dirty_aware {
+            return logical_len;
+        }
+        let Ok(img) = CheckpointImage::decode(data) else {
+            return logical_len;
+        };
+        if img.dirty.is_empty() {
+            return logical_len;
+        }
+        let clean_bytes: u64 = img
+            .dirty
+            .iter()
+            .map(|d| (d.page_count - d.dirty_pages()) * PAGE)
+            .sum();
+        logical_len.saturating_sub(clean_bytes).max(1)
+    }
 }
 
 impl<S: CheckpointStore> CheckpointStore for CompressingStore<S> {
@@ -109,7 +147,8 @@ impl<S: CheckpointStore> CheckpointStore for CompressingStore<S> {
         } else {
             ((logical_len as f64 * ratio).round() as u64).max(1)
         };
-        let cpu = SimDuration::secs_f64(logical_len as f64 / self.cfg.compress_bw);
+        let chew = self.compressible_bytes(&data, logical_len);
+        let cpu = SimDuration::secs_f64(chew as f64 / self.cfg.compress_bw);
         let io = self.inner.put(path, data, compressed, rank, shape);
         self.originals.lock().insert(path.to_string(), logical_len);
         cpu + io
@@ -210,5 +249,107 @@ mod tests {
         let s = store();
         s.put("e", vec![], 0, 0, SHAPE);
         assert_eq!(s.logical_len("e").unwrap(), 0);
+    }
+
+    mod dirty_aware {
+        use super::*;
+        use mana_sim::memory::{
+            DenseSnap, Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent, PAGE,
+        };
+
+        /// A one-region rank image whose dirty summary marks
+        /// `dirty_count` of the region's 64 pages dirty against a
+        /// committed base.
+        fn image(dirty_count: u64) -> CheckpointImage {
+            let pages = 64u64;
+            let bytes = vec![7u8; (pages * PAGE) as usize];
+            let mut bitmap = vec![0u64; 1];
+            for i in 0..dirty_count {
+                bitmap[0] |= 1 << i;
+            }
+            CheckpointImage {
+                rank: 0,
+                nranks: 1,
+                ckpt_id: 1,
+                app_name: "t".to_string(),
+                seed: 1,
+                regions: vec![RegionSnapshot {
+                    start: 0x1000,
+                    len: bytes.len() as u64,
+                    half: Half::Upper,
+                    kind: RegionKind::Mmap,
+                    name: "r".to_string(),
+                    content: SnapshotContent::Dense(DenseSnap::from_vec(bytes)),
+                }],
+                upper_cursor: 0,
+                comms: Vec::new(),
+                groups: Vec::new(),
+                dtypes: Vec::new(),
+                log: Vec::new(),
+                counters: Default::default(),
+                buffered: Vec::new(),
+                pending: Vec::new(),
+                ops_done: 0,
+                allocs: Vec::new(),
+                slots: Vec::new(),
+                slot_seq: 0,
+                slot_seq_at_step: 0,
+                world_virt: 0,
+                rebind: Vec::new(),
+                step_created: Vec::new(),
+                dirty: vec![RegionDirty {
+                    start: 0x1000,
+                    lineage: 1,
+                    seq: 2,
+                    base_seq: Some(1),
+                    page_count: pages,
+                    pages: bitmap,
+                }],
+            }
+        }
+
+        #[test]
+        fn compress_cpu_scales_with_dirty_fraction() {
+            // Zero-latency inner: every returned duration is compress CPU.
+            let s = store();
+            let all = image(64);
+            let quarter = image(16);
+            let one = image(1);
+            let logical = all.logical_bytes();
+            let d_all = s.put("d/ckpt_1/rank_0.mana", all.encode(), logical, 0, SHAPE);
+            let d_quarter = s.put("d/ckpt_2/rank_0.mana", quarter.encode(), logical, 0, SHAPE);
+            let d_one = s.put("d/ckpt_3/rank_0.mana", one.encode(), logical, 0, SHAPE);
+            let r_quarter = d_all.as_secs_f64() / d_quarter.as_secs_f64();
+            let r_one = d_all.as_secs_f64() / d_one.as_secs_f64();
+            // 64 dirty pages vs 16 vs 1 (plus the uncovered metadata
+            // page): CPU must track the dirty fraction, not image size.
+            assert!(
+                (3.0..5.0).contains(&r_quarter),
+                "quarter-dirty CPU ratio {r_quarter}"
+            );
+            assert!(r_one > 10.0, "one-page-dirty CPU ratio {r_one}");
+            // The charged *volume* is unaffected by dirtiness — only CPU.
+            let v1 = s.logical_len("d/ckpt_1/rank_0.mana").unwrap();
+            let v3 = s.logical_len("d/ckpt_3/rank_0.mana").unwrap();
+            assert!(v3 > v1 / 2, "volume model must not shrink with dirtiness");
+        }
+
+        #[test]
+        fn opt_out_restores_full_charge() {
+            let cfg = CompressionConfig {
+                dirty_aware: false,
+                ..CompressionConfig::default()
+            };
+            let s = CompressingStore::new(cfg, InMemStore::new());
+            let full = CompressingStore::new(CompressionConfig::default(), InMemStore::new());
+            let img = image(1);
+            let logical = img.logical_bytes();
+            let d_off = s.put("d/ckpt_1/rank_0.mana", img.encode(), logical, 0, SHAPE);
+            let d_on = full.put("d/ckpt_1/rank_0.mana", img.encode(), logical, 0, SHAPE);
+            assert!(
+                d_off.as_secs_f64() > 10.0 * d_on.as_secs_f64(),
+                "stateless compressor must chew every byte: {d_off} vs {d_on}"
+            );
+        }
     }
 }

@@ -22,6 +22,10 @@
 //!   region payloads against the previous generation and write only
 //!   changed pages plus a base reference, reconstructing full images on
 //!   `get` by replaying the delta chain;
+//! * [`CasStore`] — content-addressed storage that digests every 4 KiB
+//!   page of every rank image and stores identical pages once,
+//!   fleet-wide, with refcounted GC — the cross-job dedup layer the
+//!   fleet scheduler (`mana-fleet`) runs its shared storage plane on;
 //! * [`conformance::exercise_store`] — the shared semantics suite every
 //!   backend passes.
 //!
@@ -50,12 +54,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cas;
 pub mod compress;
 pub mod conformance;
 pub mod delta;
 pub mod replicated;
 pub mod tiered;
 
+pub use cas::{CasConfig, CasStats, CasStore};
 pub use compress::{CompressingStore, CompressionConfig};
 pub use conformance::{exercise_store, StoreChecks};
 pub use delta::{DeltaConfig, DeltaStore};

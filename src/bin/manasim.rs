@@ -4,6 +4,8 @@
 //! manasim run     --app hpcg --ranks 16 --nodes 2 --mpi cray --steps 10 [--ckpt-at-frac 0.5 [--kill]]
 //! manasim migrate --app gromacs --ranks 8 --from cori:4 --to local:2 --from-mpi cray --to-mpi openmpi
 //! manasim verify  [--ranks N] [--colls K]       # protocol model checking
+//! manasim fleet   --tenants 64 [--ranks N] [--steps N] [--ckpts N]
+//!                 [--admission bounded|unbounded] [--quota-kb N]
 //! ```
 //!
 //! Because the simulated filesystem lives in process memory, `migrate`
@@ -20,7 +22,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]"
+        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]\n  manasim fleet [--tenants N] [--ranks N] [--steps N] [--ckpts N]\n              [--admission <bounded|unbounded>] [--quota-kb N] [--no-verify]"
     );
     exit(2)
 }
@@ -272,12 +274,128 @@ fn cmd_verify(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_fleet(flags: HashMap<String, String>) {
+    use mana::fleet::{AdmissionPolicy, Backpressure, FleetConfig, FleetScheduler, TenantSpec};
+    let tenants: usize = get(&flags, "tenants", "64")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let ranks: u32 = get(&flags, "ranks", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let steps: u64 = get(&flags, "steps", "5")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let ckpts: u32 = get(&flags, "ckpts", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let quota_kb: Option<u64> = flags
+        .get("quota-kb")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let policy = match get(&flags, "admission", "bounded") {
+        "bounded" => AdmissionPolicy::Bounded,
+        "unbounded" => AdmissionPolicy::Unbounded,
+        other => {
+            eprintln!("unknown admission policy: {other}");
+            usage()
+        }
+    };
+    let mut cfg = FleetConfig::default();
+    cfg.admission.policy = policy;
+    cfg.verify_restarts = !flags.contains_key("no-verify");
+
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| TenantSpec {
+            ranks,
+            steps,
+            ckpts,
+            quota_bytes: quota_kb.map(|kb| kb * 1024),
+            ..TenantSpec::nth(i)
+        })
+        .collect();
+    println!(
+        "fleet: {tenants} tenant job(s) x {ranks} rank(s), {ckpts} checkpoint(s) each, admission {}",
+        match policy {
+            AdmissionPolicy::Bounded => "bounded",
+            AdmissionPolicy::Unbounded => "unbounded",
+        }
+    );
+    let report = FleetScheduler::in_memory(cfg).run(&specs);
+
+    println!(
+        "  checkpoints: {} granted, {} shed; p50 visible {}, p99 visible {}, makespan {}",
+        report.granted(),
+        report.shed(),
+        report.p50_visible,
+        report.p99_visible,
+        report.makespan
+    );
+    println!(
+        "  shared plane: {:.2} MB offered, {:.2} MB stored ({:.1}% — {:.2}x dedup), pool {:.2} MB",
+        report.stats.bytes_in as f64 / 1e6,
+        (report.stats.bytes_new + report.stats.manifest_bytes) as f64 / 1e6,
+        report.stored_fraction() * 100.0,
+        1.0 / report.stored_fraction().max(f64::MIN_POSITIVE),
+        report.pool_bytes as f64 / 1e6
+    );
+    for e in &report.epochs {
+        println!(
+            "    epoch {}: {:.2} MB in, {:.2} MB stored ({:.2}x dedup)",
+            e.epoch,
+            e.bytes_in as f64 / 1e6,
+            e.bytes_stored as f64 / 1e6,
+            e.dedup_ratio()
+        );
+    }
+    let quota_hit: Vec<&mana::fleet::TenantReport> = report
+        .tenants
+        .iter()
+        .filter(|t| !t.quota_events.is_empty())
+        .collect();
+    if !quota_hit.is_empty() {
+        println!("  quota back-pressure:");
+        for t in quota_hit {
+            println!(
+                "    {}: {} event(s), {} B still stored",
+                t.name,
+                t.quota_events.len(),
+                t.stored_final
+            );
+        }
+    }
+    for r in &report.records {
+        if let mana::fleet::Admission::Shed(Backpressure::QueueTimeout { waited, limit }) =
+            r.decision
+        {
+            println!(
+                "    shed: tenant {} ckpt {} (would wait {waited} > {limit})",
+                report.tenants[r.tenant].name, r.ckpt_id
+            );
+        }
+    }
+    if cfg!(debug_assertions) && tenants > 16 {
+        eprintln!("  (debug build: large fleets are faster with --release)");
+    }
+    if report.tenants.iter().any(|t| t.verified == Some(false)) {
+        for t in report.tenants.iter().filter(|t| t.verified == Some(false)) {
+            eprintln!("  tenant {} FAILED restart verification", t.name);
+        }
+        exit(1);
+    }
+    if report.tenants.iter().all(|t| t.verified == Some(true)) {
+        println!(
+            "  all {} tenants restarted from their latest surviving checkpoint ✓",
+            report.tenants.len()
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(parse_flags(&args[1..])),
         Some("migrate") => cmd_migrate(parse_flags(&args[1..])),
         Some("verify") => cmd_verify(parse_flags(&args[1..])),
+        Some("fleet") => cmd_fleet(parse_flags(&args[1..])),
         _ => usage(),
     }
 }

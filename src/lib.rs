@@ -12,6 +12,7 @@
 //! | [`core`] | MANA itself: split process, virtualization, record-replay, drain, two-phase collectives, coordinator, images, sessions, restart |
 //! | [`store`] | composable checkpoint-storage backends: tiered/burst-buffer (async drain), compressing, replicated, incremental-delta |
 //! | [`apps`] | GROMACS/miniFE/HPCG/CLAMR/LULESH-like workloads + OSU microbenchmarks |
+//! | [`fleet`] | multi-tenant fleet scheduling: admission control, per-tenant quotas, cross-job dedup over a shared CAS plane |
 //! | [`model_check`] | explicit-state verification of the checkpoint protocol (§2.6) |
 //!
 //! ## Quickstart
@@ -63,6 +64,7 @@
 
 pub use mana_apps as apps;
 pub use mana_core as core;
+pub use mana_fleet as fleet;
 pub use mana_model_check as model_check;
 pub use mana_mpi as mpi;
 pub use mana_net as net;
