@@ -1,0 +1,410 @@
+//! The chaos driver: run a job chain through a fault plan and heal it.
+//!
+//! [`ChaosHarness::run`] owns the whole loop the module docs of
+//! [`crate`] describe:
+//!
+//! 1. a **reference run** (no faults) fixes the expected final per-rank
+//!    checksums and the application window;
+//! 2. the **chaos chain** runs the same job against a crash-consistent,
+//!    replicated store with a [`ChaosPlan`] armed — every incarnation
+//!    either completes or is gang-crashed by a fault;
+//! 3. after every crash the driver **heals the storage tier** (revives
+//!    and anti-entropies replicas, quarantines torn images) and
+//!    restarts from the newest surviving checkpoint;
+//! 4. the chain ends when an incarnation survives to completion, and
+//!    the [`ChaosReport`] records whether its final state matches the
+//!    fault-free reference bit-for-bit.
+//!
+//! Everything — the plan, the sim, the store stack — is deterministic:
+//! the same [`ChaosHarness`] produces the same report, byte for byte.
+
+use crate::plan::{ChaosPlan, WorldShape};
+use mana_apps::{make_app_small, AppKind};
+use mana_core::chaos::{ChaosHandle, CrashRecord, FailoverRecord};
+use mana_core::config::TopologyKind;
+use mana_core::{InMemStore, JobBuilder, ManaSession, Workload};
+use mana_sim::cluster::ClusterSpec;
+use mana_sim::time::SimTime;
+use mana_store::{
+    HealReport, JournaledStore, QuarantinedObject, RecoveryReport, ReplicaConfig, ReplicatedStore,
+};
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a chaos run needs: the job, the world, and the fault plan
+/// parameters. Build one with [`ChaosHarness::new`] and adjust fields
+/// before calling [`ChaosHarness::run`].
+#[derive(Clone, Debug)]
+pub struct ChaosHarness {
+    /// Seed for both the fault plan and the job.
+    pub seed: u64,
+    /// Number of faults to draw.
+    pub faults: usize,
+    /// World size.
+    pub nranks: u32,
+    /// Compute nodes.
+    pub nodes: u32,
+    /// Coordinator control-plane topology.
+    pub topology: TopologyKind,
+    /// Store replicas behind the session (≥ 1).
+    pub replicas: usize,
+    /// Which application the job runs.
+    pub app: AppKind,
+    /// Application steps.
+    pub steps: u64,
+    /// Explicit fault schedule; when `None`, a plan is drawn from
+    /// `seed`/`faults` against [`ChaosHarness::shape`].
+    pub plan: Option<ChaosPlan>,
+}
+
+impl ChaosHarness {
+    /// A harness with a small tree-topology world: 4 ranks on 2 nodes,
+    /// 2 store replicas, the application drawn from the seed.
+    pub fn new(seed: u64, faults: usize) -> ChaosHarness {
+        let kinds = AppKind::all();
+        ChaosHarness {
+            seed,
+            faults,
+            nranks: 4,
+            nodes: 2,
+            topology: TopologyKind::Tree,
+            replicas: 2,
+            app: kinds[(seed % kinds.len() as u64) as usize],
+            steps: 5,
+            plan: None,
+        }
+    }
+
+    /// The world shape plans are drawn against.
+    pub fn shape(&self) -> WorldShape {
+        WorldShape {
+            nranks: self.nranks,
+            nodes: self.nodes,
+            replicas: self.replicas,
+            tree: self.topology == TopologyKind::Tree,
+        }
+    }
+
+    fn job(&self) -> JobBuilder {
+        JobBuilder::new()
+            .cluster(ClusterSpec::local_cluster(self.nodes))
+            .ranks(self.nranks)
+            .seed(self.seed)
+            .topology(self.topology)
+    }
+
+    /// Run the whole chaos chain; see the module docs. Never panics on
+    /// an injected fault — an unhealable chain surfaces in the report
+    /// (`recovered: false` plus the error), not as an abort.
+    pub fn run(&self) -> ChaosReport {
+        let plan = self
+            .plan
+            .clone()
+            .unwrap_or_else(|| ChaosPlan::generate(self.seed, self.faults, self.shape()));
+        let app: Arc<dyn Workload> = make_app_small(self.app, self.steps);
+
+        // Phase 1: the fault-free reference.
+        let reference = ManaSession::builder()
+            .store(InMemStore::new())
+            .build()
+            .run(self.job(), app.clone())
+            .expect("reference run is fault-free static configuration");
+        let ref_sums = reference.checksums().clone();
+        let wall = reference.outcome().wall.as_nanos();
+        let app_wall = reference.outcome().app_wall.as_nanos();
+
+        // Calibrate the cost of one checkpoint in this world. Attempts
+        // pause the application for their full duration, so a schedule
+        // that ignores that cost front-loads every time into the first
+        // attempt's shadow and the coordinator coalesces them into one.
+        let ckpt_cost = ManaSession::builder()
+            .store(InMemStore::new())
+            .build()
+            .run(
+                self.job().checkpoint_times(schedule(wall, app_wall, 0, 1)),
+                app.clone(),
+            )
+            .ok()
+            .and_then(|inc| {
+                inc.ckpts()
+                    .iter()
+                    .map(|c| c.t_end.0.saturating_sub(c.t_begin.0))
+                    .max()
+            })
+            .unwrap_or(0);
+
+        // Phase 2: the chaos chain over a replicated, crash-consistent
+        // store stack. The journal frames envelopes *above* replication,
+        // so a torn write is torn identically on every replica — exactly
+        // what a writer dying mid-put produces.
+        let handle = ChaosHandle::new(plan.injector());
+        let replicated = Arc::new(ReplicatedStore::with_replicas(
+            ReplicaConfig {
+                write_quorum: self.replicas,
+                ..ReplicaConfig::default()
+            },
+            self.replicas.max(1),
+            |_| InMemStore::new(),
+        ));
+        let journal = Arc::new(JournaledStore::new(replicated.clone()).with_chaos(handle.clone()));
+        let session = ManaSession::builder().shared_store(journal.clone()).build();
+
+        let mut report = ChaosReport {
+            plan: plan.clone(),
+            incarnations: 1,
+            recovery_restarts: 0,
+            attempts: 0,
+            checkpoints: 0,
+            crashes: Vec::new(),
+            failovers: Vec::new(),
+            torn_writes: Vec::new(),
+            outages_applied: Vec::new(),
+            heals: Vec::new(),
+            quarantined: Vec::new(),
+            images_scanned: 0,
+            recovered: false,
+            checksums_match: false,
+            error: None,
+        };
+        let mut outages = plan.replica_outages().into_iter();
+        let mut apply_outage = |report: &mut ChaosReport| {
+            if let Some(i) = outages.next() {
+                replicated.kill_replica(i);
+                report.outages_applied.push(i);
+            }
+        };
+
+        let total = plan.total_attempts();
+        apply_outage(&mut report);
+        let mut current = match session.run(
+            self.job()
+                .ckpt_dir("chaos")
+                .chaos(handle.clone())
+                .checkpoint_times(schedule(wall, app_wall, ckpt_cost, total)),
+            app.clone(),
+        ) {
+            Ok(inc) => inc,
+            Err(e) => {
+                report.error = Some(format!("launch failed: {e}"));
+                return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+            }
+        };
+
+        // Phase 3: crash → heal → restart, until an incarnation survives.
+        // Each crashing incarnation consumes at least one attempt, so the
+        // chain needs at most one incarnation per crash fault (the cap is
+        // a safety net against driver bugs, not a tuning knob).
+        let cap = 2 * self.faults as u64 + 4;
+        while current.killed() {
+            if report.incarnations >= cap {
+                report.error = Some(format!("chain did not converge within {cap} incarnations"));
+                return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+            }
+            self.heal_stores(&mut report, &replicated, &journal);
+            apply_outage(&mut report);
+
+            // Probe: restart with no checkpoint schedule to learn the
+            // resumed incarnation's application window (no schedule means
+            // no attempts, so the probe cannot trip a fault). If nothing
+            // is left to schedule, the probe *is* the surviving run.
+            let probe = match current.restart_latest(JobBuilder::new()) {
+                Ok(p) => p,
+                Err(e) => {
+                    report.error = Some(format!("recovery restart failed: {e}"));
+                    return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                }
+            };
+            report.recovery_restarts += 1;
+            let remaining = total.saturating_sub(handle.attempts_seen());
+            if remaining == 0 {
+                report.incarnations += 1;
+                current = probe;
+                continue;
+            }
+            let (pw, paw) = (
+                probe.outcome().wall.as_nanos(),
+                probe.outcome().app_wall.as_nanos(),
+            );
+            current = match current.restart_latest(
+                JobBuilder::new().checkpoint_times(schedule(pw, paw, ckpt_cost, remaining)),
+            ) {
+                Ok(inc) => inc,
+                Err(e) => {
+                    report.error = Some(format!("recovery restart failed: {e}"));
+                    return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                }
+            };
+            report.incarnations += 1;
+        }
+
+        report.recovered = true;
+        report.checkpoints = session.checkpoints().len();
+        let final_sums = current.checksums().clone();
+        self.finish(
+            report,
+            &handle,
+            &replicated,
+            &journal,
+            &ref_sums,
+            Some(final_sums),
+        )
+    }
+
+    /// Heal the storage tier: revive every replica, anti-entropy each
+    /// back in sync, and quarantine any torn or uncommitted image the
+    /// crash left behind.
+    fn heal_stores(
+        &self,
+        report: &mut ChaosReport,
+        replicated: &Arc<ReplicatedStore>,
+        journal: &Arc<JournaledStore>,
+    ) {
+        for i in 0..self.replicas {
+            if !replicated.alive(i) {
+                replicated.revive(i);
+            }
+        }
+        let rec: RecoveryReport = journal.recover();
+        report.images_scanned += rec.scanned;
+        report.quarantined.extend(rec.quarantined);
+        // Heal *after* recovery so quarantine moves are replicated too
+        // and no replica re-imports a torn envelope.
+        for i in 0..self.replicas {
+            let heal = replicated.heal(i);
+            if !heal.copied.is_empty() || !heal.unservable.is_empty() {
+                report.heals.push((i, heal));
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        mut report: ChaosReport,
+        handle: &ChaosHandle,
+        replicated: &Arc<ReplicatedStore>,
+        journal: &Arc<JournaledStore>,
+        ref_sums: &std::collections::BTreeMap<u32, u64>,
+        final_sums: Option<std::collections::BTreeMap<u32, u64>>,
+    ) -> ChaosReport {
+        self.heal_stores(&mut report, replicated, journal);
+        report.attempts = handle.attempts_seen();
+        report.crashes = handle.crash_history();
+        report.failovers = handle.failovers();
+        report.torn_writes = handle.torn_writes();
+        report.checksums_match = final_sums.as_ref() == Some(ref_sums);
+        report
+    }
+}
+
+/// Space `n` checkpoint times across an application window measured as
+/// `wall` total with `app_wall` of application time at the end of it.
+///
+/// Each attempt pauses the application for roughly `ckpt_cost`, pushing
+/// the application's end out by the same amount — so time `k` lands at
+/// `base + k·step + (k−1)·ckpt_cost`: after attempt `k−1` has finished
+/// (its own attempt, not coalesced into the previous one) yet still
+/// inside the stretched window (k·step < app_wall).
+fn schedule(wall: u64, app_wall: u64, ckpt_cost: u64, n: u64) -> Vec<SimTime> {
+    let base = wall.saturating_sub(app_wall);
+    let step = (app_wall / (n + 1)).max(1);
+    (1..=n)
+        .map(|k| SimTime(base + k * step + (k - 1) * ckpt_cost))
+        .collect()
+}
+
+/// What a chaos chain went through and how it ended.
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// The fault plan that drove the chain.
+    pub plan: ChaosPlan,
+    /// Incarnations the chain ran (1 = no fault ever fired).
+    pub incarnations: u64,
+    /// Restarts performed during recovery (including window probes).
+    pub recovery_restarts: u64,
+    /// Checkpoint attempts the chain started.
+    pub attempts: u64,
+    /// Checkpoints that committed.
+    pub checkpoints: usize,
+    /// Every gang-crash injected, in order.
+    pub crashes: Vec<CrashRecord>,
+    /// Every sub-coordinator failover injected and healed in-flight.
+    pub failovers: Vec<FailoverRecord>,
+    /// Image paths whose writes were torn mid-`put`.
+    pub torn_writes: Vec<String>,
+    /// Replica outages applied (replica indices, in order).
+    pub outages_applied: Vec<usize>,
+    /// Anti-entropy repairs: `(replica, what was copied)`.
+    pub heals: Vec<(usize, HealReport)>,
+    /// Torn or uncommitted images quarantined during recovery scans.
+    pub quarantined: Vec<QuarantinedObject>,
+    /// Committed images examined by recovery scans (cumulative).
+    pub images_scanned: usize,
+    /// Whether the chain reached a surviving incarnation.
+    pub recovered: bool,
+    /// Whether the surviving incarnation's final per-rank checksums
+    /// matched the fault-free reference exactly.
+    pub checksums_match: bool,
+    /// The failure that ended the chain early, if recovery ever failed.
+    pub error: Option<String>,
+}
+
+impl ChaosReport {
+    /// The memento property: the chain survived everything the plan
+    /// threw at it and ended in exactly the fault-free state.
+    pub fn healed(&self) -> bool {
+        self.recovered && self.checksums_match && self.error.is_none()
+    }
+}
+
+impl fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.plan)?;
+        writeln!(
+            f,
+            "chain: {} incarnation(s), {} attempt(s), {} committed checkpoint(s), \
+             {} recovery restart(s)",
+            self.incarnations, self.attempts, self.checkpoints, self.recovery_restarts
+        )?;
+        for c in &self.crashes {
+            writeln!(
+                f,
+                "  crash: attempt {} (ckpt {}) rank {} @ {}",
+                c.attempt, c.ckpt_id, c.rank, c.point
+            )?;
+        }
+        for fo in &self.failovers {
+            writeln!(
+                f,
+                "  failover: attempt {} (ckpt {}) node {} sub-coordinator promoted",
+                fo.attempt, fo.ckpt_id, fo.node
+            )?;
+        }
+        for p in &self.torn_writes {
+            writeln!(f, "  torn write: {p}")?;
+        }
+        for i in &self.outages_applied {
+            writeln!(f, "  replica outage: {i}")?;
+        }
+        for (i, h) in &self.heals {
+            writeln!(
+                f,
+                "  heal replica {i}: {} object(s), {} byte(s) copied",
+                h.copied.len(),
+                h.bytes
+            )?;
+        }
+        for q in &self.quarantined {
+            writeln!(f, "  quarantined: {} ({})", q.path, q.why)?;
+        }
+        if let Some(e) = &self.error {
+            writeln!(f, "  ERROR: {e}")?;
+        }
+        writeln!(
+            f,
+            "outcome: recovered={} checksums_match={} -> {}",
+            self.recovered,
+            self.checksums_match,
+            if self.healed() { "HEALED" } else { "FAILED" }
+        )
+    }
+}

@@ -1,0 +1,42 @@
+//! # mana-chaos — inject any failure, heal every time
+//!
+//! The preceding crates make checkpoints *fast*; this crate makes them
+//! *trustworthy*. It drives whole MANA job chains through seeded fault
+//! schedules — kill a rank mid-drain, power off a node mid-bookmark,
+//! kill a sub-coordinator mid-agreement, tear an image write in half,
+//! take a store replica dark — and verifies the memento property after
+//! each: **from any crash point, the chain restarts from some committed
+//! checkpoint and ends in exactly the fault-free final state.**
+//!
+//! Three layers cooperate:
+//!
+//! * the **engine seam** ([`mana_core::chaos`]): a [`ChaosHandle`]
+//!   embedded in the job configuration, polled by every rank's helper at
+//!   protocol-phase-aware points and by every sub-coordinator during
+//!   agreement — gang-crash semantics, attempt-keyed faults;
+//! * **crash-consistent durability** ([`mana_store::JournaledStore`]):
+//!   checksummed, commit-marked image envelopes, so a torn write is
+//!   *detectably absent* rather than silently wrong, and
+//!   [`mana_store::JournaledStore::recover`] quarantines partial images;
+//! * **self-healing** (this crate, plus
+//!   [`mana_store::ReplicatedStore::heal`] and the promoted
+//!   sub-coordinator failover in `mana-core`): the [`ChaosHarness`]
+//!   heals the storage tier after every crash and restarts the chain
+//!   from the newest surviving checkpoint, skipping damaged ones.
+//!
+//! ```
+//! use mana_chaos::ChaosHarness;
+//!
+//! let report = ChaosHarness::new(7, 2).run();
+//! assert!(report.healed(), "{report}");
+//! ```
+//!
+//! [`ChaosHandle`]: mana_core::chaos::ChaosHandle
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod plan;
+
+pub use driver::{ChaosHarness, ChaosReport};
+pub use plan::{ChaosPlan, FaultKind, PlanInjector, PlannedFault, WorldShape};

@@ -1,0 +1,425 @@
+//! Seeded fault plans: the *policy* half of chaos.
+//!
+//! A [`ChaosPlan`] is a deterministic schedule of typed faults drawn from
+//! a seed: which checkpoint attempt each fault strikes, which rank/node/
+//! replica it hits, and at which protocol phase. Plans are structured so
+//! the chain always has somewhere to recover *to*: faults land only on
+//! odd attempt numbers, so every fault is preceded by a clean, committed
+//! checkpoint (attempt `2i` before fault `i` at attempt `2i + 1`).
+//!
+//! [`ChaosPlan::injector`] compiles the plan into a [`PlanInjector`] —
+//! a pure-lookup [`FaultInjector`] the engine polls at every injection
+//! point. The same seed and world shape always compile to the same
+//! faults, so every chaos run replays bit-for-bit.
+
+use mana_core::chaos::{FaultInjector, InjectPoint, RankFault};
+use mana_sim::rng::splitmix64;
+use mana_sim::time::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The shape of the world a plan is drawn against: how many ranks and
+/// nodes the job has, how many store replicas back it, and whether the
+/// control plane is the per-node tree (the only topology with
+/// sub-coordinators to kill).
+#[derive(Clone, Copy, Debug)]
+pub struct WorldShape {
+    /// World size.
+    pub nranks: u32,
+    /// Compute nodes (block placement: contiguous rank chunks per node).
+    pub nodes: u32,
+    /// Store replicas behind the session (≥ 1).
+    pub replicas: usize,
+    /// Whether the coordinator runs the per-node tree topology.
+    pub tree: bool,
+}
+
+impl WorldShape {
+    /// Node of `rank` under block placement.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        let per = self.nranks.div_ceil(self.nodes.max(1));
+        rank / per.max(1)
+    }
+}
+
+/// One typed failure a plan can schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Gang-crash the job when `rank`'s helper reaches `point`.
+    KillRank {
+        /// The rank whose helper trips the fault.
+        rank: u32,
+        /// Protocol phase it fires at.
+        point: InjectPoint,
+    },
+    /// Kill a whole compute node: the first of its ranks to reach
+    /// `point` gang-crashes the job (MPI gang semantics make the node's
+    /// other ranks die at the same instant anyway).
+    KillNode {
+        /// The node that loses power.
+        node: u32,
+        /// Protocol phase it fires at.
+        point: InjectPoint,
+    },
+    /// Kill the node's sub-coordinator daemon mid-agreement. Unlike the
+    /// rank faults this one *heals in-flight*: a surviving rank is
+    /// promoted, re-registers with the root, and the protocol re-enters
+    /// agreement — the checkpoint still commits. Only meaningful under
+    /// the tree topology.
+    KillSubCoord {
+        /// The node whose sub-coordinator dies.
+        node: u32,
+    },
+    /// Crash the writer mid-`put`: `rank`'s image write is torn (only a
+    /// `keep_frac` prefix reaches the media) and the rank dies before
+    /// reporting completion. Exercises torn-write detection and
+    /// quarantine in the crash-consistent store.
+    TornPut {
+        /// The rank whose write is torn.
+        rank: u32,
+        /// Fraction of the framed envelope that survives, in `(0, 1)`.
+        keep_frac: f64,
+    },
+    /// Take a store replica down for a whole incarnation, then revive it
+    /// and anti-entropy it back in sync. Exercises replica failover on
+    /// reads and [`mana_store::ReplicatedStore::heal`].
+    ReplicaOutage {
+        /// Index of the replica that goes dark.
+        replica: usize,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::KillRank { rank, point } => write!(f, "kill-rank {rank} @ {point}"),
+            FaultKind::KillNode { node, point } => write!(f, "kill-node {node} @ {point}"),
+            FaultKind::KillSubCoord { node } => write!(f, "kill-subcoord node {node}"),
+            FaultKind::TornPut { rank, keep_frac } => {
+                write!(f, "torn-put rank {rank} (keep {keep_frac:.2})")
+            }
+            FaultKind::ReplicaOutage { replica } => write!(f, "replica-outage {replica}"),
+        }
+    }
+}
+
+/// One scheduled fault: strike during checkpoint attempt `attempt`.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedFault {
+    /// Chain-wide checkpoint attempt the fault strikes (always odd).
+    pub attempt: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-derived schedule of faults.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// Seed the plan was drawn from.
+    pub seed: u64,
+    /// World shape the plan was drawn against.
+    pub shape: WorldShape,
+    /// The schedule, in attempt order.
+    pub faults: Vec<PlannedFault>,
+}
+
+const POINTS: [InjectPoint; 5] = [
+    InjectPoint::Agreement,
+    InjectPoint::Bookmark,
+    InjectPoint::Drain,
+    InjectPoint::Encode,
+    InjectPoint::Publish,
+];
+
+impl ChaosPlan {
+    /// Draw `n_faults` faults from `seed` against `shape`. Fault `i`
+    /// strikes attempt `2i + 1`, so attempt `0` — and every even attempt
+    /// — is clean: the chain always has a committed checkpoint older
+    /// than any fault.
+    pub fn generate(seed: u64, n_faults: usize, shape: WorldShape) -> ChaosPlan {
+        let mut s = splitmix64(seed ^ 0xC4A0_5EED);
+        let mut draw = |m: u64| {
+            s = splitmix64(s);
+            s % m.max(1)
+        };
+        let mut faults = Vec::with_capacity(n_faults);
+        for i in 0..n_faults {
+            // Candidate kinds depend on the world: sub-coordinators only
+            // exist under the tree topology, replica outages need a
+            // surviving replica.
+            let mut kinds = 2; // KillRank, TornPut always possible
+            if shape.nodes > 1 {
+                kinds += 1; // KillNode
+            }
+            if shape.tree {
+                kinds += 1; // KillSubCoord
+            }
+            if shape.replicas >= 2 {
+                kinds += 1; // ReplicaOutage
+            }
+            let mut pick = draw(kinds);
+            let kind = loop {
+                match pick {
+                    0 => {
+                        break FaultKind::KillRank {
+                            rank: draw(u64::from(shape.nranks)) as u32,
+                            point: POINTS[draw(POINTS.len() as u64) as usize],
+                        }
+                    }
+                    1 => {
+                        break FaultKind::TornPut {
+                            rank: draw(u64::from(shape.nranks)) as u32,
+                            keep_frac: 0.1 + 0.8 * (draw(1000) as f64 / 1000.0),
+                        }
+                    }
+                    2 if shape.nodes > 1 => {
+                        break FaultKind::KillNode {
+                            node: draw(u64::from(shape.nodes)) as u32,
+                            point: POINTS[draw(POINTS.len() as u64) as usize],
+                        }
+                    }
+                    _ if shape.tree && (pick == 2 || pick == 3) => {
+                        break FaultKind::KillSubCoord {
+                            node: draw(u64::from(shape.nodes)) as u32,
+                        }
+                    }
+                    _ if shape.replicas >= 2 => {
+                        break FaultKind::ReplicaOutage {
+                            replica: draw(shape.replicas as u64) as usize,
+                        }
+                    }
+                    _ => pick = 0,
+                }
+            };
+            faults.push(PlannedFault {
+                attempt: 2 * i as u64 + 1,
+                kind,
+            });
+        }
+        ChaosPlan {
+            seed,
+            shape,
+            faults,
+        }
+    }
+
+    /// Checkpoint attempts the chain should schedule so every fault has
+    /// its odd attempt — plus one trailing clean attempt after the last
+    /// fault, so the chain always ends on a committed checkpoint.
+    pub fn total_attempts(&self) -> u64 {
+        2 * self.faults.len() as u64 + 1
+    }
+
+    /// The replica outages in the plan, in schedule order. The driver
+    /// applies these one per incarnation (kill before launch, revive and
+    /// heal afterwards) — they model a storage target dark for a whole
+    /// job lifetime, not an instant.
+    pub fn replica_outages(&self) -> Vec<usize> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::ReplicaOutage { replica } => Some(replica),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Crash-class faults in the plan (those that kill the job and force
+    /// a restart): everything except sub-coordinator failovers and
+    /// replica outages, which heal without losing the job.
+    pub fn crash_faults(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::KillRank { .. }
+                        | FaultKind::KillNode { .. }
+                        | FaultKind::TornPut { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Compile the plan into a pure-lookup injector for the engine.
+    pub fn injector(&self) -> PlanInjector {
+        let mut rank_faults = BTreeMap::new();
+        let mut subcoords = BTreeMap::new();
+        let mut s = splitmix64(self.seed ^ 0x1A7E_0C1E);
+        for f in &self.faults {
+            match f.kind {
+                FaultKind::KillRank { rank, point } => {
+                    rank_faults.insert(f.attempt, (Target::Rank(rank), point, RankFault::Crash));
+                }
+                FaultKind::KillNode { node, point } => {
+                    rank_faults.insert(f.attempt, (Target::Node(node), point, RankFault::Crash));
+                }
+                FaultKind::TornPut { rank, keep_frac } => {
+                    rank_faults.insert(
+                        f.attempt,
+                        (
+                            Target::Rank(rank),
+                            InjectPoint::Encode,
+                            RankFault::TornWrite { keep_frac },
+                        ),
+                    );
+                }
+                FaultKind::KillSubCoord { node } => {
+                    // Detection + election + re-registration latency.
+                    s = splitmix64(s);
+                    let ms = 10 + s % 90;
+                    subcoords.insert(f.attempt, (node, SimDuration::millis(ms)));
+                }
+                FaultKind::ReplicaOutage { .. } => {} // driver-side, not in-sim
+            }
+        }
+        PlanInjector {
+            shape: self.shape,
+            rank_faults,
+            subcoords,
+        }
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan seed {:#x}: {} faults over {} attempts",
+            self.seed,
+            self.faults.len(),
+            self.total_attempts()
+        )?;
+        for pf in &self.faults {
+            writeln!(f, "  attempt {:>3}: {}", pf.attempt, pf.kind)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Target {
+    Rank(u32),
+    Node(u32),
+}
+
+/// A compiled [`ChaosPlan`]: pure lookups keyed by checkpoint attempt.
+#[derive(Debug)]
+pub struct PlanInjector {
+    shape: WorldShape,
+    /// attempt → (who, where, what).
+    rank_faults: BTreeMap<u64, (Target, InjectPoint, RankFault)>,
+    /// attempt → (node, promotion latency).
+    subcoords: BTreeMap<u64, (u32, SimDuration)>,
+}
+
+impl FaultInjector for PlanInjector {
+    fn rank_fault(&self, attempt: u64, rank: u32, point: InjectPoint) -> Option<RankFault> {
+        let (target, at, fault) = self.rank_faults.get(&attempt)?;
+        if *at != point {
+            return None;
+        }
+        let hit = match *target {
+            Target::Rank(r) => r == rank,
+            Target::Node(n) => self.shape.node_of(rank) == n,
+        };
+        hit.then_some(*fault)
+    }
+
+    fn subcoord_fault(&self, attempt: u64, node: u32) -> Option<SimDuration> {
+        let (n, latency) = self.subcoords.get(&attempt)?;
+        (*n == node).then_some(*latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> WorldShape {
+        WorldShape {
+            nranks: 8,
+            nodes: 2,
+            replicas: 3,
+            tree: true,
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_odd_scheduled() {
+        let a = ChaosPlan::generate(42, 6, shape());
+        let b = ChaosPlan::generate(42, 6, shape());
+        assert_eq!(format!("{a}"), format!("{b}"));
+        for (i, f) in a.faults.iter().enumerate() {
+            assert_eq!(f.attempt, 2 * i as u64 + 1, "faults strike odd attempts");
+        }
+        assert_eq!(a.total_attempts(), 13);
+        // Different seeds disagree somewhere over a few draws.
+        let c = ChaosPlan::generate(43, 6, shape());
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    fn shapes_gate_fault_kinds() {
+        // Flat topology, single replica, single node: only rank-level
+        // faults can be drawn.
+        let narrow = WorldShape {
+            nranks: 4,
+            nodes: 1,
+            replicas: 1,
+            tree: false,
+        };
+        for seed in 0..32 {
+            let plan = ChaosPlan::generate(seed, 8, narrow);
+            for f in &plan.faults {
+                assert!(
+                    matches!(
+                        f.kind,
+                        FaultKind::KillRank { .. } | FaultKind::TornPut { .. }
+                    ),
+                    "narrow world drew {}",
+                    f.kind
+                );
+                match f.kind {
+                    FaultKind::KillRank { rank, .. } | FaultKind::TornPut { rank, .. } => {
+                        assert!(rank < 4)
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injector_matches_plan() {
+        let plan = ChaosPlan {
+            seed: 7,
+            shape: shape(),
+            faults: vec![
+                PlannedFault {
+                    attempt: 1,
+                    kind: FaultKind::KillNode {
+                        node: 1,
+                        point: InjectPoint::Drain,
+                    },
+                },
+                PlannedFault {
+                    attempt: 3,
+                    kind: FaultKind::KillSubCoord { node: 0 },
+                },
+            ],
+        };
+        let inj = plan.injector();
+        // Node 1 holds ranks 4..8 under block placement.
+        assert_eq!(inj.rank_fault(1, 3, InjectPoint::Drain), None);
+        assert_eq!(
+            inj.rank_fault(1, 5, InjectPoint::Drain),
+            Some(RankFault::Crash)
+        );
+        assert_eq!(inj.rank_fault(1, 5, InjectPoint::Encode), None);
+        assert_eq!(inj.rank_fault(2, 5, InjectPoint::Drain), None);
+        assert!(inj.subcoord_fault(3, 0).is_some());
+        assert!(inj.subcoord_fault(3, 1).is_none());
+        assert!(inj.subcoord_fault(1, 0).is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! Integration: seeded chaos chains always heal.
+//!
+//! These tests drive whole job chains through [`ChaosHarness`] — the
+//! reference run, the fault-armed chain, the heal-and-restart loop — and
+//! assert the memento property end to end: whatever the plan injects,
+//! the chain ends in exactly the fault-free final state.
+
+use mana_chaos::{ChaosHarness, ChaosPlan, FaultKind, PlannedFault};
+use mana_core::chaos::InjectPoint;
+use mana_core::config::TopologyKind;
+
+/// Sweep seeds and assert every chain heals, then check the sweep as a
+/// whole exercised each fault class at least once — a single seed can
+/// draw a bland plan, but sixteen cannot.
+#[test]
+fn every_seeded_chain_heals() {
+    let (mut crashes, mut failovers, mut torn, mut outages) = (0, 0, 0, 0);
+    for seed in 0..16 {
+        let report = ChaosHarness::new(seed, 2 + (seed as usize % 2)).run();
+        assert!(report.healed(), "seed {seed} did not heal:\n{report}");
+        // Torn writes are quarantined one-for-one, and recovery scans
+        // never condemn a committed image.
+        assert_eq!(
+            report.quarantined.len(),
+            report.torn_writes.len(),
+            "seed {seed}: quarantine must hold exactly the torn images:\n{report}"
+        );
+        for q in &report.quarantined {
+            assert!(
+                report.torn_writes.contains(&q.path),
+                "seed {seed}: quarantined a non-torn image {} ({})",
+                q.path,
+                q.why
+            );
+        }
+        crashes += report.crashes.len();
+        failovers += report.failovers.len();
+        torn += report.torn_writes.len();
+        outages += report.outages_applied.len();
+    }
+    assert!(crashes > 0, "sweep never gang-crashed a job");
+    assert!(failovers > 0, "sweep never killed a sub-coordinator");
+    assert!(torn > 0, "sweep never tore an image write");
+    assert!(outages > 0, "sweep never darkened a replica");
+}
+
+/// A killed sub-coordinator no longer stalls its node: a surviving rank
+/// is promoted mid-agreement, the root re-enters agreement, and the
+/// checkpoint still commits — no crash, no restart, same final state.
+#[test]
+fn killed_subcoordinator_does_not_stall_its_node() {
+    let mut h = ChaosHarness::new(11, 2);
+    h.plan = Some(ChaosPlan {
+        seed: 11,
+        shape: h.shape(),
+        faults: vec![
+            PlannedFault {
+                attempt: 1,
+                kind: FaultKind::KillSubCoord { node: 0 },
+            },
+            PlannedFault {
+                attempt: 3,
+                kind: FaultKind::KillSubCoord { node: 1 },
+            },
+        ],
+    });
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(
+        report.incarnations, 1,
+        "failovers heal in-flight — the job must never die:\n{report}"
+    );
+    assert!(report.crashes.is_empty(), "{report}");
+    assert!(
+        report
+            .failovers
+            .iter()
+            .any(|f| f.attempt == 1 && f.node == 0),
+        "the armed failover never fired:\n{report}"
+    );
+    assert!(
+        report.checkpoints >= report.failovers.len(),
+        "every failover round must still commit its checkpoint:\n{report}"
+    );
+}
+
+/// A writer crashing mid-`put` leaves a torn envelope; recovery must
+/// quarantine exactly that image — never a committed one — and the chain
+/// restarts from the previous committed checkpoint.
+#[test]
+fn torn_put_is_quarantined_and_chain_restarts_behind_it() {
+    let mut h = ChaosHarness::new(5, 1);
+    h.plan = Some(ChaosPlan {
+        seed: 5,
+        shape: h.shape(),
+        faults: vec![PlannedFault {
+            attempt: 1,
+            kind: FaultKind::TornPut {
+                rank: 2,
+                keep_frac: 0.4,
+            },
+        }],
+    });
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(report.torn_writes.len(), 1, "{report}");
+    assert_eq!(report.quarantined.len(), 1, "{report}");
+    assert_eq!(report.quarantined[0].path, report.torn_writes[0]);
+    assert!(
+        report.images_scanned > 0,
+        "recovery scanned committed images without condemning them:\n{report}"
+    );
+    assert!(
+        report.incarnations >= 2,
+        "a torn put kills the writer:\n{report}"
+    );
+}
+
+/// The flat (star) topology has no sub-coordinators, one store replica
+/// leaves nothing to darken — the plan generator must respect the shape
+/// and the chain must still heal.
+#[test]
+fn flat_topology_single_replica_chains_heal() {
+    for seed in 0..6 {
+        let mut h = ChaosHarness::new(seed, 2);
+        h.topology = TopologyKind::Flat;
+        h.replicas = 1;
+        let report = h.run();
+        assert!(report.healed(), "seed {seed} did not heal:\n{report}");
+        assert!(
+            report.failovers.is_empty(),
+            "no sub-coordinators exist to kill"
+        );
+        assert!(
+            report.outages_applied.is_empty(),
+            "no spare replica to darken"
+        );
+    }
+}
+
+/// A replica dark for a whole incarnation: reads fail over to the
+/// survivor, and after revival anti-entropy copies the missed images
+/// back so the pair ends in sync.
+#[test]
+fn replica_outage_heals_by_anti_entropy() {
+    let mut h = ChaosHarness::new(9, 2);
+    h.plan = Some(ChaosPlan {
+        seed: 9,
+        shape: h.shape(),
+        faults: vec![
+            PlannedFault {
+                attempt: 1,
+                kind: FaultKind::KillNode {
+                    node: 1,
+                    point: InjectPoint::Drain,
+                },
+            },
+            PlannedFault {
+                attempt: 3,
+                kind: FaultKind::ReplicaOutage { replica: 1 },
+            },
+        ],
+    });
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(report.outages_applied, vec![1], "{report}");
+    assert!(
+        report
+            .heals
+            .iter()
+            .any(|(i, h)| *i == 1 && !h.copied.is_empty()),
+        "anti-entropy never repaired the revived replica:\n{report}"
+    );
+}

@@ -1,0 +1,457 @@
+//! Deterministic fault injection: the chaos seam.
+//!
+//! Production checkpointing earns trust by surviving failures, not by
+//! avoiding them. This module is the *mechanism* half of the chaos
+//! subsystem: a [`ChaosHandle`] rides inside [`crate::config::ManaConfig`]
+//! and is polled by the protocol at phase-aware points — mid-agreement,
+//! mid-bookmark, mid-drain, mid-encode, mid-publish — so a seeded
+//! [`FaultInjector`] (the *policy* half, provided by the `mana-chaos`
+//! crate or by tests) can crash the job at any instant the protocol can
+//! reach. The handle is inert by default: an unarmed handle compiles to a
+//! `None` check on every poll and injects nothing.
+//!
+//! Crash semantics are **gang failure**, matching MPI reality: killing one
+//! rank (or one node) aborts the whole job at that instant. The handle
+//! holds one registered kill thunk per rank (each resumes that rank's
+//! [`crate::cell::CkptCell`] with `kill = true`, which aborts the MPI job
+//! and wakes the rank so blocked sends/receives/collectives unwind); a
+//! firing fault invokes every thunk, the ranks unwind, and the engine
+//! reports the incarnation as killed. The checkpoint in flight never
+//! completes, so it is never registered — recovery restarts from an older
+//! survivor.
+//!
+//! Faults are keyed by **checkpoint attempt** (0, 1, 2, … in the order the
+//! chain attempts checkpoints), not by raw checkpoint id: sessions assign
+//! chain-unique ids across restarts, and a fault plan written against
+//! attempt numbers stays meaningful no matter how many incarnations the
+//! chain takes to get there.
+
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// A protocol-phase-aware injection point polled by every rank's helper
+/// during a checkpoint attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InjectPoint {
+    /// Mid-agreement: the helper is about to reply `State` to an
+    /// `IntendCkpt`/`ExtraIteration` round.
+    Agreement,
+    /// Mid-bookmark: `DoCkpt` received and the rank quiesced, but the
+    /// bookmark has not been sent yet.
+    Bookmark,
+    /// Mid-drain: bookmarks exchanged, expected-counts received, the rank
+    /// is about to drain in-flight messages.
+    Drain,
+    /// Mid-encode: the image is built and encoded but not yet written.
+    Encode,
+    /// Mid-publish: the image bytes hit the store, but the rank has not
+    /// reported `CkptDone` — the round can never commit.
+    Publish,
+}
+
+impl fmt::Display for InjectPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InjectPoint::Agreement => "agreement",
+            InjectPoint::Bookmark => "bookmark",
+            InjectPoint::Drain => "drain",
+            InjectPoint::Encode => "encode",
+            InjectPoint::Publish => "publish",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// What a [`FaultInjector`] wants to do to a rank at an injection point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RankFault {
+    /// Gang-crash the whole job right here.
+    Crash,
+    /// Tear the rank's upcoming image `put` — only a `keep_frac` prefix of
+    /// the written envelope reaches the store — then crash the job at the
+    /// following [`InjectPoint::Publish`] poll. Meaningful at
+    /// [`InjectPoint::Encode`]; ignored elsewhere.
+    TornWrite {
+        /// Fraction of the framed envelope that survives, in `(0, 1)`.
+        keep_frac: f64,
+    },
+}
+
+/// The policy half of chaos: decides, deterministically, which faults fire
+/// where. Implementations must be pure functions of their arguments (plus
+/// their own seed) — the same plan must inject the same faults on every
+/// run.
+pub trait FaultInjector: Send + Sync {
+    /// Fault (if any) for `rank` at `point` during checkpoint attempt
+    /// `attempt`. Polled on every pass through the point, so the decision
+    /// must be stable for a given `(attempt, rank, point)`.
+    fn rank_fault(&self, attempt: u64, rank: u32, point: InjectPoint) -> Option<RankFault>;
+
+    /// Kill the sub-coordinator of `node` during attempt `attempt`'s
+    /// agreement round? `Some(latency)` models the detection + promotion
+    /// delay before a surviving rank on the node takes over.
+    fn subcoord_fault(&self, attempt: u64, node: u32) -> Option<SimDuration> {
+        let _ = (attempt, node);
+        None
+    }
+}
+
+/// A crash the engine injected: which attempt, which checkpoint id it had
+/// been assigned, which rank tripped it, at which point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashRecord {
+    /// Checkpoint attempt number (0-based, chain-wide).
+    pub attempt: u64,
+    /// The chain-unique checkpoint id of the doomed attempt.
+    pub ckpt_id: u64,
+    /// The rank whose helper tripped the fault.
+    pub rank: u32,
+    /// Where in the protocol it fired.
+    pub point: InjectPoint,
+}
+
+/// A sub-coordinator failover the engine injected and healed in-flight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// Checkpoint attempt number (0-based, chain-wide).
+    pub attempt: u64,
+    /// The checkpoint id of the round the sub-coordinator died in.
+    pub ckpt_id: u64,
+    /// The node whose sub-coordinator was killed and replaced.
+    pub node: u32,
+}
+
+struct ChaosState {
+    injector: Box<dyn FaultInjector>,
+    /// ckpt_id → attempt number, assigned in first-poll order. Checkpoint
+    /// ids are chain-monotonic, so first-poll order is id order.
+    attempts: Mutex<BTreeMap<u64, u64>>,
+    /// One kill thunk per registered rank of the *current* incarnation.
+    kills: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// The current incarnation's crash, if one fired. Gates further
+    /// injection: a dead job cannot fault twice.
+    crashed: Mutex<Option<CrashRecord>>,
+    /// Torn-put follow-up: crash this `(ckpt_id, rank)` at Publish.
+    pending_publish_crash: Mutex<Option<(u64, u32)>>,
+    /// Paths whose next `put` should be torn, with the keep fraction.
+    armed_torn: Mutex<BTreeMap<String, f64>>,
+    /// Paths a journal actually tore (for reports and tests).
+    torn_written: Mutex<Vec<String>>,
+    /// Every crash across the whole chain.
+    crash_history: Mutex<Vec<CrashRecord>>,
+    /// Every sub-coordinator failover across the whole chain.
+    failovers: Mutex<Vec<FailoverRecord>>,
+    /// (attempt, node) pairs that already failed over — a sub-coordinator
+    /// is polled once per agreement iteration, but dies at most once per
+    /// attempt.
+    failed_over: Mutex<BTreeSet<(u64, u32)>>,
+}
+
+impl ChaosState {
+    fn attempt_of(&self, ckpt_id: u64) -> u64 {
+        let mut m = self.attempts.lock();
+        let next = m.len() as u64;
+        *m.entry(ckpt_id).or_insert(next)
+    }
+
+    fn crash_now(&self, rec: CrashRecord) {
+        *self.crashed.lock() = Some(rec.clone());
+        self.crash_history.lock().push(rec);
+        // Gang failure: every registered rank dies at this instant.
+        for kill in self.kills.lock().iter() {
+            kill();
+        }
+    }
+}
+
+/// A cloneable, config-embeddable handle to a chaos run. Default (and
+/// `Debug`-printed as unarmed) it injects nothing and costs a `None` check
+/// per poll; armed with a [`FaultInjector`] it drives the whole job chain
+/// through that injector's fault schedule.
+#[derive(Clone, Default)]
+pub struct ChaosHandle {
+    inner: Option<Arc<ChaosState>>,
+}
+
+impl fmt::Debug for ChaosHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosHandle")
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl ChaosHandle {
+    /// An armed handle driving `injector`'s schedule.
+    pub fn new(injector: impl FaultInjector + 'static) -> ChaosHandle {
+        ChaosHandle {
+            inner: Some(Arc::new(ChaosState {
+                injector: Box::new(injector),
+                attempts: Mutex::new(BTreeMap::new()),
+                kills: Mutex::new(Vec::new()),
+                crashed: Mutex::new(None),
+                pending_publish_crash: Mutex::new(None),
+                armed_torn: Mutex::new(BTreeMap::new()),
+                torn_written: Mutex::new(Vec::new()),
+                crash_history: Mutex::new(Vec::new()),
+                failovers: Mutex::new(Vec::new()),
+                failed_over: Mutex::new(BTreeSet::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle carries an injector at all.
+    pub fn armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Reset per-incarnation state. Engines call this before booting a
+    /// simulation so stale kill thunks (and a previous incarnation's crash
+    /// gate) never leak into the next life of the chain. Attempt numbering
+    /// and fault history persist — they are chain-wide.
+    pub fn begin_incarnation(&self) {
+        if let Some(st) = &self.inner {
+            st.kills.lock().clear();
+            *st.crashed.lock() = None;
+            *st.pending_publish_crash.lock() = None;
+            st.armed_torn.lock().clear();
+        }
+    }
+
+    /// Register a rank's kill thunk for the current incarnation. The thunk
+    /// must make that rank unwind: resume its checkpoint cell with
+    /// `kill = true`, which aborts the MPI job and wakes the rank.
+    pub fn register_kill(&self, kill: impl Fn() + Send + Sync + 'static) {
+        if let Some(st) = &self.inner {
+            st.kills.lock().push(Box::new(kill));
+        }
+    }
+
+    /// Poll an injection point from rank `rank`'s helper. Returns `true`
+    /// if the job just gang-crashed — the caller must stop participating
+    /// in the protocol (its own rank is already dying). `path` is the
+    /// image path about to be written, supplied at [`InjectPoint::Encode`]
+    /// so torn-write faults can arm the store layer.
+    pub fn rank_point(
+        &self,
+        ckpt_id: u64,
+        rank: u32,
+        point: InjectPoint,
+        path: Option<&str>,
+    ) -> bool {
+        let Some(st) = &self.inner else { return false };
+        let attempt = st.attempt_of(ckpt_id);
+        if st.crashed.lock().is_some() {
+            return false;
+        }
+        match st.injector.rank_fault(attempt, rank, point) {
+            Some(RankFault::Crash) => {
+                st.crash_now(CrashRecord {
+                    attempt,
+                    ckpt_id,
+                    rank,
+                    point,
+                });
+                true
+            }
+            Some(RankFault::TornWrite { keep_frac }) => {
+                if let Some(p) = path {
+                    st.armed_torn.lock().insert(p.to_string(), keep_frac);
+                    *st.pending_publish_crash.lock() = Some((ckpt_id, rank));
+                }
+                false
+            }
+            None => {
+                // A torn put is a two-beat fault: the Encode poll armed the
+                // tear, the put wrote a partial envelope, and now the
+                // writer dies before it can report CkptDone.
+                if point == InjectPoint::Publish
+                    && *st.pending_publish_crash.lock() == Some((ckpt_id, rank))
+                {
+                    st.crash_now(CrashRecord {
+                        attempt,
+                        ckpt_id,
+                        rank,
+                        point,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Poll for a sub-coordinator death on `node` during `ckpt_id`'s
+    /// agreement round. Fires at most once per (attempt, node); returns
+    /// the modeled detection + promotion latency when it does.
+    pub fn subcoord_point(&self, ckpt_id: u64, node: u32) -> Option<SimDuration> {
+        let st = self.inner.as_ref()?;
+        let attempt = st.attempt_of(ckpt_id);
+        if st.crashed.lock().is_some() {
+            return None;
+        }
+        let latency = st.injector.subcoord_fault(attempt, node)?;
+        if !st.failed_over.lock().insert((attempt, node)) {
+            return None;
+        }
+        st.failovers.lock().push(FailoverRecord {
+            attempt,
+            ckpt_id,
+            node,
+        });
+        Some(latency)
+    }
+
+    /// Consume a torn-write arming for `path`, if one is pending. Called
+    /// by crash-consistent store wrappers at `put` time; returns the keep
+    /// fraction to apply.
+    pub fn take_torn(&self, path: &str) -> Option<f64> {
+        self.inner.as_ref()?.armed_torn.lock().remove(path)
+    }
+
+    /// Record that a store layer actually tore the write at `path`.
+    pub fn note_torn_write(&self, path: &str) {
+        if let Some(st) = &self.inner {
+            st.torn_written.lock().push(path.to_string());
+        }
+    }
+
+    /// The current incarnation's crash, if one fired.
+    pub fn crash(&self) -> Option<CrashRecord> {
+        self.inner.as_ref()?.crashed.lock().clone()
+    }
+
+    /// Every crash injected across the chain so far.
+    pub fn crash_history(&self) -> Vec<CrashRecord> {
+        self.inner
+            .as_ref()
+            .map(|st| st.crash_history.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Every sub-coordinator failover injected (and healed) so far.
+    pub fn failovers(&self) -> Vec<FailoverRecord> {
+        self.inner
+            .as_ref()
+            .map(|st| st.failovers.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Paths whose writes were actually torn by a store layer.
+    pub fn torn_writes(&self) -> Vec<String> {
+        self.inner
+            .as_ref()
+            .map(|st| st.torn_written.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Number of distinct checkpoint attempts the chain has started.
+    pub fn attempts_seen(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|st| st.attempts.lock().len() as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    struct CrashAt {
+        attempt: u64,
+        rank: u32,
+        point: InjectPoint,
+    }
+
+    impl FaultInjector for CrashAt {
+        fn rank_fault(&self, attempt: u64, rank: u32, point: InjectPoint) -> Option<RankFault> {
+            (attempt == self.attempt && rank == self.rank && point == self.point)
+                .then_some(RankFault::Crash)
+        }
+    }
+
+    #[test]
+    fn unarmed_handle_is_inert() {
+        let h = ChaosHandle::default();
+        assert!(!h.armed());
+        assert!(!h.rank_point(0, 0, InjectPoint::Agreement, None));
+        assert!(h.subcoord_point(0, 0).is_none());
+        assert_eq!(h.attempts_seen(), 0);
+        h.begin_incarnation(); // no-op, must not panic
+    }
+
+    #[test]
+    fn crash_fires_every_kill_and_gates_further_faults() {
+        let h = ChaosHandle::new(CrashAt {
+            attempt: 1,
+            rank: 2,
+            point: InjectPoint::Drain,
+        });
+        let killed = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let k = killed.clone();
+            h.register_kill(move || {
+                k.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Attempt 0 (ckpt id 10): no fault anywhere.
+        assert!(!h.rank_point(10, 2, InjectPoint::Drain, None));
+        // Attempt 1 (ckpt id 11): rank 2 trips it at Drain.
+        assert!(!h.rank_point(11, 2, InjectPoint::Agreement, None));
+        assert!(h.rank_point(11, 2, InjectPoint::Drain, None));
+        assert_eq!(killed.load(Ordering::SeqCst), 4, "gang failure kills all");
+        // The dead job cannot fault again...
+        assert!(!h.rank_point(11, 2, InjectPoint::Drain, None));
+        let rec = h.crash().expect("crash recorded");
+        assert_eq!((rec.attempt, rec.rank), (1, 2));
+        // ...until the next incarnation resets the gate (and the thunks).
+        h.begin_incarnation();
+        assert!(h.crash().is_none());
+        // Ckpt 12 is attempt 2 — past the injector's schedule, no fault.
+        assert!(!h.rank_point(12, 2, InjectPoint::Drain, None));
+        assert_eq!(
+            killed.load(Ordering::SeqCst),
+            4,
+            "stale thunks were cleared"
+        );
+    }
+
+    #[test]
+    fn attempt_numbering_follows_first_poll_order() {
+        let h = ChaosHandle::new(CrashAt {
+            attempt: u64::MAX,
+            rank: 0,
+            point: InjectPoint::Agreement,
+        });
+        h.rank_point(100, 0, InjectPoint::Agreement, None);
+        h.rank_point(100, 1, InjectPoint::Agreement, None);
+        h.rank_point(107, 0, InjectPoint::Agreement, None);
+        assert_eq!(h.attempts_seen(), 2);
+    }
+
+    struct TearAt;
+    impl FaultInjector for TearAt {
+        fn rank_fault(&self, attempt: u64, rank: u32, point: InjectPoint) -> Option<RankFault> {
+            (attempt == 0 && rank == 1 && point == InjectPoint::Encode)
+                .then_some(RankFault::TornWrite { keep_frac: 0.5 })
+        }
+    }
+
+    #[test]
+    fn torn_write_arms_then_crashes_at_publish() {
+        let h = ChaosHandle::new(TearAt);
+        assert!(!h.rank_point(5, 1, InjectPoint::Encode, Some("d/r1")));
+        assert_eq!(h.take_torn("d/r1"), Some(0.5));
+        assert_eq!(h.take_torn("d/r1"), None, "arming is one-shot");
+        // Another rank publishing is untouched; the torn writer dies.
+        assert!(!h.rank_point(5, 0, InjectPoint::Publish, None));
+        assert!(h.rank_point(5, 1, InjectPoint::Publish, None));
+        assert_eq!(h.crash().unwrap().point, InjectPoint::Publish);
+    }
+}

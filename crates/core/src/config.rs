@@ -1,5 +1,6 @@
 //! MANA configuration.
 
+use crate::chaos::ChaosHandle;
 use mana_sim::kernel::KernelModel;
 use mana_sim::time::{SimDuration, SimTime};
 
@@ -80,6 +81,11 @@ pub struct ManaConfig {
     /// `fig_restart` bench switches it off to measure the full-log replay
     /// curve.
     pub compact_log: bool,
+    /// Fault-injection seam. Unarmed (the default) it injects nothing;
+    /// armed, the protocol polls it at phase-aware points and a seeded
+    /// fault plan can crash the job anywhere. Cloned across restart
+    /// inheritance, so one injector spans a whole incarnation chain.
+    pub chaos: ChaosHandle,
 }
 
 impl ManaConfig {
@@ -99,6 +105,7 @@ impl ManaConfig {
             ctrl_recv_cpu_intra: SimDuration::micros(9),
             topology: TopologyKind::Flat,
             compact_log: true,
+            chaos: ChaosHandle::default(),
         }
     }
 

@@ -197,6 +197,17 @@ pub enum CtrlMsg {
         /// Per-rank stats for the node's ranks.
         stats: Vec<RankCkptStats>,
     },
+    /// Sub-coordinator → root: the node's sub-coordinator process died
+    /// mid-gather and a surviving rank on the node was promoted in its
+    /// place. The dying process took the round's local `State` replies
+    /// with it, so the root must re-enter agreement (an extra iteration)
+    /// to let the promoted sub-coordinator re-collect them.
+    SubPromoted {
+        /// The node whose sub-coordinator failed over.
+        node: u32,
+        /// The checkpoint round the failure interrupted.
+        ckpt_id: u64,
+    },
     /// Coordinator → rank: everyone finished; resume (or die, per config).
     Resume {
         /// Checkpoint id.
@@ -222,6 +233,7 @@ impl CtrlMsg {
             CtrlMsg::ExpectedInBatch { .. } => "ExpectedInBatch",
             CtrlMsg::CkptDone { .. } => "CkptDone",
             CtrlMsg::CkptDoneAgg { .. } => "CkptDoneAgg",
+            CtrlMsg::SubPromoted { .. } => "SubPromoted",
             CtrlMsg::Resume { .. } => "Resume",
         }
     }

@@ -24,6 +24,17 @@ pub enum StoreError {
         /// What went wrong.
         why: String,
     },
+    /// The stored object is an incomplete write — the writer crashed
+    /// mid-`put` and the object's commit trailer never landed. Unlike
+    /// [`StoreError::Corrupt`] (the bytes are all there but wrong), a torn
+    /// object is detectably *absent*: recovery treats the checkpoint as if
+    /// it was never published.
+    Torn {
+        /// Path of the partially-written object.
+        path: String,
+        /// What part of the envelope is missing.
+        why: String,
+    },
     /// A tenant's stored checkpoint bytes exceed its byte budget — typed
     /// back-pressure from per-tenant quota enforcement (session quotas
     /// and the fleet scheduler's quota pass both emit this).
@@ -43,6 +54,9 @@ impl fmt::Display for StoreError {
             StoreError::NotFound(p) => write!(f, "checkpoint object not found: {p}"),
             StoreError::Corrupt { path, why } => {
                 write!(f, "checkpoint object at '{path}' unreadable: {why}")
+            }
+            StoreError::Torn { path, why } => {
+                write!(f, "checkpoint object at '{path}' torn mid-write: {why}")
             }
             StoreError::QuotaExceeded {
                 tenant,
@@ -87,8 +101,9 @@ pub enum SessionError {
         ckpt_id: u64,
         /// Session checkpoints whose images are all still in the store.
         surviving: Vec<u64>,
-        /// The underlying engine error.
-        source: RestartError,
+        /// The underlying engine error (boxed to keep the common
+        /// `Result` paths small — clippy's `result_large_err`).
+        source: Box<RestartError>,
     },
     /// A [`crate::session::JobBuilder`] described an unrunnable job.
     InvalidJob(String),
@@ -170,12 +185,12 @@ mod tests {
         let s = SessionError::CheckpointGone {
             ckpt_id: 1,
             surviving: vec![3, 4],
-            source: RestartError::MissingImage {
+            source: Box::new(RestartError::MissingImage {
                 rank: 0,
                 ckpt_id: 1,
                 path: "ckpt/ckpt_1/rank_0.mana".into(),
                 source: StoreError::NotFound("ckpt/ckpt_1/rank_0.mana".into()),
-            },
+            }),
         }
         .to_string();
         assert!(

@@ -16,6 +16,7 @@
 
 use crate::buffer::BufferedMsg;
 use crate::cell::Park;
+use crate::chaos::InjectPoint;
 use crate::config::ManaConfig;
 use crate::ctrl::{ctrl_msg_bytes, protocol_violation, CtrlMsg, ProtocolPhase};
 use crate::image::CheckpointImage;
@@ -89,6 +90,14 @@ fn progress_vec(sh: &Arc<RankShared>) -> Vec<(u64, u64)> {
 pub fn run_helper(t: SimThread, hx: HelperCtx) {
     hx.ctrl.add_waiter(hx.my_ep, t.id());
     hx.sh.cell.register_helper(t.id());
+    {
+        // Chaos seam: a firing fault gang-crashes the MPI job (killing one
+        // rank kills the job — MPI semantics). This thunk is this rank's
+        // share of that crash: resume-with-kill aborts the job and wakes
+        // the rank so blocked operations unwind.
+        let sh = hx.sh.clone();
+        hx.cfg.chaos.register_kill(move || sh.cell.resume(true));
+    }
     loop {
         if hx.sh.cell.take_pending_exit_phase2() {
             let progress = progress_vec(&hx.sh);
@@ -105,7 +114,14 @@ pub fn run_helper(t: SimThread, hx: HelperCtx) {
         }
         if let Some(msg) = hx.ctrl.poll(hx.my_ep) {
             match msg {
-                CtrlMsg::IntendCkpt { .. } | CtrlMsg::ExtraIteration { .. } => {
+                CtrlMsg::IntendCkpt { ckpt_id } | CtrlMsg::ExtraIteration { ckpt_id } => {
+                    if hx
+                        .cfg
+                        .chaos
+                        .rank_point(ckpt_id, hx.sh.rank, InjectPoint::Agreement, None)
+                    {
+                        return; // mid-agreement crash: the job is dead
+                    }
                     if let Some(reply) = hx.sh.cell.on_intent() {
                         let instance = (reply == crate::ctrl::RankReply::InPhase1)
                             .then(|| hx.sh.cell.current_instance())
@@ -150,6 +166,13 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     // 1. Quiesce: stop the rank from initiating new sends.
     sh.cell.set_do_ckpt();
     sh.cell.helper_wait(t, |c| c.bookmark_safe());
+    if hx
+        .cfg
+        .chaos
+        .rank_point(ckpt_id, sh.rank, InjectPoint::Bookmark, None)
+    {
+        return true; // died quiesced, bookmark never sent
+    }
 
     // 2. Bookmark exchange (via the coordinator: a star-shaped variation
     //    of the all-to-all exchange, §2.3).
@@ -173,6 +196,14 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
         ),
     };
 
+    if hx
+        .cfg
+        .chaos
+        .rank_point(ckpt_id, sh.rank, InjectPoint::Drain, None)
+    {
+        return true; // died with the wire still carrying messages
+    }
+
     // 3. Drain in-flight messages into the checkpoint buffer.
     let drain_t0 = t.now();
     let lower = sh.lower.lock().clone().expect("lower half bound");
@@ -193,10 +224,26 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
 
     // 5. Write + fsync through the checkpoint store.
     let path = hx.cfg.image_path(ckpt_id, sh.rank);
+    if hx
+        .cfg
+        .chaos
+        .rank_point(ckpt_id, sh.rank, InjectPoint::Encode, Some(&path))
+    {
+        return true; // died with the image encoded but never written
+    }
     let wdur = hx
         .store
         .put(&path, encoded, logical, u64::from(sh.rank), hx.io_shape);
     t.advance(wdur);
+    if hx
+        .cfg
+        .chaos
+        .rank_point(ckpt_id, sh.rank, InjectPoint::Publish, None)
+    {
+        // Died after the write but before reporting CkptDone: the round
+        // can never commit, so the (possibly torn) image is unreferenced.
+        return true;
+    }
 
     // The image is durable: commit the snapshot as the new dirty-tracking
     // base epoch. (An aborted checkpoint would simply skip this — the

@@ -21,6 +21,10 @@
 //!   holding everything a restart needs;
 //! * **checkpoint storage** ([`store`]): pluggable [`CheckpointStore`]
 //!   backends (parallel filesystem, in-memory);
+//! * **fault injection** ([`chaos`]): a config-embedded chaos seam polled
+//!   at protocol-phase-aware points, so seeded fault plans can gang-crash
+//!   the job mid-agreement/bookmark/drain/encode/publish and kill
+//!   sub-coordinators mid-round;
 //! * **the restart subsystem** ([`restart`]): a staged, verified pipeline
 //!   — fresh lower half, restored upper half, *compacted* opaque-object
 //!   log replayed against an explicit rebind map — on any
@@ -34,6 +38,7 @@
 
 pub mod buffer;
 pub mod cell;
+pub mod chaos;
 pub mod codec;
 pub mod config;
 pub mod coordinator;
@@ -55,6 +60,7 @@ pub mod virtid;
 pub mod wrapper;
 
 pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
+pub use chaos::{ChaosHandle, CrashRecord, FailoverRecord, FaultInjector, InjectPoint, RankFault};
 pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig, TopologyKind};
 pub use ctrl::{ProtocolPhase, ProtocolViolation, StateAgg};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};

@@ -164,6 +164,9 @@ impl<'a> RestartEngine<'a> {
         install_quiet_kill_hook();
         let images = self.fetch_images()?;
         let spec = self.spec;
+        // A restart is a fresh incarnation of the chain: reset the chaos
+        // seam's per-incarnation state (kill thunks, crash gate).
+        spec.cfg.chaos.begin_incarnation();
 
         let sim = Sim::new(SimConfig {
             seed: spec.seed,

@@ -316,6 +316,9 @@ pub(crate) fn mana_engine(
     let checksums: Checksums = Arc::new(Mutex::new(BTreeMap::new()));
     let killed = Arc::new(Mutex::new(false));
     let window: AppWindow = Arc::new(Mutex::new((None, None)));
+    // A fresh simulation is a fresh incarnation: clear any kill thunks a
+    // previous life of this chain registered with the chaos seam.
+    spec.cfg.chaos.begin_incarnation();
     launch_engine(
         &sim,
         store,

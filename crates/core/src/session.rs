@@ -82,6 +82,7 @@
 //! assert_eq!(clean.checksums(), resumed.checksums());
 //! ```
 
+use crate::chaos::ChaosHandle;
 use crate::config::{AfterCkpt, ManaConfig, TopologyKind};
 use crate::env::Workload;
 use crate::error::{SessionError, StoreError};
@@ -436,7 +437,7 @@ impl ManaSession {
                 return SessionError::CheckpointGone {
                     ckpt_id: *ckpt_id,
                     surviving,
-                    source: e,
+                    source: Box::new(e),
                 };
             }
         }
@@ -537,6 +538,7 @@ pub struct JobBuilder {
     after_last_ckpt: Option<AfterCkpt>,
     topology: Option<TopologyKind>,
     compact_log: Option<bool>,
+    chaos: Option<ChaosHandle>,
 }
 
 impl JobBuilder {
@@ -613,6 +615,15 @@ impl JobBuilder {
     /// across restarts like the rest of the configuration.
     pub fn compact_log(mut self, on: bool) -> JobBuilder {
         self.compact_log = Some(on);
+        self
+    }
+
+    /// Arm deterministic fault injection: `handle`'s injector is polled at
+    /// every protocol-phase-aware point of every checkpoint attempt (see
+    /// [`crate::chaos`]). Inherited across restarts like the rest of the
+    /// configuration, so one handle spans the whole job chain.
+    pub fn chaos(mut self, handle: ChaosHandle) -> JobBuilder {
+        self.chaos = Some(handle);
         self
     }
 
@@ -726,6 +737,9 @@ impl JobBuilder {
         }
         if let Some(compact) = self.compact_log {
             cfg.compact_log = compact;
+        }
+        if let Some(chaos) = &self.chaos {
+            cfg.chaos = chaos.clone();
         }
         if cfg.ckpt_times.is_empty() && cfg.after_last_ckpt == AfterCkpt::Kill {
             return Err(SessionError::InvalidJob(
@@ -843,15 +857,33 @@ impl Incarnation {
     /// checkpoint that still has all its images — the right entry point
     /// after a run that took several rolling checkpoints under a
     /// [`GcPolicy::KeepLast`] session.
+    ///
+    /// Damage-tolerant: candidates come from the whole session chain
+    /// (newest first), and a candidate whose restart fails with
+    /// image-level damage — a missing, torn, corrupt, malformed or
+    /// replay-divergent image — is skipped in favour of the next-older
+    /// survivor, so one bad checkpoint never strands a restartable job.
+    /// Only when every survivor is damaged does the last damage error
+    /// surface; job-level errors (world-size mismatch, invalid spec)
+    /// abort immediately since an older checkpoint cannot fix them.
     pub fn restart_latest(&self, job: JobBuilder) -> Result<Incarnation, SessionError> {
-        let ckpt_id = self
-            .latest_surviving_checkpoint()
-            .ok_or(SessionError::NoCheckpoint {
-                incarnation: self.index,
-            })?;
-        let spec = job.build_spec(Some(&self.spec))?;
-        self.session
-            .run_spec(spec, self.workload.clone(), Some(ckpt_id))
+        let mut ids = self.session.surviving_checkpoints();
+        ids.sort_unstable();
+        let mut last_damage: Option<SessionError> = None;
+        for ckpt_id in ids.into_iter().rev() {
+            let spec = job.clone().build_spec(Some(&self.spec))?;
+            match self
+                .session
+                .run_spec(spec, self.workload.clone(), Some(ckpt_id))
+            {
+                Ok(inc) => return Ok(inc),
+                Err(e) if is_image_damage(&e) => last_damage = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_damage.unwrap_or(SessionError::NoCheckpoint {
+            incarnation: self.index,
+        }))
     }
 
     /// Restart this incarnation's workload from its latest checkpoint,
@@ -874,6 +906,18 @@ impl Incarnation {
         })?;
         let spec = job.build_spec(Some(&self.spec))?;
         self.session.run_spec(spec, workload, Some(ckpt_id))
+    }
+}
+
+/// Is this restart failure confined to one checkpoint's images (so an
+/// older checkpoint could still succeed)? Spec-level failures — world
+/// size mismatch, invalid job — are *not* image damage: retrying them
+/// against an older checkpoint would fail identically.
+fn is_image_damage(e: &SessionError) -> bool {
+    match e {
+        SessionError::CheckpointGone { .. } => true,
+        SessionError::Restart(r) => !matches!(r, RestartError::WorldSizeMismatch { .. }),
+        _ => false,
     }
 }
 

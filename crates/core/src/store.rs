@@ -65,6 +65,52 @@ pub trait CheckpointStore: Send + Sync {
     fn list(&self) -> Vec<String>;
 }
 
+/// Shared handles are stores too: wrapping layers can take `Arc<S>` so a
+/// caller (a test harness, the chaos driver) keeps a handle to the inner
+/// store it still needs to poke at — kill replicas, run recovery scans —
+/// while the wrapped stack serves the session.
+impl<S: CheckpointStore + ?Sized> CheckpointStore for Arc<S> {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        (**self).put(path, data, logical_len, rank, shape)
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        (**self).get(path, rank, shape)
+    }
+
+    fn begin_epoch(&self) {
+        (**self).begin_epoch()
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        (**self).exists(path)
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        (**self).logical_len(path)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        (**self).remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        (**self).list()
+    }
+}
+
 /// Checkpoint garbage-collection policy, enforced by the session after
 /// every successful checkpoint via [`CheckpointStore::remove`].
 ///

@@ -28,6 +28,7 @@
 //! identical safety decisions, identical per-rank checkpoint stats,
 //! byte-identical restart images.
 
+use crate::chaos::ChaosHandle;
 use crate::config::{ManaConfig, TopologyKind};
 use crate::ctrl::{
     ctrl_msg_bytes, protocol_violation, CtrlMsg, ProtocolPhase, ProtocolViolation, StateAgg,
@@ -386,6 +387,11 @@ impl CoordTopology for TreeTopology {
         for _ in 0..self.children.len() {
             match self.recv(t) {
                 CtrlMsg::StateAggMsg { agg: partial } => agg.merge(&partial),
+                // A sub-coordinator died mid-round and a surviving rank
+                // took over: its node contributes nothing this round, so
+                // the aggregate comes back short and the protocol driver
+                // re-enters agreement (see `run_checkpoint`).
+                CtrlMsg::SubPromoted { .. } => {}
                 other => protocol_violation(
                     "root coordinator",
                     ckpt_id,
@@ -475,6 +481,9 @@ struct SubCoordCtx {
     /// `(rank, helper endpoint)` for the node's ranks.
     local: Vec<(u32, EndpointId)>,
     cpu: CtrlCpu,
+    /// Fault-injection seam: may order this sub-coordinator killed
+    /// mid-agreement, exercising the promotion/failover path.
+    chaos: ChaosHandle,
 }
 
 impl SubCoordCtx {
@@ -502,6 +511,47 @@ impl SubCoordCtx {
         for (_, ep) in &self.local {
             send_from(t, &self.ctrl, self.my_ep, *ep, self.cpu, mk());
         }
+    }
+
+    /// Fault-injection point: the sub-coordinator process dies after
+    /// fanning an agreement round out to its helpers, and a surviving
+    /// rank on the node is promoted in its place.
+    ///
+    /// The promotion is modelled in place rather than by swapping sim
+    /// threads: the replacement inherits the dead daemon's endpoint (it
+    /// re-binds the node-local listen socket), pays the injected
+    /// election/re-registration latency, drains the `State` replies the
+    /// dead daemon left queued (their round is void — the replies carry
+    /// seq numbers from before the promotion), and announces itself to
+    /// the root with [`CtrlMsg::SubPromoted`] so the root re-enters
+    /// agreement instead of waiting forever on the node's aggregate.
+    /// Returns `true` if a failover happened (the round is over for this
+    /// node).
+    fn maybe_failover(&self, t: &SimThread, ckpt_id: u64) -> bool {
+        let Some(latency) = self.chaos.subcoord_point(ckpt_id, self.node) else {
+            return false;
+        };
+        t.advance(latency);
+        for _ in 0..self.local.len() {
+            match self.recv_local(t) {
+                CtrlMsg::State { .. } => {}
+                other => protocol_violation(
+                    format!("{} (promoted)", self.role()),
+                    ckpt_id,
+                    ProtocolPhase::Agreement,
+                    "State (stale, pre-promotion)",
+                    other,
+                ),
+            }
+        }
+        self.send_root(
+            t,
+            CtrlMsg::SubPromoted {
+                node: self.node,
+                ckpt_id,
+            },
+        );
+        true
     }
 
     /// Gather the node's `State` replies for one agreement round and ship
@@ -601,10 +651,16 @@ fn run_sub_coordinator(t: SimThread, sx: SubCoordCtx) {
         match sx.recv(&t) {
             CtrlMsg::IntendCkpt { ckpt_id } => {
                 sx.fan_out(&t, || CtrlMsg::IntendCkpt { ckpt_id });
+                if sx.maybe_failover(&t, ckpt_id) {
+                    continue;
+                }
                 sx.relay_states(&t, ckpt_id);
             }
             CtrlMsg::ExtraIteration { ckpt_id } => {
                 sx.fan_out(&t, || CtrlMsg::ExtraIteration { ckpt_id });
+                if sx.maybe_failover(&t, ckpt_id) {
+                    continue;
+                }
                 sx.relay_states(&t, ckpt_id);
             }
             CtrlMsg::DoCkpt { ckpt_id } => {
@@ -696,6 +752,7 @@ pub fn build_control_plane(
                         .map(|r| (*r, helper_eps[*r as usize]))
                         .collect(),
                     cpu: CtrlCpu::of(cfg),
+                    chaos: cfg.chaos.clone(),
                 };
                 children.push(SubLink { ep: sub_ep });
                 sim.spawn(&format!("subcoord{node}"), true, move |t| {

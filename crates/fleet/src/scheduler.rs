@@ -32,6 +32,7 @@
 
 use crate::admission::{admit, percentile, Admission, AdmissionConfig, CkptRequest};
 use mana_apps::{make_app_with_bulk, AppKind};
+use mana_core::chaos::ChaosHandle;
 use mana_core::{
     CheckpointStore, CkptEvent, GcPolicy, InMemStore, JobBuilder, ManaSession, StoreError,
 };
@@ -70,6 +71,13 @@ pub struct TenantSpec {
     pub quota_bytes: Option<u64>,
     /// Rolling GC window ([`GcPolicy::KeepLast`]).
     pub keep_last: usize,
+    /// Chaos seam: when armed, the tenant's checkpointing incarnation
+    /// runs under this fault schedule (gang-crashes, sub-coordinator
+    /// kills). The clean reference probe is never armed, and phase-4
+    /// verification restarts from the newest *surviving* checkpoint, so
+    /// a chaos-armed tenant still verifies `Some(true)` as long as some
+    /// checkpoint committed before its crash.
+    pub chaos: Option<ChaosHandle>,
 }
 
 impl TenantSpec {
@@ -90,6 +98,7 @@ impl TenantSpec {
             offset: SimDuration::secs_f64(1.7 * i as f64),
             quota_bytes: None,
             keep_last: 2,
+            chaos: None,
         }
     }
 }
@@ -461,14 +470,15 @@ impl<S: CheckpointStore + 'static> FleetScheduler<S> {
         let session = builder.build();
         let fracs = (1..=spec.ckpts).map(|k| f64::from(k) / f64::from(spec.ckpts + 1));
         let times = fracs.map(|f| SimTime(wall - app_wall + (app_wall as f64 * f) as u64));
+        let mut fleet_job = job()
+            .ckpt_dir(format!("tenants/{}", spec.name))
+            .checkpoint_times(times)
+            .then_kill();
+        if let Some(handle) = &spec.chaos {
+            fleet_job = fleet_job.chaos(handle.clone());
+        }
         let killed = session
-            .run(
-                job()
-                    .ckpt_dir(format!("tenants/{}", spec.name))
-                    .checkpoint_times(times)
-                    .then_kill(),
-                app(),
-            )
+            .run(fleet_job, app())
             .unwrap_or_else(|e| panic!("tenant {}: fleet run failed: {e}", spec.name));
         let taken = taken.lock().clone();
         TenantRun {

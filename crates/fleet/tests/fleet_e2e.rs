@@ -231,3 +231,62 @@ fn shedding_degrades_freshness_but_never_restartability() {
         );
     }
 }
+
+/// A chaos-armed tenant: its checkpointing incarnation is gang-crashed
+/// mid-drain on the second attempt, so only the first checkpoint
+/// commits — yet phase-4 verification restarts from that survivor and
+/// still reaches the clean run's checksums, and the tenant's neighbors
+/// are untouched.
+#[test]
+fn chaos_armed_tenant_still_verifies() {
+    use mana_chaos::{ChaosPlan, FaultKind, PlannedFault, WorldShape};
+    use mana_core::chaos::{ChaosHandle, InjectPoint};
+
+    let fleet = FleetScheduler::in_memory(FleetConfig::default());
+    let mut tenants: Vec<TenantSpec> = (0..3).map(TenantSpec::nth).collect();
+    let plan = ChaosPlan {
+        seed: 1,
+        shape: WorldShape {
+            nranks: 2,
+            nodes: 1,
+            replicas: 1,
+            tree: false,
+        },
+        faults: vec![PlannedFault {
+            attempt: 1,
+            kind: FaultKind::KillRank {
+                rank: 1,
+                point: InjectPoint::Drain,
+            },
+        }],
+    };
+    let handle = ChaosHandle::new(plan.injector());
+    tenants[1].chaos = Some(handle.clone());
+    let report = fleet.run(&tenants);
+
+    assert_eq!(
+        handle.crash_history().len(),
+        1,
+        "the armed fault must fire exactly once"
+    );
+    assert_eq!(
+        report.tenants[1].ckpts_taken, 1,
+        "the crash lands mid-drain on attempt 1, so only attempt 0 commits"
+    );
+    assert_eq!(
+        report.tenants[0].ckpts_taken, 2,
+        "neighbors keep their schedule"
+    );
+    assert_eq!(
+        report.tenants[2].ckpts_taken, 2,
+        "neighbors keep their schedule"
+    );
+    for t in &report.tenants {
+        assert_eq!(
+            t.verified,
+            Some(true),
+            "tenant {} must verify from its newest surviving checkpoint",
+            t.name
+        );
+    }
+}

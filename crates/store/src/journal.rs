@@ -1,0 +1,394 @@
+//! Crash-consistent publish: [`JournaledStore`].
+//!
+//! A checkpoint is only worth taking if a crash *during* the checkpoint
+//! cannot leave the store holding something that looks like a checkpoint
+//! but isn't. `JournaledStore` wraps any [`CheckpointStore`] and makes
+//! every `put` atomic-or-absent by framing the object in a commit
+//! envelope:
+//!
+//! ```text
+//! | magic (8) | version (4) | payload_len (8) | payload | checksum (8) | commit (8) |
+//! ```
+//!
+//! The commit word is written last, so a writer that dies mid-`put`
+//! leaves a prefix that fails validation — [`StoreError::Torn`] — and
+//! `exists()` reports the object *absent*. That is the memento-style
+//! discipline of detectable recoverability: a checkpoint is either fully
+//! durable or detectably not there, never silently half there. Bit rot in
+//! a fully-written envelope is caught by the checksum and surfaces as
+//! [`StoreError::Corrupt`].
+//!
+//! [`recover()`](JournaledStore::recover) is the session-open scan: every
+//! object that fails validation is moved under the `.quarantine/` prefix
+//! (preserved for forensics, out of the way of restart path probing) and
+//! reported. Committed objects are never touched.
+//!
+//! Composition: the journal parses nothing *inside* the payload, so it
+//! belongs nearest the backend media — wrap the innermost store
+//! (`Journaled(Fs)`, then layer `Tiered`/`Replicated`/`Delta`/`Cas` on
+//! top), or wrap a whole replicated stack to model end-to-end envelope
+//! integrity. Content-parsing layers (`Delta`, `Cas`, `Compressing`) must
+//! sit *above* it: they need the bare payload back, not the envelope.
+
+use mana_core::chaos::ChaosHandle;
+use mana_core::error::StoreError;
+use mana_core::store::CheckpointStore;
+use mana_sim::checksum::checksum_bytes;
+use mana_sim::fs::IoShape;
+use mana_sim::time::SimDuration;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// `"MANAJNL1"` as a little-endian u64.
+const MAGIC: u64 = u64::from_le_bytes(*b"MANAJNL1");
+/// `"COMMITED"` — the commit record, written (and validated) last.
+const COMMIT: u64 = u64::from_le_bytes(*b"COMMITED");
+const VERSION: u32 = 1;
+const HEADER: usize = 8 + 4 + 8;
+const TRAILER: usize = 8 + 8;
+
+/// Prefix under which [`JournaledStore::recover`] parks invalid objects.
+pub const QUARANTINE_PREFIX: &str = ".quarantine/";
+
+const NEUTRAL_SHAPE: IoShape = IoShape {
+    writers_on_node: 1,
+    total_writers: 1,
+};
+
+/// One object quarantined by a [`JournaledStore::recover`] scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantinedObject {
+    /// The path the invalid object was found at.
+    pub path: String,
+    /// Where its bytes were parked (under [`QUARANTINE_PREFIX`]).
+    pub quarantine_path: String,
+    /// The validation failure that condemned it.
+    pub why: String,
+}
+
+/// Result of a [`JournaledStore::recover`] scan.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Objects examined (quarantined objects from earlier scans excluded).
+    pub scanned: usize,
+    /// Objects that failed validation and were moved out of the way.
+    pub quarantined: Vec<QuarantinedObject>,
+}
+
+/// Crash-consistent wrapper: atomic publish, torn-write detection, and a
+/// quarantine-on-recovery scan over any inner [`CheckpointStore`].
+pub struct JournaledStore {
+    inner: Box<dyn CheckpointStore>,
+    /// Chaos seam: consulted at `put` time for armed torn writes.
+    chaos: ChaosHandle,
+    /// Locally-armed torn writes (tests and direct drivers), by path.
+    armed_torn: Mutex<BTreeMap<String, f64>>,
+    /// Paths this store actually tore.
+    torn_written: Mutex<Vec<String>>,
+}
+
+impl JournaledStore {
+    /// Journal every publish into `inner`.
+    pub fn new(inner: impl CheckpointStore + 'static) -> JournaledStore {
+        JournaledStore {
+            inner: Box::new(inner),
+            chaos: ChaosHandle::default(),
+            armed_torn: Mutex::new(BTreeMap::new()),
+            torn_written: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attach a chaos handle: faults armed through it (a crashing writer
+    /// mid-`put`) tear the matching envelope write.
+    pub fn with_chaos(mut self, chaos: ChaosHandle) -> JournaledStore {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Arm the next `put` at `path` to be torn: only the first
+    /// `keep_frac` of the framed envelope reaches the inner store,
+    /// simulating a writer that died mid-write. One-shot.
+    pub fn arm_torn_put(&self, path: &str, keep_frac: f64) {
+        self.armed_torn.lock().insert(path.to_string(), keep_frac);
+    }
+
+    /// Paths whose writes this store tore (in write order).
+    pub fn torn_writes(&self) -> Vec<String> {
+        self.torn_written.lock().clone()
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut env = Vec::with_capacity(HEADER + payload.len() + TRAILER);
+        env.extend_from_slice(&MAGIC.to_le_bytes());
+        env.extend_from_slice(&VERSION.to_le_bytes());
+        env.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        env.extend_from_slice(payload);
+        env.extend_from_slice(&checksum_bytes(payload).to_le_bytes());
+        env.extend_from_slice(&COMMIT.to_le_bytes());
+        env
+    }
+
+    /// Validate `env` and return the payload bounds on success.
+    fn validate(path: &str, env: &[u8]) -> Result<(usize, usize), StoreError> {
+        let torn = |why: &str| StoreError::Torn {
+            path: path.to_string(),
+            why: why.to_string(),
+        };
+        let corrupt = |why: String| StoreError::Corrupt {
+            path: path.to_string(),
+            why,
+        };
+        if env.is_empty() {
+            return Err(torn("zero-length object"));
+        }
+        if env.len() < HEADER {
+            return Err(torn("envelope header incomplete"));
+        }
+        let magic = u64::from_le_bytes(env[0..8].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(corrupt(format!("bad journal magic {magic:#018x}")));
+        }
+        let version = u32::from_le_bytes(env[8..12].try_into().unwrap());
+        if version != VERSION {
+            return Err(corrupt(format!(
+                "journal version {version}, expected {VERSION}"
+            )));
+        }
+        let payload_len = u64::from_le_bytes(env[12..20].try_into().unwrap()) as usize;
+        let total = HEADER + payload_len + TRAILER;
+        if env.len() < total {
+            return Err(torn("payload or commit trailer incomplete"));
+        }
+        if env.len() > total {
+            return Err(corrupt(format!(
+                "{} trailing bytes after commit record",
+                env.len() - total
+            )));
+        }
+        let commit = u64::from_le_bytes(env[total - 8..].try_into().unwrap());
+        if commit != COMMIT {
+            return Err(torn("commit record never written"));
+        }
+        let payload = &env[HEADER..HEADER + payload_len];
+        let want = u64::from_le_bytes(env[total - 16..total - 8].try_into().unwrap());
+        let got = checksum_bytes(payload);
+        if got != want {
+            return Err(corrupt(format!(
+                "payload checksum {got:#018x} != recorded {want:#018x}"
+            )));
+        }
+        Ok((HEADER, HEADER + payload_len))
+    }
+
+    /// Is the object at `path` present and committed?
+    fn validated_get(&self, path: &str) -> Result<(), StoreError> {
+        let (env, _) = self.inner.get(path, 0, NEUTRAL_SHAPE)?;
+        JournaledStore::validate(path, &env).map(|_| ())
+    }
+
+    /// Scan the inner store and quarantine every object that fails
+    /// envelope validation — a checkpoint is either fully durable or,
+    /// after this scan, visibly gone. Run it at session open, before any
+    /// restart probes the store. Committed objects are never moved.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        for path in self.inner.list() {
+            if path.starts_with(QUARANTINE_PREFIX) {
+                continue;
+            }
+            report.scanned += 1;
+            let why = match self.validated_get(&path) {
+                Ok(()) => continue,
+                Err(e) => e.to_string(),
+            };
+            let raw = match self.inner.get(&path, 0, NEUTRAL_SHAPE) {
+                Ok((d, _)) => (*d).clone(),
+                Err(_) => Vec::new(),
+            };
+            let quarantine_path = format!("{QUARANTINE_PREFIX}{path}");
+            let len = raw.len() as u64;
+            self.inner.put(&quarantine_path, raw, len, 0, NEUTRAL_SHAPE);
+            self.inner.remove(&path);
+            report.quarantined.push(QuarantinedObject {
+                path,
+                quarantine_path,
+                why,
+            });
+        }
+        report
+    }
+}
+
+impl CheckpointStore for JournaledStore {
+    fn put(
+        &self,
+        path: &str,
+        data: Vec<u8>,
+        logical_len: u64,
+        rank: u64,
+        shape: IoShape,
+    ) -> SimDuration {
+        let mut env = JournaledStore::frame(&data);
+        let armed = self
+            .armed_torn
+            .lock()
+            .remove(path)
+            .or_else(|| self.chaos.take_torn(path));
+        if let Some(keep_frac) = armed {
+            // The writer dies mid-write: only a strict prefix of the
+            // envelope lands. The commit trailer is written last, so any
+            // prefix fails validation.
+            let keep = ((env.len() as f64 * keep_frac.clamp(0.0, 1.0)) as usize)
+                .min(env.len().saturating_sub(1));
+            env.truncate(keep);
+            self.torn_written.lock().push(path.to_string());
+            self.chaos.note_torn_write(path);
+        }
+        self.inner.put(path, env, logical_len, rank, shape)
+    }
+
+    fn get(
+        &self,
+        path: &str,
+        rank: u64,
+        shape: IoShape,
+    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        let (env, dur) = self.inner.get(path, rank, shape)?;
+        let (start, end) = JournaledStore::validate(path, &env)?;
+        Ok((Arc::new(env[start..end].to_vec()), dur))
+    }
+
+    fn begin_epoch(&self) {
+        self.inner.begin_epoch();
+    }
+
+    /// A torn or corrupt object is detectably *absent*: only committed
+    /// envelopes exist. This is what makes survivor computation honest —
+    /// a checkpoint whose images include a torn write is not a survivor.
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path) && self.validated_get(path).is_ok()
+    }
+
+    fn logical_len(&self, path: &str) -> Result<u64, StoreError> {
+        self.inner.logical_len(path)
+    }
+
+    fn remove(&self, path: &str) -> bool {
+        self.inner.remove(path)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance::{exercise_store, StoreChecks};
+    use mana_core::store::{FsStore, InMemStore};
+    use mana_sim::fs::FsConfig;
+
+    const SHAPE: IoShape = NEUTRAL_SHAPE;
+
+    #[test]
+    fn conformance_over_fs_and_mem() {
+        exercise_store(
+            &JournaledStore::new(FsStore::with_config(FsConfig::default())),
+            StoreChecks::timed(),
+        );
+        exercise_store(
+            &JournaledStore::new(InMemStore::new()),
+            StoreChecks::untimed(),
+        );
+    }
+
+    #[test]
+    fn torn_put_is_detectably_absent_and_typed() {
+        let j = JournaledStore::new(InMemStore::new());
+        j.put("d/full", vec![1; 100], 100, 0, SHAPE);
+        j.arm_torn_put("d/torn", 0.5);
+        j.put("d/torn", vec![2; 100], 100, 0, SHAPE);
+        assert_eq!(j.torn_writes(), vec!["d/torn".to_string()]);
+
+        assert!(j.exists("d/full"));
+        assert!(!j.exists("d/torn"), "torn object must read as absent");
+        assert!(matches!(
+            j.get("d/torn", 0, SHAPE),
+            Err(StoreError::Torn { .. })
+        ));
+        let (data, _) = j.get("d/full", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![1; 100]);
+    }
+
+    #[test]
+    fn every_tear_point_fails_validation() {
+        // A writer can die after any byte: every strict prefix of the
+        // envelope must be detectably invalid (never a silent success,
+        // never a panic).
+        let env = JournaledStore::frame(&[7u8; 33]);
+        for keep in 0..env.len() {
+            let inner = Arc::new(InMemStore::new());
+            let j = JournaledStore::new(inner.clone());
+            inner.put("p", env[..keep].to_vec(), keep as u64, 0, SHAPE);
+            let err = j.get("p", 0, SHAPE).expect_err("prefix must not validate");
+            assert!(
+                matches!(err, StoreError::Torn { .. }),
+                "prefix of {keep} bytes: {err}"
+            );
+            assert!(!j.exists("p"));
+        }
+    }
+
+    #[test]
+    fn bit_flips_surface_as_corrupt() {
+        let inner = Arc::new(InMemStore::new());
+        let j = JournaledStore::new(inner.clone());
+        j.put("p", vec![9u8; 64], 64, 0, SHAPE);
+        let (env, _) = inner.get("p", 0, SHAPE).unwrap();
+        // Flip one payload bit; header/trailer lengths stay plausible.
+        let mut bad = (*env).clone();
+        bad[HEADER + 10] ^= 0x40;
+        inner.put("p", bad, 64, 0, SHAPE);
+        assert!(matches!(
+            j.get("p", 0, SHAPE),
+            Err(StoreError::Corrupt { .. })
+        ));
+        assert!(!j.exists("p"));
+    }
+
+    #[test]
+    fn recover_quarantines_torn_never_committed() {
+        let inner = Arc::new(InMemStore::new());
+        let j = JournaledStore::new(inner.clone());
+        for r in 0..3 {
+            j.put(
+                &format!("ck/ckpt_1/rank_{r}.mana"),
+                vec![r as u8; 50],
+                50,
+                0,
+                SHAPE,
+            );
+        }
+        j.arm_torn_put("ck/ckpt_2/rank_0.mana", 0.7);
+        j.put("ck/ckpt_2/rank_0.mana", vec![5; 50], 50, 0, SHAPE);
+        inner.put("ck/stray", vec![1, 2, 3], 3, 0, SHAPE); // unframed garbage
+
+        let report = j.recover();
+        assert_eq!(report.scanned, 5);
+        let paths: Vec<&str> = report.quarantined.iter().map(|q| q.path.as_str()).collect();
+        assert_eq!(paths, vec!["ck/ckpt_2/rank_0.mana", "ck/stray"]);
+        // Quarantined objects are out of the way but preserved...
+        assert!(!inner.exists("ck/ckpt_2/rank_0.mana"));
+        assert!(inner.exists(".quarantine/ck/ckpt_2/rank_0.mana"));
+        // ...and committed ones untouched.
+        for r in 0..3 {
+            assert!(j.exists(&format!("ck/ckpt_1/rank_{r}.mana")));
+        }
+        // A second scan finds nothing new (quarantine is skipped).
+        let again = j.recover();
+        assert_eq!(again.scanned, 3);
+        assert!(again.quarantined.is_empty());
+    }
+}

@@ -22,6 +22,12 @@
 //!   region payloads against the previous generation and write only
 //!   changed pages plus a base reference, reconstructing full images on
 //!   `get` by replaying the delta chain;
+//! * [`JournaledStore`] — crash-consistent publish: every object is
+//!   framed in a checksummed commit envelope written commit-word-last, so
+//!   a writer that dies mid-`put` leaves a *detectably absent* object
+//!   (typed [`mana_core::StoreError::Torn`]), and a
+//!   [`recover`](JournaledStore::recover) scan at session open
+//!   quarantines every partial image;
 //! * [`CasStore`] — content-addressed storage that digests every 4 KiB
 //!   page of every rank image and stores identical pages once,
 //!   fleet-wide, with refcounted GC — the cross-job dedup layer the
@@ -58,6 +64,7 @@ pub mod cas;
 pub mod compress;
 pub mod conformance;
 pub mod delta;
+pub mod journal;
 pub mod replicated;
 pub mod tiered;
 
@@ -65,6 +72,7 @@ pub use cas::{CasConfig, CasStats, CasStore};
 pub use compress::{CompressingStore, CompressionConfig};
 pub use conformance::{exercise_store, StoreChecks};
 pub use delta::{DeltaConfig, DeltaStore};
+pub use journal::{JournaledStore, QuarantinedObject, RecoveryReport, QUARANTINE_PREFIX};
 pub use mana_core::store::CheckpointStore;
-pub use replicated::{ReplicaConfig, ReplicatedStore};
+pub use replicated::{HealReport, ReplicaConfig, ReplicatedStore};
 pub use tiered::{DrainMode, TierConfig, TieredStore};

@@ -119,6 +119,67 @@ impl ReplicatedStore {
             .filter(|i| self.alive_at(*i, st.epoch, &st.forced_down))
             .collect()
     }
+
+    /// Anti-entropy: bring replica `i` back in sync by copying every
+    /// object it misses (or holds torn/corrupt) from the first peer that
+    /// can serve clean bytes. Run after reviving a replica that was down
+    /// during writes; afterwards `i` serves reads for everything its
+    /// peers hold. Objects no peer can serve cleanly are reported, not
+    /// copied.
+    pub fn heal(&self, i: usize) -> HealReport {
+        assert!(i < self.replicas.len(), "no replica {i}");
+        let mut report = HealReport::default();
+        // The union of every peer's listing, not `self.list()`: the
+        // catching-up replica must converge on what the *peers* hold,
+        // independent of the liveness draw of the moment.
+        let mut paths: Vec<String> = Vec::new();
+        for (j, r) in self.replicas.iter().enumerate() {
+            if j != i {
+                paths.extend(r.list());
+            }
+        }
+        paths.sort();
+        paths.dedup();
+        for path in paths {
+            if self.replicas[i].get(&path, 0, HEAL_SHAPE).is_ok() {
+                continue; // already clean here
+            }
+            let mut copied = false;
+            for (j, peer) in self.replicas.iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                if let Ok((data, _)) = peer.get(&path, 0, HEAL_SHAPE) {
+                    let len = peer.logical_len(&path).unwrap_or(data.len() as u64);
+                    report.bytes += data.len() as u64;
+                    self.replicas[i].put(&path, (*data).clone(), len, 0, HEAL_SHAPE);
+                    report.copied.push(path.clone());
+                    copied = true;
+                    break;
+                }
+            }
+            if !copied {
+                report.unservable.push(path);
+            }
+        }
+        report
+    }
+}
+
+const HEAL_SHAPE: IoShape = IoShape {
+    writers_on_node: 1,
+    total_writers: 1,
+};
+
+/// What a [`ReplicatedStore::heal`] pass copied onto the healed replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealReport {
+    /// Paths copied from a peer (sorted — the scan is deterministic).
+    pub copied: Vec<String>,
+    /// Physical bytes moved.
+    pub bytes: u64,
+    /// Paths present on some peer but not cleanly servable by any.
+    pub unservable: Vec<String>,
 }
 
 impl CheckpointStore for ReplicatedStore {
@@ -165,6 +226,7 @@ impl CheckpointStore for ReplicatedStore {
         shape: IoShape,
     ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
         let mut failover = SimDuration::ZERO;
+        let mut last_err: Option<StoreError> = None;
         let st = self.state.lock();
         let (epoch, forced) = (st.epoch, st.forced_down.clone());
         drop(st);
@@ -175,12 +237,23 @@ impl CheckpointStore for ReplicatedStore {
             }
             match self.replicas[i].get(path, rank, shape) {
                 Ok((data, dur)) => return Ok((data, failover + dur)),
-                // A replica that missed the write (it was down): probe on.
-                Err(StoreError::NotFound(_)) => failover += self.cfg.failover_latency,
+                // A replica that missed the write (it was down), tore it
+                // (its writer died mid-put), or rotted it: probe on — one
+                // bad replica must not fail a read a healthy peer can
+                // serve. Remember the most telling error for the case
+                // where every replica is bad.
+                Err(
+                    e @ (StoreError::NotFound(_)
+                    | StoreError::Corrupt { .. }
+                    | StoreError::Torn { .. }),
+                ) => {
+                    failover += self.cfg.failover_latency;
+                    last_err = Some(e);
+                }
                 Err(e) => return Err(e),
             }
         }
-        Err(StoreError::NotFound(path.to_string()))
+        Err(last_err.unwrap_or_else(|| StoreError::NotFound(path.to_string())))
     }
 
     fn begin_epoch(&self) {
@@ -214,8 +287,8 @@ impl CheckpointStore for ReplicatedStore {
     }
 
     fn remove(&self, path: &str) -> bool {
-        // Deletion reaches every replica (a dead one would resurrect the
-        // object otherwise — anti-entropy is out of scope).
+        // Deletion reaches every replica: a dead one would resurrect the
+        // object at the next [`ReplicatedStore::heal`] pass otherwise.
         let mut any = false;
         for r in &self.replicas {
             any |= r.remove(path);
@@ -367,6 +440,135 @@ mod tests {
         assert_ne!(pattern(&a), before, "liveness redraws per epoch");
         b.begin_epoch();
         assert_eq!(pattern(&a), pattern(&b), "still deterministic");
+    }
+
+    #[test]
+    fn get_fails_over_past_corrupt_and_torn_replicas() {
+        // Replica 0's copy rotted; replica 1's was torn mid-write; only
+        // replica 2 holds clean bytes.
+        struct Rotten;
+        impl CheckpointStore for Rotten {
+            fn put(&self, _: &str, _: Vec<u8>, _: u64, _: u64, _: IoShape) -> SimDuration {
+                SimDuration::ZERO
+            }
+            fn get(
+                &self,
+                p: &str,
+                _: u64,
+                _: IoShape,
+            ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+                Err(StoreError::Corrupt {
+                    path: p.to_string(),
+                    why: "bit rot".to_string(),
+                })
+            }
+            fn exists(&self, _: &str) -> bool {
+                true
+            }
+            fn logical_len(&self, _: &str) -> Result<u64, StoreError> {
+                Ok(8)
+            }
+            fn remove(&self, _: &str) -> bool {
+                false
+            }
+            fn list(&self) -> Vec<String> {
+                vec!["x".to_string()]
+            }
+        }
+        let cfg = ReplicaConfig {
+            failover_latency: SimDuration::millis(100),
+            ..ReplicaConfig::default()
+        };
+        let healthy = FixedLatency::new(10, 5);
+        healthy.put("x", vec![7], 8, 0, SHAPE);
+        let torn = InMemStore::new();
+        torn.put("x", vec![1], 8, 0, SHAPE); // stand-in for a torn object
+        struct TornServe(InMemStore);
+        impl CheckpointStore for TornServe {
+            fn put(&self, p: &str, d: Vec<u8>, l: u64, r: u64, s: IoShape) -> SimDuration {
+                self.0.put(p, d, l, r, s)
+            }
+            fn get(
+                &self,
+                p: &str,
+                _: u64,
+                _: IoShape,
+            ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+                Err(StoreError::Torn {
+                    path: p.to_string(),
+                    why: "commit record never written".to_string(),
+                })
+            }
+            fn exists(&self, p: &str) -> bool {
+                self.0.exists(p)
+            }
+            fn logical_len(&self, p: &str) -> Result<u64, StoreError> {
+                self.0.logical_len(p)
+            }
+            fn remove(&self, p: &str) -> bool {
+                self.0.remove(p)
+            }
+            fn list(&self) -> Vec<String> {
+                self.0.list()
+            }
+        }
+        let s = ReplicatedStore::new(
+            cfg,
+            vec![
+                Arc::new(Rotten),
+                Arc::new(TornServe(torn)),
+                Arc::new(healthy),
+            ],
+        );
+        // One corrupt + one torn replica cost a probe each; the healthy
+        // third serves the read.
+        let (data, dur) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(*data, vec![7]);
+        assert_eq!(dur, SimDuration::millis(205));
+        // If every replica is bad, the most recent data-level error
+        // surfaces (not a bare NotFound).
+        let s = ReplicatedStore::new(
+            ReplicaConfig::default(),
+            vec![Arc::new(Rotten), Arc::new(Rotten)],
+        );
+        assert!(matches!(
+            s.get("x", 0, SHAPE),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn heal_brings_a_revived_replica_back_in_sync() {
+        let s = three_way(2);
+        s.put("a", vec![1; 10], 10, 0, SHAPE);
+        // Replica 2 dies; two more epochs of writes miss it.
+        s.kill_replica(2);
+        s.put("b", vec![2; 20], 20, 0, SHAPE);
+        s.put("c", vec![3; 30], 30, 0, SHAPE);
+        s.revive(2);
+        // Before anti-entropy, replica 2 alone cannot serve b or c.
+        s.kill_replica(0);
+        s.kill_replica(1);
+        assert!(s.get("b", 0, SHAPE).is_err());
+        s.revive(0);
+        s.revive(1);
+
+        let report = s.heal(2);
+        assert_eq!(report.copied, vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(report.bytes, 50);
+        assert!(report.unservable.is_empty());
+
+        // Now replica 2 serves everything on its own.
+        s.kill_replica(0);
+        s.kill_replica(1);
+        for (p, v) in [("a", vec![1; 10]), ("b", vec![2; 20]), ("c", vec![3; 30])] {
+            let (data, _) = s.get(p, 0, SHAPE).unwrap();
+            assert_eq!(*data, v, "path {p} after heal");
+        }
+        // A second pass is a no-op: anti-entropy converges.
+        s.revive(0);
+        s.revive(1);
+        assert_eq!(s.heal(2), HealReport::default());
     }
 
     #[test]

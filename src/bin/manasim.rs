@@ -6,6 +6,8 @@
 //! manasim verify  [--ranks N] [--colls K]       # protocol model checking
 //! manasim fleet   --tenants 64 [--ranks N] [--steps N] [--ckpts N]
 //!                 [--admission bounded|unbounded] [--quota-kb N]
+//! manasim chaos   --seed 7 --faults 3 [--topology tree] [--ranks N] [--nodes N]
+//!                 [--replicas N] [--app <name>]
 //! ```
 //!
 //! Because the simulated filesystem lives in process memory, `migrate`
@@ -22,7 +24,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]\n  manasim fleet [--tenants N] [--ranks N] [--steps N] [--ckpts N]\n              [--admission <bounded|unbounded>] [--quota-kb N] [--no-verify]"
+        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]\n  manasim fleet [--tenants N] [--ranks N] [--steps N] [--ckpts N]\n              [--admission <bounded|unbounded>] [--quota-kb N] [--no-verify]\n  manasim chaos [--seed N] [--faults N] [--topology <flat|tree>] [--ranks N]\n              [--nodes N] [--replicas N] [--steps N] [--app <name>]"
     );
     exit(2)
 }
@@ -389,6 +391,53 @@ fn cmd_fleet(flags: HashMap<String, String>) {
     }
 }
 
+fn cmd_chaos(flags: HashMap<String, String>) {
+    use mana::chaos::ChaosHarness;
+    use mana::core::config::TopologyKind;
+    let seed: u64 = get(&flags, "seed", "0").parse().unwrap_or_else(|_| usage());
+    let faults: usize = get(&flags, "faults", "3")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let mut h = ChaosHarness::new(seed, faults);
+    h.topology = match get(&flags, "topology", "tree") {
+        "flat" => TopologyKind::Flat,
+        "tree" => TopologyKind::Tree,
+        other => {
+            eprintln!("unknown topology: {other}");
+            usage()
+        }
+    };
+    h.nranks = get(&flags, "ranks", "4")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    h.nodes = get(&flags, "nodes", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    h.replicas = get(&flags, "replicas", "2")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    h.steps = get(&flags, "steps", "5")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    if let Some(app) = flags.get("app") {
+        h.app = app_kind(app);
+    }
+
+    println!(
+        "chaos: {} on {} rank(s) / {} node(s), {} replica(s), {} topology",
+        h.app.name(),
+        h.nranks,
+        h.nodes,
+        h.replicas,
+        get(&flags, "topology", "tree"),
+    );
+    let report = h.run();
+    print!("{report}");
+    if !report.healed() {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -396,6 +445,7 @@ fn main() {
         Some("migrate") => cmd_migrate(parse_flags(&args[1..])),
         Some("verify") => cmd_verify(parse_flags(&args[1..])),
         Some("fleet") => cmd_fleet(parse_flags(&args[1..])),
+        Some("chaos") => cmd_chaos(parse_flags(&args[1..])),
         _ => usage(),
     }
 }

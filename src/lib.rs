@@ -13,6 +13,7 @@
 //! | [`store`] | composable checkpoint-storage backends: tiered/burst-buffer (async drain), compressing, replicated, incremental-delta |
 //! | [`apps`] | GROMACS/miniFE/HPCG/CLAMR/LULESH-like workloads + OSU microbenchmarks |
 //! | [`fleet`] | multi-tenant fleet scheduling: admission control, per-tenant quotas, cross-job dedup over a shared CAS plane |
+//! | [`chaos`] | seeded fault injection: kill ranks/nodes/sub-coordinators mid-protocol, tear image writes, darken replicas — and verify every chain heals |
 //! | [`model_check`] | explicit-state verification of the checkpoint protocol (§2.6) |
 //!
 //! ## Quickstart
@@ -63,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub use mana_apps as apps;
+pub use mana_chaos as chaos;
 pub use mana_core as core;
 pub use mana_fleet as fleet;
 pub use mana_model_check as model_check;
