@@ -81,7 +81,7 @@ fn sample_image(dense_kb: usize) -> CheckpointImage {
 fn bench_codec(c: &mut Criterion) {
     let img = sample_image(256);
     c.bench_function("codec_encode_256k", |b| b.iter(|| black_box(img.encode())));
-    let bytes = img.encode();
+    let bytes = img.encode().into_vec();
     c.bench_function("codec_decode_256k", |b| {
         b.iter(|| black_box(CheckpointImage::decode(black_box(&bytes)).unwrap()))
     });

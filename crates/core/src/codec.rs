@@ -6,6 +6,8 @@
 //! byte-by-byte rather than delegated to a serialization framework.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mana_sim::memory::DenseSnap;
+use mana_sim::scatter::ScatterBuf;
 
 /// Decode errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +78,17 @@ pub trait Sink {
     /// Write a length prefix for a sequence.
     fn seq(&mut self, len: usize) {
         self.u64(len as u64);
+    }
+
+    /// Write a dense snapshot's content bytes (its pages, concatenated)
+    /// with no framing — the caller has already written the length. The
+    /// default streams each page through [`Sink::raw`]; scatter sinks
+    /// override this to capture the frozen `Arc` page handles without
+    /// copying a byte, which is the entire zero-copy image path.
+    fn dense_pages(&mut self, snap: &DenseSnap) {
+        for p in snap.pages() {
+            self.raw(p);
+        }
     }
 }
 
@@ -232,6 +245,74 @@ impl Sink for Enc {
     }
 }
 
+/// Scatter-building sink: produces the same byte stream as [`Enc`], but
+/// dense snapshot pages are appended as *shared* segments (`Arc` clones
+/// of the rope pages) instead of being memcpy'd — metadata accumulates in
+/// a small owned tail that is flushed as an owned segment whenever a page
+/// run begins. Wire-identity with the flat encoder is structural: both
+/// sinks receive the identical sequence of `Sink` calls.
+#[derive(Default)]
+pub struct ScatterEnc {
+    buf: ScatterBuf,
+    tail: Vec<u8>,
+}
+
+impl ScatterEnc {
+    /// Fresh scatter encoder.
+    pub fn new() -> ScatterEnc {
+        ScatterEnc::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len() + self.tail.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn flush_tail(&mut self) {
+        if !self.tail.is_empty() {
+            self.buf.push_owned(std::mem::take(&mut self.tail));
+        }
+    }
+
+    /// Finish and take the scatter buffer.
+    pub fn finish(mut self) -> ScatterBuf {
+        self.flush_tail();
+        self.buf
+    }
+}
+
+impl Sink for ScatterEnc {
+    fn u8(&mut self, v: u8) {
+        self.tail.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.tail.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.tail.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.tail.extend_from_slice(&v.to_le_bytes());
+    }
+    fn boolean(&mut self, v: bool) {
+        self.tail.push(u8::from(v));
+    }
+    fn raw(&mut self, v: &[u8]) {
+        self.tail.extend_from_slice(v);
+    }
+    fn dense_pages(&mut self, snap: &DenseSnap) {
+        self.flush_tail();
+        for i in 0..snap.page_count() {
+            self.buf.push_shared(snap.page_handle(i));
+        }
+    }
+}
+
 /// Decoder over a byte slice.
 pub struct Dec {
     buf: Bytes,
@@ -369,6 +450,27 @@ mod tests {
         let cap = e.capacity();
         assert_eq!(cap, m.len(), "preallocation was not exact");
         assert_eq!(e.finish().len(), m.len());
+    }
+
+    #[test]
+    fn scatter_sink_is_wire_identical_to_flat() {
+        fn encode<S: Sink>(s: &mut S, snap: &DenseSnap) {
+            s.u8(1);
+            s.u64(snap.len() as u64);
+            s.dense_pages(snap);
+            s.u32(0xFEED);
+            s.bytes(b"trailer");
+        }
+        let snap = DenseSnap::from_vec((0..20_000u32).map(|i| i as u8).collect());
+        let mut flat = Enc::new();
+        encode(&mut flat, &snap);
+        let mut scatter = ScatterEnc::new();
+        encode(&mut scatter, &snap);
+        assert_eq!(scatter.len(), flat.len());
+        let sb = scatter.finish();
+        // Pages crossed as shared segments, not copies.
+        assert_eq!(sb.shared_len(), snap.len());
+        assert_eq!(sb.to_vec(), flat.finish());
     }
 
     #[test]

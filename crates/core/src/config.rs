@@ -75,6 +75,14 @@ pub struct ManaConfig {
     pub ctrl_recv_cpu_intra: SimDuration,
     /// Control-plane shape: flat star (default) or per-node tree fan-out.
     pub topology: TopologyKind,
+    /// Worker threads for the real-concurrency checkpoint pipeline
+    /// ([`crate::pipeline::checkpoint_ranks`]): harnesses that drain a
+    /// job's rank snapshots outside the discrete-event simulation build,
+    /// encode and digest this many ranks concurrently while images are
+    /// committed to the store strictly in rank order. `1` (the default)
+    /// is the serial path; the value has no effect on the simulated
+    /// helpers, whose overlap is modeled in virtual time.
+    pub ckpt_workers: usize,
     /// Compact the record-replay log before writing it into checkpoint
     /// images (elide freed opaque objects and dead derivation subtrees;
     /// see `mana_core::restart::compact`). On by default; the
@@ -104,6 +112,7 @@ impl ManaConfig {
             ctrl_send_cpu_intra: SimDuration::micros(4),
             ctrl_recv_cpu_intra: SimDuration::micros(9),
             topology: TopologyKind::Flat,
+            ckpt_workers: 1,
             compact_log: true,
             chaos: ChaosHandle::default(),
         }

@@ -216,7 +216,8 @@ fn do_checkpoint(t: &SimThread, hx: &HelperCtx, ckpt_id: u64) -> bool {
     //    previous committed checkpoint epoch, dirty pages are copied.
     sh.cell.helper_wait(t, |c| c.snapshot_safe());
     let (img, log_recorded, snap_stats) = build_image(sh, ckpt_id, hx.cfg.compact_log);
-    let encoded = img.encode();
+    let img = std::sync::Arc::new(img);
+    let encoded = CheckpointImage::encode_shared(&img);
     let logical = img.logical_bytes();
     let dense = img.dense_bytes();
     let drained_msgs = img.buffered.len() as u64;

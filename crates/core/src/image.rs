@@ -12,11 +12,13 @@
 //! network-agnostic property.
 
 use crate::buffer::{BufferedMsg, PairCounters};
-use crate::codec::{CodecError, Dec, Enc, MeasureEnc, Sink};
+use crate::codec::{CodecError, Dec, Enc, MeasureEnc, ScatterEnc, Sink};
 use crate::record::LoggedCall;
 use crate::restart::compact::{derive_rebind, BindSource, RebindEntry};
 use mana_mpi::{BaseType, ReduceOp};
 use mana_sim::memory::{DenseSnap, Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent};
+use mana_sim::scatter::ScatterBuf;
+use std::sync::Arc;
 
 /// "MANAIMG1" little-endian.
 pub const MAGIC: u64 = 0x3147_4d49_414e_414d;
@@ -136,10 +138,132 @@ pub struct CheckpointImage {
     pub dirty: Vec<RegionDirty>,
 }
 
+/// The encoded form of a [`CheckpointImage`]: a scatter of byte segments
+/// whose concatenation is exactly what [`CheckpointImage::encode_with_version`]
+/// would produce as a flat vector, except the dense region pages are
+/// *shared* `Arc` handles into the snapshot ropes — no page is memcpy'd
+/// between the address space and the store tier. An optional decoded-image
+/// attachment rides along so image-aware stores (`DeltaStore`, `CasStore`,
+/// dirty-aware compression) can read regions and dirty summaries straight
+/// from the rope instead of re-decoding the wire bytes.
+///
+/// Old call sites that need contiguous bytes use [`ImageBytes::to_vec`] —
+/// the compatibility shim that pays (and counts, see
+/// [`mana_sim::scatter::shared_flatten_bytes`]) the flatten.
+#[derive(Clone, Debug)]
+pub struct ImageBytes {
+    buf: ScatterBuf,
+    image: Option<Arc<CheckpointImage>>,
+}
+
+impl ImageBytes {
+    /// Wrap already-flat bytes (foreign objects, raw test payloads).
+    pub fn from_vec(bytes: Vec<u8>) -> ImageBytes {
+        ImageBytes {
+            buf: ScatterBuf::from_vec(bytes),
+            image: None,
+        }
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the encoding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The scatter view of the wire bytes.
+    pub fn scatter(&self) -> &ScatterBuf {
+        &self.buf
+    }
+
+    /// Take the scatter buffer (drops the image attachment).
+    pub fn into_scatter(self) -> ScatterBuf {
+        self.buf
+    }
+
+    /// The decoded image these bytes encode, when the producer attached
+    /// it ([`CheckpointImage::encode_shared`]). Image-aware stores use
+    /// this to skip the wire decode entirely.
+    pub fn image(&self) -> Option<&Arc<CheckpointImage>> {
+        self.image.as_ref()
+    }
+
+    /// Flatten to contiguous bytes (copies; shared page bytes are tallied
+    /// in [`mana_sim::scatter::shared_flatten_bytes`]).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+
+    /// Flatten, consuming the buffer (single-owned-segment buffers move
+    /// without copying).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf.into_vec()
+    }
+}
+
+impl From<Vec<u8>> for ImageBytes {
+    fn from(bytes: Vec<u8>) -> ImageBytes {
+        ImageBytes::from_vec(bytes)
+    }
+}
+
+impl From<ScatterBuf> for ImageBytes {
+    /// Wrap an existing scatter (re-framed envelopes, delta blobs) with
+    /// no image attachment.
+    fn from(buf: ScatterBuf) -> ImageBytes {
+        ImageBytes { buf, image: None }
+    }
+}
+
+impl PartialEq for ImageBytes {
+    /// Wire-byte equality (segmentation and attachment ignored).
+    fn eq(&self, other: &ImageBytes) -> bool {
+        self.buf == other.buf
+    }
+}
+
+impl Eq for ImageBytes {}
+
 impl CheckpointImage {
-    /// Serialize in the current format.
-    pub fn encode(&self) -> Vec<u8> {
-        self.encode_with_version(VERSION)
+    /// Serialize in the current format as a zero-copy scatter: dense
+    /// region pages are shared rope handles, metadata runs are small
+    /// owned segments. Byte-identical to the historical flat encoding
+    /// (`encode_with_version(VERSION)`), proven by property test.
+    pub fn encode(&self) -> ImageBytes {
+        ImageBytes {
+            buf: self.encode_scatter_with_version(VERSION),
+            image: None,
+        }
+    }
+
+    /// Like [`CheckpointImage::encode`], but attach the decoded image to
+    /// the result so image-aware store tiers (delta diffing,
+    /// content-addressed dedup, dirty-aware compression) digest pages
+    /// straight out of the rope instead of decoding the wire bytes. The
+    /// hot checkpoint path (helper thread, worker pool) uses this.
+    pub fn encode_shared(this: &Arc<CheckpointImage>) -> ImageBytes {
+        ImageBytes {
+            buf: this.encode_scatter_with_version(VERSION),
+            image: Some(this.clone()),
+        }
+    }
+
+    /// Scatter encoding at an explicit format version — the same wire
+    /// bytes as [`CheckpointImage::encode_with_version`], with dense pages
+    /// as shared segments.
+    pub fn encode_scatter_with_version(&self, version: u32) -> ScatterBuf {
+        assert!(
+            (MIN_VERSION..=VERSION).contains(&version),
+            "unknown image version {version}"
+        );
+        let mut e = ScatterEnc::new();
+        self.encode_into(&mut e, version);
+        debug_assert_eq!(e.len(), self.encoded_len(version));
+        e.finish()
     }
 
     /// Serialize in an explicit format version. Version 1 drops the
@@ -615,9 +739,7 @@ fn enc_region<S: Sink>(e: &mut S, r: &RegionSnapshot) {
         SnapshotContent::Dense(b) => {
             e.u32(0);
             e.u64(b.len() as u64);
-            for p in b.pages() {
-                e.raw(p);
-            }
+            e.dense_pages(b);
         }
         SnapshotContent::Pattern { seed } => {
             e.u32(1);
@@ -1135,7 +1257,7 @@ mod tests {
     #[test]
     fn roundtrip() {
         let img = sample();
-        let bytes = img.encode();
+        let bytes = img.encode().to_vec();
         let back = CheckpointImage::decode(&bytes).expect("decode");
         assert_eq!(img, back);
     }
@@ -1179,7 +1301,7 @@ mod tests {
             other => panic!("unexpected entry {other:?}"),
         }
         // v2 keeps them.
-        let back2 = CheckpointImage::decode(&img.encode()).expect("v2 decode");
+        let back2 = CheckpointImage::decode(&img.encode().to_vec()).expect("v2 decode");
         assert_eq!(back2.log, img.log);
     }
 
@@ -1194,7 +1316,7 @@ mod tests {
         assert_eq!(back.rebind, img.rebind);
         assert_eq!(back.step_created, img.step_created);
         // v3 keeps them.
-        let back3 = CheckpointImage::decode(&img.encode()).expect("v3 decode");
+        let back3 = CheckpointImage::decode(&img.encode().to_vec()).expect("v3 decode");
         assert_eq!(back3.dirty, img.dirty);
     }
 
@@ -1207,7 +1329,7 @@ mod tests {
         }
         // And the dense payload appears verbatim where it always did: the
         // first region's 16 content bytes follow its u64 length prefix.
-        let bytes = img.encode();
+        let bytes = img.encode().to_vec();
         let needle = [9u8; 16];
         assert!(
             bytes.windows(16).any(|w| w == needle),
@@ -1227,7 +1349,7 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[0] ^= 0xFF;
         assert!(matches!(
             CheckpointImage::decode(&bytes),
@@ -1237,7 +1359,7 @@ mod tests {
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         // The version field sits right after the 8-byte magic.
         bytes[8] = 0xEE;
         assert!(matches!(
@@ -1249,7 +1371,7 @@ mod tests {
     #[test]
     fn corrupted_enum_tags_rejected() {
         let img = sample();
-        let bytes = img.encode();
+        let bytes = img.encode().to_vec();
         let good = CheckpointImage::decode(&bytes).expect("sane sample");
         assert_eq!(img, good);
         // The first region's content tag follows magic(8) + version(4) +
@@ -1276,7 +1398,7 @@ mod tests {
     fn truncation_rejected_at_every_prefix() {
         // A truncated image must *always* produce a typed error — never a
         // panic, never a silent partial decode.
-        let bytes = sample().encode();
+        let bytes = sample().encode().to_vec();
         for cut in 0..bytes.len() {
             assert!(
                 CheckpointImage::decode(&bytes[..cut]).is_err(),
@@ -1305,7 +1427,7 @@ mod tests {
             dirty: Vec::new(),
             ..sample()
         };
-        let back = CheckpointImage::decode(&img.encode()).expect("decode");
+        let back = CheckpointImage::decode(&img.encode().to_vec()).expect("decode");
         assert_eq!(img, back);
         assert_eq!(back.dense_bytes(), 0);
         assert_eq!(back.logical_bytes(), 4096);

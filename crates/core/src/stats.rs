@@ -5,7 +5,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Per-rank measurements for one checkpoint.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RankCkptStats {
     /// Rank id.
     pub rank: u32,

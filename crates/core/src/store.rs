@@ -15,6 +15,7 @@
 //!   workflows where images never need to survive the process.
 
 use crate::error::StoreError;
+use crate::image::ImageBytes;
 use mana_sim::fs::{FsConfig, IoShape, ParallelFs};
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
@@ -30,10 +31,16 @@ use std::sync::Arc;
 pub trait CheckpointStore: Send + Sync {
     /// Store `data` at `path` with the given logical length, returning the
     /// virtual write+fsync duration for a rank with I/O shape `shape`.
+    ///
+    /// `data` is a scatter of wire bytes ([`ImageBytes`]): clean snapshot
+    /// pages arrive as shared rope handles and implementations must not
+    /// flatten them on the hot path — backends that need contiguity for
+    /// *their own* framing (journal envelopes, compression probes) flatten
+    /// only their own segments.
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -73,7 +80,7 @@ impl<S: CheckpointStore + ?Sized> CheckpointStore for Arc<S> {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -157,12 +164,13 @@ impl CheckpointStore for FsStore {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
     ) -> SimDuration {
-        self.fs.write_file(path, data, logical_len, rank, shape)
+        self.fs
+            .write_file(path, data.into_scatter(), logical_len, rank, shape)
     }
 
     fn get(
@@ -198,8 +206,27 @@ impl CheckpointStore for FsStore {
 }
 
 struct InMemObject {
-    data: Arc<Vec<u8>>,
+    data: InMemData,
     logical_len: u64,
+}
+
+/// Stored content: scatter as written (rope pages stay shared), flattened
+/// lazily on first `get` — the in-memory tier pays no copy on the put path.
+enum InMemData {
+    Scatter(mana_sim::scatter::ScatterBuf),
+    Flat(Arc<Vec<u8>>),
+}
+
+impl InMemData {
+    fn flat(&mut self) -> Arc<Vec<u8>> {
+        if let InMemData::Scatter(s) = self {
+            *self = InMemData::Flat(Arc::new(s.to_vec()));
+        }
+        match self {
+            InMemData::Flat(v) => v.clone(),
+            InMemData::Scatter(_) => unreachable!("just flattened"),
+        }
+    }
 }
 
 /// Zero-latency in-memory checkpoint storage for fast tests.
@@ -223,7 +250,7 @@ impl CheckpointStore for InMemStore {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         _rank: u64,
         _shape: IoShape,
@@ -231,7 +258,7 @@ impl CheckpointStore for InMemStore {
         self.objects.lock().insert(
             path.to_string(),
             InMemObject {
-                data: Arc::new(data),
+                data: InMemData::Scatter(data.into_scatter()),
                 logical_len,
             },
         );
@@ -246,8 +273,8 @@ impl CheckpointStore for InMemStore {
     ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
         self.objects
             .lock()
-            .get(path)
-            .map(|o| (o.data.clone(), SimDuration::ZERO))
+            .get_mut(path)
+            .map(|o| (o.data.flat(), SimDuration::ZERO))
             .ok_or_else(|| StoreError::NotFound(path.to_string()))
     }
 
@@ -284,7 +311,7 @@ mod tests {
     };
 
     fn exercise(store: &dyn CheckpointStore, timed: bool) {
-        let d = store.put("a/x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        let d = store.put("a/x", vec![1, 2, 3].into(), 1 << 20, 0, SHAPE);
         assert_eq!(d > SimDuration::ZERO, timed);
         assert!(store.exists("a/x"));
         assert_eq!(store.logical_len("a/x").unwrap(), 1 << 20);
@@ -295,7 +322,7 @@ mod tests {
         // must not disturb it)...
         assert_eq!(store.logical_len("a/x").unwrap(), 1 << 20);
         // ...and tracks overwrites.
-        store.put("a/x", vec![4, 5], 2048, 0, SHAPE);
+        store.put("a/x", vec![4, 5].into(), 2048, 0, SHAPE);
         assert_eq!(store.logical_len("a/x").unwrap(), 2048);
         let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
         assert_eq!(*data, vec![4, 5]);
@@ -303,7 +330,7 @@ mod tests {
             store.get("a/missing", 0, SHAPE),
             Err(StoreError::NotFound(_))
         ));
-        store.put("a/y", vec![], 0, 0, SHAPE);
+        store.put("a/y", Vec::new().into(), 0, 0, SHAPE);
         assert_eq!(store.list(), vec!["a/x".to_string(), "a/y".to_string()]);
         assert!(store.remove("a/y"));
         assert!(!store.remove("a/y"));

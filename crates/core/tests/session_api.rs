@@ -215,7 +215,7 @@ fn corrupt_image_is_a_typed_error() {
     let (bytes, _) = session.store().get(path, 2, shape).expect("stored image");
     let mut bad = (*bytes).clone();
     bad[0] ^= 0xFF; // break the magic
-    session.store().put(path, bad, 1, 2, shape);
+    session.store().put(path, bad.into(), 1, 2, shape);
 
     match killed.restart_on(JobBuilder::new()) {
         Err(SessionError::Restart(RestartError::CorruptImage { rank, path: p, .. })) => {

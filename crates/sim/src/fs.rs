@@ -15,6 +15,7 @@
 //! reproduces that tail.
 
 use crate::rng::straggler_factor;
+use crate::scatter::ScatterBuf;
 use crate::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -54,10 +55,31 @@ impl Default for FsConfig {
 }
 
 struct StoredFile {
-    data: Arc<Vec<u8>>,
-    /// Logical length (≥ data.len(); pattern-backed image payload counts
+    /// Stored content: the scatter view as written (shared rope pages
+    /// stay shared with the writer's snapshot — zero copies on the write
+    /// path), flattened to a contiguous buffer lazily on first read.
+    data: FileData,
+    /// Logical length (≥ data len; pattern-backed image payload counts
     /// here but stores no bytes).
     logical_len: u64,
+}
+
+enum FileData {
+    Scatter(ScatterBuf),
+    Flat(Arc<Vec<u8>>),
+}
+
+impl FileData {
+    /// Contiguous view, flattening (and caching) on first use.
+    fn flat(&mut self) -> Arc<Vec<u8>> {
+        if let FileData::Scatter(s) = self {
+            *self = FileData::Flat(Arc::new(s.to_vec()));
+        }
+        match self {
+            FileData::Flat(v) => v.clone(),
+            FileData::Scatter(_) => unreachable!("just flattened"),
+        }
+    }
 }
 
 /// Errors from filesystem operations.
@@ -121,11 +143,12 @@ impl ParallelFs {
     /// Store `data` at `path` with the given logical length and return the
     /// virtual duration of the write + fsync for a rank with the given I/O
     /// shape. The caller (a checkpoint helper thread) advances its clock by
-    /// the returned duration.
+    /// the returned duration. The scatter segments are kept as written —
+    /// shared rope pages are never copied here.
     pub fn write_file(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: impl Into<ScatterBuf>,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -139,7 +162,7 @@ impl ParallelFs {
         self.files.lock().insert(
             path.to_string(),
             StoredFile {
-                data: Arc::new(data),
+                data: FileData::Scatter(data.into()),
                 logical_len,
             },
         );
@@ -147,6 +170,7 @@ impl ParallelFs {
     }
 
     /// Fetch a file's contents and the virtual duration of reading it.
+    /// The first read of a scatter-written file flattens it (cached).
     pub fn read_file(
         &self,
         path: &str,
@@ -154,9 +178,9 @@ impl ParallelFs {
         shape: IoShape,
     ) -> Result<(Arc<Vec<u8>>, SimDuration), FsError> {
         let epoch = *self.epoch.lock();
-        let files = self.files.lock();
+        let mut files = self.files.lock();
         let f = files
-            .get(path)
+            .get_mut(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         let dur = self.transfer_time(
             f.logical_len,
@@ -168,7 +192,7 @@ impl ParallelFs {
                 self.cfg.read_straggler_max,
             ),
         );
-        Ok((f.data.clone(), dur))
+        Ok((f.data.flat(), dur))
     }
 
     /// Logical length of a stored file.

@@ -29,6 +29,7 @@ pub mod kernel;
 pub mod memory;
 pub mod pod;
 pub mod rng;
+pub mod scatter;
 pub mod sched;
 pub mod time;
 
@@ -39,5 +40,6 @@ pub use memory::{
     AddressSpace, Backing, DenseBuf, DenseSnap, Half, HalfSnapshot, MemError, Region, RegionDirty,
     RegionKind, RegionMeta, RegionSnapshot, SnapshotContent, SnapshotStats,
 };
+pub use scatter::{ScatterBuf, Segment};
 pub use sched::{Sim, SimConfig, SimThread, SimThreadId};
 pub use time::{SimDuration, SimTime};

@@ -546,7 +546,7 @@ pub struct SnapshotStats {
 
 /// A tracked snapshot of one half: the region snapshots, their dirty
 /// summaries (dense regions only), and the copy-traffic stats.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct HalfSnapshot {
     /// Region snapshots, ordered by address.
     pub regions: Vec<RegionSnapshot>,

@@ -1,0 +1,320 @@
+//! Scatter byte buffers: iovec-style views over shared page ropes.
+//!
+//! The checkpoint data path produces images whose bulk is `Arc`-per-page
+//! rope chunks shared with the live [`crate::memory::AddressSpace`] (the
+//! copy-on-write snapshot). [`ScatterBuf`] lets those bytes travel from
+//! the encoder through every storage tier *without ever being flattened
+//! into a contiguous `Vec<u8>`*: a buffer is an ordered list of segments,
+//! each either a small owned metadata run or a shared rope page. A clean
+//! page therefore crosses the whole store seam as one `Arc` clone — zero
+//! memcpys between address space and store tier.
+//!
+//! Flattening still exists for consumers that genuinely need contiguous
+//! bytes (the restart decode path, journal envelope validation); every
+//! byte copied *out of a shared segment* by such a flatten is tallied in
+//! a process-wide counter so benchmarks can assert the hot put path
+//! performs none.
+
+use crate::checksum::Checksum;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One segment of a [`ScatterBuf`].
+#[derive(Clone)]
+pub enum Segment {
+    /// Small owned bytes (image metadata, framing headers).
+    Owned(Vec<u8>),
+    /// A shared rope page — typically an `Arc` chunk of a
+    /// [`crate::memory::DenseSnap`], alive without copying.
+    Shared(Arc<[u8]>),
+}
+
+impl Segment {
+    /// The segment's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::Shared(p) => p,
+        }
+    }
+}
+
+/// Bytes copied out of *shared* segments by flattening, process-wide.
+static SHARED_FLATTEN_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative count of bytes memcpy'd out of shared (rope-page) segments
+/// by [`ScatterBuf::to_vec`]/[`ScatterBuf::into_vec`] since the last
+/// [`reset_shared_flatten_bytes`]. The zero-copy put path must leave this
+/// untouched; the `fig_ckpt_path` smoke asserts exactly that.
+pub fn shared_flatten_bytes() -> u64 {
+    SHARED_FLATTEN_BYTES.load(Ordering::Relaxed)
+}
+
+/// Reset the shared-flatten counter (benchmark window bracketing).
+pub fn reset_shared_flatten_bytes() {
+    SHARED_FLATTEN_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// An ordered scatter of byte segments whose concatenation is the
+/// buffer's content. Cloning is cheap for shared segments (`Arc` bumps);
+/// owned segments (small metadata) are copied.
+#[derive(Clone, Default)]
+pub struct ScatterBuf {
+    segments: Vec<Segment>,
+    len: usize,
+}
+
+impl ScatterBuf {
+    /// Empty buffer.
+    pub fn new() -> ScatterBuf {
+        ScatterBuf::default()
+    }
+
+    /// A buffer holding `bytes` as one owned segment.
+    pub fn from_vec(bytes: Vec<u8>) -> ScatterBuf {
+        let mut b = ScatterBuf::new();
+        b.push_owned(bytes);
+        b
+    }
+
+    /// Append owned bytes (empty vectors are dropped).
+    pub fn push_owned(&mut self, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.len += bytes.len();
+            self.segments.push(Segment::Owned(bytes));
+        }
+    }
+
+    /// Append a shared page handle without copying it (empty pages are
+    /// dropped).
+    pub fn push_shared(&mut self, page: Arc<[u8]>) {
+        if !page.is_empty() {
+            self.len += page.len();
+            self.segments.push(Segment::Shared(page));
+        }
+    }
+
+    /// Append every segment of `other` (shared segments stay shared).
+    pub fn append(&mut self, other: ScatterBuf) {
+        self.len += other.len;
+        self.segments.extend(other.segments);
+    }
+
+    /// Content length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes held in shared segments (the zero-copy payload).
+    pub fn shared_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Shared(p) => p.len(),
+                Segment::Owned(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Iterate the segments' byte slices in order (concatenation =
+    /// content).
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        self.segments.iter().map(Segment::as_bytes)
+    }
+
+    /// Flatten into a contiguous vector (copies; shared bytes copied are
+    /// tallied in [`shared_flatten_bytes`]).
+    pub fn to_vec(&self) -> Vec<u8> {
+        let shared = self.shared_len() as u64;
+        if shared > 0 {
+            SHARED_FLATTEN_BYTES.fetch_add(shared, Ordering::Relaxed);
+        }
+        let mut v = Vec::with_capacity(self.len);
+        for s in self.segments() {
+            v.extend_from_slice(s);
+        }
+        v
+    }
+
+    /// Flatten, consuming the buffer. A buffer that is a single owned
+    /// segment moves its vector out without copying; anything else
+    /// behaves like [`ScatterBuf::to_vec`].
+    pub fn into_vec(self) -> Vec<u8> {
+        match &self.segments[..] {
+            [Segment::Owned(_)] => match self.segments.into_iter().next() {
+                Some(Segment::Owned(v)) => v,
+                _ => unreachable!("single owned segment just matched"),
+            },
+            _ => self.to_vec(),
+        }
+    }
+
+    /// Cut the content down to its first `keep` bytes (no-op if `keep >=
+    /// len`). A shared segment straddling the cut is copied to an owned
+    /// prefix — at most one page. This is the torn-write seam: a crashed
+    /// `put` leaves a strict prefix of the envelope.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.len {
+            return;
+        }
+        let mut done = 0usize;
+        let mut cut = self.segments.len();
+        for (i, seg) in self.segments.iter_mut().enumerate() {
+            let n = seg.as_bytes().len();
+            if done + n <= keep {
+                done += n;
+                continue;
+            }
+            let within = keep - done;
+            if within > 0 {
+                *seg = Segment::Owned(seg.as_bytes()[..within].to_vec());
+                cut = i + 1;
+            } else {
+                cut = i;
+            }
+            break;
+        }
+        self.segments.truncate(cut);
+        self.len = keep;
+    }
+
+    /// Checksum of the content, streamed segment-by-segment — equal to
+    /// [`crate::checksum::checksum_bytes`] of the flattened content, with
+    /// no flatten.
+    pub fn checksum(&self) -> u64 {
+        let mut c = Checksum::new();
+        for s in self.segments() {
+            c.update(s);
+        }
+        c.digest()
+    }
+}
+
+impl From<Vec<u8>> for ScatterBuf {
+    fn from(bytes: Vec<u8>) -> ScatterBuf {
+        ScatterBuf::from_vec(bytes)
+    }
+}
+
+impl PartialEq for ScatterBuf {
+    /// Content equality regardless of segmentation (no flattening).
+    fn eq(&self, other: &ScatterBuf) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        let mut a = self.segments().flatten();
+        let mut b = other.segments().flatten();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return true,
+                (x, y) if x == y => {}
+                _ => return false,
+            }
+        }
+    }
+}
+
+impl Eq for ScatterBuf {}
+
+impl std::fmt::Debug for ScatterBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ScatterBuf({} bytes, {} segments, {} shared)",
+            self.len,
+            self.segments.len(),
+            self.shared_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::checksum_bytes;
+
+    fn shared(bytes: &[u8]) -> Arc<[u8]> {
+        Arc::from(bytes)
+    }
+
+    #[test]
+    fn concatenation_is_content() {
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![1, 2]);
+        b.push_shared(shared(&[3, 4, 5]));
+        b.push_owned(vec![6]);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.shared_len(), 3);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn flatten_counter_counts_only_shared_bytes() {
+        reset_shared_flatten_bytes();
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![0; 100]);
+        b.push_shared(shared(&[7; 40]));
+        let _ = b.to_vec();
+        assert_eq!(shared_flatten_bytes(), 40);
+        let _ = ScatterBuf::from_vec(vec![1, 2, 3]).to_vec();
+        assert_eq!(shared_flatten_bytes(), 40, "owned flattens are free");
+        reset_shared_flatten_bytes();
+        assert_eq!(shared_flatten_bytes(), 0);
+    }
+
+    #[test]
+    fn into_vec_moves_single_owned_segment() {
+        reset_shared_flatten_bytes();
+        let v = ScatterBuf::from_vec(vec![9; 1000]).into_vec();
+        assert_eq!(v, vec![9; 1000]);
+        assert_eq!(shared_flatten_bytes(), 0);
+    }
+
+    #[test]
+    fn truncate_cuts_mid_segment() {
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![1, 2, 3]);
+        b.push_shared(shared(&[4, 5, 6, 7]));
+        b.truncate(5);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+        b.truncate(3);
+        assert_eq!(b.to_vec(), vec![1, 2, 3]);
+        b.truncate(100); // no-op past the end
+        assert_eq!(b.len(), 3);
+        b.truncate(0);
+        assert!(b.is_empty());
+        assert_eq!(b.segment_count(), 0);
+    }
+
+    #[test]
+    fn streaming_checksum_matches_flat() {
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![1, 2, 3]);
+        b.push_shared(shared(&[4; 4096]));
+        b.push_owned(vec![5, 6]);
+        assert_eq!(b.checksum(), checksum_bytes(&b.to_vec()));
+    }
+
+    #[test]
+    fn equality_ignores_segmentation() {
+        let mut a = ScatterBuf::new();
+        a.push_owned(vec![1, 2]);
+        a.push_shared(shared(&[3, 4]));
+        let b = ScatterBuf::from_vec(vec![1, 2, 3, 4]);
+        assert_eq!(a, b);
+        let c = ScatterBuf::from_vec(vec![1, 2, 3, 5]);
+        assert_ne!(a, c);
+        assert_ne!(a, ScatterBuf::from_vec(vec![1, 2, 3]));
+    }
+}

@@ -33,7 +33,7 @@
 use mana_core::codec::{CodecError, Dec, Enc};
 use mana_core::config::parse_image_path;
 use mana_core::error::StoreError;
-use mana_core::image::{decode_region, encode_region, CheckpointImage};
+use mana_core::image::{decode_region, encode_region, CheckpointImage, ImageBytes};
 use mana_core::store::CheckpointStore;
 use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
@@ -205,7 +205,7 @@ fn encode_manifest(m: &Manifest) -> Vec<u8> {
     let mut e = Enc::new();
     e.u64(CAS_MAGIC);
     e.u32(CAS_VERSION);
-    e.bytes(&m.meta.encode());
+    e.bytes(&m.meta.encode().into_vec());
     e.seq(m.regions.len());
     for r in &m.regions {
         match r {
@@ -330,14 +330,24 @@ impl<S: CheckpointStore> CheckpointStore for CasStore<S> {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
     ) -> SimDuration {
-        let img = match (parse_image_path(path), CheckpointImage::decode(&data)) {
-            (Some(_), Ok(img)) => img,
-            // Not a rank image (or not ours to understand): pass through.
+        // Prefer the producer-attached image: pages are digested straight
+        // from the snapshot rope, with no wire decode and no flatten.
+        let attached = data.image().cloned();
+        let img = match (parse_image_path(path), attached) {
+            (Some(_), Some(img)) => (*img).clone(),
+            (Some(_), None) => match CheckpointImage::decode(&data.to_vec()) {
+                Ok(img) => img,
+                // Not a rank image (or not ours to understand): pass through.
+                Err(_) => {
+                    self.state.lock().release(path);
+                    return self.inner.put(path, data, logical_len, rank, shape);
+                }
+            },
             _ => {
                 self.state.lock().release(path);
                 return self.inner.put(path, data, logical_len, rank, shape);
@@ -413,7 +423,7 @@ impl<S: CheckpointStore> CheckpointStore for CasStore<S> {
         let cpu = SimDuration::secs_f64(dense_bytes as f64 / self.cfg.digest_bw);
         let io = self
             .inner
-            .put(path, manifest, manifest_len + new_bytes, rank, shape);
+            .put(path, manifest.into(), manifest_len + new_bytes, rank, shape);
         cpu + io
     }
 
@@ -469,7 +479,7 @@ impl<S: CheckpointStore> CheckpointStore for CasStore<S> {
         let mut img = m.meta;
         img.regions = regions;
         let fetch = SimDuration::secs_f64(dense_bytes as f64 / self.cfg.read_bw);
-        Ok((Arc::new(img.encode()), dur + fetch))
+        Ok((Arc::new(img.encode().into_vec()), dur + fetch))
     }
 
     fn begin_epoch(&self) {
@@ -601,7 +611,11 @@ mod tests {
         let p = path("a", 1, 0);
         s.put(&p, img.encode(), img.logical_bytes(), 0, SHAPE);
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
-        assert_eq!(*bytes, img.encode(), "reassembly must be bit-exact");
+        assert_eq!(
+            *bytes,
+            img.encode().to_vec(),
+            "reassembly must be bit-exact"
+        );
         assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img);
         assert_eq!(s.original_len(&p), Some(img.logical_bytes()));
     }
@@ -696,7 +710,7 @@ mod tests {
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
         assert_eq!(CheckpointImage::decode(&bytes).unwrap(), b);
         // Overwriting with a non-image releases the CAS object too.
-        s.put(&p, vec![1, 2, 3], 3, 0, SHAPE);
+        s.put(&p, vec![1, 2, 3].into(), 3, 0, SHAPE);
         assert_eq!(s.pool_bytes(), 0);
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
         assert_eq!(*bytes, vec![1, 2, 3]);

@@ -17,7 +17,7 @@
 //! charged write volume is unchanged (every page is still stored).
 
 use mana_core::error::StoreError;
-use mana_core::image::CheckpointImage;
+use mana_core::image::{CheckpointImage, ImageBytes};
 use mana_core::store::CheckpointStore;
 use mana_sim::fs::IoShape;
 use mana_sim::memory::PAGE;
@@ -95,12 +95,15 @@ impl<S: CheckpointStore> CompressingStore<S> {
     }
 
     /// Deterministic per-object ratio: seeded by the store seed, the
-    /// object's content bytes and its logical length.
-    fn ratio_for(&self, data: &[u8], logical_len: u64) -> f64 {
+    /// object's content bytes and its logical length. Hashes the scatter
+    /// segments in place — same byte sequence, no flatten.
+    fn ratio_for(&self, data: &ImageBytes, logical_len: u64) -> f64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in data {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
+        for seg in data.scatter().segments() {
+            for b in seg {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
         }
         let u = splitmix64(self.cfg.seed ^ h ^ splitmix64(logical_len));
         let x = (u >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
@@ -113,12 +116,22 @@ impl<S: CheckpointStore> CompressingStore<S> {
     /// summaries prove clean (their compressed form is reused from the
     /// previous generation). Non-images and images without summaries
     /// charge in full.
-    fn compressible_bytes(&self, data: &[u8], logical_len: u64) -> u64 {
+    fn compressible_bytes(&self, data: &ImageBytes, logical_len: u64) -> u64 {
         if !self.cfg.dirty_aware {
             return logical_len;
         }
-        let Ok(img) = CheckpointImage::decode(data) else {
-            return logical_len;
+        // The producer-attached image avoids a wire decode (and the
+        // flatten it would force); only foreign flat bytes decode here.
+        let decoded;
+        let img = match data.image() {
+            Some(img) => &**img,
+            None => match CheckpointImage::decode(&data.to_vec()) {
+                Ok(img) => {
+                    decoded = img;
+                    &decoded
+                }
+                Err(_) => return logical_len,
+            },
         };
         if img.dirty.is_empty() {
             return logical_len;
@@ -136,7 +149,7 @@ impl<S: CheckpointStore> CheckpointStore for CompressingStore<S> {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -214,7 +227,7 @@ mod tests {
     #[test]
     fn logical_len_shrinks_within_the_configured_band() {
         let s = store();
-        s.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        s.put("x", vec![1, 2, 3].into(), 1 << 20, 0, SHAPE);
         let comp = s.logical_len("x").unwrap();
         let lo = ((1u64 << 20) as f64 * 0.35 * 0.9) as u64;
         let hi = ((1u64 << 20) as f64 * 0.35 * 1.1) as u64 + 1;
@@ -226,18 +239,18 @@ mod tests {
     fn ratio_is_deterministic_and_content_seeded() {
         let a = store();
         let b = store();
-        a.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
-        b.put("x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+        a.put("x", vec![1, 2, 3].into(), 1 << 20, 0, SHAPE);
+        b.put("x", vec![1, 2, 3].into(), 1 << 20, 0, SHAPE);
         assert_eq!(a.logical_len("x").unwrap(), b.logical_len("x").unwrap());
         // Different content draws a different ratio.
-        b.put("y", vec![9, 9, 9], 1 << 20, 0, SHAPE);
+        b.put("y", vec![9, 9, 9].into(), 1 << 20, 0, SHAPE);
         assert_ne!(b.logical_len("x").unwrap(), b.logical_len("y").unwrap());
     }
 
     #[test]
     fn cpu_time_is_charged_both_ways() {
         let s = store(); // zero-latency inner: all time is CPU
-        let wd = s.put("x", vec![5; 100], 3 << 30, 0, SHAPE);
+        let wd = s.put("x", vec![5; 100].into(), 3 << 30, 0, SHAPE);
         assert!(wd.as_secs_f64() > 1.9, "3 GB at 1.5 GB/s ≈ 2s, got {wd}");
         let (data, rd) = s.get("x", 0, SHAPE).unwrap();
         assert_eq!(*data, vec![5; 100]);
@@ -247,7 +260,7 @@ mod tests {
     #[test]
     fn empty_objects_stay_empty() {
         let s = store();
-        s.put("e", vec![], 0, 0, SHAPE);
+        s.put("e", Vec::new().into(), 0, 0, SHAPE);
         assert_eq!(s.logical_len("e").unwrap(), 0);
     }
 

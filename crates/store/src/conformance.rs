@@ -72,7 +72,7 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
         total_writers: 1,
     };
     // Put/get round-trip with timing model applied.
-    let d = store.put("a/x", vec![1, 2, 3], 1 << 20, 0, SHAPE);
+    let d = store.put("a/x", vec![1, 2, 3].into(), 1 << 20, 0, SHAPE);
     assert_eq!(d > SimDuration::ZERO, checks.timed, "put duration model");
     assert!(store.exists("a/x"), "put object must exist");
     check_len(store.logical_len("a/x").unwrap(), 1 << 20, checks, "put");
@@ -87,7 +87,7 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
         "after get",
     );
     // Overwrites update contents and length.
-    store.put("a/x", vec![4, 5], 2048, 0, SHAPE);
+    store.put("a/x", vec![4, 5].into(), 2048, 0, SHAPE);
     check_len(store.logical_len("a/x").unwrap(), 2048, checks, "overwrite");
     let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
     assert_eq!(*data, vec![4, 5], "overwrite contents");
@@ -105,7 +105,7 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
     );
     assert!(!store.exists("a/missing"));
     // Empty objects are storable; list is sorted.
-    store.put("a/y", vec![], 0, 0, SHAPE);
+    store.put("a/y", Vec::new().into(), 0, 0, SHAPE);
     assert_eq!(
         store.list(),
         vec!["a/x".to_string(), "a/y".to_string()],

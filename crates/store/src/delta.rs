@@ -22,7 +22,7 @@
 use mana_core::codec::{CodecError, Dec, Enc};
 use mana_core::config::parse_image_path;
 use mana_core::error::StoreError;
-use mana_core::image::{decode_region, encode_region, CheckpointImage};
+use mana_core::image::{decode_region, encode_region, CheckpointImage, ImageBytes};
 use mana_core::store::CheckpointStore;
 use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
@@ -50,6 +50,12 @@ pub struct DeltaConfig {
     /// correctly but re-materializes each region contiguously per put
     /// and digests every page (image dirty summaries are ignored).
     pub page: usize,
+    /// Worker threads for per-page digesting/diffing within one put
+    /// (native page granularity only). `1` (the default) digests
+    /// serially; higher values split each dense region's page range
+    /// across OS threads — results (digests, patches, counters) are
+    /// identical to the serial pass.
+    pub digest_workers: usize,
 }
 
 impl Default for DeltaConfig {
@@ -57,6 +63,7 @@ impl Default for DeltaConfig {
         DeltaConfig {
             full_every: 8,
             page: 4096,
+            digest_workers: 1,
         }
     }
 }
@@ -124,7 +131,7 @@ fn encode_delta(blob: &DeltaBlob) -> Vec<u8> {
             }
         }
     }
-    e.bytes(&blob.meta.encode());
+    e.bytes(&blob.meta.encode().into_vec());
     e.finish()
 }
 
@@ -239,6 +246,7 @@ fn plan_regions(
     summaries: &HashMap<u64, &RegionDirty>,
     page: usize,
     want_deltas: bool,
+    workers: usize,
     stats: &mut DeltaPutStats,
 ) -> (Vec<RegionDigest>, Vec<RegionDelta>) {
     let mut digests = Vec::with_capacity(new.len());
@@ -290,20 +298,22 @@ fn plan_regions(
                 // Native chunking: when the diff page equals the tracker
                 // page, the snapshot's frozen pages *are* the chunks.
                 let native = page == PAGE as usize;
-                let flat = if native { None } else { Some(nb.to_vec()) };
-                let chunks: Box<dyn Iterator<Item = &[u8]>> = match &flat {
-                    Some(v) => Box::new(v.chunks(page)),
-                    None => Box::new(nb.pages()),
-                };
                 let mut pages_out = Vec::with_capacity(nb.len().div_ceil(page.max(1)));
                 let mut patch = Vec::new();
                 let mut changed = 0usize;
-                for (i, chunk) in chunks.enumerate() {
+                // One page's worth of work, shared by the serial and
+                // parallel paths so their outputs are identical.
+                let digest_one = |i: usize,
+                                  chunk: &[u8],
+                                  pages_out: &mut Vec<u64>,
+                                  patch: &mut Vec<(u64, Vec<u8>)>,
+                                  changed: &mut usize,
+                                  stats: &mut DeltaPutStats| {
                     if let (Some(s), Some(bp)) = (fast, base_pages) {
                         if !s.is_dirty(i) {
                             stats.pages_reused += 1;
                             pages_out.push(bp[i]);
-                            continue;
+                            return;
                         }
                     }
                     let ck = checksum_bytes(chunk);
@@ -314,7 +324,60 @@ fn plan_regions(
                         && base_pages.and_then(|p| p.get(i)).copied() != Some(ck)
                     {
                         patch.push(((i * page) as u64, chunk.to_vec()));
-                        changed += chunk.len();
+                        *changed += chunk.len();
+                    }
+                };
+                if native && workers > 1 && nb.page_count() >= 2 * workers {
+                    // Split the page range into contiguous spans, one per
+                    // worker; span results merge back in index order, so
+                    // digests, patches and counters match the serial pass
+                    // exactly.
+                    let n = nb.page_count();
+                    let span = n.div_ceil(workers);
+                    let parts = std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..n.div_ceil(span))
+                            .map(|w| {
+                                let digest_one = &digest_one;
+                                scope.spawn(move || {
+                                    let (lo, hi) = (w * span, ((w + 1) * span).min(n));
+                                    let mut out = Vec::with_capacity(hi - lo);
+                                    let mut pt = Vec::new();
+                                    let mut ch = 0usize;
+                                    let mut st = DeltaPutStats::default();
+                                    for i in lo..hi {
+                                        digest_one(
+                                            i,
+                                            nb.page(i),
+                                            &mut out,
+                                            &mut pt,
+                                            &mut ch,
+                                            &mut st,
+                                        );
+                                    }
+                                    (out, pt, ch, st)
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("digest worker"))
+                            .collect::<Vec<_>>()
+                    });
+                    for (out, pt, ch, st) in parts {
+                        pages_out.extend(out);
+                        patch.extend(pt);
+                        changed += ch;
+                        stats.pages_digested += st.pages_digested;
+                        stats.pages_reused += st.pages_reused;
+                    }
+                } else {
+                    let flat = if native { None } else { Some(nb.to_vec()) };
+                    let chunks: Box<dyn Iterator<Item = &[u8]>> = match &flat {
+                        Some(v) => Box::new(v.chunks(page)),
+                        None => Box::new(nb.pages()),
+                    };
+                    for (i, chunk) in chunks.enumerate() {
+                        digest_one(i, chunk, &mut pages_out, &mut patch, &mut changed, stats);
                     }
                 }
                 let delta = if base_pages.is_none() {
@@ -583,7 +646,7 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -594,9 +657,26 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
             self.promote_dependent_of(path);
         }
         let family = parse_image_path(path).map(|p| (p.dir, p.rank));
-        let img = match (&family, CheckpointImage::decode(&data)) {
-            (Some(_), Ok(img)) => img,
-            // Not a rank image (or not ours to understand): pass through.
+        // Prefer the producer-attached image — regions are diffed and
+        // digested straight out of the snapshot rope, no wire decode and
+        // no flatten. Foreign flat bytes fall back to a decode.
+        let decoded: CheckpointImage;
+        let img: &CheckpointImage = match (&family, data.image()) {
+            (Some(_), Some(img)) => img,
+            (Some(_), None) => match CheckpointImage::decode(&data.to_vec()) {
+                Ok(i) => {
+                    decoded = i;
+                    &decoded
+                }
+                // Not a rank image (or not ours to understand): pass
+                // through.
+                Err(_) => {
+                    let mut st = self.state.lock();
+                    Self::forget(&mut st, path);
+                    drop(st);
+                    return self.inner.put(path, data, logical_len, rank, shape);
+                }
+            },
             _ => {
                 let mut st = self.state.lock();
                 Self::forget(&mut st, path);
@@ -627,6 +707,7 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
             &summaries,
             page,
             delta_base.is_some(),
+            self.cfg.digest_workers.max(1),
             &mut stats,
         );
         {
@@ -636,17 +717,17 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
             acc.regions_fast_pathed += stats.regions_fast_pathed;
         }
         if let Some((base_path, since_full)) = delta_base {
-            let mut img = img;
             let delta_logical = 4096 + deltas.iter().map(RegionDelta::logical_cost).sum::<u64>();
             // The meta must not carry the region payloads (the bulk of
             // the image): the delta entries replace them. The dirty
             // summaries stay — reconstruction then reproduces the
             // original image bit-for-bit.
-            img.regions = Vec::new();
+            let mut meta = img.clone();
+            meta.regions = Vec::new();
             let blob = DeltaBlob {
                 base_path: base_path.clone(),
                 deltas,
-                meta: img,
+                meta,
             };
             let encoded = encode_delta(&blob);
             st.base_of.insert(path.to_string(), base_path.clone());
@@ -660,7 +741,8 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
                 },
             );
             drop(st);
-            self.inner.put(path, encoded, delta_logical, rank, shape)
+            self.inner
+                .put(path, encoded.into(), delta_logical, rank, shape)
         } else {
             // First generation of the family or the full_every cadence:
             // write the image whole.
@@ -688,7 +770,7 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
             return Ok((data, dur));
         }
         let (img, total) = self.reconstruct(path, rank, shape)?;
-        Ok((Arc::new(img.encode()), total))
+        Ok((Arc::new(img.encode().into_vec()), total))
     }
 
     fn begin_epoch(&self) {
@@ -881,7 +963,7 @@ mod tests {
         let s = DeltaStore::new(
             DeltaConfig {
                 full_every: 2,
-                page: 4096,
+                ..DeltaConfig::default()
             },
             InMemStore::new(),
         );
@@ -943,8 +1025,8 @@ mod tests {
         };
         let one = blob("c/two");
         let two = blob("c/one");
-        s.put("c/one", one.clone(), one.len() as u64, 0, SHAPE);
-        s.put("c/two", two.clone(), two.len() as u64, 0, SHAPE);
+        s.put("c/one", one.clone().into(), one.len() as u64, 0, SHAPE);
+        s.put("c/two", two.clone().into(), two.len() as u64, 0, SHAPE);
         match s.get("c/one", 0, SHAPE) {
             Err(StoreError::Corrupt { why, .. }) => {
                 assert!(why.contains("cycle"), "unexpected reason: {why}")
@@ -1072,12 +1154,12 @@ mod tests {
     #[test]
     fn non_image_objects_pass_through() {
         let s = store();
-        s.put("manifest.txt", vec![1, 2, 3], 3, 0, SHAPE);
+        s.put("manifest.txt", vec![1, 2, 3].into(), 3, 0, SHAPE);
         let (bytes, _) = s.get("manifest.txt", 0, SHAPE).unwrap();
         assert_eq!(*bytes, vec![1, 2, 3]);
         assert_eq!(s.logical_len("manifest.txt").unwrap(), 3);
         // Image-shaped path but foreign bytes: also untouched.
-        s.put(&path(9), vec![0xEE; 10], 10, 0, SHAPE);
+        s.put(&path(9), vec![0xEE; 10].into(), 10, 0, SHAPE);
         let (bytes, _) = s.get(&path(9), 0, SHAPE).unwrap();
         assert_eq!(*bytes, vec![0xEE; 10]);
     }

@@ -32,9 +32,11 @@
 
 use mana_core::chaos::ChaosHandle;
 use mana_core::error::StoreError;
+use mana_core::image::ImageBytes;
 use mana_core::store::CheckpointStore;
 use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
+use mana_sim::scatter::ScatterBuf;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -118,14 +120,22 @@ impl JournaledStore {
         self.torn_written.lock().clone()
     }
 
-    fn frame(payload: &[u8]) -> Vec<u8> {
-        let mut env = Vec::with_capacity(HEADER + payload.len() + TRAILER);
-        env.extend_from_slice(&MAGIC.to_le_bytes());
-        env.extend_from_slice(&VERSION.to_le_bytes());
-        env.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        env.extend_from_slice(payload);
-        env.extend_from_slice(&checksum_bytes(payload).to_le_bytes());
-        env.extend_from_slice(&COMMIT.to_le_bytes());
+    /// Wrap `payload` in the commit envelope without flattening it: the
+    /// header and trailer are small owned segments, the payload segments
+    /// (shared rope pages included) pass through untouched, and the
+    /// checksum streams over the scatter.
+    fn frame(payload: ScatterBuf) -> ScatterBuf {
+        let mut header = Vec::with_capacity(HEADER);
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let mut trailer = Vec::with_capacity(TRAILER);
+        trailer.extend_from_slice(&payload.checksum().to_le_bytes());
+        trailer.extend_from_slice(&COMMIT.to_le_bytes());
+        let mut env = ScatterBuf::new();
+        env.push_owned(header);
+        env.append(payload);
+        env.push_owned(trailer);
         env
     }
 
@@ -208,7 +218,8 @@ impl JournaledStore {
             };
             let quarantine_path = format!("{QUARANTINE_PREFIX}{path}");
             let len = raw.len() as u64;
-            self.inner.put(&quarantine_path, raw, len, 0, NEUTRAL_SHAPE);
+            self.inner
+                .put(&quarantine_path, raw.into(), len, 0, NEUTRAL_SHAPE);
             self.inner.remove(&path);
             report.quarantined.push(QuarantinedObject {
                 path,
@@ -224,12 +235,12 @@ impl CheckpointStore for JournaledStore {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
     ) -> SimDuration {
-        let mut env = JournaledStore::frame(&data);
+        let mut env = JournaledStore::frame(data.into_scatter());
         let armed = self
             .armed_torn
             .lock()
@@ -245,7 +256,7 @@ impl CheckpointStore for JournaledStore {
             self.torn_written.lock().push(path.to_string());
             self.chaos.note_torn_write(path);
         }
-        self.inner.put(path, env, logical_len, rank, shape)
+        self.inner.put(path, env.into(), logical_len, rank, shape)
     }
 
     fn get(
@@ -307,9 +318,9 @@ mod tests {
     #[test]
     fn torn_put_is_detectably_absent_and_typed() {
         let j = JournaledStore::new(InMemStore::new());
-        j.put("d/full", vec![1; 100], 100, 0, SHAPE);
+        j.put("d/full", vec![1; 100].into(), 100, 0, SHAPE);
         j.arm_torn_put("d/torn", 0.5);
-        j.put("d/torn", vec![2; 100], 100, 0, SHAPE);
+        j.put("d/torn", vec![2; 100].into(), 100, 0, SHAPE);
         assert_eq!(j.torn_writes(), vec!["d/torn".to_string()]);
 
         assert!(j.exists("d/full"));
@@ -327,11 +338,11 @@ mod tests {
         // A writer can die after any byte: every strict prefix of the
         // envelope must be detectably invalid (never a silent success,
         // never a panic).
-        let env = JournaledStore::frame(&[7u8; 33]);
+        let env = JournaledStore::frame(ScatterBuf::from_vec(vec![7u8; 33])).to_vec();
         for keep in 0..env.len() {
             let inner = Arc::new(InMemStore::new());
             let j = JournaledStore::new(inner.clone());
-            inner.put("p", env[..keep].to_vec(), keep as u64, 0, SHAPE);
+            inner.put("p", env[..keep].to_vec().into(), keep as u64, 0, SHAPE);
             let err = j.get("p", 0, SHAPE).expect_err("prefix must not validate");
             assert!(
                 matches!(err, StoreError::Torn { .. }),
@@ -345,12 +356,12 @@ mod tests {
     fn bit_flips_surface_as_corrupt() {
         let inner = Arc::new(InMemStore::new());
         let j = JournaledStore::new(inner.clone());
-        j.put("p", vec![9u8; 64], 64, 0, SHAPE);
+        j.put("p", vec![9u8; 64].into(), 64, 0, SHAPE);
         let (env, _) = inner.get("p", 0, SHAPE).unwrap();
         // Flip one payload bit; header/trailer lengths stay plausible.
         let mut bad = (*env).clone();
         bad[HEADER + 10] ^= 0x40;
-        inner.put("p", bad, 64, 0, SHAPE);
+        inner.put("p", bad.into(), 64, 0, SHAPE);
         assert!(matches!(
             j.get("p", 0, SHAPE),
             Err(StoreError::Corrupt { .. })
@@ -365,15 +376,15 @@ mod tests {
         for r in 0..3 {
             j.put(
                 &format!("ck/ckpt_1/rank_{r}.mana"),
-                vec![r as u8; 50],
+                vec![r as u8; 50].into(),
                 50,
                 0,
                 SHAPE,
             );
         }
         j.arm_torn_put("ck/ckpt_2/rank_0.mana", 0.7);
-        j.put("ck/ckpt_2/rank_0.mana", vec![5; 50], 50, 0, SHAPE);
-        inner.put("ck/stray", vec![1, 2, 3], 3, 0, SHAPE); // unframed garbage
+        j.put("ck/ckpt_2/rank_0.mana", vec![5; 50].into(), 50, 0, SHAPE);
+        inner.put("ck/stray", vec![1, 2, 3].into(), 3, 0, SHAPE); // unframed garbage
 
         let report = j.recover();
         assert_eq!(report.scanned, 5);

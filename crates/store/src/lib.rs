@@ -52,7 +52,7 @@
 //! let shape = IoShape { writers_on_node: 1, total_writers: 1 };
 //! // The checkpoint-visible cost is the burst-buffer write alone; the
 //! // compressed Lustre write drains in the background.
-//! let visible = store.put("ckpt/ckpt_1/rank_0.mana", vec![7; 64], 1 << 30, 0, shape);
+//! let visible = store.put("ckpt/ckpt_1/rank_0.mana", vec![7; 64].into(), 1 << 30, 0, shape);
 //! // A read before the drain finished pays the remaining drain time.
 //! let (_data, read) = store.get("ckpt/ckpt_1/rank_0.mana", 0, shape).unwrap();
 //! assert!(read > visible);

@@ -9,6 +9,7 @@
 //! replay bit-identically; tests can also force replicas down or up.
 
 use mana_core::error::StoreError;
+use mana_core::image::ImageBytes;
 use mana_core::store::CheckpointStore;
 use mana_sim::fs::IoShape;
 use mana_sim::rng::splitmix64;
@@ -152,7 +153,7 @@ impl ReplicatedStore {
                 if let Ok((data, _)) = peer.get(&path, 0, HEAL_SHAPE) {
                     let len = peer.logical_len(&path).unwrap_or(data.len() as u64);
                     report.bytes += data.len() as u64;
-                    self.replicas[i].put(&path, (*data).clone(), len, 0, HEAL_SHAPE);
+                    self.replicas[i].put(&path, (*data).clone().into(), len, 0, HEAL_SHAPE);
                     report.copied.push(path.clone());
                     copied = true;
                     break;
@@ -186,7 +187,7 @@ impl CheckpointStore for ReplicatedStore {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -197,8 +198,9 @@ impl CheckpointStore for ReplicatedStore {
             // model it as writing everywhere and waiting for the slowest.
             alive = (0..self.replicas.len()).collect();
         }
-        // The last replica takes the buffer by move (images are large;
-        // one avoidable copy per put adds up).
+        // The last replica takes the buffer by move; the others get
+        // clones — cheap for scatter images (Arc bumps per rope page
+        // plus small owned metadata).
         let mut data = Some(data);
         let last = alive.len() - 1;
         let mut durs: Vec<SimDuration> = alive
@@ -340,7 +342,7 @@ mod tests {
     }
 
     impl CheckpointStore for FixedLatency {
-        fn put(&self, p: &str, d: Vec<u8>, l: u64, r: u64, s: IoShape) -> SimDuration {
+        fn put(&self, p: &str, d: ImageBytes, l: u64, r: u64, s: IoShape) -> SimDuration {
             self.inner.put(p, d, l, r, s);
             self.write
         }
@@ -385,17 +387,26 @@ mod tests {
     #[test]
     fn put_charges_the_slowest_of_the_quorum() {
         let s = three_way(2);
-        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(20));
+        assert_eq!(
+            s.put("x", vec![1].into(), 8, 0, SHAPE),
+            SimDuration::millis(20)
+        );
         let s = three_way(3);
-        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(30));
+        assert_eq!(
+            s.put("x", vec![1].into(), 8, 0, SHAPE),
+            SimDuration::millis(30)
+        );
         let s = three_way(1);
-        assert_eq!(s.put("x", vec![1], 8, 0, SHAPE), SimDuration::millis(10));
+        assert_eq!(
+            s.put("x", vec![1].into(), 8, 0, SHAPE),
+            SimDuration::millis(10)
+        );
     }
 
     #[test]
     fn get_fails_over_past_dead_replicas() {
         let s = three_way(3);
-        s.put("x", vec![7], 8, 0, SHAPE);
+        s.put("x", vec![7].into(), 8, 0, SHAPE);
         s.kill_replica(0);
         s.kill_replica(1);
         let (data, dur) = s.get("x", 0, SHAPE).unwrap();
@@ -408,7 +419,7 @@ mod tests {
     fn writes_skip_dead_replicas_and_reads_recover() {
         let s = three_way(2);
         s.kill_replica(2);
-        s.put("x", vec![3], 8, 0, SHAPE);
+        s.put("x", vec![3].into(), 8, 0, SHAPE);
         s.revive(2);
         // Replica 2 never got the write: the read probes past its miss.
         s.kill_replica(0);
@@ -448,7 +459,7 @@ mod tests {
         // replica 2 holds clean bytes.
         struct Rotten;
         impl CheckpointStore for Rotten {
-            fn put(&self, _: &str, _: Vec<u8>, _: u64, _: u64, _: IoShape) -> SimDuration {
+            fn put(&self, _: &str, _: ImageBytes, _: u64, _: u64, _: IoShape) -> SimDuration {
                 SimDuration::ZERO
             }
             fn get(
@@ -480,12 +491,12 @@ mod tests {
             ..ReplicaConfig::default()
         };
         let healthy = FixedLatency::new(10, 5);
-        healthy.put("x", vec![7], 8, 0, SHAPE);
+        healthy.put("x", vec![7].into(), 8, 0, SHAPE);
         let torn = InMemStore::new();
-        torn.put("x", vec![1], 8, 0, SHAPE); // stand-in for a torn object
+        torn.put("x", vec![1].into(), 8, 0, SHAPE); // stand-in for a torn object
         struct TornServe(InMemStore);
         impl CheckpointStore for TornServe {
-            fn put(&self, p: &str, d: Vec<u8>, l: u64, r: u64, s: IoShape) -> SimDuration {
+            fn put(&self, p: &str, d: ImageBytes, l: u64, r: u64, s: IoShape) -> SimDuration {
                 self.0.put(p, d, l, r, s)
             }
             fn get(
@@ -540,11 +551,11 @@ mod tests {
     #[test]
     fn heal_brings_a_revived_replica_back_in_sync() {
         let s = three_way(2);
-        s.put("a", vec![1; 10], 10, 0, SHAPE);
+        s.put("a", vec![1; 10].into(), 10, 0, SHAPE);
         // Replica 2 dies; two more epochs of writes miss it.
         s.kill_replica(2);
-        s.put("b", vec![2; 20], 20, 0, SHAPE);
-        s.put("c", vec![3; 30], 30, 0, SHAPE);
+        s.put("b", vec![2; 20].into(), 20, 0, SHAPE);
+        s.put("c", vec![3; 30].into(), 30, 0, SHAPE);
         s.revive(2);
         // Before anti-entropy, replica 2 alone cannot serve b or c.
         s.kill_replica(0);
@@ -577,7 +588,7 @@ mod tests {
         for i in 0..3 {
             s.kill_replica(i);
         }
-        s.put("x", vec![1], 8, 0, SHAPE);
+        s.put("x", vec![1].into(), 8, 0, SHAPE);
         s.revive(0);
         let (data, _) = s.get("x", 0, SHAPE).unwrap();
         assert_eq!(*data, vec![1]);

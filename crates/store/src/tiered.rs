@@ -13,6 +13,7 @@
 //! retired it.
 
 use mana_core::error::StoreError;
+use mana_core::image::ImageBytes;
 use mana_core::store::CheckpointStore;
 use mana_sim::fs::IoShape;
 use mana_sim::time::SimDuration;
@@ -124,7 +125,7 @@ impl<S: CheckpointStore> CheckpointStore for TieredStore<S> {
     fn put(
         &self,
         path: &str,
-        data: Vec<u8>,
+        data: ImageBytes,
         logical_len: u64,
         rank: u64,
         shape: IoShape,
@@ -256,8 +257,8 @@ mod tests {
         let sync = TieredStore::new(cfg(DrainMode::Sync), lustre());
         let asyn = TieredStore::new(cfg(DrainMode::Async), lustre());
         let len = 100 << 20; // 100 MB: ~0.1s on Lustre, ~0.01s on the BB
-        let ds = sync.put("x", vec![], len, 0, SHAPE);
-        let da = asyn.put("x", vec![], len, 0, SHAPE);
+        let ds = sync.put("x", Vec::new().into(), len, 0, SHAPE);
+        let da = asyn.put("x", Vec::new().into(), len, 0, SHAPE);
         assert!(
             da.as_nanos() * 5 < ds.as_nanos(),
             "async {da} should be far below sync {ds}"
@@ -270,7 +271,7 @@ mod tests {
     #[test]
     fn get_pays_the_remaining_drain() {
         let store = TieredStore::new(cfg(DrainMode::Async), lustre());
-        store.put("x", vec![1, 2], 100 << 20, 0, SHAPE);
+        store.put("x", vec![1, 2].into(), 100 << 20, 0, SHAPE);
         let debt = store.pending_drain("x");
         assert!(debt > SimDuration::ZERO);
         let (data, rd) = store.get("x", 0, SHAPE).unwrap();
@@ -285,7 +286,7 @@ mod tests {
     #[test]
     fn background_clock_retires_debt_by_the_next_epoch() {
         let store = TieredStore::new(cfg(DrainMode::Async), lustre());
-        store.put("x", vec![], 100 << 20, 0, SHAPE);
+        store.put("x", Vec::new().into(), 100 << 20, 0, SHAPE);
         assert!(store.pending_drain("x") > SimDuration::ZERO);
         store.begin_epoch();
         assert_eq!(store.pending_drain("x"), SimDuration::ZERO);
@@ -296,11 +297,11 @@ mod tests {
         let mut c = cfg(DrainMode::Async);
         c.capacity = 150 << 20;
         let store = TieredStore::new(c, lustre());
-        store.put("a", vec![], 100 << 20, 0, SHAPE);
+        store.put("a", Vec::new().into(), 100 << 20, 0, SHAPE);
         let debt_a = store.pending_drain("a");
         // The second object doesn't fit next to `a`: `a` is evicted and
         // its outstanding drain is paid as part of this put.
-        let d = store.put("b", vec![], 100 << 20, 1, SHAPE);
+        let d = store.put("b", Vec::new().into(), 100 << 20, 1, SHAPE);
         assert!(d >= debt_a, "eviction {d} must pay a's debt {debt_a}");
         assert_eq!(store.fast_residents(), vec!["b".to_string()]);
         // Evicted object is still durable in the slow tier.
@@ -313,7 +314,7 @@ mod tests {
         let mut c = cfg(DrainMode::Async);
         c.capacity = 1 << 20;
         let store = TieredStore::new(c, lustre());
-        let d = store.put("big", vec![], 10 << 20, 0, SHAPE);
+        let d = store.put("big", Vec::new().into(), 10 << 20, 0, SHAPE);
         // Charged the full slow write (no async hiding possible).
         assert!(
             d.as_secs_f64() > 0.009,
@@ -326,7 +327,7 @@ mod tests {
     #[test]
     fn zero_latency_slow_tier_still_works() {
         let store = TieredStore::new(cfg(DrainMode::Async), InMemStore::new());
-        store.put("x", vec![9], 4096, 0, SHAPE);
+        store.put("x", vec![9].into(), 4096, 0, SHAPE);
         let (data, _) = store.get("x", 0, SHAPE).unwrap();
         assert_eq!(*data, vec![9]);
         assert!(store.remove("x"));

@@ -92,7 +92,7 @@ fn truncate_image(
     let torn = bytes[..keep.min(bytes.len())].to_vec();
     let len = torn.len() as u64;
     store.remove(&path);
-    store.put(&path, torn, len, u64::from(rank), SHAPE);
+    store.put(&path, torn.into(), len, u64::from(rank), SHAPE);
 }
 
 /// Satellite: a torn (truncated) image on a plain `FsStore` — the

@@ -248,8 +248,8 @@ proptest! {
                     prop_assert_eq!(&tracked.regions, &full, "step {}", step);
 
                     // 2. Byte-identical encoded images.
-                    let enc_tracked = image_around(tracked.regions.clone()).encode();
-                    let enc_full = image_around(full).encode();
+                    let enc_tracked = image_around(tracked.regions.clone()).encode().into_vec();
+                    let enc_full = image_around(full).encode().into_vec();
                     prop_assert_eq!(&enc_tracked, &enc_full, "encoding diverged at step {}", step);
 
                     // 3. Decode → restore → checksum round-trip matches the

@@ -129,10 +129,10 @@ fn replay_divergence_is_a_typed_error_not_a_panic() {
     let tampered_index = img.log.len();
     img.log
         .push(mana::core::record::LoggedCall::CommFree { comm: 0xDEAD_BEEF });
-    let encoded = img.encode();
+    let encoded = img.encode().into_vec();
     let logical = encoded.len() as u64;
     store.remove(&path);
-    store.put(&path, encoded, logical, 0, SHAPE);
+    store.put(&path, encoded.into(), logical, 0, SHAPE);
 
     match killed.restart_on(JobBuilder::new()) {
         Err(SessionError::Restart(RestartError::ReplayDivergence {
@@ -169,10 +169,10 @@ fn unbound_live_virtual_is_detected() {
     let (bytes, _) = store.get(&path, 0, SHAPE).unwrap();
     let mut img = CheckpointImage::decode(&bytes).unwrap();
     img.dtypes.push(0x3000_7777);
-    let encoded = img.encode();
+    let encoded = img.encode().into_vec();
     let logical = encoded.len() as u64;
     store.remove(&path);
-    store.put(&path, encoded, logical, 0, SHAPE);
+    store.put(&path, encoded.into(), logical, 0, SHAPE);
 
     match killed.restart_on(JobBuilder::new()) {
         Err(SessionError::Restart(RestartError::UnboundVirtual { rank, virt, .. })) => {
@@ -208,10 +208,10 @@ fn inconsistent_image_contents_are_typed_errors() {
         comm_virt: 0x1000_9999,
         kind: mana::core::image::PendingKind::Ibarrier,
     });
-    let encoded = img.encode();
+    let encoded = img.encode().into_vec();
     let logical = encoded.len() as u64;
     store.remove(&path);
-    store.put(&path, encoded, logical, 1, SHAPE);
+    store.put(&path, encoded.into(), logical, 1, SHAPE);
 
     match killed.restart_on(JobBuilder::new()) {
         Err(SessionError::Restart(RestartError::MalformedImage { rank, why })) => {
@@ -258,7 +258,7 @@ fn v1_images_restart_through_the_new_pipeline() {
         let v1 = img.encode_with_version(1);
         store.remove(&path);
         let len = v1.len() as u64;
-        store.put(&path, v1, len, u64::from(rank), SHAPE);
+        store.put(&path, v1.into(), len, u64::from(rank), SHAPE);
     }
     let resumed = killed.restart_on(JobBuilder::new()).unwrap();
     assert_eq!(
