@@ -160,7 +160,7 @@ fn run_epoch(nregions: u64, pages_per_region: u64, frac: f64) -> EpochResult {
     // Sanity: the stored generation reconstructs the live state exactly.
     // (The read back flattens — deliberately outside the counter window.)
     let (bytes, _) = store.get(path, 0, SHAPE).expect("get back");
-    let back = CheckpointImage::decode(&bytes).expect("decode back");
+    let back = CheckpointImage::decode(&bytes.to_vec()).expect("decode back");
     let b = AddressSpace::new();
     for r in &back.regions {
         b.restore_region(r).expect("restore");

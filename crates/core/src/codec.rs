@@ -6,8 +6,8 @@
 //! byte-by-byte rather than delegated to a serialization framework.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mana_sim::memory::DenseSnap;
-use mana_sim::scatter::ScatterBuf;
+use mana_sim::memory::{pages_of_len, DenseSnap, PAGE};
+use mana_sim::scatter::{tally_shared_flatten, ScatterBuf, Segment};
 
 /// Decode errors.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -393,6 +393,222 @@ impl Dec {
     }
 }
 
+/// A decoding source: the one set of field-reading primitives, backed
+/// either by a contiguous buffer ([`Dec`]) or by a scatter of segments
+/// ([`ScatterDec`]). Decoders written against `Src` run unchanged on
+/// both; the scatter source additionally recovers dense payloads as
+/// shared `Arc` page handles instead of copying them — the read-side
+/// twin of [`Sink::dense_pages`].
+pub trait Src {
+    /// Read a `u8`.
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError>;
+    /// Read a `u32`.
+    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError>;
+    /// Read an `i32`.
+    fn i32(&mut self, what: &'static str) -> Result<i32, CodecError>;
+    /// Read a `u64`.
+    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError>;
+    /// Read a bool.
+    fn boolean(&mut self, what: &'static str) -> Result<bool, CodecError> {
+        Ok(self.u8(what)? != 0)
+    }
+    /// Read a length-prefixed byte string.
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError>;
+    /// Read a length-prefixed UTF-8 string.
+    fn string(&mut self, what: &'static str) -> Result<String, CodecError> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| CodecError::Truncated { what })
+    }
+    /// Read a sequence length.
+    fn seq(&mut self, what: &'static str) -> Result<usize, CodecError> {
+        Ok(self.u64(what)? as usize)
+    }
+    /// Read a length-prefixed dense region payload as a frozen snapshot.
+    fn dense(&mut self, what: &'static str) -> Result<DenseSnap, CodecError>;
+}
+
+impl Src for Dec {
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Dec::u8(self, what)
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Dec::u32(self, what)
+    }
+    fn i32(&mut self, what: &'static str) -> Result<i32, CodecError> {
+        Dec::i32(self, what)
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        Dec::u64(self, what)
+    }
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
+        Dec::bytes(self, what)
+    }
+    fn dense(&mut self, what: &'static str) -> Result<DenseSnap, CodecError> {
+        // Chunk straight from the decoder's buffer into frozen pages —
+        // one copy, no intermediate contiguous Vec.
+        Ok(DenseSnap::from_bytes(self.bytes_ref(what)?))
+    }
+}
+
+/// Decoder over a [`ScatterBuf`], walking its segments in place. Metadata
+/// reads copy a handful of bytes out of owned segments; a dense payload
+/// whose page run survived storage as discrete shared segments (the
+/// [`ScatterEnc`] layout) is recovered as `Arc` clones of those very
+/// pages — zero copies for every clean stored page. Payloads that lost
+/// their segment alignment (re-framed, flattened, or foreign bytes) fall
+/// back to a copy that is tallied in
+/// [`mana_sim::scatter::shared_flatten_bytes`], so the byte stream
+/// decodes identically either way.
+pub struct ScatterDec<'a> {
+    segs: &'a [Segment],
+    /// Current segment index.
+    seg: usize,
+    /// Offset within the current segment.
+    off: usize,
+    remaining: usize,
+    copied: u64,
+    pages_shared: u64,
+}
+
+impl<'a> ScatterDec<'a> {
+    /// Wrap `buf` for decoding.
+    pub fn new(buf: &'a ScatterBuf) -> ScatterDec<'a> {
+        ScatterDec {
+            segs: buf.raw_segments(),
+            seg: 0,
+            off: 0,
+            remaining: buf.len(),
+            copied: 0,
+            pages_shared: 0,
+        }
+    }
+
+    /// Remaining undecoded bytes.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Bytes this decoder copied out of segments (metadata plus any dense
+    /// fallback); zero page copies shows up here as a near-zero value.
+    pub fn bytes_copied(&self) -> u64 {
+        self.copied
+    }
+
+    /// Dense pages recovered as shared `Arc` handles (no copy).
+    pub fn pages_shared(&self) -> u64 {
+        self.pages_shared
+    }
+
+    /// Skip exhausted segments so `(seg, off)` always points at unread
+    /// bytes (or one past the final segment).
+    fn normalize(&mut self) {
+        while self
+            .segs
+            .get(self.seg)
+            .is_some_and(|s| self.off >= s.as_bytes().len())
+        {
+            self.seg += 1;
+            self.off = 0;
+        }
+    }
+
+    /// Copy exactly `out.len()` bytes into `out`, crossing segment
+    /// boundaries as needed.
+    fn read_into(&mut self, out: &mut [u8], what: &'static str) -> Result<(), CodecError> {
+        if self.remaining < out.len() {
+            return Err(CodecError::Truncated { what });
+        }
+        let mut done = 0usize;
+        while done < out.len() {
+            self.normalize();
+            let seg = &self.segs[self.seg];
+            let bytes = seg.as_bytes();
+            let n = (bytes.len() - self.off).min(out.len() - done);
+            out[done..done + n].copy_from_slice(&bytes[self.off..self.off + n]);
+            if matches!(seg, Segment::Shared(_)) {
+                tally_shared_flatten(n as u64);
+            }
+            self.off += n;
+            done += n;
+        }
+        self.copied += out.len() as u64;
+        self.remaining -= out.len();
+        self.normalize();
+        Ok(())
+    }
+
+    fn scalar<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], CodecError> {
+        let mut buf = [0u8; N];
+        self.read_into(&mut buf, what)?;
+        Ok(buf)
+    }
+}
+
+impl Src for ScatterDec<'_> {
+    fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.scalar::<1>(what)?[0])
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.scalar::<4>(what)?))
+    }
+    fn i32(&mut self, what: &'static str) -> Result<i32, CodecError> {
+        Ok(i32::from_le_bytes(self.scalar::<4>(what)?))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.scalar::<8>(what)?))
+    }
+    fn bytes(&mut self, what: &'static str) -> Result<Vec<u8>, CodecError> {
+        let n = Src::u64(self, what)? as usize;
+        if self.remaining < n {
+            return Err(CodecError::Truncated { what });
+        }
+        let mut v = vec![0u8; n];
+        self.read_into(&mut v, what)?;
+        Ok(v)
+    }
+    fn dense(&mut self, what: &'static str) -> Result<DenseSnap, CodecError> {
+        let len = Src::u64(self, what)? as usize;
+        if self.remaining < len {
+            return Err(CodecError::Truncated { what });
+        }
+        // Fast path: the cursor sits at a segment boundary and the next
+        // segments are exactly the payload's canonical page chunking as
+        // shared handles — the ScatterEnc layout, preserved by stores
+        // that kept the scatter intact. Recover the Arc handles.
+        if self.off == 0 {
+            let npages = pages_of_len(len);
+            let mut pages = Vec::with_capacity(npages);
+            for k in 0..npages {
+                let want = if k + 1 < npages {
+                    PAGE as usize
+                } else {
+                    len - k * PAGE as usize
+                };
+                match self.segs.get(self.seg + k).and_then(Segment::shared_handle) {
+                    Some(p) if p.len() == want => pages.push(p.clone()),
+                    _ => {
+                        pages.clear();
+                        break;
+                    }
+                }
+            }
+            if pages.len() == npages {
+                if let Some(snap) = DenseSnap::from_pages(len, pages) {
+                    self.seg += npages;
+                    self.off = 0;
+                    self.remaining -= len;
+                    self.pages_shared += npages as u64;
+                    self.normalize();
+                    return Ok(snap);
+                }
+            }
+        }
+        // Fallback: copy the payload (tallied) and re-chunk it.
+        let mut v = vec![0u8; len];
+        self.read_into(&mut v, what)?;
+        Ok(DenseSnap::from_bytes(&v))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,6 +687,86 @@ mod tests {
         // Pages crossed as shared segments, not copies.
         assert_eq!(sb.shared_len(), snap.len());
         assert_eq!(sb.to_vec(), flat.finish());
+    }
+
+    #[test]
+    fn scatter_dec_recovers_pages_without_copying() {
+        fn encode<S: Sink>(s: &mut S, snap: &DenseSnap) {
+            s.u8(1);
+            s.string("meta");
+            s.u64(snap.len() as u64);
+            s.dense_pages(snap);
+            s.u32(0xFEED);
+        }
+        let snap = DenseSnap::from_vec((0..10_000u32).map(|i| (i * 7) as u8).collect());
+        let mut enc = ScatterEnc::new();
+        encode(&mut enc, &snap);
+        let sb = enc.finish();
+
+        let mut d = ScatterDec::new(&sb);
+        assert_eq!(Src::u8(&mut d, "a").unwrap(), 1);
+        assert_eq!(Src::string(&mut d, "b").unwrap(), "meta");
+        let back = {
+            let len = Src::u64(&mut d, "len").unwrap() as usize;
+            assert_eq!(len, snap.len());
+            // Re-wind is impossible; call dense via the region framing
+            // convention: length already consumed means the payload
+            // starts here, so test the trait-level read instead.
+            let mut d2 = ScatterDec::new(&sb);
+            Src::u8(&mut d2, "a").unwrap();
+            Src::string(&mut d2, "b").unwrap();
+            let got = Src::dense(&mut d2, "payload").unwrap();
+            assert_eq!(Src::u32(&mut d2, "t").unwrap(), 0xFEED);
+            assert_eq!(d2.remaining(), 0);
+            assert_eq!(d2.pages_shared(), snap.page_count() as u64);
+            // Pages are the same allocations, not copies.
+            for i in 0..snap.page_count() {
+                assert!(got.shares_page(&snap, i), "page {i} was copied");
+            }
+            got
+        };
+        assert_eq!(back.to_vec(), snap.to_vec());
+        let _ = d;
+    }
+
+    #[test]
+    fn scatter_dec_falls_back_on_flat_bytes() {
+        fn encode<S: Sink>(s: &mut S, snap: &DenseSnap) {
+            s.u64(snap.len() as u64);
+            s.dense_pages(snap);
+        }
+        let snap = DenseSnap::from_vec(vec![3u8; 9000]);
+        let mut enc = Enc::new();
+        encode(&mut enc, &snap);
+        // Flat bytes: no shared segments to recover.
+        let sb = ScatterBuf::from_vec(enc.finish());
+        let mut d = ScatterDec::new(&sb);
+        let got = Src::dense(&mut d, "payload").unwrap();
+        assert_eq!(d.pages_shared(), 0);
+        assert_eq!(got.to_vec(), snap.to_vec());
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn scatter_dec_truncation_is_typed() {
+        let mut sb = ScatterBuf::new();
+        sb.push_owned(vec![1, 2, 3]);
+        let mut d = ScatterDec::new(&sb);
+        assert!(matches!(
+            Src::u64(&mut d, "x"),
+            Err(CodecError::Truncated { what: "x" })
+        ));
+        let mut sb2 = ScatterBuf::new();
+        sb2.push_owned(1000u64.to_le_bytes().to_vec());
+        let mut d2 = ScatterDec::new(&sb2);
+        assert!(matches!(
+            Src::bytes(&mut d2, "p"),
+            Err(CodecError::Truncated { .. })
+        ));
+        assert!(matches!(
+            Src::dense(&mut ScatterDec::new(&sb2), "q"),
+            Err(CodecError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -83,6 +83,13 @@ pub struct ManaConfig {
     /// is the serial path; the value has no effect on the simulated
     /// helpers, whose overlap is modeled in virtual time.
     pub ckpt_workers: usize,
+    /// Worker threads for the restart read pipeline: the restart engine
+    /// fetches, decodes and validates this many rank images concurrently
+    /// before the destination simulation boots, merging results in rank
+    /// order so reports and error selection are identical to the serial
+    /// path. `1` (the default) fetches rank-by-rank on the calling
+    /// thread.
+    pub restart_workers: usize,
     /// Compact the record-replay log before writing it into checkpoint
     /// images (elide freed opaque objects and dead derivation subtrees;
     /// see `mana_core::restart::compact`). On by default; the
@@ -113,6 +120,7 @@ impl ManaConfig {
             ctrl_recv_cpu_intra: SimDuration::micros(9),
             topology: TopologyKind::Flat,
             ckpt_workers: 1,
+            restart_workers: 1,
             compact_log: true,
             chaos: ChaosHandle::default(),
         }

@@ -12,11 +12,11 @@
 //! network-agnostic property.
 
 use crate::buffer::{BufferedMsg, PairCounters};
-use crate::codec::{CodecError, Dec, Enc, MeasureEnc, ScatterEnc, Sink};
+use crate::codec::{CodecError, Dec, Enc, MeasureEnc, ScatterDec, ScatterEnc, Sink, Src};
 use crate::record::LoggedCall;
 use crate::restart::compact::{derive_rebind, BindSource, RebindEntry};
 use mana_mpi::{BaseType, ReduceOp};
-use mana_sim::memory::{DenseSnap, Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent};
+use mana_sim::memory::{Half, RegionDirty, RegionKind, RegionSnapshot, SnapshotContent};
 use mana_sim::scatter::ScatterBuf;
 use std::sync::Arc;
 
@@ -162,6 +162,16 @@ impl ImageBytes {
         ImageBytes {
             buf: ScatterBuf::from_vec(bytes),
             image: None,
+        }
+    }
+
+    /// Wrap a scatter together with the image it encodes. Store tiers
+    /// that already hold the decoded form (delta replay, CAS
+    /// reassembly) use this so downstream `decode_shared` is free.
+    pub fn with_image(buf: ScatterBuf, image: Arc<CheckpointImage>) -> ImageBytes {
+        ImageBytes {
+            buf,
+            image: Some(image),
         }
     }
 
@@ -416,6 +426,39 @@ impl CheckpointImage {
     /// Deserialize (accepts every version from [`MIN_VERSION`] up).
     pub fn decode(data: &[u8]) -> Result<CheckpointImage, CodecError> {
         let mut d = Dec::new(data);
+        CheckpointImage::decode_from(&mut d)
+    }
+
+    /// Deserialize straight from a scatter, recovering dense region pages
+    /// as the stored `Arc` handles — the read-side twin of
+    /// [`CheckpointImage::encode_shared`]. When the producer attached the
+    /// decoded image, the wire decode is skipped entirely (the clone is
+    /// cheap: region ropes are `Arc` pages). Returns the image plus the
+    /// copy accounting for [`crate::stats::RankRestartStats`].
+    pub fn decode_shared(bytes: &ImageBytes) -> Result<(CheckpointImage, DecodeStats), CodecError> {
+        if let Some(img) = bytes.image() {
+            let img = (**img).clone();
+            let pages_shared = img.dense_page_count();
+            return Ok((
+                img,
+                DecodeStats {
+                    bytes_copied: 0,
+                    pages_shared,
+                },
+            ));
+        }
+        let mut d = ScatterDec::new(bytes.scatter());
+        let img = CheckpointImage::decode_from(&mut d)?;
+        Ok((
+            img,
+            DecodeStats {
+                bytes_copied: d.bytes_copied(),
+                pages_shared: d.pages_shared(),
+            },
+        ))
+    }
+
+    fn decode_from<S: Src>(d: &mut S) -> Result<CheckpointImage, CodecError> {
         let magic = d.u64("magic")?;
         if magic != MAGIC {
             return Err(CodecError::BadMagic(magic));
@@ -434,7 +477,7 @@ impl CheckpointImage {
 
         let mut regions = Vec::new();
         for _ in 0..d.seq("regions")? {
-            regions.push(dec_region(&mut d)?);
+            regions.push(dec_region(d)?);
         }
         let mut comms = Vec::new();
         for _ in 0..d.seq("comms")? {
@@ -469,9 +512,9 @@ impl CheckpointImage {
         }
         let mut log = Vec::new();
         for _ in 0..d.seq("log")? {
-            log.push(dec_call(&mut d, version)?);
+            log.push(dec_call(d, version)?);
         }
-        let counters = dec_counters(&mut d)?;
+        let counters = dec_counters(d)?;
         let mut buffered = Vec::new();
         for _ in 0..d.seq("buffered")? {
             buffered.push(BufferedMsg {
@@ -513,7 +556,7 @@ impl CheckpointImage {
         }
         let mut slots = Vec::new();
         for _ in 0..d.seq("slots")? {
-            slots.push(dec_slot(&mut d)?);
+            slots.push(dec_slot(d)?);
         }
         let slot_seq = d.u64("slot_seq")?;
         let slot_seq_at_step = d.u64("slot_seq_at_step")?;
@@ -618,6 +661,29 @@ impl CheckpointImage {
             })
             .sum()
     }
+
+    /// Total dense rope pages across all regions (the sharing currency of
+    /// the zero-copy read path).
+    pub fn dense_page_count(&self) -> u64 {
+        self.regions
+            .iter()
+            .map(|r| match &r.content {
+                SnapshotContent::Dense(b) => b.page_count() as u64,
+                SnapshotContent::Pattern { .. } => 0,
+            })
+            .sum()
+    }
+}
+
+/// Copy accounting from [`CheckpointImage::decode_shared`]: how many wire
+/// bytes had to be copied out of the scatter (metadata runs, non-canonical
+/// payloads) and how many dense pages came back as shared `Arc` handles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Bytes memcpy'd out of the scatter during decode.
+    pub bytes_copied: u64,
+    /// Dense pages recovered as shared handles (zero copies).
+    pub pages_shared: u64,
 }
 
 fn half_tag(h: Half) -> u32 {
@@ -748,16 +814,17 @@ fn enc_region<S: Sink>(e: &mut S, r: &RegionSnapshot) {
     }
 }
 
-fn dec_region(d: &mut Dec) -> Result<RegionSnapshot, CodecError> {
+fn dec_region<S: Src>(d: &mut S) -> Result<RegionSnapshot, CodecError> {
     let start = d.u64("region start")?;
     let len = d.u64("region len")?;
     let half = dec_half(d.u32("region half")?)?;
     let kind = dec_kind(d.u32("region kind")?)?;
     let name = d.string("region name")?;
     let content = match d.u32("region content")? {
-        // Chunk straight from the decoder's buffer into frozen pages —
-        // one copy, no intermediate contiguous Vec.
-        0 => SnapshotContent::Dense(DenseSnap::from_bytes(d.bytes_ref("region dense")?)),
+        // The source chooses the cheapest materialization: a flat decoder
+        // chunks its buffer into frozen pages (one copy), a scatter
+        // decoder recovers the stored `Arc` pages outright (zero copies).
+        0 => SnapshotContent::Dense(d.dense("region dense")?),
         1 => SnapshotContent::Pattern {
             seed: d.u64("region pattern")?,
         },
@@ -821,7 +888,7 @@ fn enc_slot<S: Sink>(e: &mut S, s: &crate::shared::SlotState) {
     }
 }
 
-fn dec_slot(d: &mut Dec) -> Result<crate::shared::SlotState, CodecError> {
+fn dec_slot<S: Src>(d: &mut S) -> Result<crate::shared::SlotState, CodecError> {
     use crate::shared::SlotState;
     use mana_mpi::{SrcSpec, TagSpec};
     Ok(match d.u32("slot tag")? {
@@ -868,7 +935,7 @@ fn enc_counters<S: Sink>(e: &mut S, c: &PairCounters) {
     }
 }
 
-fn dec_counters(d: &mut Dec) -> Result<PairCounters, CodecError> {
+fn dec_counters<S: Src>(d: &mut S) -> Result<PairCounters, CodecError> {
     let mut c = PairCounters::default();
     for _ in 0..d.seq("sent counters")? {
         let k = d.u32("sent peer")?;
@@ -1020,7 +1087,7 @@ fn enc_call<S: Sink>(e: &mut S, c: &LoggedCall, version: u32) {
     }
 }
 
-fn dec_call(d: &mut Dec, version: u32) -> Result<LoggedCall, CodecError> {
+fn dec_call<S: Src>(d: &mut S, version: u32) -> Result<LoggedCall, CodecError> {
     Ok(match d.u32("call tag")? {
         0 => LoggedCall::CommDup {
             parent: d.u64("dup parent")?,
@@ -1134,6 +1201,7 @@ fn dec_call(d: &mut Dec, version: u32) -> Result<LoggedCall, CodecError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mana_sim::memory::DenseSnap;
 
     fn sample() -> CheckpointImage {
         let mut counters = PairCounters::default();
@@ -1260,6 +1328,53 @@ mod tests {
         let bytes = img.encode().to_vec();
         let back = CheckpointImage::decode(&bytes).expect("decode");
         assert_eq!(img, back);
+    }
+
+    #[test]
+    fn decode_shared_recovers_stored_pages() {
+        let mut img = sample();
+        img.regions[0] = RegionSnapshot {
+            start: 0x1000,
+            len: 3 * 4096,
+            half: Half::Upper,
+            kind: RegionKind::Mmap,
+            name: "arr".to_string(),
+            content: SnapshotContent::Dense(DenseSnap::from_vec(vec![0xAB; 3 * 4096])),
+        };
+        let bytes = img.encode();
+        let (back, stats) = CheckpointImage::decode_shared(&bytes).expect("decode");
+        assert_eq!(back, img);
+        assert_eq!(stats.pages_shared, 3, "all dense pages shared");
+        // The recovered rope aliases the original snapshot's pages.
+        let (orig, got) = match (&img.regions[0].content, &back.regions[0].content) {
+            (SnapshotContent::Dense(a), SnapshotContent::Dense(b)) => (a, b),
+            _ => unreachable!(),
+        };
+        for i in 0..orig.page_count() {
+            assert!(got.shares_page(orig, i), "page {i} was copied");
+        }
+    }
+
+    #[test]
+    fn decode_shared_uses_the_attachment() {
+        let img = Arc::new(sample());
+        let bytes = CheckpointImage::encode_shared(&img);
+        let (back, stats) = CheckpointImage::decode_shared(&bytes).expect("decode");
+        assert_eq!(back, *img);
+        assert_eq!(stats.bytes_copied, 0, "attachment skips the wire decode");
+        assert_eq!(stats.pages_shared, img.dense_page_count());
+    }
+
+    #[test]
+    fn decode_shared_matches_flat_decode_on_foreign_bytes() {
+        // A flat, non-canonically-chunked wrapping still decodes — it just
+        // pays the copies.
+        let img = sample();
+        let flat = ImageBytes::from_vec(img.encode().to_vec());
+        let (back, stats) = CheckpointImage::decode_shared(&flat).expect("decode");
+        assert_eq!(back, img);
+        assert_eq!(stats.pages_shared, 0);
+        assert!(stats.bytes_copied > 0);
     }
 
     #[test]

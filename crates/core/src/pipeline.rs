@@ -329,7 +329,7 @@ mod tests {
             let (bytes, _) = store
                 .get(&format!("ckpt/ckpt_1/rank_{rank}.mana"), 0, SHAPE)
                 .unwrap();
-            let img = CheckpointImage::decode(&bytes).unwrap();
+            let (img, _) = CheckpointImage::decode_shared(&bytes).unwrap();
             assert_eq!(img.rank, rank);
             assert_eq!(img, image(rank));
         }

@@ -44,7 +44,8 @@ use mana_sim::time::{SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 
 /// Panic payload used to abort a rank's simulated thread after a replay
 /// failure was recorded; silenced by the quiet panic hook and translated
@@ -77,6 +78,18 @@ impl StageClock {
     }
 }
 
+/// One rank's fetched-and-validated image plus the read/decode
+/// accounting that rides into its [`RankRestartStats`].
+struct FetchedImage {
+    img: CheckpointImage,
+    /// Virtual store read duration, charged to the rank's clock in-sim.
+    rdur: SimDuration,
+    /// Bytes the wire decode copied (zero on the attached-image path).
+    bytes_copied: u64,
+    /// Stored rope pages recovered as shared handles by the decode.
+    pages_shared: u64,
+}
+
 /// The staged restart pipeline for one checkpoint of one job spec.
 pub struct RestartEngine<'a> {
     store: &'a Arc<dyn CheckpointStore>,
@@ -100,58 +113,122 @@ impl<'a> RestartEngine<'a> {
         }
     }
 
+    /// Fetch, decode and validate one rank's image. All the work here is
+    /// order-independent across ranks, which is what lets `fetch_images`
+    /// run it on a worker pool.
+    fn fetch_rank(&self, rank: u32) -> Result<FetchedImage, RestartError> {
+        let spec = self.spec;
+        let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
+        let path = spec.cfg.image_path(self.ckpt_id, rank);
+        let (data, rdur) = self
+            .store
+            .get(&path, u64::from(rank), shape)
+            .map_err(|source| RestartError::MissingImage {
+                rank,
+                ckpt_id: self.ckpt_id,
+                path: path.clone(),
+                source,
+            })?;
+        let (img, decode) =
+            CheckpointImage::decode_shared(&data).map_err(|source| RestartError::CorruptImage {
+                rank,
+                path: path.clone(),
+                source,
+            })?;
+        if img.nranks != spec.nranks {
+            return Err(RestartError::WorldSizeMismatch {
+                image: img.nranks,
+                requested: spec.nranks,
+            });
+        }
+        if img.comms.is_empty() || !img.comms.iter().any(|c| c.virt == img.world_virt) {
+            return Err(RestartError::NoWorldComm { rank, path });
+        }
+        // Internal consistency of decodable images: every pending
+        // collective's communicator must be in the live set (the
+        // restore would otherwise have nothing to re-engage).
+        for p in &img.pending {
+            if !img.comms.iter().any(|c| c.virt == p.comm_virt) {
+                return Err(RestartError::MalformedImage {
+                    rank,
+                    why: format!(
+                        "pending collective {:#x} references communicator {:#x} \
+                         the image does not carry (at '{path}')",
+                        p.vreq, p.comm_virt
+                    ),
+                });
+            }
+        }
+        Ok(FetchedImage {
+            img,
+            rdur,
+            bytes_copied: decode.bytes_copied,
+            pages_shared: decode.pages_shared,
+        })
+    }
+
     /// Fetch, decode and validate every rank's image *before* the
     /// destination simulation boots, so storage and format failures
     /// surface as typed errors without spinning up threads. The read
     /// durations are charged to each rank's clock inside the simulation.
-    fn fetch_images(&self) -> Result<Vec<(CheckpointImage, SimDuration)>, RestartError> {
+    ///
+    /// With `cfg.restart_workers > 1` the per-rank fetch+decode+validate
+    /// runs on that many OS worker threads (mirroring
+    /// [`crate::pipeline::checkpoint_ranks`]'s claim-by-ascending-index
+    /// pool); results merge back in rank order and the lowest failing
+    /// rank's error wins, so the returned images, stats and errors are
+    /// identical to the serial path.
+    fn fetch_images(&self) -> Result<Vec<FetchedImage>, RestartError> {
         let spec = self.spec;
-        let mut images = Vec::with_capacity(spec.nranks as usize);
-        for rank in 0..spec.nranks {
-            let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
-            let path = spec.cfg.image_path(self.ckpt_id, rank);
-            let (data, rdur) = self
-                .store
-                .get(&path, u64::from(rank), shape)
-                .map_err(|source| RestartError::MissingImage {
-                    rank,
-                    ckpt_id: self.ckpt_id,
-                    path: path.clone(),
-                    source,
-                })?;
-            let img =
-                CheckpointImage::decode(&data).map_err(|source| RestartError::CorruptImage {
-                    rank,
-                    path: path.clone(),
-                    source,
-                })?;
-            if img.nranks != spec.nranks {
-                return Err(RestartError::WorldSizeMismatch {
-                    image: img.nranks,
-                    requested: spec.nranks,
+        let nranks = spec.nranks as usize;
+        let workers = spec.cfg.restart_workers;
+        if workers <= 1 || nranks < 2 {
+            return (0..spec.nranks).map(|rank| self.fetch_rank(rank)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Result<FetchedImage, RestartError>)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(nranks) {
+                let tx = tx.clone();
+                let next = &next;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= nranks {
+                        break;
+                    }
+                    let res = self.fetch_rank(idx as u32);
+                    let failed = res.is_err();
+                    if tx.send((idx, res)).is_err() || failed {
+                        // This worker saw a failure; stop claiming ranks.
+                        // The other workers drain the remaining indices,
+                        // so every rank below the *lowest* failure is
+                        // still fetched (serial-identical error choice).
+                        break;
+                    }
                 });
             }
-            if img.comms.is_empty() || !img.comms.iter().any(|c| c.virt == img.world_virt) {
-                return Err(RestartError::NoWorldComm { rank, path });
+            drop(tx);
+
+            let mut slots: BTreeMap<usize, Result<FetchedImage, RestartError>> = BTreeMap::new();
+            for (idx, res) in rx {
+                slots.insert(idx, res);
             }
-            // Internal consistency of decodable images: every pending
-            // collective's communicator must be in the live set (the
-            // restore would otherwise have nothing to re-engage).
-            for p in &img.pending {
-                if !img.comms.iter().any(|c| c.virt == p.comm_virt) {
-                    return Err(RestartError::MalformedImage {
-                        rank,
-                        why: format!(
-                            "pending collective {:#x} references communicator {:#x} \
-                             the image does not carry (at '{path}')",
-                            p.vreq, p.comm_virt
-                        ),
-                    });
+            // Rank-ordered merge: the first failure ascending is exactly
+            // the error the serial loop would have returned.
+            let mut images = Vec::with_capacity(nranks);
+            for idx in 0..nranks {
+                match slots.remove(&idx) {
+                    Some(Ok(f)) => images.push(f),
+                    Some(Err(e)) => return Err(e),
+                    // A rank can only go unfetched when every worker bailed
+                    // on an earlier failure — which the scan above returns
+                    // first.
+                    None => unreachable!("rank {idx} unfetched without a lower-rank error"),
                 }
             }
-            images.push((img, rdur));
-        }
-        Ok(images)
+            Ok(images)
+        })
     }
 
     /// Run the pipeline and the restarted application to completion (or
@@ -205,7 +282,7 @@ impl<'a> RestartEngine<'a> {
             };
             sim.spawn("coordinator", true, move |t| run_coordinator(t, cx));
         }
-        for (rank, (img, rdur)) in images.into_iter().enumerate() {
+        for (rank, fetched) in images.into_iter().enumerate() {
             let rank = rank as u32;
             let (job, workload, checksums, killed, restart_stats, window, errslot) = (
                 job.clone(),
@@ -221,22 +298,22 @@ impl<'a> RestartEngine<'a> {
             let parent_ep = cp.parent_eps[rank as usize];
             let sim2 = sim.clone();
             sim.spawn(&format!("rank{rank}"), false, move |t| {
-                let (sh, wrapper, stats) =
-                    match rank_restore(&t, &sim2, &job, &spec, rank, img, rdur) {
-                        Ok(out) => out,
-                        Err(e) => {
-                            let mut slot = errslot.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                            drop(slot);
-                            // Unwind this rank; the scheduler propagates the
-                            // failure and tears the simulation down. The quiet
-                            // hook keeps it silent; the engine translates it
-                            // back into the recorded typed error.
-                            std::panic::panic_any(ReplayAbort);
+                let (sh, wrapper, stats) = match rank_restore(&t, &sim2, &job, &spec, rank, fetched)
+                {
+                    Ok(out) => out,
+                    Err(e) => {
+                        let mut slot = errslot.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
                         }
-                    };
+                        drop(slot);
+                        // Unwind this rank; the scheduler propagates the
+                        // failure and tears the simulation down. The quiet
+                        // hook keeps it silent; the engine translates it
+                        // back into the recorded typed error.
+                        std::panic::panic_any(ReplayAbort);
+                    }
+                };
                 restart_stats.lock().push((stats, t.now()));
                 let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
                 let hx = HelperCtx {
@@ -306,9 +383,14 @@ fn rank_restore(
     job: &Arc<MpiJob>,
     spec: &ManaJobSpec,
     rank: u32,
-    img: CheckpointImage,
-    rdur: SimDuration,
+    fetched: FetchedImage,
 ) -> Result<(Arc<RankShared>, Arc<dyn Mpi>, RankRestartStats), RestartError> {
+    let FetchedImage {
+        img,
+        rdur,
+        bytes_copied,
+        pages_shared,
+    } = fetched;
     let mut clock = StageClock::start(t);
 
     // Stage 1: charge the image read to this rank's clock (the fetch
@@ -383,6 +465,8 @@ fn rank_restore(
             rank,
             stages: clock.stages,
             replayed_calls: replayed,
+            bytes_copied,
+            pages_shared,
         },
     ))
 }

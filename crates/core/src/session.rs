@@ -538,6 +538,7 @@ pub struct JobBuilder {
     after_last_ckpt: Option<AfterCkpt>,
     topology: Option<TopologyKind>,
     ckpt_workers: Option<usize>,
+    restart_workers: Option<usize>,
     compact_log: Option<bool>,
     chaos: Option<ChaosHandle>,
 }
@@ -618,6 +619,20 @@ impl JobBuilder {
     /// configuration. Has no effect on simulated helper timing.
     pub fn ckpt_workers(mut self, workers: usize) -> JobBuilder {
         self.ckpt_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Restart-pipeline worker threads
+    /// ([`ManaConfig::restart_workers`]): how many rank images the
+    /// restart engine fetches, decodes and validates concurrently before
+    /// the destination simulation boots. `1` (the default) selects the
+    /// serial path; either way results merge in rank order and the
+    /// lowest failing rank's error wins, so the restored state, the
+    /// [`RestartReport`] and every typed
+    /// error are identical — only wall-clock time changes. Inherited
+    /// across restarts like the rest of the configuration.
+    pub fn restart_workers(mut self, workers: usize) -> JobBuilder {
+        self.restart_workers = Some(workers.max(1));
         self
     }
 
@@ -751,6 +766,9 @@ impl JobBuilder {
         }
         if let Some(workers) = self.ckpt_workers {
             cfg.ckpt_workers = workers;
+        }
+        if let Some(workers) = self.restart_workers {
+            cfg.restart_workers = workers;
         }
         if let Some(compact) = self.compact_log {
             cfg.compact_log = compact;

@@ -198,7 +198,7 @@ impl std::fmt::Display for RestartStage {
 
 /// Per-rank restart measurements (Figure 7), broken down by pipeline
 /// stage.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RankRestartStats {
     /// Rank id.
     pub rank: u32,
@@ -206,6 +206,14 @@ pub struct RankRestartStats {
     pub stages: Vec<(RestartStage, SimDuration)>,
     /// Record-log entries replayed (the compacted count).
     pub replayed_calls: u64,
+    /// Bytes the image decode actually copied out of the stored scatter
+    /// (metadata and any segments that lost their page alignment in
+    /// storage). Zero when the store handed back an attached image.
+    pub bytes_copied: u64,
+    /// Stored rope pages installed into the restored address space as
+    /// shared handles — pages that moved zero bytes through decode *and*
+    /// restore (the zero-copy restart read path).
+    pub pages_shared: u64,
 }
 
 impl RankRestartStats {
@@ -231,7 +239,7 @@ impl RankRestartStats {
 }
 
 /// Aggregate restart measurements.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RestartReport {
     /// Per-rank stats.
     pub ranks: Vec<RankRestartStats>,
@@ -266,6 +274,18 @@ impl RestartReport {
             .map(|r| r.replayed_calls)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Sum of bytes the image decodes copied out of stored scatters — the
+    /// restart-side analogue of [`CkptReport::total_bytes_copied`].
+    pub fn total_bytes_copied(&self) -> u64 {
+        self.ranks.iter().map(|r| r.bytes_copied).sum()
+    }
+
+    /// Sum of stored pages installed as shared handles across ranks
+    /// (pages restored without a single memcpy).
+    pub fn total_pages_shared(&self) -> u64 {
+        self.ranks.iter().map(|r| r.pages_shared).sum()
     }
 
     /// `(stage, slowest-rank duration)` for every pipeline stage — the
@@ -393,6 +413,8 @@ mod tests {
                 (RestartStage::Replay, SimDuration::millis(replay_ms)),
             ],
             replayed_calls: replay_ms,
+            bytes_copied: read_ms,
+            pages_shared: replay_ms * 2,
         };
         let r = RestartReport {
             ranks: vec![mk(0, 10, 3), mk(1, 40, 9)],
@@ -404,6 +426,8 @@ mod tests {
         // Unrecorded stages read as zero rather than missing.
         assert_eq!(r.max_stage(RestartStage::Resync), SimDuration::ZERO);
         assert_eq!(r.max_replayed_calls(), 9);
+        assert_eq!(r.total_bytes_copied(), 50);
+        assert_eq!(r.total_pages_shared(), 24);
         let breakdown = r.stage_breakdown();
         assert_eq!(breakdown.len(), RestartStage::ALL.len());
         assert!(breakdown

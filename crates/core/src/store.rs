@@ -47,12 +47,20 @@ pub trait CheckpointStore: Send + Sync {
     ) -> SimDuration;
 
     /// Fetch the object at `path` plus the virtual read duration.
+    ///
+    /// The result is a scatter ([`ImageBytes`]): backends that stored a
+    /// scatter hand it back with its shared rope pages intact (the
+    /// zero-copy restart read path), and image-aware tiers (delta replay,
+    /// CAS reassembly) attach the decoded image so
+    /// [`crate::image::CheckpointImage::decode_shared`] skips the wire
+    /// decode entirely. Callers that need contiguous bytes flatten with
+    /// [`ImageBytes::to_vec`], paying (and tallying) the copy.
     fn get(
         &self,
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError>;
+    ) -> Result<(ImageBytes, SimDuration), StoreError>;
 
     /// Called by the coordinator at the start of each checkpoint round
     /// (stores may use it to decorrelate per-epoch cost draws).
@@ -93,7 +101,7 @@ impl<S: CheckpointStore + ?Sized> CheckpointStore for Arc<S> {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         (**self).get(path, rank, shape)
     }
 
@@ -178,9 +186,10 @@ impl CheckpointStore for FsStore {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         self.fs
             .read_file(path, rank, shape)
+            .map(|(data, dur)| (ImageBytes::from(data), dur))
             .map_err(StoreError::from)
     }
 
@@ -206,27 +215,10 @@ impl CheckpointStore for FsStore {
 }
 
 struct InMemObject {
-    data: InMemData,
+    /// Stored content: the scatter as written — rope pages stay shared in
+    /// both directions, so neither `put` nor `get` copies a page.
+    data: mana_sim::scatter::ScatterBuf,
     logical_len: u64,
-}
-
-/// Stored content: scatter as written (rope pages stay shared), flattened
-/// lazily on first `get` — the in-memory tier pays no copy on the put path.
-enum InMemData {
-    Scatter(mana_sim::scatter::ScatterBuf),
-    Flat(Arc<Vec<u8>>),
-}
-
-impl InMemData {
-    fn flat(&mut self) -> Arc<Vec<u8>> {
-        if let InMemData::Scatter(s) = self {
-            *self = InMemData::Flat(Arc::new(s.to_vec()));
-        }
-        match self {
-            InMemData::Flat(v) => v.clone(),
-            InMemData::Scatter(_) => unreachable!("just flattened"),
-        }
-    }
 }
 
 /// Zero-latency in-memory checkpoint storage for fast tests.
@@ -258,7 +250,7 @@ impl CheckpointStore for InMemStore {
         self.objects.lock().insert(
             path.to_string(),
             InMemObject {
-                data: InMemData::Scatter(data.into_scatter()),
+                data: data.into_scatter(),
                 logical_len,
             },
         );
@@ -270,11 +262,11 @@ impl CheckpointStore for InMemStore {
         path: &str,
         _rank: u64,
         _shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         self.objects
             .lock()
-            .get_mut(path)
-            .map(|o| (o.data.flat(), SimDuration::ZERO))
+            .get(path)
+            .map(|o| (ImageBytes::from(o.data.clone()), SimDuration::ZERO))
             .ok_or_else(|| StoreError::NotFound(path.to_string()))
     }
 
@@ -316,7 +308,7 @@ mod tests {
         assert!(store.exists("a/x"));
         assert_eq!(store.logical_len("a/x").unwrap(), 1 << 20);
         let (data, rd) = store.get("a/x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![1, 2, 3]);
+        assert_eq!(data.to_vec(), vec![1, 2, 3]);
         assert_eq!(rd > SimDuration::ZERO, timed);
         // logical_len is consistent across the put/get round-trip (a get
         // must not disturb it)...
@@ -325,7 +317,16 @@ mod tests {
         store.put("a/x", vec![4, 5].into(), 2048, 0, SHAPE);
         assert_eq!(store.logical_len("a/x").unwrap(), 2048);
         let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![4, 5]);
+        assert_eq!(data.to_vec(), vec![4, 5]);
+        // A scatter put comes back out with its shared pages intact.
+        let mut sb = mana_sim::scatter::ScatterBuf::new();
+        sb.push_owned(vec![8; 16]);
+        let page: std::sync::Arc<[u8]> = std::sync::Arc::from(&[3u8; 4096][..]);
+        sb.push_shared(page.clone());
+        store.put("a/s", sb.into(), 4112, 0, SHAPE);
+        let (back, _) = store.get("a/s", 0, SHAPE).unwrap();
+        assert_eq!(back.scatter().shared_len(), 4096, "page sharing survived");
+        assert!(store.remove("a/s"));
         assert!(matches!(
             store.get("a/missing", 0, SHAPE),
             Err(StoreError::NotFound(_))

@@ -39,7 +39,6 @@ use crate::stats::{CkptReport, RankCkptStats};
 use crate::store::InMemStore;
 use mana_mpi::MpiProfile;
 use mana_net::transport::{EndpointId, Network};
-use mana_sim::checksum::checksum_bytes;
 use mana_sim::cluster::{ClusterSpec, Placement};
 use mana_sim::sched::{Sim, SimThread, SimThreadId};
 use mana_sim::time::SimDuration;
@@ -851,7 +850,9 @@ pub fn run_checkpoint_chain(
                 },
             )
             .expect("image in store");
-        image_checksums.push(checksum_bytes(&bytes));
+        // The scatter's streaming checksum equals the flat digest, so no
+        // flatten is needed to fingerprint the image.
+        image_checksums.push(bytes.scatter().checksum());
         image_lens.push(bytes.len() as u64);
     }
 

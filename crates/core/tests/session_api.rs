@@ -213,7 +213,7 @@ fn corrupt_image_is_a_typed_error() {
         total_writers: 1,
     };
     let (bytes, _) = session.store().get(path, 2, shape).expect("stored image");
-    let mut bad = (*bytes).clone();
+    let mut bad = bytes.to_vec();
     bad[0] ^= 0xFF; // break the magic
     session.store().put(path, bad.into(), 1, 2, shape);
 

@@ -55,31 +55,14 @@ impl Default for FsConfig {
 }
 
 struct StoredFile {
-    /// Stored content: the scatter view as written (shared rope pages
-    /// stay shared with the writer's snapshot — zero copies on the write
-    /// path), flattened to a contiguous buffer lazily on first read.
-    data: FileData,
+    /// Stored content: the scatter view as written. Shared rope pages
+    /// stay shared with the writer's snapshot on the way in and with the
+    /// reader's decoded image on the way out — zero copies in either
+    /// direction.
+    data: ScatterBuf,
     /// Logical length (≥ data len; pattern-backed image payload counts
     /// here but stores no bytes).
     logical_len: u64,
-}
-
-enum FileData {
-    Scatter(ScatterBuf),
-    Flat(Arc<Vec<u8>>),
-}
-
-impl FileData {
-    /// Contiguous view, flattening (and caching) on first use.
-    fn flat(&mut self) -> Arc<Vec<u8>> {
-        if let FileData::Scatter(s) = self {
-            *self = FileData::Flat(Arc::new(s.to_vec()));
-        }
-        match self {
-            FileData::Flat(v) => v.clone(),
-            FileData::Scatter(_) => unreachable!("just flattened"),
-        }
-    }
 }
 
 /// Errors from filesystem operations.
@@ -162,25 +145,25 @@ impl ParallelFs {
         self.files.lock().insert(
             path.to_string(),
             StoredFile {
-                data: FileData::Scatter(data.into()),
+                data: data.into(),
                 logical_len,
             },
         );
         dur
     }
 
-    /// Fetch a file's contents and the virtual duration of reading it.
-    /// The first read of a scatter-written file flattens it (cached).
+    /// Fetch a file's contents (the scatter view as written — shared
+    /// pages stay shared) and the virtual duration of reading it.
     pub fn read_file(
         &self,
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), FsError> {
+    ) -> Result<(ScatterBuf, SimDuration), FsError> {
         let epoch = *self.epoch.lock();
-        let mut files = self.files.lock();
+        let files = self.files.lock();
         let f = files
-            .get_mut(path)
+            .get(path)
             .ok_or_else(|| FsError::NotFound(path.to_string()))?;
         let dur = self.transfer_time(
             f.logical_len,
@@ -192,7 +175,7 @@ impl ParallelFs {
                 self.cfg.read_straggler_max,
             ),
         );
-        Ok((f.data.flat(), dur))
+        Ok((f.data.clone(), dur))
     }
 
     /// Logical length of a stored file.
@@ -256,7 +239,7 @@ mod tests {
         let d = fs.write_file("ckpt/rank0", vec![1, 2, 3], 3, 0, SHAPE1);
         assert!(d >= SimDuration::millis(1));
         let (data, _) = fs.read_file("ckpt/rank0", 0, SHAPE1).unwrap();
-        assert_eq!(&*data, &vec![1, 2, 3]);
+        assert_eq!(data.to_vec(), vec![1, 2, 3]);
         assert_eq!(fs.logical_len("ckpt/rank0").unwrap(), 3);
     }
 

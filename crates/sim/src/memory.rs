@@ -175,6 +175,13 @@ impl Clone for DenseBuf {
 pub enum Backing {
     /// Real bytes: fully saved/restored in checkpoint images.
     Dense(DenseBuf),
+    /// Restored content still sitting in the checkpoint image's frozen
+    /// rope — the stored `Arc` pages installed directly, zero restore-time
+    /// copies. Reads within one page are served straight from the rope;
+    /// the first write (or multi-page read) thaws the region into a
+    /// private [`DenseBuf`]. Snapshotting a still-frozen region shares
+    /// every page.
+    Frozen(DenseSnap),
     /// Synthetic bulk footprint: content is the deterministic function
     /// [`pattern_byte`] of (seed, offset); only the descriptor is stored.
     Pattern {
@@ -211,6 +218,24 @@ pub struct Region {
     pub backing: Backing,
     /// Dirty-page tracking + snapshot epoch state (dense regions only).
     track: Track,
+}
+
+impl Region {
+    /// Materialize frozen (restored, zero-copy) content into a private
+    /// dense buffer — the deferred restore copy, paid only on the first
+    /// write or multi-page read. Content is unchanged, so no pages are
+    /// marked dirty: the region still equals its committed epoch.
+    fn thaw(&mut self) {
+        if let Backing::Frozen(rope) = &self.backing {
+            let mut buf = DenseBuf::zeroed(rope.len());
+            let mut off = 0;
+            for p in rope.pages() {
+                buf.as_bytes_mut()[off..off + p.len()].copy_from_slice(p);
+                off += p.len();
+            }
+            self.backing = Backing::Dense(buf);
+        }
+    }
 }
 
 /// A snapshot taken but not yet committed by [`AddressSpace::clear_dirty`].
@@ -672,8 +697,14 @@ impl AddressSpace {
         name: &str,
         backing: Backing,
     ) -> Result<(), MemError> {
-        if let Backing::Dense(b) = &backing {
-            assert_eq!(b.len() as u64, len, "dense backing must match length");
+        match &backing {
+            Backing::Dense(b) => {
+                assert_eq!(b.len() as u64, len, "dense backing must match length")
+            }
+            Backing::Frozen(rope) => {
+                assert_eq!(rope.len() as u64, len, "frozen backing must match length")
+            }
+            Backing::Pattern { .. } => {}
         }
         let end = start + len.max(1);
         // Overlap check against predecessor and successors.
@@ -781,6 +812,9 @@ impl AddressSpace {
         if let Some(r) = inner.regions.get_mut(&BRK_BASE) {
             let old_len = r.len;
             r.len = new - BRK_BASE;
+            // A restored-but-untouched heap must materialize before it
+            // can grow.
+            r.thaw();
             if let Backing::Dense(b) = &mut r.backing {
                 b.grow((new - BRK_BASE) as usize);
                 // The extension pages are new content (the length change
@@ -809,9 +843,9 @@ impl AddressSpace {
         count: usize,
         f: impl FnOnce(&[T]) -> R,
     ) -> Result<R, MemError> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
         let bytes = Self::dense_window(
-            &inner,
+            &mut inner,
             addr,
             (count * std::mem::size_of::<T>()) as u64,
             std::mem::align_of::<T>() as u64,
@@ -848,16 +882,31 @@ impl AddressSpace {
         Ok(*start)
     }
 
-    fn dense_window(inner: &Inner, addr: u64, len: u64, align: u64) -> Result<&[u8], MemError> {
+    fn dense_window(inner: &mut Inner, addr: u64, len: u64, align: u64) -> Result<&[u8], MemError> {
         let start = Self::locate(inner, addr, len)?;
-        let r = &inner.regions[&start];
+        let r = inner.regions.get_mut(&start).expect("located region");
+        let off = (addr - r.start) as usize;
+        if !(off as u64).is_multiple_of(align) {
+            return Err(MemError::Misaligned(addr));
+        }
+        let n = len as usize;
+        // A frozen region serves a within-one-page window straight from
+        // its rope page; a page-straddling read thaws it.
+        if matches!(r.backing, Backing::Frozen(_))
+            && n > 0
+            && (off + n - 1) / PAGE as usize != off / PAGE as usize
+        {
+            r.thaw();
+        }
         match &r.backing {
-            Backing::Dense(b) => {
-                let off = (addr - r.start) as usize;
-                if !(off as u64).is_multiple_of(align) {
-                    return Err(MemError::Misaligned(addr));
+            Backing::Dense(b) => Ok(&b.as_bytes()[off..off + n]),
+            Backing::Frozen(rope) => {
+                if n == 0 {
+                    return Ok(&[]);
                 }
-                Ok(&b.as_bytes()[off..off + len as usize])
+                let p = off / PAGE as usize;
+                let in_page = off - p * PAGE as usize;
+                Ok(&rope.page(p)[in_page..in_page + n])
             }
             Backing::Pattern { .. } => Err(MemError::NotDense(addr)),
         }
@@ -871,6 +920,8 @@ impl AddressSpace {
     ) -> Result<&mut [u8], MemError> {
         let start = Self::locate(inner, addr, len)?;
         let r = inner.regions.get_mut(&start).expect("located region");
+        // A write is the end of a frozen region's zero-copy life.
+        r.thaw();
         match &mut r.backing {
             Backing::Dense(b) => {
                 let off = (addr - r.start) as usize;
@@ -883,6 +934,7 @@ impl AddressSpace {
                 r.track.mark(r.start, addr, len);
                 Ok(&mut b.as_bytes_mut()[off..off + len as usize])
             }
+            Backing::Frozen(_) => unreachable!("thawed above"),
             Backing::Pattern { .. } => Err(MemError::NotDense(addr)),
         }
     }
@@ -985,8 +1037,8 @@ impl AddressSpace {
         len: usize,
         f: impl FnOnce(&[u8]) -> R,
     ) -> Result<R, MemError> {
-        let inner = self.inner.lock();
-        Ok(f(Self::dense_window(&inner, addr, len as u64, 1)?))
+        let mut inner = self.inner.lock();
+        Ok(f(Self::dense_window(&mut inner, addr, len as u64, 1)?))
     }
 
     /// Copy bytes out of a dense region (allocates; prefer
@@ -1014,7 +1066,7 @@ impl AddressSpace {
                 half: r.half,
                 kind: r.kind,
                 name: r.name.clone(),
-                dense: matches!(r.backing, Backing::Dense(_)),
+                dense: matches!(r.backing, Backing::Dense(_) | Backing::Frozen(_)),
             })
             .collect()
     }
@@ -1071,6 +1123,36 @@ impl AddressSpace {
         for r in inner.regions.values_mut().filter(|r| r.half == half) {
             let content = match &r.backing {
                 Backing::Pattern { seed } => SnapshotContent::Pattern { seed: *seed },
+                Backing::Frozen(rope) => {
+                    // Still frozen means never written since restore (a
+                    // write thaws): the snapshot *is* the rope, every page
+                    // shared, zero bytes copied.
+                    if let Some(st) = r.track.staged.take() {
+                        bits_or_into(&mut r.track.dirty, &st.dirty_at_snap);
+                    }
+                    let npages = rope.page_count();
+                    let base_ok = r
+                        .track
+                        .committed
+                        .as_ref()
+                        .is_some_and(|c| c.len() == rope.len());
+                    out.stats.clean_pages_shared += npages as u64;
+                    out.dirty.push(RegionDirty {
+                        start: r.start,
+                        lineage,
+                        seq,
+                        base_seq: base_ok.then_some(r.track.committed_seq),
+                        page_count: npages as u64,
+                        pages: vec![0u64; bitmap_words(npages)],
+                    });
+                    let rope = rope.clone();
+                    r.track.staged = Some(Staged {
+                        rope: rope.clone(),
+                        dirty_at_snap: std::mem::take(&mut r.track.dirty),
+                        seq,
+                    });
+                    SnapshotContent::Dense(rope)
+                }
                 Backing::Dense(b) => {
                     // A snapshot that was never committed still holds
                     // pages newer than the committed base: fold its dirty
@@ -1157,6 +1239,9 @@ impl AddressSpace {
                     Backing::Dense(b) => {
                         SnapshotContent::Dense(DenseSnap::from_bytes(b.as_bytes()))
                     }
+                    Backing::Frozen(rope) => {
+                        SnapshotContent::Dense(DenseSnap::from_vec(rope.to_vec()))
+                    }
                     Backing::Pattern { seed } => SnapshotContent::Pattern { seed: *seed },
                 },
             })
@@ -1196,15 +1281,10 @@ impl AddressSpace {
     /// application touched since restart.
     pub fn restore_region(&self, snap: &RegionSnapshot) -> Result<(), MemError> {
         let (backing, committed) = match &snap.content {
-            SnapshotContent::Dense(rope) => {
-                let mut buf = DenseBuf::zeroed(rope.len());
-                let mut off = 0;
-                for p in rope.pages() {
-                    buf.as_bytes_mut()[off..off + p.len()].copy_from_slice(p);
-                    off += p.len();
-                }
-                (Backing::Dense(buf), Some(rope.clone()))
-            }
+            // Install the frozen rope directly — zero page copies. The
+            // region materializes lazily on its first write or
+            // multi-page read.
+            SnapshotContent::Dense(rope) => (Backing::Frozen(rope.clone()), Some(rope.clone())),
             SnapshotContent::Pattern { seed } => (Backing::Pattern { seed: *seed }, None),
         };
         let mut inner = self.inner.lock();
@@ -1233,6 +1313,13 @@ impl AddressSpace {
             c.update_u64(r.len);
             match &r.backing {
                 Backing::Dense(b) => c.update(b.as_bytes()),
+                Backing::Frozen(rope) => {
+                    // Streamed page-by-page: the checksum is chunk-split
+                    // insensitive, so this equals the flat digest.
+                    for p in rope.pages() {
+                        c.update(p);
+                    }
+                }
                 Backing::Pattern { seed } => c.update_u64(pattern_checksum(*seed, r.len)),
             }
         }
@@ -1611,6 +1698,62 @@ mod tests {
             a.write_bytes(addr + PAGE, &[8u8; 8]).unwrap();
             a.checksum_half(Half::Upper)
         });
+    }
+
+    #[test]
+    fn restore_installs_frozen_pages_zero_copy() {
+        let a = AddressSpace::new();
+        let addr = a
+            .map(
+                Half::Upper,
+                RegionKind::Mmap,
+                "d",
+                3 * PAGE,
+                dense(3 * PAGE as usize),
+            )
+            .unwrap();
+        a.write_bytes(addr, &[5u8; 3 * PAGE as usize]).unwrap();
+        let snaps = a.snapshot_half(Half::Upper);
+        let orig = match &snaps[0].content {
+            SnapshotContent::Dense(r) => r.clone(),
+            _ => unreachable!(),
+        };
+
+        let b = AddressSpace::new();
+        b.restore_region(&snaps[0]).unwrap();
+
+        // Single-page reads are served straight from the frozen rope and
+        // do not thaw.
+        assert_eq!(b.read_bytes(addr + 10, 100).unwrap(), vec![5u8; 100]);
+        assert_eq!(
+            b.read_bytes(addr + 2 * PAGE + 4000, 96).unwrap(),
+            vec![5u8; 96]
+        );
+
+        // A checkpoint right after restore copies nothing: the emitted
+        // rope pages ARE the stored pages.
+        let s = b.snapshot_half_tracked(Half::Upper);
+        assert_eq!(s.stats.bytes_copied, 0);
+        assert_eq!(s.stats.dirty_pages, 0);
+        assert_eq!(s.stats.clean_pages_shared, 3);
+        assert_eq!(s.dirty[0].base_seq, Some(0));
+        let rope = match &s.regions[0].content {
+            SnapshotContent::Dense(r) => r,
+            _ => unreachable!(),
+        };
+        for i in 0..orig.page_count() {
+            assert!(rope.shares_page(&orig, i), "page {i} was copied");
+        }
+
+        // A page-straddling read thaws; content is bit-identical.
+        let before = b.checksum_half(Half::Upper);
+        assert_eq!(
+            b.read_bytes(addr + PAGE - 8, 16).unwrap(),
+            vec![5u8; 16],
+            "straddling read"
+        );
+        assert_eq!(b.checksum_half(Half::Upper), before);
+        assert_eq!(b.checksum_half(Half::Upper), a.checksum_half(Half::Upper));
     }
 
     #[test]

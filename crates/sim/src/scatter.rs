@@ -37,6 +37,15 @@ impl Segment {
             Segment::Shared(p) => p,
         }
     }
+
+    /// The shared page handle behind this segment, when it is shared —
+    /// how scatter-aware decoders recover `Arc` pages without copying.
+    pub fn shared_handle(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            Segment::Shared(p) => Some(p),
+            Segment::Owned(_) => None,
+        }
+    }
 }
 
 /// Bytes copied out of *shared* segments by flattening, process-wide.
@@ -53,6 +62,16 @@ pub fn shared_flatten_bytes() -> u64 {
 /// Reset the shared-flatten counter (benchmark window bracketing).
 pub fn reset_shared_flatten_bytes() {
     SHARED_FLATTEN_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Record `n` bytes copied out of shared segments by an external consumer
+/// (a decode fallback that materializes page bytes by hand, say) so
+/// [`shared_flatten_bytes`] stays an honest census of every shared-byte
+/// copy, not just the ones [`ScatterBuf::to_vec`] performs.
+pub fn tally_shared_flatten(n: u64) {
+    if n > 0 {
+        SHARED_FLATTEN_BYTES.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 /// An ordered scatter of byte segments whose concatenation is the
@@ -130,6 +149,49 @@ impl ScatterBuf {
     /// content).
     pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
         self.segments.iter().map(Segment::as_bytes)
+    }
+
+    /// The segment list itself, ownership structure included — what a
+    /// scatter-aware decoder walks to recover shared page handles.
+    pub fn raw_segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Extract `[start, end)` as a new scatter. Segments fully inside the
+    /// range are reused as-is — shared pages stay shared, zero page
+    /// copies — while a segment straddling a range boundary contributes
+    /// an owned copy of just its in-range part (shared bytes so copied
+    /// are tallied in [`shared_flatten_bytes`]). This is the envelope
+    /// unwrap seam: a framed payload comes back out with its page
+    /// segments intact.
+    pub fn slice(&self, start: usize, end: usize) -> ScatterBuf {
+        let end = end.min(self.len);
+        let start = start.min(end);
+        let mut out = ScatterBuf::new();
+        let mut off = 0usize;
+        for seg in &self.segments {
+            let n = seg.as_bytes().len();
+            let (seg_start, seg_end) = (off, off + n);
+            off = seg_end;
+            if seg_end <= start {
+                continue;
+            }
+            if seg_start >= end {
+                break;
+            }
+            let (lo, hi) = (seg_start.max(start), seg_end.min(end));
+            if (lo, hi) == (seg_start, seg_end) {
+                out.len += n;
+                out.segments.push(seg.clone());
+            } else {
+                if matches!(seg, Segment::Shared(_)) {
+                    tally_shared_flatten((hi - lo) as u64);
+                }
+                out.push_owned(seg.as_bytes()[lo - seg_start..hi - seg_start].to_vec());
+            }
+        }
+        debug_assert_eq!(out.len, end - start);
+        out
     }
 
     /// Flatten into a contiguous vector (copies; shared bytes copied are
@@ -304,6 +366,46 @@ mod tests {
         b.push_shared(shared(&[4; 4096]));
         b.push_owned(vec![5, 6]);
         assert_eq!(b.checksum(), checksum_bytes(&b.to_vec()));
+    }
+
+    #[test]
+    fn slice_keeps_interior_segments_shared() {
+        let page: Arc<[u8]> = shared(&[7; 4096]);
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![1; 20]); // "header"
+        b.push_shared(page.clone());
+        b.push_owned(vec![2; 16]); // "trailer"
+
+        // Exact payload bounds: the page segment passes through shared.
+        let payload = b.slice(20, 20 + 4096);
+        assert_eq!(payload.len(), 4096);
+        assert_eq!(payload.shared_len(), 4096);
+        match payload.raw_segments() {
+            [Segment::Shared(p)] => assert!(Arc::ptr_eq(p, &page)),
+            other => panic!("expected one shared segment, got {}", other.len()),
+        }
+
+        // A boundary inside the page copies only the straddled part.
+        let cut = b.slice(20 + 100, 20 + 4096);
+        assert_eq!(cut.len(), 4096 - 100);
+        assert_eq!(cut.shared_len(), 0);
+        assert_eq!(cut.to_vec(), vec![7; 4096 - 100]);
+
+        // Degenerate ranges.
+        assert!(b.slice(5, 5).is_empty());
+        assert_eq!(b.slice(0, usize::MAX).len(), b.len());
+        assert_eq!(b.slice(0, b.len()), b);
+    }
+
+    #[test]
+    fn shared_handles_are_recoverable_from_segments() {
+        let page: Arc<[u8]> = shared(&[9; 64]);
+        let mut b = ScatterBuf::new();
+        b.push_owned(vec![1, 2]);
+        b.push_shared(page.clone());
+        let segs = b.raw_segments();
+        assert!(segs[0].shared_handle().is_none());
+        assert!(Arc::ptr_eq(segs[1].shared_handle().unwrap(), &page));
     }
 
     #[test]

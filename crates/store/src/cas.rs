@@ -269,9 +269,10 @@ fn decode_manifest(data: &[u8]) -> Result<Manifest, CodecError> {
     Ok(Manifest { meta, regions })
 }
 
-/// Is this blob a CAS manifest (vs a full image or foreign bytes)?
-fn is_manifest(data: &[u8]) -> bool {
-    data.len() >= 8 && data[..8] == CAS_MAGIC.to_le_bytes()
+/// Is this blob a CAS manifest (vs a full image or foreign bytes)? Peeks
+/// the leading magic without flattening the scatter.
+fn is_manifest(data: &ImageBytes) -> bool {
+    data.len() >= 8 && data.scatter().slice(0, 8).to_vec() == CAS_MAGIC.to_le_bytes()
 }
 
 /// Content-addressed, page-deduplicating storage over an inner store `S`.
@@ -432,12 +433,12 @@ impl<S: CheckpointStore> CheckpointStore for CasStore<S> {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let (data, dur) = self.inner.get(path, rank, shape)?;
         if !is_manifest(&data) {
             return Ok((data, dur));
         }
-        let m = decode_manifest(&data).map_err(|e| StoreError::Corrupt {
+        let m = decode_manifest(&data.to_vec()).map_err(|e| StoreError::Corrupt {
             path: path.to_string(),
             why: e.to_string(),
         })?;
@@ -479,7 +480,10 @@ impl<S: CheckpointStore> CheckpointStore for CasStore<S> {
         let mut img = m.meta;
         img.regions = regions;
         let fetch = SimDuration::secs_f64(dense_bytes as f64 / self.cfg.read_bw);
-        Ok((Arc::new(img.encode().into_vec()), dur + fetch))
+        // Reassembly stays zero-copy on the way out too: the wire scatter
+        // shares the pool's `Arc` pages and the decoded image rides along,
+        // so decode_shared callers skip the wire decode entirely.
+        Ok((CheckpointImage::encode_shared(&Arc::new(img)), dur + fetch))
     }
 
     fn begin_epoch(&self) {
@@ -612,11 +616,11 @@ mod tests {
         s.put(&p, img.encode(), img.logical_bytes(), 0, SHAPE);
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
         assert_eq!(
-            *bytes,
+            bytes.to_vec(),
             img.encode().to_vec(),
             "reassembly must be bit-exact"
         );
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, img);
         assert_eq!(s.original_len(&p), Some(img.logical_bytes()));
     }
 
@@ -684,7 +688,7 @@ mod tests {
         assert_eq!(s.pool_bytes(), pool_before - (64 << 10));
         let (bytes, _) = s.get(&pb, 0, SHAPE).unwrap();
         assert_eq!(
-            CheckpointImage::decode(&bytes).unwrap(),
+            CheckpointImage::decode_shared(&bytes).unwrap().0,
             b,
             "B must survive A's GC intact"
         );
@@ -708,12 +712,12 @@ mod tests {
         // Only b's pages remain referenced.
         assert_eq!(s.pool_bytes(), 64 << 10);
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), b);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, b);
         // Overwriting with a non-image releases the CAS object too.
         s.put(&p, vec![1, 2, 3].into(), 3, 0, SHAPE);
         assert_eq!(s.pool_bytes(), 0);
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
-        assert_eq!(*bytes, vec![1, 2, 3]);
+        assert_eq!(bytes.to_vec(), vec![1, 2, 3]);
     }
 
     #[test]
@@ -728,6 +732,6 @@ mod tests {
             "a 1 GiB pattern is a seed, got {charged}"
         );
         let (bytes, _) = s.get(&p, 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, img);
     }
 }

@@ -25,7 +25,6 @@ use mana_sim::rng::splitmix64;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Compression model parameters.
 #[derive(Clone, Debug)]
@@ -172,7 +171,7 @@ impl<S: CheckpointStore> CheckpointStore for CompressingStore<S> {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let (data, io) = self.inner.get(path, rank, shape)?;
         let original = self
             .originals
@@ -253,7 +252,7 @@ mod tests {
         let wd = s.put("x", vec![5; 100].into(), 3 << 30, 0, SHAPE);
         assert!(wd.as_secs_f64() > 1.9, "3 GB at 1.5 GB/s ≈ 2s, got {wd}");
         let (data, rd) = s.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![5; 100]);
+        assert_eq!(data.to_vec(), vec![5; 100]);
         assert!(rd.as_secs_f64() > 0.9, "3 GB at 3 GB/s ≈ 1s, got {rd}");
     }
 

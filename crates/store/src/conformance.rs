@@ -9,9 +9,13 @@
 //! whether durations are zero or nonzero.
 
 use mana_core::error::StoreError;
+use mana_core::image::ImageBytes;
 use mana_core::store::CheckpointStore;
+use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
+use mana_sim::scatter::ScatterBuf;
 use mana_sim::time::SimDuration;
+use std::sync::Arc;
 
 /// What the suite should expect from the backend's cost/size model.
 #[derive(Clone, Copy, Debug)]
@@ -77,7 +81,7 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
     assert!(store.exists("a/x"), "put object must exist");
     check_len(store.logical_len("a/x").unwrap(), 1 << 20, checks, "put");
     let (data, rd) = store.get("a/x", 0, SHAPE).unwrap();
-    assert_eq!(*data, vec![1, 2, 3], "contents must round-trip");
+    assert_eq!(data.to_vec(), vec![1, 2, 3], "contents must round-trip");
     assert_eq!(rd > SimDuration::ZERO, checks.timed, "get duration model");
     // A get must not disturb logical_len.
     check_len(
@@ -90,7 +94,7 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
     store.put("a/x", vec![4, 5].into(), 2048, 0, SHAPE);
     check_len(store.logical_len("a/x").unwrap(), 2048, checks, "overwrite");
     let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
-    assert_eq!(*data, vec![4, 5], "overwrite contents");
+    assert_eq!(data.to_vec(), vec![4, 5], "overwrite contents");
     // Misses are typed.
     assert!(
         matches!(
@@ -119,8 +123,42 @@ pub fn exercise_store(store: &dyn CheckpointStore, checks: StoreChecks) {
     // Epoch boundaries never lose data.
     store.begin_epoch();
     let (data, _) = store.get("a/x", 0, SHAPE).unwrap();
-    assert_eq!(*data, vec![4, 5], "epoch bump must not lose objects");
+    assert_eq!(
+        data.to_vec(),
+        vec![4, 5],
+        "epoch bump must not lose objects"
+    );
     assert!(store.remove("a/x"));
+    // Scatter round-trip: a payload carrying a shared rope page must come
+    // back byte-identical, the page must still be a *shared* segment (no
+    // backend may silently flatten the restart read path), and the
+    // streaming scatter checksum must agree with the flat digest.
+    let page: Arc<[u8]> = Arc::from(vec![7u8; 4096].into_boxed_slice());
+    let mut sc = ScatterBuf::new();
+    sc.push_owned(vec![0xAB; 16]);
+    sc.push_shared(page);
+    let flat = sc.to_vec();
+    store.put(
+        "a/scatter",
+        ImageBytes::from(sc),
+        flat.len() as u64,
+        0,
+        SHAPE,
+    );
+    let (back, _) = store.get("a/scatter", 0, SHAPE).unwrap();
+    assert_eq!(back.to_vec(), flat, "scatter contents must round-trip");
+    assert!(
+        back.scatter().shared_len() >= 4096,
+        "shared rope page flattened on the read path ({} of {} bytes shared)",
+        back.scatter().shared_len(),
+        back.len()
+    );
+    assert_eq!(
+        back.scatter().checksum(),
+        checksum_bytes(&flat),
+        "streaming scatter checksum must equal the flat digest"
+    );
+    assert!(store.remove("a/scatter"));
 }
 
 #[cfg(test)]

@@ -172,9 +172,11 @@ fn decode_delta(data: &[u8]) -> Result<DeltaBlob, CodecError> {
     })
 }
 
-/// Is this blob a delta image (vs a full image or foreign bytes)?
-fn is_delta(data: &[u8]) -> bool {
-    data.len() >= 8 && data[..8] == DELTA_MAGIC.to_le_bytes()
+/// Is this blob a delta image (vs a full image or foreign bytes)? Peeks
+/// the leading magic without flattening the scatter (the first segment of
+/// anything we framed is owned metadata, so the 8-byte slice is cheap).
+fn is_delta(data: &ImageBytes) -> bool {
+    data.len() >= 8 && data.scatter().slice(0, 8).to_vec() == DELTA_MAGIC.to_le_bytes()
 }
 
 /// Per-page digest of one region of the previous generation — everything
@@ -569,10 +571,14 @@ impl<S: CheckpointStore> DeltaStore<S> {
     ) -> Result<(CheckpointImage, SimDuration), StoreError> {
         let (data, mut total) = self.inner.get(path, rank, shape)?;
         if !is_delta(&data) {
-            let img = CheckpointImage::decode(&data).map_err(|e| StoreError::Corrupt {
-                path: path.to_string(),
-                why: e.to_string(),
-            })?;
+            // Shared decode: the full image's dense pages stay handles
+            // into the stored scatter (or ride the attachment), so chain
+            // replay starts from a rope, not a flattened copy.
+            let (img, _) =
+                CheckpointImage::decode_shared(&data).map_err(|e| StoreError::Corrupt {
+                    path: path.to_string(),
+                    why: e.to_string(),
+                })?;
             return Ok((img, total));
         }
         // Walk the chain down to the full base, then fold deltas back up.
@@ -580,7 +586,7 @@ impl<S: CheckpointStore> DeltaStore<S> {
         let mut visited: std::collections::HashSet<String> = std::collections::HashSet::new();
         visited.insert(path.to_string());
         let mut cur_path = path.to_string();
-        let mut cur_blob = decode_delta(&data).map_err(|e| StoreError::Corrupt {
+        let mut cur_blob = decode_delta(&data.to_vec()).map_err(|e| StoreError::Corrupt {
             path: path.to_string(),
             why: e.to_string(),
         })?;
@@ -596,17 +602,22 @@ impl<S: CheckpointStore> DeltaStore<S> {
             let (bdata, bdur) = self.inner.get(&base_path, rank, shape)?;
             total += bdur;
             if is_delta(&bdata) {
-                cur_blob = decode_delta(&bdata).map_err(|e| StoreError::Corrupt {
+                cur_blob = decode_delta(&bdata.to_vec()).map_err(|e| StoreError::Corrupt {
                     path: base_path.clone(),
                     why: e.to_string(),
                 })?;
                 cur_path = base_path;
                 continue;
             }
-            break CheckpointImage::decode(&bdata).map_err(|e| StoreError::Corrupt {
-                path: base_path.clone(),
-                why: e.to_string(),
-            })?;
+            // The chain's base decodes shared too: every page a delta
+            // leaves untouched is then composed forward as the *same*
+            // rope handle, generation after generation.
+            break CheckpointImage::decode_shared(&bdata)
+                .map(|(img, _)| img)
+                .map_err(|e| StoreError::Corrupt {
+                    path: base_path.clone(),
+                    why: e.to_string(),
+                })?;
         };
         for (at, blob) in chain.into_iter().rev() {
             img = apply_delta(&img, blob, &at)?;
@@ -764,13 +775,16 @@ impl<S: CheckpointStore> CheckpointStore for DeltaStore<S> {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let (data, dur) = self.inner.get(path, rank, shape)?;
         if !is_delta(&data) {
             return Ok((data, dur));
         }
         let (img, total) = self.reconstruct(path, rank, shape)?;
-        Ok((Arc::new(img.encode().into_vec()), total))
+        // Hand the replayed image back with itself attached: the wire
+        // scatter shares the composed ropes' pages, and decode_shared
+        // callers skip the wire decode entirely.
+        Ok((CheckpointImage::encode_shared(&Arc::new(img)), total))
     }
 
     fn begin_epoch(&self) {
@@ -894,10 +908,10 @@ mod tests {
         assert!(s.is_delta_object(&path(2)));
 
         let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen2);
         // Gen 1 still reads back as itself.
         let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen1);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen1);
     }
 
     #[test]
@@ -914,7 +928,7 @@ mod tests {
         // One 4 KiB page + metadata, not 256 KiB.
         assert!(delta < 16 << 10, "one-page delta, got {delta}");
         let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen2);
     }
 
     #[test]
@@ -930,7 +944,7 @@ mod tests {
         }
         for (i, img) in imgs.iter().enumerate() {
             let (bytes, _) = s.get(&path(i as u64 + 1), 0, SHAPE).unwrap();
-            assert_eq!(&CheckpointImage::decode(&bytes).unwrap(), img);
+            assert_eq!(&CheckpointImage::decode_shared(&bytes).unwrap().0, img);
         }
         // Chain reads cost more than base reads would alone: use FsStore
         // to observe durations elsewhere; here just confirm structure.
@@ -955,7 +969,7 @@ mod tests {
         assert!(!s.is_delta_object(&path(2)));
         assert_eq!(s.logical_len(&path(2)).unwrap(), gen2.logical_bytes());
         let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen2);
     }
 
     #[test]
@@ -1003,10 +1017,10 @@ mod tests {
 
         // Both paths read back correctly — no cycle, no stale base.
         let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen2);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen2);
         assert!(!s.is_delta_object(&path(2)), "dependent was promoted");
         let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), gen1b);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, gen1b);
     }
 
     #[test]
@@ -1069,7 +1083,7 @@ mod tests {
         for (i, img) in imgs.iter().enumerate() {
             let (bytes, _) = s.get(&path(i as u64 + 1), 0, SHAPE).unwrap();
             assert_eq!(
-                &CheckpointImage::decode(&bytes).unwrap(),
+                &CheckpointImage::decode_shared(&bytes).unwrap().0,
                 img,
                 "gen {}",
                 i + 1
@@ -1127,9 +1141,9 @@ mod tests {
 
         // Reconstruction is exact, dirty summaries included.
         let (bytes, _) = s.get(&path(2), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img2);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, img2);
         let (bytes, _) = s.get(&path(1), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img1);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, img1);
 
         // A summary from a foreign lineage must NOT fast-path (the guard
         // protects against epoch aliasing across incarnations).
@@ -1148,7 +1162,7 @@ mod tests {
         );
         assert_eq!(after3.regions_fast_pathed, 1);
         let (bytes, _) = s.get(&path(3), 0, SHAPE).unwrap();
-        assert_eq!(CheckpointImage::decode(&bytes).unwrap(), img3);
+        assert_eq!(CheckpointImage::decode_shared(&bytes).unwrap().0, img3);
     }
 
     #[test]
@@ -1156,11 +1170,11 @@ mod tests {
         let s = store();
         s.put("manifest.txt", vec![1, 2, 3].into(), 3, 0, SHAPE);
         let (bytes, _) = s.get("manifest.txt", 0, SHAPE).unwrap();
-        assert_eq!(*bytes, vec![1, 2, 3]);
+        assert_eq!(bytes.to_vec(), vec![1, 2, 3]);
         assert_eq!(s.logical_len("manifest.txt").unwrap(), 3);
         // Image-shaped path but foreign bytes: also untouched.
         s.put(&path(9), vec![0xEE; 10].into(), 10, 0, SHAPE);
         let (bytes, _) = s.get(&path(9), 0, SHAPE).unwrap();
-        assert_eq!(*bytes, vec![0xEE; 10]);
+        assert_eq!(bytes.to_vec(), vec![0xEE; 10]);
     }
 }

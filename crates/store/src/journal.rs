@@ -34,13 +34,11 @@ use mana_core::chaos::ChaosHandle;
 use mana_core::error::StoreError;
 use mana_core::image::ImageBytes;
 use mana_core::store::CheckpointStore;
-use mana_sim::checksum::checksum_bytes;
 use mana_sim::fs::IoShape;
 use mana_sim::scatter::ScatterBuf;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// `"MANAJNL1"` as a little-endian u64.
 const MAGIC: u64 = u64::from_le_bytes(*b"MANAJNL1");
@@ -139,8 +137,12 @@ impl JournaledStore {
         env
     }
 
-    /// Validate `env` and return the payload bounds on success.
-    fn validate(path: &str, env: &[u8]) -> Result<(usize, usize), StoreError> {
+    /// Validate `env` and return the payload scatter on success. Only the
+    /// fixed-size header and trailer are materialized (they are single
+    /// owned segments as framed); the payload stays a scatter — its
+    /// shared rope pages pass through unflattened and the checksum
+    /// streams segment-by-segment.
+    fn validate(path: &str, env: &ScatterBuf) -> Result<ScatterBuf, StoreError> {
         let torn = |why: &str| StoreError::Torn {
             path: path.to_string(),
             why: why.to_string(),
@@ -155,17 +157,18 @@ impl JournaledStore {
         if env.len() < HEADER {
             return Err(torn("envelope header incomplete"));
         }
-        let magic = u64::from_le_bytes(env[0..8].try_into().unwrap());
+        let header = env.slice(0, HEADER).to_vec();
+        let magic = u64::from_le_bytes(header[0..8].try_into().unwrap());
         if magic != MAGIC {
             return Err(corrupt(format!("bad journal magic {magic:#018x}")));
         }
-        let version = u32::from_le_bytes(env[8..12].try_into().unwrap());
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
         if version != VERSION {
             return Err(corrupt(format!(
                 "journal version {version}, expected {VERSION}"
             )));
         }
-        let payload_len = u64::from_le_bytes(env[12..20].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(header[12..20].try_into().unwrap()) as usize;
         let total = HEADER + payload_len + TRAILER;
         if env.len() < total {
             return Err(torn("payload or commit trailer incomplete"));
@@ -176,25 +179,26 @@ impl JournaledStore {
                 env.len() - total
             )));
         }
-        let commit = u64::from_le_bytes(env[total - 8..].try_into().unwrap());
+        let trailer = env.slice(total - TRAILER, total).to_vec();
+        let commit = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
         if commit != COMMIT {
             return Err(torn("commit record never written"));
         }
-        let payload = &env[HEADER..HEADER + payload_len];
-        let want = u64::from_le_bytes(env[total - 16..total - 8].try_into().unwrap());
-        let got = checksum_bytes(payload);
+        let payload = env.slice(HEADER, HEADER + payload_len);
+        let want = u64::from_le_bytes(trailer[0..8].try_into().unwrap());
+        let got = payload.checksum();
         if got != want {
             return Err(corrupt(format!(
                 "payload checksum {got:#018x} != recorded {want:#018x}"
             )));
         }
-        Ok((HEADER, HEADER + payload_len))
+        Ok(payload)
     }
 
     /// Is the object at `path` present and committed?
     fn validated_get(&self, path: &str) -> Result<(), StoreError> {
         let (env, _) = self.inner.get(path, 0, NEUTRAL_SHAPE)?;
-        JournaledStore::validate(path, &env).map(|_| ())
+        JournaledStore::validate(path, env.scatter()).map(|_| ())
     }
 
     /// Scan the inner store and quarantine every object that fails
@@ -213,8 +217,8 @@ impl JournaledStore {
                 Err(e) => e.to_string(),
             };
             let raw = match self.inner.get(&path, 0, NEUTRAL_SHAPE) {
-                Ok((d, _)) => (*d).clone(),
-                Err(_) => Vec::new(),
+                Ok((d, _)) => d.into_scatter(),
+                Err(_) => ScatterBuf::new(),
             };
             let quarantine_path = format!("{QUARANTINE_PREFIX}{path}");
             let len = raw.len() as u64;
@@ -264,10 +268,10 @@ impl CheckpointStore for JournaledStore {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let (env, dur) = self.inner.get(path, rank, shape)?;
-        let (start, end) = JournaledStore::validate(path, &env)?;
-        Ok((Arc::new(env[start..end].to_vec()), dur))
+        let payload = JournaledStore::validate(path, env.scatter())?;
+        Ok((ImageBytes::from(payload), dur))
     }
 
     fn begin_epoch(&self) {
@@ -300,6 +304,7 @@ mod tests {
     use crate::conformance::{exercise_store, StoreChecks};
     use mana_core::store::{FsStore, InMemStore};
     use mana_sim::fs::FsConfig;
+    use std::sync::Arc;
 
     const SHAPE: IoShape = NEUTRAL_SHAPE;
 
@@ -330,7 +335,7 @@ mod tests {
             Err(StoreError::Torn { .. })
         ));
         let (data, _) = j.get("d/full", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![1; 100]);
+        assert_eq!(data.to_vec(), vec![1; 100]);
     }
 
     #[test]
@@ -359,7 +364,7 @@ mod tests {
         j.put("p", vec![9u8; 64].into(), 64, 0, SHAPE);
         let (env, _) = inner.get("p", 0, SHAPE).unwrap();
         // Flip one payload bit; header/trailer lengths stay plausible.
-        let mut bad = (*env).clone();
+        let mut bad = env.to_vec();
         bad[HEADER + 10] ^= 0x40;
         inner.put("p", bad.into(), 64, 0, SHAPE);
         assert!(matches!(

@@ -153,7 +153,9 @@ impl ReplicatedStore {
                 if let Ok((data, _)) = peer.get(&path, 0, HEAL_SHAPE) {
                     let len = peer.logical_len(&path).unwrap_or(data.len() as u64);
                     report.bytes += data.len() as u64;
-                    self.replicas[i].put(&path, (*data).clone().into(), len, 0, HEAL_SHAPE);
+                    // The served scatter moves to the healed replica as-is:
+                    // rope pages stay shared, no flatten on the copy path.
+                    self.replicas[i].put(&path, data, len, 0, HEAL_SHAPE);
                     report.copied.push(path.clone());
                     copied = true;
                     break;
@@ -226,7 +228,7 @@ impl CheckpointStore for ReplicatedStore {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let mut failover = SimDuration::ZERO;
         let mut last_err: Option<StoreError> = None;
         let st = self.state.lock();
@@ -351,7 +353,7 @@ mod tests {
             p: &str,
             r: u64,
             s: IoShape,
-        ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+        ) -> Result<(ImageBytes, SimDuration), StoreError> {
             self.inner.get(p, r, s).map(|(d, _)| (d, self.read))
         }
         fn exists(&self, p: &str) -> bool {
@@ -410,7 +412,7 @@ mod tests {
         s.kill_replica(0);
         s.kill_replica(1);
         let (data, dur) = s.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![7]);
+        assert_eq!(data.to_vec(), vec![7]);
         // Two probe timeouts (100ms each) + replica 2's 7ms read.
         assert_eq!(dur, SimDuration::millis(207));
     }
@@ -427,7 +429,7 @@ mod tests {
         assert!(matches!(s.get("x", 0, SHAPE), Err(StoreError::NotFound(_))));
         s.revive(1);
         let (data, _) = s.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![3]);
+        assert_eq!(data.to_vec(), vec![3]);
     }
 
     #[test]
@@ -467,7 +469,7 @@ mod tests {
                 p: &str,
                 _: u64,
                 _: IoShape,
-            ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+            ) -> Result<(ImageBytes, SimDuration), StoreError> {
                 Err(StoreError::Corrupt {
                     path: p.to_string(),
                     why: "bit rot".to_string(),
@@ -504,7 +506,7 @@ mod tests {
                 p: &str,
                 _: u64,
                 _: IoShape,
-            ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+            ) -> Result<(ImageBytes, SimDuration), StoreError> {
                 Err(StoreError::Torn {
                     path: p.to_string(),
                     why: "commit record never written".to_string(),
@@ -534,7 +536,7 @@ mod tests {
         // One corrupt + one torn replica cost a probe each; the healthy
         // third serves the read.
         let (data, dur) = s.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![7]);
+        assert_eq!(data.to_vec(), vec![7]);
         assert_eq!(dur, SimDuration::millis(205));
         // If every replica is bad, the most recent data-level error
         // surfaces (not a bare NotFound).
@@ -574,7 +576,7 @@ mod tests {
         s.kill_replica(1);
         for (p, v) in [("a", vec![1; 10]), ("b", vec![2; 20]), ("c", vec![3; 30])] {
             let (data, _) = s.get(p, 0, SHAPE).unwrap();
-            assert_eq!(*data, v, "path {p} after heal");
+            assert_eq!(data.to_vec(), v, "path {p} after heal");
         }
         // A second pass is a no-op: anti-entropy converges.
         s.revive(0);
@@ -591,6 +593,6 @@ mod tests {
         s.put("x", vec![1].into(), 8, 0, SHAPE);
         s.revive(0);
         let (data, _) = s.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![1]);
+        assert_eq!(data.to_vec(), vec![1]);
     }
 }

@@ -19,7 +19,6 @@ use mana_sim::fs::IoShape;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 
 /// When the fast→slow drain's cost is charged.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,7 +168,7 @@ impl<S: CheckpointStore> CheckpointStore for TieredStore<S> {
         path: &str,
         rank: u64,
         shape: IoShape,
-    ) -> Result<(Arc<Vec<u8>>, SimDuration), StoreError> {
+    ) -> Result<(ImageBytes, SimDuration), StoreError> {
         let (data, slow_read) = self.slow.get(path, rank, shape)?;
         let mut st = self.state.lock();
         match st.objects.get_mut(path) {
@@ -275,7 +274,7 @@ mod tests {
         let debt = store.pending_drain("x");
         assert!(debt > SimDuration::ZERO);
         let (data, rd) = store.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![1, 2]);
+        assert_eq!(data.to_vec(), vec![1, 2]);
         assert!(rd >= debt, "read {rd} must cover the drain debt {debt}");
         // Paid once: a second read is a plain fast-tier read.
         assert_eq!(store.pending_drain("x"), SimDuration::ZERO);
@@ -329,7 +328,7 @@ mod tests {
         let store = TieredStore::new(cfg(DrainMode::Async), InMemStore::new());
         store.put("x", vec![9].into(), 4096, 0, SHAPE);
         let (data, _) = store.get("x", 0, SHAPE).unwrap();
-        assert_eq!(*data, vec![9]);
+        assert_eq!(data.to_vec(), vec![9]);
         assert!(store.remove("x"));
         assert!(!store.exists("x"));
     }

@@ -242,6 +242,11 @@ fn cmd_migrate(flags: HashMap<String, String>) {
         report.max_replay(),
         report.total
     );
+    println!(
+        "  restore data path: {} pages installed as shared handles, {} bytes copied",
+        report.total_pages_shared(),
+        report.total_bytes_copied()
+    );
     println!("  second half completed in {}", resumed.outcome().app_wall);
     if probe.checksums() == resumed.checksums() {
         println!("  results bit-identical to the uninterrupted source run ✓");

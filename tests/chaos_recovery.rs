@@ -89,7 +89,8 @@ fn truncate_image(
     let store = session.store();
     let path = killed.spec().cfg.image_path(ckpt_id, rank);
     let (bytes, _) = store.get(&path, u64::from(rank), SHAPE).unwrap();
-    let torn = bytes[..keep.min(bytes.len())].to_vec();
+    let mut torn = bytes.to_vec();
+    torn.truncate(keep);
     let len = torn.len() as u64;
     store.remove(&path);
     store.put(&path, torn.into(), len, u64::from(rank), SHAPE);
@@ -107,6 +108,44 @@ fn truncated_image_on_fs_store_restart_skips_to_survivor() {
     truncate_image(&session, &killed, newest, 2, 40);
     // A second flavor of damage on another rank: a zero-length object.
     truncate_image(&session, &killed, newest, 1, 0);
+
+    let resumed = killed
+        .restart_latest(JobBuilder::new())
+        .expect("restart must fall back to the intact older checkpoint");
+    assert_eq!(
+        clean.checksums(),
+        resumed.checksums(),
+        "recovery from the surviving checkpoint diverged"
+    );
+}
+
+/// A torn *scatter* envelope behaves exactly like the flat-era tear: the
+/// journal's scatter get surfaces a typed `Torn`, the object reads as
+/// absent, and `restart_latest` falls back to the intact survivor.
+#[test]
+fn torn_scatter_envelope_is_typed_and_falls_back() {
+    use mana::core::error::StoreError;
+    use mana::core::store::CheckpointStore;
+    use mana::store::JournaledStore;
+
+    let store = Arc::new(JournaledStore::new(mana::core::InMemStore::new()));
+    let session = ManaSession::builder().store(store.clone()).build();
+    let (clean, killed) = clean_and_killed(&session);
+    let newest = killed.latest_checkpoint().unwrap();
+    let path = killed.spec().cfg.image_path(newest, 2);
+
+    // Re-publish rank 2's newest image through an armed torn put: only a
+    // strict prefix of the scatter envelope lands.
+    let (bytes, _) = store.get(&path, 2, SHAPE).unwrap();
+    let len = bytes.len() as u64;
+    store.arm_torn_put(&path, 0.6);
+    store.put(&path, bytes, len, 2, SHAPE);
+
+    assert!(
+        matches!(store.get(&path, 2, SHAPE), Err(StoreError::Torn { .. })),
+        "torn scatter envelope must surface a typed Torn"
+    );
+    assert!(!store.exists(&path), "torn object must read as absent");
 
     let resumed = killed
         .restart_latest(JobBuilder::new())

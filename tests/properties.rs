@@ -365,6 +365,56 @@ proptest! {
         prop_assert_eq!(shared.to_vec(), current);
     }
 
+    // The read twin of `scatter_encode_is_wire_identical`: for every
+    // supported image version and every store stack, `decode_shared` of
+    // the get-returned scatter agrees exactly with the flat decode of the
+    // same bytes — same image, same re-encoding — and the streaming
+    // scatter checksum equals the flat digest the restart verifier
+    // records.
+    #[test]
+    fn scatter_decode_is_wire_identical(
+        img in arb_image(),
+        version in mana::core::image::MIN_VERSION..mana::core::image::VERSION + 1,
+        stack in 0usize..6,
+    ) {
+        use mana::sim::checksum::checksum_bytes;
+        use mana::sim::fs::{FsConfig, IoShape};
+        use mana::store::{
+            CasConfig, CasStore, CompressingStore, CompressionConfig, DeltaConfig, DeltaStore,
+            JournaledStore,
+        };
+        let store: Box<dyn CheckpointStore> = match stack {
+            0 => Box::new(InMemStore::new()),
+            1 => Box::new(mana::core::FsStore::with_config(FsConfig::default())),
+            2 => Box::new(DeltaStore::new(DeltaConfig::default(), InMemStore::new())),
+            3 => Box::new(CasStore::new(CasConfig::default(), InMemStore::new())),
+            4 => Box::new(CompressingStore::new(
+                CompressionConfig::default(),
+                InMemStore::new(),
+            )),
+            _ => Box::new(JournaledStore::new(InMemStore::new())),
+        };
+        let shape = IoShape { writers_on_node: 1, total_writers: 1 };
+        let wire = img.encode_with_version(version);
+        let path = "prop/ckpt_1/rank_0.mana";
+        store.put(path, wire.clone().into(), wire.len() as u64, 0, shape);
+        let (got, _) = store.get(path, 0, shape).expect("get back");
+        let flat = got.to_vec();
+        let (shared_img, _) = CheckpointImage::decode_shared(&got).expect("shared decode");
+        let flat_img = CheckpointImage::decode(&flat).expect("flat decode");
+        prop_assert_eq!(&shared_img, &flat_img, "shared vs flat decode diverged");
+        prop_assert_eq!(
+            shared_img.encode().to_vec(),
+            flat_img.encode().to_vec(),
+            "re-encoding diverged"
+        );
+        prop_assert_eq!(
+            got.scatter().checksum(),
+            checksum_bytes(&flat),
+            "streaming scatter checksum != flat digest"
+        );
+    }
+
     // The cross-rank worker-pool pipeline stores byte-identical images
     // and returns identical per-rank stats vs the serial path, for any
     // batch of images and any worker count.

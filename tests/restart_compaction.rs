@@ -18,7 +18,6 @@
 use mana::apps::CommChurn;
 use mana::core::{Incarnation, JobBuilder, ManaSession, Workload};
 use mana::mpi::MpiProfile;
-use mana::sim::checksum::checksum_bytes;
 use mana::sim::cluster::ClusterSpec;
 use mana::sim::fs::IoShape;
 use mana::sim::time::{SimDuration, SimTime};
@@ -106,7 +105,7 @@ fn run_chain(
             .store()
             .get(&path, u64::from(rank), SHAPE)
             .expect("image in store");
-        checksum_bytes(&bytes)
+        bytes.scatter().checksum()
     };
     ChainReport {
         ckpt1_log_retained: ckpt1.ranks.iter().map(|r| r.log_retained).collect(),

@@ -110,6 +110,78 @@ fn staged_restart_reports_every_stage_and_compacts_the_log() {
 }
 
 #[test]
+fn parallel_restart_matches_serial() {
+    // The same killed incarnation restarted rank-by-rank and through the
+    // worker-pool read pipeline: identical final state, identical
+    // per-rank restart stats (stage durations, replay counts, and the
+    // zero-copy counters), identical totals.
+    let session = ManaSession::builder()
+        .store(mana::core::InMemStore::new())
+        .build();
+    let app = churn_app();
+    let (clean, killed) = clean_and_killed(&session, &app, 0.6, true);
+
+    let serial = killed
+        .restart_on(JobBuilder::new().restart_workers(1))
+        .unwrap();
+    let parallel = killed
+        .restart_on(JobBuilder::new().restart_workers(4))
+        .unwrap();
+    assert_eq!(
+        clean.checksums(),
+        parallel.checksums(),
+        "pipelined restart diverged from the clean run"
+    );
+    assert_eq!(
+        serial.checksums(),
+        parallel.checksums(),
+        "pipelined restart diverged from serial"
+    );
+    let rs = serial.restart_report().expect("serial report");
+    let rp = parallel.restart_report().expect("parallel report");
+    assert_eq!(
+        rs, rp,
+        "restart reports diverged between serial and pipelined fetch"
+    );
+    assert!(
+        rp.total_pages_shared() > 0,
+        "restore installed no shared pages — the zero-copy path is dead"
+    );
+}
+
+#[test]
+fn parallel_restart_surfaces_the_lowest_failing_rank() {
+    // Two damaged rank images: the worker-pool fetch must report the
+    // same error serial fetch does — the lowest failing rank's.
+    let session = ManaSession::builder()
+        .store(mana::core::InMemStore::new())
+        .build();
+    let app = churn_app();
+    let (_, killed) = clean_and_killed(&session, &app, 0.6, true);
+    let ckpt_id = killed.latest_checkpoint().expect("ckpt id");
+    let spec = killed.spec();
+    let store = session.store();
+    for rank in [1u32, 3] {
+        let path = spec.cfg.image_path(ckpt_id, rank);
+        let (bytes, _) = store.get(&path, u64::from(rank), SHAPE).unwrap();
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF; // break the magic
+        let len = bad.len() as u64;
+        store.remove(&path);
+        store.put(&path, bad.into(), len, u64::from(rank), SHAPE);
+    }
+    match killed.restart_on(JobBuilder::new().restart_workers(4)) {
+        Err(SessionError::Restart(RestartError::CorruptImage { rank, .. })) => {
+            assert_eq!(rank, 1, "must surface the lowest failing rank");
+        }
+        other => panic!(
+            "expected typed CorruptImage, got {:?}",
+            other.map(|i| i.index())
+        ),
+    }
+}
+
+#[test]
 fn replay_divergence_is_a_typed_error_not_a_panic() {
     let session = ManaSession::builder()
         .store(mana::core::InMemStore::new())
@@ -125,7 +197,7 @@ fn replay_divergence_is_a_typed_error_not_a_panic() {
     // entry — and tear the whole restart down cleanly.
     let path = spec.cfg.image_path(ckpt_id, 0);
     let (bytes, _) = store.get(&path, 0, SHAPE).unwrap();
-    let mut img = CheckpointImage::decode(&bytes).unwrap();
+    let mut img = CheckpointImage::decode_shared(&bytes).unwrap().0;
     let tampered_index = img.log.len();
     img.log
         .push(mana::core::record::LoggedCall::CommFree { comm: 0xDEAD_BEEF });
@@ -167,7 +239,7 @@ fn unbound_live_virtual_is_detected() {
     // finishes, but the rebind verification must flag the unbound id.
     let path = spec.cfg.image_path(ckpt_id, 0);
     let (bytes, _) = store.get(&path, 0, SHAPE).unwrap();
-    let mut img = CheckpointImage::decode(&bytes).unwrap();
+    let mut img = CheckpointImage::decode_shared(&bytes).unwrap().0;
     img.dtypes.push(0x3000_7777);
     let encoded = img.encode().into_vec();
     let logical = encoded.len() as u64;
@@ -202,7 +274,7 @@ fn inconsistent_image_contents_are_typed_errors() {
 
     let path = spec.cfg.image_path(ckpt_id, 1);
     let (bytes, _) = store.get(&path, 1, SHAPE).unwrap();
-    let mut img = CheckpointImage::decode(&bytes).unwrap();
+    let mut img = CheckpointImage::decode_shared(&bytes).unwrap().0;
     img.pending.push(mana::core::image::PendingColl {
         vreq: 0x4000_0099,
         comm_virt: 0x1000_9999,
@@ -249,7 +321,7 @@ fn v1_images_restart_through_the_new_pipeline() {
     for rank in 0..spec.nranks {
         let path = spec.cfg.image_path(ckpt_id, rank);
         let (bytes, _) = store.get(&path, u64::from(rank), SHAPE).unwrap();
-        let img = CheckpointImage::decode(&bytes).unwrap();
+        let img = CheckpointImage::decode_shared(&bytes).unwrap().0;
         assert!(
             img.step_created.is_empty(),
             "rank {rank}: pick a frac that lands mid-compute (ledger {:?})",
