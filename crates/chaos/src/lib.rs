@@ -21,8 +21,17 @@
 //! * **self-healing** (this crate, plus
 //!   [`mana_store::ReplicatedStore::heal`] and the promoted
 //!   sub-coordinator failover in `mana-core`): the [`ChaosHarness`]
-//!   heals the storage tier after every crash and restarts the chain
-//!   from the newest surviving checkpoint, skipping damaged ones.
+//!   heals the storage tier after every crash and hands recovery to a
+//!   [`mana_core::supervisor::RestartSupervisor`] — restart-phase kills
+//!   are retried with exponential backoff, damaged images fall back to
+//!   older survivors, all under one chain-wide retry budget.
+//!
+//! Beyond checkpoint-phase faults, plans can schedule **restart-phase
+//! kills** (a rank dies mid image-read, replay, rebind or resync — the
+//! restart itself crashes and must be retried) and **drain faults** (an
+//! async burst-buffer drain is torn mid-copy or the fast tier loses an
+//! undrained image — [`mana_store::TieredStore::recover`] resumes or
+//! quarantines them off the persistent drain ledger).
 //!
 //! ```
 //! use mana_chaos::ChaosHarness;
@@ -39,4 +48,7 @@ pub mod driver;
 pub mod plan;
 
 pub use driver::{ChaosHarness, ChaosReport};
-pub use plan::{ChaosPlan, FaultKind, PlanInjector, PlannedFault, WorldShape};
+pub use plan::{
+    ChaosPlan, FaultKind, PlanInjector, PlannedDrainFault, PlannedFault, PlannedRestartFault,
+    WorldShape,
+};

@@ -12,7 +12,7 @@
 //! point. The same seed and world shape always compile to the same
 //! faults, so every chaos run replays bit-for-bit.
 
-use mana_core::chaos::{FaultInjector, InjectPoint, RankFault};
+use mana_core::chaos::{DrainFault, FaultInjector, InjectPoint, RankFault, RestartPoint};
 use mana_sim::rng::splitmix64;
 use mana_sim::time::SimDuration;
 use std::collections::BTreeMap;
@@ -112,6 +112,54 @@ pub struct PlannedFault {
     pub kind: FaultKind,
 }
 
+/// One scheduled restart-phase fault: kill `rank` at restart-pipeline
+/// stage `point` during the chain's `restart_attempt`-th restart.
+/// Restart faults are scheduled at *consecutive* attempts starting from
+/// 0, so they all land inside the first supervised recovery — the
+/// supervisor's retry budget, not luck, is what gets the chain through.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedRestartFault {
+    /// Chain-wide restart attempt the fault strikes (0-based).
+    pub restart_attempt: u64,
+    /// The rank killed mid-restart.
+    pub rank: u32,
+    /// The restart-pipeline stage it dies at.
+    pub point: RestartPoint,
+}
+
+impl fmt::Display for PlannedRestartFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kill-restart rank {} @ {} (restart attempt {})",
+            self.rank, self.point, self.restart_attempt
+        )
+    }
+}
+
+/// One scheduled drain fault: interrupt the tiered store's oldest
+/// outstanding async drain at the given checkpoint attempt's epoch
+/// boundary. Always paired with a gang-crash at the same attempt, so the
+/// interrupted drain is what recovery finds in the ledger.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedDrainFault {
+    /// Chain-wide checkpoint attempt whose epoch boundary faults.
+    pub attempt: u64,
+    /// What happens to the oldest outstanding drain.
+    pub fault: DrainFault,
+}
+
+impl fmt::Display for PlannedDrainFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.fault {
+            DrainFault::Torn { keep_frac } => {
+                write!(f, "drain-torn (keep {keep_frac:.2})")
+            }
+            DrainFault::LoseFast => write!(f, "drain-lost (burst tier dies)"),
+        }
+    }
+}
+
 /// A deterministic, seed-derived schedule of faults.
 #[derive(Clone, Debug)]
 pub struct ChaosPlan {
@@ -121,6 +169,11 @@ pub struct ChaosPlan {
     pub shape: WorldShape,
     /// The schedule, in attempt order.
     pub faults: Vec<PlannedFault>,
+    /// Restart-phase kills, at consecutive restart attempts from 0.
+    pub restart_faults: Vec<PlannedRestartFault>,
+    /// Async-drain interruptions, each paired with a same-attempt crash
+    /// in `faults`.
+    pub drain_faults: Vec<PlannedDrainFault>,
 }
 
 const POINTS: [InjectPoint; 5] = [
@@ -132,11 +185,49 @@ const POINTS: [InjectPoint; 5] = [
 ];
 
 impl ChaosPlan {
-    /// Draw `n_faults` faults from `seed` against `shape`. Fault `i`
-    /// strikes attempt `2i + 1`, so attempt `0` — and every even attempt
-    /// — is clean: the chain always has a committed checkpoint older
-    /// than any fault.
+    /// Draw `n_faults` checkpoint-phase faults from `seed` against
+    /// `shape` (no restart- or drain-phase faults). Fault `i` strikes
+    /// attempt `2i + 1`, so attempt `0` — and every even attempt — is
+    /// clean: the chain always has a committed checkpoint older than any
+    /// fault.
     pub fn generate(seed: u64, n_faults: usize, shape: WorldShape) -> ChaosPlan {
+        ChaosPlan::generate_full(seed, n_faults, 0, 0, shape)
+    }
+
+    /// Draw a full-surface plan: `n_faults` checkpoint-phase faults plus
+    /// `n_restart` restart-phase kills and `n_drain` async-drain
+    /// interruptions.
+    ///
+    /// Structural guarantees, on top of [`ChaosPlan::generate`]'s
+    /// odd-attempt rule:
+    ///
+    /// * restart faults land at consecutive restart attempts `0..n` —
+    ///   all inside the first supervised recovery, so they test the
+    ///   retry budget, not scheduling luck. When any are requested the
+    ///   plan is forced to contain at least one crash-class checkpoint
+    ///   fault (otherwise no restart would ever run);
+    /// * each drain fault occupies a fault slot of index ≥ 1 (its
+    ///   attempt is ≥ 3, so a fully-drained committed checkpoint exists
+    ///   below it) and the slot's checkpoint fault is forced to a
+    ///   gang-crash, leaving the interrupted drain in the ledger for
+    ///   recovery to find;
+    /// * at most one fault is a [`DrainFault::LoseFast`] (it destroys an
+    ///   image for good) and it sits at slot index ≥ 2 (attempt ≥ 5), so
+    ///   at least two clean committed checkpoints predate the loss.
+    pub fn generate_full(
+        seed: u64,
+        n_faults: usize,
+        n_restart: usize,
+        n_drain: usize,
+        shape: WorldShape,
+    ) -> ChaosPlan {
+        // Drain faults need enough slots below them; grow the plan
+        // rather than silently dropping requested faults.
+        let n_faults = if n_drain > 0 {
+            n_faults.max(n_drain + 2)
+        } else {
+            n_faults
+        };
         let mut s = splitmix64(seed ^ 0xC4A0_5EED);
         let mut draw = |m: u64| {
             s = splitmix64(s);
@@ -196,11 +287,63 @@ impl ChaosPlan {
                 kind,
             });
         }
-        ChaosPlan {
+
+        // Drain faults ride on slots 1, 2, …: force each host slot to a
+        // gang-crash (so the interrupted drain is what recovery finds)
+        // and emit the matching drain schedule. The last drain fault of
+        // a ≥2 batch is the single allowed LoseFast; everything else is
+        // a torn slow-tier write.
+        let mut drain_faults = Vec::with_capacity(n_drain);
+        for j in 0..n_drain {
+            let slot = j + 1;
+            let attempt = 2 * slot as u64 + 1;
+            let fault = if n_drain >= 2 && j == n_drain - 1 {
+                DrainFault::LoseFast
+            } else {
+                DrainFault::Torn {
+                    keep_frac: 0.1 + 0.8 * (draw(1000) as f64 / 1000.0),
+                }
+            };
+            drain_faults.push(PlannedDrainFault { attempt, fault });
+            faults[slot] = PlannedFault {
+                attempt,
+                kind: FaultKind::KillRank {
+                    rank: draw(u64::from(shape.nranks)) as u32,
+                    point: POINTS[draw(POINTS.len() as u64) as usize],
+                },
+            };
+        }
+
+        // Restart faults land at consecutive restart attempts. They are
+        // only reachable if something crashes the job first.
+        let mut restart_faults = Vec::with_capacity(n_restart);
+        for k in 0..n_restart {
+            restart_faults.push(PlannedRestartFault {
+                restart_attempt: k as u64,
+                rank: draw(u64::from(shape.nranks)) as u32,
+                point: RestartPoint::ALL[draw(RestartPoint::ALL.len() as u64) as usize],
+            });
+        }
+        let mut plan = ChaosPlan {
             seed,
             shape,
             faults,
+            restart_faults,
+            drain_faults,
+        };
+        if (n_restart > 0 || n_drain > 0) && plan.crash_faults() == 0 {
+            // Nothing would ever kill the job: force a crash so the
+            // restart/drain machinery actually runs.
+            let kind = FaultKind::KillRank {
+                rank: draw(u64::from(shape.nranks)) as u32,
+                point: POINTS[draw(POINTS.len() as u64) as usize],
+            };
+            match plan.faults.first_mut() {
+                Some(f) => f.kind = kind,
+                None => plan.faults.push(PlannedFault { attempt: 1, kind }),
+            }
         }
+        plan
     }
 
     /// Checkpoint attempts the chain should schedule so every fault has
@@ -277,6 +420,16 @@ impl ChaosPlan {
             shape: self.shape,
             rank_faults,
             subcoords,
+            restarts: self
+                .restart_faults
+                .iter()
+                .map(|r| (r.restart_attempt, (r.rank, r.point)))
+                .collect(),
+            drains: self
+                .drain_faults
+                .iter()
+                .map(|d| (d.attempt, d.fault))
+                .collect(),
         }
     }
 }
@@ -292,6 +445,12 @@ impl fmt::Display for ChaosPlan {
         )?;
         for pf in &self.faults {
             writeln!(f, "  attempt {:>3}: {}", pf.attempt, pf.kind)?;
+        }
+        for df in &self.drain_faults {
+            writeln!(f, "  attempt {:>3}: {df}", df.attempt)?;
+        }
+        for rf in &self.restart_faults {
+            writeln!(f, "  restart {:>3}: {rf}", rf.restart_attempt)?;
         }
         Ok(())
     }
@@ -311,6 +470,10 @@ pub struct PlanInjector {
     rank_faults: BTreeMap<u64, (Target, InjectPoint, RankFault)>,
     /// attempt → (node, promotion latency).
     subcoords: BTreeMap<u64, (u32, SimDuration)>,
+    /// restart attempt → (rank, stage).
+    restarts: BTreeMap<u64, (u32, RestartPoint)>,
+    /// checkpoint attempt → drain fault at its epoch boundary.
+    drains: BTreeMap<u64, DrainFault>,
 }
 
 impl FaultInjector for PlanInjector {
@@ -329,6 +492,14 @@ impl FaultInjector for PlanInjector {
     fn subcoord_fault(&self, attempt: u64, node: u32) -> Option<SimDuration> {
         let (n, latency) = self.subcoords.get(&attempt)?;
         (*n == node).then_some(*latency)
+    }
+
+    fn restart_fault(&self, restart_attempt: u64, rank: u32, point: RestartPoint) -> bool {
+        self.restarts.get(&restart_attempt) == Some(&(rank, point))
+    }
+
+    fn drain_fault(&self, attempt: u64) -> Option<DrainFault> {
+        self.drains.get(&attempt).copied()
     }
 }
 
@@ -408,6 +579,8 @@ mod tests {
                     kind: FaultKind::KillSubCoord { node: 0 },
                 },
             ],
+            restart_faults: vec![],
+            drain_faults: vec![],
         };
         let inj = plan.injector();
         // Node 1 holds ranks 4..8 under block placement.
@@ -421,5 +594,55 @@ mod tests {
         assert!(inj.subcoord_fault(3, 0).is_some());
         assert!(inj.subcoord_fault(3, 1).is_none());
         assert!(inj.subcoord_fault(1, 0).is_none());
+    }
+
+    #[test]
+    fn full_plans_obey_the_structural_guarantees() {
+        for seed in 0..64 {
+            let plan = ChaosPlan::generate_full(seed, 4, 3, 2, shape());
+            // Restart faults at consecutive attempts 0..3.
+            assert_eq!(plan.restart_faults.len(), 3);
+            for (k, rf) in plan.restart_faults.iter().enumerate() {
+                assert_eq!(rf.restart_attempt, k as u64);
+                assert!(rf.rank < shape().nranks);
+            }
+            // Restart faults require at least one crash-class fault.
+            assert!(plan.crash_faults() >= 1, "seed {seed}: nothing crashes");
+            // Drain faults: slots 1 and 2 (attempts 3 and 5), host slot
+            // forced to a gang-crash, exactly one LoseFast at the top.
+            assert_eq!(plan.drain_faults.len(), 2);
+            assert_eq!(plan.drain_faults[0].attempt, 3);
+            assert_eq!(plan.drain_faults[1].attempt, 5);
+            assert!(matches!(
+                plan.drain_faults[0].fault,
+                DrainFault::Torn { .. }
+            ));
+            assert!(matches!(plan.drain_faults[1].fault, DrainFault::LoseFast));
+            for df in &plan.drain_faults {
+                let host = plan
+                    .faults
+                    .iter()
+                    .find(|f| f.attempt == df.attempt)
+                    .expect("drain fault has a host slot");
+                assert!(
+                    matches!(host.kind, FaultKind::KillRank { .. }),
+                    "seed {seed}: host slot must gang-crash, got {}",
+                    host.kind
+                );
+            }
+            // The compiled injector serves all three schedules.
+            let inj = plan.injector();
+            let rf = plan.restart_faults[0];
+            assert!(inj.restart_fault(rf.restart_attempt, rf.rank, rf.point));
+            assert!(!inj.restart_fault(17, rf.rank, rf.point));
+            assert_eq!(inj.drain_fault(3), Some(plan.drain_faults[0].fault));
+            assert_eq!(inj.drain_fault(4), None);
+        }
+        // Restart faults with zero checkpoint faults still get a crash.
+        let plan = ChaosPlan::generate_full(9, 0, 2, 0, shape());
+        assert_eq!(plan.crash_faults(), 1);
+        // A plain generate is unchanged: no restart/drain schedules.
+        let plain = ChaosPlan::generate(42, 6, shape());
+        assert!(plain.restart_faults.is_empty() && plain.drain_faults.is_empty());
     }
 }

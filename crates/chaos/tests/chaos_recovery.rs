@@ -5,8 +5,8 @@
 //! assert the memento property end to end: whatever the plan injects,
 //! the chain ends in exactly the fault-free final state.
 
-use mana_chaos::{ChaosHarness, ChaosPlan, FaultKind, PlannedFault};
-use mana_core::chaos::InjectPoint;
+use mana_chaos::{ChaosHarness, ChaosPlan, FaultKind, PlannedFault, PlannedRestartFault};
+use mana_core::chaos::{DrainFault, InjectPoint, RestartPoint};
 use mana_core::config::TopologyKind;
 
 /// Sweep seeds and assert every chain heals, then check the sweep as a
@@ -63,6 +63,8 @@ fn killed_subcoordinator_does_not_stall_its_node() {
                 kind: FaultKind::KillSubCoord { node: 1 },
             },
         ],
+        restart_faults: vec![],
+        drain_faults: vec![],
     });
     let report = h.run();
     assert!(report.healed(), "{report}");
@@ -100,6 +102,8 @@ fn torn_put_is_quarantined_and_chain_restarts_behind_it() {
                 keep_frac: 0.4,
             },
         }],
+        restart_faults: vec![],
+        drain_faults: vec![],
     });
     let report = h.run();
     assert!(report.healed(), "{report}");
@@ -160,6 +164,8 @@ fn replica_outage_heals_by_anti_entropy() {
                 kind: FaultKind::ReplicaOutage { replica: 1 },
             },
         ],
+        restart_faults: vec![],
+        drain_faults: vec![],
     });
     let report = h.run();
     assert!(report.healed(), "{report}");
@@ -170,5 +176,137 @@ fn replica_outage_heals_by_anti_entropy() {
             .iter()
             .any(|(i, h)| *i == 1 && !h.copied.is_empty()),
         "anti-entropy never repaired the revived replica:\n{report}"
+    );
+}
+
+/// Restart-phase kills crash the restart itself; the supervisor absorbs
+/// them with backoff and retries the *same* image until it boots, so the
+/// chain still converges to the fault-free state.
+#[test]
+fn restart_phase_kills_are_retried_by_the_supervisor() {
+    let mut h = ChaosHarness::new(13, 1);
+    h.plan = Some(ChaosPlan {
+        seed: 13,
+        shape: h.shape(),
+        faults: vec![PlannedFault {
+            attempt: 1,
+            kind: FaultKind::KillRank {
+                rank: 1,
+                point: InjectPoint::Encode,
+            },
+        }],
+        restart_faults: vec![
+            PlannedRestartFault {
+                restart_attempt: 0,
+                rank: 2,
+                point: RestartPoint::ImageRead,
+            },
+            PlannedRestartFault {
+                restart_attempt: 1,
+                rank: 0,
+                point: RestartPoint::Replay,
+            },
+        ],
+        drain_faults: vec![],
+    });
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(
+        report.restart_crashes.len(),
+        2,
+        "both armed restart kills must fire:\n{report}"
+    );
+    assert!(
+        report
+            .restart_crashes
+            .iter()
+            .any(|c| c.point == RestartPoint::ImageRead)
+            && report
+                .restart_crashes
+                .iter()
+                .any(|c| c.point == RestartPoint::Replay),
+        "{report}"
+    );
+    assert!(
+        report.supervisor.faults_absorbed >= 2,
+        "the supervisor must absorb the restart kills as transient:\n{report}"
+    );
+    assert!(
+        report.restart_attempts > report.recovery_restarts,
+        "crashed restart attempts must outnumber the successful ones:\n{report}"
+    );
+    assert!(
+        report.supervisor.total_downtime > mana_sim::time::SimDuration::ZERO,
+        "backoff must accrue downtime:\n{report}"
+    );
+    // Transient retries stay on the same image: nothing was skipped.
+    assert!(report.supervisor.images_skipped.is_empty(), "{report}");
+}
+
+/// A crashed restart is idempotent: after a kill mid-replay the store and
+/// the engine's view of the image are untouched, so re-running the
+/// *identical* restart (same image, no fault) succeeds.
+#[test]
+fn crashed_restart_leaves_the_image_restartable() {
+    let mut h = ChaosHarness::new(17, 1);
+    h.plan = Some(ChaosPlan {
+        seed: 17,
+        shape: h.shape(),
+        faults: vec![PlannedFault {
+            attempt: 1,
+            kind: FaultKind::KillNode {
+                node: 0,
+                point: InjectPoint::Publish,
+            },
+        }],
+        restart_faults: (0..3)
+            .map(|a| PlannedRestartFault {
+                restart_attempt: a,
+                rank: (a % 4) as u32,
+                point: RestartPoint::ALL[(a % 4) as usize],
+            })
+            .collect(),
+        drain_faults: vec![],
+    });
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(report.restart_crashes.len(), 3, "{report}");
+    // All three kills hit the same recovery; the fourth attempt of the
+    // same image converged — no fallback to an older checkpoint.
+    assert!(report.supervisor.images_skipped.is_empty(), "{report}");
+    assert!(report.supervisor.recovered_from.is_some(), "{report}");
+}
+
+/// Interrupted async drains: a torn drain is resumed from the intact
+/// burst-tier copy, a lost fast tier quarantines the entry and recovery
+/// falls back past the destroyed image — and the chain still heals.
+#[test]
+fn drain_faults_resume_or_fall_back_and_the_chain_heals() {
+    let mut h = ChaosHarness::new(23, 2);
+    h.drain_faults = 2;
+    let report = h.run();
+    assert!(report.healed(), "{report}");
+    assert_eq!(
+        report.drain_faults_hit.len(),
+        2,
+        "both drain faults must fire:\n{report}"
+    );
+    assert!(
+        report
+            .drain_faults_hit
+            .iter()
+            .any(|(_, _, f)| matches!(f, DrainFault::Torn { .. })),
+        "{report}"
+    );
+    assert!(
+        report
+            .drain_faults_hit
+            .iter()
+            .any(|(_, _, f)| matches!(f, DrainFault::LoseFast)),
+        "{report}"
+    );
+    assert!(
+        !report.drains_resumed.is_empty(),
+        "the torn drain must be resumed from the burst tier:\n{report}"
     );
 }

@@ -65,6 +65,45 @@ impl fmt::Display for InjectPoint {
     }
 }
 
+/// A restart-pipeline injection point polled by the restart engine. The
+/// checkpoint-side [`InjectPoint`]s cover the *write* path; these cover
+/// the *read* path — the stages of [`crate::restart::RestartEngine`]
+/// where a recovering job can die all over again.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RestartPoint {
+    /// Mid image-read: the rank's fetch/decode/validate, including inside
+    /// the `restart_workers` pool, before the destination sim boots.
+    ImageRead,
+    /// Mid record-log replay against the fresh lower half.
+    Replay,
+    /// Mid virtual-id rebind/verification.
+    Rebind,
+    /// Mid world resynchronization, just before the restart barrier.
+    Resync,
+}
+
+impl RestartPoint {
+    /// All restart injection points, in pipeline order.
+    pub const ALL: [RestartPoint; 4] = [
+        RestartPoint::ImageRead,
+        RestartPoint::Replay,
+        RestartPoint::Rebind,
+        RestartPoint::Resync,
+    ];
+}
+
+impl fmt::Display for RestartPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RestartPoint::ImageRead => "image-read",
+            RestartPoint::Replay => "replay",
+            RestartPoint::Rebind => "rebind",
+            RestartPoint::Resync => "resync",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// What a [`FaultInjector`] wants to do to a rank at an injection point.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum RankFault {
@@ -97,6 +136,42 @@ pub trait FaultInjector: Send + Sync {
         let _ = (attempt, node);
         None
     }
+
+    /// Kill `rank` at restart-pipeline stage `point` during the chain's
+    /// `restart_attempt`-th restart (0, 1, 2, … in the order the chain
+    /// attempts restarts)? Polled once per (attempt, rank, point), so the
+    /// decision must be stable for a given triple.
+    fn restart_fault(&self, restart_attempt: u64, rank: u32, point: RestartPoint) -> bool {
+        let _ = (restart_attempt, rank, point);
+        false
+    }
+
+    /// Fault (if any) over the tiered store's async background drain at
+    /// the start of checkpoint attempt `attempt` — polled by
+    /// `TieredStore::begin_epoch` just before it retires the previous
+    /// round's pending drains.
+    fn drain_fault(&self, attempt: u64) -> Option<DrainFault> {
+        let _ = attempt;
+        None
+    }
+}
+
+/// What a [`FaultInjector`] wants to do to the oldest pending async drain
+/// at an epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DrainFault {
+    /// The drain's slow-tier write is torn mid-flight (only a `keep_frac`
+    /// prefix lands) and draining stops for this epoch — the ledger entry
+    /// stays in-flight with the burst-tier copy intact, so `recover()`
+    /// can resume it.
+    Torn {
+        /// Fraction of the framed envelope that survives, in `(0, 1)`.
+        keep_frac: f64,
+    },
+    /// The burst-buffer node dies before the drain starts: the fast-tier
+    /// copy is lost and the slow tier never sees the object. `recover()`
+    /// must quarantine the ledger entry; the image is gone.
+    LoseFast,
 }
 
 /// A crash the engine injected: which attempt, which checkpoint id it had
@@ -111,6 +186,18 @@ pub struct CrashRecord {
     pub rank: u32,
     /// Where in the protocol it fired.
     pub point: InjectPoint,
+}
+
+/// A crash injected inside the restart pipeline: which restart attempt,
+/// which rank, at which stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RestartCrashRecord {
+    /// Restart attempt number (0-based, chain-wide).
+    pub restart_attempt: u64,
+    /// The rank whose restart stage tripped the fault.
+    pub rank: u32,
+    /// The restart-pipeline stage it fired at.
+    pub point: RestartPoint,
 }
 
 /// A sub-coordinator failover the engine injected and healed in-flight.
@@ -148,6 +235,17 @@ struct ChaosState {
     /// is polled once per agreement iteration, but dies at most once per
     /// attempt.
     failed_over: Mutex<BTreeSet<(u64, u32)>>,
+    /// Number of restart attempts the chain has begun (monotonic).
+    restart_attempts: Mutex<u64>,
+    /// The current restart attempt's injected crash, if one fired. Gates
+    /// further restart injection until the next `begin_restart`.
+    restart_crashed: Mutex<Option<RestartCrashRecord>>,
+    /// Every restart-phase crash across the whole chain.
+    restart_history: Mutex<Vec<RestartCrashRecord>>,
+    /// Checkpoint attempts whose drain fault already fired (one-shot).
+    drain_fired: Mutex<BTreeSet<u64>>,
+    /// Drains a tiered store actually interrupted: (attempt, path, fault).
+    drain_history: Mutex<Vec<(u64, String, DrainFault)>>,
 }
 
 impl ChaosState {
@@ -199,6 +297,11 @@ impl ChaosHandle {
                 crash_history: Mutex::new(Vec::new()),
                 failovers: Mutex::new(Vec::new()),
                 failed_over: Mutex::new(BTreeSet::new()),
+                restart_attempts: Mutex::new(0),
+                restart_crashed: Mutex::new(None),
+                restart_history: Mutex::new(Vec::new()),
+                drain_fired: Mutex::new(BTreeSet::new()),
+                drain_history: Mutex::new(Vec::new()),
             })),
         }
     }
@@ -356,6 +459,103 @@ impl ChaosHandle {
             .map(|st| st.attempts.lock().len() as u64)
             .unwrap_or(0)
     }
+
+    /// Begin a restart attempt: bump the chain-wide restart-attempt
+    /// counter and reset the restart crash gate. The restart engine calls
+    /// this once per pipeline run, before any rank's image is fetched.
+    /// Returns the 0-based attempt number just begun.
+    pub fn begin_restart(&self) -> u64 {
+        let Some(st) = &self.inner else { return 0 };
+        let mut n = st.restart_attempts.lock();
+        let attempt = *n;
+        *n += 1;
+        *st.restart_crashed.lock() = None;
+        attempt
+    }
+
+    /// Poll a restart-pipeline injection point for `rank`. Returns `true`
+    /// if the injector kills the rank here — the restart engine must
+    /// abort the attempt with a typed error (and must *not* have mutated
+    /// the store or address space, so the same image restarts cleanly on
+    /// the next attempt). At most one restart crash fires per attempt.
+    pub fn restart_point(&self, rank: u32, point: RestartPoint) -> bool {
+        let Some(st) = &self.inner else { return false };
+        let restart_attempt = st.restart_attempts.lock().saturating_sub(1);
+        let mut crashed = st.restart_crashed.lock();
+        if crashed.is_some() {
+            return false;
+        }
+        if !st.injector.restart_fault(restart_attempt, rank, point) {
+            return false;
+        }
+        let rec = RestartCrashRecord {
+            restart_attempt,
+            rank,
+            point,
+        };
+        *crashed = Some(rec.clone());
+        st.restart_history.lock().push(rec);
+        true
+    }
+
+    /// Number of restart attempts the chain has begun.
+    pub fn restart_attempts_seen(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|st| *st.restart_attempts.lock())
+            .unwrap_or(0)
+    }
+
+    /// The current restart attempt's injected crash, if one fired.
+    pub fn restart_crash(&self) -> Option<RestartCrashRecord> {
+        self.inner.as_ref()?.restart_crashed.lock().clone()
+    }
+
+    /// Every restart-phase crash injected across the chain so far.
+    pub fn restart_crash_history(&self) -> Vec<RestartCrashRecord> {
+        self.inner
+            .as_ref()
+            .map(|st| st.restart_history.lock().clone())
+            .unwrap_or_default()
+    }
+
+    /// Poll for a drain fault at the start of checkpoint attempt
+    /// `attempt`. Called by `TieredStore::begin_epoch` before retiring
+    /// the previous round's pending drains; fires at most once per
+    /// attempt.
+    pub fn take_drain_fault(&self, attempt: u64) -> Option<DrainFault> {
+        let st = self.inner.as_ref()?;
+        let fault = st.injector.drain_fault(attempt)?;
+        st.drain_fired.lock().insert(attempt).then_some(fault)
+    }
+
+    /// Arm a torn write for `path` directly (no Encode poll involved):
+    /// the next crash-consistent `put` of `path` keeps only a
+    /// `keep_frac` prefix. Store layers use this to model a drain whose
+    /// slow-tier write dies mid-flight.
+    pub fn arm_torn(&self, path: &str, keep_frac: f64) {
+        if let Some(st) = &self.inner {
+            st.armed_torn.lock().insert(path.to_string(), keep_frac);
+        }
+    }
+
+    /// Record that a tiered store actually interrupted a drain.
+    pub fn note_drain_fault(&self, attempt: u64, path: &str, fault: DrainFault) {
+        if let Some(st) = &self.inner {
+            st.drain_history
+                .lock()
+                .push((attempt, path.to_string(), fault));
+        }
+    }
+
+    /// Every drain interruption a store layer recorded, as
+    /// `(checkpoint attempt, path, fault)`.
+    pub fn drain_faults(&self) -> Vec<(u64, String, DrainFault)> {
+        self.inner
+            .as_ref()
+            .map(|st| st.drain_history.lock().clone())
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -453,5 +653,95 @@ mod tests {
         assert!(!h.rank_point(5, 0, InjectPoint::Publish, None));
         assert!(h.rank_point(5, 1, InjectPoint::Publish, None));
         assert_eq!(h.crash().unwrap().point, InjectPoint::Publish);
+    }
+
+    struct RestartCrashAt {
+        restart_attempt: u64,
+        rank: u32,
+        point: RestartPoint,
+    }
+
+    impl FaultInjector for RestartCrashAt {
+        fn rank_fault(&self, _: u64, _: u32, _: InjectPoint) -> Option<RankFault> {
+            None
+        }
+        fn restart_fault(&self, restart_attempt: u64, rank: u32, point: RestartPoint) -> bool {
+            restart_attempt == self.restart_attempt && rank == self.rank && point == self.point
+        }
+    }
+
+    #[test]
+    fn restart_faults_fire_once_per_attempt_and_key_by_restart_attempt() {
+        let h = ChaosHandle::new(RestartCrashAt {
+            restart_attempt: 1,
+            rank: 2,
+            point: RestartPoint::Replay,
+        });
+        // Restart attempt 0: no fault at any stage.
+        assert_eq!(h.begin_restart(), 0);
+        assert!(!h.restart_point(2, RestartPoint::Replay));
+        assert!(h.restart_crash().is_none());
+        // Restart attempt 1: rank 2 dies mid-replay, exactly once.
+        assert_eq!(h.begin_restart(), 1);
+        assert!(!h.restart_point(2, RestartPoint::ImageRead));
+        assert!(!h.restart_point(0, RestartPoint::Replay));
+        assert!(h.restart_point(2, RestartPoint::Replay));
+        assert!(
+            !h.restart_point(2, RestartPoint::Rebind),
+            "a dead restart cannot fault twice"
+        );
+        let rec = h.restart_crash().expect("crash recorded");
+        assert_eq!(
+            (rec.restart_attempt, rec.rank, rec.point),
+            (1, 2, RestartPoint::Replay)
+        );
+        // Attempt 2 resets the gate and is past the schedule.
+        assert_eq!(h.begin_restart(), 2);
+        assert!(h.restart_crash().is_none());
+        assert!(!h.restart_point(2, RestartPoint::Replay));
+        assert_eq!(h.restart_crash_history().len(), 1);
+        assert_eq!(h.restart_attempts_seen(), 3);
+    }
+
+    #[test]
+    fn unarmed_handle_restart_seam_is_inert() {
+        let h = ChaosHandle::default();
+        assert_eq!(h.begin_restart(), 0);
+        assert!(!h.restart_point(0, RestartPoint::Resync));
+        assert_eq!(h.restart_attempts_seen(), 0);
+        assert!(h.take_drain_fault(0).is_none());
+        h.arm_torn("p", 0.5); // no-op, must not panic
+        h.note_drain_fault(0, "p", DrainFault::LoseFast);
+        assert!(h.drain_faults().is_empty());
+    }
+
+    struct DrainTearAt(u64);
+    impl FaultInjector for DrainTearAt {
+        fn rank_fault(&self, _: u64, _: u32, _: InjectPoint) -> Option<RankFault> {
+            None
+        }
+        fn drain_fault(&self, attempt: u64) -> Option<DrainFault> {
+            (attempt == self.0).then_some(DrainFault::Torn { keep_frac: 0.4 })
+        }
+    }
+
+    #[test]
+    fn drain_faults_are_one_shot_per_attempt() {
+        let h = ChaosHandle::new(DrainTearAt(3));
+        assert!(h.take_drain_fault(2).is_none());
+        assert_eq!(
+            h.take_drain_fault(3),
+            Some(DrainFault::Torn { keep_frac: 0.4 })
+        );
+        assert!(
+            h.take_drain_fault(3).is_none(),
+            "the same attempt cannot fault twice"
+        );
+        // Direct arming feeds the same consumable torn map the Encode
+        // poll uses.
+        h.arm_torn("slow/obj", 0.4);
+        assert_eq!(h.take_torn("slow/obj"), Some(0.4));
+        h.note_drain_fault(3, "slow/obj", DrainFault::Torn { keep_frac: 0.4 });
+        assert_eq!(h.drain_faults().len(), 1);
     }
 }

@@ -80,6 +80,52 @@ impl From<mana_sim::fs::FsError> for StoreError {
     }
 }
 
+/// Why a recovery loop passed over one registered checkpoint on its way
+/// to an older survivor (or to giving up). Carried by
+/// [`SessionError::NoUsableCheckpoint`] and by the supervisor's
+/// [`crate::supervisor::RecoveryReport`], so a fully-corrupt store
+/// reports *every* skip, not just the last error.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SkipReason {
+    /// An image of the checkpoint was absent from the store before any
+    /// restart was attempted — garbage-collected, quarantined by
+    /// journal/drain recovery, or lost with its burst tier.
+    ImageGone {
+        /// First rank whose image is missing.
+        rank: u32,
+        /// Store path that was probed.
+        path: String,
+    },
+    /// A restart attempt on the checkpoint failed with image damage.
+    Damaged(Box<RestartError>),
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::ImageGone { rank, path } => {
+                write!(f, "rank {rank}'s image gone from the store at '{path}'")
+            }
+            SkipReason::Damaged(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One checkpoint a recovery loop skipped, and why.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SkippedCheckpoint {
+    /// The skipped checkpoint's chain-unique id.
+    pub ckpt_id: u64,
+    /// Why it was passed over.
+    pub reason: SkipReason,
+}
+
+impl fmt::Display for SkippedCheckpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ckpt {}: {}", self.ckpt_id, self.reason)
+    }
+}
+
 /// Errors from session-level orchestration ([`crate::session::ManaSession`]).
 #[derive(Clone, Debug, PartialEq)]
 pub enum SessionError {
@@ -103,6 +149,26 @@ pub enum SessionError {
         surviving: Vec<u64>,
         /// The underlying engine error (boxed to keep the common
         /// `Result` paths small — clippy's `result_large_err`).
+        source: Box<RestartError>,
+    },
+    /// Recovery walked *every* registered checkpoint newest-to-oldest and
+    /// none restarted: each survivor was either gone from the store or
+    /// damaged. Unlike the single-error variants, this carries the typed
+    /// per-image skip reason for the whole walk.
+    NoUsableCheckpoint {
+        /// Index of the incarnation recovery started from.
+        incarnation: u64,
+        /// Every checkpoint considered, newest first, with why it was
+        /// skipped.
+        skipped: Vec<SkippedCheckpoint>,
+    },
+    /// The recovery loop's retry budget or deadline ran out while faults
+    /// were still firing — the supervisor absorbed what it could and
+    /// gave up with the last restart error in hand.
+    RecoveryExhausted {
+        /// Restart attempts the supervisor made before giving up.
+        attempts: u32,
+        /// The error the final attempt failed with.
         source: Box<RestartError>,
     },
     /// A [`crate::session::JobBuilder`] described an unrunnable job.
@@ -130,6 +196,25 @@ impl fmt::Display for SessionError {
                 "checkpoint {ckpt_id} is no longer in the store (garbage-collected?); \
                  surviving checkpoints: {surviving:?}: {source}"
             ),
+            SessionError::NoUsableCheckpoint {
+                incarnation,
+                skipped,
+            } => {
+                write!(
+                    f,
+                    "incarnation {incarnation}: no usable checkpoint \
+                     ({} skipped:",
+                    skipped.len()
+                )?;
+                for s in skipped {
+                    write!(f, " [{s}]")?;
+                }
+                write!(f, ")")
+            }
+            SessionError::RecoveryExhausted { attempts, source } => write!(
+                f,
+                "recovery exhausted after {attempts} restart attempts; last error: {source}"
+            ),
             SessionError::InvalidJob(why) => write!(f, "invalid job description: {why}"),
             SessionError::Store(e) => write!(f, "{e}"),
         }
@@ -141,6 +226,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Restart(e) => Some(e),
             SessionError::CheckpointGone { source, .. } => Some(source),
+            SessionError::RecoveryExhausted { source, .. } => Some(source),
             SessionError::Store(e) => Some(e),
             _ => None,
         }
@@ -217,6 +303,48 @@ mod tests {
         );
         let s = SessionError::from(quota).to_string();
         assert!(s.contains("acme"), "{s}");
+    }
+
+    #[test]
+    fn skip_reasons_surface_every_survivor() {
+        let e = SessionError::NoUsableCheckpoint {
+            incarnation: 1,
+            skipped: vec![
+                SkippedCheckpoint {
+                    ckpt_id: 4,
+                    reason: SkipReason::ImageGone {
+                        rank: 2,
+                        path: "ckpt/ckpt_4/rank_2.mana".into(),
+                    },
+                },
+                SkippedCheckpoint {
+                    ckpt_id: 3,
+                    reason: SkipReason::Damaged(Box::new(RestartError::CorruptImage {
+                        rank: 1,
+                        path: "ckpt/ckpt_3/rank_1.mana".into(),
+                        source: crate::codec::CodecError::BadMagic(9),
+                    })),
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("ckpt 4") && s.contains("ckpt 3") && s.contains("rank 2"),
+            "every skipped survivor is named with its reason: {s}"
+        );
+
+        let s = SessionError::RecoveryExhausted {
+            attempts: 7,
+            source: Box::new(RestartError::Interrupted {
+                rank: 0,
+                point: crate::chaos::RestartPoint::Resync,
+            }),
+        }
+        .to_string();
+        assert!(
+            s.contains("7 restart attempts") && s.contains("resync"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   cluster/implementation/network, with every failure typed;
 //! * **the session API** ([`session`]): [`ManaSession`] + [`JobBuilder`] +
 //!   [`Incarnation`], the lifecycle surface for chains of incarnations;
+//! * **supervised recovery** ([`supervisor`]): a deadline- and
+//!   budget-bounded retry loop with exponential backoff and
+//!   fault-class-aware policy — transient faults retry the same image,
+//!   image damage falls back to the next-oldest survivor, spec-level
+//!   errors abort; every skip, retry and degraded mode lands in a typed
+//!   [`supervisor::RecoveryReport`];
 //! * **typed errors** ([`error`]) replacing panics on the restart path;
 //! * **instrumentation** ([`stats`]) feeding the paper's figures.
 
@@ -56,16 +62,20 @@ pub mod shared;
 pub mod split;
 pub mod stats;
 pub mod store;
+pub mod supervisor;
 pub mod topology;
 pub mod virtid;
 pub mod wrapper;
 
 pub use cell::{CkptCell, CollInstance, JobKilled, Park, Phase};
-pub use chaos::{ChaosHandle, CrashRecord, FailoverRecord, FaultInjector, InjectPoint, RankFault};
+pub use chaos::{
+    ChaosHandle, CrashRecord, DrainFault, FailoverRecord, FaultInjector, InjectPoint, RankFault,
+    RestartCrashRecord, RestartPoint,
+};
 pub use config::{parse_image_path, AfterCkpt, ImagePathParts, ManaConfig, TopologyKind};
 pub use ctrl::{ProtocolPhase, ProtocolViolation, StateAgg};
 pub use env::{AppEnv, Arr, MemView, SlotId, Workload};
-pub use error::{SessionError, StoreError};
+pub use error::{SessionError, SkipReason, SkippedCheckpoint, StoreError};
 pub use image::CheckpointImage;
 pub use pipeline::{checkpoint_ranks, BuiltRank, RankJob};
 pub use restart::{
@@ -78,6 +88,9 @@ pub use session::{
 };
 pub use stats::{CkptReport, RestartReport, RestartStage, StatsHub};
 pub use store::{CheckpointStore, FsStore, GcPolicy, InMemStore};
+pub use supervisor::{
+    classify, DegradedMode, FaultClass, RecoveryReport, RestartSupervisor, RetryPolicy,
+};
 pub use topology::{
     assert_topologies_agree, run_checkpoint_chain, CoordTopology, FlatTopology, TopologyRunReport,
     TreeTopology,

@@ -17,6 +17,7 @@
 //! an unbound id, a live id left unbound — aborts the simulation cleanly
 //! and surfaces as a typed [`RestartError`] instead of a panic.
 
+use crate::chaos::RestartPoint;
 use crate::coordinator::{run_coordinator, CoordCtx};
 use crate::ctrl::CtrlMsg;
 use crate::env::{AppEnv, Workload};
@@ -48,9 +49,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 
 /// Panic payload used to abort a rank's simulated thread after a replay
-/// failure was recorded; silenced by the quiet panic hook and translated
+/// failure was recorded; silenced by the quiet panic hook (the scheduler
+/// re-raises it as [`QuietAbort`], silenced likewise) and translated
 /// back into the recorded [`RestartError`] once the simulation unwinds.
-pub(crate) struct ReplayAbort;
+pub(crate) use mana_sim::sched::QuietAbort as ReplayAbort;
 
 /// Shared first-error slot: the first rank to fail replay wins; the rest
 /// of the simulation is torn down.
@@ -118,6 +120,15 @@ impl<'a> RestartEngine<'a> {
     /// run it on a worker pool.
     fn fetch_rank(&self, rank: u32) -> Result<FetchedImage, RestartError> {
         let spec = self.spec;
+        // Chaos seam: a rank can die mid image-read — including inside
+        // the `restart_workers` pool — before the destination sim boots.
+        // Nothing has been written, so the attempt is cleanly retryable.
+        if spec.cfg.chaos.restart_point(rank, RestartPoint::ImageRead) {
+            return Err(RestartError::Interrupted {
+                rank,
+                point: RestartPoint::ImageRead,
+            });
+        }
         let shape = io_shape(&spec.cluster, rank, spec.nranks, spec.placement);
         let path = spec.cfg.image_path(self.ckpt_id, rank);
         let (data, rdur) = self
@@ -239,6 +250,10 @@ impl<'a> RestartEngine<'a> {
         workload: Arc<dyn Workload>,
     ) -> Result<(RunOutcome, StatsHub, RestartReport), RestartError> {
         install_quiet_kill_hook();
+        // Open a restart attempt on the chaos seam before any rank's
+        // image is fetched: restart faults are keyed by chain-wide
+        // restart-attempt number, and the gate resets here.
+        self.spec.cfg.chaos.begin_restart();
         let images = self.fetch_images()?;
         let spec = self.spec;
         // A restart is a fresh incarnation of the chain: reset the chaos
@@ -443,17 +458,23 @@ fn rank_restore(
     clock.mark(t, RestartStage::LowerBoot);
 
     // Stage 6: replay the (compacted) record log, verified against the
-    // image's rebind map.
+    // image's rebind map. The chaos seam can kill the rank here (and at
+    // the two stages below); restart stages never write the store or
+    // leak into the fresh address space, so an interrupted attempt is
+    // retryable against the very same image.
+    chaos_point(spec, rank, RestartPoint::Replay)?;
     let entries = sh.log.entries();
     let replayed = replay_verified(t, &sh, lower.as_ref(), rank, &entries, &img)?;
     clock.mark(t, RestartStage::Replay);
 
     // Stage 7: re-point communicator metadata at the fresh real handles
     // and verify every live virtual id got bound.
+    chaos_point(spec, rank, RestartPoint::Rebind)?;
     rebind_and_verify(&sh, rank)?;
     clock.mark(t, RestartStage::Rebind);
 
     // Stage 8: synchronize the world before resuming the application.
+    chaos_point(spec, rank, RestartPoint::Resync)?;
     lower.barrier(t, lower.comm_world());
     clock.mark(t, RestartStage::Resync);
 
@@ -469,6 +490,17 @@ fn rank_restore(
             pages_shared,
         },
     ))
+}
+
+/// Poll the chaos seam at an in-sim restart stage; a firing fault aborts
+/// the rank with the typed transient error (the caller's error path tears
+/// the whole simulation down, exactly like a replay failure).
+fn chaos_point(spec: &ManaJobSpec, rank: u32, point: RestartPoint) -> Result<(), RestartError> {
+    if spec.cfg.chaos.restart_point(rank, point) {
+        Err(RestartError::Interrupted { rank, point })
+    } else {
+        Ok(())
+    }
 }
 
 /// Load image state into a fresh `RankShared` (everything except the

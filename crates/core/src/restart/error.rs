@@ -7,6 +7,7 @@
 //! now carry the rank, the log index, and the expected/got shapes so a
 //! corrupt or foreign image is diagnosable.
 
+use crate::chaos::RestartPoint;
 use crate::codec::CodecError;
 use crate::error::StoreError;
 use crate::virtid::HandleClass;
@@ -76,6 +77,17 @@ pub enum RestartError {
         /// What the fresh library (or the rebind map) actually produced.
         got: String,
     },
+    /// A rank died mid-restart — injected by the chaos seam at a
+    /// [`RestartPoint`] — before the pipeline completed. The store and
+    /// address space are untouched (restart stages never write), so the
+    /// same image restarts cleanly on the next attempt: this failure is
+    /// *transient* by construction.
+    Interrupted {
+        /// Rank that was killed mid-restart.
+        rank: u32,
+        /// The restart-pipeline stage it died at.
+        point: RestartPoint,
+    },
     /// After replay, a live virtual id was still unbound — the log (even
     /// uncompacted) does not recreate an object the image claims is live.
     UnboundVirtual {
@@ -128,6 +140,10 @@ impl fmt::Display for RestartError {
                 "restart rank {rank}: replay diverged at log entry {call_index}: \
                  expected {expected}, got {got}"
             ),
+            RestartError::Interrupted { rank, point } => write!(
+                f,
+                "restart rank {rank}: killed by injected fault at the {point} stage"
+            ),
             RestartError::UnboundVirtual { rank, class, virt } => write!(
                 f,
                 "restart rank {rank}: live virtual {class:?} handle {virt:#x} \
@@ -172,6 +188,13 @@ mod tests {
         }
         .to_string();
         assert!(s.contains("0x20000003") && s.contains("Group"), "{s}");
+
+        let s = RestartError::Interrupted {
+            rank: 2,
+            point: RestartPoint::Rebind,
+        }
+        .to_string();
+        assert!(s.contains("rank 2") && s.contains("rebind"), "{s}");
     }
 
     #[test]

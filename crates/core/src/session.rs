@@ -334,6 +334,13 @@ impl ManaSession {
             .collect()
     }
 
+    /// Snapshot of every registered checkpoint's image set, in completion
+    /// order — the recovery loop's candidate list (the supervisor walks
+    /// it newest-first and records why each entry is skipped).
+    pub(crate) fn registered_checkpoints(&self) -> Vec<CkptImages> {
+        self.inner.registry.lock().clone()
+    }
+
     /// Record a completed checkpoint's image set and enforce the GC
     /// policy: with `KeepLast(n)`, delete the oldest checkpoints' images
     /// until at most `n` remain registered. The tenant byte quota (if
@@ -446,7 +453,7 @@ impl ManaSession {
 
     /// Shared engine entry: run `spec` (fresh or restarted), collect stats,
     /// fire hooks, wrap the result in an [`Incarnation`].
-    fn run_spec(
+    pub(crate) fn run_spec(
         &self,
         mut spec: ManaJobSpec,
         workload: Arc<dyn Workload>,
@@ -819,6 +826,16 @@ impl Incarnation {
         self.index
     }
 
+    /// The session this incarnation belongs to.
+    pub(crate) fn session(&self) -> &ManaSession {
+        &self.session
+    }
+
+    /// The workload object this incarnation ran.
+    pub(crate) fn workload(&self) -> Arc<dyn Workload> {
+        self.workload.clone()
+    }
+
     /// The resolved spec this incarnation ran under.
     pub fn spec(&self) -> &ManaJobSpec {
         &self.spec
@@ -898,27 +915,22 @@ impl Incarnation {
     /// image-level damage — a missing, torn, corrupt, malformed or
     /// replay-divergent image — is skipped in favour of the next-older
     /// survivor, so one bad checkpoint never strands a restartable job.
-    /// Only when every survivor is damaged does the last damage error
-    /// surface; job-level errors (world-size mismatch, invalid spec)
-    /// abort immediately since an older checkpoint cannot fix them.
+    /// Every skip is recorded with a typed reason: when no survivor
+    /// restarts, the failure is
+    /// [`SessionError::NoUsableCheckpoint`] naming *each* checkpoint
+    /// considered and why it was passed over — a fully-corrupt store no
+    /// longer reports only the last error. Job-level errors (world-size
+    /// mismatch, invalid spec) abort immediately since an older
+    /// checkpoint cannot fix them.
+    ///
+    /// This is a one-shot [`crate::supervisor::RestartSupervisor`] walk
+    /// under [`crate::supervisor::RetryPolicy::no_retry`]; build a
+    /// supervisor directly to add bounded retries with backoff for
+    /// transient faults.
     pub fn restart_latest(&self, job: JobBuilder) -> Result<Incarnation, SessionError> {
-        let mut ids = self.session.surviving_checkpoints();
-        ids.sort_unstable();
-        let mut last_damage: Option<SessionError> = None;
-        for ckpt_id in ids.into_iter().rev() {
-            let spec = job.clone().build_spec(Some(&self.spec))?;
-            match self
-                .session
-                .run_spec(spec, self.workload.clone(), Some(ckpt_id))
-            {
-                Ok(inc) => return Ok(inc),
-                Err(e) if is_image_damage(&e) => last_damage = Some(e),
-                Err(e) => return Err(e),
-            }
-        }
-        Err(last_damage.unwrap_or(SessionError::NoCheckpoint {
-            incarnation: self.index,
-        }))
+        let mut sup =
+            crate::supervisor::RestartSupervisor::new(crate::supervisor::RetryPolicy::no_retry());
+        sup.recover(self, job)
     }
 
     /// Restart this incarnation's workload from its latest checkpoint,
@@ -941,18 +953,6 @@ impl Incarnation {
         })?;
         let spec = job.build_spec(Some(&self.spec))?;
         self.session.run_spec(spec, workload, Some(ckpt_id))
-    }
-}
-
-/// Is this restart failure confined to one checkpoint's images (so an
-/// older checkpoint could still succeed)? Spec-level failures — world
-/// size mismatch, invalid job — are *not* image damage: retrying them
-/// against an older checkpoint would fail identically.
-fn is_image_damage(e: &SessionError) -> bool {
-    match e {
-        SessionError::CheckpointGone { .. } => true,
-        SessionError::Restart(r) => !matches!(r, RestartError::WorldSizeMismatch { .. }),
-        _ => false,
     }
 }
 

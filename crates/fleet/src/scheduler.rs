@@ -33,6 +33,7 @@
 use crate::admission::{admit, percentile, Admission, AdmissionConfig, CkptRequest};
 use mana_apps::{make_app_with_bulk, AppKind};
 use mana_core::chaos::ChaosHandle;
+use mana_core::supervisor::{RecoveryReport, RestartSupervisor, RetryPolicy};
 use mana_core::{
     CheckpointStore, CkptEvent, GcPolicy, InMemStore, JobBuilder, ManaSession, StoreError,
 };
@@ -173,6 +174,10 @@ pub struct TenantReport {
     pub quota_events: Vec<StoreError>,
     /// Bytes still charged to this tenant on the plane at the end.
     pub stored_final: u64,
+    /// The verification restart's supervised-recovery account: attempts,
+    /// restart-phase faults absorbed, images skipped, backoff downtime.
+    /// Default (all zeros) when verification was disabled.
+    pub recovery: RecoveryReport,
 }
 
 /// CAS dedup window over one scheduling wave.
@@ -378,11 +383,16 @@ impl<S: CheckpointStore + 'static> FleetScheduler<S> {
         }
 
         // Phase 4: every tenant restarts from its latest surviving
-        // checkpoint and must reproduce the clean run.
+        // checkpoint and must reproduce the clean run. The restart runs
+        // under its own supervisor, so a tenant whose chaos schedule
+        // also kills *restarts* still verifies — the supervisor retries
+        // through the restart-phase faults with backoff, confined to
+        // that tenant's own session and store namespace.
         let mut reports = Vec::with_capacity(tenants.len());
         for (i, (spec, run)) in tenants.iter().zip(&runs).enumerate() {
+            let mut sup = RestartSupervisor::new(RetryPolicy::default());
             let verified = if self.cfg.verify_restarts {
-                Some(match run.killed.restart_latest(JobBuilder::new()) {
+                Some(match sup.recover(&run.killed, JobBuilder::new()) {
                     Ok(resumed) => resumed.checksums() == &run.ref_sums,
                     Err(_) => false,
                 })
@@ -402,6 +412,7 @@ impl<S: CheckpointStore + 'static> FleetScheduler<S> {
                 verified,
                 quota_events: run.session.quota_events(),
                 stored_final: run.session.stored_bytes(),
+                recovery: sup.report().clone(),
             });
         }
 

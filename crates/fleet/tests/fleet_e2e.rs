@@ -259,6 +259,8 @@ fn chaos_armed_tenant_still_verifies() {
                 point: InjectPoint::Drain,
             },
         }],
+        restart_faults: vec![],
+        drain_faults: vec![],
     };
     let handle = ChaosHandle::new(plan.injector());
     tenants[1].chaos = Some(handle.clone());
@@ -289,4 +291,86 @@ fn chaos_armed_tenant_still_verifies() {
             t.name
         );
     }
+}
+
+/// Several tenants armed at once, each with its *own* chaos schedule —
+/// checkpoint-phase kills on one, restart-phase kills on another — and
+/// the blast radius stays per-tenant: each handle records only its own
+/// tenant's faults, every tenant still verifies, and the unarmed
+/// neighbor never sees a fault at all.
+#[test]
+fn concurrent_tenant_chaos_stays_isolated() {
+    use mana_chaos::{ChaosPlan, FaultKind, PlannedFault, PlannedRestartFault, WorldShape};
+    use mana_core::chaos::{ChaosHandle, InjectPoint, RestartPoint};
+
+    let shape = WorldShape {
+        nranks: 2,
+        nodes: 1,
+        replicas: 1,
+        tree: false,
+    };
+    // Tenant 0: gang-crash mid-encode on the second checkpoint attempt.
+    let crash_plan = ChaosPlan {
+        seed: 2,
+        shape,
+        faults: vec![PlannedFault {
+            attempt: 1,
+            kind: FaultKind::KillRank {
+                rank: 0,
+                point: InjectPoint::Encode,
+            },
+        }],
+        restart_faults: vec![],
+        drain_faults: vec![],
+    };
+    // Tenant 2: both verification restarts killed mid-replay and
+    // mid-resync — only the supervisor's retry loop gets it through.
+    let restart_plan = ChaosPlan {
+        seed: 3,
+        shape,
+        faults: vec![],
+        restart_faults: vec![
+            PlannedRestartFault {
+                restart_attempt: 0,
+                rank: 1,
+                point: RestartPoint::Replay,
+            },
+            PlannedRestartFault {
+                restart_attempt: 1,
+                rank: 0,
+                point: RestartPoint::Resync,
+            },
+        ],
+        drain_faults: vec![],
+    };
+    let crash_handle = ChaosHandle::new(crash_plan.injector());
+    let restart_handle = ChaosHandle::new(restart_plan.injector());
+
+    let fleet = FleetScheduler::in_memory(FleetConfig::default());
+    let mut tenants: Vec<TenantSpec> = (0..3).map(TenantSpec::nth).collect();
+    tenants[0].chaos = Some(crash_handle.clone());
+    tenants[2].chaos = Some(restart_handle.clone());
+    let report = fleet.run(&tenants);
+
+    // Blast radius: each handle saw exactly its own tenant's faults.
+    assert_eq!(crash_handle.crash_history().len(), 1);
+    assert!(crash_handle.restart_crash_history().is_empty());
+    assert!(restart_handle.crash_history().is_empty());
+    assert_eq!(restart_handle.restart_crash_history().len(), 2);
+
+    // Tenant 0 lost its second checkpoint to the crash; its neighbors
+    // kept their schedules.
+    assert_eq!(report.tenants[0].ckpts_taken, 1);
+    assert_eq!(report.tenants[1].ckpts_taken, 2);
+    assert_eq!(report.tenants[2].ckpts_taken, 2);
+
+    // Everyone verifies — tenant 2 only because its supervisor absorbed
+    // both restart kills (and no one else's supervisor absorbed any).
+    for t in &report.tenants {
+        assert_eq!(t.verified, Some(true), "tenant {} failed to verify", t.name);
+    }
+    assert_eq!(report.tenants[2].recovery.faults_absorbed, 2);
+    assert_eq!(report.tenants[2].recovery.attempts, 3);
+    assert_eq!(report.tenants[0].recovery.faults_absorbed, 0);
+    assert_eq!(report.tenants[1].recovery.faults_absorbed, 0);
 }

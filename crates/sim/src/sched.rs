@@ -132,12 +132,26 @@ struct SchedState {
     live: usize,
     /// Set when the simulation should unwind all parked threads.
     panic_msg: Option<String>,
+    /// Set when the failing thread unwound with a [`QuietAbort`] payload:
+    /// the teardown is expected control flow, so [`Sim::run`] re-raises
+    /// `QuietAbort` (which quiet panic hooks can silence) instead of a
+    /// printable message panic.
+    panic_quiet: bool,
     completed: bool,
     driver_woken: bool,
 }
 
 /// Panic payload used to unwind parked simulated threads at shutdown.
 struct ShutdownToken;
+
+/// Panic payload for *expected* whole-simulation teardowns: a simulated
+/// thread that unwinds with `panic_any(QuietAbort)` still fails the
+/// simulation (every other thread is torn down, [`Sim::run`] propagates
+/// the failure), but the propagation re-raises `QuietAbort` rather than
+/// a formatted panic — so callers that already captured a typed error
+/// out-of-band can silence the unwind in their panic hook and report the
+/// typed error instead.
+pub struct QuietAbort;
 
 /// Install (once per process) a panic hook that silences the internal
 /// [`ShutdownToken`] unwinds used to tear down parked simulated threads.
@@ -221,6 +235,7 @@ impl Sim {
                     threads: vec![driver_slot],
                     live: 0,
                     panic_msg: None,
+                    panic_quiet: false,
                     completed: false,
                     driver_woken: false,
                 }),
@@ -295,6 +310,9 @@ impl Sim {
                         if payload.downcast_ref::<ShutdownToken>().is_some() {
                             sim.mark_done_quietly(id);
                         } else {
+                            if payload.downcast_ref::<QuietAbort>().is_some() {
+                                sim.inner.state.lock().panic_quiet = true;
+                            }
                             let msg = panic_message(payload.as_ref());
                             sim.finish_thread(id, Some(msg));
                         }
@@ -373,13 +391,16 @@ impl Sim {
         // Hand the baton to the first event; park the driver.
         self.dispatch_and_park(DRIVER, /*park:*/ true);
         // Woken: simulation completed, deadlocked, or a thread panicked.
-        let msg = {
+        let (msg, quiet) = {
             let mut st = self.inner.state.lock();
             st.completed = true;
-            st.panic_msg.take()
+            (st.panic_msg.take(), st.panic_quiet)
         };
         self.shutdown_all();
         if let Some(msg) = msg {
+            if quiet {
+                std::panic::panic_any(QuietAbort);
+            }
             panic!("simulation failed: {msg}");
         }
     }
@@ -636,6 +657,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
+    } else if payload.downcast_ref::<QuietAbort>().is_some() {
+        "quiet abort".to_string()
     } else {
         "unknown panic payload".to_string()
     }

@@ -75,4 +75,4 @@ pub use delta::{DeltaConfig, DeltaStore};
 pub use journal::{JournaledStore, QuarantinedObject, RecoveryReport, QUARANTINE_PREFIX};
 pub use mana_core::store::CheckpointStore;
 pub use replicated::{HealReport, ReplicaConfig, ReplicatedStore};
-pub use tiered::{DrainMode, TierConfig, TieredStore};
+pub use tiered::{DrainEntry, DrainMode, DrainRecovery, DrainState, TierConfig, TieredStore};

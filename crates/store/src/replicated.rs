@@ -15,7 +15,7 @@ use mana_sim::fs::IoShape;
 use mana_sim::rng::splitmix64;
 use mana_sim::time::SimDuration;
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Replication parameters.
@@ -30,6 +30,14 @@ pub struct ReplicaConfig {
     /// Cost of discovering one dead replica on the read path (connect
     /// timeout + retry against the next replica).
     pub failover_latency: SimDuration,
+    /// Probability a read against a *live* replica fails transiently
+    /// (connection reset, brief brown-out). Drawn deterministically per
+    /// (replica, epoch, try) from `seed`. A transient failure is retried
+    /// once in place after `retry_backoff` before the reader fails over
+    /// to the next replica — a blip should not cost a full failover.
+    pub transient_prob: f64,
+    /// Wait before the single in-place retry of a transient read failure.
+    pub retry_backoff: SimDuration,
     /// Seed for the liveness draws.
     pub seed: u64,
 }
@@ -40,6 +48,8 @@ impl Default for ReplicaConfig {
             write_quorum: 2,
             fail_prob: 0.0,
             failover_latency: SimDuration::millis(500),
+            transient_prob: 0.0,
+            retry_backoff: SimDuration::millis(50),
             seed: 0x5265_706c,
         }
     }
@@ -48,6 +58,9 @@ impl Default for ReplicaConfig {
 struct RepState {
     epoch: u64,
     forced_down: BTreeSet<usize>,
+    /// replica → number of upcoming reads to fail transiently (test /
+    /// chaos-driver injection; decremented per failed read attempt).
+    forced_transient: BTreeMap<usize, u32>,
 }
 
 /// N-way replicated store over heterogeneous (or identical) backends.
@@ -67,6 +80,7 @@ impl ReplicatedStore {
             state: Mutex::new(RepState {
                 epoch: 0,
                 forced_down: BTreeSet::new(),
+                forced_transient: BTreeMap::new(),
             }),
         }
     }
@@ -94,6 +108,48 @@ impl ReplicatedStore {
     /// Lift a forced failure on replica `i`.
     pub fn revive(&self, i: usize) {
         self.state.lock().forced_down.remove(&i);
+    }
+
+    /// Make the next `n` read attempts against replica `i` fail
+    /// transiently (the replica stays alive and keeps its data — the
+    /// reads just bounce, as a connection reset would). Used by tests and
+    /// the chaos driver for deterministic transient-blip injection.
+    pub fn fail_transiently(&self, i: usize, n: u32) {
+        self.state.lock().forced_transient.insert(i, n);
+    }
+
+    /// Whether a read attempt (`try_` 0 = first, 1 = the in-place retry)
+    /// against live replica `i` bounces transiently.
+    fn transient_blip(&self, i: usize, epoch: u64, path: &str, try_: u64) -> bool {
+        {
+            let mut st = self.state.lock();
+            if let Some(n) = st.forced_transient.get_mut(&i) {
+                if *n > 0 {
+                    *n -= 1;
+                    if *n == 0 {
+                        st.forced_transient.remove(&i);
+                    }
+                    return true;
+                }
+                st.forced_transient.remove(&i);
+            }
+        }
+        if self.cfg.transient_prob <= 0.0 {
+            return false;
+        }
+        let mut h = 0xB11Du64;
+        for b in path.as_bytes() {
+            h = splitmix64(h ^ u64::from(*b));
+        }
+        let u = splitmix64(
+            self.cfg.seed
+                ^ splitmix64(i as u64 ^ 0x7261)
+                ^ splitmix64(epoch)
+                ^ splitmix64(try_)
+                ^ h,
+        );
+        let x = (u >> 11) as f64 / (1u64 << 53) as f64;
+        x < self.cfg.transient_prob
     }
 
     /// Whether replica `i` is up in the current epoch.
@@ -237,6 +293,26 @@ impl CheckpointStore for ReplicatedStore {
         for i in 0..self.replicas.len() {
             if !self.alive_at(i, epoch, &forced) {
                 failover += self.cfg.failover_latency;
+                continue;
+            }
+            // A transient blip on a live replica is retried once in place
+            // (after a short backoff) before the reader gives up on the
+            // replica and pays a full failover to the next one.
+            let mut bounced = false;
+            for try_ in 0..2u64 {
+                if self.transient_blip(i, epoch, path, try_) {
+                    failover += if try_ == 0 {
+                        self.cfg.retry_backoff
+                    } else {
+                        self.cfg.failover_latency
+                    };
+                    bounced = try_ == 1;
+                } else {
+                    bounced = false;
+                    break;
+                }
+            }
+            if bounced {
                 continue;
             }
             match self.replicas[i].get(path, rank, shape) {
@@ -548,6 +624,78 @@ mod tests {
             s.get("x", 0, SHAPE),
             Err(StoreError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn transient_blip_is_retried_in_place_before_failing_over() {
+        // Replica 0 bounces one read: the reader backs off 100ms and
+        // retries the same replica instead of paying the 500ms failover.
+        let cfg = ReplicaConfig {
+            failover_latency: SimDuration::millis(500),
+            retry_backoff: SimDuration::millis(100),
+            ..ReplicaConfig::default()
+        };
+        let s = ReplicatedStore::new(
+            cfg.clone(),
+            vec![
+                Arc::new(FixedLatency::new(10, 5)),
+                Arc::new(FixedLatency::new(20, 6)),
+            ],
+        );
+        s.put("x", vec![7].into(), 8, 0, SHAPE);
+        s.fail_transiently(0, 1);
+        let (data, dur) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(data.to_vec(), vec![7]);
+        assert_eq!(
+            dur,
+            SimDuration::millis(105),
+            "one backoff (100ms) + replica 0's read (5ms), no failover"
+        );
+
+        // Two consecutive bounces exhaust the single retry: the reader
+        // pays backoff + failover and replica 1 serves the read.
+        s.fail_transiently(0, 2);
+        let (data, dur) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(data.to_vec(), vec![7]);
+        assert_eq!(
+            dur,
+            SimDuration::millis(606),
+            "backoff (100ms) + failover (500ms) + replica 1's read (6ms)"
+        );
+
+        // The injection is consumed: the next read is clean and fast.
+        let (_, dur) = s.get("x", 0, SHAPE).unwrap();
+        assert_eq!(dur, SimDuration::millis(5));
+
+        // Seeded blips are deterministic: two stores with the same seed
+        // bounce the same reads.
+        let seeded = |seed| {
+            let s = ReplicatedStore::with_replicas(
+                ReplicaConfig {
+                    transient_prob: 0.5,
+                    retry_backoff: SimDuration::millis(100),
+                    seed,
+                    ..ReplicaConfig::default()
+                },
+                2,
+                |_| FixedLatency::new(10, 5),
+            );
+            s.put("x", vec![7].into(), 8, 0, SHAPE);
+            (0..8)
+                .map(|e| {
+                    let d = s.get("x", 0, SHAPE).unwrap().1;
+                    let _ = e;
+                    s.begin_epoch();
+                    d
+                })
+                .collect::<Vec<_>>()
+        };
+        let (a, b) = (seeded(42), seeded(42));
+        assert_eq!(a, b, "same seed, same blip pattern");
+        assert!(
+            a.iter().any(|d| *d > SimDuration::millis(5)),
+            "at prob 0.5 some epoch must bounce: {a:?}"
+        );
     }
 
     #[test]

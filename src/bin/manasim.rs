@@ -6,7 +6,8 @@
 //! manasim verify  [--ranks N] [--colls K]       # protocol model checking
 //! manasim fleet   --tenants 64 [--ranks N] [--steps N] [--ckpts N]
 //!                 [--admission bounded|unbounded] [--quota-kb N]
-//! manasim chaos   --seed 7 --faults 3 [--topology tree] [--ranks N] [--nodes N]
+//! manasim chaos   --seed 7 --faults 3 [--restart-faults N] [--drain-faults N]
+//!                 [--topology tree] [--ranks N] [--nodes N]
 //!                 [--replicas N] [--app <name>]
 //! ```
 //!
@@ -24,7 +25,7 @@ use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]\n  manasim fleet [--tenants N] [--ranks N] [--steps N] [--ckpts N]\n              [--admission <bounded|unbounded>] [--quota-kb N] [--no-verify]\n  manasim chaos [--seed N] [--faults N] [--topology <flat|tree>] [--ranks N]\n              [--nodes N] [--replicas N] [--steps N] [--app <name>]"
+        "usage:\n  manasim run --app <gromacs|minife|hpcg|clamr|lulesh> [--ranks N] [--nodes N]\n              [--mpi <cray|openmpi|mpich|mpich-debug>] [--steps N] [--seed N]\n              [--patched-kernel] [--ckpt-at-frac F [--kill]]\n  manasim migrate --app <name> [--ranks N] [--steps N] [--seed N]\n              [--from <cori|local>:<nodes>] [--to <cori|local>:<nodes>]\n              [--from-mpi <impl>] [--to-mpi <impl>]\n  manasim verify [--ranks N] [--colls K]\n  manasim fleet [--tenants N] [--ranks N] [--steps N] [--ckpts N]\n              [--admission <bounded|unbounded>] [--quota-kb N] [--no-verify]\n  manasim chaos [--seed N] [--faults N] [--restart-faults N] [--drain-faults N]\n              [--topology <flat|tree>] [--ranks N]\n              [--nodes N] [--replicas N] [--steps N] [--app <name>]"
     );
     exit(2)
 }
@@ -422,6 +423,12 @@ fn cmd_chaos(flags: HashMap<String, String>) {
         .parse()
         .unwrap_or_else(|_| usage());
     h.steps = get(&flags, "steps", "5")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    h.restart_faults = get(&flags, "restart-faults", "0")
+        .parse()
+        .unwrap_or_else(|_| usage());
+    h.drain_faults = get(&flags, "drain-faults", "0")
         .parse()
         .unwrap_or_else(|_| usage());
     if let Some(app) = flags.get("app") {

@@ -158,21 +158,45 @@ fn torn_scatter_envelope_is_typed_and_falls_back() {
 }
 
 /// Satellite: when *every* checkpoint is damaged, the failure is a typed
-/// `CorruptImage` restart error naming the rank — never a decode panic.
+/// `NoUsableCheckpoint` that records each image recovery passed over and
+/// why — a per-checkpoint skip ledger, never a decode panic.
 #[test]
 fn damaged_images_surface_typed_errors_not_panics() {
+    use mana::core::error::SkipReason;
+
     let session = ManaSession::new();
     let (_, killed) = clean_and_killed(&session);
-    let ids: Vec<u64> = killed.ckpts().iter().map(|c| c.ckpt_id).collect();
+    let mut ids: Vec<u64> = killed.ckpts().iter().map(|c| c.ckpt_id).collect();
     for id in &ids {
         truncate_image(&session, &killed, *id, 2, 25);
     }
 
     match killed.restart_latest(JobBuilder::new()) {
-        Err(SessionError::Restart(RestartError::CorruptImage { rank, .. })) => {
-            assert_eq!(rank, 2, "the damaged rank is named in the error");
+        Err(SessionError::NoUsableCheckpoint {
+            incarnation,
+            skipped,
+        }) => {
+            assert_eq!(incarnation, killed.index());
+            // Every damaged checkpoint shows up in the skip ledger,
+            // newest first, each carrying the typed restart error that
+            // names the damaged rank.
+            ids.sort_unstable_by(|a, b| b.cmp(a));
+            let skipped_ids: Vec<u64> = skipped.iter().map(|s| s.ckpt_id).collect();
+            assert_eq!(skipped_ids, ids, "skip ledger must cover every checkpoint");
+            for s in &skipped {
+                match &s.reason {
+                    SkipReason::Damaged(e) => {
+                        assert!(
+                            matches!(**e, RestartError::CorruptImage { rank: 2, .. }),
+                            "ckpt {}: expected CorruptImage on rank 2, got {e:?}",
+                            s.ckpt_id
+                        );
+                    }
+                    other => panic!("ckpt {}: expected Damaged, got {other:?}", s.ckpt_id),
+                }
+            }
         }
-        Err(other) => panic!("expected typed CorruptImage, got {other:?}"),
+        Err(other) => panic!("expected typed NoUsableCheckpoint, got {other:?}"),
         Ok(_) => panic!("restart from all-damaged checkpoints must fail"),
     }
 }
